@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Methodology check: how quickly the miss and traffic ratios
+ * converge with trace length. The paper fixed 1,000,000 addresses
+ * per trace (Section 3.3); this bench shows the measured ratios at
+ * geometric prefixes of each suite's traces, so the adequacy of that
+ * choice (and of any OCCSIM_TRACE_LEN override) is visible.
+ */
+
+#include <iostream>
+
+#include "cache/cache.hh"
+#include "harness/experiment.hh"
+#include "trace/filters.hh"
+#include "util/str.hh"
+#include "util/table.hh"
+
+using namespace occsim;
+
+namespace {
+
+void
+convergence(std::ostream &os, Arch arch)
+{
+    const Suite suite = suiteFor(arch);
+    const std::uint32_t word = suite.profile.wordSize;
+    os << "---- " << suite.profile.name << " (1024B 16,8) ----\n";
+
+    TableWriter table({"refs", "miss", "traffic", "warm miss"});
+    for (const std::uint64_t refs :
+         {31250ull, 62500ull, 125000ull, 250000ull, 500000ull,
+          1000000ull}) {
+        double miss = 0.0;
+        double traffic = 0.0;
+        double warm = 0.0;
+        for (const WorkloadSpec &spec : suite.traces) {
+            VectorTrace trace = buildTrace(spec, refs);
+            Cache cache(makeConfig(1024, 16, 8, word));
+            cache.run(trace);
+            miss += cache.stats().missRatio();
+            traffic += cache.stats().trafficRatio();
+            warm += cache.stats().warmMissRatio();
+        }
+        const double n = static_cast<double>(suite.traces.size());
+        table.addRow({strfmt("%llu", (unsigned long long)refs),
+                      strfmt("%.4f", miss / n),
+                      strfmt("%.4f", traffic / n),
+                      strfmt("%.4f", warm / n)});
+    }
+    table.print(os);
+    os << '\n';
+}
+
+void
+samplingError(std::ostream &os)
+{
+    os << "---- trace sampling error (PDP-11 suite, 1024B 16,8) "
+          "----\n";
+    const Suite suite = pdp11Suite();
+
+    TableWriter table({"sampling", "refs simulated", "miss",
+                       "error vs full"});
+    double full_miss = 0.0;
+    for (const double fraction : {1.0, 0.5, 0.25, 0.1}) {
+        double miss = 0.0;
+        std::uint64_t simulated = 0;
+        for (const WorkloadSpec &spec : suite.traces) {
+            VectorTrace trace = buildTrace(spec);
+            Cache cache(makeConfig(1024, 16, 8, 2));
+            if (fraction >= 1.0) {
+                simulated += cache.run(trace);
+            } else {
+                // Windows of 10k refs spread through the trace.
+                const std::uint64_t period = static_cast<std::uint64_t>(
+                    10000.0 / fraction);
+                SampleFilter sampled(trace, 10000, period);
+                simulated += cache.run(sampled);
+            }
+            miss += cache.stats().missRatio();
+        }
+        miss /= static_cast<double>(suite.traces.size());
+        if (fraction >= 1.0)
+            full_miss = miss;
+        table.addRow({strfmt("%.0f%%", 100.0 * fraction),
+                      strfmt("%llu", (unsigned long long)simulated),
+                      strfmt("%.4f", miss),
+                      strfmt("%+.4f", miss - full_miss)});
+    }
+    table.print(os);
+    os << "(10k-reference windows; sampling keeps small-cache miss "
+          "ratios accurate at a fraction of the simulation cost, the "
+          "classic trace-tape economy)\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Convergence of the metrics with trace length "
+                "(why 1M addresses suffice)");
+    for (const Arch arch : kAllArchs)
+        convergence(std::cout, arch);
+    samplingError(std::cout);
+    std::cout << "(ratios drift as programs move through phases; the "
+                 "paper's 1M-address window captures the steady mix. "
+                 "Warm-start converges to cold-start, showing fill "
+                 "effects vanish.)\n";
+    return 0;
+}

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Extension experiments — the studies the paper explicitly deferred
+ * ("further studies should look at partitioning instruction and data
+ * caches, prefetching, and write through vs copy back factors",
+ * Section 3.1; task-switch effects, Section 3.3; transactional
+ * busses, Section 4.3) — run on the same substitute workloads.
+ */
+
+#include <iostream>
+
+#include "cache/cache.hh"
+#include "harness/experiment.hh"
+#include "mem/bus_model.hh"
+#include "trace/filters.hh"
+#include "trace/interleave.hh"
+#include "util/str.hh"
+#include "util/table.hh"
+
+using namespace occsim;
+
+namespace {
+
+void
+writePolicyStudy(std::ostream &os)
+{
+    printBanner(os, "Extension 1: write-through vs copy-back "
+                    "(write-inclusive bus traffic)");
+
+    TableWriter table({"arch", "config", "policy", "miss",
+                       "bus traffic incl. writes"});
+    for (const Arch arch : {Arch::PDP11, Arch::S370}) {
+        const Suite suite = suiteFor(arch);
+        const std::uint32_t word = suite.profile.wordSize;
+        for (const WritePolicy policy :
+             {WritePolicy::WriteThrough, WritePolicy::CopyBack}) {
+            // One representative mid-size cache per architecture.
+            CacheConfig config = makeConfig(1024, 16, 8, word);
+            config.write = policy;
+
+            double miss = 0.0;
+            double total_traffic = 0.0;
+            for (const WorkloadSpec &spec : suite.traces) {
+                VectorTrace trace = buildTrace(spec);
+                Cache cache(config);
+                cache.run(trace);
+                miss += cache.stats().missRatio();
+                total_traffic += cache.stats().totalTrafficRatio();
+            }
+            const double n =
+                static_cast<double>(suite.traces.size());
+            table.addRow({suite.profile.name, config.shortName(),
+                          writePolicyName(policy),
+                          strfmt("%.4f", miss / n),
+                          strfmt("%.4f", total_traffic / n)});
+        }
+    }
+    table.print(os);
+    os << "(copy-back coalesces re-writes; write-through pays per "
+          "store but never writes back whole sub-blocks)\n\n";
+}
+
+void
+prefetchStudy(std::ostream &os)
+{
+    printBanner(os, "Extension 2: sequential prefetch (Smith 1978, "
+                    "the paper's ref [11]) vs demand and "
+                    "load-forward");
+
+    const Suite suite = z8000CompilerSuite();
+    const std::uint32_t word = suite.profile.wordSize;
+
+    std::vector<CacheConfig> configs;
+    for (const FetchPolicy fetch :
+         {FetchPolicy::Demand, FetchPolicy::PrefetchNextOnMiss,
+          FetchPolicy::LoadForward}) {
+        CacheConfig config = makeConfig(256, 16, 2, word);
+        config.fetch = fetch;
+        configs.push_back(config);
+    }
+    const SuiteRun run = runSuite(suite, configs);
+
+    TableWriter table({"fetch policy", "miss", "traffic"});
+    for (const SweepResult &result : run.average) {
+        table.addRow({fetchPolicyName(result.config.fetch),
+                      fmtRatio(result.missRatio),
+                      fmtRatio(result.trafficRatio)});
+    }
+    table.print(os);
+    os << "(prefetch crosses block boundaries, load-forward stops at "
+          "them; both trade traffic for misses as Section 2.2 "
+          "predicts)\n\n";
+}
+
+void
+transactionalBusStudy(std::ostream &os)
+{
+    printBanner(os, "Extension 3: transactional bus a + b*w "
+                    "(Section 4.3's general form): traffic-optimal "
+                    "sub-block vs overhead a");
+
+    const Suite suite = pdp11Suite();
+    std::vector<CacheConfig> configs;
+    for (const std::uint32_t sub : {2u, 4u, 8u, 16u, 32u})
+        configs.push_back(makeConfig(512, 32, sub, 2));
+    const SuiteRun run = runSuite(suite, configs);
+
+    // Re-price the same runs under increasing per-transaction
+    // overhead. (SweepResult keeps linear + nibble; for arbitrary a
+    // we recompute from traffic = miss * w and burst size w.)
+    TableWriter table({"overhead a", "best sub-block", "scaled traffic"});
+    for (const double a : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+        const TransactionalBus bus(a, 1.0);
+        double best_cost = 1e18;
+        std::uint32_t best_sub = 0;
+        for (const SweepResult &result : run.average) {
+            const std::uint64_t words =
+                result.config.subBlockSize / result.config.wordSize;
+            const double cost =
+                result.missRatio * bus.burstCost(words);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_sub = result.config.subBlockSize;
+            }
+        }
+        table.addRow({strfmt("%.1f", a), strfmt("%u", best_sub),
+                      strfmt("%.4f", best_cost)});
+    }
+    table.print(os);
+    os << "(as per-transaction overhead grows, bigger sub-blocks "
+          "win — the generalisation of the nibble-mode result)\n\n";
+}
+
+void
+taskSwitchStudy(std::ostream &os)
+{
+    printBanner(os, "Extension 4: task-switch effects (Section 3.3's "
+                    "acknowledged optimism), PDP-11 suite pairs");
+
+    const Suite suite = pdp11Suite();
+    // Interleave consecutive trace pairs at several quanta.
+    TableWriter table({"quantum (refs)", "miss (1024B 16,8)",
+                       "vs solo average"});
+
+    VectorTrace a = buildTrace(suite.traces[0]);
+    VectorTrace b = buildTrace(suite.traces[3]);
+
+    Cache solo_a(makeConfig(1024, 16, 8, 2));
+    solo_a.run(a);
+    Cache solo_b(makeConfig(1024, 16, 8, 2));
+    solo_b.run(b);
+    const double solo = (solo_a.stats().missRatio() +
+                         solo_b.stats().missRatio()) / 2.0;
+
+    for (const std::uint64_t quantum :
+         {1000ull, 10000ull, 100000ull, 1000000ull}) {
+        a.reset();
+        b.reset();
+        InterleaveSource mix({&a, &b}, quantum);
+        Cache cache(makeConfig(1024, 16, 8, 2));
+        cache.run(mix);
+
+        // Era caches without address-space tags flush on every
+        // switch: simulate by flushing at each quantum boundary.
+        a.reset();
+        b.reset();
+        InterleaveSource flushed_mix({&a, &b}, quantum);
+        Cache flushed(makeConfig(1024, 16, 8, 2));
+        MemRef ref;
+        std::uint64_t since_switch = 0;
+        while (flushed_mix.next(ref)) {
+            if (since_switch++ == quantum) {
+                flushed.flush();
+                since_switch = 1;
+            }
+            flushed.access(ref);
+        }
+        flushed.finalizeResidencies();
+
+        table.addRow({strfmt("%llu", (unsigned long long)quantum),
+                      strfmt("%.4f", cache.stats().missRatio()),
+                      strfmt("%+.4f",
+                             cache.stats().missRatio() - solo)});
+        table.addRow({strfmt("%llu +flush",
+                             (unsigned long long)quantum),
+                      strfmt("%.4f", flushed.stats().missRatio()),
+                      strfmt("%+.4f",
+                             flushed.stats().missRatio() - solo)});
+    }
+    table.print(os);
+    os << strfmt("(solo average %.4f; the paper argued the bias is "
+                 "minor for small caches — measured here)\n\n",
+                 solo);
+}
+
+void
+compactionStudy(std::ostream &os)
+{
+    printBanner(os, "Extension 5: code compaction (Section 2.3: "
+                    "RISC II half-word instructions cut code ~20%, "
+                    "miss ratio ~27%)");
+
+    const Suite suite = vax11Suite();
+    TableWriter table({"code size", "I-miss ratio (512B direct, 8B "
+                       "blocks)", "improvement"});
+
+    double baseline = 0.0;
+    for (const int pass : {0, 1}) {
+        double miss = 0.0;
+        for (const WorkloadSpec &spec : suite.traces) {
+            VectorTrace trace = buildTrace(spec);
+            trace.reset();
+            KindFilter istream(trace,
+                               KindFilter::Select::InstructionsOnly);
+            CacheConfig config = makeConfig(512, 8, 8, 4);
+            config.assoc = 1;
+            Cache cache(config);
+            if (pass == 0) {
+                cache.run(istream);
+            } else {
+                CodeCompactionFilter compact(
+                    istream, spec.profile.machine.codeBase, 4, 5);
+                cache.run(compact);
+            }
+            miss += cache.stats().missRatio();
+        }
+        miss /= static_cast<double>(suite.traces.size());
+        if (pass == 0) {
+            baseline = miss;
+            table.addRow({"standard", strfmt("%.4f", miss), "-"});
+        } else {
+            table.addRow({"compacted (4/5)", strfmt("%.4f", miss),
+                          strfmt("%.1f%%",
+                                 100.0 * (1.0 - miss / baseline))});
+        }
+    }
+    table.print(os);
+    os << '\n';
+}
+
+} // namespace
+
+int
+main()
+{
+    writePolicyStudy(std::cout);
+    prefetchStudy(std::cout);
+    transactionalBusStudy(std::cout);
+    taskSwitchStudy(std::cout);
+    compactionStudy(std::cout);
+    return 0;
+}

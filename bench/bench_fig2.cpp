@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Regenerates the series behind the paper's Figure 2. See DESIGN.md
+ * experiment index and EXPERIMENTS.md for the comparison.
+ */
+
+#include <iostream>
+
+#include "harness/figures.hh"
+
+int
+main()
+{
+    occsim::runFigure2(std::cout);
+    return 0;
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Regenerates the series behind the paper's Figure 4. See DESIGN.md
+ * experiment index and EXPERIMENTS.md for the comparison.
+ */
+
+#include <iostream>
+
+#include "harness/figures.hh"
+
+int
+main()
+{
+    occsim::runFigure4(std::cout);
+    return 0;
+}

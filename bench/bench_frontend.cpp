@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Front-end experiments from Sections 2.2 and 2.3 of the paper:
+ * instruction buffers (plain sequential vs branch-target-recognizing)
+ * vs the minimum cache, and the RISC II remote program counter.
+ */
+
+#include <iostream>
+
+#include "cache/cache.hh"
+#include "cache/instr_buffer.hh"
+#include "cache/remote_pc.hh"
+#include "harness/experiment.hh"
+#include "trace/filters.hh"
+#include "util/str.hh"
+#include "util/table.hh"
+
+using namespace occsim;
+
+namespace {
+
+void
+bufferComparison(std::ostream &os)
+{
+    printBanner(os, "Section 2.2: instruction buffers vs the minimum "
+                    "cache (PDP-11 suite, instruction stream)");
+
+    const Suite suite = pdp11Suite();
+
+    double vax_hit = 0.0;
+    double vax_traffic = 0.0;
+    double cray_miss = 0.0;
+    double cray_traffic = 0.0;
+    double min_miss = 0.0;
+    double min_traffic = 0.0;
+
+    for (const WorkloadSpec &spec : suite.traces) {
+        VectorTrace trace = buildTrace(spec);
+
+        // VAX-11/780-style 8-byte sequential buffer.
+        SequentialInstrBuffer vax(8, 2);
+        trace.reset();
+        vax.run(trace);
+        vax_hit += vax.hitRatio();
+        vax_traffic += vax.trafficRatio();
+
+        // CRAY-1-style: 4 buffers x 128 bytes, recognizes targets.
+        Cache cray(makeCrayStyleBuffer(4, 128, 2));
+        trace.reset();
+        KindFilter cray_stream(trace,
+                               KindFilter::Select::InstructionsOnly);
+        cray.run(cray_stream);
+        cray_miss += cray.stats().missRatio();
+        cray_traffic += cray.stats().trafficRatio();
+
+        // The paper's 64-byte minimum cache (4,2).
+        Cache minimum(makeConfig(64, 4, 2, 2));
+        trace.reset();
+        KindFilter min_stream(trace,
+                              KindFilter::Select::InstructionsOnly);
+        minimum.run(min_stream);
+        min_miss += minimum.stats().missRatio();
+        min_traffic += minimum.stats().trafficRatio();
+    }
+    const double n = static_cast<double>(suite.traces.size());
+
+    TableWriter table({"front end", "size", "latency miss",
+                       "traffic ratio"});
+    table.addRow({"sequential buffer (VAX-11/780 style)", "8 B",
+                  strfmt("%.4f", 1.0 - vax_hit / n),
+                  strfmt("%.4f", vax_traffic / n)});
+    table.addRow({"branch-target buffers (CRAY-1 style)", "512 B",
+                  strfmt("%.4f", cray_miss / n),
+                  strfmt("%.4f", cray_traffic / n)});
+    table.addRow({"minimum cache 4,2 (this paper)", "64 B net",
+                  strfmt("%.4f", min_miss / n),
+                  strfmt("%.4f", min_traffic / n)});
+    table.print(os);
+    os << "(the tradeoff the paper describes: the plain buffer hides "
+          "latency on straight-line runs but cannot reduce memory "
+          "bytes — traffic >= 1 — while the tiny minimum cache cuts "
+          "bus traffic in half; the CRAY-style target-recognizing "
+          "buffers win both, at 8x the minimum cache's storage)\n\n";
+}
+
+void
+remotePcStudy(std::ostream &os)
+{
+    printBanner(os, "Section 2.3: remote program counter "
+                    "(next-instruction-address prediction)");
+
+    const Suite suite = vax11Suite();
+    TableWriter table({"predictor", "accuracy",
+                       "relative access time"});
+
+    double seq_acc = 0.0;
+    double table_acc = 0.0;
+    double table_time = 0.0;
+    for (const WorkloadSpec &spec : suite.traces) {
+        VectorTrace trace = buildTrace(spec);
+
+        RemotePc sequential(0, 4);
+        trace.reset();
+        sequential.run(trace);
+        seq_acc += sequential.accuracy();
+
+        RemotePc predictor(256, 4);
+        trace.reset();
+        predictor.run(trace);
+        table_acc += predictor.accuracy();
+        table_time += predictor.relativeAccessTime();
+    }
+    const double n = static_cast<double>(suite.traces.size());
+    table.addRow({"sequential only", strfmt("%.4f", seq_acc / n),
+                  "-"});
+    table.addRow({"with 256-entry target table",
+                  strfmt("%.4f", table_acc / n),
+                  strfmt("%.4f", table_time / n)});
+    table.print(os);
+    os << "(RISC II: 0.899 accuracy, 0.578 relative access time)\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    bufferComparison(std::cout);
+    remotePcStudy(std::cout);
+    return 0;
+}

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator itself (an
+ * engineering benchmark, not a paper experiment): cache access
+ * throughput across geometries and policies, sweep-runner scaling,
+ * VM trace-generation speed, and the Mattson stack analyzer.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "cache/cache.hh"
+#include "multi/miss_classifier.hh"
+#include "multi/stack_analyzer.hh"
+#include "multi/sweep_runner.hh"
+#include "trace/trace_file.hh"
+#include "vm/machine.hh"
+#include "vm/program_library.hh"
+#include "workload/synthetic.hh"
+
+using namespace occsim;
+
+namespace {
+
+/** A shared medium-locality trace for the cache benchmarks. */
+const VectorTrace &
+benchTrace()
+{
+    static const VectorTrace trace = [] {
+        SyntheticParams params;
+        params.seed = 7;
+        return makeSyntheticTrace(params, 200000, "bench");
+    }();
+    return trace;
+}
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    const auto block = static_cast<std::uint32_t>(state.range(0));
+    const auto sub = static_cast<std::uint32_t>(state.range(1));
+    const VectorTrace &trace = benchTrace();
+    for (auto _ : state) {
+        Cache cache(makeConfig(1024, block, sub, 2));
+        for (const MemRef &ref : trace.refs())
+            benchmark::DoNotOptimize(cache.access(ref));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+
+void
+BM_CacheAccessLoadForward(benchmark::State &state)
+{
+    const VectorTrace &trace = benchTrace();
+    for (auto _ : state) {
+        CacheConfig config = makeConfig(1024, 16, 2, 2);
+        config.fetch = FetchPolicy::LoadForward;
+        Cache cache(config);
+        for (const MemRef &ref : trace.refs())
+            benchmark::DoNotOptimize(cache.access(ref));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+
+void
+BM_SweepRunner(benchmark::State &state)
+{
+    const auto num_configs = static_cast<std::size_t>(state.range(0));
+    std::vector<CacheConfig> configs;
+    for (std::size_t i = 0; i < num_configs; ++i) {
+        configs.push_back(makeConfig(64u << (i % 5), 16, 8, 2));
+    }
+    const VectorTrace &trace = benchTrace();
+    for (auto _ : state) {
+        SweepRunner runner(configs);
+        VectorTrace copy = trace;
+        benchmark::DoNotOptimize(runner.run(copy));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size() * num_configs));
+}
+
+void
+BM_VmTraceGeneration(benchmark::State &state)
+{
+    Program program =
+        assemble(progQuickSort(1024), MachineConfig::word16());
+    for (auto _ : state) {
+        VmTraceSource source(program, "qsort", true);
+        VectorTrace trace = collect(source, 100000);
+        benchmark::DoNotOptimize(trace.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 100000);
+}
+
+void
+BM_StackAnalyzer(benchmark::State &state)
+{
+    const VectorTrace &trace = benchTrace();
+    for (auto _ : state) {
+        StackAnalyzer analyzer(16);
+        analyzer.processTrace(trace);
+        benchmark::DoNotOptimize(analyzer.missRatioForCapacity(64));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+
+void
+BM_CompressedTraceWrite(benchmark::State &state)
+{
+    const VectorTrace &trace = benchTrace();
+    const std::string path = "/tmp/occsim_bench.otd";
+    for (auto _ : state) {
+        writeCompressedTrace(trace, path);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+    std::remove(path.c_str());
+}
+
+void
+BM_CompressedTraceRead(benchmark::State &state)
+{
+    const VectorTrace &trace = benchTrace();
+    const std::string path = "/tmp/occsim_bench_r.otd";
+    writeCompressedTrace(trace, path);
+    for (auto _ : state) {
+        VectorTrace loaded = readTrace(path);
+        benchmark::DoNotOptimize(loaded.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+    std::remove(path.c_str());
+}
+
+void
+BM_MissClassifier(benchmark::State &state)
+{
+    const VectorTrace &trace = benchTrace();
+    for (auto _ : state) {
+        MissClassifier classifier(makeConfig(1024, 16, 16, 2));
+        classifier.processTrace(trace);
+        benchmark::DoNotOptimize(classifier.breakdown().misses);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+
+BENCHMARK(BM_CacheAccess)
+    ->Args({16, 16})
+    ->Args({16, 8})
+    ->Args({16, 2})
+    ->Args({64, 8});
+BENCHMARK(BM_CacheAccessLoadForward);
+BENCHMARK(BM_SweepRunner)->Arg(1)->Arg(8)->Arg(32);
+BENCHMARK(BM_VmTraceGeneration);
+BENCHMARK(BM_StackAnalyzer);
+BENCHMARK(BM_CompressedTraceWrite);
+BENCHMARK(BM_CompressedTraceRead);
+BENCHMARK(BM_MissClassifier);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Regenerates the RISC II instruction-cache size curve quoted in
+ * Section 2.3 of the paper (512 -> 4096 bytes, direct-mapped,
+ * 8-byte blocks, instruction stream only).
+ */
+
+#include <iostream>
+
+#include "harness/figures.hh"
+
+int
+main()
+{
+    occsim::runRiscII(std::cout);
+    return 0;
+}

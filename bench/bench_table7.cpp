@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Regenerates the paper's Table 7. See DESIGN.md experiment
+ * index and EXPERIMENTS.md for the paper-vs-measured comparison.
+ */
+
+#include <iostream>
+
+#include "harness/paper_tables.hh"
+
+int
+main()
+{
+    occsim::runTable7(std::cout);
+    return 0;
+}

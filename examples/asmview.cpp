@@ -1,0 +1,65 @@
+/**
+ * @file
+ * asmview: inspect the OC-1 workload programs.
+ *
+ *   asmview <program-name> [-word 2|4] [-src]
+ *
+ * Prints the assembled listing (addresses + decoded instructions,
+ * via the disassembler) of any library program, or with -src the
+ * generated assembly source itself. Useful when tuning workload
+ * parameters or studying why a trace behaves as it does.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "util/logging.hh"
+#include "vm/disasm.hh"
+#include "vm/program_library.hh"
+
+using namespace occsim;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: asmview <program-name> [-word 2|4] "
+                     "[-src]\nprograms:");
+        for (const std::string &name : programNames())
+            std::fprintf(stderr, " %s", name.c_str());
+        std::fprintf(stderr, "\n");
+        return 1;
+    }
+
+    std::uint32_t word = 2;
+    bool show_source = false;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "-word") == 0 && i + 1 < argc) {
+            word = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+            if (word != 2 && word != 4)
+                fatal("-word must be 2 or 4");
+        } else if (std::strcmp(argv[i], "-src") == 0) {
+            show_source = true;
+        } else {
+            fatal("unknown option '%s'", argv[i]);
+        }
+    }
+
+    const std::string source = programByName(argv[1]);
+    if (show_source) {
+        std::fputs(source.c_str(), stdout);
+        return 0;
+    }
+
+    const MachineConfig config = word == 2 ? MachineConfig::word16()
+                                           : MachineConfig::word32();
+    const Program program = assemble(source, config);
+    std::fputs(disassemble(program).c_str(), stdout);
+    std::printf("\n; code %u bytes at 0x%04x, data %zu bytes at "
+                "0x%04x\n",
+                program.codeBytes(), config.codeBase,
+                program.data.size(), config.dataBase);
+    return 0;
+}

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * cachesim: a dineroIV-style command-line trace-driven cache
+ * simulator over occsim. Reads a trace file (text "din" or occsim
+ * binary format, auto-detected), simulates one cache configuration,
+ * and prints the full statistics block.
+ *
+ * Usage:
+ *   cachesim <trace-file> [options]
+ *     -size N        net cache size in bytes        (default 1024)
+ *     -block N       block size in bytes            (default 16)
+ *     -sub N         sub-block size in bytes        (default block)
+ *     -assoc N       associativity                  (default 4)
+ *     -word N        data-path word size in bytes   (default 2)
+ *     -repl lru|fifo|random                         (default lru)
+ *     -fetch demand|lf|lfo                          (default demand)
+ *     -limit N       max references                 (default all)
+ *     -ro            drop data writes before simulation
+ *     -sweep         ignore -size/-block/-sub; run the paper's whole
+ *                    design grid at net sizes 64/256/1024 and print
+ *                    CSV rows (net,block,sub,gross,miss,traffic,
+ *                    nibble) for plotting
+ *
+ * Generate input files with the tracegen example.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "cache/cache.hh"
+#include "harness/experiment.hh"
+#include "multi/sweep_runner.hh"
+#include "trace/filters.hh"
+#include "trace/trace_file.hh"
+#include "trace/trace_stats.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
+#include "util/table.hh"
+
+using namespace occsim;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: cachesim <trace-file> [-size N] [-block N] "
+                 "[-sub N] [-assoc N]\n"
+                 "                [-word N] [-repl lru|fifo|random] "
+                 "[-fetch demand|lf|lfo]\n"
+                 "                [-limit N] [-ro]\n");
+    std::exit(1);
+}
+
+std::uint32_t
+numArg(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        usage();
+    std::uint64_t value = 0;
+    if (!parseU64(argv[++i], value) || value == 0)
+        fatal("bad numeric argument '%s'", argv[i]);
+    return static_cast<std::uint32_t>(value);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || argv[1][0] == '-')
+        usage();
+    const std::string path = argv[1];
+
+    CacheConfig config;
+    config.netSize = 1024;
+    config.blockSize = 16;
+    config.subBlockSize = 0;  // default: same as block
+    config.assoc = 4;
+    config.wordSize = 2;
+    std::uint64_t limit = 0;
+    bool read_only = false;
+    bool sweep = false;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-size") {
+            config.netSize = numArg(argc, argv, i);
+        } else if (arg == "-block") {
+            config.blockSize = numArg(argc, argv, i);
+        } else if (arg == "-sub") {
+            config.subBlockSize = numArg(argc, argv, i);
+        } else if (arg == "-assoc") {
+            config.assoc = numArg(argc, argv, i);
+        } else if (arg == "-word") {
+            config.wordSize = numArg(argc, argv, i);
+        } else if (arg == "-limit") {
+            limit = numArg(argc, argv, i);
+        } else if (arg == "-ro") {
+            read_only = true;
+        } else if (arg == "-sweep") {
+            sweep = true;
+        } else if (arg == "-repl") {
+            if (i + 1 >= argc)
+                usage();
+            const std::string value = argv[++i];
+            if (value == "lru")
+                config.replacement = ReplacementPolicy::LRU;
+            else if (value == "fifo")
+                config.replacement = ReplacementPolicy::FIFO;
+            else if (value == "random")
+                config.replacement = ReplacementPolicy::Random;
+            else
+                usage();
+        } else if (arg == "-fetch") {
+            if (i + 1 >= argc)
+                usage();
+            const std::string value = argv[++i];
+            if (value == "demand")
+                config.fetch = FetchPolicy::Demand;
+            else if (value == "lf")
+                config.fetch = FetchPolicy::LoadForward;
+            else if (value == "lfo")
+                config.fetch = FetchPolicy::LoadForwardOptimized;
+            else
+                usage();
+        } else {
+            usage();
+        }
+    }
+    if (config.subBlockSize == 0)
+        config.subBlockSize = config.blockSize;
+
+    VectorTrace trace = readTrace(path);
+    printProfile(std::cout, path, profileTrace(trace));
+    std::printf("\n");
+
+    if (sweep) {
+        std::vector<CacheConfig> configs;
+        for (const std::uint32_t net : {64u, 256u, 1024u}) {
+            const auto grid = paperGrid(net, config.wordSize);
+            configs.insert(configs.end(), grid.begin(), grid.end());
+        }
+        SweepRunner runner(configs);
+        if (read_only) {
+            DropWritesFilter filtered(trace);
+            runner.run(filtered, limit);
+        } else {
+            runner.run(trace, limit);
+        }
+        TableWriter table({"net", "block", "sub", "gross", "miss",
+                           "traffic", "nibble"});
+        for (const SweepResult &result : runner.results()) {
+            table.addRow(
+                {strfmt("%u", result.config.netSize),
+                 strfmt("%u", result.config.blockSize),
+                 strfmt("%u", result.config.subBlockSize),
+                 strfmt("%llu",
+                        (unsigned long long)result.grossBytes),
+                 strfmt("%.6f", result.missRatio),
+                 strfmt("%.6f", result.trafficRatio),
+                 strfmt("%.6f", result.nibbleTrafficRatio)});
+        }
+        table.printCsv(std::cout);
+        return 0;
+    }
+
+    Cache cache(config);
+    std::printf("cache: %s (gross %llu bytes)\n\n",
+                config.fullName().c_str(),
+                static_cast<unsigned long long>(
+                    cache.geometry().grossBytes()));
+
+    if (read_only) {
+        DropWritesFilter filtered(trace);
+        cache.run(filtered, limit);
+    } else {
+        cache.run(trace, limit);
+    }
+    cache.stats().dump(std::cout);
+    return 0;
+}

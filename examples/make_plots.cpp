@@ -1,0 +1,130 @@
+/**
+ * @file
+ * make_plots: write gnuplot data and scripts that redraw the paper's
+ * Figures 1-9 from occsim's measurements — miss ratio (y) versus
+ * traffic ratio (x) scatter with curves of constant block size, one
+ * output pair per figure.
+ *
+ *   ./make_plots [output-dir]      (default "plots")
+ *   cd plots && gnuplot all.gp     -> fig1.png ... fig9.png
+ *
+ * Each figN.dat has blocks of rows (one per sub-block size) separated
+ * by blank lines, one block per (net size, block size) curve, so
+ * gnuplot's `index`/`every` can draw the constant-block lines exactly
+ * like the solid curves in the paper.
+ */
+
+#include <cstdio>
+#include <string>
+#include <sys/stat.h>
+
+#include "harness/experiment.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
+
+using namespace occsim;
+
+namespace {
+
+struct FigureSpec
+{
+    int number;
+    Arch arch;
+    std::vector<std::uint32_t> nets;
+    bool nibble;
+};
+
+void
+writeFigure(const std::string &dir, const FigureSpec &spec)
+{
+    const Suite suite = suiteFor(spec.arch);
+    const std::uint32_t word = suite.profile.wordSize;
+
+    std::vector<CacheConfig> configs;
+    for (const std::uint32_t net : spec.nets) {
+        const auto grid = paperGrid(net, word);
+        configs.insert(configs.end(), grid.begin(), grid.end());
+    }
+    const SuiteRun run = runSuite(suite, configs);
+
+    const std::string dat_path =
+        strfmt("%s/fig%d.dat", dir.c_str(), spec.number);
+    std::FILE *dat = std::fopen(dat_path.c_str(), "w");
+    if (!dat)
+        fatal("cannot write '%s'", dat_path.c_str());
+    std::fprintf(dat, "# Figure %d: %s, nets", spec.number,
+                 suite.profile.name.c_str());
+    for (const std::uint32_t net : spec.nets)
+        std::fprintf(dat, " %u", net);
+    std::fprintf(dat, "%s\n# traffic miss net block sub\n",
+                 spec.nibble ? " (nibble-mode)" : "");
+
+    // Group into constant-block curves.
+    std::uint64_t prev_key = ~0ull;
+    for (const SweepResult &result : run.average) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(result.config.netSize) << 32) |
+            result.config.blockSize;
+        if (key != prev_key && prev_key != ~0ull)
+            std::fprintf(dat, "\n");
+        prev_key = key;
+        std::fprintf(dat, "%.6f %.6f %u %u %u\n",
+                     spec.nibble ? result.nibbleTrafficRatio
+                                 : result.trafficRatio,
+                     result.missRatio, result.config.netSize,
+                     result.config.blockSize,
+                     result.config.subBlockSize);
+    }
+    std::fclose(dat);
+    std::printf("wrote %s (%zu points)\n", dat_path.c_str(),
+                run.average.size());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string dir = argc > 1 ? argv[1] : "plots";
+    ::mkdir(dir.c_str(), 0755);
+
+    const std::vector<FigureSpec> figures = {
+        {1, Arch::PDP11, {32, 128, 512}, false},
+        {2, Arch::PDP11, {64, 256, 1024}, false},
+        {3, Arch::Z8000, {32, 128, 512}, false},
+        {4, Arch::Z8000, {64, 256, 1024}, false},
+        {5, Arch::VAX11, {64, 256, 1024}, false},
+        {6, Arch::S370, {64, 256, 1024}, false},
+        {7, Arch::PDP11, {32, 128, 512}, true},
+        {8, Arch::PDP11, {64, 256, 1024}, true},
+    };
+    for (const FigureSpec &spec : figures)
+        writeFigure(dir, spec);
+
+    // One gnuplot script for everything.
+    const std::string gp_path = dir + "/all.gp";
+    std::FILE *gp = std::fopen(gp_path.c_str(), "w");
+    if (!gp)
+        fatal("cannot write '%s'", gp_path.c_str());
+    std::fprintf(gp,
+                 "# gnuplot script regenerating the paper's figures\n"
+                 "set terminal pngcairo size 800,600\n"
+                 "set key outside right\n"
+                 "set grid\n");
+    for (const FigureSpec &spec : figures) {
+        std::fprintf(gp,
+                     "set output 'fig%d.png'\n"
+                     "set title 'Figure %d: miss ratio vs %straffic "
+                     "ratio'\n"
+                     "set xlabel 'traffic ratio'\n"
+                     "set ylabel 'miss ratio'\n"
+                     "plot for [i=0:*] 'fig%d.dat' index i using 1:2 "
+                     "with linespoints title columnheader(1)\n",
+                     spec.number, spec.number,
+                     spec.nibble ? "nibble-scaled " : "", spec.number);
+    }
+    std::fclose(gp);
+    std::printf("wrote %s; run `gnuplot all.gp` in %s/\n",
+                gp_path.c_str(), dir.c_str());
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The paper's "minimum cache" proposal (Section 2.2): a 64-byte
+ * cache with 2-word blocks and 1-word sub-blocks that "can cut memory
+ * references and bus traffic by one-third", costing well under 200
+ * bytes of RAM. This example evaluates the minimum cache on all four
+ * architecture suites and reports the reduction in references
+ * (1 - miss ratio) and in bus traffic (1 - traffic ratio), plus the
+ * RAM cost from the gross-size model — including the paper's VAX
+ * observation that the 64-byte minimum cache needs only ~95 bytes of
+ * RAM at 8,4 geometry.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "util/str.hh"
+#include "util/table.hh"
+
+using namespace occsim;
+
+int
+main()
+{
+    std::printf("the minimum cache (Section 2.2): 64 bytes net, "
+                "block = 2 words, sub-block = 1 word\n\n");
+
+    TableWriter table({"architecture", "config", "gross", "miss",
+                       "traffic", "refs cut", "traffic cut"});
+    for (const Arch arch : kAllArchs) {
+        const Suite suite = suiteFor(arch);
+        const std::uint32_t word = suite.profile.wordSize;
+        const CacheConfig config =
+            makeConfig(64, 2 * word, word, word);
+
+        const SuiteRun run = runSuite(suite, {config});
+        const SweepResult &result = run.average.front();
+        table.addRow(
+            {suite.profile.name, config.shortName(),
+             std::to_string(result.grossBytes),
+             strfmt("%.4f", result.missRatio),
+             strfmt("%.4f", result.trafficRatio),
+             strfmt("%.1f%%", 100.0 * (1.0 - result.missRatio)),
+             strfmt("%.1f%%", 100.0 * (1.0 - result.trafficRatio))});
+    }
+    table.print(std::cout);
+
+    std::printf("\npaper: on PDP-11, Z8000 and VAX-11 runs the "
+                "minimum cache cuts references and bus traffic by "
+                "about one third; on System/370 it cuts misses by "
+                "only ~16%% and may not be worthwhile.\n");
+    return 0;
+}

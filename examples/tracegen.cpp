@@ -1,0 +1,158 @@
+/**
+ * @file
+ * tracegen: generate address traces to files.
+ *
+ * Two generators are available:
+ *  - the OC-1 program library (real executed programs), selected by
+ *    program name;
+ *  - the named suite traces that reproduce the paper's Tables 2-5
+ *    workloads, selected as <arch>/<trace> (e.g. pdp11/ROFF).
+ *
+ * Usage:
+ *   tracegen list
+ *   tracegen <program-name>  [-n refs] [-word 2|4] [-o file] [-text|-z]
+ *   tracegen <arch>/<trace>   [-n refs] [-o file] [-text|-z]
+ *
+ * Output defaults to the fixed-record binary format (.otb); -z writes
+ * the delta-compressed format (.otd), -text the dinero-style text
+ * format (.din).
+ *
+ * arch is one of: pdp11, z8000, z8000cc, vax11, s370.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "trace/trace_file.hh"
+#include "trace/trace_stats.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
+#include "vm/machine.hh"
+#include "vm/program_library.hh"
+#include "workload/suites.hh"
+
+using namespace occsim;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: tracegen list\n"
+                 "       tracegen <program|arch/trace> [-n refs] "
+                 "[-word 2|4] [-o file] [-text]\n");
+    std::exit(1);
+}
+
+Suite
+suiteByName(const std::string &name)
+{
+    if (name == "pdp11")
+        return pdp11Suite();
+    if (name == "z8000")
+        return z8000Suite();
+    if (name == "z8000cc")
+        return z8000CompilerSuite();
+    if (name == "vax11")
+        return vax11Suite();
+    if (name == "s370")
+        return s370Suite();
+    fatal("unknown architecture '%s'", name.c_str());
+}
+
+void
+list()
+{
+    std::printf("programs:\n");
+    for (const std::string &name : programNames())
+        std::printf("  %s\n", name.c_str());
+    std::printf("suite traces:\n");
+    for (const char *arch :
+         {"pdp11", "z8000", "z8000cc", "vax11", "s370"}) {
+        const Suite suite = suiteByName(arch);
+        for (const WorkloadSpec &spec : suite.traces) {
+            std::printf("  %s/%-8s %-26s %s\n", arch,
+                        spec.name.c_str(), spec.programId.c_str(),
+                        spec.description.c_str());
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    const std::string what = argv[1];
+    if (what == "list") {
+        list();
+        return 0;
+    }
+
+    std::uint64_t refs = 1000000;
+    std::uint32_t word = 2;
+    std::string out_path;
+    bool text_format = false;
+    bool compressed = false;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-n" && i + 1 < argc) {
+            if (!parseU64(argv[++i], refs) || refs == 0)
+                fatal("bad -n value");
+        } else if (arg == "-word" && i + 1 < argc) {
+            word = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+            if (word != 2 && word != 4)
+                fatal("-word must be 2 or 4");
+        } else if (arg == "-o" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "-text") {
+            text_format = true;
+        } else if (arg == "-z") {
+            compressed = true;
+        } else {
+            usage();
+        }
+    }
+
+    VectorTrace trace;
+    const std::size_t slash = what.find('/');
+    if (slash != std::string::npos) {
+        const Suite suite = suiteByName(what.substr(0, slash));
+        const std::string trace_name = what.substr(slash + 1);
+        const WorkloadSpec *found = nullptr;
+        for (const WorkloadSpec &spec : suite.traces) {
+            if (spec.name == trace_name)
+                found = &spec;
+        }
+        if (found == nullptr)
+            fatal("no trace '%s' in that suite", trace_name.c_str());
+        trace = buildTrace(*found, refs);
+    } else {
+        MachineConfig machine = word == 2 ? MachineConfig::word16()
+                                          : MachineConfig::word32();
+        Program program = assemble(programByName(what), machine);
+        VmTraceSource source(std::move(program), what, true);
+        trace = collect(source, refs);
+    }
+
+    printProfile(std::cout, what, profileTrace(trace));
+    if (out_path.empty()) {
+        out_path = split(what, '/').back() +
+                   (text_format ? ".din" : compressed ? ".otd"
+                                                      : ".otb");
+    }
+    if (text_format)
+        writeTextTrace(trace, out_path);
+    else if (compressed)
+        writeCompressedTrace(trace, out_path);
+    else
+        writeBinaryTrace(trace, out_path);
+    std::printf("wrote %zu references to %s\n", trace.size(),
+                out_path.c_str());
+    return 0;
+}

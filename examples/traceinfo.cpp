@@ -1,0 +1,121 @@
+/**
+ * @file
+ * traceinfo: locality analysis of a trace file — the characterization
+ * a cache designer runs before choosing parameters.
+ *
+ *   traceinfo <trace-file> [-limit N]
+ *
+ * Prints the reference mix and footprint, the LRU stack-distance
+ * profile (hit ratio of every fully-associative capacity in one
+ * pass), and a working-set curve (distinct 16-byte blocks per window
+ * of references), for instruction and data streams separately.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "multi/stack_analyzer.hh"
+#include "multi/working_set.hh"
+#include "trace/trace_file.hh"
+#include "trace/trace_stats.hh"
+#include "util/str.hh"
+#include "util/table.hh"
+
+using namespace occsim;
+
+namespace {
+
+void
+workingSetCurve(const VectorTrace &trace)
+{
+    std::printf("\nworking set (distinct 16-byte blocks per window):\n");
+    const WorkingSetAnalyzer all(16);
+    const WorkingSetAnalyzer icode(
+        16, WorkingSetAnalyzer::Select::InstructionsOnly);
+    const WorkingSetAnalyzer data(
+        16, WorkingSetAnalyzer::Select::DataOnly);
+
+    std::vector<std::uint64_t> windows;
+    for (const std::uint64_t window :
+         {1000ull, 10000ull, 100000ull, 1000000ull}) {
+        if (window <= trace.size())
+            windows.push_back(window);
+    }
+    const auto total = all.profile(trace, windows);
+    const auto inst = icode.profile(trace, windows);
+    const auto dat = data.profile(trace, windows);
+
+    // Per-kind windows run over the filtered sub-stream, so a stream
+    // shorter than the window has no complete window ("-").
+    auto cell = [](const WorkingSetPoint &point) {
+        return point.meanBytes > 0.0
+                   ? strfmt("%.0f B", point.meanBytes)
+                   : std::string("-");
+    };
+    TableWriter table({"window", "instructions", "data", "total",
+                       "worst window"});
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+        table.addRow({strfmt("%llu", (unsigned long long)windows[i]),
+                      cell(inst[i]), cell(dat[i]), cell(total[i]),
+                      strfmt("%llu B",
+                             (unsigned long long)(total[i].maxBlocks *
+                                                  16))});
+    }
+    table.print(std::cout);
+    std::printf("suggested cache (covers mean 100k-ref working "
+                "set): %llu bytes\n",
+                (unsigned long long)all.suggestedCacheBytes(
+                    trace, std::min<std::uint64_t>(100000,
+                                                   trace.size())));
+}
+
+void
+stackProfile(const VectorTrace &trace)
+{
+    StackAnalyzer analyzer(16, 4096);
+    analyzer.processTrace(trace);
+    std::printf("\nfully-associative LRU hit ratios (16-byte "
+                "blocks):\n");
+    TableWriter table({"capacity", "bytes", "miss ratio"});
+    for (const std::uint32_t blocks : {4u, 16u, 64u, 256u, 1024u}) {
+        table.addRow({strfmt("%u blocks", blocks),
+                      strfmt("%u", blocks * 16),
+                      strfmt("%.4f",
+                             analyzer.missRatioForCapacity(blocks))});
+    }
+    table.print(std::cout);
+    std::printf("distinct blocks: %llu (compulsory floor %.4f)\n",
+                static_cast<unsigned long long>(
+                    analyzer.distinctBlocks()),
+                static_cast<double>(analyzer.distinctBlocks()) /
+                    static_cast<double>(analyzer.refs()));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: traceinfo <trace-file> "
+                             "[-limit N]\n");
+        return 1;
+    }
+    std::uint64_t limit = 0;
+    if (argc >= 4 && std::string(argv[2]) == "-limit")
+        parseU64(argv[3], limit);
+
+    VectorTrace full = readTrace(argv[1]);
+    VectorTrace trace = full;
+    if (limit != 0 && limit < full.size()) {
+        trace = VectorTrace(full.name());
+        for (std::size_t i = 0; i < limit; ++i)
+            trace.append(full[i]);
+    }
+
+    printProfile(std::cout, argv[1], profileTrace(trace));
+    stackProfile(trace);
+    workingSetCurve(trace);
+    return 0;
+}

@@ -1,0 +1,358 @@
+#include "cache/cache.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace occsim {
+
+Cache::Cache(const CacheConfig &config)
+    : geom_(config),
+      repl_(config.replacement, geom_.numSets(), geom_.assoc(),
+            config.randomSeed),
+      stats_(geom_.subBlocksPerBlock(),
+             geom_.subBlocksPerBlock() * geom_.wordsPerSubBlock()),
+      frames_(geom_.numBlocks()),
+      everFilled_(geom_.numBlocks(), 0)
+{
+}
+
+int
+Cache::findWay(std::uint32_t set, Addr block_addr) const
+{
+    const Frame *base = setBase(set);
+    const std::uint32_t assoc = geom_.assoc();
+    for (std::uint32_t way = 0; way < assoc; ++way) {
+        if (base[way].present && base[way].tag == block_addr)
+            return static_cast<int>(way);
+    }
+    return -1;
+}
+
+void
+Cache::emitBurst(std::uint32_t sub_blocks, bool counted, bool cold,
+                 std::uint32_t redundant_sub_blocks)
+{
+    const std::uint32_t words =
+        sub_blocks * geom_.wordsPerSubBlock();
+    if (counted) {
+        stats_.recordBurst(words, cold,
+                           redundant_sub_blocks *
+                               geom_.wordsPerSubBlock());
+    } else {
+        stats_.recordWriteBurst(words);
+    }
+}
+
+void
+Cache::fetchInto(Frame &frame, std::uint32_t frame_index,
+                 std::uint32_t sub_index, bool counted, bool cold)
+{
+    const std::uint32_t num_subs = geom_.subBlocksPerBlock();
+    std::uint32_t &ever = everFilled_[frame_index];
+
+    switch (config().fetch) {
+      case FetchPolicy::Demand:
+      case FetchPolicy::PrefetchNextOnMiss: {
+        frame.valid |= (1u << sub_index);
+        ever |= (1u << sub_index);
+        emitBurst(1, counted, cold, 0);
+        break;
+      }
+      case FetchPolicy::LoadForward: {
+        // One burst covering the target and every subsequent
+        // sub-block, re-fetching resident ones (redundant loads).
+        const std::uint32_t span = num_subs - sub_index;
+        const std::uint32_t span_mask =
+            (span == 32 ? ~0u : ((1u << span) - 1)) << sub_index;
+        const std::uint32_t redundant =
+            static_cast<std::uint32_t>(
+                std::popcount(frame.valid & span_mask));
+        frame.valid |= span_mask;
+        ever |= span_mask;
+        emitBurst(span, counted, cold, redundant);
+        break;
+      }
+      case FetchPolicy::LoadForwardOptimized: {
+        // Fetch only the invalid sub-blocks at or after the target,
+        // as one burst per contiguous invalid run.
+        std::uint32_t run = 0;
+        for (std::uint32_t i = sub_index; i < num_subs; ++i) {
+            const std::uint32_t bit = 1u << i;
+            if (frame.valid & bit) {
+                if (run != 0) {
+                    emitBurst(run, counted, cold, 0);
+                    run = 0;
+                }
+            } else {
+                frame.valid |= bit;
+                ever |= bit;
+                ++run;
+            }
+        }
+        if (run != 0)
+            emitBurst(run, counted, cold, 0);
+        break;
+      }
+    }
+}
+
+void
+Cache::writebackDirty(Frame &frame)
+{
+    if (frame.dirty != 0) {
+        stats_.recordWriteback(
+            static_cast<std::uint32_t>(std::popcount(frame.dirty)) *
+            geom_.wordsPerSubBlock());
+        frame.dirty = 0;
+    }
+}
+
+AccessOutcome
+Cache::access(const MemRef &ref)
+{
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(geom_.setIndex(ref.addr));
+    const Addr block_addr = geom_.blockAddr(ref.addr);
+    const std::uint32_t sub_index = geom_.subBlockIndex(ref.addr);
+    const std::uint32_t sub_bit = 1u << sub_index;
+    const bool is_write = ref.isWrite();
+    const bool counted = !is_write;
+    const bool is_ifetch = ref.isInstruction();
+
+    Frame *base = setBase(set);
+    const int way = findWay(set, block_addr);
+
+    if (way >= 0) {
+        Frame &frame = base[way];
+        repl_.onAccess(set, static_cast<std::uint32_t>(way));
+        frame.touched |= sub_bit;
+        if (frame.valid & sub_bit) {
+            if (frame.prefetched & sub_bit) {
+                stats_.recordUsefulPrefetch();
+                frame.prefetched &= ~sub_bit;
+            }
+            if (counted) {
+                stats_.recordHit(is_ifetch);
+            } else {
+                stats_.recordWrite(true);
+                if (config().write == WritePolicy::CopyBack)
+                    frame.dirty |= sub_bit;
+                else
+                    stats_.recordStoreTraffic(1);
+            }
+            return AccessOutcome::Hit;
+        }
+        // Sub-block miss: tag matches but the word is not resident.
+        const std::uint32_t frame_index =
+            set * geom_.assoc() + static_cast<std::uint32_t>(way);
+        const bool cold = (everFilled_[frame_index] & sub_bit) == 0;
+        if (counted)
+            stats_.recordMiss(is_ifetch, false, cold);
+        else
+            stats_.recordWrite(false);
+        fetchInto(frame, frame_index, sub_index, counted, cold);
+        frame.prefetched &= ~sub_bit;
+        if (is_write) {
+            if (config().write == WritePolicy::CopyBack)
+                frame.dirty |= sub_bit;
+            else
+                stats_.recordStoreTraffic(1);
+        }
+        if (config().fetch == FetchPolicy::PrefetchNextOnMiss)
+            prefetchSequential(ref.addr + config().subBlockSize);
+        return AccessOutcome::SubBlockMiss;
+    }
+
+    // Block miss: allocate a frame.
+    if (is_write && !config().writeAllocate) {
+        stats_.recordWrite(false);
+        stats_.recordStoreTraffic(1);
+        return AccessOutcome::BlockMiss;
+    }
+
+    std::uint32_t victim_way = geom_.assoc();
+    for (std::uint32_t w = 0; w < geom_.assoc(); ++w) {
+        if (!base[w].present) {
+            victim_way = w;
+            break;
+        }
+    }
+    if (victim_way == geom_.assoc())
+        victim_way = repl_.victim(set);
+
+    Frame &frame = base[victim_way];
+    if (frame.present) {
+        stats_.recordResidency(
+            static_cast<std::uint32_t>(std::popcount(frame.touched)));
+        writebackDirty(frame);
+    }
+
+    const std::uint32_t frame_index = set * geom_.assoc() + victim_way;
+    const bool cold = (everFilled_[frame_index] & sub_bit) == 0;
+    if (counted)
+        stats_.recordMiss(is_ifetch, true, cold);
+    else
+        stats_.recordWrite(false);
+
+    frame.present = true;
+    frame.tag = block_addr;
+    frame.valid = 0;
+    frame.touched = sub_bit;
+    frame.dirty = 0;
+    frame.prefetched = 0;
+    repl_.onFill(set, victim_way);
+    fetchInto(frame, frame_index, sub_index, counted, cold);
+    if (is_write) {
+        if (config().write == WritePolicy::CopyBack)
+            frame.dirty |= sub_bit;
+        else
+            stats_.recordStoreTraffic(1);
+    }
+    if (config().fetch == FetchPolicy::PrefetchNextOnMiss)
+        prefetchSequential(ref.addr + config().subBlockSize);
+    return AccessOutcome::BlockMiss;
+}
+
+void
+Cache::prefetchSequential(Addr target)
+{
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(geom_.setIndex(target));
+    const Addr block_addr = geom_.blockAddr(target);
+    const std::uint32_t sub_index = geom_.subBlockIndex(target);
+    const std::uint32_t sub_bit = 1u << sub_index;
+    const std::uint32_t words = geom_.wordsPerSubBlock();
+
+    Frame *base = setBase(set);
+    const int way = findWay(set, block_addr);
+    if (way >= 0) {
+        Frame &frame = base[way];
+        if (frame.valid & sub_bit)
+            return;  // already resident, nothing to move
+        frame.valid |= sub_bit;
+        frame.prefetched |= sub_bit;
+        everFilled_[set * geom_.assoc() +
+                    static_cast<std::uint32_t>(way)] |= sub_bit;
+        stats_.recordPrefetch(words);
+        return;
+    }
+
+    // Allocate a frame for the prefetched block (Smith's sequential
+    // prefetch allocates; this is where pollution can occur).
+    std::uint32_t victim_way = geom_.assoc();
+    for (std::uint32_t w = 0; w < geom_.assoc(); ++w) {
+        if (!base[w].present) {
+            victim_way = w;
+            break;
+        }
+    }
+    if (victim_way == geom_.assoc())
+        victim_way = repl_.victim(set);
+
+    Frame &frame = base[victim_way];
+    if (frame.present) {
+        stats_.recordResidency(
+            static_cast<std::uint32_t>(std::popcount(frame.touched)));
+        writebackDirty(frame);
+    }
+    frame.present = true;
+    frame.tag = block_addr;
+    frame.valid = sub_bit;
+    frame.touched = 0;
+    frame.dirty = 0;
+    frame.prefetched = sub_bit;
+    everFilled_[set * geom_.assoc() + victim_way] |= sub_bit;
+    repl_.onFill(set, victim_way);
+    stats_.recordPrefetch(words);
+}
+
+std::uint64_t
+Cache::run(TraceSource &source, std::uint64_t max_refs)
+{
+    MemRef ref;
+    std::uint64_t count = 0;
+    while ((max_refs == 0 || count < max_refs) && source.next(ref)) {
+        access(ref);
+        ++count;
+    }
+    finalizeResidencies();
+    return count;
+}
+
+void
+Cache::finalizeResidencies()
+{
+    for (Frame &frame : frames_) {
+        if (frame.present && frame.touched != 0) {
+            stats_.recordResidency(static_cast<std::uint32_t>(
+                std::popcount(frame.touched)));
+            // Avoid double counting if called repeatedly.
+            frame.touched = 0;
+        }
+        writebackDirty(frame);
+    }
+}
+
+void
+Cache::flush()
+{
+    ++flushes_;
+    for (Frame &frame : frames_) {
+        if (frame.present && frame.touched != 0) {
+            stats_.recordResidency(static_cast<std::uint32_t>(
+                std::popcount(frame.touched)));
+        }
+        writebackDirty(frame);
+        frame = Frame{};
+    }
+    // Replacement state restarts too; everFilled_ is kept so that
+    // re-fetches after the flush are charged as ordinary (warm)
+    // misses, not cold-start ones.
+    repl_ = ReplacementState(config().replacement, geom_.numSets(),
+                             geom_.assoc(), config().randomSeed);
+}
+
+void
+Cache::reset()
+{
+    for (Frame &frame : frames_)
+        frame = Frame{};
+    for (auto &mask : everFilled_)
+        mask = 0;
+    flushes_ = 0;
+    stats_.reset();
+    repl_ = ReplacementState(config().replacement, geom_.numSets(),
+                             geom_.assoc(), config().randomSeed);
+}
+
+bool
+Cache::isResident(Addr addr) const
+{
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(geom_.setIndex(addr));
+    const int way = findWay(set, geom_.blockAddr(addr));
+    if (way < 0)
+        return false;
+    return (setBase(set)[way].valid &
+            (1u << geom_.subBlockIndex(addr))) != 0;
+}
+
+bool
+Cache::isBlockResident(Addr addr) const
+{
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(geom_.setIndex(addr));
+    return findWay(set, geom_.blockAddr(addr)) >= 0;
+}
+
+std::uint32_t
+Cache::validMask(Addr addr) const
+{
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(geom_.setIndex(addr));
+    const int way = findWay(set, geom_.blockAddr(addr));
+    return way < 0 ? 0 : setBase(set)[way].valid;
+}
+
+} // namespace occsim

@@ -1,0 +1,80 @@
+#include "cache/cache_geometry.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace occsim {
+
+CacheGeometry::CacheGeometry(const CacheConfig &config)
+    : config_(config)
+{
+    const auto &c = config_;
+    if (!isPowerOfTwo(c.netSize) || !isPowerOfTwo(c.blockSize) ||
+        !isPowerOfTwo(c.subBlockSize) || !isPowerOfTwo(c.assoc) ||
+        !isPowerOfTwo(c.wordSize)) {
+        fatal("cache dimensions must be powers of two (%s)",
+              c.fullName().c_str());
+    }
+    if (c.subBlockSize > c.blockSize)
+        fatal("sub-block size %u exceeds block size %u", c.subBlockSize,
+              c.blockSize);
+    if (c.blockSize > c.netSize)
+        fatal("block size %u exceeds net cache size %u", c.blockSize,
+              c.netSize);
+    if (c.wordSize > c.subBlockSize)
+        fatal("word size %u exceeds sub-block size %u", c.wordSize,
+              c.subBlockSize);
+    if (c.addressBits == 0 || c.addressBits > 32)
+        fatal("address bits must be in [1, 32] (got %u)", c.addressBits);
+
+    numBlocks_ = c.netSize / c.blockSize;
+    // Clamp associativity for caches too small to hold a full set.
+    assoc_ = std::min(c.assoc, numBlocks_);
+    occsim_assert(assoc_ >= 1, "no ways after clamping");
+    numSets_ = numBlocks_ / assoc_;
+    subBlocksPerBlock_ = c.blockSize / c.subBlockSize;
+    wordsPerSubBlock_ = c.subBlockSize / c.wordSize;
+    blockBits_ = floorLog2(c.blockSize);
+    subBlockBits_ = floorLog2(c.subBlockSize);
+    blockMask_ = c.blockSize - 1;
+    setMask_ = numSets_ - 1;
+
+    const std::uint32_t offset_bits = blockBits_;
+    if (c.addressBits <= offset_bits)
+        fatal("address space smaller than one block");
+    tagBits_ = c.addressBits - offset_bits;
+
+    if (subBlocksPerBlock_ > 32) {
+        fatal("more than 32 sub-blocks per block (%u) is unsupported",
+              subBlocksPerBlock_);
+    }
+}
+
+std::uint64_t
+CacheGeometry::grossBits() const
+{
+    // Per block: full tag + one valid bit per sub-block + data bits.
+    const std::uint64_t per_block =
+        tagBits_ + subBlocksPerBlock_ +
+        8ull * config_.blockSize;
+    return per_block * numBlocks_;
+}
+
+std::uint64_t
+CacheGeometry::grossBytes() const
+{
+    return (grossBits() + 7) / 8;
+}
+
+std::uint32_t
+CacheGeometry::trueTagBitsPerBlock() const
+{
+    const std::uint32_t index_bits = floorLog2(numSets_);
+    const std::uint32_t offset_bits = blockBits_;
+    if (config_.addressBits <= offset_bits + index_bits)
+        return 0;
+    return config_.addressBits - offset_bits - index_bits;
+}
+
+} // namespace occsim

@@ -1,0 +1,83 @@
+#include "cache/instr_buffer.hh"
+
+#include "stats/stats.hh"
+#include "util/logging.hh"
+
+namespace occsim {
+
+SequentialInstrBuffer::SequentialInstrBuffer(std::uint32_t size_bytes,
+                                             std::uint32_t word_size)
+    : sizeBytes_(size_bytes), wordSize_(word_size)
+{
+    occsim_assert(isPowerOfTwo(size_bytes) && size_bytes >= word_size,
+                  "buffer size must be a power of two >= one word");
+    occsim_assert(word_size == 2 || word_size == 4,
+                  "word size must be 2 or 4");
+}
+
+bool
+SequentialInstrBuffer::fetch(Addr addr)
+{
+    ++fetches_;
+    if (validRun_ && addr == expected_) {
+        // Continuing the run. The buffer has prefetched up to
+        // windowEnd_; extend the window if the consumer caught up.
+        if (addr + wordSize_ > windowEnd_) {
+            wordsFetched_ += (addr + wordSize_ - windowEnd_) / wordSize_;
+            windowEnd_ = addr + wordSize_;
+        }
+        expected_ = addr + wordSize_;
+        ++hits_;
+        return true;
+    }
+
+    // Non-sequential fetch: flush and start a new run, prefetching a
+    // full buffer ahead. The unconsumed tail of the previous run was
+    // already counted when it was prefetched — that is exactly the
+    // wasted traffic a plain buffer incurs.
+    ++flushes_;
+    validRun_ = true;
+    expected_ = addr + wordSize_;
+    windowEnd_ = addr + sizeBytes_;
+    wordsFetched_ += sizeBytes_ / wordSize_;
+    return false;
+}
+
+void
+SequentialInstrBuffer::run(TraceSource &source, std::uint64_t max_refs)
+{
+    MemRef ref;
+    std::uint64_t count = 0;
+    while ((max_refs == 0 || count < max_refs) && source.next(ref)) {
+        ++count;
+        if (ref.isInstruction())
+            fetch(ref.addr);
+    }
+}
+
+double
+SequentialInstrBuffer::hitRatio() const
+{
+    return ratio(hits_, fetches_);
+}
+
+double
+SequentialInstrBuffer::trafficRatio() const
+{
+    return ratio(wordsFetched_, fetches_);
+}
+
+CacheConfig
+makeCrayStyleBuffer(std::uint32_t num_buffers,
+                    std::uint32_t buffer_bytes, std::uint32_t word_size)
+{
+    CacheConfig config;
+    config.netSize = num_buffers * buffer_bytes;
+    config.blockSize = buffer_bytes;
+    config.subBlockSize = buffer_bytes;
+    config.assoc = num_buffers;  // fully associative
+    config.wordSize = word_size;
+    return config;
+}
+
+} // namespace occsim

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Instruction-buffer models from Section 2.2 of the paper.
+ *
+ * An instruction buffer holds one or more blocks of the instruction
+ * address space and feeds the fetch stage. The paper contrasts:
+ *
+ *  - buffers that do NOT recognize branch targets (DEC VAX-11/780 and
+ *    /750 style, eight contiguous bytes): they reduce latency for
+ *    consecutive fetches but "do not reduce the number of bytes
+ *    required from the memory system" — any control transfer flushes;
+ *  - buffers that DO recognize branch targets (CRAY-1 style, four
+ *    buffers of 64 consecutive 16-bit parcels each): these can hold
+ *    entire loops, and behave exactly like a small fully-associative
+ *    instruction cache with block == sub-block == buffer size;
+ *  - the paper's own "minimum cache", which both recognizes targets
+ *    and transfers only one word per miss.
+ *
+ * SequentialInstrBuffer models the first kind; for the second kind
+ * use makeCrayStyleBuffer() which returns the equivalent Cache
+ * configuration, making the comparison explicit in code.
+ */
+
+#ifndef OCCSIM_CACHE_INSTR_BUFFER_HH
+#define OCCSIM_CACHE_INSTR_BUFFER_HH
+
+#include <cstdint>
+
+#include "cache/cache_config.hh"
+#include "trace/trace.hh"
+
+namespace occsim {
+
+/**
+ * A sequential-only instruction buffer: services fetches that
+ * continue the current straight-line run; any non-sequential fetch
+ * (taken branch, call, return) flushes and refills. The buffer
+ * prefetches ahead of the consumed address, so every byte of every
+ * run is transferred from memory whether executed or not.
+ */
+class SequentialInstrBuffer
+{
+  public:
+    /**
+     * @param size_bytes buffer capacity (e.g. 8 for the VAX-11/780).
+     * @param word_size machine word (transfer granule).
+     */
+    SequentialInstrBuffer(std::uint32_t size_bytes,
+                          std::uint32_t word_size);
+
+    /** Feed one instruction fetch. @return true if served from the
+     *  buffer (latency hit). */
+    bool fetch(Addr addr);
+
+    /** Feed a whole trace, considering only its instruction refs. */
+    void run(TraceSource &source, std::uint64_t max_refs = 0);
+
+    std::uint64_t fetches() const { return fetches_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t flushes() const { return flushes_; }
+    /** Fraction of fetches served from the buffer. */
+    double hitRatio() const;
+    /** Words moved from memory (runs are fetched in full). */
+    std::uint64_t wordsFetched() const { return wordsFetched_; }
+    /**
+     * Traffic ratio vs no buffer. Always >= 1: the buffer prefetches
+     * to its end, so words beyond the last consumed one are wasted
+     * whenever a run ends (the paper's point that plain buffers do
+     * not reduce memory bytes).
+     */
+    double trafficRatio() const;
+
+    std::uint32_t sizeBytes() const { return sizeBytes_; }
+
+  private:
+    std::uint32_t sizeBytes_;
+    std::uint32_t wordSize_;
+    bool validRun_ = false;
+    Addr expected_ = 0;      ///< next sequential fetch address
+    Addr windowEnd_ = 0;     ///< exclusive end of prefetched window
+    std::uint64_t fetches_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t flushes_ = 0;
+    std::uint64_t wordsFetched_ = 0;
+};
+
+/**
+ * The CRAY-1-style buffer set as its equivalent cache: @p num_buffers
+ * fully-associative buffers of @p buffer_bytes, LRU-replaced, filled
+ * whole (block == sub-block == buffer). Run it on an
+ * instruction-only stream (KindFilter) to compare against
+ * SequentialInstrBuffer and the minimum cache.
+ */
+CacheConfig makeCrayStyleBuffer(std::uint32_t num_buffers,
+                                std::uint32_t buffer_bytes,
+                                std::uint32_t word_size);
+
+} // namespace occsim
+
+#endif // OCCSIM_CACHE_INSTR_BUFFER_HH

@@ -1,0 +1,80 @@
+#include "cache/remote_pc.hh"
+
+#include "stats/stats.hh"
+#include "util/logging.hh"
+
+namespace occsim {
+
+RemotePc::RemotePc(std::uint32_t table_entries, std::uint32_t word_size)
+    : wordSize_(word_size)
+{
+    occsim_assert(word_size == 2 || word_size == 4,
+                  "word size must be 2 or 4");
+    occsim_assert(table_entries == 0 || isPowerOfTwo(table_entries),
+                  "table size must be zero or a power of two");
+    table_.resize(table_entries);
+    mask_ = table_entries == 0 ? 0 : table_entries - 1;
+}
+
+RemotePc::Entry &
+RemotePc::entryFor(Addr addr)
+{
+    return table_[(addr / wordSize_) & mask_];
+}
+
+void
+RemotePc::fetch(Addr addr)
+{
+    if (havePrev_) {
+        ++predictions_;
+        if (addr == predicted_) {
+            ++correct_;
+        } else if (!table_.empty()) {
+            // Learn: remember that prevAddr_ transferred control to
+            // addr, so the next visit predicts this target.
+            Entry &entry = entryFor(prevAddr_);
+            entry.tag = prevAddr_;
+            entry.target = addr;
+            entry.valid = true;
+        }
+    }
+
+    // Form the next prediction: the remembered target if this address
+    // is a known control transfer, else sequential.
+    Addr next = addr + wordSize_;
+    if (!table_.empty()) {
+        const Entry &entry = entryFor(addr);
+        if (entry.valid && entry.tag == addr)
+            next = entry.target;
+    }
+    predicted_ = next;
+    prevAddr_ = addr;
+    havePrev_ = true;
+}
+
+void
+RemotePc::run(TraceSource &source, std::uint64_t max_refs)
+{
+    MemRef ref;
+    std::uint64_t count = 0;
+    while ((max_refs == 0 || count < max_refs) && source.next(ref)) {
+        ++count;
+        if (ref.isInstruction())
+            fetch(ref.addr);
+    }
+}
+
+double
+RemotePc::accuracy() const
+{
+    return ratio(correct_, predictions_);
+}
+
+double
+RemotePc::relativeAccessTime(double overlapped_fraction) const
+{
+    const double acc = accuracy();
+    return acc * overlapped_fraction + (1.0 - acc) * 1.0;
+}
+
+} // namespace occsim

@@ -1,0 +1,86 @@
+#include "cache/replacement.hh"
+
+#include "util/logging.hh"
+
+namespace occsim {
+
+ReplacementState::ReplacementState(ReplacementPolicy policy,
+                                   std::uint32_t num_sets,
+                                   std::uint32_t assoc,
+                                   std::uint64_t seed)
+    : policy_(policy), numSets_(num_sets), assoc_(assoc), rng_(seed)
+{
+    occsim_assert(num_sets > 0 && assoc > 0,
+                  "replacement needs sets and ways");
+    occsim_assert(assoc <= 255, "associativity > 255 unsupported");
+    order_.resize(static_cast<std::size_t>(num_sets) * assoc);
+    for (std::uint32_t set = 0; set < num_sets; ++set) {
+        std::uint8_t *slice = setOrder(set);
+        for (std::uint32_t way = 0; way < assoc; ++way)
+            slice[way] = static_cast<std::uint8_t>(way);
+    }
+}
+
+std::uint8_t *
+ReplacementState::setOrder(std::uint32_t set)
+{
+    return order_.data() + static_cast<std::size_t>(set) * assoc_;
+}
+
+const std::uint8_t *
+ReplacementState::setOrder(std::uint32_t set) const
+{
+    return order_.data() + static_cast<std::size_t>(set) * assoc_;
+}
+
+void
+ReplacementState::moveToBack(std::uint32_t set, std::uint32_t way)
+{
+    std::uint8_t *slice = setOrder(set);
+    std::uint32_t pos = 0;
+    while (pos < assoc_ && slice[pos] != way)
+        ++pos;
+    occsim_assert(pos < assoc_, "way %u not present in set %u order",
+                  way, set);
+    for (; pos + 1 < assoc_; ++pos)
+        slice[pos] = slice[pos + 1];
+    slice[assoc_ - 1] = static_cast<std::uint8_t>(way);
+}
+
+void
+ReplacementState::onAccess(std::uint32_t set, std::uint32_t way)
+{
+    // Only LRU promotes on reference; FIFO order is fixed at fill
+    // time and Random keeps no state.
+    if (policy_ == ReplacementPolicy::LRU)
+        moveToBack(set, way);
+}
+
+void
+ReplacementState::onFill(std::uint32_t set, std::uint32_t way)
+{
+    if (policy_ == ReplacementPolicy::LRU ||
+        policy_ == ReplacementPolicy::FIFO) {
+        moveToBack(set, way);
+    }
+}
+
+std::uint32_t
+ReplacementState::victim(std::uint32_t set)
+{
+    if (policy_ == ReplacementPolicy::Random)
+        return static_cast<std::uint32_t>(rng_.below(assoc_));
+    return setOrder(set)[0];
+}
+
+std::vector<std::uint32_t>
+ReplacementState::evictionOrder(std::uint32_t set) const
+{
+    const std::uint8_t *slice = setOrder(set);
+    std::vector<std::uint32_t> order(assoc_);
+    for (std::uint32_t i = 0; i < assoc_; ++i)
+        order[i] = slice[i];
+    return order;
+}
+
+} // namespace occsim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Replacement policies for set-associative caches.
+ *
+ * The paper runs everything with LRU (citing Mattson et al.'s
+ * efficient-simulation argument and Strecker's observation that LRU,
+ * FIFO and RANDOM perform comparably); FIFO and Random are provided so
+ * that observation can be reproduced as an ablation.
+ *
+ * One ReplacementState instance manages every set of one cache. Ways
+ * within a set are tracked in an eviction-order list: position 0 is
+ * the next victim, the last position the most protected.
+ */
+
+#ifndef OCCSIM_CACHE_REPLACEMENT_HH
+#define OCCSIM_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_config.hh"
+#include "util/random.hh"
+
+namespace occsim {
+
+/** Per-cache replacement bookkeeping. */
+class ReplacementState
+{
+  public:
+    ReplacementState(ReplacementPolicy policy, std::uint32_t num_sets,
+                     std::uint32_t assoc, std::uint64_t seed = 1);
+
+    /** A resident way was referenced (hit or sub-block miss). */
+    void onAccess(std::uint32_t set, std::uint32_t way);
+
+    /** A way was (re)filled with a new block. */
+    void onFill(std::uint32_t set, std::uint32_t way);
+
+    /** @return the way to evict from @p set. */
+    std::uint32_t victim(std::uint32_t set);
+
+    /**
+     * @return the ways of @p set ordered from next-victim to most
+     * protected (meaningful for LRU/FIFO; arbitrary for Random).
+     */
+    std::vector<std::uint32_t> evictionOrder(std::uint32_t set) const;
+
+    ReplacementPolicy policy() const { return policy_; }
+
+  private:
+    std::uint8_t *setOrder(std::uint32_t set);
+    const std::uint8_t *setOrder(std::uint32_t set) const;
+    void moveToBack(std::uint32_t set, std::uint32_t way);
+
+    ReplacementPolicy policy_;
+    std::uint32_t numSets_;
+    std::uint32_t assoc_;
+    /** numSets * assoc way ids, each set a contiguous slice. */
+    std::vector<std::uint8_t> order_;
+    Rng rng_;
+};
+
+} // namespace occsim
+
+#endif // OCCSIM_CACHE_REPLACEMENT_HH

@@ -1,0 +1,21 @@
+#include "cache/sector_cache.hh"
+
+namespace occsim {
+
+std::vector<CacheConfig>
+table6Comparators(std::uint32_t word_size)
+{
+    std::vector<CacheConfig> configs;
+    for (std::uint32_t assoc : {4u, 8u, 16u}) {
+        CacheConfig config;
+        config.netSize = 16 * 1024;
+        config.blockSize = 64;
+        config.subBlockSize = 64;
+        config.assoc = assoc;
+        config.wordSize = word_size;
+        configs.push_back(config);
+    }
+    return configs;
+}
+
+} // namespace occsim

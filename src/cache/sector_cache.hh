@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The IBM System/360 Model 85 sector cache (Liptay 1968), the first
+ * cache memory, and the paper's Table 6 comparison against modern
+ * set-associative organizations.
+ *
+ * The Model 85 organization: 16 KB of data in 16 fully-associative
+ * 1024-byte blocks ("sectors"), transferred in 64-byte sub-blocks,
+ * LRU replacement, demand fetch of the missing sub-block. In occsim
+ * this is exactly a Cache with that geometry; this wrapper packages
+ * the historical configuration and the comparison set.
+ */
+
+#ifndef OCCSIM_CACHE_SECTOR_CACHE_HH
+#define OCCSIM_CACHE_SECTOR_CACHE_HH
+
+#include <vector>
+
+#include "cache/cache.hh"
+
+namespace occsim {
+
+/** Convenience wrapper: a 360/85-configured Cache. */
+class SectorCache360Model85 : public Cache
+{
+  public:
+    explicit SectorCache360Model85(std::uint32_t word_size = 4)
+        : Cache(make360Model85Config(word_size))
+    {
+    }
+};
+
+/**
+ * Table 6's comparison set: 16 KB caches with 64-byte blocks
+ * (sub-block == block) at 4-, 8- and 16-way associativity, LRU.
+ */
+std::vector<CacheConfig>
+table6Comparators(std::uint32_t word_size = 4);
+
+} // namespace occsim
+
+#endif // OCCSIM_CACHE_SECTOR_CACHE_HH

@@ -1,0 +1,99 @@
+#include "cache/split_cache.hh"
+
+#include "stats/stats.hh"
+#include "util/logging.hh"
+
+namespace occsim {
+
+SplitCache::SplitCache(const CacheConfig &icache_config,
+                       const CacheConfig &dcache_config)
+    : icache_(icache_config), dcache_(dcache_config)
+{
+    occsim_assert(icache_config.wordSize == dcache_config.wordSize,
+                  "split halves must agree on word size");
+}
+
+AccessOutcome
+SplitCache::access(const MemRef &ref)
+{
+    return ref.isInstruction() ? icache_.access(ref)
+                               : dcache_.access(ref);
+}
+
+std::uint64_t
+SplitCache::run(TraceSource &source, std::uint64_t max_refs)
+{
+    MemRef ref;
+    std::uint64_t count = 0;
+    while ((max_refs == 0 || count < max_refs) && source.next(ref)) {
+        access(ref);
+        ++count;
+    }
+    finalizeResidencies();
+    return count;
+}
+
+void
+SplitCache::finalizeResidencies()
+{
+    icache_.finalizeResidencies();
+    dcache_.finalizeResidencies();
+}
+
+void
+SplitCache::reset()
+{
+    icache_.reset();
+    dcache_.reset();
+}
+
+std::uint32_t
+SplitCache::netSize() const
+{
+    return icache_.config().netSize + dcache_.config().netSize;
+}
+
+std::uint64_t
+SplitCache::grossBytes() const
+{
+    return icache_.geometry().grossBytes() +
+           dcache_.geometry().grossBytes();
+}
+
+std::uint64_t
+SplitCache::accesses() const
+{
+    return icache_.stats().accesses() + dcache_.stats().accesses();
+}
+
+std::uint64_t
+SplitCache::misses() const
+{
+    return icache_.stats().misses() + dcache_.stats().misses();
+}
+
+double
+SplitCache::missRatio() const
+{
+    return ratio(misses(), accesses());
+}
+
+double
+SplitCache::trafficRatio() const
+{
+    return ratio(icache_.stats().wordsFetched() +
+                     dcache_.stats().wordsFetched(),
+                 accesses());
+}
+
+SplitCache
+makeEvenSplit(const CacheConfig &mixed_config)
+{
+    occsim_assert(mixed_config.netSize >= 2 * mixed_config.blockSize,
+                  "mixed cache too small to split");
+    CacheConfig half = mixed_config;
+    half.netSize = mixed_config.netSize / 2;
+    return SplitCache(half, half);
+}
+
+} // namespace occsim

@@ -1,0 +1,78 @@
+#include "harness/experiment.hh"
+
+#include <ostream>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace occsim {
+
+namespace {
+
+std::vector<CacheConfig>
+gridImpl(std::uint32_t net_size, std::uint32_t word_size,
+         bool table7_rules)
+{
+    std::vector<CacheConfig> configs;
+    for (std::uint32_t block = 2; block <= 64; block *= 2) {
+        if (block > net_size)
+            break;
+        for (std::uint32_t sub = word_size; sub <= block && sub <= 32;
+             sub *= 2) {
+            if (sub < 2)
+                continue;
+            if (table7_rules && block == 64 && sub > 16)
+                continue;
+            configs.push_back(
+                makeConfig(net_size, block, sub, word_size));
+        }
+    }
+    return configs;
+}
+
+} // namespace
+
+std::vector<CacheConfig>
+paperGrid(std::uint32_t net_size, std::uint32_t word_size)
+{
+    return gridImpl(net_size, word_size, false);
+}
+
+std::vector<CacheConfig>
+table7Grid(std::uint32_t net_size, std::uint32_t word_size)
+{
+    return gridImpl(net_size, word_size, true);
+}
+
+SuiteRun
+runSuite(const Suite &suite, const std::vector<CacheConfig> &configs,
+         std::uint64_t trace_len)
+{
+    occsim_assert(!suite.traces.empty(), "empty suite");
+    SuiteRun run;
+    for (const WorkloadSpec &spec : suite.traces) {
+        VectorTrace trace = buildTrace(spec, trace_len);
+        SweepRunner runner(configs);
+        runner.run(trace);
+        run.traceNames.push_back(spec.name);
+        run.perTrace.push_back(runner.results());
+    }
+    run.average = averageResults(run.perTrace);
+    return run;
+}
+
+std::string
+fmtRatio(double value)
+{
+    return strfmt("%.4f", value);
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << "==== " << title << " ====\n";
+    os << "trace length: " << defaultTraceLength()
+       << " references per trace (set OCCSIM_TRACE_LEN to change)\n\n";
+}
+
+} // namespace occsim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Drivers that regenerate the paper's figures. Each figure is a
+ * miss-ratio versus traffic-ratio scatter with curves of constant
+ * block size (varying sub-block) and constant sub-block size (varying
+ * block); the drivers print the underlying series as rows
+ * (net, block, sub, miss, traffic) grouped by curve, ready to plot.
+ *
+ *  - Figures 1/2:  PDP-11, net 32/128/512 and 64/256/1024 bytes.
+ *  - Figures 3/4:  Z8000, same nets.
+ *  - Figure 5:     VAX-11, net 64/256/1024 bytes.
+ *  - Figure 6:     System/370, net 64/256/1024 bytes.
+ *  - Figures 7/8:  PDP-11 with nibble-mode scaled traffic
+ *                  (cost 1 + (w-1)/3 for w sequential words).
+ *  - Figure 9:     load-forward, Z8000 compiler traces, net 64/256
+ *                  bytes, including the Z80,000 design point
+ *                  (16-byte blocks, 2-byte sub-blocks, LF).
+ *  - RISC II (Section 2.3): instruction-only direct-mapped cache,
+ *    512..4096 bytes, 8-byte blocks.
+ */
+
+#ifndef OCCSIM_HARNESS_FIGURES_HH
+#define OCCSIM_HARNESS_FIGURES_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace occsim {
+
+/**
+ * Generic figure driver: run @p arch_index's suite over the paper
+ * grid at @p net_sizes and print (net, block, sub, miss, traffic)
+ * rows; when @p nibble is true the traffic column is the nibble-mode
+ * scaled traffic ratio.
+ */
+void runMissTrafficFigure(std::ostream &os, int arch_index,
+                          const std::vector<std::uint32_t> &net_sizes,
+                          bool nibble);
+
+void runFigure1(std::ostream &os);  ///< PDP-11, 32/128/512
+void runFigure2(std::ostream &os);  ///< PDP-11, 64/256/1024
+void runFigure3(std::ostream &os);  ///< Z8000, 32/128/512
+void runFigure4(std::ostream &os);  ///< Z8000, 64/256/1024
+void runFigure5(std::ostream &os);  ///< VAX-11, 64/256/1024
+void runFigure6(std::ostream &os);  ///< System/370, 64/256/1024
+void runFigure7(std::ostream &os);  ///< PDP-11 nibble, 32/128/512
+void runFigure8(std::ostream &os);  ///< PDP-11 nibble, 64/256/1024
+void runFigure9(std::ostream &os);  ///< load-forward, 64/256
+
+/** Section 2.3: RISC II-style instruction cache size curve. */
+void runRiscII(std::ostream &os);
+
+} // namespace occsim
+
+#endif // OCCSIM_HARNESS_FIGURES_HH

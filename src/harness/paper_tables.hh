@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Drivers that regenerate the paper's numbered tables.
+ *
+ *  - Table 6: the IBM System/360 Model 85 sector cache versus 4-,
+ *    8- and 16-way set-associative 16 KB caches with 64-byte blocks,
+ *    plus the "sub-blocks never referenced per residency" figure.
+ *  - Table 7: miss / traffic / nibble-mode traffic ratios for net
+ *    sizes 64, 256 and 1024 bytes over the block/sub-block grid, for
+ *    all four architectures (unweighted average over each suite).
+ *  - Table 8: load-forward on the Z8000 compiler traces at 64 and
+ *    256 bytes net.
+ *
+ * Each driver prints an aligned table whose rows correspond one to
+ * one with the paper's (see EXPERIMENTS.md for the comparison).
+ */
+
+#ifndef OCCSIM_HARNESS_PAPER_TABLES_HH
+#define OCCSIM_HARNESS_PAPER_TABLES_HH
+
+#include <iosfwd>
+
+namespace occsim {
+
+/** Regenerate Table 6 (360/85 sector cache vs set-associative). */
+void runTable6(std::ostream &os);
+
+/** Regenerate Table 7 for one architecture (all of the paper's net
+ *  sizes 64/256/1024 and block/sub-block combinations). */
+void runTable7Arch(std::ostream &os, int arch_index);
+
+/** Regenerate the full Table 7 (all four architectures). */
+void runTable7(std::ostream &os);
+
+/** Regenerate Table 8 (load-forward, Z8000 compiler traces). */
+void runTable8(std::ostream &os);
+
+} // namespace occsim
+
+#endif // OCCSIM_HARNESS_PAPER_TABLES_HH

@@ -1,0 +1,43 @@
+#include "mem/access_time.hh"
+
+#include "util/logging.hh"
+
+namespace occsim {
+
+double
+effectiveAccessTime(const AccessTimeParams &params, double m,
+                    std::uint32_t burst_words)
+{
+    occsim_assert(m >= 0.0 && m <= 1.0, "miss ratio out of range");
+    occsim_assert(burst_words > 0, "empty burst");
+    const double t_mem =
+        params.tMemFirst +
+        params.tMemNext * static_cast<double>(burst_words - 1);
+    return params.tCache * (1.0 - m) + t_mem * m;
+}
+
+double
+busWaitFactor(double utilization)
+{
+    occsim_assert(utilization >= 0.0, "negative utilization");
+    if (utilization >= 1.0)
+        fatal("bus utilization %.3f saturates the bus", utilization);
+    return 1.0 / (1.0 - utilization);
+}
+
+double
+maxBusProcessors(double traffic_ratio, double t_processor,
+                 double t_bus_word)
+{
+    occsim_assert(t_processor > 0.0 && t_bus_word > 0.0,
+                  "times must be positive");
+    if (traffic_ratio <= 0.0)
+        return 1e9;  // a perfect cache never uses the bus
+    // Bus occupancy per processor per ns:
+    //   (traffic_ratio words/ref) * (1 ref / t_processor ns)
+    //   * (t_bus_word ns/word)
+    const double occupancy = traffic_ratio * t_bus_word / t_processor;
+    return 1.0 / occupancy;
+}
+
+} // namespace occsim

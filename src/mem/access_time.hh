@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The effective-access-time model of Section 3.2:
+ *
+ *     t_eff = t_cache * (1 - m) + t_mem * m
+ *
+ * where m is the miss ratio. The paper stresses that t_cache and
+ * t_mem are implementation quantities the architectural study cannot
+ * produce — so occsim keeps them as explicit parameters and provides
+ * this model for system-level what-if analysis on top of simulated
+ * miss ratios (see the system_designer example), including the
+ * paper's observation that the relative importance of miss and
+ * traffic ratio depends on the ratio of cache and memory access
+ * times.
+ */
+
+#ifndef OCCSIM_MEM_ACCESS_TIME_HH
+#define OCCSIM_MEM_ACCESS_TIME_HH
+
+#include <cstdint>
+
+#include "mem/bus_model.hh"
+
+namespace occsim {
+
+/** Technology parameters for the access-time model. */
+struct AccessTimeParams
+{
+    double tCache = 100.0;     ///< cache hit time (ns)
+    double tMemFirst = 500.0;  ///< first word from memory (ns)
+    double tMemNext = 500.0;   ///< each subsequent burst word (ns);
+                               ///  equal to tMemFirst for a plain bus,
+                               ///  smaller for nibble/page mode
+};
+
+/** Effective access time for miss ratio @p m and a @p burst_words
+ *  transfer per miss. */
+double effectiveAccessTime(const AccessTimeParams &params, double m,
+                           std::uint32_t burst_words);
+
+/**
+ * M/M/1-style bus waiting factor: the mean time a request spends in
+ * the bus system relative to its service time, 1 / (1 - utilization).
+ * The paper points at "the contention between the processor, which
+ * wants to use the cache, and the bus which is loading and unloading
+ * it"; this is the standard first-order model of that contention.
+ * Calls fatal() (user error) for utilization >= 1.
+ */
+double busWaitFactor(double utilization);
+
+/**
+ * Highest number of processors a shared bus can support before the
+ * bus saturates, for a given traffic ratio: each processor issues one
+ * reference per processor cycle of @p t_processor ns, each moved word
+ * occupies the bus for @p t_bus_word ns, and a cache cuts the words
+ * per reference to the traffic ratio. The paper motivates the traffic
+ * ratio with exactly this multiprocessor-bus scenario.
+ */
+double maxBusProcessors(double traffic_ratio, double t_processor,
+                        double t_bus_word);
+
+} // namespace occsim
+
+#endif // OCCSIM_MEM_ACCESS_TIME_HH

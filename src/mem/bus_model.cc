@@ -1,0 +1,87 @@
+#include "mem/bus_model.hh"
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace occsim {
+
+double
+BusModel::perWordCost(std::uint64_t words) const
+{
+    occsim_assert(words > 0, "burst of zero words");
+    return burstCost(words) / static_cast<double>(words);
+}
+
+double
+BusModel::scaleFactor(std::uint64_t words) const
+{
+    return perWordCost(words);
+}
+
+double
+LinearBus::burstCost(std::uint64_t words) const
+{
+    return static_cast<double>(words);
+}
+
+NibbleModeBus::NibbleModeBus(double ratio)
+    : ratio_(ratio)
+{
+    occsim_assert(ratio_ >= 1.0,
+                  "nibble-mode ratio must be >= 1 (got %f)", ratio_);
+}
+
+double
+NibbleModeBus::burstCost(std::uint64_t words) const
+{
+    occsim_assert(words > 0, "burst of zero words");
+    return 1.0 + static_cast<double>(words - 1) / ratio_;
+}
+
+std::string
+NibbleModeBus::name() const
+{
+    return strfmt("nibble(r=%.1f)", ratio_);
+}
+
+TransactionalBus::TransactionalBus(double a, double b)
+    : a_(a), b_(b)
+{
+    occsim_assert(a_ >= 0.0 && b_ > 0.0,
+                  "transactional bus needs a >= 0, b > 0");
+}
+
+double
+TransactionalBus::burstCost(std::uint64_t words) const
+{
+    return a_ + b_ * static_cast<double>(words);
+}
+
+std::string
+TransactionalBus::name() const
+{
+    return strfmt("transactional(a=%.2f,b=%.2f)", a_, b_);
+}
+
+TrafficAccount::TrafficAccount(const BusModel &model)
+    : model_(model)
+{
+}
+
+void
+TrafficAccount::addBurst(std::uint64_t words)
+{
+    words_ += words;
+    cost_ += model_.burstCost(words);
+    ++bursts_;
+}
+
+void
+TrafficAccount::reset()
+{
+    words_ = 0;
+    bursts_ = 0;
+    cost_ = 0.0;
+}
+
+} // namespace occsim

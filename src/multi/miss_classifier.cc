@@ -1,0 +1,79 @@
+#include "multi/miss_classifier.hh"
+
+#include <algorithm>
+
+#include "stats/stats.hh"
+#include "util/logging.hh"
+
+namespace occsim {
+
+double
+MissBreakdown::missRatio() const
+{
+    return ratio(misses, refs);
+}
+
+double
+MissBreakdown::conflictShare() const
+{
+    return ratio(conflict, misses);
+}
+
+MissClassifier::MissClassifier(const CacheConfig &config)
+    : cache_(config),
+      shadowCapacity_(config.netSize / config.blockSize),
+      blockBits_(floorLog2(config.blockSize))
+{
+    occsim_assert(config.subBlockSize == config.blockSize,
+                  "classification requires sub-block == block");
+    occsim_assert(config.replacement == ReplacementPolicy::LRU,
+                  "classification requires LRU");
+    shadow_.reserve(shadowCapacity_);
+    everSeen_.reserve(1 << 14);
+}
+
+void
+MissClassifier::process(Addr addr)
+{
+    ++breakdown_.refs;
+    const Addr block = addr >> blockBits_;
+
+    // Fully-associative shadow: find, and note whether it hit.
+    bool shadow_hit = false;
+    for (std::size_t i = shadow_.size(); i-- > 0;) {
+        if (shadow_[i] == block) {
+            shadow_.erase(shadow_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+            shadow_hit = true;
+            break;
+        }
+    }
+    shadow_.push_back(block);
+    if (shadow_.size() > shadowCapacity_)
+        shadow_.erase(shadow_.begin());
+
+    // The cache under study (placement-only: treat as a read).
+    const AccessOutcome outcome =
+        cache_.access(MemRef{addr, RefKind::DataRead,
+                             static_cast<std::uint8_t>(
+                                 cache_.config().wordSize)});
+    if (outcome == AccessOutcome::Hit)
+        return;
+
+    ++breakdown_.misses;
+    if (everSeen_.insert(block).second)
+        ++breakdown_.compulsory;
+    else if (!shadow_hit)
+        ++breakdown_.capacity;
+    else
+        ++breakdown_.conflict;
+}
+
+void
+MissClassifier::processTrace(const VectorTrace &trace)
+{
+    for (const MemRef &ref : trace.refs())
+        process(ref.addr);
+}
+
+} // namespace occsim

@@ -1,0 +1,140 @@
+#include "multi/stack_analyzer.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace occsim {
+
+namespace {
+
+/**
+ * Core stack update shared by both analyzers: find @p block in
+ * @p stack (most recent at the back), remove it, push it to the back,
+ * and return its 1-based distance from the top, or 0 if absent.
+ */
+std::uint32_t
+touchStack(std::vector<Addr> &stack, Addr block, std::uint32_t max_depth)
+{
+    // Search from the top (back) since locality makes small distances
+    // overwhelmingly common.
+    for (std::size_t i = stack.size(); i-- > 0;) {
+        if (stack[i] == block) {
+            const std::uint32_t distance =
+                static_cast<std::uint32_t>(stack.size() - i);
+            stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(i));
+            stack.push_back(block);
+            return distance;
+        }
+    }
+    stack.push_back(block);
+    if (stack.size() > max_depth)
+        stack.erase(stack.begin());
+    return 0;
+}
+
+} // namespace
+
+StackAnalyzer::StackAnalyzer(std::uint32_t block_size,
+                             std::uint32_t max_depth)
+    : blockBits_(floorLog2(block_size)), maxDepth_(max_depth),
+      distanceHist_(max_depth + 1, 0)
+{
+    occsim_assert(isPowerOfTwo(block_size),
+                  "block size must be a power of two");
+    occsim_assert(max_depth > 0, "max depth must be positive");
+    stack_.reserve(max_depth + 1);
+}
+
+void
+StackAnalyzer::process(Addr addr)
+{
+    ++refs_;
+    const Addr block = addr >> blockBits_;
+    const std::uint32_t distance = touchStack(stack_, block, maxDepth_);
+    if (distance == 0) {
+        // Never seen within the retained depth. Distinguishing true
+        // compulsory misses from beyond-depth reuse is unnecessary:
+        // both miss in every capacity we can answer for.
+        ++distinct_;
+    } else if (distance <= maxDepth_) {
+        ++distanceHist_[distance];
+    } else {
+        ++overflow_;
+    }
+}
+
+void
+StackAnalyzer::processTrace(const VectorTrace &trace)
+{
+    for (const MemRef &ref : trace.refs())
+        process(ref.addr);
+}
+
+double
+StackAnalyzer::missRatioForCapacity(std::uint32_t capacity_blocks) const
+{
+    occsim_assert(capacity_blocks > 0, "capacity must be positive");
+    occsim_assert(capacity_blocks <= maxDepth_,
+                  "capacity %u exceeds analyzer depth %u",
+                  capacity_blocks, maxDepth_);
+    if (refs_ == 0)
+        return 0.0;
+    std::uint64_t hits = 0;
+    const std::uint32_t limit =
+        std::min<std::uint32_t>(capacity_blocks,
+                                static_cast<std::uint32_t>(
+                                    distanceHist_.size() - 1));
+    for (std::uint32_t d = 1; d <= limit; ++d)
+        hits += distanceHist_[d];
+    return 1.0 - static_cast<double>(hits) / static_cast<double>(refs_);
+}
+
+SetStackAnalyzer::SetStackAnalyzer(std::uint32_t block_size,
+                                   std::uint32_t num_sets,
+                                   std::uint32_t max_depth)
+    : blockBits_(floorLog2(block_size)), numSets_(num_sets),
+      maxDepth_(max_depth), stacks_(num_sets),
+      distanceHist_(max_depth + 1, 0)
+{
+    occsim_assert(isPowerOfTwo(block_size),
+                  "block size must be a power of two");
+    occsim_assert(isPowerOfTwo(num_sets),
+                  "set count must be a power of two");
+}
+
+void
+SetStackAnalyzer::process(Addr addr)
+{
+    ++refs_;
+    const Addr block = addr >> blockBits_;
+    const std::uint32_t set = block & (numSets_ - 1);
+    const std::uint32_t distance =
+        touchStack(stacks_[set], block, maxDepth_);
+    if (distance == 0 || distance > maxDepth_)
+        ++missesBeyondDepth_;
+    else
+        ++distanceHist_[distance];
+}
+
+void
+SetStackAnalyzer::processTrace(const VectorTrace &trace)
+{
+    for (const MemRef &ref : trace.refs())
+        process(ref.addr);
+}
+
+double
+SetStackAnalyzer::missRatioForAssoc(std::uint32_t assoc) const
+{
+    occsim_assert(assoc > 0 && assoc <= maxDepth_,
+                  "associativity %u outside analyzer depth", assoc);
+    if (refs_ == 0)
+        return 0.0;
+    std::uint64_t hits = 0;
+    for (std::uint32_t d = 1; d <= assoc; ++d)
+        hits += distanceHist_[d];
+    return 1.0 - static_cast<double>(hits) / static_cast<double>(refs_);
+}
+
+} // namespace occsim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Mattson LRU stack-distance analysis (Mattson, Gecsei, Slutz &
+ * Traiger 1970, the paper's reference [16] and its stated reason for
+ * choosing LRU: "LRU permits more efficient simulation").
+ *
+ * One pass over a trace yields the miss ratio of *every* capacity at
+ * once, for a fixed block size:
+ *
+ *  - StackAnalyzer: fully-associative LRU. The stack distance of a
+ *    reference is the number of distinct blocks referenced since the
+ *    last touch of its block; a cache of C blocks misses exactly the
+ *    references with distance > C (inclusion property).
+ *  - SetStackAnalyzer: per-set stacks for a fixed set count; yields
+ *    the miss ratio of every associativity at once.
+ *
+ * These analyzers double as an independent oracle for the Cache model
+ * (with sub-block == block their predictions must match direct
+ * simulation exactly), which the test suite exploits.
+ */
+
+#ifndef OCCSIM_MULTI_STACK_ANALYZER_HH
+#define OCCSIM_MULTI_STACK_ANALYZER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "util/bitops.hh"
+
+namespace occsim {
+
+/** Fully-associative LRU stack-distance profiler. */
+class StackAnalyzer
+{
+  public:
+    /**
+     * @param block_size block size in bytes (power of two).
+     * @param max_depth stack depths beyond this count as infinite;
+     *        bounds the per-reference search cost.
+     */
+    explicit StackAnalyzer(std::uint32_t block_size,
+                           std::uint32_t max_depth = 4096);
+
+    /** Record one reference. */
+    void process(Addr addr);
+
+    /** Process all references of @p trace. */
+    void processTrace(const VectorTrace &trace);
+
+    std::uint64_t refs() const { return refs_; }
+
+    /** Number of distinct blocks seen (compulsory misses). */
+    std::uint64_t distinctBlocks() const { return distinct_; }
+
+    /**
+     * Miss ratio of a fully-associative LRU cache holding
+     * @p capacity_blocks blocks (demand fetch, cold start).
+     */
+    double missRatioForCapacity(std::uint32_t capacity_blocks) const;
+
+    /** Raw histogram: hist[d] = refs with stack distance d (d >= 1);
+     *  hist[0] unused. */
+    const std::vector<std::uint64_t> &distanceHistogram() const
+    {
+        return distanceHist_;
+    }
+
+    /** References whose distance exceeded max_depth. */
+    std::uint64_t overflowRefs() const { return overflow_; }
+
+  private:
+    std::uint32_t blockBits_;
+    std::uint32_t maxDepth_;
+    std::vector<Addr> stack_;  ///< most recent at the back
+    std::vector<std::uint64_t> distanceHist_;
+    std::uint64_t refs_ = 0;
+    std::uint64_t distinct_ = 0;
+    std::uint64_t overflow_ = 0;
+};
+
+/** Per-set LRU stack profiler: all associativities at fixed sets. */
+class SetStackAnalyzer
+{
+  public:
+    SetStackAnalyzer(std::uint32_t block_size, std::uint32_t num_sets,
+                     std::uint32_t max_depth = 256);
+
+    void process(Addr addr);
+    void processTrace(const VectorTrace &trace);
+
+    std::uint64_t refs() const { return refs_; }
+
+    /** Miss ratio of an LRU set-associative cache with this block
+     *  size, this set count, and associativity @p assoc. */
+    double missRatioForAssoc(std::uint32_t assoc) const;
+
+  private:
+    std::uint32_t blockBits_;
+    std::uint32_t numSets_;
+    std::uint32_t maxDepth_;
+    std::vector<std::vector<Addr>> stacks_;
+    std::vector<std::uint64_t> distanceHist_;
+    std::uint64_t refs_ = 0;
+    std::uint64_t missesBeyondDepth_ = 0;
+};
+
+} // namespace occsim
+
+#endif // OCCSIM_MULTI_STACK_ANALYZER_HH

@@ -1,0 +1,111 @@
+#include "multi/sweep_runner.hh"
+
+#include "util/logging.hh"
+
+namespace occsim {
+
+namespace {
+
+SweepResult
+summarize(const Cache &cache)
+{
+    static const NibbleModeBus nibble;
+    const CacheStats &stats = cache.stats();
+    SweepResult result;
+    result.config = cache.config();
+    result.grossBytes = cache.geometry().grossBytes();
+    result.missRatio = stats.missRatio();
+    result.warmMissRatio = stats.warmMissRatio();
+    result.trafficRatio = stats.trafficRatio();
+    result.warmTrafficRatio = stats.warmTrafficRatio();
+    result.nibbleTrafficRatio = stats.scaledTrafficRatio(nibble);
+    result.warmNibbleTrafficRatio =
+        stats.warmScaledTrafficRatio(nibble);
+    return result;
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(const std::vector<CacheConfig> &configs)
+{
+    occsim_assert(!configs.empty(), "sweep needs at least one config");
+    caches_.reserve(configs.size());
+    for (const CacheConfig &config : configs)
+        caches_.push_back(std::make_unique<Cache>(config));
+}
+
+std::uint64_t
+SweepRunner::run(TraceSource &source, std::uint64_t max_refs)
+{
+    MemRef ref;
+    std::uint64_t count = 0;
+    while ((max_refs == 0 || count < max_refs) && source.next(ref)) {
+        for (auto &cache : caches_)
+            cache->access(ref);
+        ++count;
+    }
+    for (auto &cache : caches_)
+        cache->finalizeResidencies();
+    return count;
+}
+
+std::vector<SweepResult>
+SweepRunner::results() const
+{
+    std::vector<SweepResult> out;
+    out.reserve(caches_.size());
+    for (const auto &cache : caches_)
+        out.push_back(summarize(*cache));
+    return out;
+}
+
+SweepResult
+runSingle(const CacheConfig &config, TraceSource &source,
+          std::uint64_t max_refs)
+{
+    Cache cache(config);
+    cache.run(source, max_refs);
+    return summarize(cache);
+}
+
+std::vector<SweepResult>
+averageResults(const std::vector<std::vector<SweepResult>> &runs)
+{
+    occsim_assert(!runs.empty(), "no runs to average");
+    const std::size_t num_configs = runs.front().size();
+    for (const auto &run : runs) {
+        occsim_assert(run.size() == num_configs,
+                      "runs cover different config counts");
+    }
+
+    std::vector<SweepResult> averaged = runs.front();
+    const double n = static_cast<double>(runs.size());
+    for (std::size_t c = 0; c < num_configs; ++c) {
+        SweepResult &out = averaged[c];
+        out.missRatio = 0.0;
+        out.warmMissRatio = 0.0;
+        out.trafficRatio = 0.0;
+        out.warmTrafficRatio = 0.0;
+        out.nibbleTrafficRatio = 0.0;
+        out.warmNibbleTrafficRatio = 0.0;
+        for (const auto &run : runs) {
+            occsim_assert(run[c].config == out.config,
+                          "config order differs between runs");
+            out.missRatio += run[c].missRatio;
+            out.warmMissRatio += run[c].warmMissRatio;
+            out.trafficRatio += run[c].trafficRatio;
+            out.warmTrafficRatio += run[c].warmTrafficRatio;
+            out.nibbleTrafficRatio += run[c].nibbleTrafficRatio;
+            out.warmNibbleTrafficRatio += run[c].warmNibbleTrafficRatio;
+        }
+        out.missRatio /= n;
+        out.warmMissRatio /= n;
+        out.trafficRatio /= n;
+        out.warmTrafficRatio /= n;
+        out.nibbleTrafficRatio /= n;
+        out.warmNibbleTrafficRatio /= n;
+    }
+    return averaged;
+}
+
+} // namespace occsim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Single-pass multi-configuration simulation.
+ *
+ * The paper's tables evaluate dozens of cache design points per trace;
+ * re-reading (or regenerating) the trace for each one is wasteful, so
+ * SweepRunner instantiates every configuration up front and feeds each
+ * reference to all of them in one pass over the trace.
+ */
+
+#ifndef OCCSIM_MULTI_SWEEP_RUNNER_HH
+#define OCCSIM_MULTI_SWEEP_RUNNER_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "trace/trace.hh"
+
+namespace occsim {
+
+/** Result of one configuration within a sweep. */
+struct SweepResult
+{
+    CacheConfig config;
+    std::uint64_t grossBytes = 0;
+    double missRatio = 0.0;
+    double warmMissRatio = 0.0;
+    double trafficRatio = 0.0;
+    double warmTrafficRatio = 0.0;
+    double nibbleTrafficRatio = 0.0;
+    double warmNibbleTrafficRatio = 0.0;
+};
+
+/** Runs many cache configurations over one trace pass. */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(const std::vector<CacheConfig> &configs);
+
+    /** Feed up to @p maxRefs references (0 = all) to every cache.
+     *  @return references consumed. */
+    std::uint64_t run(TraceSource &source, std::uint64_t max_refs = 0);
+
+    std::size_t size() const { return caches_.size(); }
+    const Cache &cache(std::size_t i) const { return *caches_[i]; }
+    Cache &cache(std::size_t i) { return *caches_[i]; }
+
+    /** Summaries (includes nibble-mode pricing at ratio 3). */
+    std::vector<SweepResult> results() const;
+
+  private:
+    std::vector<std::unique_ptr<Cache>> caches_;
+};
+
+/** Simulate one configuration over @p source; returns its summary. */
+SweepResult runSingle(const CacheConfig &config, TraceSource &source,
+                      std::uint64_t max_refs = 0);
+
+/**
+ * Average sweep results across traces, unweighted, as the paper does
+ * ("multiple-trace miss and traffic ratios are the unweighted average
+ * of the ... individual runs"). All runs must cover the same configs
+ * in the same order.
+ */
+std::vector<SweepResult>
+averageResults(const std::vector<std::vector<SweepResult>> &runs);
+
+} // namespace occsim
+
+#endif // OCCSIM_MULTI_SWEEP_RUNNER_HH

@@ -1,0 +1,75 @@
+#include "multi/working_set.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace occsim {
+
+WorkingSetAnalyzer::WorkingSetAnalyzer(std::uint32_t block_size,
+                                       Select select)
+    : blockSize_(block_size), select_(select)
+{
+    occsim_assert(isPowerOfTwo(block_size),
+                  "block size must be a power of two");
+}
+
+std::vector<WorkingSetPoint>
+WorkingSetAnalyzer::profile(
+    const VectorTrace &trace,
+    const std::vector<std::uint64_t> &windows) const
+{
+    const unsigned shift = floorLog2(blockSize_);
+    std::vector<WorkingSetPoint> points;
+    for (const std::uint64_t window : windows) {
+        occsim_assert(window > 0, "window must be positive");
+        WorkingSetPoint point;
+        point.window = window;
+
+        std::uint64_t windows_done = 0;
+        std::uint64_t sum = 0;
+        std::unordered_set<Addr> blocks;
+        std::uint64_t in_window = 0;
+        for (const MemRef &ref : trace.refs()) {
+            if (select_ == Select::InstructionsOnly &&
+                !ref.isInstruction()) {
+                continue;
+            }
+            if (select_ == Select::DataOnly && ref.isInstruction())
+                continue;
+            blocks.insert(ref.addr >> shift);
+            if (++in_window == window) {
+                sum += blocks.size();
+                point.maxBlocks =
+                    std::max<std::uint64_t>(point.maxBlocks,
+                                            blocks.size());
+                blocks.clear();
+                in_window = 0;
+                ++windows_done;
+            }
+        }
+        if (windows_done != 0) {
+            point.meanBlocks = static_cast<double>(sum) /
+                               static_cast<double>(windows_done);
+            point.meanBytes = point.meanBlocks * blockSize_;
+        }
+        points.push_back(point);
+    }
+    return points;
+}
+
+std::uint64_t
+WorkingSetAnalyzer::suggestedCacheBytes(const VectorTrace &trace,
+                                        std::uint64_t window) const
+{
+    const auto points = profile(trace, {window});
+    const double bytes = points.front().meanBytes;
+    std::uint64_t size = blockSize_;
+    while (static_cast<double>(size) < bytes)
+        size *= 2;
+    return size;
+}
+
+} // namespace occsim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Working-set analysis (Denning's W(t, T)): the number of distinct
+ * blocks a trace touches per window of T references. This is the
+ * quantity the paper's intuition runs on — a cache "works" when the
+ * working set of the workload fits — and the tool the suites'
+ * calibration is checked with (a Z8000 utility's working set is a few
+ * KB; a System/370 job's keeps growing past 64 KB).
+ */
+
+#ifndef OCCSIM_MULTI_WORKING_SET_HH
+#define OCCSIM_MULTI_WORKING_SET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace occsim {
+
+/** One row of a working-set profile. */
+struct WorkingSetPoint
+{
+    std::uint64_t window = 0;        ///< T, in references
+    double meanBlocks = 0.0;         ///< mean distinct blocks per window
+    double meanBytes = 0.0;          ///< meanBlocks * blockSize
+    std::uint64_t maxBlocks = 0;     ///< worst window
+};
+
+/**
+ * Compute the working-set profile of @p trace at the given window
+ * sizes, counting distinct @p block_size-aligned blocks per
+ * non-overlapping window (windows that do not fit are ignored).
+ * Optionally restrict to one reference kind.
+ */
+class WorkingSetAnalyzer
+{
+  public:
+    enum class Select { All, InstructionsOnly, DataOnly };
+
+    explicit WorkingSetAnalyzer(std::uint32_t block_size = 16,
+                                Select select = Select::All);
+
+    /** Profile @p trace at each window size (ascending). */
+    std::vector<WorkingSetPoint>
+    profile(const VectorTrace &trace,
+            const std::vector<std::uint64_t> &windows) const;
+
+    /**
+     * Smallest power-of-two cache size (bytes) whose capacity covers
+     * the mean working set of @p window references; the first-order
+     * "what size cache does this program want" answer.
+     */
+    std::uint64_t suggestedCacheBytes(const VectorTrace &trace,
+                                      std::uint64_t window) const;
+
+  private:
+    std::uint32_t blockSize_;
+    Select select_;
+};
+
+} // namespace occsim
+
+#endif // OCCSIM_MULTI_WORKING_SET_HH

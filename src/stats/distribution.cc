@@ -1,0 +1,141 @@
+#include "stats/distribution.hh"
+
+#include <cmath>
+#include <ostream>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace occsim {
+
+Distribution::Distribution(std::string name, std::size_t num_buckets)
+{
+    init(std::move(name), num_buckets);
+}
+
+void
+Distribution::init(std::string name, std::size_t num_buckets)
+{
+    occsim_assert(num_buckets > 0, "distribution needs >= 1 bucket");
+    name_ = std::move(name);
+    buckets_.assign(num_buckets, 0);
+    overflow_ = 0;
+    samples_ = 0;
+    weightedSum_ = 0;
+}
+
+void
+Distribution::sample(std::uint64_t value, std::uint64_t weight)
+{
+    occsim_assert(!buckets_.empty(), "distribution not initialized");
+    if (value < buckets_.size()) {
+        buckets_[value] += weight;
+        weightedSum_ += value * weight;
+    } else {
+        overflow_ += weight;
+        weightedSum_ += buckets_.size() * weight;
+    }
+    samples_ += weight;
+}
+
+void
+Distribution::reset()
+{
+    for (auto &bucket : buckets_)
+        bucket = 0;
+    overflow_ = 0;
+    samples_ = 0;
+    weightedSum_ = 0;
+}
+
+std::uint64_t
+Distribution::bucket(std::size_t i) const
+{
+    occsim_assert(i < buckets_.size(), "bucket index %zu out of range",
+                  i);
+    return buckets_[i];
+}
+
+double
+Distribution::mean() const
+{
+    return samples_ == 0 ? 0.0 : static_cast<double>(weightedSum_) /
+                                     static_cast<double>(samples_);
+}
+
+double
+Distribution::variance() const
+{
+    if (samples_ == 0)
+        return 0.0;
+    const double mu = mean();
+    double sum = 0.0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const double d = static_cast<double>(i) - mu;
+        sum += d * d * static_cast<double>(buckets_[i]);
+    }
+    const double d_over = static_cast<double>(buckets_.size()) - mu;
+    sum += d_over * d_over * static_cast<double>(overflow_);
+    return sum / static_cast<double>(samples_);
+}
+
+double
+Distribution::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+std::uint64_t
+Distribution::percentile(double p) const
+{
+    occsim_assert(p >= 0.0 && p <= 1.0, "percentile needs p in [0,1]");
+    if (samples_ == 0)
+        return 0;
+    std::uint64_t cumulative = 0;
+    const auto target = static_cast<std::uint64_t>(
+        p * static_cast<double>(samples_));
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        cumulative += buckets_[i];
+        if (cumulative >= target && cumulative > 0)
+            return i;
+    }
+    return buckets_.size();
+}
+
+double
+Distribution::cdfAt(std::uint64_t v) const
+{
+    if (samples_ == 0)
+        return 0.0;
+    std::uint64_t below = 0;
+    for (std::size_t i = 0; i < buckets_.size() && i <= v; ++i)
+        below += buckets_[i];
+    if (v >= buckets_.size())
+        below += overflow_;
+    return static_cast<double>(below) / static_cast<double>(samples_);
+}
+
+void
+Distribution::dump(std::ostream &os) const
+{
+    os << name_ << " (" << samples_ << " samples, mean "
+       << strfmt("%.4f", mean()) << ")\n";
+    auto fraction = [this](std::uint64_t count) {
+        return samples_ == 0 ? 0.0 : static_cast<double>(count) /
+                                         static_cast<double>(samples_);
+    };
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        os << strfmt("  %6zu  %12llu  %8.4f\n", i,
+                     static_cast<unsigned long long>(buckets_[i]),
+                     fraction(buckets_[i]));
+    }
+    if (overflow_ != 0) {
+        os << strfmt("  >=%4zu  %12llu  %8.4f\n", buckets_.size(),
+                     static_cast<unsigned long long>(overflow_),
+                     fraction(overflow_));
+    }
+}
+
+} // namespace occsim

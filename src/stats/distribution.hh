@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A fixed-bucket histogram used for distributional measurements such
+ * as the number of sub-blocks touched per block residency (the paper's
+ * "72 percent of the sub-blocks in a block are never referenced"
+ * observation) and LRU stack-distance profiles.
+ */
+
+#ifndef OCCSIM_STATS_DISTRIBUTION_HH
+#define OCCSIM_STATS_DISTRIBUTION_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace occsim {
+
+/**
+ * Histogram over the integer domain [0, numBuckets); samples at or
+ * above numBuckets accumulate in an overflow bucket.
+ */
+class Distribution
+{
+  public:
+    Distribution() = default;
+    Distribution(std::string name, std::size_t num_buckets);
+
+    void init(std::string name, std::size_t num_buckets);
+
+    /** Record one observation of @p value (weight 1). */
+    void sample(std::uint64_t value) { sample(value, 1); }
+
+    /** Record @p weight observations of @p value. */
+    void sample(std::uint64_t value, std::uint64_t weight);
+
+    void reset();
+
+    std::uint64_t samples() const { return samples_; }
+    std::uint64_t bucket(std::size_t i) const;
+    std::uint64_t overflow() const { return overflow_; }
+    std::size_t numBuckets() const { return buckets_.size(); }
+
+    /** Mean of the recorded values (overflow counted at numBuckets). */
+    double mean() const;
+
+    /** Population variance (overflow counted at numBuckets). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /**
+     * Smallest value v with cdfAt(v) >= @p p (p in [0,1]); returns
+     * numBuckets when only the overflow bucket satisfies it.
+     */
+    std::uint64_t percentile(double p) const;
+
+    /** Fraction of samples with value <= @p v. */
+    double cdfAt(std::uint64_t v) const;
+
+    const std::string &name() const { return name_; }
+
+    /** Print "value count fraction" lines for non-empty buckets. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string name_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t samples_ = 0;
+    std::uint64_t weightedSum_ = 0;
+};
+
+} // namespace occsim
+
+#endif // OCCSIM_STATS_DISTRIBUTION_HH

@@ -1,0 +1,93 @@
+#include "stats/stats.hh"
+
+#include <ostream>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace occsim {
+
+Counter::Counter(StatSet &set, std::string name, std::string desc)
+{
+    registerWith(set, std::move(name), std::move(desc));
+}
+
+void
+Counter::registerWith(StatSet &set, std::string name, std::string desc)
+{
+    name_ = std::move(name);
+    desc_ = std::move(desc);
+    set.add(this);
+}
+
+Formula::Formula(StatSet &set, std::string name, std::string desc, Fn fn)
+{
+    registerWith(set, std::move(name), std::move(desc), std::move(fn));
+}
+
+void
+Formula::registerWith(StatSet &set, std::string name, std::string desc,
+                      Fn fn)
+{
+    name_ = std::move(name);
+    desc_ = std::move(desc);
+    fn_ = std::move(fn);
+    set.add(this);
+}
+
+double
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0 ? 0.0 : static_cast<double>(num) /
+                                static_cast<double>(den);
+}
+
+double
+ratio(double num, double den)
+{
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+StatSet::StatSet(std::string owner)
+    : owner_(std::move(owner))
+{
+}
+
+void
+StatSet::add(Counter *counter)
+{
+    occsim_assert(counter != nullptr, "null counter registration");
+    counters_.push_back(counter);
+}
+
+void
+StatSet::add(Formula *formula)
+{
+    occsim_assert(formula != nullptr, "null formula registration");
+    formulas_.push_back(formula);
+}
+
+void
+StatSet::resetAll()
+{
+    for (Counter *counter : counters_)
+        counter->reset();
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    if (!owner_.empty())
+        os << "---------- " << owner_ << " ----------\n";
+    for (const Counter *counter : counters_) {
+        os << strfmt("%-40s %14llu  # %s\n", counter->name().c_str(),
+                     static_cast<unsigned long long>(counter->value()),
+                     counter->desc().c_str());
+    }
+    for (const Formula *formula : formulas_) {
+        os << strfmt("%-40s %14.6f  # %s\n", formula->name().c_str(),
+                     formula->value(), formula->desc().c_str());
+    }
+}
+
+} // namespace occsim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's Stats, scaled to
+ * this simulator's needs. Stats register themselves with a StatSet so
+ * a model can dump every counter it owns with one call, and ratios are
+ * expressed as formulas over counters so they are always consistent
+ * with the raw counts they derive from.
+ */
+
+#ifndef OCCSIM_STATS_STATS_HH
+#define OCCSIM_STATS_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace occsim {
+
+class StatSet;
+
+/** A named 64-bit event counter. */
+class Counter
+{
+  public:
+    /** Construct unregistered; attach via StatSet::add or registerWith. */
+    Counter() = default;
+    Counter(StatSet &set, std::string name, std::string desc);
+
+    void registerWith(StatSet &set, std::string name, std::string desc);
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A derived statistic: an arbitrary formula evaluated at dump time.
+ * Typically a ratio of two Counters (miss ratio, traffic ratio).
+ */
+class Formula
+{
+  public:
+    using Fn = std::function<double()>;
+
+    Formula() = default;
+    Formula(StatSet &set, std::string name, std::string desc, Fn fn);
+
+    void registerWith(StatSet &set, std::string name, std::string desc,
+                      Fn fn);
+
+    double value() const { return fn_ ? fn_() : 0.0; }
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    Fn fn_;
+};
+
+/** Safe division helper: returns 0 when the denominator is 0. */
+double ratio(std::uint64_t num, std::uint64_t den);
+double ratio(double num, double den);
+
+/**
+ * A registry of counters and formulas owned by one model instance.
+ * Dumping prints "name value  # description" lines like gem5's
+ * stats.txt.
+ */
+class StatSet
+{
+  public:
+    explicit StatSet(std::string owner = "");
+
+    void add(Counter *counter);
+    void add(Formula *formula);
+
+    /** Reset every registered counter to zero. */
+    void resetAll();
+
+    /** Print all stats, counters first, then formulas. */
+    void dump(std::ostream &os) const;
+
+    const std::string &owner() const { return owner_; }
+
+    const std::vector<Counter *> &counters() const { return counters_; }
+    const std::vector<Formula *> &formulas() const { return formulas_; }
+
+  private:
+    std::string owner_;
+    std::vector<Counter *> counters_;
+    std::vector<Formula *> formulas_;
+};
+
+} // namespace occsim
+
+#endif // OCCSIM_STATS_STATS_HH

@@ -1,0 +1,174 @@
+#include "trace/filters.hh"
+
+#include "util/logging.hh"
+
+namespace occsim {
+
+TruncateFilter::TruncateFilter(TraceSource &inner, std::uint64_t limit)
+    : inner_(inner), limit_(limit)
+{
+}
+
+bool
+TruncateFilter::next(MemRef &ref)
+{
+    if (passed_ >= limit_)
+        return false;
+    if (!inner_.next(ref))
+        return false;
+    ++passed_;
+    return true;
+}
+
+void
+TruncateFilter::reset()
+{
+    inner_.reset();
+    passed_ = 0;
+}
+
+std::string
+TruncateFilter::name() const
+{
+    return inner_.name() + "[trunc]";
+}
+
+DropWritesFilter::DropWritesFilter(TraceSource &inner)
+    : inner_(inner)
+{
+}
+
+bool
+DropWritesFilter::next(MemRef &ref)
+{
+    while (inner_.next(ref)) {
+        if (!ref.isWrite())
+            return true;
+    }
+    return false;
+}
+
+std::string
+DropWritesFilter::name() const
+{
+    return inner_.name() + "[ro]";
+}
+
+KindFilter::KindFilter(TraceSource &inner, Select select)
+    : inner_(inner), select_(select)
+{
+}
+
+bool
+KindFilter::next(MemRef &ref)
+{
+    while (inner_.next(ref)) {
+        const bool is_inst = ref.isInstruction();
+        if (select_ == Select::InstructionsOnly ? is_inst : !is_inst)
+            return true;
+    }
+    return false;
+}
+
+std::string
+KindFilter::name() const
+{
+    return inner_.name() +
+           (select_ == Select::InstructionsOnly ? "[i]" : "[d]");
+}
+
+CodeCompactionFilter::CodeCompactionFilter(TraceSource &inner,
+                                           Addr code_base,
+                                           std::uint32_t num,
+                                           std::uint32_t den)
+    : inner_(inner), codeBase_(code_base), num_(num), den_(den)
+{
+}
+
+bool
+CodeCompactionFilter::next(MemRef &ref)
+{
+    if (!inner_.next(ref))
+        return false;
+    if (ref.isInstruction() && ref.addr >= codeBase_) {
+        const Addr offset = ref.addr - codeBase_;
+        // Rescale and keep word alignment.
+        const Addr scaled = static_cast<Addr>(
+            static_cast<std::uint64_t>(offset) * num_ / den_);
+        ref.addr = codeBase_ + (scaled & ~(Addr{ref.size} - 1));
+    }
+    return true;
+}
+
+std::string
+CodeCompactionFilter::name() const
+{
+    return inner_.name() + "[compact]";
+}
+
+SampleFilter::SampleFilter(TraceSource &inner, std::uint64_t window,
+                           std::uint64_t period)
+    : inner_(inner), window_(window), period_(period)
+{
+    occsim_assert(window > 0 && window <= period,
+                  "need 0 < window <= period");
+}
+
+bool
+SampleFilter::next(MemRef &ref)
+{
+    for (;;) {
+        if (!inner_.next(ref))
+            return false;
+        const std::uint64_t slot = position_ % period_;
+        ++position_;
+        if (slot < window_)
+            return true;
+    }
+}
+
+void
+SampleFilter::reset()
+{
+    inner_.reset();
+    position_ = 0;
+}
+
+std::string
+SampleFilter::name() const
+{
+    return inner_.name() + "[sampled]";
+}
+
+SkipFilter::SkipFilter(TraceSource &inner, std::uint64_t skip)
+    : inner_(inner), skip_(skip)
+{
+}
+
+bool
+SkipFilter::next(MemRef &ref)
+{
+    if (!skipped_) {
+        for (std::uint64_t i = 0; i < skip_; ++i) {
+            if (!inner_.next(ref))
+                return false;
+        }
+        skipped_ = true;
+    }
+    return inner_.next(ref);
+}
+
+void
+SkipFilter::reset()
+{
+    inner_.reset();
+    skipped_ = false;
+}
+
+std::string
+SkipFilter::name() const
+{
+    return inner_.name() + "[skip]";
+}
+
+} // namespace occsim

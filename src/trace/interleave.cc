@@ -1,0 +1,95 @@
+#include "trace/interleave.hh"
+
+#include "util/logging.hh"
+
+namespace occsim {
+
+InterleaveSource::InterleaveSource(std::vector<TraceSource *> sources,
+                                   std::uint64_t quantum)
+    : sources_(std::move(sources)),
+      exhausted_(sources_.size(), false), quantum_(quantum)
+{
+    occsim_assert(!sources_.empty(), "interleave needs >= 1 source");
+    occsim_assert(quantum_ > 0, "quantum must be positive");
+    for (const TraceSource *source : sources_)
+        occsim_assert(source != nullptr, "null interleave source");
+}
+
+bool
+InterleaveSource::advanceTask()
+{
+    // Move to the next non-exhausted task (round robin).
+    for (std::size_t step = 1; step <= sources_.size(); ++step) {
+        const std::size_t candidate =
+            (current_ + step) % sources_.size();
+        if (!exhausted_[candidate]) {
+            if (candidate != current_)
+                ++switches_;
+            current_ = candidate;
+            usedInQuantum_ = 0;
+            return true;
+        }
+    }
+    return !exhausted_[current_];
+}
+
+bool
+InterleaveSource::next(MemRef &ref)
+{
+    for (;;) {
+        if (exhausted_[current_]) {
+            if (!advanceTask())
+                return false;
+        }
+        if (usedInQuantum_ >= quantum_) {
+            if (!advanceTask())
+                return false;
+        }
+        if (sources_[current_]->next(ref)) {
+            ++usedInQuantum_;
+            return true;
+        }
+        exhausted_[current_] = true;
+        bool all_done = true;
+        for (const bool done : exhausted_)
+            all_done = all_done && done;
+        if (all_done)
+            return false;
+    }
+}
+
+bool
+InterleaveSource::rewindable() const
+{
+    for (const TraceSource *source : sources_) {
+        if (!source->rewindable())
+            return false;
+    }
+    return true;
+}
+
+void
+InterleaveSource::reset()
+{
+    for (TraceSource *source : sources_)
+        source->reset();
+    exhausted_.assign(sources_.size(), false);
+    current_ = 0;
+    usedInQuantum_ = 0;
+    switches_ = 0;
+}
+
+std::string
+InterleaveSource::name() const
+{
+    std::string name = "interleave(";
+    for (std::size_t i = 0; i < sources_.size(); ++i) {
+        if (i != 0)
+            name += ',';
+        name += sources_[i]->name();
+    }
+    name += ')';
+    return name;
+}
+
+} // namespace occsim

@@ -1,0 +1,63 @@
+#include "trace/trace.hh"
+
+#include "util/logging.hh"
+
+namespace occsim {
+
+const char *
+refKindName(RefKind kind)
+{
+    switch (kind) {
+      case RefKind::Ifetch:
+        return "ifetch";
+      case RefKind::DataRead:
+        return "dread";
+      case RefKind::DataWrite:
+        return "dwrite";
+    }
+    return "unknown";
+}
+
+void
+TraceSource::reset()
+{
+    panic("reset() called on non-rewindable trace source '%s'",
+          name().c_str());
+}
+
+VectorTrace::VectorTrace(std::string name)
+    : name_(std::move(name))
+{
+}
+
+VectorTrace::VectorTrace(std::string name, std::vector<MemRef> refs)
+    : name_(std::move(name)), refs_(std::move(refs))
+{
+}
+
+void
+VectorTrace::append(Addr addr, RefKind kind, std::uint8_t size)
+{
+    refs_.push_back(MemRef{addr, kind, size});
+}
+
+bool
+VectorTrace::next(MemRef &ref)
+{
+    if (cursor_ >= refs_.size())
+        return false;
+    ref = refs_[cursor_++];
+    return true;
+}
+
+VectorTrace
+collect(TraceSource &source, std::size_t max_refs)
+{
+    VectorTrace out(source.name());
+    MemRef ref;
+    while ((max_refs == 0 || out.size() < max_refs) && source.next(ref))
+        out.append(ref);
+    return out;
+}
+
+} // namespace occsim

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Core address-trace types: the memory-reference record and the
+ * abstract trace source consumed by every simulator in occsim.
+ *
+ * A trace is an ordered stream of MemRef records, one per processor
+ * memory reference. Following the paper's methodology, each reference
+ * moves exactly one data-path word (2 bytes on the 16-bit PDP-11 and
+ * Z8000 traces, 4 bytes on the 32-bit VAX-11 and System/370 traces);
+ * the record's size field carries that width so a trace is
+ * self-describing.
+ */
+
+#ifndef OCCSIM_TRACE_TRACE_HH
+#define OCCSIM_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bitops.hh"
+
+namespace occsim {
+
+/** Classification of a memory reference. */
+enum class RefKind : std::uint8_t {
+    Ifetch = 0,     ///< instruction fetch
+    DataRead = 1,   ///< data load
+    DataWrite = 2,  ///< data store
+};
+
+/** @return a short stable name ("ifetch", "dread", "dwrite"). */
+const char *refKindName(RefKind kind);
+
+/** One memory reference. */
+struct MemRef
+{
+    Addr addr = 0;              ///< byte address of the referenced word
+    RefKind kind = RefKind::Ifetch;
+    std::uint8_t size = 2;      ///< bytes moved (data-path width)
+
+    bool isWrite() const { return kind == RefKind::DataWrite; }
+    bool isInstruction() const { return kind == RefKind::Ifetch; }
+
+    bool operator==(const MemRef &other) const = default;
+};
+
+/**
+ * Abstract producer of memory references. Sources are single-pass by
+ * default; rewindable sources additionally implement reset().
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next reference.
+     * @param ref output record, valid only when true is returned.
+     * @return false when the trace is exhausted.
+     */
+    virtual bool next(MemRef &ref) = 0;
+
+    /** @return true if reset() is supported. */
+    virtual bool rewindable() const { return false; }
+
+    /** Restart the stream from the beginning (rewindable sources). */
+    virtual void reset();
+
+    /** Human-readable identification for reports. */
+    virtual std::string name() const { return "trace"; }
+};
+
+/**
+ * An in-memory trace. Rewindable; also usable as a sink while a
+ * workload generator or VM run is being recorded.
+ */
+class VectorTrace : public TraceSource
+{
+  public:
+    VectorTrace() = default;
+    explicit VectorTrace(std::string name);
+    VectorTrace(std::string name, std::vector<MemRef> refs);
+
+    void append(const MemRef &ref) { refs_.push_back(ref); }
+    void append(Addr addr, RefKind kind, std::uint8_t size);
+
+    bool next(MemRef &ref) override;
+    bool rewindable() const override { return true; }
+    void reset() override { cursor_ = 0; }
+    std::string name() const override { return name_; }
+
+    std::size_t size() const { return refs_.size(); }
+    bool empty() const { return refs_.empty(); }
+    const MemRef &operator[](std::size_t i) const { return refs_[i]; }
+    const std::vector<MemRef> &refs() const { return refs_; }
+
+    void setName(std::string name) { name_ = std::move(name); }
+
+  private:
+    std::string name_ = "trace";
+    std::vector<MemRef> refs_;
+    std::size_t cursor_ = 0;
+};
+
+/**
+ * Drain an entire source into a VectorTrace, up to @p maxRefs
+ * references (0 means unlimited).
+ */
+VectorTrace collect(TraceSource &source, std::size_t max_refs = 0);
+
+} // namespace occsim
+
+#endif // OCCSIM_TRACE_TRACE_HH

@@ -1,0 +1,361 @@
+#include "trace/trace_file.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace occsim {
+
+namespace {
+
+constexpr char kMagic[4] = {'O', 'C', 'T', 'B'};
+constexpr char kMagicDelta[4] = {'O', 'C', 'T', 'D'};
+constexpr std::uint16_t kVersion = 1;
+constexpr std::size_t kRecordSize = 6;
+
+/** Zigzag encoding maps small signed deltas to small unsigned ints. */
+std::uint32_t
+zigzag(std::int32_t v)
+{
+    return (static_cast<std::uint32_t>(v) << 1) ^
+           static_cast<std::uint32_t>(v >> 31);
+}
+
+std::int32_t
+unzigzag(std::uint32_t v)
+{
+    return static_cast<std::int32_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/** Map the dineroIII numeric label to a RefKind. */
+bool
+labelToKind(unsigned label, RefKind &kind)
+{
+    switch (label) {
+      case 0:
+        kind = RefKind::DataRead;
+        return true;
+      case 1:
+        kind = RefKind::DataWrite;
+        return true;
+      case 2:
+        kind = RefKind::Ifetch;
+        return true;
+      default:
+        return false;
+    }
+}
+
+unsigned
+kindToLabel(RefKind kind)
+{
+    switch (kind) {
+      case RefKind::DataRead:
+        return 0;
+      case RefKind::DataWrite:
+        return 1;
+      case RefKind::Ifetch:
+        return 2;
+    }
+    return 0;
+}
+
+void
+putU32(std::uint8_t *out, std::uint32_t v)
+{
+    out[0] = static_cast<std::uint8_t>(v);
+    out[1] = static_cast<std::uint8_t>(v >> 8);
+    out[2] = static_cast<std::uint8_t>(v >> 16);
+    out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t
+getU32(const std::uint8_t *in)
+{
+    return static_cast<std::uint32_t>(in[0]) |
+           (static_cast<std::uint32_t>(in[1]) << 8) |
+           (static_cast<std::uint32_t>(in[2]) << 16) |
+           (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+std::FILE *
+openOrDie(const std::string &path, const char *mode)
+{
+    std::FILE *file = std::fopen(path.c_str(), mode);
+    if (!file)
+        fatal("cannot open trace file '%s'", path.c_str());
+    return file;
+}
+
+} // namespace
+
+void
+writeTextTrace(const VectorTrace &trace, const std::string &path)
+{
+    std::FILE *file = openOrDie(path, "w");
+    std::fprintf(file, "# occsim text trace: %s (%zu refs)\n",
+                 trace.name().c_str(), trace.size());
+    for (const MemRef &ref : trace.refs()) {
+        std::fprintf(file, "%u %x %u\n", kindToLabel(ref.kind),
+                     ref.addr, static_cast<unsigned>(ref.size));
+    }
+    std::fclose(file);
+}
+
+namespace {
+
+void
+writeHeader(std::FILE *file, const char *magic,
+            const VectorTrace &trace)
+{
+    std::uint8_t header[16] = {};
+    std::memcpy(header, magic, 4);
+    header[4] = static_cast<std::uint8_t>(kVersion);
+    header[5] = trace.empty() ? 0 : trace.refs().front().size;
+    const std::uint64_t count = trace.size();
+    for (int i = 0; i < 8; ++i)
+        header[8 + i] = static_cast<std::uint8_t>(count >> (8 * i));
+    std::fwrite(header, 1, sizeof(header), file);
+}
+
+} // namespace
+
+void
+writeCompressedTrace(const VectorTrace &trace, const std::string &path)
+{
+    std::FILE *file = openOrDie(path, "wb");
+    writeHeader(file, kMagicDelta, trace);
+
+    Addr prev_addr[3] = {0, 0, 0};
+    std::uint8_t prev_size = 2;
+    for (const MemRef &ref : trace.refs()) {
+        const auto kind = static_cast<std::uint8_t>(ref.kind);
+        const std::int32_t delta = static_cast<std::int32_t>(
+            ref.addr - prev_addr[kind]);
+        prev_addr[kind] = ref.addr;
+
+        // Flag byte: bits 0-1 kind, bit 2 size-change.
+        std::uint8_t flags = kind;
+        if (ref.size != prev_size)
+            flags |= 0x04;
+        std::fputc(flags, file);
+        if (ref.size != prev_size) {
+            std::fputc(ref.size, file);
+            prev_size = ref.size;
+        }
+        // Varint of the zigzagged delta, 7 bits per byte, LSB first.
+        std::uint32_t v = zigzag(delta);
+        do {
+            std::uint8_t byte = v & 0x7f;
+            v >>= 7;
+            if (v != 0)
+                byte |= 0x80;
+            std::fputc(byte, file);
+        } while (v != 0);
+    }
+    std::fclose(file);
+}
+
+void
+writeBinaryTrace(const VectorTrace &trace, const std::string &path)
+{
+    std::FILE *file = openOrDie(path, "wb");
+    std::uint8_t header[16] = {};
+    std::memcpy(header, kMagic, 4);
+    header[4] = static_cast<std::uint8_t>(kVersion);
+    header[5] = trace.empty() ? 0 : trace.refs().front().size;
+    std::uint8_t count_bytes[8];
+    const std::uint64_t count = trace.size();
+    for (int i = 0; i < 8; ++i)
+        count_bytes[i] = static_cast<std::uint8_t>(count >> (8 * i));
+    std::memcpy(header + 8, count_bytes, 8);
+    std::fwrite(header, 1, sizeof(header), file);
+
+    std::uint8_t record[kRecordSize];
+    for (const MemRef &ref : trace.refs()) {
+        putU32(record, ref.addr);
+        record[4] = static_cast<std::uint8_t>(ref.kind);
+        record[5] = ref.size;
+        std::fwrite(record, 1, kRecordSize, file);
+    }
+    std::fclose(file);
+}
+
+VectorTrace
+readTextTrace(const std::string &path)
+{
+    FileTrace stream(path);
+    return collect(stream);
+}
+
+VectorTrace
+readBinaryTrace(const std::string &path)
+{
+    FileTrace stream(path);
+    return collect(stream);
+}
+
+VectorTrace
+readTrace(const std::string &path)
+{
+    FileTrace stream(path);
+    return collect(stream);
+}
+
+FileTrace::FileTrace(const std::string &path)
+    : path_(path)
+{
+    file_ = openOrDie(path, "rb");
+    std::uint8_t magic[4] = {};
+    const std::size_t got = std::fread(magic, 1, 4, file_);
+    if (got == 4 && std::memcmp(magic, kMagic, 4) == 0)
+        format_ = Format::Binary;
+    else if (got == 4 && std::memcmp(magic, kMagicDelta, 4) == 0)
+        format_ = Format::Compressed;
+    else
+        format_ = Format::Text;
+    if (format_ != Format::Text) {
+        std::uint8_t rest[12];
+        if (std::fread(rest, 1, sizeof(rest), file_) != sizeof(rest))
+            fatal("truncated binary trace header in '%s'", path.c_str());
+        if (rest[0] != kVersion) {
+            fatal("unsupported trace version %u in '%s'",
+                  static_cast<unsigned>(rest[0]), path.c_str());
+        }
+        std::uint64_t count = 0;
+        for (int i = 0; i < 8; ++i)
+            count |= static_cast<std::uint64_t>(rest[4 + i]) << (8 * i);
+        total_ = remaining_ = count;
+        dataStart_ = std::ftell(file_);
+    } else {
+        std::rewind(file_);
+        dataStart_ = 0;
+    }
+}
+
+FileTrace::~FileTrace()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+FileTrace::reset()
+{
+    std::fseek(file_, dataStart_, SEEK_SET);
+    remaining_ = total_;
+    prevAddr_[0] = prevAddr_[1] = prevAddr_[2] = 0;
+    prevSize_ = 2;
+}
+
+bool
+FileTrace::next(MemRef &ref)
+{
+    switch (format_) {
+      case Format::Binary:
+        return nextBinary(ref);
+      case Format::Compressed:
+        return nextCompressed(ref);
+      case Format::Text:
+        break;
+    }
+    return nextText(ref);
+}
+
+bool
+FileTrace::nextCompressed(MemRef &ref)
+{
+    if (remaining_ == 0)
+        return false;
+    const int flags = std::fgetc(file_);
+    if (flags == EOF)
+        fatal("truncated compressed trace body in '%s'",
+              path_.c_str());
+    const unsigned kind = static_cast<unsigned>(flags) & 0x03;
+    if (kind > 2)
+        fatal("bad record kind %u in '%s'", kind, path_.c_str());
+    if (flags & 0x04) {
+        const int size = std::fgetc(file_);
+        if (size == EOF)
+            fatal("truncated compressed trace body in '%s'",
+                  path_.c_str());
+        prevSize_ = static_cast<std::uint8_t>(size);
+    }
+    std::uint32_t v = 0;
+    int shift = 0;
+    for (;;) {
+        const int byte = std::fgetc(file_);
+        if (byte == EOF)
+            fatal("truncated compressed trace body in '%s'",
+                  path_.c_str());
+        v |= static_cast<std::uint32_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            break;
+        shift += 7;
+        if (shift > 31)
+            fatal("overlong varint in '%s'", path_.c_str());
+    }
+    prevAddr_[kind] += static_cast<Addr>(unzigzag(v));
+    ref.addr = prevAddr_[kind];
+    ref.kind = static_cast<RefKind>(kind);
+    ref.size = prevSize_;
+    --remaining_;
+    return true;
+}
+
+bool
+FileTrace::nextBinary(MemRef &ref)
+{
+    if (remaining_ == 0)
+        return false;
+    std::uint8_t record[kRecordSize];
+    if (std::fread(record, 1, kRecordSize, file_) != kRecordSize)
+        fatal("truncated binary trace body in '%s'", path_.c_str());
+    ref.addr = getU32(record);
+    if (record[4] > 2)
+        fatal("bad record kind %u in '%s'",
+              static_cast<unsigned>(record[4]), path_.c_str());
+    ref.kind = static_cast<RefKind>(record[4]);
+    ref.size = record[5];
+    --remaining_;
+    return true;
+}
+
+bool
+FileTrace::nextText(MemRef &ref)
+{
+    char line[256];
+    while (std::fgets(line, sizeof(line), file_)) {
+        const std::string text = trim(line);
+        if (text.empty() || text[0] == '#')
+            continue;
+        const auto fields = split(text, ' ');
+        if (fields.size() < 2)
+            fatal("malformed trace line '%s' in '%s'", text.c_str(),
+                  path_.c_str());
+        std::uint64_t label = 0;
+        if (!parseU64(fields[0], label))
+            fatal("bad label '%s' in '%s'", fields[0].c_str(),
+                  path_.c_str());
+        if (!labelToKind(static_cast<unsigned>(label), ref.kind))
+            fatal("bad label %llu in '%s'",
+                  static_cast<unsigned long long>(label), path_.c_str());
+        char *end = nullptr;
+        ref.addr = static_cast<Addr>(
+            std::strtoul(fields[1].c_str(), &end, 16));
+        if (end == fields[1].c_str() || *end != '\0')
+            fatal("bad address '%s' in '%s'", fields[1].c_str(),
+                  path_.c_str());
+        std::uint64_t size = 2;
+        if (fields.size() >= 3 && !parseU64(fields[2], size))
+            fatal("bad size '%s' in '%s'", fields[2].c_str(),
+                  path_.c_str());
+        ref.size = static_cast<std::uint8_t>(size);
+        return true;
+    }
+    return false;
+}
+
+} // namespace occsim

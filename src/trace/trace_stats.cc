@@ -1,0 +1,98 @@
+#include "trace/trace_stats.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <ostream>
+#include <unordered_set>
+
+#include "stats/stats.hh"
+#include "util/str.hh"
+
+namespace occsim {
+
+double
+TraceProfile::ifetchFraction() const
+{
+    return ratio(ifetches, totalRefs);
+}
+
+double
+TraceProfile::writeFraction() const
+{
+    return ratio(dataWrites, totalRefs);
+}
+
+TraceProfile
+profileTrace(const VectorTrace &trace)
+{
+    TraceProfile profile;
+    std::unordered_set<Addr> granules;
+    granules.reserve(1 << 14);
+
+    bool have_prev_ifetch = false;
+    Addr prev_ifetch_end = 0;
+    std::uint64_t sequential_ifetches = 0;
+
+    bool have_prev_data = false;
+    Addr prev_data = 0;
+    std::uint64_t clustered_data = 0;
+    std::uint64_t data_refs = 0;
+
+    for (const MemRef &ref : trace.refs()) {
+        ++profile.totalRefs;
+        switch (ref.kind) {
+          case RefKind::Ifetch:
+            ++profile.ifetches;
+            if (have_prev_ifetch && ref.addr == prev_ifetch_end)
+                ++sequential_ifetches;
+            prev_ifetch_end = ref.addr + ref.size;
+            have_prev_ifetch = true;
+            break;
+          case RefKind::DataRead:
+            ++profile.dataReads;
+            break;
+          case RefKind::DataWrite:
+            ++profile.dataWrites;
+            break;
+        }
+        if (ref.kind != RefKind::Ifetch) {
+            ++data_refs;
+            if (have_prev_data) {
+                const long delta = static_cast<long>(ref.addr) -
+                                   static_cast<long>(prev_data);
+                if (std::labs(delta) <= 64)
+                    ++clustered_data;
+            }
+            prev_data = ref.addr;
+            have_prev_data = true;
+        }
+        profile.minAddr = std::min(profile.minAddr, ref.addr);
+        profile.maxAddr = std::max(profile.maxAddr, ref.addr);
+        granules.insert(ref.addr >> 4);
+    }
+
+    profile.uniqueGranules = granules.size();
+    profile.ifetchSequentiality = ratio(sequential_ifetches,
+                                        profile.ifetches);
+    profile.dataClustering = ratio(clustered_data, data_refs);
+    if (profile.totalRefs == 0)
+        profile.minAddr = 0;
+    return profile;
+}
+
+void
+printProfile(std::ostream &os, const std::string &name,
+             const TraceProfile &profile)
+{
+    os << strfmt("%-16s refs=%8llu  I=%5.1f%%  W=%5.1f%%  "
+                 "footprint=%8llu B  seqI=%5.3f  clustD=%5.3f\n",
+                 name.c_str(),
+                 static_cast<unsigned long long>(profile.totalRefs),
+                 100.0 * profile.ifetchFraction(),
+                 100.0 * profile.writeFraction(),
+                 static_cast<unsigned long long>(
+                     profile.footprintBytes()),
+                 profile.ifetchSequentiality, profile.dataClustering);
+}
+
+} // namespace occsim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Trace characterization: per-kind reference counts, memory footprint,
+ * and a sequentiality profile. Used to sanity-check that substitute
+ * workloads exhibit the locality structure the paper's traces had
+ * (small compact Z8000 utilities through large System/370 jobs).
+ */
+
+#ifndef OCCSIM_TRACE_TRACE_STATS_HH
+#define OCCSIM_TRACE_TRACE_STATS_HH
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "trace/trace.hh"
+
+namespace occsim {
+
+/** Summary statistics over one trace. */
+struct TraceProfile
+{
+    std::uint64_t totalRefs = 0;
+    std::uint64_t ifetches = 0;
+    std::uint64_t dataReads = 0;
+    std::uint64_t dataWrites = 0;
+
+    Addr minAddr = ~Addr{0};
+    Addr maxAddr = 0;
+
+    /** Unique 16-byte granules touched; footprint = granules * 16. */
+    std::uint64_t uniqueGranules = 0;
+
+    /** Fraction of instruction fetches at addr(prev)+size (straight-
+     *  line execution). */
+    double ifetchSequentiality = 0.0;
+
+    /** Fraction of data references within +/- 64 bytes of the previous
+     *  data reference (spatial clustering). */
+    double dataClustering = 0.0;
+
+    /** Footprint in bytes (unique granules * granule size). */
+    std::uint64_t footprintBytes() const { return uniqueGranules * 16; }
+
+    double ifetchFraction() const;
+    double writeFraction() const;
+};
+
+/** Compute the profile of @p trace (single pass). */
+TraceProfile profileTrace(const VectorTrace &trace);
+
+/** Pretty-print a profile. */
+void printProfile(std::ostream &os, const std::string &name,
+                  const TraceProfile &profile);
+
+} // namespace occsim
+
+#endif // OCCSIM_TRACE_TRACE_STATS_HH

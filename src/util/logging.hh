@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Status and error reporting for occsim, in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * panic()  - an internal invariant was violated (a simulator bug);
+ *            aborts so a debugger or core dump can capture state.
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, malformed trace file); exits with
+ *            status 1.
+ * warn()   - something is suspicious but simulation continues.
+ * inform() - normal status output for the user.
+ */
+
+#ifndef OCCSIM_UTIL_LOGGING_HH
+#define OCCSIM_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace occsim {
+
+/** Abort with a formatted message; use for internal invariant failures. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a formatted message; use for user-caused errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; simulation continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr; simulation continues. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Backend for occsim_assert: report and abort. Keeps the condition
+ *  text out of the format string (it may contain '%'). */
+[[noreturn]] void panicAssert(const char *cond, const char *file,
+                              int line, const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/** Enable or disable inform() output (warnings are always printed). */
+void setVerbose(bool verbose);
+
+/** @return true when inform() output is enabled. */
+bool verboseEnabled();
+
+/**
+ * Assert a simulator invariant with a formatted explanation.
+ * Unlike assert(), this is active in release builds: the experiments in
+ * this repository are run almost exclusively with optimized binaries.
+ */
+#define occsim_assert(cond, fmt, ...)                                   \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::occsim::panicAssert(#cond, __FILE__, __LINE__, fmt        \
+                                  __VA_OPT__(,) __VA_ARGS__);           \
+        }                                                               \
+    } while (0)
+
+} // namespace occsim
+
+#endif // OCCSIM_UTIL_LOGGING_HH

@@ -1,0 +1,129 @@
+#include "util/random.hh"
+
+#include <cmath>
+#include <cstddef>
+
+#include "util/logging.hh"
+
+namespace occsim {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(std::uint64_t seed_value)
+{
+    std::uint64_t sm = seed_value;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    occsim_assert(bound > 0, "Rng::below requires a positive bound");
+    // Debiased modulo (rejection sampling on the top of the range).
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::between(std::int64_t lo, std::int64_t hi)
+{
+    occsim_assert(lo <= hi, "Rng::between requires lo <= hi");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(span == 0 ? next()
+                                                    : below(span));
+}
+
+double
+Rng::uniform()
+{
+    // 53 random bits into [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::geometric(double p)
+{
+    if (p <= 0.0)
+        return 1;
+    if (p >= 1.0)
+        p = 0.999999;
+    // Inverse CDF; run length k >= 1 with continuation probability p.
+    const double u = uniform();
+    const double k = std::floor(std::log1p(-u) / std::log(p)) + 1.0;
+    if (k < 1.0)
+        return 1;
+    if (k > 1e9)
+        return static_cast<std::uint64_t>(1e9);
+    return static_cast<std::uint64_t>(k);
+}
+
+std::size_t
+Rng::pickCumulative(const double *cum_weights, std::size_t n)
+{
+    occsim_assert(n > 0, "pickCumulative requires a non-empty table");
+    const double total = cum_weights[n - 1];
+    occsim_assert(total > 0.0, "pickCumulative requires positive weight");
+    const double target = uniform() * total;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (target < cum_weights[i])
+            return i;
+    }
+    return n - 1;
+}
+
+} // namespace occsim

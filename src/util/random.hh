@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The simulator must be exactly reproducible: the same seed yields the
+ * same trace, the same RANDOM-replacement victim sequence, and hence
+ * the same miss ratios, on every platform. We therefore avoid
+ * std::mt19937 distributions (whose mapping from raw bits to ranges is
+ * implementation-defined for some distributions) and implement
+ * xoshiro256** with our own range reduction.
+ */
+
+#ifndef OCCSIM_UTIL_RANDOM_HH
+#define OCCSIM_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+namespace occsim {
+
+/**
+ * xoshiro256** 1.0 generator (Blackman & Vigna), seeded via splitmix64.
+ * Small, fast, and with well-understood statistical quality; more than
+ * adequate for workload generation and replacement-policy decisions.
+ */
+class Rng
+{
+  public:
+    /** Construct with a 64-bit seed (expanded through splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Re-seed the generator, restoring a deterministic stream. */
+    void seed(std::uint64_t seed);
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return a uniform integer in [0, bound); @p bound must be > 0. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+    /** @return a uniform double in [0, 1). */
+    double uniform();
+
+    /** @return true with probability @p p (clamped to [0,1]). */
+    bool chance(double p);
+
+    /**
+     * Sample a geometric-like run length: returns k >= 1 where
+     * P(k) = (1-p) * p^(k-1). Used for sequential-run modelling.
+     */
+    std::uint64_t geometric(double p);
+
+    /**
+     * Sample from a discrete distribution given cumulative weights.
+     * @param cumWeights array of monotonically increasing cumulative
+     *        weights; the final element is the total weight.
+     * @param n number of entries.
+     * @return index in [0, n).
+     */
+    std::size_t pickCumulative(const double *cumWeights, std::size_t n);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace occsim
+
+#endif // OCCSIM_UTIL_RANDOM_HH

@@ -1,0 +1,97 @@
+#include "util/str.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace occsim {
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args2;
+    va_copy(args2, args);
+    const int n = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<std::size_t>(n));
+        // C++11 guarantees contiguous storage; writing through &out[0]
+        // up to n+1 bytes uses the terminator slot legally via data().
+        std::vsnprintf(out.data(), static_cast<std::size_t>(n) + 1,
+                       fmt, args2);
+    }
+    va_end(args2);
+    return out;
+}
+
+std::vector<std::string>
+split(const std::string &text, char sep, bool keep_empty)
+{
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t pos = text.find(sep, start);
+        const std::size_t end = (pos == std::string::npos) ? text.size()
+                                                           : pos;
+        std::string field = text.substr(start, end - start);
+        if (keep_empty || !field.empty())
+            fields.push_back(std::move(field));
+        if (pos == std::string::npos)
+            break;
+        start = pos + 1;
+    }
+    return fields;
+}
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin]))) {
+        ++begin;
+    }
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+        --end;
+    }
+    return text.substr(begin, end - begin);
+}
+
+bool
+startsWith(const std::string &text, const std::string &prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+parseU64(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 0);
+    if (errno != 0 || end == text.c_str() || *end != '\0')
+        return false;
+    out = static_cast<std::uint64_t>(v);
+    return true;
+}
+
+std::string
+byteCountStr(std::uint64_t bytes)
+{
+    if (bytes >= 1024 && bytes % 1024 == 0)
+        return strfmt("%lluK", static_cast<unsigned long long>(bytes / 1024));
+    return strfmt("%llu", static_cast<unsigned long long>(bytes));
+}
+
+} // namespace occsim

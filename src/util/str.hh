@@ -1,0 +1,41 @@
+/**
+ * @file
+ * String formatting and parsing helpers. GCC 12 lacks <format>, so a
+ * printf-backed strfmt() stands in for std::format throughout occsim.
+ */
+
+#ifndef OCCSIM_UTIL_STR_HH
+#define OCCSIM_UTIL_STR_HH
+
+#include <string>
+#include <vector>
+
+namespace occsim {
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Split @p text on @p sep, dropping empty fields when @p keepEmpty
+ *  is false. */
+std::vector<std::string> split(const std::string &text, char sep,
+                               bool keep_empty = false);
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string &text);
+
+/** Case-sensitive prefix test. */
+bool startsWith(const std::string &text, const std::string &prefix);
+
+/**
+ * Parse an unsigned integer, accepting decimal or 0x-prefixed hex.
+ * @return true on success, storing the value in @p out.
+ */
+bool parseU64(const std::string &text, std::uint64_t &out);
+
+/** Render a byte count compactly, e.g. "64", "1K", "16K". */
+std::string byteCountStr(std::uint64_t bytes);
+
+} // namespace occsim
+
+#endif // OCCSIM_UTIL_STR_HH

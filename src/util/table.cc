@@ -1,0 +1,132 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace occsim {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    occsim_assert(!headers_.empty(), "a table needs at least one column");
+}
+
+void
+TableWriter::addRow(std::vector<std::string> cells)
+{
+    occsim_assert(cells.size() == headers_.size(),
+                  "row arity %zu does not match header arity %zu",
+                  cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TableWriter::setTitle(std::string title)
+{
+    title_ = std::move(title);
+}
+
+std::vector<std::size_t>
+TableWriter::columnWidths() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    return widths;
+}
+
+void
+TableWriter::print(std::ostream &os) const
+{
+    const auto widths = columnWidths();
+    if (!title_.empty())
+        os << title_ << '\n';
+
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size()) {
+                for (std::size_t pad = cells[c].size();
+                     pad < widths[c] + 2; ++pad) {
+                    os << ' ';
+                }
+            }
+        }
+        os << '\n';
+    };
+
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    for (std::size_t i = 0; i < total; ++i)
+        os << '-';
+    os << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+namespace {
+
+std::string
+csvEscape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+TableWriter::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << csvEscape(cells[c]);
+            if (c + 1 < cells.size())
+                os << ',';
+        }
+        os << '\n';
+    };
+    emit_row(headers_);
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+void
+TableWriter::printMarkdown(std::ostream &os) const
+{
+    if (!title_.empty())
+        os << "### " << title_ << "\n\n";
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        os << "| ";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            os << (c + 1 < cells.size() ? " | " : " |");
+        }
+        os << '\n';
+    };
+    emit_row(headers_);
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << "---|";
+    os << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+} // namespace occsim

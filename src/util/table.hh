@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Aligned text-table and CSV emission. Every experiment harness in
+ * occsim reports its rows through TableWriter so that bench output is
+ * consistent, diffable, and easy to paste next to the paper's tables.
+ */
+
+#ifndef OCCSIM_UTIL_TABLE_HH
+#define OCCSIM_UTIL_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace occsim {
+
+/**
+ * A simple column-aligned table builder.
+ *
+ * Usage:
+ * @code
+ *   TableWriter t({"config", "miss", "traffic"});
+ *   t.addRow({"16,8", "0.052", "0.206"});
+ *   t.print(std::cout);           // aligned text
+ *   t.printCsv(std::cout);        // CSV
+ *   t.printMarkdown(std::cout);   // GitHub-flavored markdown
+ * @endcode
+ */
+class TableWriter
+{
+  public:
+    explicit TableWriter(std::vector<std::string> headers);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Optional title printed above the table. */
+    void setTitle(std::string title);
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Emit the table with space-aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Emit the table as CSV (RFC-4180-ish quoting of commas). */
+    void printCsv(std::ostream &os) const;
+
+    /** Emit the table as a GitHub markdown table. */
+    void printMarkdown(std::ostream &os) const;
+
+  private:
+    std::vector<std::size_t> columnWidths() const;
+
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace occsim
+
+#endif // OCCSIM_UTIL_TABLE_HH

@@ -1,0 +1,467 @@
+#include "vm/assembler.hh"
+
+#include <cctype>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace occsim {
+
+MachineConfig
+MachineConfig::word16()
+{
+    MachineConfig config;
+    config.wordSize = 2;
+    config.addressBits = 16;
+    config.codeBase = 0x0100;
+    config.dataBase = 0x4000;
+    config.memBytes = 1u << 16;
+    return config;
+}
+
+MachineConfig
+MachineConfig::word32(std::uint32_t mem_bytes)
+{
+    MachineConfig config;
+    config.wordSize = 4;
+    config.addressBits = 24;
+    config.codeBase = 0x00001000;
+    config.dataBase = 0x00020000;
+    config.memBytes = mem_bytes;
+    return config;
+}
+
+std::uint32_t
+Program::codeBytes() const
+{
+    return static_cast<std::uint32_t>(pcMap.size()) * config.wordSize;
+}
+
+Addr
+Program::symbol(const std::string &name) const
+{
+    const auto it = symbols.find(name);
+    if (it == symbols.end())
+        fatal("unknown symbol '%s'", name.c_str());
+    return it->second;
+}
+
+namespace {
+
+/** Working state for one assembly run. */
+class Assembler
+{
+  public:
+    Assembler(const std::string &source, const MachineConfig &config)
+        : source_(source), config_(config)
+    {
+    }
+
+    Program run();
+
+  private:
+    struct Statement
+    {
+        int lineNo;
+        std::string label;      ///< empty if none
+        std::string mnemonic;   ///< instruction or directive ('.'-led)
+        std::vector<std::string> operands;
+    };
+
+    [[noreturn]] void err(int line_no, const std::string &message) const
+    {
+        fatal("asm line %d: %s", line_no, message.c_str());
+    }
+
+    std::vector<Statement> parse() const;
+    void firstPass(const std::vector<Statement> &statements);
+    void secondPass(const std::vector<Statement> &statements);
+
+    bool isRegister(const std::string &token, unsigned &reg) const;
+    unsigned parseRegister(const Statement &st,
+                           const std::string &token) const;
+    std::int64_t evalExpr(const Statement &st,
+                          const std::string &expr) const;
+    void emitWord(std::int64_t value);
+
+    const std::string &source_;
+    MachineConfig config_;
+    Program program_;
+    std::map<std::string, std::int64_t> equs_;
+    bool inData_ = false;
+    std::uint32_t codeWords_ = 0;  ///< first pass location counter
+    std::uint32_t dataBytes_ = 0;  ///< first pass location counter
+};
+
+std::vector<Assembler::Statement>
+Assembler::parse() const
+{
+    std::vector<Statement> statements;
+    int line_no = 0;
+    for (std::string &raw : split(source_, '\n', true)) {
+        ++line_no;
+        const std::size_t comment = raw.find(';');
+        if (comment != std::string::npos)
+            raw.erase(comment);
+        std::string line = trim(raw);
+        if (line.empty())
+            continue;
+
+        Statement st;
+        st.lineNo = line_no;
+
+        // Optional leading label ("name:").
+        const std::size_t colon = line.find(':');
+        if (colon != std::string::npos &&
+            line.find_first_of(" \t,") > colon) {
+            st.label = trim(line.substr(0, colon));
+            if (st.label.empty())
+                err(line_no, "empty label");
+            line = trim(line.substr(colon + 1));
+        }
+
+        if (!line.empty()) {
+            std::size_t space = line.find_first_of(" \t");
+            if (space == std::string::npos) {
+                st.mnemonic = line;
+            } else {
+                st.mnemonic = line.substr(0, space);
+                const std::string rest = trim(line.substr(space));
+                for (const std::string &field : split(rest, ',')) {
+                    const std::string operand = trim(field);
+                    if (operand.empty())
+                        err(line_no, "empty operand");
+                    st.operands.push_back(operand);
+                }
+            }
+        }
+        statements.push_back(std::move(st));
+    }
+    return statements;
+}
+
+bool
+Assembler::isRegister(const std::string &token, unsigned &reg) const
+{
+    if (token == "sp") {
+        reg = kSpReg;
+        return true;
+    }
+    if (token.size() < 2 || token.size() > 3 || token[0] != 'r')
+        return false;
+    unsigned value = 0;
+    for (std::size_t i = 1; i < token.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(token[i])))
+            return false;
+        value = value * 10 + static_cast<unsigned>(token[i] - '0');
+    }
+    if (value >= kNumRegs)
+        return false;
+    reg = value;
+    return true;
+}
+
+unsigned
+Assembler::parseRegister(const Statement &st,
+                         const std::string &token) const
+{
+    unsigned reg = 0;
+    if (!isRegister(token, reg))
+        err(st.lineNo, "expected register, got '" + token + "'");
+    return reg;
+}
+
+std::int64_t
+Assembler::evalExpr(const Statement &st, const std::string &expr) const
+{
+    // Grammar: term (('+'|'-') term)*, term = number | symbol.
+    // A leading '-' negates the first term.
+    std::int64_t total = 0;
+    int sign = 1;
+    std::size_t pos = 0;
+    bool expect_term = true;
+    const std::string text = expr;
+
+    auto read_term = [&]() -> std::int64_t {
+        std::size_t start = pos;
+        while (pos < text.size() && text[pos] != '+' &&
+               text[pos] != '-') {
+            ++pos;
+        }
+        const std::string token = trim(text.substr(start, pos - start));
+        if (token.empty())
+            err(st.lineNo, "malformed expression '" + expr + "'");
+        if (std::isdigit(static_cast<unsigned char>(token[0]))) {
+            std::uint64_t value = 0;
+            if (!parseU64(token, value))
+                err(st.lineNo, "bad number '" + token + "'");
+            return static_cast<std::int64_t>(value);
+        }
+        if (const auto it = equs_.find(token); it != equs_.end())
+            return it->second;
+        if (const auto it = program_.symbols.find(token);
+            it != program_.symbols.end()) {
+            return static_cast<std::int64_t>(it->second);
+        }
+        err(st.lineNo, "undefined symbol '" + token + "'");
+    };
+
+    while (pos < text.size()) {
+        if (expect_term) {
+            if (text[pos] == '-') {
+                sign = -sign;
+                ++pos;
+                continue;
+            }
+            total += sign * read_term();
+            sign = 1;
+            expect_term = false;
+        } else {
+            if (text[pos] == '+') {
+                sign = 1;
+            } else if (text[pos] == '-') {
+                sign = -1;
+            } else {
+                err(st.lineNo, "malformed expression '" + expr + "'");
+            }
+            ++pos;
+            expect_term = true;
+        }
+    }
+    if (expect_term)
+        err(st.lineNo, "malformed expression '" + expr + "'");
+    return total;
+}
+
+void
+Assembler::emitWord(std::int64_t value)
+{
+    for (std::uint32_t b = 0; b < config_.wordSize; ++b) {
+        program_.data.push_back(
+            static_cast<std::uint8_t>(value >> (8 * b)));
+    }
+}
+
+void
+Assembler::firstPass(const std::vector<Statement> &statements)
+{
+    inData_ = false;
+    codeWords_ = 0;
+    dataBytes_ = 0;
+    for (const Statement &st : statements) {
+        if (!st.label.empty()) {
+            const Addr addr =
+                inData_ ? config_.dataBase + dataBytes_
+                        : config_.codeBase +
+                              codeWords_ * config_.wordSize;
+            if (!program_.symbols.emplace(st.label, addr).second)
+                err(st.lineNo, "duplicate label '" + st.label + "'");
+        }
+        if (st.mnemonic.empty())
+            continue;
+        if (st.mnemonic[0] == '.') {
+            if (st.mnemonic == ".code") {
+                inData_ = false;
+            } else if (st.mnemonic == ".data") {
+                inData_ = true;
+            } else if (st.mnemonic == ".equ") {
+                if (st.operands.size() != 2)
+                    err(st.lineNo, ".equ needs name, value");
+                // Defer evaluation to the second pass only for
+                // ordering simplicity: evaluate now with what we have
+                // (numbers and earlier equs), which covers all uses.
+                equs_[st.operands[0]] = evalExpr(st, st.operands[1]);
+            } else if (st.mnemonic == ".word") {
+                if (!inData_)
+                    err(st.lineNo, ".word outside .data");
+                dataBytes_ += static_cast<std::uint32_t>(
+                                  st.operands.size()) *
+                              config_.wordSize;
+            } else if (st.mnemonic == ".space") {
+                if (!inData_)
+                    err(st.lineNo, ".space outside .data");
+                if (st.operands.size() != 1)
+                    err(st.lineNo, ".space needs a byte count");
+                dataBytes_ += static_cast<std::uint32_t>(
+                    evalExpr(st, st.operands[0]));
+            } else if (st.mnemonic == ".spacew") {
+                if (!inData_)
+                    err(st.lineNo, ".spacew outside .data");
+                if (st.operands.size() != 1)
+                    err(st.lineNo, ".spacew needs a word count");
+                dataBytes_ += static_cast<std::uint32_t>(
+                                  evalExpr(st, st.operands[0])) *
+                              config_.wordSize;
+            } else {
+                err(st.lineNo,
+                    "unknown directive '" + st.mnemonic + "'");
+            }
+            continue;
+        }
+        if (inData_)
+            err(st.lineNo, "instruction inside .data");
+        const Opcode op = opcodeFromName(st.mnemonic);
+        if (op == Opcode::NumOpcodes)
+            err(st.lineNo, "unknown mnemonic '" + st.mnemonic + "'");
+        codeWords_ += opcodeLengthWords(op);
+    }
+}
+
+void
+Assembler::secondPass(const std::vector<Statement> &statements)
+{
+    inData_ = false;
+    program_.pcMap.assign(codeWords_, -1);
+    std::uint32_t word = 0;
+
+    for (const Statement &st : statements) {
+        if (st.mnemonic.empty())
+            continue;
+        if (st.mnemonic[0] == '.') {
+            if (st.mnemonic == ".code") {
+                inData_ = false;
+            } else if (st.mnemonic == ".data") {
+                inData_ = true;
+            } else if (st.mnemonic == ".word") {
+                for (const std::string &operand : st.operands)
+                    emitWord(evalExpr(st, operand));
+            } else if (st.mnemonic == ".space") {
+                const auto bytes = static_cast<std::uint32_t>(
+                    evalExpr(st, st.operands[0]));
+                program_.data.insert(program_.data.end(), bytes, 0);
+            } else if (st.mnemonic == ".spacew") {
+                const auto bytes = static_cast<std::uint32_t>(
+                                       evalExpr(st, st.operands[0])) *
+                                   config_.wordSize;
+                program_.data.insert(program_.data.end(), bytes, 0);
+            }
+            continue;
+        }
+
+        const Opcode op = opcodeFromName(st.mnemonic);
+        Instruction instr;
+        instr.op = op;
+        const auto &ops = st.operands;
+        auto need = [&](std::size_t n) {
+            if (ops.size() != n) {
+                err(st.lineNo,
+                    strfmt("'%s' needs %zu operands, got %zu",
+                           st.mnemonic.c_str(), n, ops.size()));
+            }
+        };
+
+        switch (op) {
+          case Opcode::NOP:
+          case Opcode::HALT:
+          case Opcode::RET:
+            need(0);
+            break;
+          case Opcode::MOVI:
+            need(2);
+            instr.rd = parseRegister(st, ops[0]);
+            instr.imm = static_cast<std::int32_t>(evalExpr(st, ops[1]));
+            break;
+          case Opcode::MOV:
+            need(2);
+            instr.rd = parseRegister(st, ops[0]);
+            instr.rs = parseRegister(st, ops[1]);
+            break;
+          case Opcode::ADD:
+          case Opcode::SUB:
+          case Opcode::MUL:
+          case Opcode::DIVS:
+          case Opcode::MODS:
+          case Opcode::AND:
+          case Opcode::OR:
+          case Opcode::XOR:
+            need(3);
+            instr.rd = parseRegister(st, ops[0]);
+            instr.rs = parseRegister(st, ops[1]);
+            instr.rt = parseRegister(st, ops[2]);
+            break;
+          case Opcode::ADDI:
+          case Opcode::SHLI:
+          case Opcode::SHRI:
+            need(3);
+            instr.rd = parseRegister(st, ops[0]);
+            instr.rs = parseRegister(st, ops[1]);
+            instr.imm = static_cast<std::int32_t>(evalExpr(st, ops[2]));
+            break;
+          case Opcode::LD:
+            need(3);
+            instr.rd = parseRegister(st, ops[0]);
+            instr.rs = parseRegister(st, ops[1]);
+            instr.imm = static_cast<std::int32_t>(evalExpr(st, ops[2]));
+            break;
+          case Opcode::ST:
+            need(3);
+            instr.rs = parseRegister(st, ops[0]);
+            instr.rt = parseRegister(st, ops[1]);
+            instr.imm = static_cast<std::int32_t>(evalExpr(st, ops[2]));
+            break;
+          case Opcode::PUSH:
+            need(1);
+            instr.rs = parseRegister(st, ops[0]);
+            break;
+          case Opcode::POP:
+            need(1);
+            instr.rd = parseRegister(st, ops[0]);
+            break;
+          case Opcode::BEQ:
+          case Opcode::BNE:
+          case Opcode::BLT:
+          case Opcode::BGE:
+            need(3);
+            instr.rs = parseRegister(st, ops[0]);
+            instr.rt = parseRegister(st, ops[1]);
+            instr.imm = static_cast<std::int32_t>(evalExpr(st, ops[2]));
+            break;
+          case Opcode::JMP:
+          case Opcode::CALL:
+            need(1);
+            instr.imm = static_cast<std::int32_t>(evalExpr(st, ops[0]));
+            break;
+          case Opcode::NumOpcodes:
+            err(st.lineNo, "internal: bad opcode");
+        }
+
+        program_.pcMap[word] =
+            static_cast<std::int32_t>(program_.instrs.size());
+        program_.instrAddr.push_back(config_.codeBase +
+                                     word * config_.wordSize);
+        program_.instrs.push_back(instr);
+        word += opcodeLengthWords(op);
+    }
+}
+
+Program
+Assembler::run()
+{
+    program_.config = config_;
+    equs_["WSIZE"] = config_.wordSize;
+    equs_["WSHIFT"] = floorLog2(config_.wordSize);
+    const std::vector<Statement> statements = parse();
+    firstPass(statements);
+    secondPass(statements);
+
+    const std::uint32_t code_end =
+        config_.codeBase + codeWords_ * config_.wordSize;
+    if (code_end > config_.dataBase)
+        fatal("code section (%u bytes) overruns data base 0x%x",
+              codeWords_ * config_.wordSize, config_.dataBase);
+    if (config_.dataBase + program_.data.size() > config_.memBytes)
+        fatal("data section (%zu bytes) overruns memory (%u bytes)",
+              program_.data.size(), config_.memBytes);
+    return std::move(program_);
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source, const MachineConfig &config)
+{
+    Assembler assembler(source, config);
+    return assembler.run();
+}
+
+} // namespace occsim

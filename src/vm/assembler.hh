@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Two-pass assembler for OC-1 assembly text.
+ *
+ * Syntax (one statement per line; ';' starts a comment):
+ *
+ *   .code                ; switch to the code section (the default)
+ *   .data                ; switch to the data section
+ *   .equ NAME, expr      ; define a constant
+ *   .word e1, e2, ...    ; emit initialized machine words (data)
+ *   .space N             ; reserve N bytes (data)
+ *   .spacew N            ; reserve N machine words (data)
+ *   label:               ; define a label at the current location
+ *       movi r1, 100
+ *       ld   r2, r1, 4   ; r2 = mem[r1 + 4]
+ *       st   r1, r2, 0   ; mem[r1 + 0] = r2
+ *       beq  r1, r2, done
+ *
+ * Operands: registers r0..r15 (alias sp = r15); immediates are
+ * expressions of the form  term (('+'|'-') term)*  where a term is a
+ * decimal/0x number, a label, or an .equ constant. The assembler
+ * predefines WSIZE (machine word bytes) and WSHIFT (log2 of WSIZE) so
+ * programs can be written once and traced on 16- and 32-bit machines.
+ *
+ * Code labels resolve to byte addresses starting at codeBase; data
+ * labels to byte addresses starting at dataBase.
+ */
+
+#ifndef OCCSIM_VM_ASSEMBLER_HH
+#define OCCSIM_VM_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/bitops.hh"
+#include "vm/isa.hh"
+
+namespace occsim {
+
+/** Memory layout and word width for one machine instance. */
+struct MachineConfig
+{
+    std::uint32_t wordSize = 2;      ///< 2 (16-bit) or 4 (32-bit)
+    std::uint32_t addressBits = 16;  ///< size of the address space
+    Addr codeBase = 0x0100;          ///< first instruction byte address
+    Addr dataBase = 0x4000;          ///< first data byte address
+    Addr stackTop = 0;               ///< initial sp; 0 = top of memory
+    std::uint32_t memBytes = 1u << 16;
+
+    /** 16-bit profile: 64 KB space, word = 2. */
+    static MachineConfig word16();
+    /** 32-bit profile: 16 MB modelled space, word = 4. */
+    static MachineConfig word32(std::uint32_t mem_bytes = 1u << 24);
+
+    /** Initial stack pointer after defaulting. */
+    Addr initialSp() const
+    {
+        return stackTop != 0 ? stackTop : memBytes;
+    }
+};
+
+/** Assembled program image. */
+struct Program
+{
+    std::vector<Instruction> instrs;   ///< in code order
+    std::vector<Addr> instrAddr;       ///< byte address of each instr
+    std::vector<std::int32_t> pcMap;   ///< word offset -> instr index
+                                       ///  (-1 = interior operand word)
+    std::vector<std::uint8_t> data;    ///< data section image
+    std::map<std::string, Addr> symbols;
+    MachineConfig config;
+
+    /** Byte size of the code section. */
+    std::uint32_t codeBytes() const;
+
+    /** Look up a symbol; calls fatal() if missing. */
+    Addr symbol(const std::string &name) const;
+};
+
+/**
+ * Assemble @p source for @p config.
+ * Calls fatal() with a line diagnostic on any syntax error (assembly
+ * text is user input).
+ */
+Program assemble(const std::string &source, const MachineConfig &config);
+
+} // namespace occsim
+
+#endif // OCCSIM_VM_ASSEMBLER_HH

@@ -1,0 +1,117 @@
+#include "vm/disasm.hh"
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace occsim {
+
+namespace {
+
+std::string
+reg(unsigned index)
+{
+    return strfmt("r%u", index);
+}
+
+} // namespace
+
+std::string
+disassembleInstruction(const Instruction &instr)
+{
+    const char *name = opcodeName(instr.op);
+    switch (instr.op) {
+      case Opcode::NOP:
+      case Opcode::HALT:
+      case Opcode::RET:
+        return name;
+      case Opcode::MOVI:
+        return strfmt("%-4s %s, %d", name, reg(instr.rd).c_str(),
+                      instr.imm);
+      case Opcode::MOV:
+        return strfmt("%-4s %s, %s", name, reg(instr.rd).c_str(),
+                      reg(instr.rs).c_str());
+      case Opcode::ADD:
+      case Opcode::SUB:
+      case Opcode::MUL:
+      case Opcode::DIVS:
+      case Opcode::MODS:
+      case Opcode::AND:
+      case Opcode::OR:
+      case Opcode::XOR:
+        return strfmt("%-4s %s, %s, %s", name, reg(instr.rd).c_str(),
+                      reg(instr.rs).c_str(), reg(instr.rt).c_str());
+      case Opcode::ADDI:
+      case Opcode::SHLI:
+      case Opcode::SHRI:
+      case Opcode::LD:
+        return strfmt("%-4s %s, %s, %d", name, reg(instr.rd).c_str(),
+                      reg(instr.rs).c_str(), instr.imm);
+      case Opcode::ST:
+        return strfmt("%-4s %s, %s, %d", name, reg(instr.rs).c_str(),
+                      reg(instr.rt).c_str(), instr.imm);
+      case Opcode::PUSH:
+        return strfmt("%-4s %s", name, reg(instr.rs).c_str());
+      case Opcode::POP:
+        return strfmt("%-4s %s", name, reg(instr.rd).c_str());
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+        return strfmt("%-4s %s, %s, %d", name, reg(instr.rs).c_str(),
+                      reg(instr.rt).c_str(), instr.imm);
+      case Opcode::JMP:
+      case Opcode::CALL:
+        return strfmt("%-4s %d", name, instr.imm);
+      case Opcode::NumOpcodes:
+        break;
+    }
+    panic("disassembling invalid opcode %d",
+          static_cast<int>(instr.op));
+}
+
+std::string
+disassemble(const Program &program)
+{
+    const MachineConfig &config = program.config;
+    std::string text;
+    text += strfmt("; OC-1 disassembly: %zu instructions, %zu data "
+                   "bytes, word %u\n",
+                   program.instrs.size(), program.data.size(),
+                   config.wordSize);
+    text += ".code\n";
+    for (std::size_t i = 0; i < program.instrs.size(); ++i) {
+        text += strfmt("    %-28s ; @0x%04x\n",
+                       disassembleInstruction(program.instrs[i])
+                           .c_str(),
+                       program.instrAddr[i]);
+    }
+
+    if (!program.data.empty()) {
+        text += ".data\n";
+        const std::uint32_t word = config.wordSize;
+        const std::size_t words = program.data.size() / word;
+        for (std::size_t w = 0; w < words; ++w) {
+            std::uint32_t value = 0;
+            for (std::uint32_t b = 0; b < word; ++b) {
+                value |= static_cast<std::uint32_t>(
+                             program.data[w * word + b])
+                         << (8 * b);
+            }
+            if (w % 8 == 0)
+                text += w == 0 ? ".word " : "\n.word ";
+            else
+                text += ", ";
+            text += strfmt("%u", value);
+        }
+        text += "\n";
+        // Any trailing sub-word bytes (possible only with .space of
+        // odd length) are preserved as .space.
+        const std::size_t tail = program.data.size() % word;
+        if (tail != 0) {
+            warn("disassembly drops %zu trailing data bytes", tail);
+        }
+    }
+    return text;
+}
+
+} // namespace occsim

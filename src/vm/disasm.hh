@@ -1,0 +1,34 @@
+/**
+ * @file
+ * OC-1 disassembler: renders an assembled Program back to assembly
+ * text. Used for program-library debugging, the asmview tool, and —
+ * through the assemble/disassemble/assemble round-trip property in
+ * the tests — as an independent check that the assembler's encoding
+ * and the disassembler's decoding agree exactly.
+ */
+
+#ifndef OCCSIM_VM_DISASM_HH
+#define OCCSIM_VM_DISASM_HH
+
+#include <string>
+
+#include "vm/assembler.hh"
+
+namespace occsim {
+
+/** Render one instruction as assembly (no label, no address). */
+std::string disassembleInstruction(const Instruction &instr);
+
+/**
+ * Render the whole program: one line per instruction with its byte
+ * address, synthetic labels (`L_<addr>`) at every branch/call target,
+ * and the data section as `.spacew`/`.word` directives.
+ *
+ * The output re-assembles (under the same MachineConfig) to a program
+ * with identical instructions, addresses and data image.
+ */
+std::string disassemble(const Program &program);
+
+} // namespace occsim
+
+#endif // OCCSIM_VM_DISASM_HH

@@ -1,0 +1,83 @@
+#include "vm/isa.hh"
+
+#include <unordered_map>
+
+namespace occsim {
+
+namespace {
+
+struct OpInfo
+{
+    const char *name;
+    unsigned lenWords;
+};
+
+const OpInfo kOpInfo[] = {
+    {"nop", 1},   // NOP
+    {"halt", 1},  // HALT
+    {"movi", 2},  // MOVI
+    {"mov", 1},   // MOV
+    {"add", 1},   // ADD
+    {"sub", 1},   // SUB
+    {"mul", 1},   // MUL
+    {"divs", 1},  // DIVS
+    {"mods", 1},  // MODS
+    {"and", 1},   // AND
+    {"or", 1},    // OR
+    {"xor", 1},   // XOR
+    {"addi", 2},  // ADDI
+    {"shli", 2},  // SHLI
+    {"shri", 2},  // SHRI
+    {"ld", 2},    // LD
+    {"st", 2},    // ST
+    {"push", 1},  // PUSH
+    {"pop", 1},   // POP
+    {"beq", 2},   // BEQ
+    {"bne", 2},   // BNE
+    {"blt", 2},   // BLT
+    {"bge", 2},   // BGE
+    {"jmp", 2},   // JMP
+    {"call", 2},  // CALL
+    {"ret", 1},   // RET
+};
+
+static_assert(sizeof(kOpInfo) / sizeof(kOpInfo[0]) ==
+                  static_cast<std::size_t>(Opcode::NumOpcodes),
+              "opcode table out of sync");
+
+} // namespace
+
+const char *
+opcodeName(Opcode op)
+{
+    const auto index = static_cast<std::size_t>(op);
+    if (index >= static_cast<std::size_t>(Opcode::NumOpcodes))
+        return "bad";
+    return kOpInfo[index].name;
+}
+
+Opcode
+opcodeFromName(const std::string &mnemonic)
+{
+    static const std::unordered_map<std::string, Opcode> table = [] {
+        std::unordered_map<std::string, Opcode> map;
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(Opcode::NumOpcodes); ++i) {
+            map.emplace(kOpInfo[i].name, static_cast<Opcode>(i));
+        }
+        return map;
+    }();
+    const auto it = table.find(mnemonic);
+    return it == table.end() ? Opcode::NumOpcodes : it->second;
+}
+
+unsigned
+opcodeLengthWords(Opcode op)
+{
+    const auto index = static_cast<std::size_t>(op);
+    if (index >= static_cast<std::size_t>(Opcode::NumOpcodes))
+        return 1;
+    return kOpInfo[index].lenWords;
+}
+
+} // namespace occsim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The OC-1 instruction set: a small load/store register architecture
+ * used to *generate* address traces for the cache studies.
+ *
+ * The paper's traces came from real programs on four machines; those
+ * traces are lost, so occsim executes real programs (sorts, searches,
+ * scanners, formatters, numeric kernels) on this machine and records
+ * every instruction fetch and data reference. What matters for cache
+ * behaviour is the address stream's locality structure, which comes
+ * from genuine control flow and data structures, not from the
+ * particular opcode encoding.
+ *
+ * Encoding model (not bit-level; trace generation only):
+ *  - the machine word is 2 bytes (16-bit configurations: PDP-11,
+ *    Z8000) or 4 bytes (32-bit configurations: VAX-11, System/370);
+ *  - register-register instructions occupy one word;
+ *  - instructions carrying an immediate or address operand occupy two
+ *    words (opcode word + operand word), as on the PDP-11;
+ *  - each occupied word is fetched separately, producing the
+ *    sequential multi-word instruction-fetch patterns small machines
+ *    exhibit.
+ *
+ * 16 general registers r0..r15; r15 doubles as the stack pointer
+ * (alias "sp"). CALL pushes the return address; RET pops it.
+ */
+
+#ifndef OCCSIM_VM_ISA_HH
+#define OCCSIM_VM_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace occsim {
+
+/** OC-1 opcodes. */
+enum class Opcode : std::uint8_t {
+    NOP = 0,
+    HALT,
+
+    // moves / ALU (register-register unless noted)
+    MOVI,   ///< rd = imm                      (2 words)
+    MOV,    ///< rd = rs                       (1 word)
+    ADD,    ///< rd = rs + rt                  (1 word)
+    SUB,    ///< rd = rs - rt                  (1 word)
+    MUL,    ///< rd = rs * rt                  (1 word)
+    DIVS,   ///< rd = rs / rt (signed; 0 -> 0) (1 word)
+    MODS,   ///< rd = rs % rt (signed; 0 -> 0) (1 word)
+    AND,    ///< rd = rs & rt                  (1 word)
+    OR,     ///< rd = rs | rt                  (1 word)
+    XOR,    ///< rd = rs ^ rt                  (1 word)
+    ADDI,   ///< rd = rs + imm                 (2 words)
+    SHLI,   ///< rd = rs << imm                (2 words)
+    SHRI,   ///< rd = rs >> imm (logical)      (2 words)
+
+    // memory
+    LD,     ///< rd = mem[rs + imm]            (2 words)
+    ST,     ///< mem[rs + imm] = rt            (2 words)
+    PUSH,   ///< sp -= W; mem[sp] = rs         (1 word)
+    POP,    ///< rd = mem[sp]; sp += W         (1 word)
+
+    // control
+    BEQ,    ///< if (rs == rt) pc = imm        (2 words)
+    BNE,    ///< if (rs != rt) pc = imm        (2 words)
+    BLT,    ///< if (rs <  rt) pc = imm        (2 words)
+    BGE,    ///< if (rs >= rt) pc = imm        (2 words)
+    JMP,    ///< pc = imm                      (2 words)
+    CALL,   ///< push return addr; pc = imm    (2 words)
+    RET,    ///< pop pc                        (1 word)
+
+    NumOpcodes
+};
+
+/** @return the mnemonic for @p op (lower case). */
+const char *opcodeName(Opcode op);
+
+/** @return the opcode for @p mnemonic, or NumOpcodes if unknown. */
+Opcode opcodeFromName(const std::string &mnemonic);
+
+/** @return instruction length in machine words (1 or 2). */
+unsigned opcodeLengthWords(Opcode op);
+
+/** A decoded OC-1 instruction (assembler output). */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    std::uint8_t rd = 0;
+    std::uint8_t rs = 0;
+    std::uint8_t rt = 0;
+    std::int32_t imm = 0;  ///< immediate or resolved address
+};
+
+/** Stack-pointer register index. */
+constexpr unsigned kSpReg = 15;
+
+/** Number of general registers. */
+constexpr unsigned kNumRegs = 16;
+
+} // namespace occsim
+
+#endif // OCCSIM_VM_ISA_HH

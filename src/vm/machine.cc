@@ -1,0 +1,321 @@
+#include "vm/machine.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace occsim {
+
+Machine::Machine(Program program)
+    : program_(std::move(program)),
+      wordSize_(program_.config.wordSize)
+{
+    const MachineConfig &config = program_.config;
+    occsim_assert(config.wordSize == 2 || config.wordSize == 4,
+                  "word size must be 2 or 4");
+    addrMask_ = config.addressBits >= 32
+                    ? ~Addr{0}
+                    : ((Addr{1} << config.addressBits) - 1);
+    memory_.resize(config.memBytes, 0);
+    restart();
+}
+
+void
+Machine::restart()
+{
+    std::memset(memory_.data(), 0, memory_.size());
+    if (!program_.data.empty()) {
+        std::memcpy(memory_.data() + program_.config.dataBase,
+                    program_.data.data(), program_.data.size());
+    }
+    for (auto &reg : regs_)
+        reg = 0;
+    regs_[kSpReg] =
+        static_cast<std::int32_t>(program_.config.initialSp());
+    instrIndex_ = 0;
+    halted_ = program_.instrs.empty();
+}
+
+void
+Machine::trap(const char *why, Addr addr) const
+{
+    panic("vm trap: %s at address 0x%x (instr #%llu)", why, addr,
+          static_cast<unsigned long long>(instrCount_));
+}
+
+std::int32_t
+Machine::peekWord(Addr addr) const
+{
+    addr &= addrMask_;
+    if (addr + wordSize_ > memory_.size())
+        trap("load outside memory", addr);
+    std::uint32_t value = 0;
+    for (std::uint32_t b = 0; b < wordSize_; ++b)
+        value |= static_cast<std::uint32_t>(memory_[addr + b]) << (8 * b);
+    if (wordSize_ == 2) {
+        // Sign-extend 16-bit memory words into 32-bit registers.
+        return static_cast<std::int32_t>(
+            static_cast<std::int16_t>(value));
+    }
+    return static_cast<std::int32_t>(value);
+}
+
+void
+Machine::pokeWord(Addr addr, std::int32_t value)
+{
+    addr &= addrMask_;
+    if (addr + wordSize_ > memory_.size())
+        trap("store outside memory", addr);
+    for (std::uint32_t b = 0; b < wordSize_; ++b) {
+        memory_[addr + b] =
+            static_cast<std::uint8_t>(
+                static_cast<std::uint32_t>(value) >> (8 * b));
+    }
+}
+
+std::int32_t
+Machine::loadWord(Addr addr, std::vector<MemRef> &refs)
+{
+    addr &= addrMask_;
+    refs.push_back(MemRef{addr, RefKind::DataRead,
+                          static_cast<std::uint8_t>(wordSize_)});
+    return peekWord(addr);
+}
+
+void
+Machine::storeWord(Addr addr, std::int32_t value,
+                   std::vector<MemRef> &refs)
+{
+    addr &= addrMask_;
+    refs.push_back(MemRef{addr, RefKind::DataWrite,
+                          static_cast<std::uint8_t>(wordSize_)});
+    pokeWord(addr, value);
+}
+
+void
+Machine::jumpTo(Addr target)
+{
+    target &= addrMask_;
+    const MachineConfig &config = program_.config;
+    if (target < config.codeBase ||
+        (target - config.codeBase) % wordSize_ != 0) {
+        trap("jump to non-instruction address", target);
+    }
+    const std::size_t word = (target - config.codeBase) / wordSize_;
+    if (word >= program_.pcMap.size() || program_.pcMap[word] < 0)
+        trap("jump to non-instruction address", target);
+    instrIndex_ = static_cast<std::size_t>(program_.pcMap[word]);
+}
+
+std::int32_t
+Machine::reg(unsigned index) const
+{
+    occsim_assert(index < kNumRegs, "register index %u", index);
+    return regs_[index];
+}
+
+void
+Machine::setReg(unsigned index, std::int32_t value)
+{
+    occsim_assert(index < kNumRegs, "register index %u", index);
+    regs_[index] = value;
+}
+
+bool
+Machine::step(std::vector<MemRef> &refs)
+{
+    if (halted_)
+        return false;
+    occsim_assert(instrIndex_ < program_.instrs.size(),
+                  "pc fell off the end of the program");
+
+    const Instruction &instr = program_.instrs[instrIndex_];
+    const Addr pc = program_.instrAddr[instrIndex_];
+    const unsigned len = opcodeLengthWords(instr.op);
+
+    // Instruction fetch, one reference per occupied word.
+    for (unsigned w = 0; w < len; ++w) {
+        refs.push_back(MemRef{(pc + w * wordSize_) & addrMask_,
+                              RefKind::Ifetch,
+                              static_cast<std::uint8_t>(wordSize_)});
+    }
+
+    ++instrCount_;
+    std::size_t next = instrIndex_ + 1;
+    auto &r = regs_;
+
+    switch (instr.op) {
+      case Opcode::NOP:
+        break;
+      case Opcode::HALT:
+        halted_ = true;
+        return true;
+      case Opcode::MOVI:
+        r[instr.rd] = instr.imm;
+        break;
+      case Opcode::MOV:
+        r[instr.rd] = r[instr.rs];
+        break;
+      case Opcode::ADD:
+        r[instr.rd] = r[instr.rs] + r[instr.rt];
+        break;
+      case Opcode::SUB:
+        r[instr.rd] = r[instr.rs] - r[instr.rt];
+        break;
+      case Opcode::MUL:
+        r[instr.rd] = static_cast<std::int32_t>(
+            static_cast<std::int64_t>(r[instr.rs]) * r[instr.rt]);
+        break;
+      case Opcode::DIVS:
+        r[instr.rd] = r[instr.rt] == 0 ? 0 : r[instr.rs] / r[instr.rt];
+        break;
+      case Opcode::MODS:
+        r[instr.rd] = r[instr.rt] == 0 ? 0 : r[instr.rs] % r[instr.rt];
+        break;
+      case Opcode::AND:
+        r[instr.rd] = r[instr.rs] & r[instr.rt];
+        break;
+      case Opcode::OR:
+        r[instr.rd] = r[instr.rs] | r[instr.rt];
+        break;
+      case Opcode::XOR:
+        r[instr.rd] = r[instr.rs] ^ r[instr.rt];
+        break;
+      case Opcode::ADDI:
+        r[instr.rd] = r[instr.rs] + instr.imm;
+        break;
+      case Opcode::SHLI:
+        r[instr.rd] = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(r[instr.rs])
+            << (instr.imm & 31));
+        break;
+      case Opcode::SHRI:
+        r[instr.rd] = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(r[instr.rs]) >>
+            (instr.imm & 31));
+        break;
+      case Opcode::LD:
+        r[instr.rd] = loadWord(
+            static_cast<Addr>(r[instr.rs] + instr.imm), refs);
+        break;
+      case Opcode::ST:
+        storeWord(static_cast<Addr>(r[instr.rs] + instr.imm),
+                  r[instr.rt], refs);
+        break;
+      case Opcode::PUSH:
+        r[kSpReg] -= static_cast<std::int32_t>(wordSize_);
+        storeWord(static_cast<Addr>(r[kSpReg]), r[instr.rs], refs);
+        break;
+      case Opcode::POP:
+        r[instr.rd] = loadWord(static_cast<Addr>(r[kSpReg]), refs);
+        r[kSpReg] += static_cast<std::int32_t>(wordSize_);
+        break;
+      case Opcode::BEQ:
+        if (r[instr.rs] == r[instr.rt]) {
+            jumpTo(static_cast<Addr>(instr.imm));
+            next = instrIndex_;
+        }
+        break;
+      case Opcode::BNE:
+        if (r[instr.rs] != r[instr.rt]) {
+            jumpTo(static_cast<Addr>(instr.imm));
+            next = instrIndex_;
+        }
+        break;
+      case Opcode::BLT:
+        if (r[instr.rs] < r[instr.rt]) {
+            jumpTo(static_cast<Addr>(instr.imm));
+            next = instrIndex_;
+        }
+        break;
+      case Opcode::BGE:
+        if (r[instr.rs] >= r[instr.rt]) {
+            jumpTo(static_cast<Addr>(instr.imm));
+            next = instrIndex_;
+        }
+        break;
+      case Opcode::JMP:
+        jumpTo(static_cast<Addr>(instr.imm));
+        next = instrIndex_;
+        break;
+      case Opcode::CALL: {
+        const Addr ret_addr = pc + len * wordSize_;
+        r[kSpReg] -= static_cast<std::int32_t>(wordSize_);
+        storeWord(static_cast<Addr>(r[kSpReg]),
+                  static_cast<std::int32_t>(ret_addr), refs);
+        jumpTo(static_cast<Addr>(instr.imm));
+        next = instrIndex_;
+        break;
+      }
+      case Opcode::RET: {
+        const std::int32_t ret_addr =
+            loadWord(static_cast<Addr>(r[kSpReg]), refs);
+        r[kSpReg] += static_cast<std::int32_t>(wordSize_);
+        jumpTo(static_cast<Addr>(ret_addr));
+        next = instrIndex_;
+        break;
+      }
+      case Opcode::NumOpcodes:
+        trap("bad opcode", pc);
+    }
+
+    instrIndex_ = next;
+    return true;
+}
+
+std::uint64_t
+Machine::run(VectorTrace &sink, std::uint64_t max_refs)
+{
+    std::vector<MemRef> refs;
+    std::uint64_t emitted = 0;
+    while (!halted_ && (max_refs == 0 || emitted < max_refs)) {
+        refs.clear();
+        if (!step(refs))
+            break;
+        for (const MemRef &ref : refs) {
+            sink.append(ref);
+            ++emitted;
+        }
+    }
+    return emitted;
+}
+
+VmTraceSource::VmTraceSource(Program program, std::string name,
+                             bool loop_on_halt)
+    : machine_(std::move(program)), name_(std::move(name)),
+      loopOnHalt_(loop_on_halt)
+{
+    pending_.reserve(8);
+}
+
+bool
+VmTraceSource::next(MemRef &ref)
+{
+    while (pendingPos_ >= pending_.size()) {
+        pending_.clear();
+        pendingPos_ = 0;
+        if (machine_.halted()) {
+            if (!loopOnHalt_)
+                return false;
+            machine_.restart();
+            if (machine_.halted())
+                return false;  // empty program
+        }
+        if (!machine_.step(pending_) && pending_.empty() &&
+            !loopOnHalt_) {
+            return false;
+        }
+    }
+    ref = pending_[pendingPos_++];
+    return true;
+}
+
+void
+VmTraceSource::reset()
+{
+    machine_.restart();
+    pending_.clear();
+    pendingPos_ = 0;
+}
+
+} // namespace occsim

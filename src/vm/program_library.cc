@@ -1,0 +1,1591 @@
+#include "vm/program_library.hh"
+
+#include <vector>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace occsim {
+
+namespace {
+
+/**
+ * Emit a call to the shared pseudo-random subroutine: r1 = (r1 *
+ * 25173 + 13849) & 0x3fff, the classic 16-bit LCG, masked positive so
+ * comparisons behave identically on 16- and 32-bit machines. The
+ * routine body (randSubroutine()) must be appended once per program.
+ *
+ * Real programs of the paper's era obtained characters, random
+ * numbers, and comparisons through subroutine calls; routing the LCG
+ * through CALL/RET both exercises the stack and spreads the hot
+ * instruction footprint over separated code regions, which is what
+ * makes sub-kilobyte caches work for it (or not).
+ */
+std::string
+callRand()
+{
+    return "    call rand\n";
+}
+
+/** The rand subroutine body: r1 in/out, r0 scratch. */
+std::string
+randSubroutine()
+{
+    return "rand:\n"
+           "    movi r0, 25173\n"
+           "    mul  r1, r1, r0\n"
+           "    addi r1, r1, 13849\n"
+           "    movi r0, 16383\n"
+           "    and  r1, r1, r0\n"
+           "    ret\n";
+}
+
+/**
+ * The getch subroutine: r5 = word at r4[r2] (r4 base, r2 index), r0
+ * scratch. Scanner-style programs fetch their input through it, as C
+ * programs of the era fetched characters through getc().
+ */
+std::string
+getchSubroutine()
+{
+    return "getch:\n"
+           "    shli r0, r2, WSHIFT\n"
+           "    add  r0, r0, r4\n"
+           "    ld   r5, r0, 0\n"
+           "    ret\n";
+}
+
+/**
+ * Emit a call to a routine farm's dispatcher on the value in r5.
+ * Clobbers r0 and r5 only (the dispatcher saves r6/r7).
+ */
+std::string
+callFarm()
+{
+    return "    call dispf\n";
+}
+
+/**
+ * Generate a "routine farm": @p count small handler routines plus a
+ * dispatcher that selects one by the value in r5 (masked to the farm
+ * size) through a branch tree, the way era compilers lowered switch
+ * statements.
+ *
+ * Programs of the paper's period were not single tight loops: an
+ * editor, a formatter, or a compiler pass spreads its time over many
+ * distinct small routines (nroff request handlers, per-construct
+ * code generators, record comparators), so the hot instruction
+ * footprint is far larger than any one loop. The farm reproduces that
+ * structure with @p count handlers of roughly (10 + @p body_instrs)
+ * instructions, each also updating its own static counter in memory.
+ * Farm size is the per-architecture knob for code working-set scale
+ * (compact Z8000 utilities up to large System/370 jobs).
+ *
+ * Callers: set r5 to any value and `call dispf` (see callFarm());
+ * r0 and r5 are clobbered, r6/r7 are preserved via the stack.
+ * farmData() must be placed in .data and farmCode() after the main
+ * code. @p count must be a power of two.
+ */
+std::string
+farmCode(unsigned count, unsigned body_instrs)
+{
+    occsim_assert(isPowerOfTwo(count), "farm size must be 2^k");
+    std::string text;
+
+    // Dispatcher: save work registers, mask the selector, walk a
+    // binary compare tree to the handler. Handlers return directly
+    // to the farm caller (restoring r6/r7 first).
+    text += "dispf:\n"
+            "    push r6\n"
+            "    push r7\n";
+    text += strfmt("    movi r0, %u\n", count - 1);
+    text += "    and  r5, r5, r0\n";
+
+    // Iterative emission of the branch tree (preorder, right branch
+    // inline, left branch deferred behind a label).
+    struct Range { unsigned lo, hi; bool labelled; };
+    std::vector<Range> work{{0, count - 1, false}};
+    while (!work.empty()) {
+        Range range = work.back();
+        work.pop_back();
+        if (range.labelled)
+            text += strfmt("df_%u_%u:\n", range.lo, range.hi);
+        while (range.lo != range.hi) {
+            const unsigned mid = (range.lo + range.hi + 1) / 2;
+            text += strfmt("    movi r0, %u\n", mid);
+            text += strfmt("    blt  r5, r0, df_%u_%u\n", range.lo,
+                           mid - 1);
+            work.push_back({range.lo, mid - 1, true});
+            range.lo = mid;
+        }
+        text += strfmt("    jmp  fh_%u\n", range.lo);
+    }
+
+    // Handlers: bump a private static, do some distinctive work,
+    // restore and return.
+    for (unsigned i = 0; i < count; ++i) {
+        text += strfmt("fh_%u:\n", i);
+        text += strfmt("    movi r6, fs_%u\n", i);
+        text += "    ld   r7, r6, 0\n"
+                "    addi r7, r7, 1\n"
+                "    st   r6, r7, 0\n";
+        for (unsigned k = 0; k < body_instrs; ++k) {
+            switch (k % 4) {
+              case 0:
+                text += strfmt("    movi r0, %u\n", 257 + i * 7 + k);
+                break;
+              case 1:
+                text += "    add  r7, r7, r0\n";
+                break;
+              case 2:
+                text += strfmt("    movi r0, %u\n", 63 + i * 3 + k);
+                break;
+              default:
+                text += "    xor  r7, r7, r0\n";
+                break;
+            }
+        }
+        text += "    pop  r7\n"
+                "    pop  r6\n"
+                "    ret\n";
+    }
+    return text;
+}
+
+/** Per-handler static counters for farmCode(); place in .data. */
+std::string
+farmData(unsigned count)
+{
+    std::string text;
+    for (unsigned i = 0; i < count; ++i)
+        text += strfmt("fs_%u: .word 0\n", i);
+    return text;
+}
+
+/**
+ * Emit a loop filling @p label[0..count) with LCG values reduced
+ * modulo @p modulus (modulus 0 = raw masked values). Uses r1 as the
+ * running seed (seeded with @p seed), r2/r3/r4/r5/r6/r7 as scratch.
+ * Control continues at @p next when done.
+ */
+std::string
+fillLoop(const char *label, const char *count_expr, unsigned seed,
+         unsigned modulus, const char *loop_tag, const char *next)
+{
+    std::string text;
+    text += strfmt("    movi r1, %u\n", seed);
+    text += "    movi r2, 0\n";
+    text += strfmt("    movi r3, %s\n", count_expr);
+    text += strfmt("    movi r4, %s\n", label);
+    text += strfmt("%s:\n", loop_tag);
+    text += strfmt("    bge  r2, r3, %s\n", next);
+    text += callRand();
+    if (modulus != 0) {
+        text += strfmt("    movi r5, %u\n", modulus);
+        text += "    mods r6, r1, r5\n";
+    } else {
+        text += "    mov  r6, r1\n";
+    }
+    text += "    shli r7, r2, WSHIFT\n"
+            "    add  r7, r7, r4\n"
+            "    st   r7, r6, 0\n"
+            "    addi r2, r2, 1\n";
+    text += strfmt("    jmp  %s\n", loop_tag);
+    return text;
+}
+
+} // namespace
+
+std::string
+progBubbleSort(unsigned n)
+{
+    std::string text = strfmt(".equ N, %u\n"
+                              ".data\n"
+                              "arr: .spacew N\n"
+                              ".code\n"
+                              "main:\n",
+                              n);
+    text += fillLoop("arr", "N", 9177, 0, "init", "sort");
+    text += "sort:\n"
+            "    movi r2, 0\n"         // pass index i
+            "outer:\n"
+            "    movi r8, N-1\n"
+            "    bge  r2, r8, done\n"
+            "    movi r5, 0\n"         // j
+            "    sub  r9, r8, r2\n"    // limit = N-1-i
+            "inner:\n"
+            "    bge  r5, r9, iend\n"
+            "    call cmpsw\n"
+            "    addi r5, r5, 1\n"
+            "    jmp  inner\n"
+            "iend:\n"
+            "    addi r2, r2, 1\n"
+            "    jmp  outer\n"
+            "done:\n"
+            "    halt\n"
+            // compare-and-swap of arr[j], arr[j+1] (j = r5, base r4)
+            "cmpsw:\n"
+            "    shli r6, r5, WSHIFT\n"
+            "    add  r6, r6, r4\n"
+            "    ld   r10, r6, 0\n"
+            "    ld   r11, r6, WSIZE\n"
+            "    bge  r11, r10, cmpret\n"
+            "    st   r6, r11, 0\n"
+            "    st   r6, r10, WSIZE\n"
+            "cmpret:\n"
+            "    ret\n";
+    text += randSubroutine();
+    return text;
+}
+
+std::string
+progQuickSort(unsigned n, unsigned farm)
+{
+    std::string text = strfmt(".equ N, %u\n"
+                              ".data\n"
+                              "arr: .spacew N\n",
+                              n);
+    if (farm != 0)
+        text += farmData(farm);
+    text += ".code\n"
+            "main:\n";
+    text += fillLoop("arr", "N", 12345, 0, "init", "sortgo");
+    text += "sortgo:\n"
+            "    movi r1, 0\n"        // lo
+            "    movi r2, N-1\n"      // hi
+            "    call qsort\n"
+            "    halt\n"
+            // qsort(lo = r1, hi = r2); r4 = arr base throughout
+            "qsort:\n"
+            "    bge  r1, r2, qdone\n"
+            "    push r1\n"
+            "    push r2\n"
+            // Lomuto partition with pivot = arr[hi]
+            "    shli r5, r2, WSHIFT\n"
+            "    add  r5, r5, r4\n"
+            "    ld   r6, r5, 0\n"    // pivot
+            "    mov  r7, r1\n"       // i
+            "    mov  r8, r1\n"       // j
+            "ploop:\n"
+            "    bge  r8, r2, pdone\n"
+            "    shli r5, r8, WSHIFT\n"
+            "    add  r5, r5, r4\n"
+            "    ld   r9, r5, 0\n"    // arr[j]
+            "    bge  r9, r6, pskip\n"
+            "    shli r10, r7, WSHIFT\n"
+            "    add  r10, r10, r4\n"
+            "    ld   r11, r10, 0\n"  // arr[i]
+            "    st   r10, r9, 0\n"   // arr[i] = arr[j]
+            "    st   r5, r11, 0\n"   // arr[j] = old arr[i]
+            "    addi r7, r7, 1\n"
+            "pskip:\n";
+    if (farm != 0) {
+        // sort(1)-style per-record bookkeeping routines
+        text += "    mov  r5, r9\n";
+        text += callFarm();
+    }
+    text += "    addi r8, r8, 1\n"
+            "    jmp  ploop\n"
+            "pdone:\n"
+            // swap arr[i] and arr[hi]
+            "    shli r10, r7, WSHIFT\n"
+            "    add  r10, r10, r4\n"
+            "    ld   r11, r10, 0\n"
+            "    st   r10, r6, 0\n"
+            "    shli r5, r2, WSHIFT\n"
+            "    add  r5, r5, r4\n"
+            "    st   r5, r11, 0\n"
+            // recurse on both halves around p = r7
+            "    pop  r2\n"
+            "    pop  r1\n"
+            "    push r1\n"
+            "    push r2\n"
+            "    push r7\n"
+            "    addi r2, r7, -1\n"
+            "    call qsort\n"
+            "    pop  r7\n"
+            "    pop  r2\n"
+            "    pop  r1\n"
+            "    addi r1, r7, 1\n"
+            "    call qsort\n"
+            "qdone:\n"
+            "    ret\n";
+    text += randSubroutine();
+    if (farm != 0)
+        text += farmCode(farm, 12);
+    return text;
+}
+
+std::string
+progStringSearch(unsigned text_words, unsigned pat_len,
+                 unsigned passes)
+{
+    occsim_assert(pat_len >= 1 && pat_len < text_words / 2,
+                  "pattern must fit the text");
+    std::string text = strfmt(".equ TN, %u\n"
+                              ".equ PN, %u\n"
+                              ".equ PASSES, %u\n"
+                              ".data\n"
+                              "text: .spacew TN\n"
+                              "pat:  .spacew PN\n"
+                              "nmatch: .word 0\n"
+                              "passv: .word 0\n"
+                              ".code\n"
+                              "main:\n",
+                              text_words, pat_len, passes);
+    text += fillLoop("text", "TN", 777, 26, "tinit", "pcopy");
+    text += "pcopy:\n"
+            // pattern = text[TN/2 .. TN/2+PN-1], so >= 1 match exists
+            "    movi r8, TN\n"
+            "    shri r8, r8, 1\n"
+            "    shli r8, r8, WSHIFT\n"
+            "    add  r8, r8, r4\n"   // &text[TN/2]
+            "    movi r9, pat\n"
+            "    movi r2, 0\n"
+            "    movi r3, PN\n"
+            "pcl:\n"
+            "    bge  r2, r3, search\n"
+            "    shli r5, r2, WSHIFT\n"
+            "    add  r6, r8, r5\n"
+            "    ld   r7, r6, 0\n"
+            "    add  r6, r9, r5\n"
+            "    st   r6, r7, 0\n"
+            "    addi r2, r2, 1\n"
+            "    jmp  pcl\n"
+            "search:\n"
+            "    movi r12, 0\n"       // match count
+            "    movi r2, 0\n"        // i
+            "    movi r3, TN-PN+1\n"
+            "iloop:\n"
+            "    bge  r2, r3, sdone\n"
+            "    call cmpat\n"
+            "    movi r6, 0\n"
+            "    beq  r5, r6, snext\n"
+            "    addi r12, r12, 1\n"
+            "snext:\n"
+            "    addi r2, r2, 1\n"
+            "    jmp  iloop\n"
+            "sdone:\n"
+            "    movi r5, nmatch\n"
+            "    st   r5, r12, 0\n"
+            "    movi r5, passv\n"   // search again, as over more files
+            "    ld   r6, r5, 0\n"
+            "    addi r6, r6, 1\n"
+            "    st   r5, r6, 0\n"
+            "    movi r7, PASSES\n"
+            "    blt  r6, r7, search\n"
+            "    halt\n"
+            // r5 = 1 iff text[i .. i+PN) matches pat (i = r2)
+            "cmpat:\n"
+            "    movi r5, 0\n"        // j
+            "    movi r6, PN\n"
+            "cploop:\n"
+            "    bge  r5, r6, cpyes\n"
+            "    add  r7, r2, r5\n"
+            "    shli r7, r7, WSHIFT\n"
+            "    add  r7, r7, r4\n"
+            "    ld   r8, r7, 0\n"    // text[i+j]
+            "    shli r9, r5, WSHIFT\n"
+            "    movi r10, pat\n"
+            "    add  r9, r9, r10\n"
+            "    ld   r10, r9, 0\n"   // pat[j]
+            "    bne  r8, r10, cpno\n"
+            "    addi r5, r5, 1\n"
+            "    jmp  cploop\n"
+            "cpyes:\n"
+            "    movi r5, 1\n"
+            "    ret\n"
+            "cpno:\n"
+            "    movi r5, 0\n"
+            "    ret\n";
+    text += randSubroutine();
+    return text;
+}
+
+std::string
+progWordCount(unsigned text_words, unsigned passes, unsigned farm)
+{
+    std::string text = strfmt(".equ TN, %u\n"
+                              ".equ PASSES, %u\n"
+                              ".data\n"
+                              "text: .spacew TN\n"
+                              "wcount: .word 0\n"
+                              "passv: .word 0\n",
+                              text_words, passes);
+    if (farm != 0)
+        text += farmData(farm);
+    text += ".code\n"
+            "main:\n";
+    text += fillLoop("text", "TN", 4242, 8, "init", "scan");
+    text += "scan:\n"
+            "    movi r2, 0\n"
+            "    movi r8, 0\n"        // in-word flag
+            "    movi r9, 0\n"        // word count
+            "    movi r10, 0\n"       // zero constant
+            "sloop:\n"
+            "    bge  r2, r3, sdone\n"
+            "    call getch\n"
+            "    beq  r5, r10, sep\n"
+            "    bne  r8, r10, cont\n"
+            "    addi r9, r9, 1\n"
+            "    movi r8, 1\n"
+            "    jmp  cont\n"
+            "sep:\n"
+            "    movi r8, 0\n"
+            "cont:\n";
+    if (farm != 0) {
+        // per-character output-conversion routines, as od(1) has
+        text += "    add  r5, r5, r2\n";
+        text += callFarm();
+    }
+    text += "    addi r2, r2, 1\n"
+            "    jmp  sloop\n"
+            "sdone:\n"
+            "    movi r7, wcount\n"
+            "    st   r7, r9, 0\n"
+            "    movi r7, passv\n"   // rescan, as on multiple files
+            "    ld   r5, r7, 0\n"
+            "    addi r5, r5, 1\n"
+            "    st   r7, r5, 0\n"
+            "    movi r6, PASSES\n"
+            "    blt  r5, r6, scan\n"
+            "    halt\n";
+    text += getchSubroutine();
+    text += randSubroutine();
+    if (farm != 0)
+        text += farmCode(farm, 12);
+    return text;
+}
+
+std::string
+progMatMul(unsigned dim)
+{
+    const unsigned cells = dim * dim;
+    std::string text = strfmt(".equ D, %u\n"
+                              ".equ CELLS, %u\n"
+                              ".data\n"
+                              "ma: .spacew CELLS\n"
+                              "mb: .spacew CELLS\n"
+                              "mc: .spacew CELLS\n"
+                              ".code\n"
+                              "main:\n",
+                              dim, cells);
+    text += fillLoop("ma", "CELLS", 31415, 10, "inita", "initbs");
+    text += "initbs:\n";
+    text += fillLoop("mb", "CELLS", 27182, 10, "initb", "mmul");
+    text += "mmul:\n"
+            "    movi r1, 0\n"        // i
+            "    movi r2, D\n"
+            "mi:\n"
+            "    bge  r1, r2, done\n"
+            "    movi r3, 0\n"        // j
+            "mj:\n"
+            "    bge  r3, r2, mie\n"
+            "    movi r4, 0\n"        // k
+            "    movi r5, 0\n"        // acc
+            "    mul  r6, r1, r2\n"   // i*D
+            "mk:\n"
+            "    bge  r4, r2, mke\n"
+            "    call dotstep\n"
+            "    addi r4, r4, 1\n"
+            "    jmp  mk\n"
+            "mke:\n"
+            "    add  r7, r6, r3\n"
+            "    shli r7, r7, WSHIFT\n"
+            "    movi r8, mc\n"
+            "    add  r7, r7, r8\n"
+            "    st   r7, r5, 0\n"
+            "    addi r3, r3, 1\n"
+            "    jmp  mj\n"
+            "mie:\n"
+            "    addi r1, r1, 1\n"
+            "    jmp  mi\n"
+            "done:\n"
+            "    halt\n"
+            // acc r5 += a[i*D + k] * b[k*D + j]  (i*D = r6, k = r4,
+            // j = r3, D = r2)
+            "dotstep:\n"
+            "    add  r7, r6, r4\n"
+            "    shli r7, r7, WSHIFT\n"
+            "    movi r8, ma\n"
+            "    add  r7, r7, r8\n"
+            "    ld   r9, r7, 0\n"    // a[i][k]
+            "    mul  r10, r4, r2\n"
+            "    add  r10, r10, r3\n"
+            "    shli r10, r10, WSHIFT\n"
+            "    movi r8, mb\n"
+            "    add  r10, r10, r8\n"
+            "    ld   r11, r10, 0\n"  // b[k][j]
+            "    mul  r9, r9, r11\n"
+            "    add  r5, r5, r9\n"
+            "    ret\n";
+    text += randSubroutine();
+    return text;
+}
+
+std::string
+progLinkedList(unsigned nodes, unsigned traversals, unsigned farm)
+{
+    occsim_assert(isPowerOfTwo(nodes),
+                  "node count must be a power of two (scatter mask)");
+    std::string text = strfmt(".equ NN, %u\n"
+                              ".equ TRAV, %u\n"
+                              ".equ POOLW, %u\n"
+                              ".data\n"
+                              "pool: .spacew POOLW\n"
+                              "sum:  .word 0\n"
+                              "head: .word 0\n",
+                              nodes, traversals, nodes * 2);
+    if (farm != 0)
+        text += farmData(farm);
+    text += ".code\n"
+            "main:\n";
+    // Build the list with nodes scattered through the pool: node i
+    // lives at slot (i * 509) mod NN, so successive links jump around
+    // memory the way a heap-allocated list does.
+    text += "    movi r1, 0\n"        // i
+            "    movi r2, NN\n"
+            "    movi r3, 0\n"        // prev (null)
+            "    movi r4, pool\n"
+            "    movi r10, NN-1\n"    // mask
+            "build:\n"
+            "    bge  r1, r2, built\n"
+            "    movi r5, 509\n"
+            "    mul  r5, r5, r1\n"
+            "    and  r5, r5, r10\n"  // slot
+            "    shli r5, r5, WSHIFT\n"
+            "    shli r5, r5, 1\n"    // two words per node
+            "    add  r5, r5, r4\n"
+            "    movi r6, 1023\n"
+            "    and  r7, r1, r6\n"
+            "    st   r5, r7, 0\n"    // value
+            "    st   r5, r3, WSIZE\n" // next = prev
+            "    mov  r3, r5\n"
+            "    addi r1, r1, 1\n"
+            "    jmp  build\n"
+            "built:\n"
+            "    movi r6, head\n"
+            "    st   r6, r3, 0\n"
+            "    movi r8, 0\n"        // traversal counter
+            "    movi r9, TRAV\n"
+            "    movi r12, 0\n"       // sum
+            "tloop:\n"
+            "    bge  r8, r9, tdone\n"
+            "    movi r6, head\n"
+            "    ld   r5, r6, 0\n"
+            "    movi r11, 0\n"
+            "walk:\n"
+            "    beq  r5, r11, wend\n"
+            "    call visit\n";
+    if (farm != 0) {
+        // per-task service routines, as a scheduler dispatches
+        text += "    mov  r10, r5\n"   // save the cursor
+                "    mov  r5, r12\n";
+        text += callFarm();
+        text += "    mov  r5, r10\n";
+    }
+    text += "    jmp  walk\n"
+            "wend:\n"
+            "    addi r8, r8, 1\n"
+            "    jmp  tloop\n"
+            "tdone:\n"
+            "    movi r6, sum\n"
+            "    st   r6, r12, 0\n"
+            "    halt\n"
+            // visit node r5: accumulate its value, advance to next
+            "visit:\n"
+            "    ld   r7, r5, 0\n"
+            "    add  r12, r12, r7\n"
+            "    ld   r5, r5, WSIZE\n"
+            "    ret\n";
+    if (farm != 0)
+        text += farmCode(farm, 12);
+    return text;
+}
+
+std::string
+progPointerChase(unsigned nodes, unsigned hops)
+{
+    occsim_assert(isPowerOfTwo(nodes),
+                  "node count must be a power of two (scatter mask)");
+    occsim_assert(hops % 8 == 0,
+                  "hop count must be a multiple of eight");
+    std::string text = strfmt(".equ NN, %u\n"
+                              ".equ HOPS, %u\n"
+                              ".data\n"
+                              "pool: .spacew NN\n"
+                              "last: .word 0\n"
+                              ".code\n"
+                              "main:\n",
+                              nodes, hops);
+    // Build a scattered ring: one word per node holding the address
+    // of the previous node built; close the ring through slot 0
+    // (where node i = 0 lands, since 0 * 509 mod NN = 0).
+    text += "    movi r1, 0\n"        // i
+            "    movi r2, NN\n"
+            "    movi r3, 0\n"        // prev
+            "    movi r4, pool\n"
+            "    movi r10, NN-1\n"
+            "build:\n"
+            "    bge  r1, r2, built\n"
+            "    movi r5, 509\n"
+            "    mul  r5, r5, r1\n"
+            "    and  r5, r5, r10\n"
+            "    shli r5, r5, WSHIFT\n"
+            "    add  r5, r5, r4\n"
+            "    st   r5, r3, 0\n"
+            "    mov  r3, r5\n"
+            "    addi r1, r1, 1\n"
+            "    jmp  build\n"
+            "built:\n"
+            "    st   r4, r3, 0\n"    // pool[0] -> last: ring closed
+            "    movi r6, last\n"
+            "    st   r6, r3, 0\n"
+            // Chase the ring HOPS times, eight loads per check (the
+            // dependent-load pattern of PL/I heap structures).
+            "    mov  r5, r3\n"
+            "    movi r9, 0\n"
+            "    movi r8, HOPS\n"
+            "chase:\n"
+            "    bge  r9, r8, done\n"
+            "    ld   r5, r5, 0\n"
+            "    ld   r5, r5, 0\n"
+            "    ld   r5, r5, 0\n"
+            "    ld   r5, r5, 0\n"
+            "    ld   r5, r5, 0\n"
+            "    ld   r5, r5, 0\n"
+            "    ld   r5, r5, 0\n"
+            "    ld   r5, r5, 0\n"
+            "    addi r9, r9, 8\n"
+            "    jmp  chase\n"
+            "done:\n"
+            "    halt\n";
+    return text;
+}
+
+std::string
+progHashTable(unsigned buckets_log2, unsigned items, unsigned lookups,
+              unsigned farm)
+{
+    const unsigned buckets = 1u << buckets_log2;
+    std::string text = strfmt(".equ BMASK, %u\n"
+                              ".equ ITEMS, %u\n"
+                              ".equ LOOKUPS, %u\n"
+                              ".data\n"
+                              "table: .spacew %u\n"
+                              "pool:  .spacew %u\n"
+                              "found: .word 0\n",
+                              buckets - 1, items, lookups, buckets,
+                              items * 2);
+    if (farm != 0)
+        text += farmData(farm);
+    text += ".code\n"
+            "main:\n";
+    text += "    movi r1, 123\n"      // seed
+            "    movi r2, 0\n"        // i
+            "    movi r3, ITEMS\n"
+            "    movi r4, pool\n"
+            "ins:\n"
+            "    bge  r2, r3, lkpst\n";
+    text += callRand();
+    text += "    movi r6, BMASK\n"
+            "    and  r7, r1, r6\n"
+            "    shli r7, r7, WSHIFT\n"
+            "    movi r8, table\n"
+            "    add  r7, r7, r8\n"   // &table[b]
+            "    shli r9, r2, WSHIFT\n"
+            "    shli r9, r9, 1\n"
+            "    add  r9, r9, r4\n"   // node
+            "    st   r9, r1, 0\n"    // key
+            "    ld   r10, r7, 0\n"
+            "    st   r9, r10, WSIZE\n" // next = old head
+            "    st   r7, r9, 0\n";   // table[b] = node
+    if (farm != 0) {
+        // per-symbol semantic actions, as a compiler pass applies
+        text += "    mov  r5, r1\n";
+        text += callFarm();
+    }
+    text += "    addi r2, r2, 1\n"
+            "    jmp  ins\n"
+            "lkpst:\n"
+            "    movi r1, 123\n"      // same seed: lookups all hit
+            "    movi r2, 0\n"
+            "    movi r3, LOOKUPS\n"
+            "    movi r12, 0\n"
+            "lloop:\n"
+            "    bge  r2, r3, ldone\n";
+    text += callRand();
+    text += "    movi r6, BMASK\n"
+            "    and  r7, r1, r6\n"
+            "    shli r7, r7, WSHIFT\n"
+            "    movi r8, table\n"
+            "    add  r7, r7, r8\n"
+            "    ld   r9, r7, 0\n"    // cur
+            "    movi r11, 0\n"
+            "walk:\n"
+            "    beq  r9, r11, lnext\n"
+            "    ld   r10, r9, 0\n"
+            "    beq  r10, r1, lhit\n"
+            "    ld   r9, r9, WSIZE\n"
+            "    jmp  walk\n"
+            "lhit:\n"
+            "    addi r12, r12, 1\n"
+            "lnext:\n";
+    if (farm != 0) {
+        text += "    mov  r5, r1\n";
+        text += callFarm();
+    }
+    text += "    addi r2, r2, 1\n"
+            "    jmp  lloop\n"
+            "ldone:\n"
+            "    movi r7, found\n"
+            "    st   r7, r12, 0\n"
+            "    halt\n";
+    text += randSubroutine();
+    if (farm != 0)
+        text += farmCode(farm, 12);
+    return text;
+}
+
+std::string
+progLexer(unsigned text_words, unsigned passes, unsigned farm)
+{
+    std::string text = strfmt(".equ TN, %u\n"
+                              ".equ PASSES, %u\n"
+                              ".data\n"
+                              "text: .spacew TN\n"
+                              "toks: .spacew TN\n"
+                              "ntok: .word 0\n"
+                              "passv: .word 0\n",
+                              text_words, passes);
+    if (farm != 0)
+        text += farmData(farm);
+    text += ".code\n"
+            "main:\n";
+    text += fillLoop("text", "TN", 2468, 64, "init", "lex");
+    // Character classes: <8 whitespace, <40 letter, <52 digit,
+    // otherwise punctuation.
+    text += "lex:\n"
+            "    movi r2, 0\n"        // pos
+            "    movi r9, 0\n"        // token count
+            "    movi r10, toks\n"
+            "loop:\n"
+            "    bge  r2, r3, done\n"
+            "    call getch\n"
+            "    movi r6, 8\n"
+            "    blt  r5, r6, skipws\n"
+            "    movi r6, 40\n"
+            "    blt  r5, r6, ident\n"
+            "    movi r6, 52\n"
+            "    blt  r5, r6, number\n"
+            "    movi r8, 3\n"        // punctuation token
+            "    addi r2, r2, 1\n"
+            "    jmp  emit\n"
+            "skipws:\n"
+            "    addi r2, r2, 1\n"
+            "    jmp  loop\n"
+            "ident:\n"                // letters then letters/digits
+            "    addi r2, r2, 1\n"
+            "idl:\n"
+            "    bge  r2, r3, idend\n"
+            "    call getch\n"
+            "    movi r6, 8\n"
+            "    blt  r5, r6, idend\n"
+            "    movi r6, 52\n"
+            "    bge  r5, r6, idend\n"
+            "    addi r2, r2, 1\n"
+            "    jmp  idl\n"
+            "idend:\n"
+            "    movi r8, 1\n"
+            "    jmp  emit\n"
+            "number:\n"
+            "    addi r2, r2, 1\n"
+            "nl:\n"
+            "    bge  r2, r3, nend\n"
+            "    call getch\n"
+            "    movi r6, 40\n"
+            "    blt  r5, r6, nend\n"
+            "    movi r6, 52\n"
+            "    bge  r5, r6, nend\n"
+            "    addi r2, r2, 1\n"
+            "    jmp  nl\n"
+            "nend:\n"
+            "    movi r8, 2\n"
+            "emit:\n"
+            "    shli r7, r9, WSHIFT\n"
+            "    add  r7, r7, r10\n"
+            "    st   r7, r8, 0\n"
+            "    addi r9, r9, 1\n";
+    if (farm != 0) {
+        // per-token actions, as a compiler front end performs
+        // (r5 still holds the last character read)
+        text += callFarm();
+    }
+    text += "    jmp  loop\n"
+            "done:\n"
+            "    movi r7, ntok\n"
+            "    st   r7, r9, 0\n"
+            "    movi r7, passv\n"   // multi-pass, as a compiler is
+            "    ld   r5, r7, 0\n"
+            "    addi r5, r5, 1\n"
+            "    st   r7, r5, 0\n"
+            "    movi r6, PASSES\n"
+            "    blt  r5, r6, lex\n"
+            "    halt\n";
+    text += getchSubroutine();
+    text += randSubroutine();
+    if (farm != 0)
+        text += farmCode(farm, 12);
+    return text;
+}
+
+std::string
+progTextFormat(unsigned text_words, unsigned line_width,
+               unsigned passes, unsigned farm)
+{
+    std::string text = strfmt(".equ TN, %u\n"
+                              ".equ LW, %u\n"
+                              ".equ PASSES, %u\n"
+                              ".data\n"
+                              "inbuf: .spacew TN\n"
+                              "outbuf: .spacew %u\n"
+                              "nlines: .word 0\n"
+                              "passv: .word 0\n",
+                              text_words, line_width, passes,
+                              text_words * 2);
+    if (farm != 0)
+        text += farmData(farm);
+    text += ".code\n"
+            "main:\n";
+    // inbuf[i] = word length 1..12
+    text += "    movi r1, 1357\n"
+            "    movi r2, 0\n"
+            "    movi r3, TN\n"
+            "    movi r4, inbuf\n"
+            "init:\n"
+            "    bge  r2, r3, fmt\n";
+    text += callRand();
+    text += "    movi r5, 12\n"
+            "    mods r6, r1, r5\n"
+            "    addi r6, r6, 1\n"
+            "    shli r7, r2, WSHIFT\n"
+            "    add  r7, r7, r4\n"
+            "    st   r7, r6, 0\n"
+            "    addi r2, r2, 1\n"
+            "    jmp  init\n"
+            "fmt:\n"
+            "    movi r2, 0\n"        // in position
+            "    movi r8, 0\n"        // out position
+            "    movi r9, 0\n"        // column
+            "    movi r10, outbuf\n"
+            "    movi r11, LW\n"
+            "    movi r12, 0\n"       // line count
+            "floop:\n"
+            "    bge  r2, r3, fdone\n"
+            "    call getch\n"        // r5 = word length
+            "    add  r6, r9, r5\n"
+            "    blt  r6, r11, fit\n"
+            "    movi r6, -1\n"       // newline marker
+            "    shli r7, r8, WSHIFT\n"
+            "    add  r7, r7, r10\n"
+            "    st   r7, r6, 0\n"
+            "    addi r8, r8, 1\n"
+            "    addi r12, r12, 1\n"
+            "    movi r9, 0\n"
+            "fit:\n"
+            "    shli r7, r8, WSHIFT\n"
+            "    add  r7, r7, r10\n"
+            "    st   r7, r5, 0\n"
+            "    addi r8, r8, 1\n"
+            "    add  r9, r9, r5\n"
+            "    addi r9, r9, 1\n";   // trailing space
+    if (farm != 0) {
+        // per-word request handlers, as nroff dispatches
+        text += "    add  r5, r5, r2\n";
+        text += callFarm();
+    }
+    text += "    addi r2, r2, 1\n"
+            "    jmp  floop\n"
+            "fdone:\n"
+            "    movi r7, nlines\n"
+            "    st   r7, r12, 0\n"
+            "    movi r7, passv\n"   // reformat, as on more input
+            "    ld   r5, r7, 0\n"
+            "    addi r5, r5, 1\n"
+            "    st   r7, r5, 0\n"
+            "    movi r6, PASSES\n"
+            "    blt  r5, r6, fmt\n"
+            "    halt\n";
+    text += getchSubroutine();
+    text += randSubroutine();
+    if (farm != 0)
+        text += farmCode(farm, 12);
+    return text;
+}
+
+std::string
+progBst(unsigned items, unsigned lookups, unsigned farm)
+{
+    std::string text = strfmt(".equ ITEMS, %u\n"
+                              ".equ LOOKUPS, %u\n"
+                              ".data\n"
+                              "pool: .spacew %u\n"
+                              "root: .word 0\n"
+                              "found: .word 0\n",
+                              items, lookups, items * 3);
+    if (farm != 0)
+        text += farmData(farm);
+    text += ".code\n"
+            "main:\n";
+    text += "    movi r1, 555\n"      // seed
+            "    movi r2, 0\n"        // i
+            "    movi r3, ITEMS\n"
+            "insert:\n"
+            "    bge  r2, r3, lkpst\n";
+    text += callRand();
+    // allocate node i: pool + i*3 words; layout [key, left, right]
+    text += "    movi r4, 3\n"
+            "    mul  r4, r4, r2\n"
+            "    shli r4, r4, WSHIFT\n"
+            "    movi r5, pool\n"
+            "    add  r4, r4, r5\n"
+            "    st   r4, r1, 0\n"
+            "    movi r5, 0\n"
+            "    st   r4, r5, WSIZE\n"
+            "    st   r4, r5, WSIZE+WSIZE\n"
+            "    movi r6, root\n"
+            "    ld   r7, r6, 0\n"
+            "    movi r11, 0\n"
+            "    beq  r7, r11, setroot\n"
+            "walk:\n"
+            "    ld   r8, r7, 0\n"
+            "    blt  r1, r8, goleft\n"
+            "    ld   r9, r7, WSIZE+WSIZE\n"
+            "    beq  r9, r11, attachr\n"
+            "    mov  r7, r9\n"
+            "    jmp  walk\n"
+            "goleft:\n"
+            "    ld   r9, r7, WSIZE\n"
+            "    beq  r9, r11, attachl\n"
+            "    mov  r7, r9\n"
+            "    jmp  walk\n"
+            "attachl:\n"
+            "    st   r7, r4, WSIZE\n"
+            "    jmp  inext\n"
+            "attachr:\n"
+            "    st   r7, r4, WSIZE+WSIZE\n"
+            "    jmp  inext\n"
+            "setroot:\n"
+            "    st   r6, r4, 0\n"
+            "inext:\n";
+    if (farm != 0) {
+        // per-production actions, as a parser generator runs
+        text += "    mov  r5, r1\n";
+        text += callFarm();
+    }
+    text += "    addi r2, r2, 1\n"
+            "    jmp  insert\n"
+            "lkpst:\n"
+            "    movi r1, 555\n"      // same stream: all hits
+            "    movi r2, 0\n"
+            "    movi r3, LOOKUPS\n"
+            "    movi r12, 0\n"
+            "lloop:\n"
+            "    bge  r2, r3, ldone\n";
+    text += callRand();
+    text += "    movi r6, root\n"
+            "    ld   r7, r6, 0\n"
+            "    movi r11, 0\n"
+            "lwalk:\n"
+            "    beq  r7, r11, lnext\n"
+            "    ld   r8, r7, 0\n"
+            "    beq  r8, r1, lhit\n"
+            "    blt  r1, r8, lleft\n"
+            "    ld   r7, r7, WSIZE+WSIZE\n"
+            "    jmp  lwalk\n"
+            "lleft:\n"
+            "    ld   r7, r7, WSIZE\n"
+            "    jmp  lwalk\n"
+            "lhit:\n"
+            "    addi r12, r12, 1\n"
+            "lnext:\n";
+    if (farm != 0) {
+        text += "    mov  r5, r1\n";
+        text += callFarm();
+    }
+    text += "    addi r2, r2, 1\n"
+            "    jmp  lloop\n"
+            "ldone:\n"
+            "    movi r7, found\n"
+            "    st   r7, r12, 0\n"
+            "    halt\n";
+    text += randSubroutine();
+    if (farm != 0)
+        text += farmCode(farm, 12);
+    return text;
+}
+
+std::string
+progSieve(unsigned limit)
+{
+    std::string text = strfmt(".equ LIMIT, %u\n"
+                              ".data\n"
+                              "flags: .spacew LIMIT\n"
+                              "nprimes: .word 0\n"
+                              ".code\n"
+                              "main:\n",
+                              limit);
+    text += "    movi r2, 2\n"        // p
+            "    movi r3, LIMIT\n"
+            "    movi r4, flags\n"
+            "    movi r9, 0\n"        // prime count
+            "ploop:\n"
+            "    bge  r2, r3, done\n"
+            "    shli r5, r2, WSHIFT\n"
+            "    add  r5, r5, r4\n"
+            "    ld   r6, r5, 0\n"
+            "    movi r7, 0\n"
+            "    bne  r6, r7, pnext\n"
+            "    addi r9, r9, 1\n"
+            "    mul  r8, r2, r2\n"   // first multiple: p*p
+            "mark:\n"
+            "    bge  r8, r3, pnext\n"
+            "    shli r5, r8, WSHIFT\n"
+            "    add  r5, r5, r4\n"
+            "    movi r6, 1\n"
+            "    st   r5, r6, 0\n"
+            "    add  r8, r8, r2\n"
+            "    jmp  mark\n"
+            "pnext:\n"
+            "    addi r2, r2, 1\n"
+            "    jmp  ploop\n"
+            "done:\n"
+            "    movi r5, nprimes\n"
+            "    st   r5, r9, 0\n"
+            "    halt\n";
+    return text;
+}
+
+std::string
+progQueueSim(unsigned events, unsigned wheel_size, unsigned farm)
+{
+    occsim_assert(isPowerOfTwo(wheel_size),
+                  "event wheel must be a power of two");
+    std::string text = strfmt(".equ EV, %u\n"
+                              ".equ WMASK, %u\n"
+                              ".data\n"
+                              "wheel: .spacew %u\n"
+                              "stats: .spacew 64\n"
+                              "donecnt: .word 0\n",
+                              events, wheel_size - 1, wheel_size);
+    if (farm != 0)
+        text += farmData(farm);
+    text += ".code\n"
+            "main:\n";
+    text += "    movi r1, 8888\n"     // seed
+            "    movi r2, 0\n"        // processed events
+            "    movi r3, EV\n"
+            "    movi r4, wheel\n"
+            "    movi r10, stats\n"
+            "    movi r6, 0\n"        // simulated time
+            "    movi r5, 1\n"
+            "    st   r4, r5, 0\n"    // seed one event at slot 0
+            "loop:\n"
+            "    bge  r2, r3, done\n"
+            "    movi r7, WMASK\n"
+            "    and  r7, r6, r7\n"
+            "    shli r7, r7, WSHIFT\n"
+            "    add  r7, r7, r4\n"   // &wheel[t mod W]
+            "    ld   r8, r7, 0\n"
+            "    movi r9, 0\n"
+            "    beq  r8, r9, tick\n"
+            "    addi r8, r8, -1\n"   // consume one event
+            "    st   r7, r8, 0\n";
+    text += callRand();
+    text += "    movi r5, 16\n"
+            "    mods r11, r1, r5\n"  // service time s
+            "    shli r12, r11, WSHIFT\n"
+            "    add  r12, r12, r10\n"
+            "    ld   r5, r12, 0\n"   // stats[s]++
+            "    addi r5, r5, 1\n"
+            "    st   r12, r5, 0\n"
+            "    add  r12, r6, r11\n" // completion at t+s+1
+            "    addi r12, r12, 1\n"
+            "    movi r5, WMASK\n"
+            "    and  r12, r12, r5\n"
+            "    shli r12, r12, WSHIFT\n"
+            "    add  r12, r12, r4\n"
+            "    ld   r5, r12, 0\n"
+            "    addi r5, r5, 1\n"
+            "    st   r12, r5, 0\n";
+    if (farm != 0) {
+        // per-event-type service routines, as a simulator dispatches
+        text += "    add  r5, r11, r2\n";
+        text += callFarm();
+    }
+    text += "    addi r2, r2, 1\n"
+            "    jmp  loop\n"
+            "tick:\n"
+            "    addi r6, r6, 1\n"
+            "    jmp  loop\n"
+            "done:\n"
+            "    movi r7, donecnt\n"
+            "    st   r7, r2, 0\n"
+            "    halt\n";
+    text += randSubroutine();
+    if (farm != 0)
+        text += farmCode(farm, 12);
+    return text;
+}
+
+std::string
+progEditor(unsigned buf_words, unsigned ops, unsigned farm)
+{
+    std::string text = strfmt(".equ B, %u\n"
+                              ".equ OPS, %u\n"
+                              ".data\n"
+                              "buf: .spacew B\n"
+                              "gsv: .word 0\n"
+                              "gev: .word B\n",
+                              buf_words, ops);
+    if (farm != 0)
+        text += farmData(farm);
+    text += ".code\n"
+            "main:\n";
+    text += "    movi r1, 97531\n"    // seed
+            "    movi r2, 0\n"        // op counter
+            "    movi r3, OPS\n"
+            "oloop:\n"
+            "    bge  r2, r3, done\n";
+    text += callRand();
+    text += "    movi r5, gsv\n"
+            "    ld   r6, r5, 0\n"    // gap start
+            "    movi r5, gev\n"
+            "    ld   r7, r5, 0\n"    // gap end
+            "    movi r8, B\n"
+            "    sub  r9, r7, r6\n"
+            "    sub  r8, r8, r9\n"   // text length
+            "    addi r9, r8, 1\n"
+            "    mods r10, r1, r9\n"  // target position
+            "    bge  r10, r6, movefwd\n"
+            "movleft:\n"              // shift gap left one word
+            "    bge  r10, r6, moved\n"
+            "    addi r6, r6, -1\n"
+            "    addi r7, r7, -1\n"
+            "    shli r9, r6, WSHIFT\n"
+            "    movi r11, buf\n"
+            "    add  r9, r9, r11\n"
+            "    ld   r12, r9, 0\n"
+            "    shli r9, r7, WSHIFT\n"
+            "    add  r9, r9, r11\n"
+            "    st   r9, r12, 0\n"
+            "    jmp  movleft\n"
+            "movefwd:\n"              // shift gap right one word
+            "    bge  r6, r10, moved\n"
+            "    shli r9, r7, WSHIFT\n"
+            "    movi r11, buf\n"
+            "    add  r9, r9, r11\n"
+            "    ld   r12, r9, 0\n"
+            "    shli r9, r6, WSHIFT\n"
+            "    add  r9, r9, r11\n"
+            "    st   r9, r12, 0\n"
+            "    addi r6, r6, 1\n"
+            "    addi r7, r7, 1\n"
+            "    jmp  movefwd\n"
+            "moved:\n";
+    text += callRand();
+    text += "    movi r5, 4\n"
+            "    mods r9, r1, r5\n"
+            "    movi r5, 2\n"
+            "    blt  r9, r5, insertw\n"
+            "    movi r5, 3\n"
+            "    blt  r9, r5, deletew\n"
+            "    jmp  store\n"        // op 3: cursor motion only
+            "insertw:\n"
+            "    bge  r6, r7, store\n" // gap full
+            "    shli r9, r6, WSHIFT\n"
+            "    movi r11, buf\n"
+            "    add  r9, r9, r11\n"
+            "    st   r9, r1, 0\n"
+            "    addi r6, r6, 1\n"
+            "    jmp  store\n"
+            "deletew:\n"
+            "    movi r5, 0\n"
+            "    bge  r5, r6, store\n" // nothing before the gap
+            "    addi r6, r6, -1\n"
+            "store:\n";
+    if (farm != 0) {
+        // per-command handlers, as ed dispatches commands
+        text += "    mov  r5, r10\n";
+        text += callFarm();
+    }
+    text += "    movi r5, gsv\n"
+            "    st   r5, r6, 0\n"
+            "    movi r5, gev\n"
+            "    st   r5, r7, 0\n"
+            "    addi r2, r2, 1\n"
+            "    jmp  oloop\n"
+            "done:\n"
+            "    halt\n";
+    text += randSubroutine();
+    if (farm != 0)
+        text += farmCode(farm, 12);
+    return text;
+}
+
+std::string
+progFib(unsigned n)
+{
+    return strfmt(".equ FN, %u\n"
+                  ".data\n"
+                  "result: .word 0\n"
+                  ".code\n"
+                  "main:\n"
+                  "    movi r1, FN\n"
+                  "    call fib\n"
+                  "    movi r5, result\n"
+                  "    st   r5, r1, 0\n"
+                  "    halt\n"
+                  "fib:\n"
+                  "    movi r5, 2\n"
+                  "    blt  r1, r5, base\n"
+                  "    push r1\n"
+                  "    addi r1, r1, -1\n"
+                  "    call fib\n"
+                  "    pop  r2\n"
+                  "    push r1\n"
+                  "    addi r1, r2, -2\n"
+                  "    call fib\n"
+                  "    pop  r2\n"
+                  "    add  r1, r1, r2\n"
+                  "base:\n"
+                  "    ret\n",
+                  n);
+}
+
+std::string
+progTowers(unsigned disks)
+{
+    occsim_assert(disks >= 1 && disks <= 20, "1..20 disks");
+    // moves(n) = 2^n - 1 log entries of [from, to] pairs.
+    const unsigned moves = (1u << disks) - 1;
+    std::string text = strfmt(".equ DISKS, %u\n"
+                              ".data\n"
+                              "movelog: .spacew %u\n"
+                              "nmoves: .word 0\n"
+                              ".code\n"
+                              "main:\n",
+                              disks, moves * 2);
+    // hanoi(n = r1, from = r2, to = r3, via = r4)
+    text += "    movi r1, DISKS\n"
+            "    movi r2, 1\n"       // peg ids 1..3
+            "    movi r3, 3\n"
+            "    movi r4, 2\n"
+            "    movi r9, 0\n"        // move count
+            "    movi r10, movelog\n" // log cursor
+            "    call hanoi\n"
+            "    movi r5, nmoves\n"
+            "    st   r5, r9, 0\n"
+            "    halt\n"
+            "hanoi:\n"
+            "    movi r5, 1\n"
+            "    blt  r1, r5, hret\n" // n < 1: nothing
+            // hanoi(n-1, from, via, to)
+            "    push r1\n"
+            "    push r3\n"
+            "    push r4\n"
+            "    addi r1, r1, -1\n"
+            "    mov  r5, r3\n"       // swap to/via
+            "    mov  r3, r4\n"
+            "    mov  r4, r5\n"
+            "    call hanoi\n"
+            "    pop  r4\n"
+            "    pop  r3\n"
+            "    pop  r1\n"
+            // record move from -> to
+            "    st   r10, r2, 0\n"
+            "    st   r10, r3, WSIZE\n"
+            "    addi r10, r10, WSIZE+WSIZE\n"
+            "    addi r9, r9, 1\n"
+            // hanoi(n-1, via, to, from)
+            "    push r1\n"
+            "    push r2\n"
+            "    addi r1, r1, -1\n"
+            "    mov  r5, r2\n"       // from <- via, via <- from
+            "    mov  r2, r4\n"
+            "    mov  r4, r5\n"
+            "    call hanoi\n"
+            "    pop  r2\n"
+            "    pop  r1\n"
+            "hret:\n"
+            "    ret\n";
+    return text;
+}
+
+std::string
+progMergeSort(unsigned n)
+{
+    occsim_assert(n >= 2, "need at least two elements");
+    std::string text = strfmt(".equ N, %u\n"
+                              ".data\n"
+                              "bufa: .spacew N\n"
+                              "bufb: .spacew N\n"
+                              "srcv: .word 0\n"
+                              ".code\n"
+                              "main:\n",
+                              n);
+    text += fillLoop("bufa", "N", 60221, 0, "init", "msort");
+    text += "msort:\n"
+            "    movi r8, bufa\n"     // src
+            "    movi r9, bufb\n"     // dst
+            "    movi r10, 1\n"       // run width
+            "wloop:\n"
+            "    movi r2, N\n"
+            "    bge  r10, r2, done\n"
+            "    movi r11, 0\n"       // i: start of run pair
+            "passloop:\n"
+            "    movi r2, N\n"
+            "    bge  r11, r2, passend\n"
+            // l = i; m = min(i+w, N); r = min(i+2w, N); o = i; j = m
+            "    mov  r1, r11\n"
+            "    add  r2, r11, r10\n"
+            "    movi r3, N\n"
+            "    blt  r2, r3, mok\n"
+            "    mov  r2, r3\n"
+            "mok:\n"
+            "    add  r3, r11, r10\n"
+            "    add  r3, r3, r10\n"
+            "    movi r0, N\n"
+            "    blt  r3, r0, rok\n"
+            "    mov  r3, r0\n"
+            "rok:\n"
+            "    mov  r4, r11\n"      // o
+            "    mov  r5, r2\n"       // j
+            "mloop:\n"
+            "    bge  r1, r2, rightonly\n"
+            "    bge  r5, r3, takeleft\n"
+            "    shli r6, r1, WSHIFT\n"
+            "    add  r6, r6, r8\n"
+            "    ld   r6, r6, 0\n"    // src[l]
+            "    shli r7, r5, WSHIFT\n"
+            "    add  r7, r7, r8\n"
+            "    ld   r7, r7, 0\n"    // src[j]
+            "    blt  r7, r6, pickright\n"
+            "takeleft:\n"
+            "    shli r6, r1, WSHIFT\n"
+            "    add  r6, r6, r8\n"
+            "    ld   r6, r6, 0\n"
+            "    shli r7, r4, WSHIFT\n"
+            "    add  r7, r7, r9\n"
+            "    st   r7, r6, 0\n"
+            "    addi r1, r1, 1\n"
+            "    jmp  mnext\n"
+            "pickright:\n"
+            "    shli r6, r5, WSHIFT\n"
+            "    add  r6, r6, r8\n"
+            "    ld   r6, r6, 0\n"
+            "    shli r7, r4, WSHIFT\n"
+            "    add  r7, r7, r9\n"
+            "    st   r7, r6, 0\n"
+            "    addi r5, r5, 1\n"
+            "    jmp  mnext\n"
+            "rightonly:\n"
+            "    bge  r5, r3, runend\n"
+            "    jmp  pickright\n"
+            "mnext:\n"
+            "    addi r4, r4, 1\n"
+            "    bge  r4, r3, runend\n"
+            "    jmp  mloop\n"
+            "runend:\n"
+            "    add  r11, r11, r10\n"
+            "    add  r11, r11, r10\n"
+            "    jmp  passloop\n"
+            "passend:\n"
+            "    mov  r0, r8\n"       // swap buffers
+            "    mov  r8, r9\n"
+            "    mov  r9, r0\n"
+            "    shli r10, r10, 1\n"
+            "    jmp  wloop\n"
+            "done:\n"
+            "    movi r0, srcv\n"
+            "    st   r0, r8, 0\n"    // where the sorted data lives
+            "    halt\n";
+    text += randSubroutine();
+    return text;
+}
+
+std::string
+progStringSort(unsigned n, unsigned rec_words)
+{
+    occsim_assert(n >= 2 && rec_words >= 1, "need records to sort");
+    std::string text = strfmt(".equ N, %u\n"
+                              ".equ RW, %u\n"
+                              ".data\n"
+                              "recs: .spacew %u\n"
+                              "idx:  .spacew N\n"
+                              ".code\n"
+                              "main:\n",
+                              n, rec_words, n * rec_words);
+    // Fill the records with pseudo-random "characters".
+    text += fillLoop("recs", "N+0", 3141, 26, "rinit", "fixcnt");
+    // fillLoop filled only N entries; extend to all N*RW words.
+    text += "fixcnt:\n"
+            "    movi r3, %TOTAL%\n"
+            "rloop:\n"
+            "    bge  r2, r3, iinit\n";
+    text += callRand();
+    text += "    movi r5, 26\n"
+            "    mods r6, r1, r5\n"
+            "    shli r7, r2, WSHIFT\n"
+            "    add  r7, r7, r4\n"
+            "    st   r7, r6, 0\n"
+            "    addi r2, r2, 1\n"
+            "    jmp  rloop\n"
+            // idx[i] = address of record i
+            "iinit:\n"
+            "    movi r2, 0\n"
+            "    movi r3, N\n"
+            "    movi r8, idx\n"
+            "    movi r9, recs\n"
+            "il:\n"
+            "    bge  r2, r3, sort\n"
+            "    movi r5, RW\n"
+            "    mul  r5, r5, r2\n"
+            "    shli r5, r5, WSHIFT\n"
+            "    add  r5, r5, r9\n"   // &recs[i*RW]
+            "    shli r6, r2, WSHIFT\n"
+            "    add  r6, r6, r8\n"
+            "    st   r6, r5, 0\n"    // idx[i] = pointer
+            "    addi r2, r2, 1\n"
+            "    jmp  il\n"
+            // selection sort of idx by record contents
+            "sort:\n"
+            "    movi r2, 0\n"        // i
+            "    movi r3, N-1\n"
+            "so:\n"
+            "    bge  r2, r3, done\n"
+            "    mov  r11, r2\n"      // min position
+            "    addi r12, r2, 1\n"   // j
+            "    movi r3, N\n"
+            "si:\n"
+            "    bge  r12, r3, swap\n"
+            "    mov  r5, r12\n"      // candidate j
+            "    mov  r6, r11\n"      // current min
+            "    call reccmp\n"       // r5 = 1 if idx[r5] < idx[r6]
+            "    movi r6, 0\n"
+            "    beq  r5, r6, snext\n"
+            "    mov  r11, r12\n"
+            "snext:\n"
+            "    addi r12, r12, 1\n"
+            "    jmp  si\n"
+            "swap:\n"
+            "    shli r5, r2, WSHIFT\n"
+            "    add  r5, r5, r8\n"
+            "    shli r6, r11, WSHIFT\n"
+            "    add  r6, r6, r8\n"
+            "    ld   r7, r5, 0\n"
+            "    ld   r9, r6, 0\n"
+            "    st   r5, r9, 0\n"
+            "    st   r6, r7, 0\n"
+            "    movi r9, recs\n"     // restore recs base
+            "    addi r2, r2, 1\n"
+            "    movi r3, N-1\n"
+            "    jmp  so\n"
+            "done:\n"
+            "    halt\n"
+            // reccmp: lexicographic compare of records idx[r5], idx[r6]
+            // -> r5 = 1 if first is smaller; clobbers r0, r6, r7, r10
+            "reccmp:\n"
+            "    shli r0, r5, WSHIFT\n"
+            "    add  r0, r0, r8\n"
+            "    ld   r7, r0, 0\n"    // pa
+            "    shli r0, r6, WSHIFT\n"
+            "    add  r0, r0, r8\n"
+            "    ld   r10, r0, 0\n"   // pb
+            "    movi r6, 0\n"        // k
+            "cmpl:\n"
+            "    movi r0, RW\n"
+            "    bge  r6, r0, cmpeq\n"
+            "    ld   r0, r7, 0\n"    // *pa
+            "    push r1\n"
+            "    ld   r1, r10, 0\n"   // *pb
+            "    blt  r0, r1, cmplt1\n"
+            "    blt  r1, r0, cmpgt1\n"
+            "    pop  r1\n"
+            "    addi r7, r7, WSIZE\n"
+            "    addi r10, r10, WSIZE\n"
+            "    addi r6, r6, 1\n"
+            "    jmp  cmpl\n"
+            "cmplt1:\n"
+            "    pop  r1\n"
+            "    movi r5, 1\n"
+            "    ret\n"
+            "cmpgt1:\n"
+            "    pop  r1\n"
+            "    movi r5, 0\n"
+            "    ret\n"
+            "cmpeq:\n"
+            "    movi r5, 0\n"        // equal: not smaller
+            "    ret\n";
+    const std::string placeholder = "%TOTAL%";
+    const std::size_t pos = text.find(placeholder);
+    occsim_assert(pos != std::string::npos, "placeholder missing");
+    text.replace(pos, placeholder.size(), strfmt("%u", n * rec_words));
+    text += randSubroutine();
+    return text;
+}
+
+std::vector<std::string>
+programNames()
+{
+    return {"bubblesort", "quicksort", "mergesort", "stringsearch",
+            "wordcount",  "matmul",     "linkedlist", "pchase",
+            "hashtable",  "lexer",      "textformat", "bst",
+            "sieve",      "queuesim",   "editor",     "fib",
+            "towers",     "stringsort"};
+}
+
+std::string
+programByName(const std::string &name)
+{
+    if (name == "bubblesort")
+        return progBubbleSort(256);
+    if (name == "quicksort")
+        return progQuickSort(1024);
+    if (name == "stringsearch")
+        return progStringSearch(2048, 8, 2);
+    if (name == "wordcount")
+        return progWordCount(4096, 2);
+    if (name == "matmul")
+        return progMatMul(24);
+    if (name == "linkedlist")
+        return progLinkedList(512, 64);
+    if (name == "pchase")
+        return progPointerChase(1024, 8192);
+    if (name == "hashtable")
+        return progHashTable(7, 768, 2048);
+    if (name == "lexer")
+        return progLexer(4096, 2);
+    if (name == "textformat")
+        return progTextFormat(4096, 60, 2);
+    if (name == "bst")
+        return progBst(768, 2048);
+    if (name == "sieve")
+        return progSieve(4096);
+    if (name == "queuesim")
+        return progQueueSim(4096, 256);
+    if (name == "editor")
+        return progEditor(2048, 512);
+    if (name == "fib")
+        return progFib(18);
+    if (name == "towers")
+        return progTowers(12);
+    if (name == "mergesort")
+        return progMergeSort(1024);
+    if (name == "stringsort")
+        return progStringSort(96, 8);
+    fatal("unknown program '%s'", name.c_str());
+}
+
+} // namespace occsim

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * A library of real OC-1 programs used to generate the substitute
+ * workload traces (the paper's Tables 2-5 suites). Each factory
+ * returns parameterized assembly text; the parameters size the data
+ * structures so each architecture suite can run the same program at
+ * its characteristic working-set scale (compact Z8000 utilities up to
+ * large System/370 jobs).
+ *
+ * The programs compute real results (tests verify them), so their
+ * address streams carry genuine control-flow and data-structure
+ * locality: sequential instruction runs broken by loops and calls,
+ * stack activity, forward-biased scans, pointer chasing, and
+ * scattered table updates.
+ */
+
+#ifndef OCCSIM_VM_PROGRAM_LIBRARY_HH
+#define OCCSIM_VM_PROGRAM_LIBRARY_HH
+
+#include <string>
+#include <vector>
+
+namespace occsim {
+
+/*
+ * Several factories take a `farm` parameter (0 = off): the size of a
+ * generated "routine farm" of data-dispatched handler routines with
+ * private statics, modelling the many small functions (request
+ * handlers, semantic actions, comparators) real era programs spread
+ * their time over. Farm size is the per-architecture knob for hot
+ * code footprint; it must be a power of two.
+ */
+
+/** Bubble sort of @p n pseudo-random words (quadratic, tiny code). */
+std::string progBubbleSort(unsigned n);
+
+/** Recursive quicksort of @p n pseudo-random words. */
+std::string progQuickSort(unsigned n, unsigned farm = 0);
+
+/** Naive substring search: pattern of @p pat_len words over a text of
+ *  @p text_words words; the pattern is lifted from the text so at
+ *  least one match exists. */
+std::string progStringSearch(unsigned text_words, unsigned pat_len,
+                              unsigned passes = 1);
+
+/** Word count over @p text_words words (0 acts as the separator). */
+std::string progWordCount(unsigned text_words, unsigned passes = 1,
+                           unsigned farm = 0);
+
+/** Integer matrix multiply C = A x B with @p dim x @p dim matrices. */
+std::string progMatMul(unsigned dim);
+
+/** Build a scattered singly-linked list of @p nodes nodes and walk it
+ *  @p traversals times, summing values. */
+std::string progLinkedList(unsigned nodes, unsigned traversals,
+                            unsigned farm = 0);
+
+/** Scattered pointer ring: one-word nodes spread through a pool of
+ *  @p nodes nodes, chased for @p hops dependent loads (unrolled x8).
+ *  The most memory-bound workload in the library. */
+std::string progPointerChase(unsigned nodes, unsigned hops);
+
+/** Chained hash table: 2^@p buckets_log2 buckets, @p items inserts,
+ *  then @p lookups lookups. */
+std::string progHashTable(unsigned buckets_log2, unsigned items,
+                          unsigned lookups, unsigned farm = 0);
+
+/** Lexical scanner over @p text_words pseudo-characters, emitting a
+ *  token-code stream. */
+std::string progLexer(unsigned text_words, unsigned passes = 1,
+                      unsigned farm = 0);
+
+/** roff-style formatter: reflow @p text_words words into lines of
+ *  @p line_width words in an output buffer. */
+std::string progTextFormat(unsigned text_words, unsigned line_width,
+                            unsigned passes = 1, unsigned farm = 0);
+
+/** Binary search tree: @p items inserts then @p lookups lookups. */
+std::string progBst(unsigned items, unsigned lookups,
+                    unsigned farm = 0);
+
+/** Sieve of Eratosthenes up to @p limit (one word per candidate). */
+std::string progSieve(unsigned limit);
+
+/** Event-wheel queueing simulation: @p events events over a circular
+ *  wheel of @p wheel_size slots with a statistics table. */
+std::string progQueueSim(unsigned events, unsigned wheel_size,
+                         unsigned farm = 0);
+
+/** Gap-buffer text editor: @p ops scripted insert/delete/move
+ *  operations on a buffer of @p buf_words words. */
+std::string progEditor(unsigned buf_words, unsigned ops,
+                       unsigned farm = 0);
+
+/** Deeply recursive Fibonacci of @p n (call-stack-heavy workload). */
+std::string progFib(unsigned n);
+
+/** Towers of Hanoi with @p disks disks, recording each move into a
+ *  log buffer (deep recursion + sequential output stream). */
+std::string progTowers(unsigned disks);
+
+/** Bottom-up merge sort of @p n words between two buffers — the
+ *  streaming two-tape merge locality of external sorts. The sorted
+ *  buffer's base address is left in the `srcv` word. */
+std::string progMergeSort(unsigned n);
+
+/** Indirect sort: selection-sorts an index array by comparing
+ *  fixed-length string records (@p n records of @p rec_words words)
+ *  through the indices — the two-level access pattern of sort(1) on
+ *  text lines. */
+std::string progStringSort(unsigned n, unsigned rec_words);
+
+/** Names of all programs (for tooling and tests). */
+std::vector<std::string> programNames();
+
+/**
+ * Build a program by name with default (small) parameters; used by
+ * the tracegen tool and smoke tests. Calls fatal() for unknown names.
+ */
+std::string programByName(const std::string &name);
+
+} // namespace occsim
+
+#endif // OCCSIM_VM_PROGRAM_LIBRARY_HH

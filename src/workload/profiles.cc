@@ -1,0 +1,55 @@
+#include "workload/profiles.hh"
+
+#include "util/logging.hh"
+
+namespace occsim {
+
+const char *
+archName(Arch arch)
+{
+    switch (arch) {
+      case Arch::PDP11:
+        return "PDP-11";
+      case Arch::Z8000:
+        return "Z8000";
+      case Arch::VAX11:
+        return "VAX-11";
+      case Arch::S370:
+        return "System/370";
+    }
+    return "unknown";
+}
+
+ArchProfile
+archProfile(Arch arch)
+{
+    ArchProfile profile;
+    profile.arch = arch;
+    profile.name = archName(arch);
+    switch (arch) {
+      case Arch::PDP11:
+        profile.wordSize = 2;
+        profile.machine = MachineConfig::word16();
+        break;
+      case Arch::Z8000:
+        profile.wordSize = 2;
+        profile.machine = MachineConfig::word16();
+        // Z8000 Unix utilities are compact: a smaller code window
+        // keeps instruction footprints tight, as the paper observed.
+        profile.machine.dataBase = 0x2000;
+        break;
+      case Arch::VAX11:
+        profile.wordSize = 4;
+        profile.machine = MachineConfig::word32(1u << 23);
+        break;
+      case Arch::S370:
+        profile.wordSize = 4;
+        profile.machine = MachineConfig::word32(1u << 24);
+        break;
+      default:
+        panic("bad arch %d", static_cast<int>(arch));
+    }
+    return profile;
+}
+
+} // namespace occsim

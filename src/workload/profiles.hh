@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Architecture profiles for the four trace families of the paper
+ * (Tables 2-5): data-path word size, address-space scale, and the
+ * OC-1 machine layout used when generating that family's traces.
+ *
+ * Per the paper's methodology, the 16-bit families (PDP-11, Z8000)
+ * move 2 bytes per reference and the 32-bit families (VAX-11,
+ * System/370) move 4; working-set scale grows from the compact Z8000
+ * utilities to the large System/370 jobs.
+ */
+
+#ifndef OCCSIM_WORKLOAD_PROFILES_HH
+#define OCCSIM_WORKLOAD_PROFILES_HH
+
+#include <cstdint>
+#include <string>
+
+#include "vm/assembler.hh"
+
+namespace occsim {
+
+/** The four architecture families studied in the paper. */
+enum class Arch : std::uint8_t {
+    PDP11 = 0,
+    Z8000 = 1,
+    VAX11 = 2,
+    S370 = 3,
+};
+
+/** @return "PDP-11", "Z8000", "VAX-11" or "System/370". */
+const char *archName(Arch arch);
+
+/** Per-architecture trace-generation profile. */
+struct ArchProfile
+{
+    Arch arch;
+    std::string name;
+    std::uint32_t wordSize;        ///< data-path bytes per reference
+    MachineConfig machine;         ///< OC-1 layout for this family
+};
+
+/** @return the profile for @p arch. */
+ArchProfile archProfile(Arch arch);
+
+/** All four architectures in the paper's presentation order
+ *  (PDP-11, Z8000, VAX-11, System/370). */
+const Arch kAllArchs[] = {Arch::PDP11, Arch::Z8000, Arch::VAX11,
+                          Arch::S370};
+
+} // namespace occsim
+
+#endif // OCCSIM_WORKLOAD_PROFILES_HH

@@ -1,0 +1,224 @@
+#include "workload/suites.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+#include "vm/machine.hh"
+#include "vm/program_library.hh"
+
+namespace occsim {
+
+namespace {
+
+WorkloadSpec
+spec(const ArchProfile &profile, std::string name, std::string desc,
+     std::string program_id, std::function<std::string()> make_source)
+{
+    WorkloadSpec out;
+    out.name = std::move(name);
+    out.description = std::move(desc);
+    out.programId = std::move(program_id);
+    out.makeSource = std::move(make_source);
+    out.profile = profile;
+    return out;
+}
+
+} // namespace
+
+Suite
+pdp11Suite()
+{
+    const ArchProfile profile = archProfile(Arch::PDP11);
+    Suite suite{profile, {}};
+    suite.traces = {
+        spec(profile, "OPSYS", "C: toy operating system",
+             "linkedlist(1024,400,f16)",
+             [] { return progLinkedList(1024, 400, 16); }),
+        spec(profile, "PLOT", "Fortran: printer plotter program",
+             "matmul(40)", [] { return progMatMul(40); }),
+        spec(profile, "SIMP", "Fortran: pipeline simulation program",
+             "queuesim(100000,256,f16)",
+             [] { return progQueueSim(100000, 256, 16); }),
+        spec(profile, "TRACE", "PDP-11 assembly: tracing program",
+             "lexer(6144,8,f16)", [] { return progLexer(6144, 8, 16); }),
+        spec(profile, "ROFF",
+             "PDP-11 assembly: text output and formatting program",
+             "textformat(6144,60,8,f16)",
+             [] { return progTextFormat(6144, 60, 8, 16); }),
+        spec(profile, "ED", "C: text editor",
+             "editor(4096,20000,f16)",
+             [] { return progEditor(4096, 20000, 16); }),
+    };
+    return suite;
+}
+
+Suite
+z8000Suite()
+{
+    const ArchProfile profile = archProfile(Arch::Z8000);
+    Suite suite{profile, {}};
+    suite.traces = {
+        spec(profile, "OD",
+             "C: Unix utility for dumping files in ASCII",
+             "wordcount(4096,12,f8)",
+             [] { return progWordCount(4096, 12, 8); }),
+        spec(profile, "GREP", "C: Unix utility for string searching",
+             "stringsearch(3072,6,8)",
+             [] { return progStringSearch(3072, 6, 8); }),
+        spec(profile, "SORT", "C: Unix utility for sorting",
+             "quicksort(2048,f8)", [] { return progQuickSort(2048, 8); }),
+        spec(profile, "LS", "C: Unix utility for listing files",
+             "bubblesort(256)", [] { return progBubbleSort(256); }),
+        spec(profile, "NROFF",
+             "C: Unix utility for formatting text files",
+             "textformat(4096,72,8,f8)",
+             [] { return progTextFormat(4096, 72, 8, 8); }),
+    };
+    return suite;
+}
+
+Suite
+z8000CompilerSuite()
+{
+    const ArchProfile profile = archProfile(Arch::Z8000);
+    Suite suite{profile, {}};
+    suite.traces = {
+        spec(profile, "CPP", "C: first phase of C compiler",
+             "lexer(4096,8,f8)", [] { return progLexer(4096, 8, 8); }),
+        spec(profile, "C1", "C: second phase of C compiler",
+             "bst(512,4096,f8)", [] { return progBst(512, 4096, 8); }),
+        spec(profile, "C2", "C: third phase of C compiler",
+             "hashtable(6,512,8192,f8)",
+             [] { return progHashTable(6, 512, 8192, 8); }),
+    };
+    return suite;
+}
+
+Suite
+vax11Suite()
+{
+    const ArchProfile profile = archProfile(Arch::VAX11);
+    Suite suite{profile, {}};
+    suite.traces = {
+        spec(profile, "spice", "Fortran: circuit simulation",
+             "matmul(56)", [] { return progMatMul(56); }),
+        spec(profile, "otmdl", "Pascal: constructs LR(0) parser",
+             "bst(4096,8192,f32)",
+             [] { return progBst(4096, 8192, 32); }),
+        spec(profile, "sedx", "C: stream editor",
+             "editor(8192,40000,f32)",
+             [] { return progEditor(8192, 40000, 32); }),
+        spec(profile, "qsort", "C: quick sort",
+             "quicksort(8192,f32)",
+             [] { return progQuickSort(8192, 32); }),
+        spec(profile, "troff", "C: text formatter",
+             "textformat(16384,66,6,f32)",
+             [] { return progTextFormat(16384, 66, 6, 32); }),
+        spec(profile, "c2", "C: third phase of C compiler",
+             "hashtable(8,4096,16384,f32)",
+             [] { return progHashTable(8, 4096, 16384, 32); }),
+    };
+    return suite;
+}
+
+Suite
+s370Suite()
+{
+    const ArchProfile profile = archProfile(Arch::S370);
+    Suite suite{profile, {}};
+    suite.traces = {
+        spec(profile, "FGO1",
+             "Fortran Go step: single-precision factor analysis",
+             "matmul(80)", [] { return progMatMul(80); }),
+        spec(profile, "FCOMP1",
+             "Fortran compile: Reynolds PDE solver program",
+             "hashtable(12,16384,100000,f128)",
+             [] { return progHashTable(12, 16384, 100000, 128); }),
+        spec(profile, "PGO1", "PL/I Go step",
+             "pchase(16384,1000000)",
+             [] { return progPointerChase(16384, 1000000); }),
+        spec(profile, "PGO2", "PL/I Go step: CCW analysis",
+             "bst(24576,40000,f128)",
+             [] { return progBst(24576, 40000, 128); }),
+    };
+    return suite;
+}
+
+Suite
+s360Model85Suite()
+{
+    const ArchProfile profile = archProfile(Arch::S370);
+    Suite suite{profile, {}};
+    suite.traces = {
+        spec(profile, "FGO", "Fortran Go step",
+             "matmul(72)", [] { return progMatMul(72); }),
+        spec(profile, "FCOMP", "Fortran compile",
+             "lexer(49152,4,f64)",
+             [] { return progLexer(49152, 4, 64); }),
+        spec(profile, "COBOL1", "Cobol Go step: record processing",
+             "hashtable(11,8192,60000,f64)",
+             [] { return progHashTable(11, 8192, 60000, 64); }),
+        spec(profile, "COBOL2", "Cobol Go step: record editing",
+             "editor(16384,60000,f64)",
+             [] { return progEditor(16384, 60000, 64); }),
+        spec(profile, "PGO1", "PL/I Go step",
+             "bst(16384,30000,f64)",
+             [] { return progBst(16384, 30000, 64); }),
+        spec(profile, "PGO2", "PL/I Go step",
+             "linkedlist(16384,48,f64)",
+             [] { return progLinkedList(16384, 48, 64); }),
+    };
+    return suite;
+}
+
+Suite
+suiteFor(Arch arch)
+{
+    switch (arch) {
+      case Arch::PDP11:
+        return pdp11Suite();
+      case Arch::Z8000:
+        return z8000Suite();
+      case Arch::VAX11:
+        return vax11Suite();
+      case Arch::S370:
+        return s370Suite();
+    }
+    panic("bad arch %d", static_cast<int>(arch));
+}
+
+std::uint64_t
+defaultTraceLength()
+{
+    static const std::uint64_t length = [] {
+        const char *env = std::getenv("OCCSIM_TRACE_LEN");
+        if (env != nullptr) {
+            std::uint64_t value = 0;
+            if (parseU64(env, value) && value > 0)
+                return value;
+            warn("ignoring bad OCCSIM_TRACE_LEN '%s'", env);
+        }
+        return std::uint64_t{1000000};
+    }();
+    return length;
+}
+
+VectorTrace
+buildTrace(const WorkloadSpec &spec_in, std::uint64_t refs)
+{
+    if (refs == 0)
+        refs = defaultTraceLength();
+    Program program =
+        assemble(spec_in.makeSource(), spec_in.profile.machine);
+    VmTraceSource source(std::move(program), spec_in.name,
+                         /*loop_on_halt=*/true);
+    VectorTrace trace = collect(source, refs);
+    occsim_assert(trace.size() == refs,
+                  "trace '%s' produced %zu of %llu refs",
+                  spec_in.name.c_str(), trace.size(),
+                  static_cast<unsigned long long>(refs));
+    return trace;
+}
+
+} // namespace occsim

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A parameterized synthetic reference generator.
+ *
+ * The VM suites (src/vm, src/workload/suites.hh) are the primary
+ * workload source because they carry real program structure; this
+ * generator complements them with a *controllable* locality model for
+ * calibration sweeps, property tests, and experiments that need to
+ * vary one locality dimension at a time (something no real program
+ * permits).
+ *
+ * Model: an instruction stream of sequential runs broken by branches
+ * (mostly short backward "loop" branches, occasionally far jumps) is
+ * interleaved with data references drawn from three generators —
+ * a stack window near a moving stack pointer, sequential scan
+ * pointers, and uniform references over a working set.
+ */
+
+#ifndef OCCSIM_WORKLOAD_SYNTHETIC_HH
+#define OCCSIM_WORKLOAD_SYNTHETIC_HH
+
+#include <cstdint>
+
+#include "trace/trace.hh"
+#include "util/random.hh"
+
+namespace occsim {
+
+/** Tunable locality parameters for SyntheticSource. */
+struct SyntheticParams
+{
+    std::uint32_t wordSize = 2;
+
+    Addr codeBase = 0x0100;
+    std::uint32_t codeSize = 8 * 1024;   ///< bytes of code
+    Addr dataBase = 0x4000;
+    std::uint32_t dataSize = 16 * 1024;  ///< bytes of data working set
+    Addr stackBase = 0xF000;
+    std::uint32_t stackWindow = 256;     ///< bytes of hot stack
+
+    double ifetchFraction = 0.62;   ///< fraction of refs that fetch code
+    double writeFraction = 0.30;    ///< writes among data references
+    double branchProb = 0.18;       ///< per-ifetch probability of branch
+    double branchLocalProb = 0.85;  ///< branch stays within loopSpan
+    std::uint32_t loopSpan = 96;    ///< bytes: local branch distance
+
+    double dataStackProb = 0.35;    ///< data ref hits the stack window
+    double dataScanProb = 0.35;     ///< data ref continues a scan
+    double scanRestartProb = 0.02;  ///< per-scan-ref restart chance
+
+    std::uint64_t seed = 42;
+};
+
+/** Infinite synthetic reference stream (rewindable: reseeds). */
+class SyntheticSource : public TraceSource
+{
+  public:
+    explicit SyntheticSource(const SyntheticParams &params);
+
+    bool next(MemRef &ref) override;
+    bool rewindable() const override { return true; }
+    void reset() override;
+    std::string name() const override { return "synthetic"; }
+
+    const SyntheticParams &params() const { return params_; }
+
+  private:
+    Addr alignWord(Addr addr) const;
+    MemRef nextIfetch();
+    MemRef nextData();
+
+    SyntheticParams params_;
+    Rng rng_;
+    Addr pc_;
+    Addr scanPtr_;
+    Addr stackPtr_;
+};
+
+/** Generate @p refs references into a VectorTrace. */
+VectorTrace makeSyntheticTrace(const SyntheticParams &params,
+                               std::uint64_t refs,
+                               const std::string &name = "synthetic");
+
+} // namespace occsim
+
+#endif // OCCSIM_WORKLOAD_SYNTHETIC_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the Section 3.2 effective-access-time model and the
+ * multiprocessor-bus capacity helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/access_time.hh"
+
+using namespace occsim;
+
+TEST(AccessTime, BoundaryCases)
+{
+    AccessTimeParams params;
+    params.tCache = 100.0;
+    params.tMemFirst = 500.0;
+    params.tMemNext = 500.0;
+    // Perfect cache: t_eff == t_cache.
+    EXPECT_DOUBLE_EQ(effectiveAccessTime(params, 0.0, 1), 100.0);
+    // No cache benefit: t_eff == t_mem.
+    EXPECT_DOUBLE_EQ(effectiveAccessTime(params, 1.0, 1), 500.0);
+    // Paper's formula at m = 0.1.
+    EXPECT_DOUBLE_EQ(effectiveAccessTime(params, 0.1, 1),
+                     100.0 * 0.9 + 500.0 * 0.1);
+}
+
+TEST(AccessTime, BurstWordsUseNextWordTime)
+{
+    AccessTimeParams params;
+    params.tCache = 100.0;
+    params.tMemFirst = 160.0;
+    params.tMemNext = 55.0;  // Bursky's nibble-mode figures
+    // 4-word burst: 160 + 3*55 = 325 ns on a miss.
+    EXPECT_DOUBLE_EQ(effectiveAccessTime(params, 1.0, 4), 325.0);
+    // The nibble-mode burst is far cheaper than 4 full accesses.
+    EXPECT_LT(effectiveAccessTime(params, 1.0, 4), 4 * 160.0);
+}
+
+TEST(AccessTime, MonotoneInMissRatio)
+{
+    AccessTimeParams params;
+    double prev = 0.0;
+    for (double m = 0.0; m <= 1.0; m += 0.1) {
+        const double t = effectiveAccessTime(params, m, 2);
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}
+
+TEST(BusCapacity, InverseInTrafficRatio)
+{
+    // Halving the traffic ratio doubles the processors one bus can
+    // carry — the paper's multiprocessor motivation for sub-blocks.
+    const double n_full = maxBusProcessors(1.0, 200.0, 100.0);
+    const double n_half = maxBusProcessors(0.5, 200.0, 100.0);
+    const double n_fifth = maxBusProcessors(0.2, 200.0, 100.0);
+    EXPECT_DOUBLE_EQ(n_full, 2.0);
+    EXPECT_DOUBLE_EQ(n_half, 4.0);
+    EXPECT_DOUBLE_EQ(n_fifth, 10.0);
+}
+
+TEST(BusCapacity, PerfectCacheUnbounded)
+{
+    EXPECT_GT(maxBusProcessors(0.0, 200.0, 100.0), 1e8);
+}
+
+TEST(BusWait, QueueingGrowsNonlinearly)
+{
+    EXPECT_DOUBLE_EQ(busWaitFactor(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(busWaitFactor(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(busWaitFactor(0.9), 10.0);
+    // Convexity: the last 10% of utilization costs far more than the
+    // first 50%.
+    EXPECT_GT(busWaitFactor(0.9) - busWaitFactor(0.8),
+              busWaitFactor(0.5) - busWaitFactor(0.0));
+}
+
+TEST(BusWaitDeath, SaturationIsFatal)
+{
+    EXPECT_EXIT(busWaitFactor(1.0), ::testing::ExitedWithCode(1),
+                "saturates");
+}

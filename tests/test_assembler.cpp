@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the OC-1 two-pass assembler: parsing, label and
+ * expression resolution, sections and directives, word-size
+ * parameterization, and error diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/assembler.hh"
+
+using namespace occsim;
+
+TEST(Assembler, SimpleProgram)
+{
+    const Program program = assemble("main:\n"
+                                     "    movi r1, 42\n"
+                                     "    mov  r2, r1\n"
+                                     "    halt\n",
+                                     MachineConfig::word16());
+    ASSERT_EQ(program.instrs.size(), 3u);
+    EXPECT_EQ(program.instrs[0].op, Opcode::MOVI);
+    EXPECT_EQ(program.instrs[0].rd, 1);
+    EXPECT_EQ(program.instrs[0].imm, 42);
+    EXPECT_EQ(program.instrs[1].op, Opcode::MOV);
+    EXPECT_EQ(program.instrs[2].op, Opcode::HALT);
+    // movi is 2 words, mov 1, halt 1.
+    EXPECT_EQ(program.codeBytes(), 4u * 2u);
+}
+
+TEST(Assembler, InstructionAddressesAccountForLengths)
+{
+    const MachineConfig config = MachineConfig::word16();
+    const Program program = assemble("    movi r1, 1\n"  // 2 words
+                                     "    nop\n"         // 1 word
+                                     "    movi r2, 2\n", // 2 words
+                                     config);
+    EXPECT_EQ(program.instrAddr[0], config.codeBase);
+    EXPECT_EQ(program.instrAddr[1], config.codeBase + 4);
+    EXPECT_EQ(program.instrAddr[2], config.codeBase + 6);
+    // pcMap marks operand words as interior (-1).
+    EXPECT_EQ(program.pcMap[0], 0);
+    EXPECT_EQ(program.pcMap[1], -1);
+    EXPECT_EQ(program.pcMap[2], 1);
+    EXPECT_EQ(program.pcMap[3], 2);
+    EXPECT_EQ(program.pcMap[4], -1);
+}
+
+TEST(Assembler, LabelsResolveAcrossSections)
+{
+    const MachineConfig config = MachineConfig::word16();
+    const Program program = assemble("    movi r1, buf\n"
+                                     "    jmp  end\n"
+                                     "end:\n"
+                                     "    halt\n"
+                                     ".data\n"
+                                     "buf: .spacew 4\n"
+                                     "val: .word 7\n",
+                                     config);
+    EXPECT_EQ(program.symbol("buf"), config.dataBase);
+    EXPECT_EQ(program.symbol("val"), config.dataBase + 8);
+    EXPECT_EQ(program.instrs[0].imm,
+              static_cast<std::int32_t>(config.dataBase));
+    // 'end' is the address of halt: movi(2) + jmp(2) words in.
+    EXPECT_EQ(program.symbol("end"), config.codeBase + 8);
+    EXPECT_EQ(program.instrs[1].imm,
+              static_cast<std::int32_t>(config.codeBase + 8));
+}
+
+TEST(Assembler, EquAndExpressions)
+{
+    const Program program = assemble(".equ N, 10\n"
+                                     ".equ M, N+5\n"
+                                     "    movi r1, N-1\n"
+                                     "    movi r2, M\n"
+                                     "    movi r3, -1\n"
+                                     "    movi r4, N+M-2\n",
+                                     MachineConfig::word16());
+    EXPECT_EQ(program.instrs[0].imm, 9);
+    EXPECT_EQ(program.instrs[1].imm, 15);
+    EXPECT_EQ(program.instrs[2].imm, -1);
+    EXPECT_EQ(program.instrs[3].imm, 23);
+}
+
+TEST(Assembler, WsizePredefined)
+{
+    const Program p16 = assemble("    movi r1, WSIZE\n"
+                                 "    movi r2, WSHIFT\n",
+                                 MachineConfig::word16());
+    EXPECT_EQ(p16.instrs[0].imm, 2);
+    EXPECT_EQ(p16.instrs[1].imm, 1);
+
+    const Program p32 = assemble("    movi r1, WSIZE\n"
+                                 "    movi r2, WSHIFT\n",
+                                 MachineConfig::word32());
+    EXPECT_EQ(p32.instrs[0].imm, 4);
+    EXPECT_EQ(p32.instrs[1].imm, 2);
+}
+
+TEST(Assembler, DataImageLittleEndian)
+{
+    const Program program = assemble(".data\n"
+                                     "x: .word 0x1234, 1\n",
+                                     MachineConfig::word16());
+    ASSERT_EQ(program.data.size(), 4u);
+    EXPECT_EQ(program.data[0], 0x34);
+    EXPECT_EQ(program.data[1], 0x12);
+    EXPECT_EQ(program.data[2], 1);
+    EXPECT_EQ(program.data[3], 0);
+}
+
+TEST(Assembler, SpaceAndSpacewSizes)
+{
+    const Program p16 = assemble(".data\n"
+                                 "a: .space 10\n"
+                                 "b: .spacew 10\n"
+                                 "c: .word 0\n",
+                                 MachineConfig::word16());
+    EXPECT_EQ(p16.symbol("b") - p16.symbol("a"), 10u);
+    EXPECT_EQ(p16.symbol("c") - p16.symbol("b"), 20u);
+
+    const Program p32 = assemble(".data\n"
+                                 "a: .spacew 10\n"
+                                 "b: .word 0\n",
+                                 MachineConfig::word32());
+    EXPECT_EQ(p32.symbol("b") - p32.symbol("a"), 40u);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    const Program program = assemble("; full line comment\n"
+                                     "\n"
+                                     "    nop ; trailing comment\n"
+                                     "  \t \n"
+                                     "    halt\n",
+                                     MachineConfig::word16());
+    EXPECT_EQ(program.instrs.size(), 2u);
+}
+
+TEST(Assembler, SpAlias)
+{
+    const Program program = assemble("    mov sp, r1\n"
+                                     "    push sp\n",
+                                     MachineConfig::word16());
+    EXPECT_EQ(program.instrs[0].rd, 15);
+    EXPECT_EQ(program.instrs[1].rs, 15);
+}
+
+TEST(Assembler, AllOpcodesRoundTrip)
+{
+    // Every opcode name must parse back to itself.
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(Opcode::NumOpcodes); ++i) {
+        const Opcode op = static_cast<Opcode>(i);
+        EXPECT_EQ(opcodeFromName(opcodeName(op)), op) << opcodeName(op);
+        const unsigned len = opcodeLengthWords(op);
+        EXPECT_TRUE(len == 1 || len == 2);
+    }
+    EXPECT_EQ(opcodeFromName("bogus"), Opcode::NumOpcodes);
+}
+
+using AssemblerDeath = ::testing::Test;
+
+TEST(AssemblerDeath, UnknownMnemonic)
+{
+    EXPECT_EXIT(assemble("    frobnicate r1\n",
+                         MachineConfig::word16()),
+                ::testing::ExitedWithCode(1), "unknown mnemonic");
+}
+
+TEST(AssemblerDeath, UndefinedSymbol)
+{
+    EXPECT_EXIT(assemble("    movi r1, nowhere\n",
+                         MachineConfig::word16()),
+                ::testing::ExitedWithCode(1), "undefined symbol");
+}
+
+TEST(AssemblerDeath, DuplicateLabel)
+{
+    EXPECT_EXIT(assemble("a:\n    nop\na:\n    nop\n",
+                         MachineConfig::word16()),
+                ::testing::ExitedWithCode(1), "duplicate label");
+}
+
+TEST(AssemblerDeath, WrongOperandCount)
+{
+    EXPECT_EXIT(assemble("    add r1, r2\n", MachineConfig::word16()),
+                ::testing::ExitedWithCode(1), "operands");
+}
+
+TEST(AssemblerDeath, BadRegister)
+{
+    EXPECT_EXIT(assemble("    mov r16, r1\n", MachineConfig::word16()),
+                ::testing::ExitedWithCode(1), "expected register");
+}
+
+TEST(AssemblerDeath, InstructionInDataSection)
+{
+    EXPECT_EXIT(assemble(".data\n    nop\n", MachineConfig::word16()),
+                ::testing::ExitedWithCode(1), "instruction inside");
+}
+
+TEST(AssemblerDeath, WordOutsideData)
+{
+    EXPECT_EXIT(assemble(".word 1\n", MachineConfig::word16()),
+                ::testing::ExitedWithCode(1), "outside .data");
+}

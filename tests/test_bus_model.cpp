@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the bus cost models (Section 4.3): linear,
+ * nibble-mode (1 + (w-1)/3) and transactional (a + b*w), plus the
+ * traffic accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/bus_model.hh"
+
+using namespace occsim;
+
+TEST(LinearBus, CostIsWordCount)
+{
+    LinearBus bus;
+    EXPECT_DOUBLE_EQ(bus.burstCost(1), 1.0);
+    EXPECT_DOUBLE_EQ(bus.burstCost(4), 4.0);
+    EXPECT_DOUBLE_EQ(bus.perWordCost(4), 1.0);
+    EXPECT_DOUBLE_EQ(bus.scaleFactor(8), 1.0);
+}
+
+TEST(NibbleModeBus, PaperFormula)
+{
+    // The paper: cost of w sequential words = 1 + (w-1)/3.
+    NibbleModeBus bus;
+    EXPECT_DOUBLE_EQ(bus.burstCost(1), 1.0);
+    EXPECT_DOUBLE_EQ(bus.burstCost(4), 2.0);
+    // Scale factor for a 4-word sub-block: (1/4)(1 + 1) = 0.5, the
+    // factor that turns PDP-11 16,8 traffic 1.596 into 0.798.
+    EXPECT_DOUBLE_EQ(bus.scaleFactor(4), 0.5);
+    // 2-word bursts (e.g. 8-byte sub-blocks on a 32-bit machine):
+    // (1/2)(1 + 1/3) = 2/3, turning VAX 0.8498 into 0.5665.
+    EXPECT_NEAR(bus.scaleFactor(2), 2.0 / 3.0, 1e-12);
+}
+
+TEST(NibbleModeBus, SingleWordNeverCheaper)
+{
+    NibbleModeBus bus;
+    EXPECT_DOUBLE_EQ(bus.scaleFactor(1), 1.0);
+    // Per-word cost decreases monotonically with burst size.
+    double prev = bus.perWordCost(1);
+    for (std::uint64_t w = 2; w <= 32; ++w) {
+        const double cost = bus.perWordCost(w);
+        EXPECT_LT(cost, prev);
+        prev = cost;
+    }
+    // ...but never below the asymptote 1/ratio.
+    EXPECT_GT(bus.perWordCost(1024), 1.0 / 3.0);
+}
+
+TEST(NibbleModeBus, CustomRatio)
+{
+    NibbleModeBus bus(2.0);
+    EXPECT_DOUBLE_EQ(bus.burstCost(3), 2.0);
+    EXPECT_NE(bus.name().find("2.0"), std::string::npos);
+}
+
+TEST(TransactionalBus, AffineCost)
+{
+    TransactionalBus bus(3.0, 0.5);
+    EXPECT_DOUBLE_EQ(bus.burstCost(1), 3.5);
+    EXPECT_DOUBLE_EQ(bus.burstCost(10), 8.0);
+    EXPECT_DOUBLE_EQ(bus.overhead(), 3.0);
+    EXPECT_DOUBLE_EQ(bus.perWord(), 0.5);
+}
+
+TEST(TrafficAccount, AccumulatesWordsAndCost)
+{
+    NibbleModeBus bus;
+    TrafficAccount account(bus);
+    account.addBurst(4);
+    account.addBurst(1);
+    EXPECT_EQ(account.words(), 5u);
+    EXPECT_EQ(account.bursts(), 2u);
+    EXPECT_DOUBLE_EQ(account.cost(), 3.0);
+    account.reset();
+    EXPECT_EQ(account.words(), 0u);
+    EXPECT_DOUBLE_EQ(account.cost(), 0.0);
+}
+
+TEST(BusModels, EquivalenceAtOneWord)
+{
+    // Every model must price a single-word burst consistently with
+    // its formula so scaled ratios are comparable.
+    LinearBus linear;
+    NibbleModeBus nibble;
+    TransactionalBus trans(0.0, 1.0);
+    EXPECT_DOUBLE_EQ(linear.burstCost(1), 1.0);
+    EXPECT_DOUBLE_EQ(nibble.burstCost(1), 1.0);
+    EXPECT_DOUBLE_EQ(trans.burstCost(1), 1.0);
+}

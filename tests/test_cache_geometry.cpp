@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for CacheGeometry: dimension derivation, associativity
+ * clamping, address decomposition, and — crucially — the gross-size
+ * model, validated against the exact gross sizes printed in the
+ * paper's Table 7 and the Section 2.2 minimum-cache examples.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_geometry.hh"
+
+using namespace occsim;
+
+TEST(Geometry, BasicDerivation)
+{
+    const CacheGeometry geom(makeConfig(1024, 16, 8, 2));
+    EXPECT_EQ(geom.numBlocks(), 64u);
+    EXPECT_EQ(geom.assoc(), 4u);
+    EXPECT_EQ(geom.numSets(), 16u);
+    EXPECT_EQ(geom.subBlocksPerBlock(), 2u);
+    EXPECT_EQ(geom.wordsPerSubBlock(), 4u);
+}
+
+TEST(Geometry, AssocClampsForTinyCaches)
+{
+    // A 32-byte cache with 16-byte blocks holds 2 blocks: it cannot
+    // be 4-way, it degenerates to 2-way with one set (as in the
+    // paper's Figure 1 32-byte points).
+    const CacheGeometry geom(makeConfig(32, 16, 8, 2));
+    EXPECT_EQ(geom.numBlocks(), 2u);
+    EXPECT_EQ(geom.assoc(), 2u);
+    EXPECT_EQ(geom.numSets(), 1u);
+}
+
+TEST(Geometry, AddressDecomposition)
+{
+    const CacheGeometry geom(makeConfig(1024, 16, 4, 2));
+    const Addr addr = 0xABCD;
+    EXPECT_EQ(geom.blockAddr(addr), addr >> 4);
+    EXPECT_EQ(geom.setIndex(addr), (addr >> 4) & 15u);
+    EXPECT_EQ(geom.subBlockIndex(addr), (addr & 15u) >> 2);
+    // Sub-block indices cover [0, 4).
+    EXPECT_EQ(geom.subBlockIndex(0x0), 0u);
+    EXPECT_EQ(geom.subBlockIndex(0x4), 1u);
+    EXPECT_EQ(geom.subBlockIndex(0xF), 3u);
+}
+
+// Gross sizes from the paper's Table 7 (all with 32-bit tags).
+struct GrossCase
+{
+    std::uint32_t net, block, sub;
+    std::uint64_t grossBytes;
+};
+
+class GrossSizeTable7 : public ::testing::TestWithParam<GrossCase>
+{
+};
+
+TEST_P(GrossSizeTable7, MatchesPaper)
+{
+    const GrossCase param = GetParam();
+    const CacheGeometry geom(
+        makeConfig(param.net, param.block, param.sub, 2));
+    EXPECT_EQ(geom.grossBytes(), param.grossBytes)
+        << param.net << "B " << param.block << "," << param.sub;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTable7, GrossSizeTable7,
+    ::testing::Values(
+        // 64-byte caches
+        GrossCase{64, 16, 8, 79}, GrossCase{64, 16, 4, 80},
+        GrossCase{64, 16, 2, 82}, GrossCase{64, 8, 8, 94},
+        GrossCase{64, 8, 4, 95}, GrossCase{64, 8, 2, 97},
+        GrossCase{64, 4, 4, 126}, GrossCase{64, 4, 2, 128},
+        GrossCase{64, 2, 2, 192},
+        // 256-byte caches
+        GrossCase{256, 32, 32, 284}, GrossCase{256, 32, 16, 285},
+        GrossCase{256, 32, 8, 287}, GrossCase{256, 32, 4, 291},
+        GrossCase{256, 32, 2, 299}, GrossCase{256, 16, 16, 314},
+        GrossCase{256, 16, 8, 316}, GrossCase{256, 16, 4, 320},
+        GrossCase{256, 16, 2, 328}, GrossCase{256, 8, 8, 376},
+        GrossCase{256, 8, 4, 380}, GrossCase{256, 8, 2, 388},
+        GrossCase{256, 4, 4, 504}, GrossCase{256, 4, 2, 512},
+        GrossCase{256, 2, 2, 768},
+        // 1024-byte caches
+        GrossCase{1024, 64, 16, 1084}, GrossCase{1024, 64, 8, 1092},
+        GrossCase{1024, 64, 4, 1108}, GrossCase{1024, 64, 2, 1140},
+        GrossCase{1024, 32, 32, 1136}, GrossCase{1024, 32, 16, 1140},
+        GrossCase{1024, 32, 8, 1148}, GrossCase{1024, 32, 4, 1164},
+        GrossCase{1024, 32, 2, 1196}, GrossCase{1024, 16, 16, 1256},
+        GrossCase{1024, 16, 8, 1264}, GrossCase{1024, 16, 4, 1280},
+        GrossCase{1024, 16, 2, 1312}, GrossCase{1024, 8, 8, 1504},
+        GrossCase{1024, 8, 4, 1520}, GrossCase{1024, 8, 2, 1552},
+        GrossCase{1024, 4, 4, 2016}, GrossCase{1024, 4, 2, 2048},
+        GrossCase{1024, 2, 2, 3072}));
+
+TEST(Geometry, MinimumCacheRamCost)
+{
+    // Section 2.2: 16 blocks x [29 tag bits + 2 valid bits + 64 data
+    // bits] / 8 = 190 bytes for the 32-word minimum cache.
+    CacheConfig config = makeConfig(128, 8, 4, 4);
+    config.assoc = 2;
+    const CacheGeometry geom(config);
+    EXPECT_EQ(geom.numBlocks(), 16u);
+    EXPECT_EQ(geom.tagBitsPerBlock(), 29u);
+    EXPECT_EQ(geom.validBitsPerBlock(), 2u);
+    EXPECT_EQ(geom.grossBytes(), 190u);
+}
+
+TEST(Geometry, VaxMinimumCache95Bytes)
+{
+    // Conclusions: "On the 32-bit VAX-11, this cache requires only 95
+    // bytes of RAM" — 64-byte cache, 8-byte blocks, 4-byte
+    // sub-blocks.
+    const CacheGeometry geom(makeConfig(64, 8, 4, 4));
+    EXPECT_EQ(geom.grossBytes(), 95u);
+}
+
+TEST(Geometry, TrueTagSmallerThanPaperTag)
+{
+    const CacheGeometry geom(makeConfig(1024, 16, 8, 2));
+    // 16 sets removes 4 bits relative to the paper's accounting.
+    EXPECT_EQ(geom.trueTagBitsPerBlock(),
+              geom.tagBitsPerBlock() - 4);
+}
+
+TEST(Geometry, Sector360Model85)
+{
+    const CacheGeometry geom(make360Model85Config());
+    EXPECT_EQ(geom.numBlocks(), 16u);
+    EXPECT_EQ(geom.assoc(), 16u);     // fully associative
+    EXPECT_EQ(geom.numSets(), 1u);
+    EXPECT_EQ(geom.subBlocksPerBlock(), 16u);
+}
+
+using GeometryDeath = ::testing::Test;
+
+TEST(GeometryDeath, RejectsNonPowerOfTwo)
+{
+    EXPECT_EXIT(CacheGeometry(makeConfig(1000, 16, 8, 2)),
+                ::testing::ExitedWithCode(1), "powers of two");
+}
+
+TEST(GeometryDeath, RejectsSubBlockLargerThanBlock)
+{
+    EXPECT_EXIT(CacheGeometry(makeConfig(1024, 8, 16, 2)),
+                ::testing::ExitedWithCode(1), "exceeds block size");
+}
+
+TEST(GeometryDeath, RejectsWordLargerThanSubBlock)
+{
+    EXPECT_EXIT(CacheGeometry(makeConfig(1024, 8, 2, 4)),
+                ::testing::ExitedWithCode(1), "exceeds sub-block");
+}
+
+TEST(GeometryDeath, RejectsBlockLargerThanCache)
+{
+    EXPECT_EXIT(CacheGeometry(makeConfig(32, 64, 8, 2)),
+                ::testing::ExitedWithCode(1), "exceeds net cache");
+}

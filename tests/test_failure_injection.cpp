@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Failure-injection tests: corrupted trace files, malformed machine
+ * programs, and API misuse must produce clean diagnostics (fatal for
+ * user errors, panic for internal traps), never silent corruption.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/trace_file.hh"
+#include "vm/machine.hh"
+
+using namespace occsim;
+
+namespace {
+
+std::string
+writeFile(const char *name, const std::string &bytes)
+{
+    const std::string path = std::string(::testing::TempDir()) + name;
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    EXPECT_NE(file, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size(), file);
+    std::fclose(file);
+    return path;
+}
+
+} // namespace
+
+TEST(TraceFileFailure, MissingFile)
+{
+    EXPECT_EXIT(readTrace("/nonexistent/path/t.otb"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceFileFailure, TruncatedBinaryHeader)
+{
+    const std::string path = writeFile("trunc_header.otb", "OCTB\x01");
+    EXPECT_EXIT(readTrace(path), ::testing::ExitedWithCode(1),
+                "truncated binary trace header");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileFailure, UnsupportedVersion)
+{
+    std::string bytes = "OCTB";
+    bytes += '\x7f';  // bogus version
+    bytes += std::string(11, '\0');
+    const std::string path = writeFile("bad_version.otb", bytes);
+    EXPECT_EXIT(readTrace(path), ::testing::ExitedWithCode(1),
+                "unsupported trace version");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileFailure, TruncatedBinaryBody)
+{
+    // Header promising 5 records, body holding half of one.
+    std::string bytes = "OCTB";
+    bytes += '\x01';           // version
+    bytes += '\x02';           // word size
+    bytes += std::string(2, '\0');
+    bytes += '\x05';           // count = 5 (little endian)
+    bytes += std::string(7, '\0');
+    bytes += "abc";            // not even one 6-byte record
+    const std::string path = writeFile("trunc_body.otb", bytes);
+    EXPECT_EXIT(readTrace(path), ::testing::ExitedWithCode(1),
+                "truncated binary trace body");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileFailure, TruncatedCompressedBody)
+{
+    std::string bytes = "OCTD";
+    bytes += '\x01';           // version
+    bytes += '\x02';           // word size
+    bytes += std::string(2, '\0');
+    bytes += '\x05';           // count = 5
+    bytes += std::string(7, '\0');
+    bytes += '\x00';           // one flag byte, then nothing
+    const std::string path = writeFile("trunc.otd", bytes);
+    EXPECT_EXIT(readTrace(path), ::testing::ExitedWithCode(1),
+                "truncated compressed trace body");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileFailure, BadTextLabel)
+{
+    const std::string path = writeFile("bad_label.din", "9 100 2\n");
+    EXPECT_EXIT(readTrace(path), ::testing::ExitedWithCode(1),
+                "bad label");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileFailure, BadTextAddress)
+{
+    const std::string path = writeFile("bad_addr.din", "2 zzz 2\n");
+    EXPECT_EXIT(readTrace(path), ::testing::ExitedWithCode(1),
+                "bad address");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileFailure, MalformedTextLine)
+{
+    const std::string path = writeFile("short_line.din", "2\n");
+    EXPECT_EXIT(readTrace(path), ::testing::ExitedWithCode(1),
+                "malformed trace line");
+    std::remove(path.c_str());
+}
+
+TEST(MachineFailure, JumpToDataSectionTraps)
+{
+    Program program = assemble("    movi r1, buf\n"
+                               "    jmp  buf\n"
+                               "    halt\n"
+                               ".data\n"
+                               "buf: .word 0\n",
+                               MachineConfig::word16());
+    Machine machine(std::move(program));
+    VectorTrace sink;
+    EXPECT_DEATH(machine.run(sink), "non-instruction address");
+}
+
+TEST(MachineFailure, JumpIntoOperandWordTraps)
+{
+    // codeBase + 2 is the immediate word of the first movi.
+    const MachineConfig config = MachineConfig::word16();
+    Program program = assemble("    movi r1, 258\n"  // 0x102
+                               "    jmp  258\n"
+                               "    halt\n",
+                               config);
+    Machine machine(std::move(program));
+    VectorTrace sink;
+    EXPECT_DEATH(machine.run(sink), "non-instruction address");
+}
+
+TEST(MachineFailure, StoreOutsideMemoryTraps)
+{
+    // 32-bit config with a 24-bit address mask but memory smaller
+    // than the address space: an out-of-range store must trap, not
+    // scribble.
+    MachineConfig config = MachineConfig::word32(1u << 20);
+    config.stackTop = 1u << 20;
+    Program program = assemble("    movi r1, 2097152\n"  // 2 MB
+                               "    st   r1, r1, 0\n"
+                               "    halt\n",
+                               config);
+    Machine machine(std::move(program));
+    VectorTrace sink;
+    EXPECT_DEATH(machine.run(sink), "outside memory");
+}
+
+TEST(MachineFailure, CodeOverrunRejectedAtAssembly)
+{
+    // Enough instructions to overrun dataBase.
+    MachineConfig config = MachineConfig::word16();
+    config.codeBase = 0x100;
+    config.dataBase = 0x110;  // room for 8 words only
+    std::string source;
+    for (int i = 0; i < 16; ++i)
+        source += "    nop\n";
+    EXPECT_EXIT(assemble(source, config),
+                ::testing::ExitedWithCode(1), "overruns data base");
+}
+
+TEST(MachineFailure, DataOverrunRejectedAtAssembly)
+{
+    MachineConfig config = MachineConfig::word16();
+    EXPECT_EXIT(assemble(".data\nbig: .space 100000\n", config),
+                ::testing::ExitedWithCode(1), "overruns memory");
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Structured tests of the experiment drivers: run the table/figure
+ * generators at a reduced trace length (set via the environment
+ * before the first harness call, since the length is latched once)
+ * and verify the output's structure — row counts, required labels,
+ * and that every printed ratio parses and lies in a sane range.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "harness/figures.hh"
+#include "harness/paper_tables.hh"
+#include "util/str.hh"
+#include "workload/suites.hh"
+
+using namespace occsim;
+
+namespace {
+
+/** Latch a small trace length before anything reads it. */
+class HarnessEnv : public ::testing::Environment
+{
+  public:
+    void
+    SetUp() override
+    {
+        ::setenv("OCCSIM_TRACE_LEN", "20000", 1);
+        ASSERT_EQ(defaultTraceLength(), 20000u);
+    }
+};
+
+const auto *const kEnv =
+    ::testing::AddGlobalTestEnvironment(new HarnessEnv);
+
+/** Count lines containing @p needle. */
+int
+countLines(const std::string &text, const std::string &needle)
+{
+    int count = 0;
+    for (const std::string &line : split(text, '\n')) {
+        if (line.find(needle) != std::string::npos)
+            ++count;
+    }
+    return count;
+}
+
+/** Extract all tokens parseable as ratios from table-looking lines. */
+std::vector<double>
+ratios(const std::string &text)
+{
+    std::vector<double> values;
+    for (const std::string &line : split(text, '\n')) {
+        for (const std::string &token : split(line, ' ')) {
+            if (token.size() >= 5 && token.find('.') == 1 &&
+                (token[0] == '0' || token[0] == '1' ||
+                 token[0] == '2' || token[0] == '3')) {
+                char *end = nullptr;
+                const double value =
+                    std::strtod(token.c_str(), &end);
+                if (end != token.c_str() && *end == '\0')
+                    values.push_back(value);
+            }
+        }
+    }
+    return values;
+}
+
+} // namespace
+
+TEST(Harness, Table6Structure)
+{
+    std::ostringstream os;
+    runTable6(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("360/85"), std::string::npos);
+    EXPECT_NE(out.find("4-way set associative"), std::string::npos);
+    EXPECT_NE(out.find("16-way set associative"), std::string::npos);
+    EXPECT_NE(out.find("never referenced"), std::string::npos);
+    for (const double value : ratios(out)) {
+        EXPECT_GE(value, 0.0);
+        EXPECT_LT(value, 4.0);
+    }
+}
+
+TEST(Harness, Table7SingleArchRowCount)
+{
+    std::ostringstream os;
+    runTable7Arch(os, 0);  // PDP-11
+    const std::string out = os.str();
+    // 19 grid rows per net size on a 16-bit machine, 3 net sizes.
+    EXPECT_EQ(countLines(out, "64    "), 19);
+    EXPECT_NE(out.find("PDP-11"), std::string::npos);
+    EXPECT_NE(out.find("16,8"), std::string::npos);
+}
+
+TEST(Harness, Table8ContainsLoadForwardRows)
+{
+    std::ostringstream os;
+    runTable8(os);
+    const std::string out = os.str();
+    EXPECT_EQ(countLines(out, ",LF"), 3);
+    EXPECT_NE(out.find("16,16"), std::string::npos);
+    EXPECT_NE(out.find("2,2"), std::string::npos);
+}
+
+TEST(Harness, Figure9MarksZ80000Point)
+{
+    std::ostringstream os;
+    runFigure9(os);
+    EXPECT_NE(os.str().find("Z80,000 design"), std::string::npos);
+}
+
+TEST(Harness, Figure1And2CoverSixNetSizes)
+{
+    std::ostringstream small;
+    runFigure1(small);
+    std::ostringstream large;
+    runFigure2(large);
+    for (const char *net : {"32", "128", "512"})
+        EXPECT_NE(small.str().find(std::string("\n") + net),
+                  std::string::npos)
+            << net;
+    for (const char *net : {"64", "256", "1024"})
+        EXPECT_NE(large.str().find(std::string("\n") + net),
+                  std::string::npos)
+            << net;
+}
+
+TEST(Harness, RiscIICurveHasFourSizes)
+{
+    std::ostringstream os;
+    runRiscII(os);
+    const std::string out = os.str();
+    for (const char *size : {"512", "1024", "2048", "4096"})
+        EXPECT_NE(out.find(size), std::string::npos) << size;
+}
+
+TEST(Harness, NibbleFigureTrafficNeverAboveLinear)
+{
+    // Figures 7/8 print nibble-scaled traffic; every value must be
+    // below the corresponding figure-1/2 linear value. Compare the
+    // global maxima as a cheap structural check.
+    std::ostringstream linear;
+    runFigure2(linear);
+    std::ostringstream nibble;
+    runFigure8(nibble);
+    double max_linear = 0.0;
+    for (const double value : ratios(linear.str()))
+        max_linear = std::max(max_linear, value);
+    double max_nibble = 0.0;
+    for (const double value : ratios(nibble.str()))
+        max_nibble = std::max(max_nibble, value);
+    EXPECT_LE(max_nibble, max_linear + 1e-9);
+}

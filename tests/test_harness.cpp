@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the experiment harness: the Table 1 design grids, suite
+ * execution/averaging, and basic structure of the table/figure
+ * drivers' output (run at a reduced trace length via the suites'
+ * buildTrace refs parameter where applicable).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiment.hh"
+
+using namespace occsim;
+
+TEST(PaperGrid, ContainsExpectedCombinations)
+{
+    const auto grid = paperGrid(1024, 2);
+    // blocks 2..64; for each block, subs 2..min(block,32):
+    // 1+2+3+4+5+5 = 20 combinations.
+    EXPECT_EQ(grid.size(), 20u);
+    for (const CacheConfig &config : grid) {
+        EXPECT_EQ(config.netSize, 1024u);
+        EXPECT_LE(config.subBlockSize, config.blockSize);
+        EXPECT_GE(config.subBlockSize, 2u);
+        EXPECT_LE(config.subBlockSize, 32u);
+        EXPECT_EQ(config.assoc, 4u);
+        EXPECT_EQ(config.replacement, ReplacementPolicy::LRU);
+        EXPECT_EQ(config.fetch, FetchPolicy::Demand);
+    }
+}
+
+TEST(PaperGrid, RespectsWordSize)
+{
+    // On 32-bit architectures sub-blocks start at 4 bytes.
+    const auto grid = paperGrid(1024, 4);
+    for (const CacheConfig &config : grid)
+        EXPECT_GE(config.subBlockSize, 4u);
+}
+
+TEST(PaperGrid, SmallCacheLimitsBlocks)
+{
+    const auto grid = paperGrid(32, 2);
+    for (const CacheConfig &config : grid)
+        EXPECT_LE(config.blockSize, 32u);
+    // blocks 2,4,8,16,32 with subs: 1+2+3+4+5 = 15.
+    EXPECT_EQ(grid.size(), 15u);
+}
+
+TEST(Table7Grid, DropsLargeSubBlocksOf64ByteBlocks)
+{
+    const auto grid = table7Grid(1024, 2);
+    for (const CacheConfig &config : grid) {
+        if (config.blockSize == 64) {
+            EXPECT_LE(config.subBlockSize, 16u);
+        }
+    }
+    // Table 7 prints 19 rows per 1024-byte net on 16-bit machines.
+    EXPECT_EQ(grid.size(), 19u);
+}
+
+TEST(RunSuite, ShapesAndAveraging)
+{
+    const Suite suite = z8000CompilerSuite();
+    const auto configs = paperGrid(64, suite.profile.wordSize);
+    const SuiteRun run = runSuite(suite, configs, 30000);
+
+    EXPECT_EQ(run.traceNames.size(), suite.traces.size());
+    EXPECT_EQ(run.perTrace.size(), suite.traces.size());
+    ASSERT_EQ(run.average.size(), configs.size());
+
+    // The average is the unweighted mean of the per-trace results.
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        double mean = 0.0;
+        for (const auto &trace_result : run.perTrace)
+            mean += trace_result[c].missRatio;
+        mean /= static_cast<double>(run.perTrace.size());
+        EXPECT_NEAR(run.average[c].missRatio, mean, 1e-12);
+    }
+}
+
+TEST(RunSuite, TrafficIdentityAcrossGrid)
+{
+    // On every grid point, demand fetch keeps the exact identity
+    // traffic = miss * sub / word — per trace and in the average.
+    const Suite suite = z8000CompilerSuite();
+    const auto configs = paperGrid(256, suite.profile.wordSize);
+    const SuiteRun run = runSuite(suite, configs, 30000);
+    for (const SweepResult &result : run.average) {
+        const double factor =
+            static_cast<double>(result.config.subBlockSize) /
+            static_cast<double>(result.config.wordSize);
+        EXPECT_NEAR(result.trafficRatio, result.missRatio * factor,
+                    1e-9)
+            << result.config.shortName();
+    }
+}
+
+TEST(FmtRatio, FourDecimals)
+{
+    EXPECT_EQ(fmtRatio(0.5), "0.5000");
+    EXPECT_EQ(fmtRatio(0.12345), "0.1235");
+}
+
+TEST(Banner, MentionsTraceLength)
+{
+    std::ostringstream os;
+    printBanner(os, "Test");
+    EXPECT_NE(os.str().find("Test"), std::string::npos);
+    EXPECT_NE(os.str().find("OCCSIM_TRACE_LEN"), std::string::npos);
+}

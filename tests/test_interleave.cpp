@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the multiprogramming interleave source: round-robin
+ * order, quantum boundaries, exhaustion handling, and the
+ * task-switching effect on cache performance the paper calls out in
+ * Section 3.3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "trace/interleave.hh"
+#include "workload/suites.hh"
+
+using namespace occsim;
+
+namespace {
+
+VectorTrace
+tagTrace(Addr base, std::size_t count)
+{
+    VectorTrace trace;
+    for (std::size_t i = 0; i < count; ++i) {
+        trace.append(base + static_cast<Addr>(i) * 2,
+                     RefKind::DataRead, 2);
+    }
+    return trace;
+}
+
+} // namespace
+
+TEST(Interleave, RoundRobinWithQuantum)
+{
+    VectorTrace a = tagTrace(0x1000, 4);
+    VectorTrace b = tagTrace(0x2000, 4);
+    InterleaveSource mix({&a, &b}, 2);
+
+    std::vector<Addr> order;
+    MemRef ref;
+    while (mix.next(ref))
+        order.push_back(ref.addr & 0xF000);
+
+    ASSERT_EQ(order.size(), 8u);
+    const std::vector<Addr> expected = {0x1000, 0x1000, 0x2000, 0x2000,
+                                        0x1000, 0x1000, 0x2000, 0x2000};
+    EXPECT_EQ(order, expected);
+    EXPECT_GE(mix.switches(), 3u);
+}
+
+TEST(Interleave, UnevenLengthsDrainCompletely)
+{
+    VectorTrace a = tagTrace(0x1000, 1);
+    VectorTrace b = tagTrace(0x2000, 5);
+    InterleaveSource mix({&a, &b}, 2);
+    MemRef ref;
+    int total = 0;
+    while (mix.next(ref))
+        ++total;
+    EXPECT_EQ(total, 6);
+}
+
+TEST(Interleave, SingleSourcePassesThrough)
+{
+    VectorTrace a = tagTrace(0x1000, 7);
+    InterleaveSource mix({&a}, 3);
+    MemRef ref;
+    int total = 0;
+    while (mix.next(ref))
+        ++total;
+    EXPECT_EQ(total, 7);
+}
+
+TEST(Interleave, ResetReproduces)
+{
+    VectorTrace a = tagTrace(0x1000, 6);
+    VectorTrace b = tagTrace(0x2000, 6);
+    InterleaveSource mix({&a, &b}, 4);
+    const VectorTrace first = collect(mix);
+    mix.reset();
+    const VectorTrace second = collect(mix);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_EQ(first[i], second[i]);
+}
+
+TEST(Interleave, TaskSwitchingRaisesMissRatio)
+{
+    // The paper: "the omission of task switching effects will bias
+    // our estimated performance upward, although the small sizes of
+    // the caches studied make this effect minor." Check both halves:
+    // interleaving hurts, but only mildly for a small cache.
+    const Suite suite = pdp11Suite();
+    VectorTrace a = buildTrace(suite.traces[0], 150000);
+    VectorTrace b = buildTrace(suite.traces[3], 150000);
+
+    // Baseline: the two programs run alone, averaged (both traces
+    // contribute the same reference count to the mix).
+    Cache alone_a(makeConfig(1024, 16, 8, 2));
+    alone_a.run(a);
+    Cache alone_b(makeConfig(1024, 16, 8, 2));
+    alone_b.run(b);
+    const double solo_miss = (alone_a.stats().missRatio() +
+                              alone_b.stats().missRatio()) /
+                             2.0;
+
+    a.reset();
+    b.reset();
+    InterleaveSource mix({&a, &b}, 10000);
+    Cache shared(makeConfig(1024, 16, 8, 2));
+    shared.run(mix);
+    const double mixed_miss = shared.stats().missRatio();
+
+    EXPECT_GT(mixed_miss, solo_miss - 1e-6)
+        << "multiprogramming should not look better than solo runs";
+    EXPECT_LT(mixed_miss, solo_miss + 0.15)
+        << "for small caches the effect is minor";
+}
+
+TEST(Interleave, SmallerQuantumHurtsMore)
+{
+    const Suite suite = z8000Suite();
+    VectorTrace a = buildTrace(suite.traces[1], 100000);
+    VectorTrace b = buildTrace(suite.traces[2], 100000);
+
+    auto miss_at_quantum = [&](std::uint64_t quantum) {
+        a.reset();
+        b.reset();
+        InterleaveSource mix({&a, &b}, quantum);
+        Cache cache(makeConfig(1024, 16, 8, 2));
+        cache.run(mix);
+        return cache.stats().missRatio();
+    };
+
+    const double fine = miss_at_quantum(500);
+    const double coarse = miss_at_quantum(50000);
+    EXPECT_GE(fine, coarse - 1e-6)
+        << "more frequent switching cannot help the cache";
+}

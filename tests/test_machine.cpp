@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Unit tests for the OC-1 interpreter: instruction semantics, trace
+ * emission (ifetch word streams, data reads/writes), control flow,
+ * the stack, restart, and the trace-source adapter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/machine.hh"
+
+using namespace occsim;
+
+namespace {
+
+Machine
+makeMachine(const std::string &source,
+            MachineConfig config = MachineConfig::word16())
+{
+    return Machine(assemble(source, config));
+}
+
+VectorTrace
+runToHalt(Machine &machine, std::uint64_t max_refs = 1000000)
+{
+    VectorTrace trace;
+    machine.run(trace, max_refs);
+    return trace;
+}
+
+} // namespace
+
+TEST(Machine, AluSemantics)
+{
+    Machine machine = makeMachine("    movi r1, 20\n"
+                                  "    movi r2, 6\n"
+                                  "    add  r3, r1, r2\n"
+                                  "    sub  r4, r1, r2\n"
+                                  "    mul  r5, r1, r2\n"
+                                  "    divs r6, r1, r2\n"
+                                  "    mods r7, r1, r2\n"
+                                  "    and  r8, r1, r2\n"
+                                  "    or   r9, r1, r2\n"
+                                  "    xor  r10, r1, r2\n"
+                                  "    addi r11, r1, -3\n"
+                                  "    shli r12, r2, 2\n"
+                                  "    shri r13, r1, 2\n"
+                                  "    halt\n");
+    runToHalt(machine);
+    EXPECT_TRUE(machine.halted());
+    EXPECT_EQ(machine.reg(3), 26);
+    EXPECT_EQ(machine.reg(4), 14);
+    EXPECT_EQ(machine.reg(5), 120);
+    EXPECT_EQ(machine.reg(6), 3);
+    EXPECT_EQ(machine.reg(7), 2);
+    EXPECT_EQ(machine.reg(8), 20 & 6);
+    EXPECT_EQ(machine.reg(9), 20 | 6);
+    EXPECT_EQ(machine.reg(10), 20 ^ 6);
+    EXPECT_EQ(machine.reg(11), 17);
+    EXPECT_EQ(machine.reg(12), 24);
+    EXPECT_EQ(machine.reg(13), 5);
+}
+
+TEST(Machine, DivisionByZeroYieldsZero)
+{
+    Machine machine = makeMachine("    movi r1, 9\n"
+                                  "    movi r2, 0\n"
+                                  "    divs r3, r1, r2\n"
+                                  "    mods r4, r1, r2\n"
+                                  "    halt\n");
+    runToHalt(machine);
+    EXPECT_EQ(machine.reg(3), 0);
+    EXPECT_EQ(machine.reg(4), 0);
+}
+
+TEST(Machine, LoadStoreRoundTrip)
+{
+    Machine machine = makeMachine("    movi r1, buf\n"
+                                  "    movi r2, 1234\n"
+                                  "    st   r1, r2, 0\n"
+                                  "    st   r1, r2, WSIZE\n"
+                                  "    ld   r3, r1, 0\n"
+                                  "    ld   r4, r1, WSIZE\n"
+                                  "    halt\n"
+                                  ".data\n"
+                                  "buf: .spacew 4\n");
+    runToHalt(machine);
+    EXPECT_EQ(machine.reg(3), 1234);
+    EXPECT_EQ(machine.reg(4), 1234);
+    EXPECT_EQ(machine.peekWord(machine.program().symbol("buf")), 1234);
+}
+
+TEST(Machine, SixteenBitWordsSignExtendOnLoad)
+{
+    Machine machine = makeMachine("    movi r1, buf\n"
+                                  "    movi r2, -5\n"
+                                  "    st   r1, r2, 0\n"
+                                  "    ld   r3, r1, 0\n"
+                                  "    halt\n"
+                                  ".data\n"
+                                  "buf: .word 0\n");
+    runToHalt(machine);
+    EXPECT_EQ(machine.reg(3), -5);
+}
+
+TEST(Machine, TraceEmission)
+{
+    const MachineConfig config = MachineConfig::word16();
+    Machine machine = makeMachine("    movi r1, buf\n"  // 2 ifetches
+                                  "    ld   r2, r1, 0\n" // 2 if + 1 rd
+                                  "    st   r1, r2, 0\n" // 2 if + 1 wr
+                                  "    halt\n"           // 1 ifetch
+                                  ".data\n"
+                                  "buf: .word 0\n",
+                                  config);
+    const VectorTrace trace = runToHalt(machine);
+    ASSERT_EQ(trace.size(), 9u);
+    // movi: two sequential ifetch words at codeBase.
+    EXPECT_EQ(trace[0].kind, RefKind::Ifetch);
+    EXPECT_EQ(trace[0].addr, config.codeBase);
+    EXPECT_EQ(trace[1].addr, config.codeBase + 2);
+    // ld: ifetches then the data read at buf.
+    EXPECT_EQ(trace[4].kind, RefKind::DataRead);
+    EXPECT_EQ(trace[4].addr, config.dataBase);
+    EXPECT_EQ(trace[4].size, 2);
+    // st: data write.
+    EXPECT_EQ(trace[7].kind, RefKind::DataWrite);
+    EXPECT_EQ(trace[7].addr, config.dataBase);
+}
+
+TEST(Machine, BranchesAndLoops)
+{
+    // Sum 1..5 with a loop.
+    Machine machine = makeMachine("    movi r1, 0\n"   // sum
+                                  "    movi r2, 1\n"   // i
+                                  "    movi r3, 6\n"
+                                  "loop:\n"
+                                  "    bge  r2, r3, done\n"
+                                  "    add  r1, r1, r2\n"
+                                  "    addi r2, r2, 1\n"
+                                  "    jmp  loop\n"
+                                  "done:\n"
+                                  "    halt\n");
+    runToHalt(machine);
+    EXPECT_EQ(machine.reg(1), 15);
+}
+
+TEST(Machine, ConditionalBranchVariants)
+{
+    Machine machine = makeMachine("    movi r1, 3\n"
+                                  "    movi r2, 3\n"
+                                  "    movi r10, 0\n"
+                                  "    beq  r1, r2, l1\n"
+                                  "    halt\n"
+                                  "l1: movi r10, 1\n"
+                                  "    bne  r1, r2, bad\n"
+                                  "    movi r3, 2\n"
+                                  "    blt  r3, r1, l2\n"
+                                  "    halt\n"
+                                  "l2: movi r10, 2\n"
+                                  "    bge  r1, r3, l3\n"
+                                  "    halt\n"
+                                  "l3: movi r10, 3\n"
+                                  "    halt\n"
+                                  "bad:\n"
+                                  "    movi r10, 99\n"
+                                  "    halt\n");
+    runToHalt(machine);
+    EXPECT_EQ(machine.reg(10), 3);
+}
+
+TEST(Machine, CallRetAndStack)
+{
+    const MachineConfig config = MachineConfig::word16();
+    Machine machine = makeMachine("    movi r1, 5\n"
+                                  "    call double\n"
+                                  "    halt\n"
+                                  "double:\n"
+                                  "    add r1, r1, r1\n"
+                                  "    ret\n",
+                                  config);
+    const std::int32_t sp_before = machine.reg(kSpReg);
+    runToHalt(machine);
+    EXPECT_EQ(machine.reg(1), 10);
+    EXPECT_EQ(machine.reg(kSpReg), sp_before) << "stack balanced";
+}
+
+TEST(Machine, PushPopLifo)
+{
+    Machine machine = makeMachine("    movi r1, 10\n"
+                                  "    movi r2, 20\n"
+                                  "    push r1\n"
+                                  "    push r2\n"
+                                  "    pop  r3\n"
+                                  "    pop  r4\n"
+                                  "    halt\n");
+    runToHalt(machine);
+    EXPECT_EQ(machine.reg(3), 20);
+    EXPECT_EQ(machine.reg(4), 10);
+}
+
+TEST(Machine, RestartReproducesTrace)
+{
+    Machine machine = makeMachine("    movi r1, buf\n"
+                                  "    movi r2, 3\n"
+                                  "loop:\n"
+                                  "    st   r1, r2, 0\n"
+                                  "    addi r2, r2, -1\n"
+                                  "    movi r3, 0\n"
+                                  "    bne  r2, r3, loop\n"
+                                  "    halt\n"
+                                  ".data\n"
+                                  "buf: .word 0\n");
+    const VectorTrace first = runToHalt(machine);
+    machine.restart();
+    const VectorTrace second = runToHalt(machine);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_EQ(first[i], second[i]) << "ref " << i;
+}
+
+TEST(Machine, DataImageLoadedAtRestart)
+{
+    Machine machine = makeMachine("    movi r1, vals\n"
+                                  "    ld   r2, r1, 0\n"
+                                  "    movi r3, 99\n"
+                                  "    st   r1, r3, 0\n"
+                                  "    halt\n"
+                                  ".data\n"
+                                  "vals: .word 42\n");
+    runToHalt(machine);
+    EXPECT_EQ(machine.reg(2), 42);
+    machine.restart();
+    EXPECT_EQ(machine.peekWord(machine.program().symbol("vals")), 42)
+        << "initialized data restored";
+}
+
+TEST(Machine, Word32Configuration)
+{
+    const MachineConfig config = MachineConfig::word32();
+    Machine machine = makeMachine("    movi r1, buf\n"
+                                  "    movi r2, 100000\n"  // > 16 bits
+                                  "    st   r1, r2, 0\n"
+                                  "    ld   r3, r1, 0\n"
+                                  "    halt\n"
+                                  ".data\n"
+                                  "buf: .word 0\n",
+                                  config);
+    const VectorTrace trace = runToHalt(machine);
+    EXPECT_EQ(machine.reg(3), 100000) << "32-bit words are not trimmed";
+    for (const MemRef &ref : trace.refs())
+        EXPECT_EQ(ref.size, 4);
+}
+
+TEST(Machine, SixteenBitAddressWraparound)
+{
+    // Register arithmetic past 0xFFFF wraps into the 16-bit address
+    // space on access, as a 16-bit machine's address lines do.
+    Machine machine = makeMachine("    movi r1, 65534\n"
+                                  "    addi r1, r1, 18\n"  // 0x10010
+                                  "    movi r2, 77\n"
+                                  "    st   r1, r2, 0\n"   // wraps to 0x10
+                                  "    ld   r3, r1, 0\n"
+                                  "    halt\n");
+    VectorTrace trace;
+    machine.run(trace);
+    EXPECT_EQ(machine.reg(3), 77);
+    // The emitted data reference carries the wrapped address.
+    for (const MemRef &ref : trace.refs()) {
+        if (ref.kind == RefKind::DataWrite)
+            EXPECT_EQ(ref.addr, 0x10u);
+    }
+}
+
+TEST(Machine, ShriIsLogicalOnNegative)
+{
+    Machine machine = makeMachine("    movi r1, -4\n"
+                                  "    shri r2, r1, 1\n"
+                                  "    halt\n");
+    VectorTrace sink;
+    machine.run(sink);
+    // -4 = 0xFFFFFFFC; a logical shift gives 0x7FFFFFFE, not -2.
+    EXPECT_EQ(machine.reg(2),
+              static_cast<std::int32_t>(0xfffffffcu >> 1));
+}
+
+TEST(Machine, SignExtensionBoundary)
+{
+    // 0x7FFF stays positive, 0x8000 goes negative on a 16-bit
+    // machine's load.
+    Machine machine = makeMachine("    movi r1, buf\n"
+                                  "    movi r2, 32767\n"
+                                  "    st   r1, r2, 0\n"
+                                  "    ld   r3, r1, 0\n"
+                                  "    movi r2, 32768\n"
+                                  "    st   r1, r2, 0\n"
+                                  "    ld   r4, r1, 0\n"
+                                  "    halt\n"
+                                  ".data\n"
+                                  "buf: .word 0\n");
+    VectorTrace sink;
+    machine.run(sink);
+    EXPECT_EQ(machine.reg(3), 32767);
+    EXPECT_EQ(machine.reg(4), -32768);
+}
+
+TEST(Machine, DeepNestedCalls)
+{
+    // 200-deep call chain, then unwind: the stack must balance and
+    // every return must land correctly.
+    Machine machine = makeMachine("    movi r1, 200\n"
+                                  "    call down\n"
+                                  "    halt\n"
+                                  "down:\n"
+                                  "    movi r2, 1\n"
+                                  "    blt  r1, r2, up\n"
+                                  "    addi r1, r1, -1\n"
+                                  "    call down\n"
+                                  "up:\n"
+                                  "    addi r3, r3, 1\n"
+                                  "    ret\n");
+    const std::int32_t sp_before = machine.reg(kSpReg);
+    VectorTrace sink;
+    machine.run(sink);
+    ASSERT_TRUE(machine.halted());
+    EXPECT_EQ(machine.reg(3), 201);
+    EXPECT_EQ(machine.reg(kSpReg), sp_before);
+}
+
+TEST(Machine, InstructionCountAdvancesOnlyOnStep)
+{
+    Machine machine = makeMachine("    nop\n    nop\n    halt\n");
+    EXPECT_EQ(machine.instructionsExecuted(), 0u);
+    std::vector<MemRef> refs;
+    machine.step(refs);
+    EXPECT_EQ(machine.instructionsExecuted(), 1u);
+    machine.step(refs);
+    machine.step(refs);
+    EXPECT_EQ(machine.instructionsExecuted(), 3u);
+    EXPECT_TRUE(machine.halted());
+    EXPECT_FALSE(machine.step(refs)) << "no steps after halt";
+}
+
+TEST(VmTraceSourceTest, LoopsOnHalt)
+{
+    Program program = assemble("    nop\n    halt\n",
+                               MachineConfig::word16());
+    VmTraceSource source(std::move(program), "tiny", true);
+    MemRef ref;
+    // nop+halt = 2 refs per run; draw many more than one run.
+    for (int i = 0; i < 100; ++i)
+        ASSERT_TRUE(source.next(ref));
+}
+
+TEST(VmTraceSourceTest, StopsWithoutLoop)
+{
+    Program program = assemble("    nop\n    halt\n",
+                               MachineConfig::word16());
+    VmTraceSource source(std::move(program), "tiny", false);
+    MemRef ref;
+    EXPECT_TRUE(source.next(ref));
+    EXPECT_TRUE(source.next(ref));
+    EXPECT_FALSE(source.next(ref));
+
+    source.reset();
+    EXPECT_TRUE(source.next(ref));
+}
+
+TEST(VmTraceSourceTest, DeterministicStream)
+{
+    auto make = [] {
+        return VmTraceSource(assemble("    movi r1, 3\n"
+                                      "l:  addi r1, r1, -1\n"
+                                      "    movi r2, 0\n"
+                                      "    bne  r1, r2, l\n"
+                                      "    halt\n",
+                                      MachineConfig::word16()),
+                             "det", true);
+    };
+    VmTraceSource a = make();
+    VmTraceSource b = make();
+    MemRef ra;
+    MemRef rb;
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_TRUE(a.next(ra));
+        ASSERT_TRUE(b.next(rb));
+        EXPECT_EQ(ra, rb);
+    }
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the compulsory/capacity/conflict miss classifier,
+ * including hand-constructed conflict and capacity scenarios and the
+ * cross-check that the three components always sum to the miss count.
+ */
+
+#include <gtest/gtest.h>
+
+#include "multi/miss_classifier.hh"
+#include "workload/synthetic.hh"
+
+using namespace occsim;
+
+TEST(MissClassifier, ColdStreamIsAllCompulsory)
+{
+    MissClassifier classifier(makeConfig(256, 16, 16, 2));
+    for (Addr addr = 0; addr < 256; addr += 16)
+        classifier.process(addr);
+    const MissBreakdown &b = classifier.breakdown();
+    EXPECT_EQ(b.misses, 16u);
+    EXPECT_EQ(b.compulsory, 16u);
+    EXPECT_EQ(b.capacity, 0u);
+    EXPECT_EQ(b.conflict, 0u);
+}
+
+TEST(MissClassifier, PureConflictScenario)
+{
+    // Direct-mapped 4-block cache (64B, 16B blocks): two blocks that
+    // map to the same set ping-pong, while a fully-associative cache
+    // of 4 blocks would hold both.
+    CacheConfig config = makeConfig(64, 16, 16, 2);
+    config.assoc = 1;
+    MissClassifier classifier(config);
+    for (int round = 0; round < 50; ++round) {
+        classifier.process(0x000);  // set 0
+        classifier.process(0x040);  // also set 0 (4 sets of 16B)
+    }
+    const MissBreakdown &b = classifier.breakdown();
+    EXPECT_EQ(b.compulsory, 2u);
+    EXPECT_EQ(b.capacity, 0u);
+    EXPECT_EQ(b.conflict, b.misses - 2u);
+    EXPECT_GT(b.conflict, 90u);
+}
+
+TEST(MissClassifier, PureCapacityScenario)
+{
+    // Cycling through 8 blocks in a fully-associative 4-block cache:
+    // every non-first miss is capacity (fully-assoc also misses).
+    CacheConfig config = makeConfig(64, 16, 16, 2);
+    config.assoc = 4;
+    MissClassifier classifier(config);
+    for (int round = 0; round < 20; ++round) {
+        for (Addr block = 0; block < 8; ++block)
+            classifier.process(block * 16);
+    }
+    const MissBreakdown &b = classifier.breakdown();
+    EXPECT_EQ(b.compulsory, 8u);
+    EXPECT_EQ(b.conflict, 0u) << "the cache IS fully associative";
+    EXPECT_EQ(b.capacity, b.misses - 8u);
+}
+
+TEST(MissClassifier, ComponentsAlwaysSum)
+{
+    SyntheticParams params;
+    params.seed = 101;
+    const VectorTrace trace = makeSyntheticTrace(params, 40000);
+    for (const std::uint32_t assoc : {1u, 2u, 4u}) {
+        CacheConfig config = makeConfig(512, 16, 16, 2);
+        config.assoc = assoc;
+        MissClassifier classifier(config);
+        classifier.processTrace(trace);
+        const MissBreakdown &b = classifier.breakdown();
+        EXPECT_EQ(b.compulsory + b.capacity + b.conflict, b.misses);
+        EXPECT_EQ(b.refs, trace.size());
+    }
+}
+
+TEST(MissClassifier, ConflictShareFallsWithAssociativity)
+{
+    // Smith's result, via the paper: 4-way is close to fully
+    // associative, i.e. its conflict share is small.
+    SyntheticParams params;
+    params.seed = 55;
+    const VectorTrace trace = makeSyntheticTrace(params, 60000);
+
+    auto conflicts_at = [&](std::uint32_t assoc) {
+        CacheConfig config = makeConfig(1024, 16, 16, 2);
+        config.assoc = assoc;
+        MissClassifier classifier(config);
+        classifier.processTrace(trace);
+        return classifier.breakdown();
+    };
+    const MissBreakdown direct = conflicts_at(1);
+    const MissBreakdown four_way = conflicts_at(4);
+    EXPECT_LT(four_way.conflict, direct.conflict)
+        << "associativity exists to remove conflict misses";
+    EXPECT_LT(four_way.conflictShare(), 0.25)
+        << "4-way should be close to fully associative";
+}
+
+using MissClassifierDeath = ::testing::Test;
+
+TEST(MissClassifierDeath, RejectsSubBlockConfigs)
+{
+    EXPECT_DEATH(MissClassifier(makeConfig(256, 16, 8, 2)),
+                 "sub-block == block");
+}

@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Correctness tests for the OC-1 program library: every program is
+ * executed to completion and its *computed result* is checked (sorted
+ * arrays, match counts, matrix products, prime counts, ...), on both
+ * the 16-bit and 32-bit machine configurations where meaningful.
+ * Traces drawn from verified programs are what make the substitute
+ * workloads trustworthy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "vm/machine.hh"
+#include "vm/program_library.hh"
+
+using namespace occsim;
+
+namespace {
+
+/** Reference implementation of the programs' shared LCG. */
+std::int32_t
+lcgNext(std::int32_t seed)
+{
+    return (seed * 25173 + 13849) & 16383;
+}
+
+Machine
+runProgram(const std::string &source, const MachineConfig &config,
+           std::uint64_t max_refs = 0)
+{
+    Machine machine(assemble(source, config));
+    VectorTrace sink;
+    machine.run(sink, max_refs);
+    return machine;
+}
+
+std::vector<std::int32_t>
+readArray(const Machine &machine, const std::string &label,
+          unsigned count)
+{
+    const Addr base = machine.program().symbol(label);
+    const std::uint32_t word = machine.config().wordSize;
+    std::vector<std::int32_t> values;
+    values.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        values.push_back(machine.peekWord(base + i * word));
+    return values;
+}
+
+class ProgramsOnBothWidths
+    : public ::testing::TestWithParam<std::uint32_t>
+{
+  protected:
+    MachineConfig config() const
+    {
+        return GetParam() == 2 ? MachineConfig::word16()
+                               : MachineConfig::word32();
+    }
+};
+
+} // namespace
+
+TEST_P(ProgramsOnBothWidths, BubbleSortSorts)
+{
+    Machine machine = runProgram(progBubbleSort(64), config());
+    ASSERT_TRUE(machine.halted());
+    const auto arr = readArray(machine, "arr", 64);
+    for (std::size_t i = 1; i < arr.size(); ++i)
+        EXPECT_LE(arr[i - 1], arr[i]) << "position " << i;
+}
+
+TEST_P(ProgramsOnBothWidths, QuickSortSorts)
+{
+    Machine machine = runProgram(progQuickSort(256), config());
+    ASSERT_TRUE(machine.halted());
+    const auto arr = readArray(machine, "arr", 256);
+    for (std::size_t i = 1; i < arr.size(); ++i)
+        EXPECT_LE(arr[i - 1], arr[i]) << "position " << i;
+    // The multiset must be the LCG sequence: verify the sum.
+    std::int64_t expected_sum = 0;
+    std::int32_t seed = 12345;
+    for (int i = 0; i < 256; ++i) {
+        seed = lcgNext(seed);
+        expected_sum += seed;
+    }
+    std::int64_t actual_sum = 0;
+    for (const std::int32_t v : arr)
+        actual_sum += v;
+    EXPECT_EQ(actual_sum, expected_sum);
+}
+
+TEST_P(ProgramsOnBothWidths, StringSearchFindsPattern)
+{
+    Machine machine =
+        runProgram(progStringSearch(512, 5, 2), config());
+    ASSERT_TRUE(machine.halted());
+    const std::int32_t matches =
+        machine.peekWord(machine.program().symbol("nmatch"));
+    EXPECT_GE(matches, 1) << "planted pattern must be found";
+    // Reference count: replicate text and naive search.
+    std::vector<std::int32_t> text(512);
+    std::int32_t seed = 777;
+    for (auto &ch : text) {
+        seed = lcgNext(seed);
+        ch = seed % 26;
+    }
+    int expected = 0;
+    for (std::size_t i = 0; i + 5 <= text.size(); ++i) {
+        bool hit = true;
+        for (std::size_t j = 0; j < 5; ++j) {
+            if (text[i + j] != text[256 + j])
+                hit = false;
+        }
+        expected += hit;
+    }
+    EXPECT_EQ(matches, expected);
+}
+
+TEST_P(ProgramsOnBothWidths, WordCountMatchesReference)
+{
+    Machine machine = runProgram(progWordCount(600, 2), config());
+    ASSERT_TRUE(machine.halted());
+    std::int32_t seed = 4242;
+    int expected = 0;
+    bool in_word = false;
+    for (int i = 0; i < 600; ++i) {
+        seed = lcgNext(seed);
+        const bool sep = (seed % 8) == 0;
+        if (!sep && !in_word)
+            ++expected;
+        in_word = !sep;
+    }
+    EXPECT_EQ(machine.peekWord(machine.program().symbol("wcount")),
+              expected);
+}
+
+TEST_P(ProgramsOnBothWidths, MatMulComputesProduct)
+{
+    constexpr unsigned kDim = 8;
+    Machine machine = runProgram(progMatMul(kDim), config());
+    ASSERT_TRUE(machine.halted());
+    const auto a = readArray(machine, "ma", kDim * kDim);
+    const auto b = readArray(machine, "mb", kDim * kDim);
+    const auto c = readArray(machine, "mc", kDim * kDim);
+    for (unsigned i = 0; i < kDim; ++i) {
+        for (unsigned j = 0; j < kDim; ++j) {
+            std::int32_t acc = 0;
+            for (unsigned k = 0; k < kDim; ++k)
+                acc += a[i * kDim + k] * b[k * kDim + j];
+            EXPECT_EQ(c[i * kDim + j], acc) << i << "," << j;
+        }
+    }
+}
+
+TEST_P(ProgramsOnBothWidths, LinkedListSumMatches)
+{
+    constexpr unsigned kNodes = 128;
+    constexpr unsigned kTrav = 3;
+    Machine machine =
+        runProgram(progLinkedList(kNodes, kTrav), config());
+    ASSERT_TRUE(machine.halted());
+    std::int64_t expected = 0;
+    for (unsigned i = 0; i < kNodes; ++i)
+        expected += static_cast<std::int64_t>(i & 1023);
+    expected *= kTrav;
+    const std::int32_t stored =
+        machine.peekWord(machine.program().symbol("sum"));
+    if (config().wordSize == 2) {
+        EXPECT_EQ(stored,
+                  static_cast<std::int16_t>(expected & 0xffff));
+    } else {
+        EXPECT_EQ(stored, static_cast<std::int32_t>(expected));
+    }
+}
+
+TEST_P(ProgramsOnBothWidths, PointerChaseCompletes)
+{
+    Machine machine =
+        runProgram(progPointerChase(256, 4096), config());
+    EXPECT_TRUE(machine.halted());
+    EXPECT_GT(machine.instructionsExecuted(), 4096u);
+}
+
+TEST_P(ProgramsOnBothWidths, HashTableAllLookupsHit)
+{
+    // Same LCG stream for inserts and lookups, lookups == items:
+    // every lookup must find its key.
+    Machine machine =
+        runProgram(progHashTable(5, 200, 200), config());
+    ASSERT_TRUE(machine.halted());
+    EXPECT_EQ(machine.peekWord(machine.program().symbol("found")),
+              200);
+}
+
+TEST_P(ProgramsOnBothWidths, LexerTokenizes)
+{
+    Machine machine = runProgram(progLexer(512, 2), config());
+    ASSERT_TRUE(machine.halted());
+    const std::int32_t ntok =
+        machine.peekWord(machine.program().symbol("ntok"));
+    EXPECT_GT(ntok, 0);
+    EXPECT_LE(ntok, 512 * 2);
+    // Token codes are 1 (identifier), 2 (number) or 3 (punctuation).
+    // Tokens per pass = ntok is cumulative across passes; inspect the
+    // buffer for the final pass's prefix.
+    const auto toks = readArray(machine, "toks", 16);
+    for (int i = 0; i < 16 && i < ntok; ++i) {
+        EXPECT_GE(toks[i], 1);
+        EXPECT_LE(toks[i], 3);
+    }
+}
+
+TEST_P(ProgramsOnBothWidths, TextFormatMatchesReference)
+{
+    constexpr unsigned kWords = 300;
+    constexpr unsigned kWidth = 40;
+    Machine machine =
+        runProgram(progTextFormat(kWords, kWidth, 1), config());
+    ASSERT_TRUE(machine.halted());
+    // Reference reflow.
+    std::int32_t seed = 1357;
+    int col = 0;
+    int lines = 0;
+    for (unsigned i = 0; i < kWords; ++i) {
+        seed = lcgNext(seed);
+        const int len = seed % 12 + 1;
+        if (col + len >= static_cast<int>(kWidth)) {
+            ++lines;
+            col = 0;
+        }
+        col += len + 1;
+    }
+    EXPECT_EQ(machine.peekWord(machine.program().symbol("nlines")),
+              lines);
+}
+
+TEST_P(ProgramsOnBothWidths, BstAllLookupsHit)
+{
+    Machine machine = runProgram(progBst(150, 150), config());
+    ASSERT_TRUE(machine.halted());
+    EXPECT_EQ(machine.peekWord(machine.program().symbol("found")),
+              150);
+}
+
+TEST_P(ProgramsOnBothWidths, SievePrimeCount)
+{
+    Machine machine = runProgram(progSieve(1000), config());
+    ASSERT_TRUE(machine.halted());
+    // pi(999) = 168.
+    EXPECT_EQ(machine.peekWord(machine.program().symbol("nprimes")),
+              168);
+}
+
+TEST_P(ProgramsOnBothWidths, QueueSimProcessesAllEvents)
+{
+    Machine machine = runProgram(progQueueSim(500, 64), config());
+    ASSERT_TRUE(machine.halted());
+    EXPECT_EQ(machine.peekWord(machine.program().symbol("donecnt")),
+              500);
+}
+
+TEST_P(ProgramsOnBothWidths, EditorMaintainsGapInvariants)
+{
+    constexpr unsigned kBuf = 256;
+    Machine machine = runProgram(progEditor(kBuf, 400), config());
+    ASSERT_TRUE(machine.halted());
+    const std::int32_t gs =
+        machine.peekWord(machine.program().symbol("gsv"));
+    const std::int32_t ge =
+        machine.peekWord(machine.program().symbol("gev"));
+    EXPECT_GE(gs, 0);
+    EXPECT_LE(gs, ge);
+    EXPECT_LE(ge, static_cast<std::int32_t>(kBuf));
+}
+
+TEST_P(ProgramsOnBothWidths, MergeSortSorts)
+{
+    constexpr unsigned kN = 200;
+    Machine machine = runProgram(progMergeSort(kN), config());
+    ASSERT_TRUE(machine.halted());
+    // srcv holds the base of the sorted buffer (sign-extended on
+    // 16-bit machines; mask back to an address).
+    const Addr mask = config().wordSize == 2 ? 0xffffu : 0xffffffffu;
+    const Addr base = static_cast<Addr>(
+                          machine.peekWord(
+                              machine.program().symbol("srcv"))) &
+                      mask;
+    EXPECT_TRUE(base == machine.program().symbol("bufa") ||
+                base == machine.program().symbol("bufb"));
+    const std::uint32_t word = config().wordSize;
+    std::int64_t sum = 0;
+    std::int32_t prev = machine.peekWord(base);
+    sum += prev;
+    for (unsigned i = 1; i < kN; ++i) {
+        const std::int32_t value =
+            machine.peekWord(base + i * word);
+        EXPECT_LE(prev, value) << "position " << i;
+        prev = value;
+        sum += value;
+    }
+    // Same multiset as the generator's LCG stream.
+    std::int64_t expected = 0;
+    std::int32_t seed = 60221;
+    for (unsigned i = 0; i < kN; ++i) {
+        seed = lcgNext(seed);
+        expected += seed;
+    }
+    EXPECT_EQ(sum, expected);
+}
+
+TEST_P(ProgramsOnBothWidths, TowersMakesAllMoves)
+{
+    constexpr unsigned kDisks = 7;
+    Machine machine = runProgram(progTowers(kDisks), config());
+    ASSERT_TRUE(machine.halted());
+    const std::int32_t moves =
+        machine.peekWord(machine.program().symbol("nmoves"));
+    EXPECT_EQ(moves, (1 << kDisks) - 1);
+    // Every logged move is between valid pegs and the first/last
+    // moves are the classic ones: smallest disk 1 -> 3, final 1 -> 3.
+    const Addr log = machine.program().symbol("movelog");
+    const std::uint32_t word = machine.config().wordSize;
+    for (int m = 0; m < moves; ++m) {
+        const std::int32_t from =
+            machine.peekWord(log + 2 * m * word);
+        const std::int32_t to =
+            machine.peekWord(log + (2 * m + 1) * word);
+        EXPECT_GE(from, 1);
+        EXPECT_LE(from, 3);
+        EXPECT_GE(to, 1);
+        EXPECT_LE(to, 3);
+        EXPECT_NE(from, to);
+    }
+    EXPECT_EQ(machine.peekWord(log), 1);
+    EXPECT_EQ(machine.peekWord(log + word), 3);
+}
+
+TEST_P(ProgramsOnBothWidths, StringSortOrdersRecords)
+{
+    constexpr unsigned kRecords = 24;
+    constexpr unsigned kRecWords = 4;
+    Machine machine =
+        runProgram(progStringSort(kRecords, kRecWords), config());
+    ASSERT_TRUE(machine.halted());
+    const Addr idx = machine.program().symbol("idx");
+    const std::uint32_t word = machine.config().wordSize;
+
+    auto record_at = [&](unsigned i) {
+        const Addr ptr = static_cast<Addr>(
+            machine.peekWord(idx + i * word));
+        std::vector<std::int32_t> rec;
+        for (unsigned k = 0; k < kRecWords; ++k)
+            rec.push_back(machine.peekWord(ptr + k * word));
+        return rec;
+    };
+    for (unsigned i = 1; i < kRecords; ++i) {
+        EXPECT_LE(record_at(i - 1), record_at(i))
+            << "records out of order at " << i;
+    }
+}
+
+TEST_P(ProgramsOnBothWidths, FibComputesCorrectly)
+{
+    Machine machine = runProgram(progFib(15), config());
+    ASSERT_TRUE(machine.halted());
+    EXPECT_EQ(machine.peekWord(machine.program().symbol("result")),
+              610);
+}
+
+INSTANTIATE_TEST_SUITE_P(WordSizes, ProgramsOnBothWidths,
+                         ::testing::Values(2u, 4u),
+                         [](const auto &info) {
+                             return info.param == 2 ? "w16" : "w32";
+                         });
+
+TEST(ProgramLibrary, AllNamedProgramsAssembleAndRun)
+{
+    for (const std::string &name : programNames()) {
+        const std::string source = programByName(name);
+        Program program = assemble(source, MachineConfig::word16());
+        VmTraceSource trace_source(std::move(program), name, true);
+        MemRef ref;
+        for (int i = 0; i < 5000; ++i)
+            ASSERT_TRUE(trace_source.next(ref)) << name;
+    }
+}
+
+TEST(ProgramLibrary, TracesMixInstructionAndDataRefs)
+{
+    Program program =
+        assemble(progQuickSort(128), MachineConfig::word16());
+    Machine machine(std::move(program));
+    VectorTrace trace;
+    machine.run(trace);
+    bool saw_ifetch = false;
+    bool saw_read = false;
+    bool saw_write = false;
+    for (const MemRef &ref : trace.refs()) {
+        saw_ifetch |= ref.kind == RefKind::Ifetch;
+        saw_read |= ref.kind == RefKind::DataRead;
+        saw_write |= ref.kind == RefKind::DataWrite;
+    }
+    EXPECT_TRUE(saw_ifetch);
+    EXPECT_TRUE(saw_read);
+    EXPECT_TRUE(saw_write);
+}

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Property tests swept over the paper's whole design grid
+ * (parameterized gtest): invariants that must hold at *every* design
+ * point, on a real program trace — the exact traffic identity,
+ * sub-block/block monotonicity, warm-vs-cold ordering, bus-model
+ * scaling bounds, and load-forward orderings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "harness/experiment.hh"
+#include "mem/bus_model.hh"
+#include "vm/machine.hh"
+#include "vm/program_library.hh"
+
+using namespace occsim;
+
+namespace {
+
+/** Shared trace: one real program, cached across all test cases. */
+const VectorTrace &
+sharedTrace()
+{
+    static const VectorTrace trace = [] {
+        Program program = assemble(progLexer(2048, 4, 16),
+                                   MachineConfig::word16());
+        VmTraceSource source(std::move(program), "prop", true);
+        return collect(source, 150000);
+    }();
+    return trace;
+}
+
+CacheStats
+runConfig(const CacheConfig &config)
+{
+    Cache cache(config);
+    VectorTrace copy = sharedTrace();
+    cache.run(copy);
+    return cache.stats();
+}
+
+std::vector<CacheConfig>
+fullGrid()
+{
+    std::vector<CacheConfig> configs;
+    for (const std::uint32_t net : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+        const auto grid = paperGrid(net, 2);
+        configs.insert(configs.end(), grid.begin(), grid.end());
+    }
+    return configs;
+}
+
+class GridProperty : public ::testing::TestWithParam<CacheConfig>
+{
+};
+
+} // namespace
+
+TEST_P(GridProperty, TrafficIdentityAndBusScaling)
+{
+    const CacheConfig config = GetParam();
+    const CacheStats stats = runConfig(config);
+
+    // Demand fetch: traffic == miss * sub/word, to the last bit.
+    const double factor = static_cast<double>(config.subBlockSize) /
+                          static_cast<double>(config.wordSize);
+    EXPECT_NEAR(stats.trafficRatio(), stats.missRatio() * factor,
+                1e-12);
+
+    // Nibble-mode pricing never exceeds linear pricing and never
+    // beats the 1/ratio asymptote.
+    const NibbleModeBus nibble;
+    const double scaled = stats.scaledTrafficRatio(nibble);
+    EXPECT_LE(scaled, stats.trafficRatio() + 1e-12);
+    EXPECT_GE(scaled, stats.trafficRatio() / 3.0 - 1e-12);
+
+    // Warm-start accounting can only help.
+    EXPECT_LE(stats.warmMissRatio(), stats.missRatio() + 1e-12);
+    EXPECT_LE(stats.warmTrafficRatio(), stats.trafficRatio() + 1e-12);
+
+    // Cold misses are bounded by the number of sub-block frames.
+    const CacheGeometry geom(config);
+    EXPECT_LE(stats.coldMisses(),
+              static_cast<std::uint64_t>(geom.numBlocks()) *
+                  geom.subBlocksPerBlock());
+
+    // Counting identities.
+    EXPECT_EQ(stats.misses(),
+              stats.blockMisses() + stats.subBlockMisses());
+    EXPECT_LE(stats.ifetchMisses(), stats.ifetchAccesses());
+    EXPECT_LE(stats.misses(), stats.accesses());
+}
+
+TEST_P(GridProperty, HalvingSubBlockRaisesMissLowersTraffic)
+{
+    const CacheConfig config = GetParam();
+    if (config.subBlockSize <= config.wordSize)
+        return;  // no smaller sub-block exists
+
+    CacheConfig halved = config;
+    halved.subBlockSize = config.subBlockSize / 2;
+
+    const CacheStats coarse = runConfig(config);
+    const CacheStats fine = runConfig(halved);
+    EXPECT_GE(fine.missRatio(), coarse.missRatio() - 1e-12)
+        << config.shortName();
+    EXPECT_LE(fine.trafficRatio(), coarse.trafficRatio() + 1e-12)
+        << config.shortName();
+}
+
+TEST_P(GridProperty, LoadForwardOrderings)
+{
+    const CacheConfig config = GetParam();
+    if (config.subBlockSize >= config.blockSize)
+        return;  // load-forward is a no-op
+
+    CacheConfig lf = config;
+    lf.fetch = FetchPolicy::LoadForward;
+    CacheConfig lfo = config;
+    lfo.fetch = FetchPolicy::LoadForwardOptimized;
+
+    const CacheStats demand = runConfig(config);
+    const CacheStats fwd = runConfig(lf);
+    const CacheStats fwd_opt = runConfig(lfo);
+
+    // LF loads a superset of sub-blocks at the same instants.
+    EXPECT_LE(fwd.misses(), demand.misses()) << config.shortName();
+    // The optimized variant has identical residency, fewer words.
+    EXPECT_EQ(fwd.misses(), fwd_opt.misses()) << config.shortName();
+    EXPECT_LE(fwd_opt.wordsFetched(), fwd.wordsFetched())
+        << config.shortName();
+    // Redundant words are part of the traffic, never more than it.
+    EXPECT_LE(fwd.redundantWordsFetched(), fwd.wordsFetched());
+}
+
+TEST_P(GridProperty, GrossSizeConsistency)
+{
+    const CacheConfig config = GetParam();
+    const CacheGeometry geom(config);
+    EXPECT_GT(geom.grossBytes(), config.netSize);
+    // Tag overhead halves (per byte) when blocks double: a cache
+    // with twice the block size and same net size has strictly
+    // smaller gross size (fewer tags), if such a block fits.
+    if (config.blockSize * 2 <= config.netSize &&
+        config.blockSize * 2 <= 64) {
+        CacheConfig bigger = config;
+        bigger.blockSize = config.blockSize * 2;
+        EXPECT_LT(CacheGeometry(bigger).grossBytes(),
+                  geom.grossBytes());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperDesignGrid, GridProperty, ::testing::ValuesIn(fullGrid()),
+    [](const ::testing::TestParamInfo<CacheConfig> &info) {
+        const CacheConfig &config = info.param;
+        return "net" + std::to_string(config.netSize) + "_b" +
+               std::to_string(config.blockSize) + "_s" +
+               std::to_string(config.subBlockSize);
+    });
+
+TEST(GridGlobal, MissRatioWeaklyImprovesWithCacheSizeOnAverage)
+{
+    // Across the grid, average miss ratio at each net size must fall
+    // monotonically (the per-config relation can have set-indexing
+    // anomalies; the aggregate must not).
+    double prev = 1e9;
+    for (const std::uint32_t net : {64u, 128u, 256u, 512u, 1024u}) {
+        double sum = 0.0;
+        int count = 0;
+        for (const CacheConfig &config : paperGrid(net, 2)) {
+            sum += runConfig(config).missRatio();
+            ++count;
+        }
+        const double mean = sum / count;
+        EXPECT_LT(mean, prev) << "net " << net;
+        prev = mean;
+    }
+}

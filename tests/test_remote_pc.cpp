@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the RISC II remote-program-counter model (Section
+ * 2.3): sequential prediction, branch-target learning, accuracy
+ * accounting, and the access-time reduction formula.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/remote_pc.hh"
+#include "vm/machine.hh"
+#include "vm/program_library.hh"
+
+using namespace occsim;
+
+TEST(RemotePc, PerfectOnStraightLine)
+{
+    RemotePc predictor(64, 2);
+    for (Addr addr = 0x100; addr < 0x200; addr += 2)
+        predictor.fetch(addr);
+    // Every prediction after the first fetch is sequential: all hit.
+    EXPECT_EQ(predictor.predictions(), 127u);
+    EXPECT_DOUBLE_EQ(predictor.accuracy(), 1.0);
+}
+
+TEST(RemotePc, LearnsLoopBackEdge)
+{
+    RemotePc predictor(64, 2);
+    // Loop body 0x100,0x102,0x104 then back to 0x100, repeatedly.
+    for (int iteration = 0; iteration < 50; ++iteration) {
+        predictor.fetch(0x100);
+        predictor.fetch(0x102);
+        predictor.fetch(0x104);
+    }
+    // First iteration mispredicts the back edge once; afterwards the
+    // table predicts it. Total predictions: 149, wrong: 1.
+    EXPECT_EQ(predictor.correct(), predictor.predictions() - 1);
+    EXPECT_GT(predictor.accuracy(), 0.99);
+}
+
+TEST(RemotePc, SequentialOnlyPredictorMissesEveryBranch)
+{
+    RemotePc predictor(0, 2);  // no target table
+    for (int iteration = 0; iteration < 50; ++iteration) {
+        predictor.fetch(0x100);
+        predictor.fetch(0x102);
+        predictor.fetch(0x104);
+    }
+    // The back edge mispredicts every iteration: 49 wrong of 149.
+    EXPECT_EQ(predictor.predictions() - predictor.correct(), 49u);
+}
+
+TEST(RemotePc, TableBeatsSequentialOnRealProgram)
+{
+    Program program = assemble(progQuickSort(512),
+                               MachineConfig::word16());
+    VmTraceSource source(std::move(program), "qs", true);
+    VectorTrace trace = collect(source, 100000);
+
+    RemotePc with_table(256, 2);
+    trace.reset();
+    with_table.run(trace);
+
+    RemotePc sequential_only(0, 2);
+    trace.reset();
+    sequential_only.run(trace);
+
+    EXPECT_GT(with_table.accuracy(), sequential_only.accuracy());
+    // The RISC II achieved ~0.9 with hints; our dynamic table should
+    // be in the same regime on a loop-heavy program.
+    EXPECT_GT(with_table.accuracy(), 0.75);
+}
+
+TEST(RemotePc, AccessTimeReductionFormula)
+{
+    RemotePc predictor(64, 2);
+    for (Addr addr = 0x100; addr < 0x180; addr += 2)
+        predictor.fetch(addr);  // accuracy 1.0
+    // Perfect prediction: relative time = overlapped fraction.
+    EXPECT_DOUBLE_EQ(predictor.relativeAccessTime(0.35), 0.35);
+
+    RemotePc never(0, 2);
+    never.fetch(0x100);
+    never.fetch(0x500);   // wrong
+    never.fetch(0x9000);  // wrong
+    EXPECT_DOUBLE_EQ(never.relativeAccessTime(0.35), 1.0);
+}
+
+TEST(RemotePc, PaperRegimeReduction)
+{
+    // The RISC II: 89.9% accuracy cut the access time seen by the
+    // processor by 42.2%. With the default unhidden fraction the
+    // model reproduces that pairing.
+    RemotePc predictor(64, 2);
+    // Synthesize ~90% accuracy: 9 sequential fetches then one jump to
+    // a fresh address (never learnable: always new).
+    Addr base = 0x1000;
+    for (int chunk = 0; chunk < 200; ++chunk) {
+        for (int i = 0; i < 9; ++i)
+            predictor.fetch(base + static_cast<Addr>(i) * 2);
+        base += 0x400;  // unpredictable far jump
+    }
+    EXPECT_NEAR(predictor.accuracy(), 0.9, 0.015);
+    // relative time = acc*0.53 + (1-acc): ~0.578 at acc ~0.9.
+    EXPECT_NEAR(predictor.relativeAccessTime(), 0.578, 0.01);
+}

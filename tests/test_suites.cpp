@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the substitute workload suites (Tables 2-5): every named
+ * trace assembles, generates the requested number of references,
+ * carries the right word size, and the cross-architecture locality
+ * ordering the paper reports holds for a mid-size cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "cache/cache.hh"
+#include "trace/trace_stats.hh"
+#include "vm/machine.hh"
+#include "workload/suites.hh"
+
+using namespace occsim;
+
+namespace {
+
+constexpr std::uint64_t kTestRefs = 120000;
+
+double
+suiteMissRatio(const Suite &suite, std::uint64_t refs)
+{
+    double total = 0.0;
+    for (const WorkloadSpec &spec : suite.traces) {
+        VectorTrace trace = buildTrace(spec, refs);
+        Cache cache(makeConfig(1024, 16, 8, suite.profile.wordSize));
+        cache.run(trace);
+        total += cache.stats().missRatio();
+    }
+    return total / static_cast<double>(suite.traces.size());
+}
+
+} // namespace
+
+TEST(Suites, RosterMatchesPaperTables)
+{
+    EXPECT_EQ(pdp11Suite().traces.size(), 6u);     // Table 2
+    EXPECT_EQ(z8000Suite().traces.size(), 5u);     // Table 3 (last 5)
+    EXPECT_EQ(z8000CompilerSuite().traces.size(), 3u);
+    EXPECT_EQ(vax11Suite().traces.size(), 6u);     // Table 4
+    EXPECT_EQ(s370Suite().traces.size(), 4u);      // Table 5
+
+    EXPECT_EQ(pdp11Suite().traces[4].name, "ROFF");
+    EXPECT_EQ(z8000CompilerSuite().traces[0].name, "CPP");
+    EXPECT_EQ(vax11Suite().traces[3].name, "qsort");
+    EXPECT_EQ(s370Suite().traces[0].name, "FGO1");
+}
+
+TEST(Suites, WordSizesFollowArchitectures)
+{
+    EXPECT_EQ(pdp11Suite().profile.wordSize, 2u);
+    EXPECT_EQ(z8000Suite().profile.wordSize, 2u);
+    EXPECT_EQ(vax11Suite().profile.wordSize, 4u);
+    EXPECT_EQ(s370Suite().profile.wordSize, 4u);
+}
+
+TEST(Suites, EveryTraceGeneratesRequestedLength)
+{
+    for (const Arch arch : kAllArchs) {
+        const Suite suite = suiteFor(arch);
+        for (const WorkloadSpec &spec : suite.traces) {
+            const VectorTrace trace = buildTrace(spec, 20000);
+            ASSERT_EQ(trace.size(), 20000u)
+                << suite.profile.name << "/" << spec.name;
+            const TraceProfile profile = profileTrace(trace);
+            EXPECT_GT(profile.ifetches, 0u) << spec.name;
+            // Several programs open with a write-only fill phase, so
+            // only the combined data-reference count is asserted on a
+            // short prefix; reads are covered by the ordering test
+            // below, which runs much longer.
+            EXPECT_GT(profile.dataReads + profile.dataWrites, 0u)
+                << spec.name;
+            for (std::size_t i = 0; i < 100; ++i) {
+                ASSERT_EQ(trace[i].size, suite.profile.wordSize)
+                    << spec.name;
+            }
+        }
+    }
+}
+
+TEST(Suites, CompilerSuiteTracesGenerate)
+{
+    for (const WorkloadSpec &spec : z8000CompilerSuite().traces) {
+        const VectorTrace trace = buildTrace(spec, 20000);
+        EXPECT_EQ(trace.size(), 20000u) << spec.name;
+    }
+}
+
+TEST(Suites, TracesAreDeterministic)
+{
+    const Suite suite = pdp11Suite();
+    const WorkloadSpec &spec = suite.traces.front();
+    const VectorTrace a = buildTrace(spec, 5000);
+    const VectorTrace b = buildTrace(spec, 5000);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]) << "ref " << i;
+}
+
+TEST(Suites, ArchitectureOrderingHolds)
+{
+    // The paper's Table 7 ordering at a 1024-byte cache: Z8000 best,
+    // then PDP-11, then VAX-11, then System/370 (by far the worst).
+    const double z8000 = suiteMissRatio(z8000Suite(), kTestRefs);
+    const double pdp11 = suiteMissRatio(pdp11Suite(), kTestRefs);
+    const double vax11 = suiteMissRatio(vax11Suite(), kTestRefs);
+    const double s370 = suiteMissRatio(s370Suite(), kTestRefs);
+
+    EXPECT_LT(z8000, pdp11);
+    EXPECT_LT(pdp11, vax11);
+    EXPECT_LT(vax11, s370);
+    EXPECT_GT(s370, 2.0 * pdp11)
+        << "System/370 workloads must be far worse than the 16-bit "
+           "suites";
+}
+
+TEST(Suites, RoutineFarmsAreFullyExercised)
+{
+    // The farms model many-small-routines code structure; if the
+    // dispatch value lost entropy (say, a refactor made it constant)
+    // the hot footprint would silently collapse. Verify every
+    // handler's private static got hit on a farmed trace.
+    const Suite suite = z8000CompilerSuite();  // CPP: lexer farm 8
+    Program program = assemble(suite.traces[0].makeSource(),
+                               suite.profile.machine);
+    Machine machine(std::move(program));
+    VectorTrace sink;
+    machine.run(sink, 400000);
+    int exercised = 0;
+    for (int handler = 0; handler < 8; ++handler) {
+        const Addr addr = machine.program().symbol(
+            "fs_" + std::to_string(handler));
+        if (machine.peekWord(addr) > 0)
+            ++exercised;
+    }
+    EXPECT_EQ(exercised, 8) << "every farm handler must run";
+}
+
+TEST(Suites, DefaultTraceLengthIsPaper1M)
+{
+    // Unless overridden by the environment, runs use 1M addresses as
+    // the paper did. (The env var is read once and cached; tests run
+    // without it set unless the whole suite is invoked that way.)
+    const char *env = std::getenv("OCCSIM_TRACE_LEN");
+    if (env == nullptr)
+        EXPECT_EQ(defaultTraceLength(), 1000000u);
+    else
+        EXPECT_GT(defaultTraceLength(), 0u);
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the single-pass sweep runner: equivalence with
+ * individual simulations, result summaries, and the paper's
+ * unweighted multi-trace averaging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "multi/sweep_runner.hh"
+#include "workload/synthetic.hh"
+
+using namespace occsim;
+
+namespace {
+
+std::vector<CacheConfig>
+someConfigs()
+{
+    return {makeConfig(64, 16, 8, 2), makeConfig(256, 16, 8, 2),
+            makeConfig(1024, 16, 8, 2), makeConfig(1024, 32, 4, 2)};
+}
+
+} // namespace
+
+TEST(SweepRunner, MatchesIndividualRuns)
+{
+    SyntheticParams params;
+    params.seed = 11;
+    const VectorTrace trace = makeSyntheticTrace(params, 30000);
+
+    const auto configs = someConfigs();
+    SweepRunner runner(configs);
+    VectorTrace copy = trace;
+    EXPECT_EQ(runner.run(copy), trace.size());
+
+    const auto swept = runner.results();
+    ASSERT_EQ(swept.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        VectorTrace single_copy = trace;
+        const SweepResult alone = runSingle(configs[i], single_copy);
+        EXPECT_DOUBLE_EQ(swept[i].missRatio, alone.missRatio);
+        EXPECT_DOUBLE_EQ(swept[i].trafficRatio, alone.trafficRatio);
+        EXPECT_DOUBLE_EQ(swept[i].nibbleTrafficRatio,
+                         alone.nibbleTrafficRatio);
+        EXPECT_EQ(swept[i].grossBytes, alone.grossBytes);
+    }
+}
+
+TEST(SweepRunner, ResultsCarryConfigs)
+{
+    const auto configs = someConfigs();
+    SweepRunner runner(configs);
+    const auto results = runner.results();
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        EXPECT_EQ(results[i].config, configs[i]);
+}
+
+TEST(SweepRunner, NibbleScalingConsistent)
+{
+    // For demand fetch every burst is one sub-block, so the scaled
+    // ratio must equal traffic * (1/w)(1 + (w-1)/3) exactly.
+    SyntheticParams params;
+    params.seed = 47;
+    SyntheticSource source(params);
+    SweepRunner runner({makeConfig(256, 16, 8, 2)});
+    runner.run(source, 20000);
+    const SweepResult result = runner.results()[0];
+    const double words = 8.0 / 2.0;
+    const double factor = (1.0 + (words - 1.0) / 3.0) / words;
+    EXPECT_NEAR(result.nibbleTrafficRatio,
+                result.trafficRatio * factor, 1e-12);
+}
+
+TEST(SweepRunner, RespectsMaxRefs)
+{
+    SyntheticParams params;
+    SyntheticSource source(params);
+    SweepRunner runner(someConfigs());
+    EXPECT_EQ(runner.run(source, 500), 500u);
+}
+
+TEST(AverageResults, UnweightedMean)
+{
+    SyntheticParams params_a;
+    params_a.seed = 1;
+    SyntheticParams params_b;
+    params_b.seed = 2;
+    params_b.dataSize = 64 * 1024;  // worse locality
+
+    const auto configs = someConfigs();
+    std::vector<std::vector<SweepResult>> runs;
+    for (const SyntheticParams &params : {params_a, params_b}) {
+        SyntheticSource source(params);
+        SweepRunner runner(configs);
+        runner.run(source, 20000);
+        runs.push_back(runner.results());
+    }
+
+    const auto averaged = averageResults(runs);
+    ASSERT_EQ(averaged.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        EXPECT_NEAR(averaged[i].missRatio,
+                    (runs[0][i].missRatio + runs[1][i].missRatio) / 2,
+                    1e-12);
+        EXPECT_NEAR(averaged[i].trafficRatio,
+                    (runs[0][i].trafficRatio +
+                     runs[1][i].trafficRatio) / 2,
+                    1e-12);
+    }
+}
+
+TEST(AverageResults, SingleRunIsIdentity)
+{
+    SyntheticParams params;
+    SyntheticSource source(params);
+    SweepRunner runner(someConfigs());
+    runner.run(source, 10000);
+    const auto results = runner.results();
+    const auto averaged = averageResults({results});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_DOUBLE_EQ(averaged[i].missRatio, results[i].missRatio);
+        EXPECT_DOUBLE_EQ(averaged[i].warmMissRatio,
+                         results[i].warmMissRatio);
+    }
+}

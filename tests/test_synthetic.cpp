@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the synthetic workload generator: determinism,
+ * structural properties of the stream (regions, alignment, mix), and
+ * the responsiveness of its locality knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "trace/trace_stats.hh"
+#include "workload/synthetic.hh"
+
+using namespace occsim;
+
+TEST(Synthetic, DeterministicForSeed)
+{
+    SyntheticParams params;
+    params.seed = 1234;
+    const VectorTrace a = makeSyntheticTrace(params, 5000);
+    const VectorTrace b = makeSyntheticTrace(params, 5000);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Synthetic, ResetReproducesStream)
+{
+    SyntheticParams params;
+    SyntheticSource source(params);
+    MemRef first;
+    source.next(first);
+    for (int i = 0; i < 100; ++i) {
+        MemRef scratch;
+        source.next(scratch);
+    }
+    source.reset();
+    MemRef again;
+    source.next(again);
+    EXPECT_EQ(first, again);
+}
+
+TEST(Synthetic, WordAlignment)
+{
+    for (const std::uint32_t word : {2u, 4u}) {
+        SyntheticParams params;
+        params.wordSize = word;
+        SyntheticSource source(params);
+        MemRef ref;
+        for (int i = 0; i < 2000; ++i) {
+            source.next(ref);
+            EXPECT_EQ(ref.addr % word, 0u);
+            EXPECT_EQ(ref.size, word);
+        }
+    }
+}
+
+TEST(Synthetic, RegionsRespected)
+{
+    SyntheticParams params;
+    SyntheticSource source(params);
+    MemRef ref;
+    for (int i = 0; i < 5000; ++i) {
+        source.next(ref);
+        if (ref.isInstruction()) {
+            EXPECT_GE(ref.addr, params.codeBase);
+            EXPECT_LT(ref.addr, params.codeBase + params.codeSize);
+        } else {
+            const bool in_data =
+                ref.addr >= params.dataBase &&
+                ref.addr < params.dataBase + params.dataSize;
+            const bool in_stack =
+                ref.addr <= params.stackBase &&
+                ref.addr >= params.stackBase - params.stackWindow;
+            EXPECT_TRUE(in_data || in_stack)
+                << std::hex << ref.addr;
+        }
+    }
+}
+
+TEST(Synthetic, MixMatchesParameters)
+{
+    SyntheticParams params;
+    params.ifetchFraction = 0.7;
+    params.writeFraction = 0.25;
+    const VectorTrace trace = makeSyntheticTrace(params, 60000);
+    const TraceProfile profile = profileTrace(trace);
+    EXPECT_NEAR(profile.ifetchFraction(), 0.7, 0.02);
+    // writeFraction applies to data refs only.
+    const double writes_of_data =
+        static_cast<double>(profile.dataWrites) /
+        static_cast<double>(profile.dataReads + profile.dataWrites);
+    EXPECT_NEAR(writes_of_data, 0.25, 0.02);
+}
+
+TEST(Synthetic, InstructionStreamIsRunAndBranch)
+{
+    SyntheticParams params;
+    params.branchProb = 0.1;
+    const VectorTrace trace = makeSyntheticTrace(params, 60000);
+    const TraceProfile profile = profileTrace(trace);
+    // Sequentiality should be close to 1 - branchProb.
+    EXPECT_NEAR(profile.ifetchSequentiality, 0.9, 0.05);
+}
+
+TEST(Synthetic, LargerWorkingSetRaisesMissRatio)
+{
+    // The knob the suites rely on: growing the data working set must
+    // monotonically worsen a small cache.
+    double prev = -1.0;
+    for (const std::uint32_t data_size :
+         {2u * 1024u, 16u * 1024u, 128u * 1024u}) {
+        SyntheticParams params;
+        params.seed = 5;
+        params.dataSize = data_size;
+        params.ifetchFraction = 0.3;
+        SyntheticSource source(params);
+        Cache cache(makeConfig(1024, 16, 8, 2));
+        cache.run(source, 100000);
+        EXPECT_GT(cache.stats().missRatio(), prev);
+        prev = cache.stats().missRatio();
+    }
+}
+
+TEST(Synthetic, TightLoopsLowerIfetchMisses)
+{
+    auto ifetch_miss = [](double local_prob, std::uint32_t span) {
+        SyntheticParams params;
+        params.seed = 8;
+        params.branchLocalProb = local_prob;
+        params.loopSpan = span;
+        SyntheticSource source(params);
+        Cache cache(makeConfig(1024, 16, 8, 2));
+        cache.run(source, 100000);
+        return cache.stats().ifetchMissRatio();
+    };
+    EXPECT_LT(ifetch_miss(0.95, 64), ifetch_miss(0.3, 64));
+}

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Unit tests for the trace substrate: in-memory traces, filters,
+ * file round-trips in both formats, and trace profiling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/filters.hh"
+#include "trace/trace.hh"
+#include "trace/trace_file.hh"
+#include "trace/trace_stats.hh"
+
+using namespace occsim;
+
+namespace {
+
+VectorTrace
+sampleTrace()
+{
+    VectorTrace trace("sample");
+    trace.append(0x100, RefKind::Ifetch, 2);
+    trace.append(0x102, RefKind::Ifetch, 2);
+    trace.append(0x4000, RefKind::DataRead, 2);
+    trace.append(0x4002, RefKind::DataWrite, 2);
+    trace.append(0x104, RefKind::Ifetch, 2);
+    return trace;
+}
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+} // namespace
+
+TEST(VectorTrace, AppendAndIterate)
+{
+    VectorTrace trace = sampleTrace();
+    EXPECT_EQ(trace.size(), 5u);
+    MemRef ref;
+    int count = 0;
+    while (trace.next(ref))
+        ++count;
+    EXPECT_EQ(count, 5);
+    EXPECT_FALSE(trace.next(ref));
+    trace.reset();
+    EXPECT_TRUE(trace.next(ref));
+    EXPECT_EQ(ref.addr, 0x100u);
+}
+
+TEST(VectorTrace, CollectRespectsLimit)
+{
+    VectorTrace trace = sampleTrace();
+    VectorTrace copied = collect(trace, 3);
+    EXPECT_EQ(copied.size(), 3u);
+    EXPECT_EQ(copied[2].addr, 0x4000u);
+}
+
+TEST(RefKind, Names)
+{
+    EXPECT_STREQ(refKindName(RefKind::Ifetch), "ifetch");
+    EXPECT_STREQ(refKindName(RefKind::DataRead), "dread");
+    EXPECT_STREQ(refKindName(RefKind::DataWrite), "dwrite");
+}
+
+TEST(Filters, Truncate)
+{
+    VectorTrace trace = sampleTrace();
+    TruncateFilter filter(trace, 2);
+    MemRef ref;
+    int count = 0;
+    while (filter.next(ref))
+        ++count;
+    EXPECT_EQ(count, 2);
+
+    filter.reset();
+    count = 0;
+    while (filter.next(ref))
+        ++count;
+    EXPECT_EQ(count, 2);
+}
+
+TEST(Filters, DropWrites)
+{
+    VectorTrace trace = sampleTrace();
+    DropWritesFilter filter(trace);
+    MemRef ref;
+    int count = 0;
+    while (filter.next(ref)) {
+        EXPECT_FALSE(ref.isWrite());
+        ++count;
+    }
+    EXPECT_EQ(count, 4);
+}
+
+TEST(Filters, KindSelection)
+{
+    VectorTrace trace = sampleTrace();
+    KindFilter ifilter(trace, KindFilter::Select::InstructionsOnly);
+    MemRef ref;
+    int icount = 0;
+    while (ifilter.next(ref)) {
+        EXPECT_TRUE(ref.isInstruction());
+        ++icount;
+    }
+    EXPECT_EQ(icount, 3);
+
+    trace.reset();
+    KindFilter dfilter(trace, KindFilter::Select::DataOnly);
+    int dcount = 0;
+    while (dfilter.next(ref)) {
+        EXPECT_FALSE(ref.isInstruction());
+        ++dcount;
+    }
+    EXPECT_EQ(dcount, 2);
+}
+
+TEST(Filters, Skip)
+{
+    VectorTrace trace = sampleTrace();
+    SkipFilter filter(trace, 3);
+    MemRef ref;
+    ASSERT_TRUE(filter.next(ref));
+    EXPECT_EQ(ref.addr, 0x4002u);
+    int rest = 1;
+    while (filter.next(ref))
+        ++rest;
+    EXPECT_EQ(rest, 2);
+}
+
+TEST(Filters, SamplingWindows)
+{
+    VectorTrace trace;
+    for (Addr i = 0; i < 20; ++i)
+        trace.append(i * 2, RefKind::DataRead, 2);
+    // Window 2 of every 5: indices 0,1, 5,6, 10,11, 15,16.
+    SampleFilter filter(trace, 2, 5);
+    std::vector<Addr> got;
+    MemRef ref;
+    while (filter.next(ref))
+        got.push_back(ref.addr / 2);
+    const std::vector<Addr> expected = {0, 1, 5, 6, 10, 11, 15, 16};
+    EXPECT_EQ(got, expected);
+
+    filter.reset();
+    int count = 0;
+    while (filter.next(ref))
+        ++count;
+    EXPECT_EQ(count, 8);
+}
+
+TEST(Filters, SamplingFullWindowPassesEverything)
+{
+    VectorTrace trace = sampleTrace();
+    SampleFilter filter(trace, 7, 7);
+    MemRef ref;
+    int count = 0;
+    while (filter.next(ref))
+        ++count;
+    EXPECT_EQ(count, 5);
+}
+
+TEST(TraceFile, BinaryRoundTrip)
+{
+    const VectorTrace trace = sampleTrace();
+    const std::string path = tempPath("roundtrip.otb");
+    writeBinaryTrace(trace, path);
+    const VectorTrace loaded = readTrace(path);
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(loaded[i], trace[i]) << "record " << i;
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, TextRoundTrip)
+{
+    const VectorTrace trace = sampleTrace();
+    const std::string path = tempPath("roundtrip.din");
+    writeTextTrace(trace, path);
+    const VectorTrace loaded = readTrace(path);
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(loaded[i], trace[i]) << "record " << i;
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, CompressedRoundTrip)
+{
+    const VectorTrace trace = sampleTrace();
+    const std::string path = tempPath("roundtrip.otd");
+    writeCompressedTrace(trace, path);
+    const VectorTrace loaded = readTrace(path);
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(loaded[i], trace[i]) << "record " << i;
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, CompressedRoundTripLargeRealTrace)
+{
+    // A large trace with mixed kinds, mixed deltas (forward scans,
+    // backward branches, far jumps) must survive exactly.
+    VectorTrace trace("big");
+    Addr pc = 0x100;
+    for (int i = 0; i < 20000; ++i) {
+        trace.append(pc, RefKind::Ifetch, 2);
+        pc = (i % 37 == 0) ? 0x100 + (i * 7 % 4096) : pc + 2;
+        if (i % 3 == 0) {
+            trace.append(0x4000 + static_cast<Addr>(i * 13 % 8192),
+                         i % 6 == 0 ? RefKind::DataWrite
+                                    : RefKind::DataRead,
+                         2);
+        }
+    }
+    const std::string path = tempPath("big.otd");
+    writeCompressedTrace(trace, path);
+    const VectorTrace loaded = readTrace(path);
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        ASSERT_EQ(loaded[i], trace[i]) << "record " << i;
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, CompressedSmallerThanBinary)
+{
+    VectorTrace trace("seq");
+    for (Addr addr = 0x100; addr < 0x100 + 60000; addr += 2)
+        trace.append(addr, RefKind::Ifetch, 2);
+    const std::string bin_path = tempPath("size.otb");
+    const std::string cmp_path = tempPath("size.otd");
+    writeBinaryTrace(trace, bin_path);
+    writeCompressedTrace(trace, cmp_path);
+
+    auto file_size = [](const std::string &path) {
+        std::FILE *file = std::fopen(path.c_str(), "rb");
+        std::fseek(file, 0, SEEK_END);
+        const long size = std::ftell(file);
+        std::fclose(file);
+        return size;
+    };
+    EXPECT_LT(file_size(cmp_path), file_size(bin_path) / 2)
+        << "sequential traces must compress well";
+    std::remove(bin_path.c_str());
+    std::remove(cmp_path.c_str());
+}
+
+TEST(TraceFile, CompressedStreamingRewind)
+{
+    const VectorTrace trace = sampleTrace();
+    const std::string path = tempPath("rewind.otd");
+    writeCompressedTrace(trace, path);
+    FileTrace stream(path);
+    MemRef first;
+    ASSERT_TRUE(stream.next(first));
+    MemRef scratch;
+    while (stream.next(scratch)) {
+    }
+    stream.reset();
+    MemRef again;
+    ASSERT_TRUE(stream.next(again));
+    EXPECT_EQ(first, again) << "delta state must reset";
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, StreamingReaderRewinds)
+{
+    const VectorTrace trace = sampleTrace();
+    const std::string path = tempPath("stream.otb");
+    writeBinaryTrace(trace, path);
+
+    FileTrace stream(path);
+    MemRef ref;
+    int first_pass = 0;
+    while (stream.next(ref))
+        ++first_pass;
+    EXPECT_EQ(first_pass, 5);
+
+    stream.reset();
+    ASSERT_TRUE(stream.next(ref));
+    EXPECT_EQ(ref.addr, 0x100u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, TextCommentsIgnored)
+{
+    const std::string path = tempPath("comments.din");
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    ASSERT_NE(file, nullptr);
+    std::fprintf(file, "# a comment\n2 100 2\n\n0 4000 2\n");
+    std::fclose(file);
+
+    const VectorTrace loaded = readTrace(path);
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded[0].kind, RefKind::Ifetch);
+    EXPECT_EQ(loaded[0].addr, 0x100u);
+    EXPECT_EQ(loaded[1].kind, RefKind::DataRead);
+    std::remove(path.c_str());
+}
+
+TEST(TraceProfile, CountsAndFootprint)
+{
+    const TraceProfile profile = profileTrace(sampleTrace());
+    EXPECT_EQ(profile.totalRefs, 5u);
+    EXPECT_EQ(profile.ifetches, 3u);
+    EXPECT_EQ(profile.dataReads, 1u);
+    EXPECT_EQ(profile.dataWrites, 1u);
+    EXPECT_EQ(profile.minAddr, 0x100u);
+    EXPECT_EQ(profile.maxAddr, 0x4002u);
+    // Granules: 0x100/0x4000 -> two distinct 16-byte granules.
+    EXPECT_EQ(profile.uniqueGranules, 2u);
+    EXPECT_DOUBLE_EQ(profile.ifetchFraction(), 0.6);
+    EXPECT_DOUBLE_EQ(profile.writeFraction(), 0.2);
+}
+
+TEST(TraceProfile, SequentialityOfStraightLine)
+{
+    VectorTrace trace;
+    for (Addr a = 0x100; a < 0x200; a += 2)
+        trace.append(a, RefKind::Ifetch, 2);
+    const TraceProfile profile = profileTrace(trace);
+    // All fetches but the first continue the previous one.
+    EXPECT_NEAR(profile.ifetchSequentiality,
+                1.0 - 1.0 / static_cast<double>(profile.ifetches),
+                1e-9);
+}
+
+TEST(TraceProfile, EmptyTrace)
+{
+    const TraceProfile profile = profileTrace(VectorTrace{});
+    EXPECT_EQ(profile.totalRefs, 0u);
+    EXPECT_EQ(profile.footprintBytes(), 0u);
+    EXPECT_DOUBLE_EQ(profile.ifetchFraction(), 0.0);
+}

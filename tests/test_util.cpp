@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Unit tests for the util substrate: bit operations, the
+ * deterministic RNG, string helpers, and table emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/bitops.hh"
+#include "util/random.hh"
+#include "util/str.hh"
+#include "util/table.hh"
+
+using namespace occsim;
+
+TEST(BitOps, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 63));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(1022));
+}
+
+TEST(BitOps, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1ull << 40), 40u);
+}
+
+TEST(BitOps, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1023), 10u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(BitOps, Alignment)
+{
+    EXPECT_EQ(alignDown(0x1234, 16), 0x1230u);
+    EXPECT_EQ(alignDown(0x1230, 16), 0x1230u);
+    EXPECT_EQ(alignUp(0x1234, 16), 0x1240u);
+    EXPECT_EQ(alignUp(0x1240, 16), 0x1240u);
+    EXPECT_TRUE(isAligned(0x1240, 16));
+    EXPECT_FALSE(isAligned(0x1242, 16));
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(12345);
+    Rng b(12345);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(99);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowRoughlyUniform)
+{
+    Rng rng(5);
+    constexpr int kBuckets = 8;
+    int counts[kBuckets] = {};
+    constexpr int kSamples = 80000;
+    for (int i = 0; i < kSamples; ++i)
+        ++counts[rng.below(kBuckets)];
+    for (int bucket = 0; bucket < kBuckets; ++bucket) {
+        EXPECT_NEAR(counts[bucket], kSamples / kBuckets,
+                    kSamples / kBuckets / 10);
+    }
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.between(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo = saw_lo || v == -3;
+        saw_hi = saw_hi || v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(17);
+    // Continuation probability p = 0.5 -> mean run length 2.
+    double sum = 0.0;
+    constexpr int kSamples = 50000;
+    for (int i = 0; i < kSamples; ++i)
+        sum += static_cast<double>(rng.geometric(0.5));
+    EXPECT_NEAR(sum / kSamples, 2.0, 0.1);
+}
+
+TEST(Rng, PickCumulativeRespectsWeights)
+{
+    Rng rng(23);
+    const double cum[3] = {1.0, 1.5, 2.0};  // weights 1.0, 0.5, 0.5
+    int counts[3] = {};
+    constexpr int kSamples = 40000;
+    for (int i = 0; i < kSamples; ++i)
+        ++counts[rng.pickCumulative(cum, 3)];
+    EXPECT_NEAR(counts[0], kSamples / 2, kSamples / 20);
+    EXPECT_NEAR(counts[1], kSamples / 4, kSamples / 20);
+    EXPECT_NEAR(counts[2], kSamples / 4, kSamples / 20);
+}
+
+TEST(Str, Format)
+{
+    EXPECT_EQ(strfmt("x=%d y=%s", 5, "ok"), "x=5 y=ok");
+    EXPECT_EQ(strfmt("%.3f", 1.5), "1.500");
+    EXPECT_EQ(strfmt("empty"), "empty");
+}
+
+TEST(Str, Split)
+{
+    const auto fields = split("a,b,,c", ',');
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[2], "c");
+
+    const auto kept = split("a,b,,c", ',', true);
+    ASSERT_EQ(kept.size(), 4u);
+    EXPECT_EQ(kept[2], "");
+}
+
+TEST(Str, Trim)
+{
+    EXPECT_EQ(trim("  hi \t"), "hi");
+    EXPECT_EQ(trim("hi"), "hi");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(Str, ParseU64)
+{
+    std::uint64_t value = 0;
+    EXPECT_TRUE(parseU64("123", value));
+    EXPECT_EQ(value, 123u);
+    EXPECT_TRUE(parseU64("0x10", value));
+    EXPECT_EQ(value, 16u);
+    EXPECT_FALSE(parseU64("", value));
+    EXPECT_FALSE(parseU64("12x", value));
+    EXPECT_FALSE(parseU64("x", value));
+}
+
+TEST(Str, ByteCountStr)
+{
+    EXPECT_EQ(byteCountStr(64), "64");
+    EXPECT_EQ(byteCountStr(1024), "1K");
+    EXPECT_EQ(byteCountStr(16384), "16K");
+    EXPECT_EQ(byteCountStr(1000), "1000");
+}
+
+TEST(Table, AlignedOutput)
+{
+    TableWriter table({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"b", "22"});
+    std::ostringstream os;
+    table.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("22"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(Table, CsvEscaping)
+{
+    TableWriter table({"a", "b"});
+    table.addRow({"x,y", "he said \"hi\""});
+    std::ostringstream os;
+    table.printCsv(os);
+    EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"he said \"\"hi\"\"\""),
+              std::string::npos);
+}
+
+TEST(Table, Markdown)
+{
+    TableWriter table({"h1", "h2"});
+    table.setTitle("My Table");
+    table.addRow({"a", "b"});
+    std::ostringstream os;
+    table.printMarkdown(os);
+    EXPECT_NE(os.str().find("### My Table"), std::string::npos);
+    EXPECT_NE(os.str().find("| a | b |"), std::string::npos);
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for the working-set analyzer, including hand-computable
+ * streams and the suite-scale ordering it exists to verify.
+ */
+
+#include <gtest/gtest.h>
+
+#include "multi/working_set.hh"
+#include "workload/suites.hh"
+
+using namespace occsim;
+
+TEST(WorkingSet, HandComputedLoop)
+{
+    // A loop touching the same 4 blocks forever: W(T) = 4 for any
+    // window >= 4 references.
+    VectorTrace trace;
+    for (int round = 0; round < 100; ++round) {
+        for (Addr block = 0; block < 4; ++block)
+            trace.append(block * 16, RefKind::DataRead, 2);
+    }
+    WorkingSetAnalyzer analyzer(16);
+    const auto points = analyzer.profile(trace, {4, 40, 400});
+    ASSERT_EQ(points.size(), 3u);
+    for (const WorkingSetPoint &point : points) {
+        EXPECT_DOUBLE_EQ(point.meanBlocks, 4.0) << point.window;
+        EXPECT_EQ(point.maxBlocks, 4u);
+        EXPECT_DOUBLE_EQ(point.meanBytes, 64.0);
+    }
+}
+
+TEST(WorkingSet, StreamingGrowsLinearly)
+{
+    // A pure sequential sweep touches window/8 distinct 16-byte
+    // blocks per window of 2-byte references.
+    VectorTrace trace;
+    for (Addr addr = 0; addr < 16000; addr += 2)
+        trace.append(addr, RefKind::DataRead, 2);
+    WorkingSetAnalyzer analyzer(16);
+    const auto points = analyzer.profile(trace, {80, 800});
+    EXPECT_DOUBLE_EQ(points[0].meanBlocks, 10.0);
+    EXPECT_DOUBLE_EQ(points[1].meanBlocks, 100.0);
+}
+
+TEST(WorkingSet, KindSelection)
+{
+    VectorTrace trace;
+    for (int i = 0; i < 100; ++i) {
+        trace.append(0x100, RefKind::Ifetch, 2);
+        trace.append(0x4000 + static_cast<Addr>(i) * 16,
+                     RefKind::DataRead, 2);
+    }
+    WorkingSetAnalyzer icode(16,
+                             WorkingSetAnalyzer::Select::InstructionsOnly);
+    WorkingSetAnalyzer data(16, WorkingSetAnalyzer::Select::DataOnly);
+    // 100 ifetch refs hit one block; 100 data refs hit 100 blocks.
+    EXPECT_DOUBLE_EQ(icode.profile(trace, {100})[0].meanBlocks, 1.0);
+    EXPECT_DOUBLE_EQ(data.profile(trace, {100})[0].meanBlocks, 100.0);
+}
+
+TEST(WorkingSet, PartialWindowIgnored)
+{
+    VectorTrace trace;
+    for (Addr block = 0; block < 10; ++block)
+        trace.append(block * 16, RefKind::DataRead, 2);
+    WorkingSetAnalyzer analyzer(16);
+    // Window 7: one full window (7 blocks); the 3-ref tail ignored.
+    const auto points = analyzer.profile(trace, {7});
+    EXPECT_DOUBLE_EQ(points[0].meanBlocks, 7.0);
+    // Window larger than the trace: no complete window, zeros.
+    const auto none = analyzer.profile(trace, {100});
+    EXPECT_DOUBLE_EQ(none[0].meanBlocks, 0.0);
+}
+
+TEST(WorkingSet, SuggestedCacheCoversTheLoop)
+{
+    VectorTrace trace;
+    for (int round = 0; round < 50; ++round) {
+        for (Addr block = 0; block < 20; ++block)
+            trace.append(block * 16, RefKind::DataRead, 2);
+    }
+    WorkingSetAnalyzer analyzer(16);
+    // 20 blocks = 320 bytes -> next power of two is 512.
+    EXPECT_EQ(analyzer.suggestedCacheBytes(trace, 1000), 512u);
+}
+
+TEST(WorkingSet, SuiteOrderingVisible)
+{
+    // The calibration story in one number: the System/370 suite's
+    // working set at 100k references dwarfs the Z8000 one's.
+    const Suite z8000 = z8000Suite();
+    const Suite s370 = s370Suite();
+    WorkingSetAnalyzer analyzer(16);
+
+    VectorTrace z_trace = buildTrace(z8000.traces[0], 100000);
+    VectorTrace s_trace = buildTrace(s370.traces[2], 100000);  // PGO1
+    const double z_bytes =
+        analyzer.profile(z_trace, {100000})[0].meanBytes;
+    const double s_bytes =
+        analyzer.profile(s_trace, {100000})[0].meanBytes;
+    EXPECT_GT(s_bytes, 4.0 * z_bytes);
+}
