@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pertrace"
+  "../bench/bench_pertrace.pdb"
+  "CMakeFiles/bench_pertrace.dir/bench_pertrace.cpp.o"
+  "CMakeFiles/bench_pertrace.dir/bench_pertrace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pertrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_riscii"
+  "../bench/bench_riscii.pdb"
+  "CMakeFiles/bench_riscii.dir/bench_riscii.cpp.o"
+  "CMakeFiles/bench_riscii.dir/bench_riscii.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_riscii.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

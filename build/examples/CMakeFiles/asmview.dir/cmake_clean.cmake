@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asmview.dir/asmview.cpp.o"
+  "CMakeFiles/asmview.dir/asmview.cpp.o.d"
+  "asmview"
+  "asmview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asmview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_plots.dir/make_plots.cpp.o"
+  "CMakeFiles/make_plots.dir/make_plots.cpp.o.d"
+  "make_plots"
+  "make_plots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_plots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

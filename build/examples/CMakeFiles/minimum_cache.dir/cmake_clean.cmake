@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimum_cache.dir/minimum_cache.cpp.o"
+  "CMakeFiles/minimum_cache.dir/minimum_cache.cpp.o.d"
+  "minimum_cache"
+  "minimum_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimum_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

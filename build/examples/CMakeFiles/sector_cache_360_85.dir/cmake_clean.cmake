@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sector_cache_360_85.dir/sector_cache_360_85.cpp.o"
+  "CMakeFiles/sector_cache_360_85.dir/sector_cache_360_85.cpp.o.d"
+  "sector_cache_360_85"
+  "sector_cache_360_85.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sector_cache_360_85.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sector_cache_360_85.
+# This may be replaced when dependencies are built.

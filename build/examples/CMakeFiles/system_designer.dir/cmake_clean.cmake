@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_designer.dir/system_designer.cpp.o"
+  "CMakeFiles/system_designer.dir/system_designer.cpp.o.d"
+  "system_designer"
+  "system_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "Release".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "occsim::occsim" for configuration "Release"
+set_property(TARGET occsim::occsim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(occsim::occsim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/liboccsim.a"
+  )
+
+list(APPEND _cmake_import_check_targets occsim::occsim )
+list(APPEND _cmake_import_check_files_for_occsim::occsim "${_IMPORT_PREFIX}/lib/liboccsim.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/occsim.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/occsim.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/cache_config.cc" "src/CMakeFiles/occsim.dir/cache/cache_config.cc.o" "gcc" "src/CMakeFiles/occsim.dir/cache/cache_config.cc.o.d"
+  "/root/repo/src/cache/cache_geometry.cc" "src/CMakeFiles/occsim.dir/cache/cache_geometry.cc.o" "gcc" "src/CMakeFiles/occsim.dir/cache/cache_geometry.cc.o.d"
+  "/root/repo/src/cache/cache_stats.cc" "src/CMakeFiles/occsim.dir/cache/cache_stats.cc.o" "gcc" "src/CMakeFiles/occsim.dir/cache/cache_stats.cc.o.d"
+  "/root/repo/src/cache/instr_buffer.cc" "src/CMakeFiles/occsim.dir/cache/instr_buffer.cc.o" "gcc" "src/CMakeFiles/occsim.dir/cache/instr_buffer.cc.o.d"
+  "/root/repo/src/cache/remote_pc.cc" "src/CMakeFiles/occsim.dir/cache/remote_pc.cc.o" "gcc" "src/CMakeFiles/occsim.dir/cache/remote_pc.cc.o.d"
+  "/root/repo/src/cache/replacement.cc" "src/CMakeFiles/occsim.dir/cache/replacement.cc.o" "gcc" "src/CMakeFiles/occsim.dir/cache/replacement.cc.o.d"
+  "/root/repo/src/cache/sector_cache.cc" "src/CMakeFiles/occsim.dir/cache/sector_cache.cc.o" "gcc" "src/CMakeFiles/occsim.dir/cache/sector_cache.cc.o.d"
+  "/root/repo/src/cache/split_cache.cc" "src/CMakeFiles/occsim.dir/cache/split_cache.cc.o" "gcc" "src/CMakeFiles/occsim.dir/cache/split_cache.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/occsim.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/occsim.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/figures.cc" "src/CMakeFiles/occsim.dir/harness/figures.cc.o" "gcc" "src/CMakeFiles/occsim.dir/harness/figures.cc.o.d"
+  "/root/repo/src/harness/paper_tables.cc" "src/CMakeFiles/occsim.dir/harness/paper_tables.cc.o" "gcc" "src/CMakeFiles/occsim.dir/harness/paper_tables.cc.o.d"
+  "/root/repo/src/mem/access_time.cc" "src/CMakeFiles/occsim.dir/mem/access_time.cc.o" "gcc" "src/CMakeFiles/occsim.dir/mem/access_time.cc.o.d"
+  "/root/repo/src/mem/bus_model.cc" "src/CMakeFiles/occsim.dir/mem/bus_model.cc.o" "gcc" "src/CMakeFiles/occsim.dir/mem/bus_model.cc.o.d"
+  "/root/repo/src/multi/miss_classifier.cc" "src/CMakeFiles/occsim.dir/multi/miss_classifier.cc.o" "gcc" "src/CMakeFiles/occsim.dir/multi/miss_classifier.cc.o.d"
+  "/root/repo/src/multi/stack_analyzer.cc" "src/CMakeFiles/occsim.dir/multi/stack_analyzer.cc.o" "gcc" "src/CMakeFiles/occsim.dir/multi/stack_analyzer.cc.o.d"
+  "/root/repo/src/multi/sweep_runner.cc" "src/CMakeFiles/occsim.dir/multi/sweep_runner.cc.o" "gcc" "src/CMakeFiles/occsim.dir/multi/sweep_runner.cc.o.d"
+  "/root/repo/src/multi/working_set.cc" "src/CMakeFiles/occsim.dir/multi/working_set.cc.o" "gcc" "src/CMakeFiles/occsim.dir/multi/working_set.cc.o.d"
+  "/root/repo/src/stats/distribution.cc" "src/CMakeFiles/occsim.dir/stats/distribution.cc.o" "gcc" "src/CMakeFiles/occsim.dir/stats/distribution.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/occsim.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/occsim.dir/stats/stats.cc.o.d"
+  "/root/repo/src/trace/filters.cc" "src/CMakeFiles/occsim.dir/trace/filters.cc.o" "gcc" "src/CMakeFiles/occsim.dir/trace/filters.cc.o.d"
+  "/root/repo/src/trace/interleave.cc" "src/CMakeFiles/occsim.dir/trace/interleave.cc.o" "gcc" "src/CMakeFiles/occsim.dir/trace/interleave.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/occsim.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/occsim.dir/trace/trace.cc.o.d"
+  "/root/repo/src/trace/trace_file.cc" "src/CMakeFiles/occsim.dir/trace/trace_file.cc.o" "gcc" "src/CMakeFiles/occsim.dir/trace/trace_file.cc.o.d"
+  "/root/repo/src/trace/trace_stats.cc" "src/CMakeFiles/occsim.dir/trace/trace_stats.cc.o" "gcc" "src/CMakeFiles/occsim.dir/trace/trace_stats.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/occsim.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/occsim.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/occsim.dir/util/random.cc.o" "gcc" "src/CMakeFiles/occsim.dir/util/random.cc.o.d"
+  "/root/repo/src/util/str.cc" "src/CMakeFiles/occsim.dir/util/str.cc.o" "gcc" "src/CMakeFiles/occsim.dir/util/str.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/occsim.dir/util/table.cc.o" "gcc" "src/CMakeFiles/occsim.dir/util/table.cc.o.d"
+  "/root/repo/src/vm/assembler.cc" "src/CMakeFiles/occsim.dir/vm/assembler.cc.o" "gcc" "src/CMakeFiles/occsim.dir/vm/assembler.cc.o.d"
+  "/root/repo/src/vm/disasm.cc" "src/CMakeFiles/occsim.dir/vm/disasm.cc.o" "gcc" "src/CMakeFiles/occsim.dir/vm/disasm.cc.o.d"
+  "/root/repo/src/vm/isa.cc" "src/CMakeFiles/occsim.dir/vm/isa.cc.o" "gcc" "src/CMakeFiles/occsim.dir/vm/isa.cc.o.d"
+  "/root/repo/src/vm/machine.cc" "src/CMakeFiles/occsim.dir/vm/machine.cc.o" "gcc" "src/CMakeFiles/occsim.dir/vm/machine.cc.o.d"
+  "/root/repo/src/vm/program_library.cc" "src/CMakeFiles/occsim.dir/vm/program_library.cc.o" "gcc" "src/CMakeFiles/occsim.dir/vm/program_library.cc.o.d"
+  "/root/repo/src/workload/profiles.cc" "src/CMakeFiles/occsim.dir/workload/profiles.cc.o" "gcc" "src/CMakeFiles/occsim.dir/workload/profiles.cc.o.d"
+  "/root/repo/src/workload/suites.cc" "src/CMakeFiles/occsim.dir/workload/suites.cc.o" "gcc" "src/CMakeFiles/occsim.dir/workload/suites.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/CMakeFiles/occsim.dir/workload/synthetic.cc.o" "gcc" "src/CMakeFiles/occsim.dir/workload/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

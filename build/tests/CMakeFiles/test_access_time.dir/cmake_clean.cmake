@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_access_time.dir/test_access_time.cpp.o"
+  "CMakeFiles/test_access_time.dir/test_access_time.cpp.o.d"
+  "test_access_time"
+  "test_access_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_access_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

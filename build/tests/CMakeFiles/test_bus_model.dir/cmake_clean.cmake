@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bus_model.dir/test_bus_model.cpp.o"
+  "CMakeFiles/test_bus_model.dir/test_bus_model.cpp.o.d"
+  "test_bus_model"
+  "test_bus_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bus_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

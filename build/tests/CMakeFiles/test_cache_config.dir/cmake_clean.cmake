@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_config.dir/test_cache_config.cpp.o"
+  "CMakeFiles/test_cache_config.dir/test_cache_config.cpp.o.d"
+  "test_cache_config"
+  "test_cache_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_load_forward.dir/test_load_forward.cpp.o"
+  "CMakeFiles/test_load_forward.dir/test_load_forward.cpp.o.d"
+  "test_load_forward"
+  "test_load_forward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_load_forward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_miss_classifier.dir/test_miss_classifier.cpp.o"
+  "CMakeFiles/test_miss_classifier.dir/test_miss_classifier.cpp.o.d"
+  "test_miss_classifier"
+  "test_miss_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_miss_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

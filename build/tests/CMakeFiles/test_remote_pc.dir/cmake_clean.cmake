@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remote_pc.dir/test_remote_pc.cpp.o"
+  "CMakeFiles/test_remote_pc.dir/test_remote_pc.cpp.o.d"
+  "test_remote_pc"
+  "test_remote_pc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remote_pc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

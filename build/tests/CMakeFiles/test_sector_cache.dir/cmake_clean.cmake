@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sector_cache.dir/test_sector_cache.cpp.o"
+  "CMakeFiles/test_sector_cache.dir/test_sector_cache.cpp.o.d"
+  "test_sector_cache"
+  "test_sector_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sector_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

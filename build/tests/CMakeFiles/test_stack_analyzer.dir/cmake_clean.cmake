@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stack_analyzer.dir/test_stack_analyzer.cpp.o"
+  "CMakeFiles/test_stack_analyzer.dir/test_stack_analyzer.cpp.o.d"
+  "test_stack_analyzer"
+  "test_stack_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stack_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_fuzz.dir/test_vm_fuzz.cpp.o"
+  "CMakeFiles/test_vm_fuzz.dir/test_vm_fuzz.cpp.o.d"
+  "test_vm_fuzz"
+  "test_vm_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_working_set.dir/test_working_set.cpp.o"
+  "CMakeFiles/test_working_set.dir/test_working_set.cpp.o.d"
+  "test_working_set"
+  "test_working_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_working_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

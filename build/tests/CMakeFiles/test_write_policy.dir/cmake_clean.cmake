@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_write_policy.dir/test_write_policy.cpp.o"
+  "CMakeFiles/test_write_policy.dir/test_write_policy.cpp.o.d"
+  "test_write_policy"
+  "test_write_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_write_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
