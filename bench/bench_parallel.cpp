@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Sequential-vs-parallel wall-clock comparison for a full Table 1
+ * suite sweep: the paper's 1024-byte design grid over every trace of
+ * the PDP-11 suite, run once on the historical single-threaded
+ * SweepRunner and once on the parallel engine, with a bit-identity
+ * check between the two result sets.
+ *
+ * Prints a human-readable summary plus one machine-readable JSON line
+ * (prefix "BENCH_JSON ") for the benchmark trajectory. Exit status is
+ * non-zero if the engines disagree, so the CI smoke run doubles as a
+ * determinism gate.
+ *
+ * Trace generation is excluded from both timings (traces are built
+ * once, shared, before the clocks start); OCCSIM_TRACE_LEN and
+ * OCCSIM_THREADS apply as usual.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "multi/parallel_sweep.hh"
+#include "workload/suites.hh"
+
+using namespace occsim;
+
+namespace {
+
+double
+millisSince(std::chrono::steady_clock::time_point start)
+{
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+bool
+identical(const SweepResult &a, const SweepResult &b)
+{
+    return a.config == b.config && a.grossBytes == b.grossBytes &&
+           a.missRatio == b.missRatio &&
+           a.warmMissRatio == b.warmMissRatio &&
+           a.trafficRatio == b.trafficRatio &&
+           a.warmTrafficRatio == b.warmTrafficRatio &&
+           a.nibbleTrafficRatio == b.nibbleTrafficRatio &&
+           a.warmNibbleTrafficRatio == b.warmNibbleTrafficRatio;
+}
+
+} // namespace
+
+int
+main()
+{
+    const Suite suite = pdp11Suite();
+    const auto configs = paperGrid(1024, suite.profile.wordSize);
+    const unsigned threads = globalThreadPool().size();
+
+    std::printf("parallel sweep engine benchmark: %s suite, "
+                "%zu traces x %zu configs (Table 1 grid, net 1024), "
+                "%llu refs/trace, %u threads\n",
+                suite.profile.name.c_str(), suite.traces.size(),
+                configs.size(),
+                static_cast<unsigned long long>(defaultTraceLength()),
+                threads);
+
+    // Build every trace up front (untimed; shared read-only by both
+    // engines). Mutable copies for the sequential engine are also
+    // made outside the timed regions.
+    const auto traces = buildSuiteTraces(suite);
+    std::vector<VectorTrace> seq_copies;
+    seq_copies.reserve(traces.size());
+    for (const auto &trace : traces)
+        seq_copies.push_back(*trace);
+
+    // Sequential engine: one single-threaded SweepRunner per trace.
+    const auto seq_start = std::chrono::steady_clock::now();
+    std::vector<std::vector<SweepResult>> seq_results;
+    for (VectorTrace &copy : seq_copies) {
+        copy.reset();
+        SweepRunner runner(configs);
+        runner.run(copy);
+        seq_results.push_back(runner.results());
+    }
+    const double seq_ms = millisSince(seq_start);
+
+    // Parallel engine: the full (trace, config) grid on the pool.
+    const auto par_start = std::chrono::steady_clock::now();
+    const auto par_results = runSweeps(traces, configs);
+    const double par_ms = millisSince(par_start);
+
+    bool bit_identical = seq_results.size() == par_results.size();
+    for (std::size_t t = 0; bit_identical && t < seq_results.size();
+         ++t) {
+        bit_identical = seq_results[t].size() == par_results[t].size();
+        for (std::size_t c = 0;
+             bit_identical && c < seq_results[t].size(); ++c) {
+            bit_identical = identical(seq_results[t][c],
+                                      par_results[t][c]);
+        }
+    }
+
+    const double speedup = par_ms > 0.0 ? seq_ms / par_ms : 0.0;
+    std::printf("sequential: %.1f ms\nparallel:   %.1f ms\n"
+                "speedup:    %.2fx\nbit-identical results: %s\n",
+                seq_ms, par_ms, speedup,
+                bit_identical ? "yes" : "NO");
+
+    std::printf("BENCH_JSON {\"bench\":\"parallel_sweep\","
+                "\"suite\":\"%s\",\"traces\":%zu,\"configs\":%zu,"
+                "\"refs_per_trace\":%llu,\"threads\":%u,"
+                "\"seq_ms\":%.3f,\"par_ms\":%.3f,\"speedup\":%.3f,"
+                "\"bit_identical\":%s}\n",
+                suite.profile.name.c_str(), suite.traces.size(),
+                configs.size(),
+                static_cast<unsigned long long>(defaultTraceLength()),
+                threads, seq_ms, par_ms, speedup,
+                bit_identical ? "true" : "false");
+
+    return bit_identical ? 0 : 1;
+}

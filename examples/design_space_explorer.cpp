@@ -36,8 +36,11 @@ main(int argc, char **argv)
     }
 
     const Suite suite = suiteFor(static_cast<Arch>(arch_index));
-    std::printf("architecture: %s, net cache size: %u bytes\n\n",
-                suite.profile.name.c_str(), net);
+    std::printf("architecture: %s, net cache size: %u bytes "
+                "(parallel sweep engine, %u threads; set "
+                "OCCSIM_THREADS to change)\n\n",
+                suite.profile.name.c_str(), net,
+                globalThreadPool().size());
 
     const auto configs = paperGrid(net, suite.profile.wordSize);
     const SuiteRun run = runSuite(suite, configs);

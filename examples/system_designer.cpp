@@ -52,9 +52,11 @@ main(int argc, char **argv)
     const double t_bus_word = 160.0;   // ns of bus occupancy per word
 
     std::printf("architecture %s, net %u bytes; t_cache=%.0fns, "
-                "t_mem=%.0f+%.0fns/word\n\n",
+                "t_mem=%.0f+%.0fns/word (parallel sweep engine, "
+                "%u threads)\n\n",
                 suite.profile.name.c_str(), net, tech.tCache,
-                tech.tMemFirst, tech.tMemNext);
+                tech.tMemFirst, tech.tMemNext,
+                globalThreadPool().size());
 
     const auto configs = paperGrid(net, word);
     const SuiteRun run = runSuite(suite, configs);

@@ -8,6 +8,14 @@ namespace occsim {
 
 Cache::Cache(const CacheConfig &config)
     : geom_(config),
+      assoc_(geom_.assoc()),
+      numSubs_(geom_.subBlocksPerBlock()),
+      wordsPerSub_(geom_.wordsPerSubBlock()),
+      subBlockSize_(config.subBlockSize),
+      fetch_(config.fetch),
+      copyBack_(config.write == WritePolicy::CopyBack),
+      writeAllocate_(config.writeAllocate),
+      prefetchOnMiss_(config.fetch == FetchPolicy::PrefetchNextOnMiss),
       repl_(config.replacement, geom_.numSets(), geom_.assoc(),
             config.randomSeed),
       stats_(geom_.subBlocksPerBlock(),
@@ -21,7 +29,7 @@ int
 Cache::findWay(std::uint32_t set, Addr block_addr) const
 {
     const Frame *base = setBase(set);
-    const std::uint32_t assoc = geom_.assoc();
+    const std::uint32_t assoc = assoc_;
     for (std::uint32_t way = 0; way < assoc; ++way) {
         if (base[way].present && base[way].tag == block_addr)
             return static_cast<int>(way);
@@ -33,12 +41,10 @@ void
 Cache::emitBurst(std::uint32_t sub_blocks, bool counted, bool cold,
                  std::uint32_t redundant_sub_blocks)
 {
-    const std::uint32_t words =
-        sub_blocks * geom_.wordsPerSubBlock();
+    const std::uint32_t words = sub_blocks * wordsPerSub_;
     if (counted) {
         stats_.recordBurst(words, cold,
-                           redundant_sub_blocks *
-                               geom_.wordsPerSubBlock());
+                           redundant_sub_blocks * wordsPerSub_);
     } else {
         stats_.recordWriteBurst(words);
     }
@@ -48,10 +54,10 @@ void
 Cache::fetchInto(Frame &frame, std::uint32_t frame_index,
                  std::uint32_t sub_index, bool counted, bool cold)
 {
-    const std::uint32_t num_subs = geom_.subBlocksPerBlock();
+    const std::uint32_t num_subs = numSubs_;
     std::uint32_t &ever = everFilled_[frame_index];
 
-    switch (config().fetch) {
+    switch (fetch_) {
       case FetchPolicy::Demand:
       case FetchPolicy::PrefetchNextOnMiss: {
         frame.valid |= (1u << sub_index);
@@ -103,7 +109,7 @@ Cache::writebackDirty(Frame &frame)
     if (frame.dirty != 0) {
         stats_.recordWriteback(
             static_cast<std::uint32_t>(std::popcount(frame.dirty)) *
-            geom_.wordsPerSubBlock());
+            wordsPerSub_);
         frame.dirty = 0;
     }
 }
@@ -136,7 +142,7 @@ Cache::access(const MemRef &ref)
                 stats_.recordHit(is_ifetch);
             } else {
                 stats_.recordWrite(true);
-                if (config().write == WritePolicy::CopyBack)
+                if (copyBack_)
                     frame.dirty |= sub_bit;
                 else
                     stats_.recordStoreTraffic(1);
@@ -145,7 +151,7 @@ Cache::access(const MemRef &ref)
         }
         // Sub-block miss: tag matches but the word is not resident.
         const std::uint32_t frame_index =
-            set * geom_.assoc() + static_cast<std::uint32_t>(way);
+            set * assoc_ + static_cast<std::uint32_t>(way);
         const bool cold = (everFilled_[frame_index] & sub_bit) == 0;
         if (counted)
             stats_.recordMiss(is_ifetch, false, cold);
@@ -154,31 +160,31 @@ Cache::access(const MemRef &ref)
         fetchInto(frame, frame_index, sub_index, counted, cold);
         frame.prefetched &= ~sub_bit;
         if (is_write) {
-            if (config().write == WritePolicy::CopyBack)
+            if (copyBack_)
                 frame.dirty |= sub_bit;
             else
                 stats_.recordStoreTraffic(1);
         }
-        if (config().fetch == FetchPolicy::PrefetchNextOnMiss)
-            prefetchSequential(ref.addr + config().subBlockSize);
+        if (prefetchOnMiss_)
+            prefetchSequential(ref.addr + subBlockSize_);
         return AccessOutcome::SubBlockMiss;
     }
 
     // Block miss: allocate a frame.
-    if (is_write && !config().writeAllocate) {
+    if (is_write && !writeAllocate_) {
         stats_.recordWrite(false);
         stats_.recordStoreTraffic(1);
         return AccessOutcome::BlockMiss;
     }
 
-    std::uint32_t victim_way = geom_.assoc();
-    for (std::uint32_t w = 0; w < geom_.assoc(); ++w) {
+    std::uint32_t victim_way = assoc_;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
         if (!base[w].present) {
             victim_way = w;
             break;
         }
     }
-    if (victim_way == geom_.assoc())
+    if (victim_way == assoc_)
         victim_way = repl_.victim(set);
 
     Frame &frame = base[victim_way];
@@ -188,7 +194,7 @@ Cache::access(const MemRef &ref)
         writebackDirty(frame);
     }
 
-    const std::uint32_t frame_index = set * geom_.assoc() + victim_way;
+    const std::uint32_t frame_index = set * assoc_ + victim_way;
     const bool cold = (everFilled_[frame_index] & sub_bit) == 0;
     if (counted)
         stats_.recordMiss(is_ifetch, true, cold);
@@ -204,13 +210,13 @@ Cache::access(const MemRef &ref)
     repl_.onFill(set, victim_way);
     fetchInto(frame, frame_index, sub_index, counted, cold);
     if (is_write) {
-        if (config().write == WritePolicy::CopyBack)
+        if (copyBack_)
             frame.dirty |= sub_bit;
         else
             stats_.recordStoreTraffic(1);
     }
-    if (config().fetch == FetchPolicy::PrefetchNextOnMiss)
-        prefetchSequential(ref.addr + config().subBlockSize);
+    if (prefetchOnMiss_)
+        prefetchSequential(ref.addr + subBlockSize_);
     return AccessOutcome::BlockMiss;
 }
 
@@ -222,7 +228,7 @@ Cache::prefetchSequential(Addr target)
     const Addr block_addr = geom_.blockAddr(target);
     const std::uint32_t sub_index = geom_.subBlockIndex(target);
     const std::uint32_t sub_bit = 1u << sub_index;
-    const std::uint32_t words = geom_.wordsPerSubBlock();
+    const std::uint32_t words = wordsPerSub_;
 
     Frame *base = setBase(set);
     const int way = findWay(set, block_addr);
@@ -232,7 +238,7 @@ Cache::prefetchSequential(Addr target)
             return;  // already resident, nothing to move
         frame.valid |= sub_bit;
         frame.prefetched |= sub_bit;
-        everFilled_[set * geom_.assoc() +
+        everFilled_[set * assoc_ +
                     static_cast<std::uint32_t>(way)] |= sub_bit;
         stats_.recordPrefetch(words);
         return;
@@ -240,14 +246,14 @@ Cache::prefetchSequential(Addr target)
 
     // Allocate a frame for the prefetched block (Smith's sequential
     // prefetch allocates; this is where pollution can occur).
-    std::uint32_t victim_way = geom_.assoc();
-    for (std::uint32_t w = 0; w < geom_.assoc(); ++w) {
+    std::uint32_t victim_way = assoc_;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
         if (!base[w].present) {
             victim_way = w;
             break;
         }
     }
-    if (victim_way == geom_.assoc())
+    if (victim_way == assoc_)
         victim_way = repl_.victim(set);
 
     Frame &frame = base[victim_way];
@@ -262,7 +268,7 @@ Cache::prefetchSequential(Addr target)
     frame.touched = 0;
     frame.dirty = 0;
     frame.prefetched = sub_bit;
-    everFilled_[set * geom_.assoc() + victim_way] |= sub_bit;
+    everFilled_[set * assoc_ + victim_way] |= sub_bit;
     repl_.onFill(set, victim_way);
     stats_.recordPrefetch(words);
 }

@@ -117,12 +117,12 @@ class Cache
     Frame *setBase(std::uint32_t set)
     {
         return frames_.data() +
-               static_cast<std::size_t>(set) * geom_.assoc();
+               static_cast<std::size_t>(set) * assoc_;
     }
     const Frame *setBase(std::uint32_t set) const
     {
         return frames_.data() +
-               static_cast<std::size_t>(set) * geom_.assoc();
+               static_cast<std::size_t>(set) * assoc_;
     }
 
     /** Find the way holding @p block_addr in @p set, or -1. */
@@ -148,6 +148,18 @@ class Cache
     void prefetchSequential(Addr target);
 
     CacheGeometry geom_;
+    // Hot-path copies of config/geometry fields, hoisted out of the
+    // per-reference loop (access/findWay run once per trace record;
+    // going through geom_.config() each time costs an extra
+    // indirection per field).
+    std::uint32_t assoc_;
+    std::uint32_t numSubs_;
+    std::uint32_t wordsPerSub_;
+    std::uint32_t subBlockSize_;
+    FetchPolicy fetch_;
+    bool copyBack_;
+    bool writeAllocate_;
+    bool prefetchOnMiss_;
     ReplacementState repl_;
     CacheStats stats_;
     std::vector<Frame> frames_;

@@ -44,19 +44,28 @@ table7Grid(std::uint32_t net_size, std::uint32_t word_size)
     return gridImpl(net_size, word_size, true);
 }
 
+std::vector<std::shared_ptr<const VectorTrace>>
+buildSuiteTraces(const Suite &suite, std::uint64_t trace_len)
+{
+    occsim_assert(!suite.traces.empty(), "empty suite");
+    std::vector<std::shared_ptr<const VectorTrace>> traces(
+        suite.traces.size());
+    globalThreadPool().parallelFor(
+        suite.traces.size(), [&](std::size_t i) {
+            traces[i] = buildTraceShared(suite.traces[i], trace_len);
+        });
+    return traces;
+}
+
 SuiteRun
 runSuite(const Suite &suite, const std::vector<CacheConfig> &configs,
          std::uint64_t trace_len)
 {
-    occsim_assert(!suite.traces.empty(), "empty suite");
     SuiteRun run;
-    for (const WorkloadSpec &spec : suite.traces) {
-        VectorTrace trace = buildTrace(spec, trace_len);
-        SweepRunner runner(configs);
-        runner.run(trace);
+    const auto traces = buildSuiteTraces(suite, trace_len);
+    for (const WorkloadSpec &spec : suite.traces)
         run.traceNames.push_back(spec.name);
-        run.perTrace.push_back(runner.results());
-    }
+    run.perTrace = runSweeps(traces, configs);
     run.average = averageResults(run.perTrace);
     return run;
 }
@@ -72,7 +81,9 @@ printBanner(std::ostream &os, const std::string &title)
 {
     os << "==== " << title << " ====\n";
     os << "trace length: " << defaultTraceLength()
-       << " references per trace (set OCCSIM_TRACE_LEN to change)\n\n";
+       << " references per trace (set OCCSIM_TRACE_LEN to change), "
+       << globalThreadPool().size()
+       << " worker threads (set OCCSIM_THREADS to change)\n\n";
 }
 
 } // namespace occsim

@@ -10,10 +10,12 @@
 #define OCCSIM_HARNESS_EXPERIMENT_HH
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cache/cache_config.hh"
+#include "multi/parallel_sweep.hh"
 #include "multi/sweep_runner.hh"
 #include "workload/suites.hh"
 
@@ -46,8 +48,23 @@ struct SuiteRun
 };
 
 /**
+ * Build every trace of @p suite (at @p traceLen references, 0 =
+ * defaultTraceLength()) in parallel through the buildTraceShared
+ * cache. Each workload executes the VM exactly once; the returned
+ * traces are immutable and shared.
+ */
+std::vector<std::shared_ptr<const VectorTrace>>
+buildSuiteTraces(const Suite &suite, std::uint64_t trace_len = 0);
+
+/**
  * Build each trace of @p suite (at @p traceLen references, 0 =
  * defaultTraceLength()) and run every config of @p configs over it.
+ *
+ * Runs on the parallel sweep engine: traces are built concurrently
+ * (one VM execution per workload, shared read-only) and the (trace,
+ * config) simulation grid is partitioned across the global thread
+ * pool. Results are bit-identical to the sequential engine;
+ * OCCSIM_THREADS=1 restores fully sequential execution.
  */
 SuiteRun runSuite(const Suite &suite,
                   const std::vector<CacheConfig> &configs,

@@ -4,7 +4,6 @@
 
 #include "cache/cache.hh"
 #include "harness/experiment.hh"
-#include "trace/filters.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
 #include "util/table.hh"
@@ -160,14 +159,22 @@ runRiscII(std::ostream &os)
         configs.push_back(config);
     }
 
-    std::vector<std::vector<SweepResult>> per_trace;
-    for (const WorkloadSpec &spec : suite.traces) {
-        VectorTrace full = buildTrace(spec);
-        KindFilter istream(full, KindFilter::Select::InstructionsOnly);
-        SweepRunner runner(configs);
-        runner.run(istream);
-        per_trace.push_back(runner.results());
-    }
+    // Reduce each shared trace to its instruction stream once, then
+    // sweep the (trace, config) grid on the parallel engine.
+    const auto full_traces = buildSuiteTraces(suite);
+    std::vector<std::shared_ptr<const VectorTrace>> istreams(
+        full_traces.size());
+    globalThreadPool().parallelFor(
+        full_traces.size(), [&](std::size_t i) {
+            auto istream = std::make_shared<VectorTrace>(
+                full_traces[i]->name() + ".ifetch");
+            for (const MemRef &ref : full_traces[i]->refs()) {
+                if (ref.isInstruction())
+                    istream->append(ref);
+            }
+            istreams[i] = std::move(istream);
+        });
+    const auto per_trace = runSweeps(istreams, configs);
     const auto averaged = averageResults(per_trace);
 
     TableWriter table({"size", "miss ratio", "vs previous size"});

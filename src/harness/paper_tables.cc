@@ -28,13 +28,14 @@ runTable6(std::ostream &os)
     }
 
     // Run manually (not via runSuite) so the 360/85's residency
-    // distribution can be inspected.
+    // distribution can be inspected; each per-trace sweep still runs
+    // its configs in parallel over the shared trace.
+    const auto traces = buildSuiteTraces(suite);
     std::vector<std::vector<SweepResult>> per_trace;
     double never_ref_sum = 0.0;
     double mean_touched_sum = 0.0;
-    for (const WorkloadSpec &spec : suite.traces) {
-        VectorTrace trace = buildTrace(spec);
-        SweepRunner runner(configs);
+    for (const auto &trace : traces) {
+        ParallelSweepRunner runner(configs);
         runner.run(trace);
         per_trace.push_back(runner.results());
         never_ref_sum += runner.cache(0).stats().neverReferencedFraction();

@@ -1,0 +1,92 @@
+#include "multi/parallel_sweep.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace occsim {
+
+namespace {
+
+ThreadPool &
+poolOrGlobal(ThreadPool *pool)
+{
+    return pool != nullptr ? *pool : globalThreadPool();
+}
+
+} // namespace
+
+ParallelSweepRunner::ParallelSweepRunner(
+    const std::vector<CacheConfig> &configs, ThreadPool *pool)
+    : pool_(pool)
+{
+    occsim_assert(!configs.empty(), "sweep needs at least one config");
+    caches_.reserve(configs.size());
+    for (const CacheConfig &config : configs)
+        caches_.push_back(std::make_unique<Cache>(config));
+}
+
+std::uint64_t
+ParallelSweepRunner::run(const std::shared_ptr<const VectorTrace> &trace,
+                         std::uint64_t max_refs)
+{
+    occsim_assert(trace != nullptr, "null trace");
+    const std::vector<MemRef> &refs = trace->refs();
+    const std::uint64_t limit =
+        max_refs == 0
+            ? refs.size()
+            : std::min<std::uint64_t>(max_refs, refs.size());
+
+    // Each index is one whole cache: the worker that claims it drains
+    // the full trace into that cache, then the next unclaimed one.
+    // Caches are touched by exactly one worker, the trace by all of
+    // them — read-only.
+    poolOrGlobal(pool_).parallelFor(
+        caches_.size(), [&](std::size_t i) {
+            Cache &cache = *caches_[i];
+            for (std::uint64_t r = 0; r < limit; ++r)
+                cache.access(refs[r]);
+            cache.finalizeResidencies();
+        });
+    return limit;
+}
+
+std::vector<SweepResult>
+ParallelSweepRunner::results() const
+{
+    std::vector<SweepResult> out;
+    out.reserve(caches_.size());
+    for (const auto &cache : caches_)
+        out.push_back(summarizeCache(*cache));
+    return out;
+}
+
+std::vector<std::vector<SweepResult>>
+runSweeps(const std::vector<std::shared_ptr<const VectorTrace>> &traces,
+          const std::vector<CacheConfig> &configs, ThreadPool *pool)
+{
+    occsim_assert(!traces.empty(), "no traces to sweep");
+    occsim_assert(!configs.empty(), "sweep needs at least one config");
+
+    std::vector<std::vector<SweepResult>> out(
+        traces.size(), std::vector<SweepResult>(configs.size()));
+
+    // Flatten to one task per (trace, config) pair for maximum
+    // parallelism; every task writes only its own result slot. Task
+    // order is trace-major, so a size-1 pool reproduces the
+    // sequential engine's exact execution order.
+    const std::size_t num_configs = configs.size();
+    poolOrGlobal(pool).parallelFor(
+        traces.size() * num_configs, [&](std::size_t task) {
+            const std::size_t t = task / num_configs;
+            const std::size_t c = task % num_configs;
+            Cache cache(configs[c]);
+            for (const MemRef &ref : traces[t]->refs())
+                cache.access(ref);
+            cache.finalizeResidencies();
+            out[t][c] = summarizeCache(cache);
+        });
+    return out;
+}
+
+} // namespace occsim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Parallel multi-configuration simulation over shared immutable
+ * traces.
+ *
+ * The sweep workload is embarrassingly parallel: every Cache is fully
+ * independent and a VectorTrace, once built, is never mutated. The
+ * parallel engine exploits both facts — configurations of one sweep
+ * are partitioned dynamically across a thread pool, each worker
+ * driving its own caches with a private cursor over one shared
+ * `std::shared_ptr<const VectorTrace>`, and suite runs additionally
+ * parallelize across traces (supplied by the buildTraceShared cache,
+ * so each workload executes the VM exactly once).
+ *
+ * Determinism guarantee: a cache observes exactly the same reference
+ * sequence no matter how the work is scheduled, so every SweepResult
+ * is bit-identical to the sequential SweepRunner's. OCCSIM_THREADS=1
+ * degenerates to inline sequential execution.
+ */
+
+#ifndef OCCSIM_MULTI_PARALLEL_SWEEP_HH
+#define OCCSIM_MULTI_PARALLEL_SWEEP_HH
+
+#include <memory>
+#include <vector>
+
+#include "multi/sweep_runner.hh"
+#include "util/thread_pool.hh"
+
+namespace occsim {
+
+/**
+ * Runs many cache configurations over one shared immutable trace,
+ * partitioned across a thread pool. Drop-in parallel counterpart of
+ * SweepRunner: same construction, same results() contract, same
+ * (bit-identical) numbers.
+ */
+class ParallelSweepRunner
+{
+  public:
+    /**
+     * @param configs one cache is instantiated per entry.
+     * @param pool pool to run on; nullptr means globalThreadPool().
+     */
+    explicit ParallelSweepRunner(const std::vector<CacheConfig> &configs,
+                                 ThreadPool *pool = nullptr);
+
+    /**
+     * Feed up to @p maxRefs references (0 = all) of @p trace to every
+     * cache and finalize residencies. Each worker walks the trace
+     * with its own cursor; the trace itself is never modified.
+     * @return references consumed per cache.
+     */
+    std::uint64_t run(const std::shared_ptr<const VectorTrace> &trace,
+                      std::uint64_t max_refs = 0);
+
+    std::size_t size() const { return caches_.size(); }
+    const Cache &cache(std::size_t i) const { return *caches_[i]; }
+    Cache &cache(std::size_t i) { return *caches_[i]; }
+
+    /** Summaries in config order (same contract as SweepRunner). */
+    std::vector<SweepResult> results() const;
+
+  private:
+    ThreadPool *pool_;
+    std::vector<std::unique_ptr<Cache>> caches_;
+};
+
+/**
+ * Run every config over every trace — the full (trace, config) task
+ * grid of a suite sweep — in parallel on @p pool (nullptr means
+ * globalThreadPool()). @return per-trace result vectors,
+ * out[t][c] for traces[t] x configs[c], bit-identical to driving a
+ * sequential SweepRunner over each trace.
+ */
+std::vector<std::vector<SweepResult>>
+runSweeps(const std::vector<std::shared_ptr<const VectorTrace>> &traces,
+          const std::vector<CacheConfig> &configs,
+          ThreadPool *pool = nullptr);
+
+} // namespace occsim
+
+#endif // OCCSIM_MULTI_PARALLEL_SWEEP_HH

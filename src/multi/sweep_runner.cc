@@ -6,10 +6,15 @@ namespace occsim {
 
 namespace {
 
+// Namespace-scope so summarizeCache carries no per-call init guard:
+// the parallel engine summarizes from many threads at once.
+const NibbleModeBus kNibbleBus;
+
+} // namespace
+
 SweepResult
-summarize(const Cache &cache)
+summarizeCache(const Cache &cache)
 {
-    static const NibbleModeBus nibble;
     const CacheStats &stats = cache.stats();
     SweepResult result;
     result.config = cache.config();
@@ -18,13 +23,11 @@ summarize(const Cache &cache)
     result.warmMissRatio = stats.warmMissRatio();
     result.trafficRatio = stats.trafficRatio();
     result.warmTrafficRatio = stats.warmTrafficRatio();
-    result.nibbleTrafficRatio = stats.scaledTrafficRatio(nibble);
+    result.nibbleTrafficRatio = stats.scaledTrafficRatio(kNibbleBus);
     result.warmNibbleTrafficRatio =
-        stats.warmScaledTrafficRatio(nibble);
+        stats.warmScaledTrafficRatio(kNibbleBus);
     return result;
 }
-
-} // namespace
 
 SweepRunner::SweepRunner(const std::vector<CacheConfig> &configs)
 {
@@ -55,7 +58,7 @@ SweepRunner::results() const
     std::vector<SweepResult> out;
     out.reserve(caches_.size());
     for (const auto &cache : caches_)
-        out.push_back(summarize(*cache));
+        out.push_back(summarizeCache(*cache));
     return out;
 }
 
@@ -65,7 +68,7 @@ runSingle(const CacheConfig &config, TraceSource &source,
 {
     Cache cache(config);
     cache.run(source, max_refs);
-    return summarize(cache);
+    return summarizeCache(cache);
 }
 
 std::vector<SweepResult>

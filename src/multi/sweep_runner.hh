@@ -53,6 +53,10 @@ class SweepRunner
     std::vector<std::unique_ptr<Cache>> caches_;
 };
 
+/** Summarize a finished cache into a SweepResult (nibble-mode
+ *  pricing at ratio 3). */
+SweepResult summarizeCache(const Cache &cache);
+
 /** Simulate one configuration over @p source; returns its summary. */
 SweepResult runSingle(const CacheConfig &config, TraceSource &source,
                       std::uint64_t max_refs = 0);

@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/logging.hh"
+
 namespace occsim {
 
 std::string
@@ -84,6 +86,37 @@ parseU64(const std::string &text, std::uint64_t &out)
         return false;
     out = static_cast<std::uint64_t>(v);
     return true;
+}
+
+bool
+parseU64Strict(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty() ||
+        !std::isdigit(static_cast<unsigned char>(text[0]))) {
+        return false;
+    }
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 0);
+    if (errno != 0 || end != text.c_str() + text.size())
+        return false;
+    out = static_cast<std::uint64_t>(v);
+    return true;
+}
+
+std::uint64_t
+envPositiveU64(const char *name, std::uint64_t fallback)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr)
+        return fallback;
+    std::uint64_t value = 0;
+    if (!parseU64Strict(env, value) || value == 0) {
+        warn("ignoring bad %s '%s' (want a positive integer)", name,
+             env);
+        return fallback;
+    }
+    return value;
 }
 
 std::string

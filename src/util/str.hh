@@ -33,6 +33,21 @@ bool startsWith(const std::string &text, const std::string &prefix);
  */
 bool parseU64(const std::string &text, std::uint64_t &out);
 
+/**
+ * Strict variant of parseU64 for validated overrides: rejects leading
+ * whitespace, sign characters (strtoull silently wraps negatives),
+ * trailing garbage, and overflow.
+ */
+bool parseU64Strict(const std::string &text, std::uint64_t &out);
+
+/**
+ * Read environment variable @p name as a positive integer via
+ * parseU64Strict. Returns @p fallback when the variable is unset;
+ * warns and returns @p fallback when it is malformed, zero, or
+ * overflows.
+ */
+std::uint64_t envPositiveU64(const char *name, std::uint64_t fallback);
+
 /** Render a byte count compactly, e.g. "64", "1K", "16K". */
 std::string byteCountStr(std::uint64_t bytes);
 

@@ -1,0 +1,149 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace occsim {
+
+namespace {
+
+/** Backstop against absurd OCCSIM_THREADS values. */
+constexpr std::uint64_t kMaxThreads = 256;
+
+} // namespace
+
+unsigned
+configuredThreadCount()
+{
+    std::uint64_t value = envPositiveU64("OCCSIM_THREADS", 0);
+    if (value > 0) {
+        if (value > kMaxThreads) {
+            warn("clamping OCCSIM_THREADS from %llu to %llu",
+                 static_cast<unsigned long long>(value),
+                 static_cast<unsigned long long>(kMaxThreads));
+            value = kMaxThreads;
+        }
+        return static_cast<unsigned>(value);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threads_(threads > 0 ? threads : configuredThreadCount())
+{
+    if (threads_ <= 1)
+        return;  // size-1 pools execute inline; no workers needed
+    workers_.reserve(threads_);
+    for (unsigned i = 0; i < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;  // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task();
+    }
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> task)
+{
+    auto packaged = std::make_shared<std::packaged_task<void()>>(
+        std::move(task));
+    std::future<void> future = packaged->get_future();
+    if (threads_ <= 1) {
+        (*packaged)();
+        return future;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        occsim_assert(!stopping_, "submit() on a stopping ThreadPool");
+        queue_.push([packaged] { (*packaged)(); });
+    }
+    cv_.notify_one();
+    return future;
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (threads_ <= 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+
+    const auto drain = [&] {
+        std::size_t i;
+        while (!failed.load(std::memory_order_relaxed) &&
+               (i = next.fetch_add(1, std::memory_order_relaxed)) < n) {
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    // The calling thread participates, so nested parallelFor calls
+    // from inside a pool task make progress even with every worker
+    // busy.
+    const std::size_t helpers =
+        std::min<std::size_t>(threads_, n) - 1;
+    std::vector<std::future<void>> futures;
+    futures.reserve(helpers);
+    for (std::size_t i = 0; i < helpers; ++i)
+        futures.push_back(submit(drain));
+    drain();
+    for (std::future<void> &future : futures)
+        future.get();
+
+    if (error)
+        std::rethrow_exception(error);
+}
+
+ThreadPool &
+globalThreadPool()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace occsim

@@ -1,6 +1,9 @@
 #include "workload/suites.hh"
 
 #include <cstdlib>
+#include <future>
+#include <mutex>
+#include <unordered_map>
 
 #include "util/logging.hh"
 #include "util/str.hh"
@@ -191,16 +194,8 @@ suiteFor(Arch arch)
 std::uint64_t
 defaultTraceLength()
 {
-    static const std::uint64_t length = [] {
-        const char *env = std::getenv("OCCSIM_TRACE_LEN");
-        if (env != nullptr) {
-            std::uint64_t value = 0;
-            if (parseU64(env, value) && value > 0)
-                return value;
-            warn("ignoring bad OCCSIM_TRACE_LEN '%s'", env);
-        }
-        return std::uint64_t{1000000};
-    }();
+    static const std::uint64_t length =
+        envPositiveU64("OCCSIM_TRACE_LEN", 1000000);
     return length;
 }
 
@@ -219,6 +214,92 @@ buildTrace(const WorkloadSpec &spec_in, std::uint64_t refs)
                   spec_in.name.c_str(), trace.size(),
                   static_cast<unsigned long long>(refs));
     return trace;
+}
+
+namespace {
+
+/**
+ * Process-wide trace-build cache. Entries are shared_futures so that
+ * concurrent builders of *different* specs proceed in parallel while
+ * concurrent requests for the *same* spec execute the VM exactly
+ * once and share the finished (immutable) trace.
+ */
+struct TraceCache
+{
+    std::mutex mutex;
+    std::unordered_map<
+        std::string,
+        std::shared_future<std::shared_ptr<const VectorTrace>>>
+        entries;
+};
+
+TraceCache &
+traceCache()
+{
+    static TraceCache cache;
+    return cache;
+}
+
+std::string
+traceKey(const WorkloadSpec &spec, std::uint64_t refs)
+{
+    // Specs are fully determined by trace name, substitute program,
+    // architecture (fixes the machine layout and word size), and
+    // length; trace generation is deterministic in those inputs.
+    return strfmt("%s|%s|%d|%llu", spec.name.c_str(),
+                  spec.programId.c_str(),
+                  static_cast<int>(spec.profile.arch),
+                  static_cast<unsigned long long>(refs));
+}
+
+} // namespace
+
+std::shared_ptr<const VectorTrace>
+buildTraceShared(const WorkloadSpec &spec_in, std::uint64_t refs)
+{
+    if (refs == 0)
+        refs = defaultTraceLength();
+    const std::string key = traceKey(spec_in, refs);
+    TraceCache &cache = traceCache();
+
+    std::promise<std::shared_ptr<const VectorTrace>> promise;
+    std::shared_future<std::shared_ptr<const VectorTrace>> future;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(cache.mutex);
+        auto it = cache.entries.find(key);
+        if (it == cache.entries.end()) {
+            builder = true;
+            future = promise.get_future().share();
+            cache.entries.emplace(key, future);
+        } else {
+            future = it->second;
+        }
+    }
+
+    if (builder) {
+        try {
+            promise.set_value(std::make_shared<const VectorTrace>(
+                buildTrace(spec_in, refs)));
+        } catch (...) {
+            // Drop the failed entry so a later call can retry, then
+            // propagate to every waiter.
+            {
+                std::lock_guard<std::mutex> lock(cache.mutex);
+                cache.entries.erase(key);
+            }
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+void
+clearTraceCache()
+{
+    TraceCache &cache = traceCache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    cache.entries.clear();
 }
 
 } // namespace occsim

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Determinism tests for the parallel sweep engine: results must be
+ * bit-identical to the sequential SweepRunner — same per-config
+ * stats, same averageResults output — regardless of thread count.
+ * Uses real VM traces (the paper's workloads), not synthetic streams,
+ * so the full trace-build + simulate pipeline is covered.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "multi/parallel_sweep.hh"
+#include "workload/suites.hh"
+
+using namespace occsim;
+
+namespace {
+
+constexpr std::uint64_t kRefs = 30000;
+
+/** Bit-identical comparison of two SweepResults (exact doubles). */
+void
+expectIdentical(const SweepResult &a, const SweepResult &b)
+{
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.grossBytes, b.grossBytes);
+    EXPECT_EQ(a.missRatio, b.missRatio);
+    EXPECT_EQ(a.warmMissRatio, b.warmMissRatio);
+    EXPECT_EQ(a.trafficRatio, b.trafficRatio);
+    EXPECT_EQ(a.warmTrafficRatio, b.warmTrafficRatio);
+    EXPECT_EQ(a.nibbleTrafficRatio, b.nibbleTrafficRatio);
+    EXPECT_EQ(a.warmNibbleTrafficRatio, b.warmNibbleTrafficRatio);
+}
+
+} // namespace
+
+TEST(ParallelSweep, BitIdenticalToSequentialOverPaperGrid)
+{
+    const Suite suite = pdp11Suite();
+    const WorkloadSpec &spec = suite.traces.front();
+    const auto trace = buildTraceShared(spec, kRefs);
+    const auto configs = paperGrid(1024, suite.profile.wordSize);
+
+    VectorTrace sequential_copy = *trace;
+    SweepRunner sequential(configs);
+    sequential.run(sequential_copy);
+    const auto expected = sequential.results();
+
+    ThreadPool pool(4);
+    ParallelSweepRunner parallel(configs, &pool);
+    EXPECT_EQ(parallel.run(trace), trace->size());
+    const auto actual = parallel.results();
+
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        expectIdentical(actual[i], expected[i]);
+}
+
+TEST(ParallelSweep, RunSweepsMatchesSequentialSuitePass)
+{
+    const Suite suite = z8000CompilerSuite();
+    const auto configs = paperGrid(256, suite.profile.wordSize);
+
+    std::vector<std::shared_ptr<const VectorTrace>> traces;
+    for (const WorkloadSpec &spec : suite.traces)
+        traces.push_back(buildTraceShared(spec, kRefs));
+
+    // Reference: the historical sequential engine, one SweepRunner
+    // per trace.
+    std::vector<std::vector<SweepResult>> expected;
+    for (const auto &trace : traces) {
+        VectorTrace copy = *trace;
+        SweepRunner runner(configs);
+        runner.run(copy);
+        expected.push_back(runner.results());
+    }
+
+    ThreadPool pool(4);
+    const auto actual = runSweeps(traces, configs, &pool);
+
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t t = 0; t < expected.size(); ++t) {
+        ASSERT_EQ(actual[t].size(), expected[t].size());
+        for (std::size_t c = 0; c < expected[t].size(); ++c)
+            expectIdentical(actual[t][c], expected[t][c]);
+    }
+
+    // And the paper's unweighted averages are bit-identical too.
+    const auto expected_avg = averageResults(expected);
+    const auto actual_avg = averageResults(actual);
+    for (std::size_t c = 0; c < expected_avg.size(); ++c)
+        expectIdentical(actual_avg[c], expected_avg[c]);
+}
+
+TEST(ParallelSweep, RespectsMaxRefs)
+{
+    const Suite suite = pdp11Suite();
+    const auto trace = buildTraceShared(suite.traces.front(), kRefs);
+    const auto configs = paperGrid(64, suite.profile.wordSize);
+
+    ThreadPool pool(2);
+    ParallelSweepRunner parallel(configs, &pool);
+    EXPECT_EQ(parallel.run(trace, 500), 500u);
+
+    VectorTrace copy = *trace;
+    SweepRunner sequential(configs);
+    sequential.run(copy, 500);
+    const auto expected = sequential.results();
+    const auto actual = parallel.results();
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        expectIdentical(actual[i], expected[i]);
+}
+
+TEST(ParallelSweep, SharedTraceIsReusedNotRebuilt)
+{
+    const Suite suite = z8000Suite();
+    const WorkloadSpec &spec = suite.traces.front();
+    const auto first = buildTraceShared(spec, 5000);
+    const auto second = buildTraceShared(spec, 5000);
+    // Same spec and length: the VM ran once; both handles share the
+    // same immutable trace.
+    EXPECT_EQ(first.get(), second.get());
+    // A different length is a different cache entry.
+    const auto longer = buildTraceShared(spec, 6000);
+    EXPECT_NE(first.get(), longer.get());
+    EXPECT_EQ(longer->size(), 6000u);
+}
+
+TEST(ParallelSweep, RunSuiteMatchesManualSequentialAveraging)
+{
+    const Suite suite = z8000CompilerSuite();
+    const auto configs = table7Grid(64, suite.profile.wordSize);
+
+    const SuiteRun run = runSuite(suite, configs, kRefs);
+
+    std::vector<std::vector<SweepResult>> expected;
+    for (const WorkloadSpec &spec : suite.traces) {
+        VectorTrace trace = buildTrace(spec, kRefs);
+        SweepRunner runner(configs);
+        runner.run(trace);
+        expected.push_back(runner.results());
+    }
+    const auto expected_avg = averageResults(expected);
+
+    ASSERT_EQ(run.average.size(), expected_avg.size());
+    for (std::size_t c = 0; c < expected_avg.size(); ++c)
+        expectIdentical(run.average[c], expected_avg[c]);
+}

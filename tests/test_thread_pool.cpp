@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for the thread pool behind the parallel sweep engine:
+ * startup/shutdown, work distribution, exception propagation, and the
+ * size-1 inline (sequential) degenerate case.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+using namespace occsim;
+
+TEST(ThreadPool, StartupAndShutdown)
+{
+    // Construction spawns workers and destruction joins them; doing
+    // it repeatedly must neither hang nor leak tasks.
+    for (int round = 0; round < 3; ++round) {
+        ThreadPool pool(4);
+        EXPECT_EQ(pool.size(), 4u);
+    }
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&ran] { ++ran; });
+        // Destructor must run every queued task before joining.
+    }
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, SubmitRunsOnWorkerThread)
+{
+    ThreadPool pool(2);
+    std::thread::id worker_id;
+    pool.submit([&worker_id] { worker_id = std::this_thread::get_id(); })
+        .get();
+    EXPECT_NE(worker_id, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, SizeOnePoolRunsInline)
+{
+    // OCCSIM_THREADS=1 degenerate case: no worker threads at all.
+    ThreadPool pool(1);
+    std::thread::id task_id;
+    pool.submit([&task_id] { task_id = std::this_thread::get_id(); })
+        .get();
+    EXPECT_EQ(task_id, std::this_thread::get_id());
+
+    std::vector<std::size_t> order;
+    pool.parallelFor(5, [&order](std::size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallelFor(kN, [&hits](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForDistributesAcrossThreads)
+{
+    ThreadPool pool(4);
+    std::mutex mutex;
+    std::set<std::thread::id> ids;
+    pool.parallelFor(256, [&](std::size_t) {
+        // Enough iterations that with 3 helpers + the caller at least
+        // two distinct threads must claim work.
+        std::lock_guard<std::mutex> lock(mutex);
+        ids.insert(std::this_thread::get_id());
+    });
+    EXPECT_GE(ids.size(), 1u);
+    EXPECT_LE(ids.size(), 4u);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit([] {
+        throw std::runtime_error("task failed");
+    });
+    EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        pool.parallelFor(100,
+                         [&ran](std::size_t i) {
+                             ++ran;
+                             if (i == 3)
+                                 throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+    // Remaining iterations are abandoned, not required to run.
+    EXPECT_GE(ran.load(), 1);
+    EXPECT_LE(ran.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForZeroAndOne)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, [&calls](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallelFor(1, [&calls](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ConfiguredThreadCountIsPositive)
+{
+    EXPECT_GE(configuredThreadCount(), 1u);
+}
+
+TEST(ThreadPool, NestedParallelForMakesProgress)
+{
+    // A parallelFor body issuing its own parallelFor must not
+    // deadlock even when every worker is busy: callers participate.
+    ThreadPool pool(2);
+    std::atomic<int> inner{0};
+    pool.parallelFor(4, [&](std::size_t) {
+        pool.parallelFor(4, [&inner](std::size_t) { ++inner; });
+    });
+    EXPECT_EQ(inner.load(), 16);
+}
