@@ -1,6 +1,7 @@
 #include "multi/parallel_sweep.hh"
 
 #include <algorithm>
+#include <functional>
 
 #include "util/logging.hh"
 
@@ -14,16 +15,119 @@ poolOrGlobal(ThreadPool *pool)
     return pool != nullptr ? *pool : globalThreadPool();
 }
 
+/**
+ * Partition config indices for the Auto engine policy: eligible
+ * configs grouped by block size (first-appearance order, so the
+ * partition is deterministic), the rest listed for direct simulation.
+ */
+struct ConfigPartition
+{
+    std::vector<std::size_t> direct;
+    std::vector<std::uint32_t> groupBlockSize;
+    std::vector<std::vector<std::size_t>> groups;
+};
+
+ConfigPartition
+partitionConfigs(const std::vector<CacheConfig> &configs,
+                 SweepEngine engine)
+{
+    ConfigPartition part;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        if (engine == SweepEngine::DirectOnly ||
+            !singlePassEligible(configs[i])) {
+            part.direct.push_back(i);
+            continue;
+        }
+        const std::uint32_t block = configs[i].blockSize;
+        std::size_t g = part.groups.size();
+        for (std::size_t k = 0; k < part.groupBlockSize.size(); ++k) {
+            if (part.groupBlockSize[k] == block) {
+                g = k;
+                break;
+            }
+        }
+        if (g == part.groups.size()) {
+            part.groupBlockSize.push_back(block);
+            part.groups.emplace_back();
+        }
+        part.groups[g].push_back(i);
+    }
+    return part;
+}
+
+std::vector<CacheConfig>
+selectConfigs(const std::vector<CacheConfig> &configs,
+              const std::vector<std::size_t> &indices)
+{
+    std::vector<CacheConfig> out;
+    out.reserve(indices.size());
+    for (const std::size_t i : indices)
+        out.push_back(configs[i]);
+    return out;
+}
+
 } // namespace
 
 ParallelSweepRunner::ParallelSweepRunner(
-    const std::vector<CacheConfig> &configs, ThreadPool *pool)
-    : pool_(pool)
+    const std::vector<CacheConfig> &configs, ThreadPool *pool,
+    SweepEngine engine)
+    : pool_(pool), configs_(configs), routes_(configs.size())
 {
-    occsim_assert(!configs.empty(), "sweep needs at least one config");
-    caches_.reserve(configs.size());
-    for (const CacheConfig &config : configs)
-        caches_.push_back(std::make_unique<Cache>(config));
+    occsim_assert(!configs_.empty(), "sweep needs at least one config");
+
+    const ConfigPartition part = partitionConfigs(configs_, engine);
+
+    directIndex_ = part.direct;
+    caches_.reserve(directIndex_.size());
+    for (const std::size_t i : directIndex_) {
+        routes_[i].engine = -1;
+        routes_[i].slot = static_cast<std::uint32_t>(caches_.size());
+        caches_.push_back(std::make_unique<Cache>(configs_[i]));
+    }
+
+    engines_.reserve(part.groups.size());
+    engineIndex_ = part.groups;
+    for (std::size_t g = 0; g < part.groups.size(); ++g) {
+        for (std::size_t k = 0; k < part.groups[g].size(); ++k) {
+            const std::size_t i = part.groups[g][k];
+            routes_[i].engine = static_cast<std::int32_t>(g);
+            routes_[i].slot = static_cast<std::uint32_t>(k);
+        }
+        engines_.push_back(std::make_unique<SinglePassEngine>(
+            selectConfigs(configs_, part.groups[g])));
+    }
+}
+
+bool
+ParallelSweepRunner::fastPathed(std::size_t i) const
+{
+    occsim_assert(i < routes_.size(), "config index out of range");
+    return routes_[i].engine >= 0;
+}
+
+std::size_t
+ParallelSweepRunner::fastPathCount() const
+{
+    return configs_.size() - directIndex_.size();
+}
+
+const Cache &
+ParallelSweepRunner::cache(std::size_t i) const
+{
+    occsim_assert(i < routes_.size(), "config index out of range");
+    occsim_assert(routes_[i].engine < 0,
+                  "config %zu (%s) is served by the single-pass "
+                  "engine and has no Cache; construct the runner "
+                  "with SweepEngine::DirectOnly to keep one",
+                  i, configs_[i].shortName().c_str());
+    return *caches_[routes_[i].slot];
+}
+
+Cache &
+ParallelSweepRunner::cache(std::size_t i)
+{
+    return const_cast<Cache &>(
+        static_cast<const ParallelSweepRunner *>(this)->cache(i));
 }
 
 std::uint64_t
@@ -37,16 +141,28 @@ ParallelSweepRunner::run(const std::shared_ptr<const VectorTrace> &trace,
             ? refs.size()
             : std::min<std::uint64_t>(max_refs, refs.size());
 
-    // Each index is one whole cache: the worker that claims it drains
-    // the full trace into that cache, then the next unclaimed one.
-    // Caches are touched by exactly one worker, the trace by all of
-    // them — read-only.
+    // One task per direct cache plus one per (engine, level): the
+    // worker that claims a task drains the full trace into it. Caches
+    // and engine levels are touched by exactly one worker each, the
+    // trace by all of them — read-only.
+    std::vector<std::pair<std::size_t, std::size_t>> level_tasks;
+    for (std::size_t e = 0; e < engines_.size(); ++e) {
+        for (std::size_t l = 0; l < engines_[e]->numLevels(); ++l)
+            level_tasks.emplace_back(e, l);
+    }
+
+    const std::size_t direct_tasks = caches_.size();
     poolOrGlobal(pool_).parallelFor(
-        caches_.size(), [&](std::size_t i) {
-            Cache &cache = *caches_[i];
-            for (std::uint64_t r = 0; r < limit; ++r)
-                cache.access(refs[r]);
-            cache.finalizeResidencies();
+        direct_tasks + level_tasks.size(), [&](std::size_t task) {
+            if (task < direct_tasks) {
+                Cache &cache = *caches_[task];
+                for (std::uint64_t r = 0; r < limit; ++r)
+                    cache.access(refs[r]);
+                cache.finalizeResidencies();
+            } else {
+                const auto [e, l] = level_tasks[task - direct_tasks];
+                engines_[e]->runLevel(l, *trace, max_refs);
+            }
         });
     return limit;
 }
@@ -54,16 +170,21 @@ ParallelSweepRunner::run(const std::shared_ptr<const VectorTrace> &trace,
 std::vector<SweepResult>
 ParallelSweepRunner::results() const
 {
-    std::vector<SweepResult> out;
-    out.reserve(caches_.size());
-    for (const auto &cache : caches_)
-        out.push_back(summarizeCache(*cache));
+    std::vector<SweepResult> out(configs_.size());
+    for (std::size_t j = 0; j < caches_.size(); ++j)
+        out[directIndex_[j]] = summarizeCache(*caches_[j]);
+    for (std::size_t e = 0; e < engines_.size(); ++e) {
+        const auto engine_results = engines_[e]->results();
+        for (std::size_t k = 0; k < engine_results.size(); ++k)
+            out[engineIndex_[e][k]] = engine_results[k];
+    }
     return out;
 }
 
 std::vector<std::vector<SweepResult>>
 runSweeps(const std::vector<std::shared_ptr<const VectorTrace>> &traces,
-          const std::vector<CacheConfig> &configs, ThreadPool *pool)
+          const std::vector<CacheConfig> &configs, ThreadPool *pool,
+          SweepEngine engine)
 {
     occsim_assert(!traces.empty(), "no traces to sweep");
     occsim_assert(!configs.empty(), "sweep needs at least one config");
@@ -71,21 +192,63 @@ runSweeps(const std::vector<std::shared_ptr<const VectorTrace>> &traces,
     std::vector<std::vector<SweepResult>> out(
         traces.size(), std::vector<SweepResult>(configs.size()));
 
-    // Flatten to one task per (trace, config) pair for maximum
-    // parallelism; every task writes only its own result slot. Task
-    // order is trace-major, so a size-1 pool reproduces the
-    // sequential engine's exact execution order.
-    const std::size_t num_configs = configs.size();
+    const ConfigPartition part = partitionConfigs(configs, engine);
+
+    // Fast path: one single-pass engine per (trace, block-size
+    // group), parallelized one task per (engine, set-count level).
+    std::vector<std::vector<CacheConfig>> group_configs;
+    group_configs.reserve(part.groups.size());
+    for (const auto &group : part.groups)
+        group_configs.push_back(selectConfigs(configs, group));
+
+    const std::size_t num_groups = part.groups.size();
+    std::vector<std::unique_ptr<SinglePassEngine>> engines(
+        traces.size() * num_groups);
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+        for (std::size_t g = 0; g < num_groups; ++g) {
+            engines[t * num_groups + g] =
+                std::make_unique<SinglePassEngine>(group_configs[g]);
+        }
+    }
+
+    // Flatten everything to one task list: every (trace, direct
+    // config) pair plus every (trace, group, level) triple. Each task
+    // writes only its own caches/levels, so scheduling order cannot
+    // affect the results.
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(traces.size() *
+                  (part.direct.size() + num_groups));
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+        for (const std::size_t c : part.direct) {
+            tasks.push_back([&, t, c] {
+                Cache cache(configs[c]);
+                for (const MemRef &ref : traces[t]->refs())
+                    cache.access(ref);
+                cache.finalizeResidencies();
+                out[t][c] = summarizeCache(cache);
+            });
+        }
+        for (std::size_t g = 0; g < num_groups; ++g) {
+            SinglePassEngine &eng = *engines[t * num_groups + g];
+            for (std::size_t l = 0; l < eng.numLevels(); ++l) {
+                tasks.push_back([&eng, &traces, t, l] {
+                    eng.runLevel(l, *traces[t]);
+                });
+            }
+        }
+    }
+
     poolOrGlobal(pool).parallelFor(
-        traces.size() * num_configs, [&](std::size_t task) {
-            const std::size_t t = task / num_configs;
-            const std::size_t c = task % num_configs;
-            Cache cache(configs[c]);
-            for (const MemRef &ref : traces[t]->refs())
-                cache.access(ref);
-            cache.finalizeResidencies();
-            out[t][c] = summarizeCache(cache);
-        });
+        tasks.size(), [&](std::size_t i) { tasks[i](); });
+
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+        for (std::size_t g = 0; g < num_groups; ++g) {
+            const auto results =
+                engines[t * num_groups + g]->results();
+            for (std::size_t k = 0; k < results.size(); ++k)
+                out[t][part.groups[g][k]] = results[k];
+        }
+    }
     return out;
 }
 

@@ -12,10 +12,21 @@
  * parallelize across traces (supplied by the buildTraceShared cache,
  * so each workload executes the VM exactly once).
  *
- * Determinism guarantee: a cache observes exactly the same reference
- * sequence no matter how the work is scheduled, so every SweepResult
- * is bit-identical to the sequential SweepRunner's. OCCSIM_THREADS=1
- * degenerates to inline sequential execution.
+ * On top of PR 1's parallelism, configurations that are pure per-set
+ * LRU stacks (LRU + demand fetch + sub-block == block +
+ * write-allocate, see singlePassEligible) are routed to the
+ * single-pass SinglePassEngine by default: one engine per (trace,
+ * block size) prices every such config in one trace pass per distinct
+ * set count, instead of one full pass per config. Everything else —
+ * sub-block placement, load-forward, prefetch, no-allocate writes,
+ * FIFO/random replacement — falls back to direct Cache simulation
+ * unchanged. SweepEngine::DirectOnly forces the fallback everywhere
+ * (used by tests and benchmarks as the reference engine).
+ *
+ * Determinism guarantee: results are bit-identical to the sequential
+ * SweepRunner's no matter how the work is scheduled and no matter
+ * which engine served a config. OCCSIM_THREADS=1 degenerates to
+ * inline sequential execution.
  */
 
 #ifndef OCCSIM_MULTI_PARALLEL_SWEEP_HH
@@ -24,59 +35,107 @@
 #include <memory>
 #include <vector>
 
+#include "multi/single_pass.hh"
 #include "multi/sweep_runner.hh"
 #include "util/thread_pool.hh"
 
 namespace occsim {
+
+/** Engine selection policy for parallel sweeps. */
+enum class SweepEngine : std::uint8_t {
+    /** Single-pass fast path for eligible configs, direct Cache
+     *  simulation for the rest (the default). */
+    Auto = 0,
+    /** Direct per-config Cache simulation for every config. */
+    DirectOnly = 1,
+};
 
 /**
  * Runs many cache configurations over one shared immutable trace,
  * partitioned across a thread pool. Drop-in parallel counterpart of
  * SweepRunner: same construction, same results() contract, same
  * (bit-identical) numbers.
+ *
+ * With SweepEngine::Auto (the default), single-pass eligible configs
+ * have no backing Cache — cache(i) panics for them (probe-style
+ * callers that need a Cache for every config should construct with
+ * SweepEngine::DirectOnly). run() may be called repeatedly; both
+ * engines accumulate as if the traces were concatenated.
  */
 class ParallelSweepRunner
 {
   public:
     /**
-     * @param configs one cache is instantiated per entry.
+     * @param configs one result slot per entry.
      * @param pool pool to run on; nullptr means globalThreadPool().
+     * @param engine fast-path policy (Auto routes eligible configs to
+     *        the single-pass engine).
      */
     explicit ParallelSweepRunner(const std::vector<CacheConfig> &configs,
-                                 ThreadPool *pool = nullptr);
+                                 ThreadPool *pool = nullptr,
+                                 SweepEngine engine = SweepEngine::Auto);
 
     /**
      * Feed up to @p maxRefs references (0 = all) of @p trace to every
-     * cache and finalize residencies. Each worker walks the trace
-     * with its own cursor; the trace itself is never modified.
-     * @return references consumed per cache.
+     * cache/engine and finalize residencies. Each worker walks the
+     * trace with its own cursor; the trace itself is never modified.
+     * @return references consumed per config.
      */
     std::uint64_t run(const std::shared_ptr<const VectorTrace> &trace,
                       std::uint64_t max_refs = 0);
 
-    std::size_t size() const { return caches_.size(); }
-    const Cache &cache(std::size_t i) const { return *caches_[i]; }
-    Cache &cache(std::size_t i) { return *caches_[i]; }
+    std::size_t size() const { return configs_.size(); }
+
+    /** @return true when config @p i is served by the single-pass
+     *  engine (no backing Cache exists). */
+    bool fastPathed(std::size_t i) const;
+
+    /** Number of configs served by the single-pass engine. */
+    std::size_t fastPathCount() const;
+
+    /** Backing Cache of config @p i; panics if fastPathed(i). */
+    const Cache &cache(std::size_t i) const;
+    Cache &cache(std::size_t i);
 
     /** Summaries in config order (same contract as SweepRunner). */
     std::vector<SweepResult> results() const;
 
   private:
+    /** Where a config's simulation lives: a direct Cache
+     *  (engine < 0, slot into caches_) or a single-pass engine
+     *  (slot into that engine's config list). */
+    struct Route
+    {
+        std::int32_t engine = -1;
+        std::uint32_t slot = 0;
+    };
+
     ThreadPool *pool_;
+    std::vector<CacheConfig> configs_;
+    std::vector<Route> routes_;
     std::vector<std::unique_ptr<Cache>> caches_;
+    /** caches_[j] simulates configs_[directIndex_[j]]. */
+    std::vector<std::size_t> directIndex_;
+    /** One engine per distinct eligible block size. */
+    std::vector<std::unique_ptr<SinglePassEngine>> engines_;
+    /** engineIndex_[e][k] = config index of engines_[e]'s k-th. */
+    std::vector<std::vector<std::size_t>> engineIndex_;
 };
 
 /**
  * Run every config over every trace — the full (trace, config) task
  * grid of a suite sweep — in parallel on @p pool (nullptr means
- * globalThreadPool()). @return per-trace result vectors,
- * out[t][c] for traces[t] x configs[c], bit-identical to driving a
- * sequential SweepRunner over each trace.
+ * globalThreadPool()). With SweepEngine::Auto, eligible configs run
+ * on one single-pass engine per (trace, block size), parallelized at
+ * (trace, set-count level) granularity. @return per-trace result
+ * vectors, out[t][c] for traces[t] x configs[c], bit-identical to
+ * driving a sequential SweepRunner over each trace.
  */
 std::vector<std::vector<SweepResult>>
 runSweeps(const std::vector<std::shared_ptr<const VectorTrace>> &traces,
           const std::vector<CacheConfig> &configs,
-          ThreadPool *pool = nullptr);
+          ThreadPool *pool = nullptr,
+          SweepEngine engine = SweepEngine::Auto);
 
 } // namespace occsim
 

@@ -1,0 +1,350 @@
+#include "multi/single_pass.hh"
+
+#include <algorithm>
+
+#include "cache/cache_geometry.hh"
+#include "util/logging.hh"
+
+namespace occsim {
+
+namespace {
+
+/** Lowest set bit of a 1-based Fenwick position. */
+inline std::size_t
+lowbit(std::size_t i)
+{
+    return i & (~i + 1);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- //
+// TouchTimeSet
+// ---------------------------------------------------------------- //
+
+std::uint64_t
+TouchTimeSet::prefix(std::size_t pos) const
+{
+    std::uint64_t sum = 0;
+    for (; pos > 0; pos -= lowbit(pos))
+        sum += tree_[pos];
+    return sum;
+}
+
+void
+TouchTimeSet::append(std::uint64_t t)
+{
+    times_.push_back(t);
+    alive_.push_back(1);
+    ++live_;
+    const std::size_t n = times_.size();
+    if (tree_.empty())
+        tree_.push_back(0);  // 1-based; slot 0 unused
+    // The Fenwick node for position n covers (n - lowbit(n), n].
+    // Every entry ever inserted sits at a position <= n, so the node's
+    // count is the total live count minus the live entries in
+    // [1, n - lowbit(n)] — a plain point-update would miss the dead
+    // entries recorded before the tree grew this far.
+    tree_.push_back(
+        static_cast<std::uint32_t>(live_ - prefix(n - lowbit(n))));
+}
+
+void
+TouchTimeSet::insertNew(std::uint64_t t)
+{
+    append(t);
+}
+
+std::uint64_t
+TouchTimeSet::touch(std::uint64_t prev, std::uint64_t t)
+{
+    // MRU fast path: the back entry is always live (entries die only
+    // when superseded by a strictly newer maximum), and locality makes
+    // re-touching the most recent block overwhelmingly common.
+    if (times_.back() == prev) {
+        times_.back() = t;
+        return 0;
+    }
+
+    const auto it = std::lower_bound(times_.begin(), times_.end(), prev);
+    const std::size_t pos =
+        static_cast<std::size_t>(it - times_.begin()) + 1;
+    const std::uint64_t above = live_ - prefix(pos);
+
+    alive_[pos - 1] = 0;
+    --live_;
+    for (std::size_t i = pos; i < tree_.size(); i += lowbit(i))
+        --tree_[i];
+
+    append(t);
+    maybeCompact();
+    return above;
+}
+
+void
+TouchTimeSet::maybeCompact()
+{
+    if (times_.size() < 64 || times_.size() <= 2 * live_)
+        return;
+    std::vector<std::uint64_t> survivors;
+    survivors.reserve(live_);
+    for (std::size_t i = 0; i < times_.size(); ++i) {
+        if (alive_[i])
+            survivors.push_back(times_[i]);
+    }
+    times_ = std::move(survivors);
+    alive_.assign(times_.size(), 1);
+    // All-alive Fenwick: node i counts its whole range.
+    tree_.assign(times_.size() + 1, 0);
+    for (std::size_t i = 1; i <= times_.size(); ++i)
+        tree_[i] = static_cast<std::uint32_t>(lowbit(i));
+}
+
+// ---------------------------------------------------------------- //
+// SetLruTracker
+// ---------------------------------------------------------------- //
+
+SetLruTracker::SetLruTracker(std::uint32_t num_sets)
+    : mask_(num_sets - 1), sets_(num_sets)
+{
+    occsim_assert(num_sets > 0 && isPowerOfTwo(num_sets),
+                  "set count must be a power of two");
+}
+
+std::uint64_t
+SetLruTracker::touch(Addr block)
+{
+    const std::uint64_t t = ++clock_;
+    TouchTimeSet &set = sets_[block & mask_];
+    const auto [it, inserted] = lastTouch_.try_emplace(block, t);
+    if (inserted) {
+        set.insertNew(t);
+        return kFirstTouch;
+    }
+    const std::uint64_t prev = it->second;
+    it->second = t;
+    return set.touch(prev, t) + 1;
+}
+
+// ---------------------------------------------------------------- //
+// SinglePassEngine
+// ---------------------------------------------------------------- //
+
+bool
+singlePassEligible(const CacheConfig &config)
+{
+    return config.replacement == ReplacementPolicy::LRU &&
+           config.fetch == FetchPolicy::Demand &&
+           config.subBlockSize == config.blockSize &&
+           config.writeAllocate;
+}
+
+SinglePassEngine::SinglePassEngine(
+    const std::vector<CacheConfig> &configs)
+    : configs_(configs)
+{
+    occsim_assert(!configs_.empty(),
+                  "engine needs at least one config");
+    blockBits_ = floorLog2(configs_.front().blockSize);
+    configPoint_.reserve(configs_.size());
+
+    for (const CacheConfig &config : configs_) {
+        occsim_assert(singlePassEligible(config),
+                      "config %s is not single-pass eligible",
+                      config.shortName().c_str());
+        occsim_assert(config.blockSize == configs_.front().blockSize,
+                      "engine configs must share one block size");
+        const CacheGeometry geom(config);
+        const std::uint32_t sets = geom.numSets();
+        const std::uint32_t assoc = geom.assoc();
+
+        std::size_t li = levels_.size();
+        for (std::size_t l = 0; l < levels_.size(); ++l) {
+            if (levels_[l].numSets == sets) {
+                li = l;
+                break;
+            }
+        }
+        if (li == levels_.size())
+            levels_.emplace_back(sets);
+        Level &lv = levels_[li];
+
+        std::size_t pi = lv.points.size();
+        for (std::size_t p = 0; p < lv.points.size(); ++p) {
+            if (lv.points[p].assoc == assoc) {
+                pi = p;
+                break;
+            }
+        }
+        if (pi == lv.points.size()) {
+            GridPoint point;
+            point.assoc = assoc;
+            point.fills.assign(sets, 0);
+            lv.points.push_back(std::move(point));
+        }
+        configPoint_.emplace_back(li, pi);
+    }
+
+    for (Level &lv : levels_) {
+        std::uint32_t min_assoc = ~0u;
+        std::uint32_t max_assoc = 0;
+        for (const GridPoint &p : lv.points) {
+            min_assoc = std::min(min_assoc, p.assoc);
+            max_assoc = std::max(max_assoc, p.assoc);
+        }
+        lv.minAssoc = min_assoc;
+        lv.cap = max_assoc + 1;
+        lv.hist.assign(lv.cap + 1, 0);
+    }
+}
+
+std::uint32_t
+SinglePassEngine::levelSets(std::size_t level) const
+{
+    occsim_assert(level < levels_.size(), "level out of range");
+    return levels_[level].numSets;
+}
+
+std::uint64_t
+SinglePassEngine::runLevel(std::size_t level, const VectorTrace &trace,
+                          std::uint64_t max_refs)
+{
+    occsim_assert(level < levels_.size(), "level out of range");
+    Level &lv = levels_[level];
+    const std::vector<MemRef> &refs = trace.refs();
+    const std::uint64_t limit =
+        max_refs == 0
+            ? refs.size()
+            : std::min<std::uint64_t>(max_refs, refs.size());
+    const std::uint32_t block_bits = blockBits_;
+    const std::uint64_t cap = lv.cap;
+    const std::uint64_t min_assoc = lv.minAssoc;
+
+    for (std::uint64_t r = 0; r < limit; ++r) {
+        const MemRef &ref = refs[r];
+        const Addr block = ref.addr >> block_bits;
+        const bool is_write = ref.isWrite();
+        const std::uint64_t d = lv.tracker.touch(block);
+
+        if (!is_write) {
+            ++lv.counted;
+            if (ref.isInstruction())
+                ++lv.ifetches;
+        } else {
+            ++lv.writes;
+        }
+
+        if (d != SetLruTracker::kFirstTouch) {
+            if (!is_write)
+                ++lv.hist[d < cap ? d : cap];
+            if (d <= min_assoc)
+                continue;  // hit at every grid point of this level
+        } else if (!is_write) {
+            ++lv.firstTouches;
+        }
+
+        const std::uint32_t set = lv.tracker.setOf(block);
+        const bool is_ifetch = ref.isInstruction();
+        for (GridPoint &p : lv.points) {
+            if (d != SetLruTracker::kFirstTouch && d <= p.assoc)
+                continue;  // hit at this associativity
+            if (is_write) {
+                ++p.writeMisses;
+            } else {
+                ++p.misses;
+                if (is_ifetch)
+                    ++p.ifetchMisses;
+            }
+            // A miss is cold exactly while its set still has
+            // never-filled frames: invalid ways are filled before the
+            // replacement victim, and both read and write misses
+            // allocate (write-allocate is an eligibility condition),
+            // so the first `assoc` misses of a set each claim a fresh
+            // frame. Only counted (read) misses are charged as cold
+            // in the stats, matching Cache exactly.
+            std::uint32_t &filled = p.fills[set];
+            if (filled < p.assoc) {
+                ++filled;
+                if (!is_write)
+                    ++p.coldMisses;
+            }
+        }
+    }
+    lv.refs += limit;
+    return limit;
+}
+
+std::uint64_t
+SinglePassEngine::processTrace(const VectorTrace &trace,
+                               std::uint64_t max_refs)
+{
+    std::uint64_t consumed = 0;
+    for (std::size_t l = 0; l < levels_.size(); ++l)
+        consumed = runLevel(l, trace, max_refs);
+    return consumed;
+}
+
+std::vector<SweepResult>
+SinglePassEngine::results() const
+{
+    for (const Level &lv : levels_) {
+        occsim_assert(lv.refs == levels_.front().refs,
+                      "levels observed different reference counts");
+    }
+    std::vector<SweepResult> out;
+    out.reserve(configs_.size());
+    for (std::size_t i = 0; i < configs_.size(); ++i) {
+        const CacheConfig &config = configs_[i];
+        const auto [li, pi] = configPoint_[i];
+        const Level &lv = levels_[li];
+        const GridPoint &p = lv.points[pi];
+        const CacheGeometry geom(config);
+        const std::uint32_t words = geom.wordsPerSubBlock();
+        CacheStats stats(geom.subBlocksPerBlock(),
+                         geom.subBlocksPerBlock() * words);
+        stats.loadDemandRun(lv.counted, lv.ifetches, p.misses,
+                            p.ifetchMisses, p.coldMisses, lv.writes,
+                            p.writeMisses,
+                            config.write == WritePolicy::WriteThrough,
+                            words);
+        out.push_back(summarizeStats(config, geom.grossBytes(), stats));
+    }
+    return out;
+}
+
+SinglePassEngine::Counts
+SinglePassEngine::countsFor(std::size_t config_index) const
+{
+    occsim_assert(config_index < configs_.size(),
+                  "config index out of range");
+    const auto [li, pi] = configPoint_[config_index];
+    const Level &lv = levels_[li];
+    const GridPoint &p = lv.points[pi];
+    Counts counts;
+    counts.accesses = lv.counted;
+    counts.misses = p.misses;
+    counts.coldMisses = p.coldMisses;
+    counts.ifetchAccesses = lv.ifetches;
+    counts.ifetchMisses = p.ifetchMisses;
+    counts.writeAccesses = lv.writes;
+    counts.writeMisses = p.writeMisses;
+    return counts;
+}
+
+const std::vector<std::uint64_t> &
+SinglePassEngine::distanceHistogram(std::uint32_t num_sets) const
+{
+    for (const Level &lv : levels_) {
+        if (lv.numSets == num_sets)
+            return lv.hist;
+    }
+    panic("no level with %u sets in this engine", num_sets);
+}
+
+std::uint64_t
+SinglePassEngine::refs() const
+{
+    return levels_.front().refs;
+}
+
+} // namespace occsim

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Single-pass multi-configuration sweep engine (generalized stack
+ * simulation).
+ *
+ * The paper chose LRU precisely because "LRU permits more efficient
+ * simulation" (Mattson et al., reference [16]): one pass over a trace
+ * can price every cache size at once. This engine generalizes that
+ * observation to the full (net size, associativity) grid of a sweep
+ * at a fixed block size, for configurations where the Cache model is
+ * a pure per-set LRU stack:
+ *
+ *     LRU replacement + demand fetch + sub-block == block
+ *     + write-allocate
+ *
+ * Under those conditions a reference hits a cache with S sets and
+ * associativity A exactly when fewer than A distinct blocks of its
+ * set have been touched since its own last touch (the per-set LRU
+ * stack-distance inclusion property), and the miss is a cold miss
+ * exactly when it is among the first A fills of its set. Both facts
+ * are config-independent functions of the reference stream, so ONE
+ * pass per set count yields exact cold-start and warm-start miss
+ * counts — and, because demand fetch moves exactly one block per
+ * miss and write-through stores exactly one word per write, the
+ * paper's traffic metrics — for every grid point at once.
+ *
+ * Set refinement ties the grid together: the set index for S sets is
+ * a suffix of the index for 2S sets (block & (S-1)), so every level
+ * shares the same block stream and differs only in how many index
+ * bits it keeps. Each level maintains per-set last-touch times in an
+ * order-statistics structure (TouchTimeSet: a sorted time array plus
+ * a Fenwick tree of live counts), replacing the O(depth) linear
+ * stack scan of the classic implementation with an O(log depth)
+ * rank query per reference.
+ *
+ * Results are bit-identical to direct Cache simulation: the engine's
+ * totals are loaded into a CacheStats (CacheStats::loadDemandRun)
+ * and summarized through the very same derived-metric code paths
+ * (summarizeStats) the direct engines use.
+ */
+
+#ifndef OCCSIM_MULTI_SINGLE_PASS_HH
+#define OCCSIM_MULTI_SINGLE_PASS_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "multi/sweep_runner.hh"
+#include "trace/trace.hh"
+#include "util/bitops.hh"
+
+namespace occsim {
+
+/**
+ * Order-statistics multiset of block last-touch times.
+ *
+ * Times are inserted in strictly increasing order, so the backing
+ * array stays sorted by construction; a Fenwick tree over array
+ * positions counts the live (not yet superseded) entries, giving
+ * O(log n) rank queries and updates where the classic LRU stack
+ * needs an O(n) scan. Superseded entries are dropped lazily: the
+ * array is compacted once more than half of it is dead, so memory
+ * stays proportional to the live set.
+ */
+class TouchTimeSet
+{
+  public:
+    /** Insert @p t, which must exceed every time ever inserted. */
+    void insertNew(std::uint64_t t);
+
+    /**
+     * Re-touch: supersede the live entry @p prev with the new
+     * maximal time @p t.
+     * @return the number of live entries greater than @p prev — the
+     *         number of distinct blocks touched since, i.e. the
+     *         0-based LRU stack depth.
+     */
+    std::uint64_t touch(std::uint64_t prev, std::uint64_t t);
+
+    /** Number of live entries (distinct blocks tracked). */
+    std::uint64_t live() const { return live_; }
+
+  private:
+    /** Live entries among positions [1, pos] (1-based, inclusive). */
+    std::uint64_t prefix(std::size_t pos) const;
+
+    /** Append @p t as a live entry (t beyond every present time). */
+    void append(std::uint64_t t);
+
+    /** Drop dead entries once they dominate the array. */
+    void maybeCompact();
+
+    std::vector<std::uint64_t> times_;  ///< sorted; live and dead
+    std::vector<std::uint8_t> alive_;   ///< parallel liveness flags
+    std::vector<std::uint32_t> tree_;   ///< 1-based Fenwick of live counts
+    std::uint64_t live_ = 0;
+};
+
+/**
+ * Per-set LRU stack-distance tracker: one shared hash map of block
+ * last-touch times plus one TouchTimeSet per set. This is the
+ * O(log depth) replacement for the linear touchStack scan, shared by
+ * the Mattson analyzers (num_sets fixed) and the single-pass sweep
+ * engine (one tracker per set-count level).
+ */
+class SetLruTracker
+{
+  public:
+    /** Distance returned for the first touch of a block. */
+    static constexpr std::uint64_t kFirstTouch = ~0ULL;
+
+    /** @param num_sets power-of-two set count. */
+    explicit SetLruTracker(std::uint32_t num_sets);
+
+    /**
+     * Record a touch of @p block (a block address, i.e. addr >>
+     * log2(blockSize)).
+     * @return the 1-based LRU stack distance of the block within its
+     *         set, or kFirstTouch if never seen before.
+     */
+    std::uint64_t touch(Addr block);
+
+    std::uint32_t numSets() const
+    {
+        return static_cast<std::uint32_t>(mask_) + 1;
+    }
+
+    /** Set index of @p block at this tracker's set count. */
+    std::uint32_t setOf(Addr block) const
+    {
+        return static_cast<std::uint32_t>(block & mask_);
+    }
+
+    /** Distinct blocks seen so far. */
+    std::uint64_t distinctBlocks() const { return lastTouch_.size(); }
+
+  private:
+    Addr mask_;
+    std::vector<TouchTimeSet> sets_;
+    std::unordered_map<Addr, std::uint64_t> lastTouch_;
+    std::uint64_t clock_ = 0;
+};
+
+/**
+ * @return true when @p config can be priced by the single-pass
+ * engine: LRU + demand fetch + sub-block == block + write-allocate.
+ * (The write policy is free: SweepResult metrics count reads only,
+ * and tag/LRU state is write-policy independent.)
+ */
+bool singlePassEligible(const CacheConfig &config);
+
+/**
+ * The single-pass sweep engine. Construction takes the configs of
+ * one sweep — all singlePassEligible and sharing one block size —
+ * and groups them into LEVELS, one per distinct (effective) set
+ * count; each level holds one grid POINT per distinct (set count,
+ * effective associativity) pair. One pass over a trace per level
+ * produces exact counted miss, cold-miss, write-miss and traffic
+ * totals for every point at once.
+ *
+ * Levels are fully independent (each owns its tracker and counters),
+ * so callers may run them concurrently — runLevel(i, trace) from
+ * one task per level — or call processTrace for the sequential
+ * all-levels convenience. Each level must see the trace exactly
+ * once.
+ *
+ * Exactness caveat: eviction-side bookkeeping that SweepResult does
+ * not consume (residency histograms, copy-back write-back traffic)
+ * is not modelled; write-through store traffic and all read-side
+ * metrics are exact.
+ */
+class SinglePassEngine
+{
+  public:
+    /** Raw per-config totals (for tests and instrumentation). */
+    struct Counts
+    {
+        std::uint64_t accesses = 0;       ///< counted (read) refs
+        std::uint64_t misses = 0;         ///< counted misses
+        std::uint64_t coldMisses = 0;     ///< counted cold misses
+        std::uint64_t ifetchAccesses = 0;
+        std::uint64_t ifetchMisses = 0;
+        std::uint64_t writeAccesses = 0;
+        std::uint64_t writeMisses = 0;
+    };
+
+    /**
+     * @param configs the sweep's fast-path configs; all must satisfy
+     * singlePassEligible and share one block size.
+     */
+    explicit SinglePassEngine(const std::vector<CacheConfig> &configs);
+
+    std::size_t size() const { return configs_.size(); }
+    std::uint32_t blockSize() const { return 1u << blockBits_; }
+
+    /** Number of set-count levels (independent trace passes). */
+    std::size_t numLevels() const { return levels_.size(); }
+
+    /** Set count of level @p level. */
+    std::uint32_t levelSets(std::size_t level) const;
+
+    /**
+     * Drive level @p level over @p trace (up to @p maxRefs refs,
+     * 0 = all). Levels are independent; distinct levels may run
+     * concurrently. A level can only be run once.
+     * @return references consumed.
+     */
+    std::uint64_t runLevel(std::size_t level, const VectorTrace &trace,
+                           std::uint64_t max_refs = 0);
+
+    /** Run every level sequentially (convenience). */
+    std::uint64_t processTrace(const VectorTrace &trace,
+                               std::uint64_t max_refs = 0);
+
+    /**
+     * Summaries in config order, bit-identical to direct Cache
+     * simulation of each config over the same references. Requires
+     * every level to have run over the same trace.
+     */
+    std::vector<SweepResult> results() const;
+
+    /** Raw totals for config @p config_index (tests). */
+    Counts countsFor(std::size_t config_index) const;
+
+    /**
+     * Counted-reference LRU stack-distance histogram of the level
+     * with @p num_sets sets: hist[d] = counted refs at per-set
+     * distance d, for d in [1, cap); hist[cap] pools all deeper
+     * reuses, where cap = max associativity of the level + 1.
+     * hist[0] is unused. First touches are not in the histogram.
+     */
+    const std::vector<std::uint64_t> &
+    distanceHistogram(std::uint32_t num_sets) const;
+
+    /** References consumed per level (0 before running). */
+    std::uint64_t refs() const;
+
+  private:
+    /** One (set count, associativity) grid point. */
+    struct GridPoint
+    {
+        std::uint32_t assoc = 0;
+        std::uint64_t misses = 0;        ///< counted misses
+        std::uint64_t coldMisses = 0;    ///< counted cold misses
+        std::uint64_t ifetchMisses = 0;
+        std::uint64_t writeMisses = 0;
+        /** Per-set fill count, saturated at assoc: a miss is cold
+         *  while its set still has never-filled frames. */
+        std::vector<std::uint32_t> fills;
+    };
+
+    /** One set count: a tracker plus every point at that count. */
+    struct Level
+    {
+        std::uint32_t numSets = 0;
+        std::uint32_t minAssoc = 0;  ///< fast hit-everywhere cutoff
+        std::uint32_t cap = 0;       ///< histogram pooling depth
+        SetLruTracker tracker;
+        std::vector<GridPoint> points;
+        std::vector<std::uint64_t> hist;
+        std::uint64_t firstTouches = 0;  ///< counted first touches
+        std::uint64_t refs = 0;
+        std::uint64_t counted = 0;
+        std::uint64_t ifetches = 0;
+        std::uint64_t writes = 0;
+
+        explicit Level(std::uint32_t num_sets)
+            : numSets(num_sets), tracker(num_sets)
+        {
+        }
+    };
+
+    std::vector<CacheConfig> configs_;
+    std::uint32_t blockBits_;
+    std::vector<Level> levels_;
+    /** Per config: (level index, point index). */
+    std::vector<std::pair<std::size_t, std::size_t>> configPoint_;
+};
+
+} // namespace occsim
+
+#endif // OCCSIM_MULTI_SINGLE_PASS_HH

@@ -9,28 +9,21 @@ namespace occsim {
 namespace {
 
 /**
- * Core stack update shared by both analyzers: find @p block in
- * @p stack (most recent at the back), remove it, push it to the back,
- * and return its 1-based distance from the top, or 0 if absent.
+ * Rebuild @p hits_up_to as prefix sums of @p hist (hits_up_to[c] =
+ * sum of hist[1..c]) if @p stale, then clear the flag. Summation
+ * order matches the historical per-query rescan, so every answer is
+ * bit-identical to it.
  */
-std::uint32_t
-touchStack(std::vector<Addr> &stack, Addr block, std::uint32_t max_depth)
+void
+refreshPrefix(const std::vector<std::uint64_t> &hist,
+              std::vector<std::uint64_t> &hits_up_to, bool &stale)
 {
-    // Search from the top (back) since locality makes small distances
-    // overwhelmingly common.
-    for (std::size_t i = stack.size(); i-- > 0;) {
-        if (stack[i] == block) {
-            const std::uint32_t distance =
-                static_cast<std::uint32_t>(stack.size() - i);
-            stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(i));
-            stack.push_back(block);
-            return distance;
-        }
-    }
-    stack.push_back(block);
-    if (stack.size() > max_depth)
-        stack.erase(stack.begin());
-    return 0;
+    if (!stale)
+        return;
+    hits_up_to.assign(hist.size(), 0);
+    for (std::size_t d = 1; d < hist.size(); ++d)
+        hits_up_to[d] = hits_up_to[d - 1] + hist[d];
+    stale = false;
 }
 
 } // namespace
@@ -38,28 +31,30 @@ touchStack(std::vector<Addr> &stack, Addr block, std::uint32_t max_depth)
 StackAnalyzer::StackAnalyzer(std::uint32_t block_size,
                              std::uint32_t max_depth)
     : blockBits_(floorLog2(block_size)), maxDepth_(max_depth),
-      distanceHist_(max_depth + 1, 0)
+      tracker_(1), distanceHist_(max_depth + 1, 0)
 {
     occsim_assert(isPowerOfTwo(block_size),
                   "block size must be a power of two");
     occsim_assert(max_depth > 0, "max depth must be positive");
-    stack_.reserve(max_depth + 1);
 }
 
 void
 StackAnalyzer::process(Addr addr)
 {
     ++refs_;
+    prefixStale_ = true;
     const Addr block = addr >> blockBits_;
-    const std::uint32_t distance = touchStack(stack_, block, maxDepth_);
-    if (distance == 0) {
-        // Never seen within the retained depth. Distinguishing true
-        // compulsory misses from beyond-depth reuse is unnecessary:
-        // both miss in every capacity we can answer for.
+    const std::uint64_t distance = tracker_.touch(block);
+    if (distance == SetLruTracker::kFirstTouch) {
         ++distinct_;
     } else if (distance <= maxDepth_) {
         ++distanceHist_[distance];
     } else {
+        // Beyond-depth reuse: misses in every capacity we can answer
+        // for, exactly like a first touch (this is what the old
+        // bounded stack reported for it), but worth counting on its
+        // own as well.
+        ++distinct_;
         ++overflow_;
     }
 }
@@ -80,22 +75,20 @@ StackAnalyzer::missRatioForCapacity(std::uint32_t capacity_blocks) const
                   capacity_blocks, maxDepth_);
     if (refs_ == 0)
         return 0.0;
-    std::uint64_t hits = 0;
+    refreshPrefix(distanceHist_, hitsUpTo_, prefixStale_);
     const std::uint32_t limit =
         std::min<std::uint32_t>(capacity_blocks,
                                 static_cast<std::uint32_t>(
                                     distanceHist_.size() - 1));
-    for (std::uint32_t d = 1; d <= limit; ++d)
-        hits += distanceHist_[d];
-    return 1.0 - static_cast<double>(hits) / static_cast<double>(refs_);
+    return 1.0 - static_cast<double>(hitsUpTo_[limit]) /
+                     static_cast<double>(refs_);
 }
 
 SetStackAnalyzer::SetStackAnalyzer(std::uint32_t block_size,
                                    std::uint32_t num_sets,
                                    std::uint32_t max_depth)
-    : blockBits_(floorLog2(block_size)), numSets_(num_sets),
-      maxDepth_(max_depth), stacks_(num_sets),
-      distanceHist_(max_depth + 1, 0)
+    : blockBits_(floorLog2(block_size)), maxDepth_(max_depth),
+      tracker_(num_sets), distanceHist_(max_depth + 1, 0)
 {
     occsim_assert(isPowerOfTwo(block_size),
                   "block size must be a power of two");
@@ -107,14 +100,15 @@ void
 SetStackAnalyzer::process(Addr addr)
 {
     ++refs_;
+    prefixStale_ = true;
     const Addr block = addr >> blockBits_;
-    const std::uint32_t set = block & (numSets_ - 1);
-    const std::uint32_t distance =
-        touchStack(stacks_[set], block, maxDepth_);
-    if (distance == 0 || distance > maxDepth_)
+    const std::uint64_t distance = tracker_.touch(block);
+    if (distance == SetLruTracker::kFirstTouch ||
+        distance > maxDepth_) {
         ++missesBeyondDepth_;
-    else
+    } else {
         ++distanceHist_[distance];
+    }
 }
 
 void
@@ -131,10 +125,9 @@ SetStackAnalyzer::missRatioForAssoc(std::uint32_t assoc) const
                   "associativity %u outside analyzer depth", assoc);
     if (refs_ == 0)
         return 0.0;
-    std::uint64_t hits = 0;
-    for (std::uint32_t d = 1; d <= assoc; ++d)
-        hits += distanceHist_[d];
-    return 1.0 - static_cast<double>(hits) / static_cast<double>(refs_);
+    refreshPrefix(distanceHist_, hitsUpTo_, prefixStale_);
+    return 1.0 - static_cast<double>(hitsUpTo_[assoc]) /
+                     static_cast<double>(refs_);
 }
 
 } // namespace occsim

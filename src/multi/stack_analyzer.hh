@@ -14,6 +14,16 @@
  *  - SetStackAnalyzer: per-set stacks for a fixed set count; yields
  *    the miss ratio of every associativity at once.
  *
+ * Both analyzers run on the shared SetLruTracker order-statistics
+ * structure (hash map + Fenwick tree, see single_pass.hh), so a
+ * reference costs O(log depth) instead of the O(depth) linear stack
+ * scan of the classic implementation. Distances beyond max_depth are
+ * classified exactly as the historical bounded-stack code did: a
+ * bounded LRU stack of depth D evicts a block precisely when its true
+ * reuse distance exceeds D, so exact-distance classification
+ * reproduces the old counters bit-for-bit while no longer bounding
+ * the per-reference search.
+ *
  * These analyzers double as an independent oracle for the Cache model
  * (with sub-block == block their predictions must match direct
  * simulation exactly), which the test suite exploits.
@@ -25,6 +35,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "multi/single_pass.hh"
 #include "trace/trace.hh"
 #include "util/bitops.hh"
 
@@ -36,8 +47,9 @@ class StackAnalyzer
   public:
     /**
      * @param block_size block size in bytes (power of two).
-     * @param max_depth stack depths beyond this count as infinite;
-     *        bounds the per-reference search cost.
+     * @param max_depth stack distances beyond this count as infinite
+     *        (they miss in every capacity the analyzer can answer
+     *        for); bounds the histogram, not the search cost.
      */
     explicit StackAnalyzer(std::uint32_t block_size,
                            std::uint32_t max_depth = 4096);
@@ -50,7 +62,9 @@ class StackAnalyzer
 
     std::uint64_t refs() const { return refs_; }
 
-    /** Number of distinct blocks seen (compulsory misses). */
+    /** Number of references that miss in every answerable capacity:
+     *  first touches plus reuses beyond max_depth (the historical
+     *  bounded-stack accounting). */
     std::uint64_t distinctBlocks() const { return distinct_; }
 
     /**
@@ -66,14 +80,19 @@ class StackAnalyzer
         return distanceHist_;
     }
 
-    /** References whose distance exceeded max_depth. */
+    /** References whose (exact) distance exceeded max_depth; a
+     *  subset of distinctBlocks(). */
     std::uint64_t overflowRefs() const { return overflow_; }
 
   private:
     std::uint32_t blockBits_;
     std::uint32_t maxDepth_;
-    std::vector<Addr> stack_;  ///< most recent at the back
+    SetLruTracker tracker_;  ///< one set: fully associative
     std::vector<std::uint64_t> distanceHist_;
+    /** Lazily rebuilt prefix sums: hitsUpTo_[c] = refs with distance
+     *  in [1, c] — one pass instead of a rescan per query. */
+    mutable std::vector<std::uint64_t> hitsUpTo_;
+    mutable bool prefixStale_ = true;
     std::uint64_t refs_ = 0;
     std::uint64_t distinct_ = 0;
     std::uint64_t overflow_ = 0;
@@ -91,16 +110,25 @@ class SetStackAnalyzer
 
     std::uint64_t refs() const { return refs_; }
 
+    /** hist[d] = references with per-set stack distance exactly d
+     *  (1-based; index 0 unused). Distances beyond max_depth are not
+     *  recorded. */
+    const std::vector<std::uint64_t> &distanceHistogram() const
+    {
+        return distanceHist_;
+    }
+
     /** Miss ratio of an LRU set-associative cache with this block
      *  size, this set count, and associativity @p assoc. */
     double missRatioForAssoc(std::uint32_t assoc) const;
 
   private:
     std::uint32_t blockBits_;
-    std::uint32_t numSets_;
     std::uint32_t maxDepth_;
-    std::vector<std::vector<Addr>> stacks_;
+    SetLruTracker tracker_;
     std::vector<std::uint64_t> distanceHist_;
+    mutable std::vector<std::uint64_t> hitsUpTo_;
+    mutable bool prefixStale_ = true;
     std::uint64_t refs_ = 0;
     std::uint64_t missesBeyondDepth_ = 0;
 };

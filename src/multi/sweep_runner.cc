@@ -13,12 +13,12 @@ const NibbleModeBus kNibbleBus;
 } // namespace
 
 SweepResult
-summarizeCache(const Cache &cache)
+summarizeStats(const CacheConfig &config, std::uint64_t gross_bytes,
+               const CacheStats &stats)
 {
-    const CacheStats &stats = cache.stats();
     SweepResult result;
-    result.config = cache.config();
-    result.grossBytes = cache.geometry().grossBytes();
+    result.config = config;
+    result.grossBytes = gross_bytes;
     result.missRatio = stats.missRatio();
     result.warmMissRatio = stats.warmMissRatio();
     result.trafficRatio = stats.trafficRatio();
@@ -27,6 +27,14 @@ summarizeCache(const Cache &cache)
     result.warmNibbleTrafficRatio =
         stats.warmScaledTrafficRatio(kNibbleBus);
     return result;
+}
+
+SweepResult
+summarizeCache(const Cache &cache)
+{
+    return summarizeStats(cache.config(),
+                          cache.geometry().grossBytes(),
+                          cache.stats());
 }
 
 SweepRunner::SweepRunner(const std::vector<CacheConfig> &configs)

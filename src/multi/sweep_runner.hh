@@ -57,6 +57,16 @@ class SweepRunner
  *  pricing at ratio 3). */
 SweepResult summarizeCache(const Cache &cache);
 
+/**
+ * Summarize finished run statistics into a SweepResult. This is the
+ * code path behind summarizeCache, exposed so the single-pass engine
+ * can produce its summaries through exactly the same derived-metric
+ * arithmetic (bit-identical doubles).
+ */
+SweepResult summarizeStats(const CacheConfig &config,
+                           std::uint64_t gross_bytes,
+                           const CacheStats &stats);
+
 /** Simulate one configuration over @p source; returns its summary. */
 SweepResult runSingle(const CacheConfig &config, TraceSource &source,
                       std::uint64_t max_refs = 0);

@@ -54,6 +54,8 @@ VectorTrace
 collect(TraceSource &source, std::size_t max_refs)
 {
     VectorTrace out(source.name());
+    if (max_refs != 0)
+        out.reserve(max_refs);
     MemRef ref;
     while ((max_refs == 0 || out.size() < max_refs) && source.next(ref))
         out.append(ref);

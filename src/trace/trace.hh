@@ -85,6 +85,11 @@ class VectorTrace : public TraceSource
     void append(const MemRef &ref) { refs_.push_back(ref); }
     void append(Addr addr, RefKind kind, std::uint8_t size);
 
+    /** Pre-size the backing vector for @p n references (used by
+     *  collect() with the VM's reference budget, so recording a
+     *  trace does not reallocate). */
+    void reserve(std::size_t n) { refs_.reserve(n); }
+
     bool next(MemRef &ref) override;
     bool rewindable() const override { return true; }
     void reset() override { cursor_ = 0; }

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Exactness tests for the single-pass multi-configuration sweep
+ * engine: for every (net size, associativity) point of the paper
+ * grid at a fixed block size, the engine's counts (misses, cold
+ * misses, traffic words) and its SweepResult doubles must equal
+ * direct Cache simulation bit-for-bit — on real library programs, on
+ * a synthetic adversarial trace, and through the runSweeps /
+ * ParallelSweepRunner fast-path integration with mixed (eligible and
+ * ineligible) config lists.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "harness/experiment.hh"
+#include "multi/parallel_sweep.hh"
+#include "multi/single_pass.hh"
+#include "workload/suites.hh"
+#include "workload/synthetic.hh"
+
+using namespace occsim;
+
+namespace {
+
+constexpr std::uint64_t kRefs = 30000;
+
+/** Bit-identical comparison of two SweepResults (exact doubles). */
+void
+expectIdentical(const SweepResult &a, const SweepResult &b)
+{
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.grossBytes, b.grossBytes);
+    EXPECT_EQ(a.missRatio, b.missRatio);
+    EXPECT_EQ(a.warmMissRatio, b.warmMissRatio);
+    EXPECT_EQ(a.trafficRatio, b.trafficRatio);
+    EXPECT_EQ(a.warmTrafficRatio, b.warmTrafficRatio);
+    EXPECT_EQ(a.nibbleTrafficRatio, b.nibbleTrafficRatio);
+    EXPECT_EQ(a.warmNibbleTrafficRatio, b.warmNibbleTrafficRatio);
+}
+
+/**
+ * The paper grid restricted to single-pass form: every power-of-two
+ * net size in [min_net, max_net] crossed with associativities
+ * 1..16 at one block (== sub-block) size.
+ */
+std::vector<CacheConfig>
+sizeAssocGrid(std::uint32_t block, std::uint32_t min_net,
+              std::uint32_t max_net, std::uint32_t word_size)
+{
+    std::vector<CacheConfig> configs;
+    for (std::uint32_t net = min_net; net <= max_net; net *= 2) {
+        for (std::uint32_t assoc : {1u, 2u, 4u, 8u, 16u}) {
+            CacheConfig config = makeConfig(net, block, block,
+                                            word_size);
+            config.assoc = assoc;
+            configs.push_back(config);
+        }
+    }
+    return configs;
+}
+
+/**
+ * Assert the engine's per-config counts and summaries equal a direct
+ * Cache simulation of every config over the same trace.
+ */
+void
+expectMatchesDirect(const std::vector<CacheConfig> &configs,
+                    const VectorTrace &trace)
+{
+    SinglePassEngine engine(configs);
+    engine.processTrace(trace);
+    const auto results = engine.results();
+    ASSERT_EQ(results.size(), configs.size());
+
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        Cache cache(configs[i]);
+        for (const MemRef &ref : trace.refs())
+            cache.access(ref);
+        cache.finalizeResidencies();
+
+        const CacheStats &direct = cache.stats();
+        const auto counts = engine.countsFor(i);
+        const std::string label = configs[i].fullName();
+
+        EXPECT_EQ(counts.accesses, direct.accesses()) << label;
+        EXPECT_EQ(counts.misses, direct.misses()) << label;
+        EXPECT_EQ(counts.coldMisses, direct.coldMisses()) << label;
+        EXPECT_EQ(counts.ifetchAccesses, direct.ifetchAccesses())
+            << label;
+        EXPECT_EQ(counts.ifetchMisses, direct.ifetchMisses()) << label;
+        EXPECT_EQ(counts.writeAccesses, direct.writeAccesses())
+            << label;
+        EXPECT_EQ(counts.writeMisses, direct.writeMisses()) << label;
+
+        // Traffic totals in words: read fetches, cold share, write
+        // fetches, write-through stores.
+        const std::uint32_t words =
+            cache.geometry().wordsPerSubBlock();
+        EXPECT_EQ(counts.misses * words, direct.wordsFetched())
+            << label;
+        EXPECT_EQ(counts.coldMisses * words,
+                  direct.coldWordsFetched())
+            << label;
+        EXPECT_EQ(counts.writeMisses * words,
+                  direct.writeWordsFetched())
+            << label;
+        EXPECT_EQ(counts.writeAccesses, direct.storeWords()) << label;
+
+        expectIdentical(results[i], summarizeCache(cache));
+    }
+}
+
+/**
+ * A trace built to stress the order-statistics structure: cyclic
+ * sweeps over a large footprint (anti-LRU, every distance deep, lots
+ * of dead entries → compaction), tight MRU loops (fast path), a
+ * ping-pong pair, and interleaved writes and instruction fetches.
+ */
+VectorTrace
+adversarialTrace()
+{
+    VectorTrace trace("adversarial");
+    const std::uint32_t block = 16;
+    auto push = [&](Addr block_index, RefKind kind) {
+        trace.append(block_index * block, kind, 2);
+    };
+
+    // Phase 1: three cyclic sweeps over 600 blocks. Under LRU every
+    // reuse distance is 600 — misses at every small capacity, and the
+    // per-set time arrays accumulate dead entries.
+    for (int pass = 0; pass < 3; ++pass) {
+        for (Addr b = 0; b < 600; ++b)
+            push(b, pass == 1 ? RefKind::DataWrite : RefKind::DataRead);
+    }
+    // Phase 2: tight loop over 4 blocks (MRU fast path, distances
+    // 1..4), with instruction fetches.
+    for (int i = 0; i < 2000; ++i)
+        push(static_cast<Addr>(i % 4), RefKind::Ifetch);
+    // Phase 3: ping-pong between two far-apart blocks that map to the
+    // same set at every power-of-two set count.
+    for (int i = 0; i < 500; ++i) {
+        push(i % 2 == 0 ? 1024 : 2048, RefKind::DataRead);
+        push(3072, RefKind::DataWrite);
+    }
+    // Phase 4: revisit phase-1 blocks in reverse (deep distances
+    // straight after compaction).
+    for (Addr b = 600; b-- > 0;)
+        push(b, RefKind::DataRead);
+    return trace;
+}
+
+} // namespace
+
+TEST(TouchTimeSet, MatchesLinearStackOracle)
+{
+    // SetLruTracker distances vs a brute-force per-set linear LRU
+    // stack, over a stream with enough churn to trigger compaction.
+    constexpr std::uint32_t kSets = 4;
+    SetLruTracker tracker(kSets);
+    std::vector<std::vector<Addr>> stacks(kSets);  // MRU at back
+
+    std::uint64_t state = 12345;
+    auto next_block = [&]() -> Addr {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        // Mix tight reuse (16 blocks) with a long tail (4096 blocks).
+        return (state >> 33) % 2 == 0
+                   ? static_cast<Addr>((state >> 40) % 16)
+                   : static_cast<Addr>((state >> 40) % 4096);
+    };
+
+    for (int i = 0; i < 60000; ++i) {
+        const Addr block = next_block();
+        auto &stack = stacks[block % kSets];
+        std::uint64_t expected = SetLruTracker::kFirstTouch;
+        for (std::size_t j = stack.size(); j-- > 0;) {
+            if (stack[j] == block) {
+                expected = stack.size() - j;
+                stack.erase(stack.begin() +
+                            static_cast<std::ptrdiff_t>(j));
+                break;
+            }
+        }
+        stack.push_back(block);
+        ASSERT_EQ(tracker.touch(block), expected) << "ref " << i;
+    }
+}
+
+TEST(SinglePassEngine, MatchesDirectOnLibraryPrograms)
+{
+    // The full size x associativity grid at the paper's standard
+    // block sizes, on three library programs (PDP-11 suite).
+    const Suite suite = pdp11Suite();
+    ASSERT_GE(suite.traces.size(), 3u);
+    for (std::size_t p = 0; p < 3; ++p) {
+        const auto trace = buildTraceShared(suite.traces[p], kRefs);
+        for (const std::uint32_t block : {4u, 16u}) {
+            expectMatchesDirect(
+                sizeAssocGrid(block, 64, 4096,
+                              suite.profile.wordSize),
+                *trace);
+        }
+    }
+}
+
+TEST(SinglePassEngine, MatchesDirectOnAdversarialTrace)
+{
+    const VectorTrace trace = adversarialTrace();
+    expectMatchesDirect(sizeAssocGrid(16, 64, 16384, 2), trace);
+}
+
+TEST(SinglePassEngine, MatchesDirectOnSyntheticWrites)
+{
+    // Synthetic workload with its natural read/write/ifetch mix.
+    SyntheticParams params;
+    params.seed = 77;
+    const VectorTrace trace = makeSyntheticTrace(params, 40000);
+    expectMatchesDirect(sizeAssocGrid(8, 32, 2048, 2), trace);
+}
+
+TEST(SinglePassEngine, LevelsAreIndependentTasks)
+{
+    // Running levels out of order (as the parallel integration does)
+    // changes nothing.
+    const VectorTrace trace = adversarialTrace();
+    const auto configs = sizeAssocGrid(16, 64, 4096, 2);
+
+    SinglePassEngine sequential(configs);
+    sequential.processTrace(trace);
+
+    SinglePassEngine shuffled(configs);
+    for (std::size_t l = shuffled.numLevels(); l-- > 0;)
+        shuffled.runLevel(l, trace);
+
+    const auto a = sequential.results();
+    const auto b = shuffled.results();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expectIdentical(a[i], b[i]);
+}
+
+TEST(SinglePassEngine, RunnerFastPathMatchesSequentialRunner)
+{
+    // ParallelSweepRunner in Auto mode vs the historical sequential
+    // SweepRunner on a mixed list: paperGrid contains both eligible
+    // (sub == block) and ineligible (sub < block) configs.
+    const Suite suite = pdp11Suite();
+    const auto trace = buildTraceShared(suite.traces.front(), kRefs);
+    const auto configs = paperGrid(1024, suite.profile.wordSize);
+
+    VectorTrace copy = *trace;
+    SweepRunner sequential(configs);
+    sequential.run(copy);
+    const auto expected = sequential.results();
+
+    ThreadPool pool(4);
+    ParallelSweepRunner runner(configs, &pool);
+    EXPECT_EQ(runner.run(trace), trace->size());
+    const auto actual = runner.results();
+
+    // The grid really exercises both paths.
+    EXPECT_GT(runner.fastPathCount(), 0u);
+    EXPECT_LT(runner.fastPathCount(), configs.size());
+
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        expectIdentical(actual[i], expected[i]);
+        EXPECT_EQ(runner.fastPathed(i),
+                  singlePassEligible(configs[i]));
+        if (!runner.fastPathed(i)) {
+            // Direct configs keep their probe-able Cache.
+            EXPECT_EQ(runner.cache(i).config(), configs[i]);
+        }
+    }
+}
+
+TEST(SinglePassEngine, RunSweepsAutoMatchesDirectOnly)
+{
+    const Suite suite = z8000Suite();
+    const auto configs = paperGrid(512, suite.profile.wordSize);
+
+    std::vector<std::shared_ptr<const VectorTrace>> traces;
+    for (std::size_t t = 0; t < 2; ++t)
+        traces.push_back(buildTraceShared(suite.traces[t], kRefs));
+
+    ThreadPool pool(4);
+    const auto direct =
+        runSweeps(traces, configs, &pool, SweepEngine::DirectOnly);
+    const auto fast = runSweeps(traces, configs, &pool);
+
+    ASSERT_EQ(fast.size(), direct.size());
+    for (std::size_t t = 0; t < direct.size(); ++t) {
+        ASSERT_EQ(fast[t].size(), direct[t].size());
+        for (std::size_t c = 0; c < direct[t].size(); ++c)
+            expectIdentical(fast[t][c], direct[t][c]);
+    }
+}
+
+TEST(SinglePassEngine, DistanceHistogramPoolsAtCap)
+{
+    // Histogram sanity: counted refs = first touches + histogram
+    // mass, and hits for associativity A = sum of hist[1..A].
+    const VectorTrace trace = adversarialTrace();
+    const auto configs = sizeAssocGrid(16, 1024, 1024, 2);
+    SinglePassEngine engine(configs);
+    engine.processTrace(trace);
+
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const CacheGeometry geom(configs[i]);
+        const auto &hist = engine.distanceHistogram(geom.numSets());
+        const auto counts = engine.countsFor(i);
+        std::uint64_t hits = 0;
+        for (std::uint32_t d = 1;
+             d <= geom.assoc() && d < hist.size(); ++d)
+            hits += hist[d];
+        EXPECT_EQ(counts.accesses - counts.misses, hits)
+            << configs[i].fullName();
+    }
+}
