@@ -159,6 +159,13 @@ class CacheStats
         return residencyTouched_;
     }
     const Distribution &burstWords() const { return burstWords_; }
+    /** Burst histogram restricted to cold-miss bursts (the warm
+     *  scaled-traffic discount; exposed for the differential
+     *  oracle's full-stats comparison). */
+    const Distribution &coldBurstWords() const
+    {
+        return coldBurstWords_;
+    }
 
     /** Human-readable dump of counters and derived metrics. */
     void dump(std::ostream &os) const;

@@ -1,0 +1,126 @@
+#include "check/differential.hh"
+
+#include <sstream>
+
+#include "cache/cache.hh"
+#include "multi/parallel_sweep.hh"
+#include "multi/single_pass.hh"
+#include "multi/sweep_runner.hh"
+
+namespace occsim {
+
+namespace {
+
+/** Exact comparison of two SweepResults (@p label names the pair). */
+void
+diffSweepResult(const std::string &label, const SweepResult &got,
+                const SweepResult &want, std::vector<std::string> &out)
+{
+    const auto field = [&](const char *name, auto got_v, auto want_v) {
+        if (got_v != want_v) {
+            std::ostringstream os;
+            os.precision(17);
+            os << label << "." << name << ": " << got_v
+               << " != " << want_v;
+            out.push_back(os.str());
+        }
+    };
+    field("grossBytes", got.grossBytes, want.grossBytes);
+    field("missRatio", got.missRatio, want.missRatio);
+    field("warmMissRatio", got.warmMissRatio, want.warmMissRatio);
+    field("trafficRatio", got.trafficRatio, want.trafficRatio);
+    field("warmTrafficRatio", got.warmTrafficRatio,
+          want.warmTrafficRatio);
+    field("nibbleTrafficRatio", got.nibbleTrafficRatio,
+          want.nibbleTrafficRatio);
+    field("warmNibbleTrafficRatio", got.warmNibbleTrafficRatio,
+          want.warmNibbleTrafficRatio);
+}
+
+/** Exact comparison of single-pass raw totals vs the oracle's. */
+void
+diffCounts(const SinglePassEngine::Counts &got,
+           const ReferenceStats &want, std::vector<std::string> &out)
+{
+    const auto field = [&](const char *name, std::uint64_t got_v,
+                           std::uint64_t want_v) {
+        if (got_v != want_v) {
+            std::ostringstream os;
+            os << "single-pass." << name << ": " << got_v
+               << " != " << want_v;
+            out.push_back(os.str());
+        }
+    };
+    field("accesses", got.accesses, want.accesses);
+    field("misses", got.misses, want.misses);
+    field("coldMisses", got.coldMisses, want.coldMisses);
+    field("ifetchAccesses", got.ifetchAccesses, want.ifetchAccesses);
+    field("ifetchMisses", got.ifetchMisses, want.ifetchMisses);
+    field("writeAccesses", got.writeAccesses, want.writeAccesses);
+    field("writeMisses", got.writeMisses, want.writeMisses);
+}
+
+} // namespace
+
+CaseReport
+runDifferentialCase(const CacheConfig &config,
+                    const std::vector<MemRef> &refs,
+                    const DiffOptions &options)
+{
+    CaseReport report;
+
+    // Oracle: the naive reference model.
+    ReferenceCache oracle(config);
+    oracle.run(refs);
+    oracle.finalize();
+    ReferenceStats want = oracle.stats();
+    if (options.perturbReference)
+        options.perturbReference(want);
+
+    // Engine 1: the direct Cache.
+    Cache direct(config);
+    for (const MemRef &ref : refs)
+        direct.access(ref);
+    direct.finalizeResidencies();
+    for (const std::string &line : diffStats(want, direct.stats()))
+        report.diffs.push_back("direct." + line);
+
+    const SweepResult direct_summary = summarizeCache(direct);
+
+    // Engines 2 and 3: the parallel routing layer, with and without
+    // the single-pass fast path. Both must reproduce the direct
+    // engine's summary bit for bit.
+    const auto trace = [&] {
+        auto t = std::make_shared<VectorTrace>("diff");
+        t->reserve(refs.size());
+        for (const MemRef &ref : refs)
+            t->append(ref.addr, ref.kind, ref.size);
+        return std::shared_ptr<const VectorTrace>(std::move(t));
+    }();
+    const std::vector<CacheConfig> configs{config};
+
+    ParallelSweepRunner direct_only(configs, nullptr,
+                                    SweepEngine::DirectOnly);
+    direct_only.run(trace);
+    diffSweepResult("sweep-direct", direct_only.results()[0],
+                    direct_summary, report.diffs);
+
+    ParallelSweepRunner routed(configs, nullptr, SweepEngine::Auto);
+    routed.run(trace);
+    diffSweepResult("sweep-auto", routed.results()[0], direct_summary,
+                    report.diffs);
+
+    // Engine 4: the single-pass engine standalone, when eligible —
+    // raw totals against the oracle, summary against the direct run.
+    if (singlePassEligible(config)) {
+        SinglePassEngine engine(configs);
+        engine.processTrace(*trace);
+        diffCounts(engine.countsFor(0), want, report.diffs);
+        diffSweepResult("single-pass", engine.results()[0],
+                        direct_summary, report.diffs);
+    }
+
+    return report;
+}
+
+} // namespace occsim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The differential driver: run every engine occsim owns over one
+ * (config, trace) pair and diff the results.
+ *
+ * Engines compared per case:
+ *
+ *  1. ReferenceCache (the naive oracle) vs the direct Cache engine:
+ *     every counter, histogram bucket, and derived metric.
+ *  2. ParallelSweepRunner with SweepEngine::DirectOnly vs the direct
+ *     Cache's SweepResult (the routing layer must be a no-op).
+ *  3. ParallelSweepRunner with SweepEngine::Auto vs the same (this
+ *     exercises the SinglePassEngine fast path whenever the config
+ *     is eligible).
+ *  4. For single-pass-eligible configs, a standalone SinglePassEngine
+ *     run: raw Counts vs the oracle's counters and the summarized
+ *     SweepResult vs the direct engine's.
+ *
+ * All comparisons are exact — the engines promise bit-identical
+ * numbers, so any difference, however small, is a bug in one of
+ * them (or in the oracle, which is the point of keeping the oracle
+ * naive enough to audit by eye).
+ *
+ * A DiffOptions::perturbReference hook lets the test suite inject a
+ * deliberate fault into the oracle's totals post-hoc, proving the
+ * harness detects and shrinks real divergence (and guarding against
+ * the classic fuzzer failure mode of comparing nothing).
+ */
+
+#ifndef OCCSIM_CHECK_DIFFERENTIAL_HH
+#define OCCSIM_CHECK_DIFFERENTIAL_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/reference_cache.hh"
+
+namespace occsim {
+
+/** Knobs for one differential comparison. */
+struct DiffOptions
+{
+    /** Fault-injection hook applied to the oracle's totals before
+     *  diffing (tests only; empty in production fuzzing). */
+    std::function<void(ReferenceStats &)> perturbReference;
+};
+
+/** Outcome of one differential case. */
+struct CaseReport
+{
+    /** One line per mismatching field, across all engine pairs. */
+    std::vector<std::string> diffs;
+
+    bool mismatch() const { return !diffs.empty(); }
+};
+
+/**
+ * Run every engine over (@p config, @p refs) and diff the results.
+ * Self-contained and deterministic; safe to call repeatedly (the
+ * shrinker calls it thousands of times).
+ */
+CaseReport runDifferentialCase(const CacheConfig &config,
+                               const std::vector<MemRef> &refs,
+                               const DiffOptions &options = {});
+
+} // namespace occsim
+
+#endif // OCCSIM_CHECK_DIFFERENTIAL_HH

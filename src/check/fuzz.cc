@@ -1,0 +1,109 @@
+#include "check/fuzz.hh"
+
+#include <ostream>
+
+#include "check/generators.hh"
+#include "util/random.hh"
+
+namespace occsim {
+
+namespace {
+
+/** Run one case; on mismatch, record + shrink it into @p summary.
+ *  @return true if the case matched. */
+bool
+runOneCase(const FuzzCase &fuzz_case, const FuzzOptions &options,
+           FuzzSummary &summary)
+{
+    const std::vector<MemRef> &refs = fuzz_case.trace->refs();
+    const CaseReport report =
+        runDifferentialCase(fuzz_case.config, refs, options.diff);
+    ++summary.casesRun;
+    if (!report.mismatch())
+        return true;
+
+    ++summary.mismatches;
+    summary.failingCaseSeed = fuzz_case.caseSeed;
+    summary.diffs = report.diffs;
+    if (options.out) {
+        *options.out << "MISMATCH: case seed " << fuzz_case.caseSeed
+                     << " (" << fuzz_case.config.fullName() << ", "
+                     << refs.size() << " refs)\n";
+        for (const std::string &line : report.diffs)
+            *options.out << "  " << line << "\n";
+        *options.out << "shrinking...\n";
+    }
+    summary.shrunk =
+        shrinkCase(fuzz_case.config, refs, options.diff);
+    summary.repro =
+        reproToString(summary.shrunk.config, summary.shrunk.refs);
+    if (options.out) {
+        *options.out << "shrunk to " << summary.shrunk.refs.size()
+                     << " refs in " << summary.shrunk.probes
+                     << " probes; replay with --case-seed "
+                     << fuzz_case.caseSeed << "\n"
+                     << summary.repro;
+    }
+    return false;
+}
+
+} // namespace
+
+FuzzCase
+makeFuzzCase(std::uint64_t case_seed, std::size_t refs_per_case)
+{
+    FuzzCase fuzz_case;
+    fuzz_case.caseSeed = case_seed;
+    Rng case_rng(case_seed);
+    ConfigGen config_gen(case_rng.next());
+    TraceGen trace_gen(case_rng.next());
+    fuzz_case.config = config_gen.next();
+    fuzz_case.trace =
+        trace_gen.make(refs_per_case, fuzz_case.config.wordSize);
+    return fuzz_case;
+}
+
+FuzzSummary
+runFuzz(const FuzzOptions &options)
+{
+    FuzzSummary summary;
+    Rng master(options.seed);
+    for (std::uint64_t i = 0; i < options.cases; ++i) {
+        const FuzzCase fuzz_case =
+            makeFuzzCase(master.next(), options.refsPerCase);
+        if (options.verbose && options.out) {
+            *options.out << "case " << i << " seed "
+                         << fuzz_case.caseSeed << ": "
+                         << fuzz_case.config.fullName() << "\n";
+        }
+        if (!runOneCase(fuzz_case, options, summary))
+            break;  // first mismatch ends the run (it is shrunk)
+    }
+    if (options.out) {
+        *options.out << "occsim-fuzz: " << summary.casesRun
+                     << " cases, " << summary.mismatches
+                     << " mismatches (seed " << options.seed << ")\n";
+    }
+    return summary;
+}
+
+FuzzSummary
+replayFuzzCase(std::uint64_t case_seed, const FuzzOptions &options)
+{
+    FuzzSummary summary;
+    const FuzzCase fuzz_case =
+        makeFuzzCase(case_seed, options.refsPerCase);
+    if (options.out) {
+        *options.out << "replaying case seed " << case_seed << ": "
+                     << fuzz_case.config.fullName() << "\n";
+    }
+    runOneCase(fuzz_case, options, summary);
+    if (options.out) {
+        *options.out << "occsim-fuzz: replay "
+                     << (summary.passed() ? "matched" : "MISMATCHED")
+                     << "\n";
+    }
+    return summary;
+}
+
+} // namespace occsim

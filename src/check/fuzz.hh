@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The property-fuzz loop: generate (config, trace) pairs from a
+ * seed, run the differential case for each, and on the first
+ * mismatch shrink it and render a replayable repro.
+ *
+ * Seeding scheme: the master seed yields one 64-bit CASE SEED per
+ * case (master.next()); a case seed fully determines its config and
+ * trace via independent child generators. A failure report therefore
+ * needs only the case seed — `occsim-fuzz --case-seed N` replays it
+ * exactly, regardless of how many cases preceded it in the original
+ * run.
+ */
+
+#ifndef OCCSIM_CHECK_FUZZ_HH
+#define OCCSIM_CHECK_FUZZ_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "check/shrink.hh"
+
+namespace occsim {
+
+/** Fuzz-loop knobs. */
+struct FuzzOptions
+{
+    /** Number of (config, trace) cases to run. */
+    std::uint64_t cases = 500;
+
+    /** Master seed (fixed in CI so runs are reproducible). */
+    std::uint64_t seed = 0x0cc51Full;
+
+    /** References per generated trace. */
+    std::size_t refsPerCase = 768;
+
+    /** Progress/failure output; nullptr silences everything. */
+    std::ostream *out = nullptr;
+
+    /** Per-case progress lines (needs @ref out). */
+    bool verbose = false;
+
+    /** Forwarded to every differential case (fault injection). */
+    DiffOptions diff;
+};
+
+/** One generated case, fully determined by its case seed. */
+struct FuzzCase
+{
+    std::uint64_t caseSeed = 0;
+    CacheConfig config;
+    std::shared_ptr<VectorTrace> trace;
+};
+
+/** Outcome of a fuzz run. */
+struct FuzzSummary
+{
+    std::uint64_t casesRun = 0;
+    std::uint64_t mismatches = 0;
+
+    /** Set when a mismatch was found: */
+    std::uint64_t failingCaseSeed = 0;
+    std::vector<std::string> diffs;  ///< original (unshrunk) diffs
+    ShrinkResult shrunk;
+    std::string repro;               ///< reproToString of the shrunk case
+
+    bool passed() const { return mismatches == 0; }
+};
+
+/** Materialize the case determined by @p case_seed. */
+FuzzCase makeFuzzCase(std::uint64_t case_seed, std::size_t refs_per_case);
+
+/**
+ * Run the fuzz loop. Stops at the first mismatch (after shrinking
+ * it); a clean run executes all options.cases cases.
+ */
+FuzzSummary runFuzz(const FuzzOptions &options);
+
+/**
+ * Replay a single case by seed (the `--case-seed` path). Runs,
+ * and on mismatch shrinks, exactly like the loop.
+ */
+FuzzSummary replayFuzzCase(std::uint64_t case_seed,
+                           const FuzzOptions &options);
+
+} // namespace occsim
+
+#endif // OCCSIM_CHECK_FUZZ_HH

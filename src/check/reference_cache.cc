@@ -1,0 +1,692 @@
+#include "check/reference_cache.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace occsim {
+
+// ---------------------------------------------------------------- //
+// ReferenceStats: derived metrics, longhand
+// ---------------------------------------------------------------- //
+
+namespace {
+
+/** The paper's ratios are 0 when the denominator is empty. */
+double
+safeDivide(double num, double den)
+{
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+/** Nibble-mode cost of the bursts in @p hist (hist[w] bursts of w
+ *  words, each costing 1 + (w-1)/ratio), summed in bucket order. */
+double
+nibbleCost(const std::vector<std::uint64_t> &hist, double ratio)
+{
+    double cost = 0.0;
+    for (std::size_t w = 1; w < hist.size(); ++w) {
+        if (hist[w] != 0) {
+            cost += static_cast<double>(hist[w]) *
+                    (1.0 + static_cast<double>(w - 1) / ratio);
+        }
+    }
+    return cost;
+}
+
+} // namespace
+
+double
+ReferenceStats::missRatio() const
+{
+    return safeDivide(static_cast<double>(misses),
+                      static_cast<double>(accesses));
+}
+
+double
+ReferenceStats::warmMissRatio() const
+{
+    return safeDivide(static_cast<double>(misses - coldMisses),
+                      static_cast<double>(accesses - coldMisses));
+}
+
+double
+ReferenceStats::trafficRatio() const
+{
+    return safeDivide(static_cast<double>(wordsFetched),
+                      static_cast<double>(accesses));
+}
+
+double
+ReferenceStats::warmTrafficRatio() const
+{
+    return safeDivide(static_cast<double>(wordsFetched - coldWords),
+                      static_cast<double>(accesses - coldMisses));
+}
+
+double
+ReferenceStats::nibbleTrafficRatio(double ratio) const
+{
+    return safeDivide(nibbleCost(burstWords, ratio),
+                      static_cast<double>(accesses));
+}
+
+double
+ReferenceStats::warmNibbleTrafficRatio(double ratio) const
+{
+    return safeDivide(nibbleCost(burstWords, ratio) -
+                          nibbleCost(coldBurstWords, ratio),
+                      static_cast<double>(accesses - coldMisses));
+}
+
+double
+ReferenceStats::ifetchMissRatio() const
+{
+    return safeDivide(static_cast<double>(ifetchMisses),
+                      static_cast<double>(ifetchAccesses));
+}
+
+double
+ReferenceStats::redundantLoadFraction() const
+{
+    return safeDivide(static_cast<double>(redundantWords),
+                      static_cast<double>(wordsFetched));
+}
+
+double
+ReferenceStats::totalTrafficRatio() const
+{
+    return safeDivide(
+        static_cast<double>(wordsFetched + writeWords + storeWords +
+                            writebackWords),
+        static_cast<double>(accesses + writeAccesses));
+}
+
+double
+ReferenceStats::meanSubBlocksTouched() const
+{
+    std::uint64_t samples = 0;
+    std::uint64_t weighted = 0;
+    for (std::size_t k = 0; k < residencyTouched.size(); ++k) {
+        samples += residencyTouched[k];
+        weighted += residencyTouched[k] * k;
+    }
+    return safeDivide(static_cast<double>(weighted),
+                      static_cast<double>(samples));
+}
+
+double
+ReferenceStats::neverReferencedFraction(
+    std::uint32_t subs_per_block) const
+{
+    if (subs_per_block == 0)
+        return 0.0;
+    return 1.0 - meanSubBlocksTouched() /
+                     static_cast<double>(subs_per_block);
+}
+
+// ---------------------------------------------------------------- //
+// Diffing
+// ---------------------------------------------------------------- //
+
+namespace {
+
+void
+diffCounter(std::vector<std::string> &out, const char *field,
+            std::uint64_t expected, std::uint64_t actual)
+{
+    if (expected != actual) {
+        out.push_back(strfmt(
+            "%s: reference=%llu engine=%llu", field,
+            static_cast<unsigned long long>(expected),
+            static_cast<unsigned long long>(actual)));
+    }
+}
+
+void
+diffDouble(std::vector<std::string> &out, const char *field,
+           double expected, double actual)
+{
+    // Exact: both sides divide the same integers in the same order.
+    if (expected != actual) {
+        out.push_back(strfmt("%s: reference=%.17g engine=%.17g", field,
+                             expected, actual));
+    }
+}
+
+void
+diffHistogram(std::vector<std::string> &out, const char *field,
+              const std::vector<std::uint64_t> &expected,
+              const Distribution &actual)
+{
+    for (std::size_t v = 0; v < actual.numBuckets(); ++v) {
+        const std::uint64_t want =
+            v < expected.size() ? expected[v] : 0;
+        if (want != actual.bucket(v)) {
+            out.push_back(strfmt(
+                "%s[%zu]: reference=%llu engine=%llu", field, v,
+                static_cast<unsigned long long>(want),
+                static_cast<unsigned long long>(actual.bucket(v))));
+        }
+    }
+    for (std::size_t v = actual.numBuckets(); v < expected.size();
+         ++v) {
+        if (expected[v] != 0) {
+            out.push_back(strfmt(
+                "%s[%zu]: reference=%llu engine=out-of-range", field,
+                v, static_cast<unsigned long long>(expected[v])));
+        }
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+diffStats(const ReferenceStats &ref, const CacheStats &got)
+{
+    std::vector<std::string> out;
+    diffCounter(out, "accesses", ref.accesses, got.accesses());
+    diffCounter(out, "misses", ref.misses, got.misses());
+    diffCounter(out, "blockMisses", ref.blockMisses,
+                got.blockMisses());
+    diffCounter(out, "coldMisses", ref.coldMisses, got.coldMisses());
+    diffCounter(out, "ifetchAccesses", ref.ifetchAccesses,
+                got.ifetchAccesses());
+    diffCounter(out, "ifetchMisses", ref.ifetchMisses,
+                got.ifetchMisses());
+    diffCounter(out, "writeAccesses", ref.writeAccesses,
+                got.writeAccesses());
+    diffCounter(out, "writeMisses", ref.writeMisses,
+                got.writeMisses());
+    diffCounter(out, "wordsFetched", ref.wordsFetched,
+                got.wordsFetched());
+    diffCounter(out, "coldWords", ref.coldWords,
+                got.coldWordsFetched());
+    diffCounter(out, "redundantWords", ref.redundantWords,
+                got.redundantWordsFetched());
+    diffCounter(out, "writeWords", ref.writeWords,
+                got.writeWordsFetched());
+    diffCounter(out, "storeWords", ref.storeWords, got.storeWords());
+    diffCounter(out, "writebackWords", ref.writebackWords,
+                got.writebackWords());
+    diffCounter(out, "prefetchWords", ref.prefetchWords,
+                got.prefetchWords());
+    diffCounter(out, "prefetches", ref.prefetches, got.prefetches());
+    diffCounter(out, "usefulPrefetches", ref.usefulPrefetches,
+                got.usefulPrefetches());
+    diffCounter(out, "bursts", ref.bursts, got.bursts());
+    diffCounter(out, "evictions", ref.evictions, got.evictions());
+
+    diffHistogram(out, "burstWords", ref.burstWords,
+                  got.burstWords());
+    diffHistogram(out, "coldBurstWords", ref.coldBurstWords,
+                  got.coldBurstWords());
+    diffHistogram(out, "residencyTouched", ref.residencyTouched,
+                  got.residencyTouched());
+
+    diffDouble(out, "missRatio", ref.missRatio(), got.missRatio());
+    diffDouble(out, "warmMissRatio", ref.warmMissRatio(),
+               got.warmMissRatio());
+    diffDouble(out, "trafficRatio", ref.trafficRatio(),
+               got.trafficRatio());
+    diffDouble(out, "warmTrafficRatio", ref.warmTrafficRatio(),
+               got.warmTrafficRatio());
+    const NibbleModeBus nibble;
+    diffDouble(out, "nibbleTrafficRatio", ref.nibbleTrafficRatio(),
+               got.scaledTrafficRatio(nibble));
+    diffDouble(out, "warmNibbleTrafficRatio",
+               ref.warmNibbleTrafficRatio(),
+               got.warmScaledTrafficRatio(nibble));
+    diffDouble(out, "ifetchMissRatio", ref.ifetchMissRatio(),
+               got.ifetchMissRatio());
+    diffDouble(out, "redundantLoadFraction",
+               ref.redundantLoadFraction(),
+               got.redundantLoadFraction());
+    diffDouble(out, "totalTrafficRatio", ref.totalTrafficRatio(),
+               got.totalTrafficRatio());
+    diffDouble(out, "meanSubBlocksTouched",
+               ref.meanSubBlocksTouched(),
+               got.meanSubBlocksTouched());
+    return out;
+}
+
+std::vector<std::string>
+diffCacheStats(const std::string &label, const CacheStats &a,
+               const CacheStats &b)
+{
+    std::vector<std::string> out;
+    const auto counter = [&](const char *field, std::uint64_t x,
+                             std::uint64_t y) {
+        if (x != y) {
+            out.push_back(strfmt(
+                "%s %s: %llu vs %llu", label.c_str(), field,
+                static_cast<unsigned long long>(x),
+                static_cast<unsigned long long>(y)));
+        }
+    };
+    counter("accesses", a.accesses(), b.accesses());
+    counter("misses", a.misses(), b.misses());
+    counter("blockMisses", a.blockMisses(), b.blockMisses());
+    counter("coldMisses", a.coldMisses(), b.coldMisses());
+    counter("ifetchAccesses", a.ifetchAccesses(), b.ifetchAccesses());
+    counter("ifetchMisses", a.ifetchMisses(), b.ifetchMisses());
+    counter("writeAccesses", a.writeAccesses(), b.writeAccesses());
+    counter("writeMisses", a.writeMisses(), b.writeMisses());
+    counter("wordsFetched", a.wordsFetched(), b.wordsFetched());
+    counter("coldWords", a.coldWordsFetched(), b.coldWordsFetched());
+    counter("redundantWords", a.redundantWordsFetched(),
+            b.redundantWordsFetched());
+    counter("writeWords", a.writeWordsFetched(),
+            b.writeWordsFetched());
+    counter("storeWords", a.storeWords(), b.storeWords());
+    counter("writebackWords", a.writebackWords(), b.writebackWords());
+    counter("prefetchWords", a.prefetchWords(), b.prefetchWords());
+    counter("prefetches", a.prefetches(), b.prefetches());
+    counter("usefulPrefetches", a.usefulPrefetches(),
+            b.usefulPrefetches());
+    counter("bursts", a.bursts(), b.bursts());
+    counter("evictions", a.evictions(), b.evictions());
+    for (std::size_t v = 0; v < a.burstWords().numBuckets() &&
+                            v < b.burstWords().numBuckets();
+         ++v) {
+        counter("burstWords[]", a.burstWords().bucket(v),
+                b.burstWords().bucket(v));
+    }
+    for (std::size_t v = 0; v < a.residencyTouched().numBuckets() &&
+                            v < b.residencyTouched().numBuckets();
+         ++v) {
+        counter("residencyTouched[]", a.residencyTouched().bucket(v),
+                b.residencyTouched().bucket(v));
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------- //
+// ReferenceCache
+// ---------------------------------------------------------------- //
+
+ReferenceCache::ReferenceCache(const CacheConfig &config)
+    : config_(config),
+      blockSize_(config.blockSize),
+      subBlockSize_(config.subBlockSize),
+      randomVictims_(config.randomSeed)
+{
+    occsim_assert(isPowerOfTwo(config.netSize) &&
+                      isPowerOfTwo(config.blockSize) &&
+                      isPowerOfTwo(config.subBlockSize) &&
+                      isPowerOfTwo(config.assoc) &&
+                      isPowerOfTwo(config.wordSize),
+                  "reference cache dimensions must be powers of two");
+    occsim_assert(config.subBlockSize <= config.blockSize &&
+                      config.blockSize <= config.netSize &&
+                      config.wordSize <= config.subBlockSize,
+                  "invalid reference cache geometry");
+
+    const std::uint32_t num_blocks = config.netSize / config.blockSize;
+    assoc_ = std::min(config.assoc, num_blocks);
+    numSets_ = num_blocks / assoc_;
+    numSubs_ = config.blockSize / config.subBlockSize;
+    wordsPerSub_ = config.subBlockSize / config.wordSize;
+
+    Frame empty;
+    empty.valid.assign(numSubs_, false);
+    empty.touched.assign(numSubs_, false);
+    empty.dirty.assign(numSubs_, false);
+    empty.prefetched.assign(numSubs_, false);
+    frames_.assign(numSets_, std::vector<Frame>(assoc_, empty));
+    everFilled_.assign(
+        numSets_, std::vector<std::vector<bool>>(
+                      assoc_, std::vector<bool>(numSubs_, false)));
+    order_.resize(numSets_);
+    for (std::uint32_t set = 0; set < numSets_; ++set) {
+        for (std::uint32_t way = 0; way < assoc_; ++way)
+            order_[set].push_back(way);
+    }
+
+    stats_.burstWords.assign(
+        static_cast<std::size_t>(numSubs_) * wordsPerSub_ + 1, 0);
+    stats_.coldBurstWords = stats_.burstWords;
+    stats_.residencyTouched.assign(numSubs_ + 1, 0);
+}
+
+int
+ReferenceCache::findWay(std::uint32_t set, Addr block_addr) const
+{
+    for (std::uint32_t way = 0; way < assoc_; ++way) {
+        if (frames_[set][way].present &&
+            frames_[set][way].tag == block_addr) {
+            return static_cast<int>(way);
+        }
+    }
+    return -1;
+}
+
+std::uint32_t
+ReferenceCache::chooseVictim(std::uint32_t set)
+{
+    for (std::uint32_t way = 0; way < assoc_; ++way) {
+        if (!frames_[set][way].present)
+            return way;
+    }
+    if (config_.replacement == ReplacementPolicy::Random) {
+        return static_cast<std::uint32_t>(
+            randomVictims_.below(assoc_));
+    }
+    return order_[set].front();
+}
+
+void
+ReferenceCache::noteAccess(std::uint32_t set, std::uint32_t way)
+{
+    if (config_.replacement != ReplacementPolicy::LRU)
+        return;
+    std::vector<std::uint32_t> &order = order_[set];
+    order.erase(std::find(order.begin(), order.end(), way));
+    order.push_back(way);
+}
+
+void
+ReferenceCache::noteFill(std::uint32_t set, std::uint32_t way)
+{
+    if (config_.replacement == ReplacementPolicy::Random)
+        return;
+    std::vector<std::uint32_t> &order = order_[set];
+    order.erase(std::find(order.begin(), order.end(), way));
+    order.push_back(way);
+}
+
+void
+ReferenceCache::recordBurst(std::uint32_t sub_blocks, bool counted,
+                            bool cold,
+                            std::uint32_t redundant_sub_blocks)
+{
+    const std::uint64_t words =
+        static_cast<std::uint64_t>(sub_blocks) * wordsPerSub_;
+    if (!counted) {
+        stats_.writeWords += words;
+        return;
+    }
+    stats_.wordsFetched += words;
+    stats_.redundantWords +=
+        static_cast<std::uint64_t>(redundant_sub_blocks) *
+        wordsPerSub_;
+    ++stats_.bursts;
+    ++stats_.burstWords[words];
+    if (cold) {
+        stats_.coldWords += words;
+        ++stats_.coldBurstWords[words];
+    }
+}
+
+void
+ReferenceCache::fetchInto(Frame &frame, std::uint32_t set,
+                          std::uint32_t way, std::uint32_t sub_index,
+                          bool counted, bool cold)
+{
+    std::vector<bool> &ever = everFilled_[set][way];
+    switch (config_.fetch) {
+      case FetchPolicy::Demand:
+      case FetchPolicy::PrefetchNextOnMiss: {
+        // Demand: exactly the missing sub-block.
+        frame.valid[sub_index] = true;
+        ever[sub_index] = true;
+        recordBurst(1, counted, cold, 0);
+        break;
+      }
+      case FetchPolicy::LoadForward: {
+        // One burst covering the target and every subsequent
+        // sub-block, re-fetching resident ones redundantly.
+        std::uint32_t redundant = 0;
+        for (std::uint32_t i = sub_index; i < numSubs_; ++i) {
+            if (frame.valid[i])
+                ++redundant;
+            frame.valid[i] = true;
+            ever[i] = true;
+        }
+        recordBurst(numSubs_ - sub_index, counted, cold, redundant);
+        break;
+      }
+      case FetchPolicy::LoadForwardOptimized: {
+        // Only the invalid sub-blocks at or after the target, one
+        // burst per contiguous invalid run.
+        std::uint32_t run = 0;
+        for (std::uint32_t i = sub_index; i < numSubs_; ++i) {
+            if (frame.valid[i]) {
+                if (run != 0) {
+                    recordBurst(run, counted, cold, 0);
+                    run = 0;
+                }
+            } else {
+                frame.valid[i] = true;
+                ever[i] = true;
+                ++run;
+            }
+        }
+        if (run != 0)
+            recordBurst(run, counted, cold, 0);
+        break;
+      }
+    }
+}
+
+void
+ReferenceCache::writebackDirty(Frame &frame)
+{
+    std::uint32_t dirty_subs = 0;
+    for (std::uint32_t i = 0; i < numSubs_; ++i) {
+        if (frame.dirty[i]) {
+            ++dirty_subs;
+            frame.dirty[i] = false;
+        }
+    }
+    if (dirty_subs != 0) {
+        stats_.writebackWords +=
+            static_cast<std::uint64_t>(dirty_subs) * wordsPerSub_;
+    }
+}
+
+void
+ReferenceCache::endResidency(Frame &frame)
+{
+    std::uint32_t touched = 0;
+    for (std::uint32_t i = 0; i < numSubs_; ++i) {
+        if (frame.touched[i])
+            ++touched;
+    }
+    ++stats_.evictions;
+    ++stats_.residencyTouched[touched];
+    writebackDirty(frame);
+}
+
+void
+ReferenceCache::access(const MemRef &ref)
+{
+    const std::uint32_t set = setOf(ref.addr);
+    const Addr block_addr = blockAddrOf(ref.addr);
+    const std::uint32_t sub = subIndexOf(ref.addr);
+    const bool is_write = ref.isWrite();
+    const bool is_ifetch = ref.isInstruction();
+    const bool copy_back = config_.write == WritePolicy::CopyBack;
+
+    const int way = findWay(set, block_addr);
+    if (way >= 0) {
+        Frame &frame = frames_[set][way];
+        noteAccess(set, static_cast<std::uint32_t>(way));
+        frame.touched[sub] = true;
+        if (frame.valid[sub]) {
+            // Hit.
+            if (frame.prefetched[sub]) {
+                ++stats_.usefulPrefetches;
+                frame.prefetched[sub] = false;
+            }
+            if (is_write) {
+                ++stats_.writeAccesses;
+                if (copy_back)
+                    frame.dirty[sub] = true;
+                else
+                    ++stats_.storeWords;
+            } else {
+                ++stats_.accesses;
+                if (is_ifetch)
+                    ++stats_.ifetchAccesses;
+            }
+            return;
+        }
+        // Sub-block miss: tag present, word absent.
+        const bool cold =
+            !everFilled_[set][static_cast<std::uint32_t>(way)][sub];
+        if (is_write) {
+            ++stats_.writeAccesses;
+            ++stats_.writeMisses;
+        } else {
+            ++stats_.accesses;
+            ++stats_.misses;
+            if (cold)
+                ++stats_.coldMisses;
+            if (is_ifetch) {
+                ++stats_.ifetchAccesses;
+                ++stats_.ifetchMisses;
+            }
+        }
+        fetchInto(frame, set, static_cast<std::uint32_t>(way), sub,
+                  !is_write, cold);
+        frame.prefetched[sub] = false;
+        if (is_write) {
+            if (copy_back)
+                frame.dirty[sub] = true;
+            else
+                ++stats_.storeWords;
+        }
+        if (config_.fetch == FetchPolicy::PrefetchNextOnMiss)
+            prefetchSequential(ref.addr + subBlockSize_);
+        return;
+    }
+
+    // Block miss.
+    if (is_write && !config_.writeAllocate) {
+        ++stats_.writeAccesses;
+        ++stats_.writeMisses;
+        ++stats_.storeWords;
+        return;
+    }
+
+    const std::uint32_t victim = chooseVictim(set);
+    Frame &frame = frames_[set][victim];
+    if (frame.present)
+        endResidency(frame);
+
+    const bool cold = !everFilled_[set][victim][sub];
+    if (is_write) {
+        ++stats_.writeAccesses;
+        ++stats_.writeMisses;
+    } else {
+        ++stats_.accesses;
+        ++stats_.misses;
+        ++stats_.blockMisses;
+        if (cold)
+            ++stats_.coldMisses;
+        if (is_ifetch) {
+            ++stats_.ifetchAccesses;
+            ++stats_.ifetchMisses;
+        }
+    }
+
+    frame.present = true;
+    frame.tag = block_addr;
+    frame.valid.assign(numSubs_, false);
+    frame.touched.assign(numSubs_, false);
+    frame.touched[sub] = true;
+    frame.dirty.assign(numSubs_, false);
+    frame.prefetched.assign(numSubs_, false);
+    noteFill(set, victim);
+    fetchInto(frame, set, victim, sub, !is_write, cold);
+    if (is_write) {
+        if (config_.write == WritePolicy::CopyBack)
+            frame.dirty[sub] = true;
+        else
+            ++stats_.storeWords;
+    }
+    if (config_.fetch == FetchPolicy::PrefetchNextOnMiss)
+        prefetchSequential(ref.addr + subBlockSize_);
+}
+
+void
+ReferenceCache::prefetchSequential(Addr target)
+{
+    const std::uint32_t set = setOf(target);
+    const Addr block_addr = blockAddrOf(target);
+    const std::uint32_t sub = subIndexOf(target);
+
+    const int way = findWay(set, block_addr);
+    if (way >= 0) {
+        Frame &frame = frames_[set][way];
+        if (frame.valid[sub])
+            return;  // already resident, nothing to move
+        frame.valid[sub] = true;
+        frame.prefetched[sub] = true;
+        everFilled_[set][static_cast<std::uint32_t>(way)][sub] = true;
+        stats_.wordsFetched += wordsPerSub_;
+        ++stats_.bursts;
+        ++stats_.burstWords[wordsPerSub_];
+        stats_.prefetchWords += wordsPerSub_;
+        ++stats_.prefetches;
+        return;
+    }
+
+    // Allocate a frame for the prefetched block (where pollution
+    // occurs); the new residency starts with nothing touched.
+    const std::uint32_t victim = chooseVictim(set);
+    Frame &frame = frames_[set][victim];
+    if (frame.present)
+        endResidency(frame);
+    frame.present = true;
+    frame.tag = block_addr;
+    frame.valid.assign(numSubs_, false);
+    frame.valid[sub] = true;
+    frame.touched.assign(numSubs_, false);
+    frame.dirty.assign(numSubs_, false);
+    frame.prefetched.assign(numSubs_, false);
+    frame.prefetched[sub] = true;
+    everFilled_[set][victim][sub] = true;
+    noteFill(set, victim);
+    stats_.wordsFetched += wordsPerSub_;
+    ++stats_.bursts;
+    ++stats_.burstWords[wordsPerSub_];
+    stats_.prefetchWords += wordsPerSub_;
+    ++stats_.prefetches;
+}
+
+void
+ReferenceCache::finalize()
+{
+    for (std::uint32_t set = 0; set < numSets_; ++set) {
+        for (std::uint32_t way = 0; way < assoc_; ++way) {
+            Frame &frame = frames_[set][way];
+            bool any_touched = false;
+            for (std::uint32_t i = 0; i < numSubs_; ++i)
+                any_touched = any_touched || frame.touched[i];
+            if (frame.present && any_touched) {
+                std::uint32_t touched = 0;
+                for (std::uint32_t i = 0; i < numSubs_; ++i) {
+                    if (frame.touched[i])
+                        ++touched;
+                }
+                ++stats_.evictions;
+                ++stats_.residencyTouched[touched];
+                frame.touched.assign(numSubs_, false);
+            }
+            writebackDirty(frame);
+        }
+    }
+}
+
+void
+ReferenceCache::run(const std::vector<MemRef> &refs)
+{
+    for (const MemRef &ref : refs)
+        access(ref);
+    finalize();
+}
+
+} // namespace occsim

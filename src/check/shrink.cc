@@ -1,0 +1,252 @@
+#include "check/shrink.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace occsim {
+
+namespace {
+
+/** One shrink session: owns the probe counter. */
+class Shrinker
+{
+  public:
+    explicit Shrinker(const DiffOptions &options) : options_(options) {}
+
+    std::size_t probes() const { return probes_; }
+
+    bool fails(const CacheConfig &config,
+               const std::vector<MemRef> &refs)
+    {
+        ++probes_;
+        return runDifferentialCase(config, refs, options_).mismatch();
+    }
+
+    /** One ddmin pass over the trace. @return true on any progress. */
+    bool shrinkTrace(const CacheConfig &config,
+                     std::vector<MemRef> &refs)
+    {
+        bool progress = false;
+        std::size_t chunks = 2;
+        while (refs.size() >= 2) {
+            chunks = std::min(chunks, refs.size());
+            const std::size_t chunk_len =
+                (refs.size() + chunks - 1) / chunks;
+            bool removed = false;
+            for (std::size_t start = 0; start < refs.size();
+                 start += chunk_len) {
+                const std::size_t end =
+                    std::min(start + chunk_len, refs.size());
+                std::vector<MemRef> candidate;
+                candidate.reserve(refs.size() - (end - start));
+                candidate.insert(candidate.end(), refs.begin(),
+                                 refs.begin() +
+                                     static_cast<std::ptrdiff_t>(start));
+                candidate.insert(candidate.end(),
+                                 refs.begin() +
+                                     static_cast<std::ptrdiff_t>(end),
+                                 refs.end());
+                if (fails(config, candidate)) {
+                    refs = std::move(candidate);
+                    progress = true;
+                    removed = true;
+                    chunks = std::max<std::size_t>(2, chunks - 1);
+                    break;
+                }
+            }
+            if (!removed) {
+                if (chunks >= refs.size())
+                    break;
+                chunks = std::min(chunks * 2, refs.size());
+            }
+        }
+        return progress;
+    }
+
+    /** One config-simplification pass. @return true on progress. */
+    bool shrinkConfig(CacheConfig &config,
+                      const std::vector<MemRef> &refs)
+    {
+        bool progress = false;
+        const auto attempt = [&](CacheConfig candidate) {
+            if (candidate == config)
+                return;
+            if (fails(candidate, refs)) {
+                config = candidate;
+                progress = true;
+            }
+        };
+
+        {
+            CacheConfig c = config;
+            c.replacement = ReplacementPolicy::LRU;
+            attempt(c);
+        }
+        {
+            CacheConfig c = config;
+            c.fetch = FetchPolicy::Demand;
+            attempt(c);
+        }
+        {
+            CacheConfig c = config;
+            c.write = WritePolicy::WriteThrough;
+            attempt(c);
+        }
+        {
+            CacheConfig c = config;
+            c.writeAllocate = true;
+            attempt(c);
+        }
+        while (config.assoc > 1) {
+            CacheConfig c = config;
+            c.assoc /= 2;
+            if (!fails(c, refs))
+                break;
+            config = c;
+            progress = true;
+        }
+        while (config.netSize > config.blockSize) {
+            CacheConfig c = config;
+            c.netSize /= 2;
+            if (!fails(c, refs))
+                break;
+            config = c;
+            progress = true;
+        }
+        {
+            CacheConfig c = config;
+            c.subBlockSize = c.blockSize;
+            attempt(c);
+        }
+        while (config.blockSize > config.subBlockSize &&
+               config.blockSize > config.wordSize) {
+            CacheConfig c = config;
+            c.blockSize /= 2;
+            c.netSize = std::max(c.netSize, c.blockSize);
+            if (c.blockSize < c.subBlockSize || !fails(c, refs))
+                break;
+            config = c;
+            progress = true;
+        }
+        return progress;
+    }
+
+  private:
+    DiffOptions options_;
+    std::size_t probes_ = 0;
+};
+
+const char *
+replacementEnumName(ReplacementPolicy policy)
+{
+    switch (policy) {
+      case ReplacementPolicy::LRU:
+        return "ReplacementPolicy::LRU";
+      case ReplacementPolicy::FIFO:
+        return "ReplacementPolicy::FIFO";
+      case ReplacementPolicy::Random:
+        return "ReplacementPolicy::Random";
+    }
+    return "ReplacementPolicy::LRU";
+}
+
+const char *
+fetchEnumName(FetchPolicy policy)
+{
+    switch (policy) {
+      case FetchPolicy::Demand:
+        return "FetchPolicy::Demand";
+      case FetchPolicy::LoadForward:
+        return "FetchPolicy::LoadForward";
+      case FetchPolicy::LoadForwardOptimized:
+        return "FetchPolicy::LoadForwardOptimized";
+      case FetchPolicy::PrefetchNextOnMiss:
+        return "FetchPolicy::PrefetchNextOnMiss";
+    }
+    return "FetchPolicy::Demand";
+}
+
+const char *
+writeEnumName(WritePolicy policy)
+{
+    switch (policy) {
+      case WritePolicy::WriteThrough:
+        return "WritePolicy::WriteThrough";
+      case WritePolicy::CopyBack:
+        return "WritePolicy::CopyBack";
+    }
+    return "WritePolicy::WriteThrough";
+}
+
+const char *
+kindEnumName(RefKind kind)
+{
+    switch (kind) {
+      case RefKind::Ifetch:
+        return "RefKind::Ifetch";
+      case RefKind::DataRead:
+        return "RefKind::DataRead";
+      case RefKind::DataWrite:
+        return "RefKind::DataWrite";
+    }
+    return "RefKind::DataRead";
+}
+
+} // namespace
+
+ShrinkResult
+shrinkCase(const CacheConfig &config, const std::vector<MemRef> &refs,
+           const DiffOptions &options)
+{
+    ShrinkResult result;
+    result.config = config;
+    result.refs = refs;
+
+    Shrinker shrinker(options);
+    // Alternate passes until a full round makes no progress. Config
+    // simplification can unlock further trace shrinking (a simpler
+    // cache needs fewer references to misbehave) and vice versa.
+    for (;;) {
+        const bool trace_progress =
+            shrinker.shrinkTrace(result.config, result.refs);
+        const bool config_progress =
+            shrinker.shrinkConfig(result.config, result.refs);
+        if (!trace_progress && !config_progress)
+            break;
+    }
+    result.probes = shrinker.probes();
+    return result;
+}
+
+std::string
+reproToString(const CacheConfig &config, const std::vector<MemRef> &refs)
+{
+    std::ostringstream os;
+    os << "// occsim-fuzz minimal repro (" << refs.size()
+       << " refs) -- paste into a test:\n";
+    os << "CacheConfig config;\n";
+    os << "config.netSize = " << config.netSize << ";\n";
+    os << "config.blockSize = " << config.blockSize << ";\n";
+    os << "config.subBlockSize = " << config.subBlockSize << ";\n";
+    os << "config.assoc = " << config.assoc << ";\n";
+    os << "config.wordSize = " << config.wordSize << ";\n";
+    os << "config.replacement = "
+       << replacementEnumName(config.replacement) << ";\n";
+    os << "config.fetch = " << fetchEnumName(config.fetch) << ";\n";
+    os << "config.write = " << writeEnumName(config.write) << ";\n";
+    os << "config.writeAllocate = "
+       << (config.writeAllocate ? "true" : "false") << ";\n";
+    os << "config.randomSeed = " << config.randomSeed << "ull;\n";
+    os << "const std::vector<MemRef> refs = {\n";
+    for (const MemRef &ref : refs) {
+        os << "    {0x" << std::hex << ref.addr << std::dec << ", "
+           << kindEnumName(ref.kind) << ", "
+           << static_cast<unsigned>(ref.size) << "},\n";
+    }
+    os << "};\n";
+    os << "EXPECT_FALSE(runDifferentialCase(config, refs)"
+          ".mismatch());\n";
+    return os.str();
+}
+
+} // namespace occsim

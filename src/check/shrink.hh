@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Mismatch shrinking: reduce a failing differential case to a
+ * minimal repro.
+ *
+ * A fuzz mismatch on an 800-reference trace with a 5-field config is
+ * nearly useless for debugging; the same mismatch on 6 references
+ * and a direct-mapped demand-fetch cache is a unit test. The shrinker
+ * alternates two greedy passes until neither makes progress:
+ *
+ *  - Trace bisection (ddmin): partition the trace into n chunks and
+ *    try deleting each; if the mismatch survives, keep the smaller
+ *    trace and coarsen, otherwise refine (n *= 2) down to single
+ *    references.
+ *  - Config simplification: try each mutation toward the simplest
+ *    design point — replacement to LRU, fetch to demand, write to
+ *    write-through, write-allocate on, associativity and net size
+ *    halved, sub-block widened to the block size — keeping any
+ *    mutation under which the mismatch survives. The word size is
+ *    never changed (the trace's addresses and sizes depend on it).
+ *
+ * Every candidate is re-validated by running the full differential
+ * case, so a shrunk repro fails for the same reason the original
+ * did: there is no way to "shrink away" the bug.
+ */
+
+#ifndef OCCSIM_CHECK_SHRINK_HH
+#define OCCSIM_CHECK_SHRINK_HH
+
+#include <string>
+#include <vector>
+
+#include "check/differential.hh"
+
+namespace occsim {
+
+/** A minimized failing case. */
+struct ShrinkResult
+{
+    CacheConfig config;
+    std::vector<MemRef> refs;
+    /** Differential-case evaluations spent shrinking. */
+    std::size_t probes = 0;
+};
+
+/**
+ * Shrink a failing case. (@p config, @p refs) must already mismatch
+ * under @p options; the result is guaranteed to still mismatch.
+ */
+ShrinkResult shrinkCase(const CacheConfig &config,
+                        const std::vector<MemRef> &refs,
+                        const DiffOptions &options = {});
+
+/**
+ * Render (@p config, @p refs) as a standalone, replayable C++ test
+ * body: config field assignments plus a reference initializer list,
+ * ending in a runDifferentialCase call. Paste-ready for a regression
+ * test.
+ */
+std::string reproToString(const CacheConfig &config,
+                          const std::vector<MemRef> &refs);
+
+} // namespace occsim
+
+#endif // OCCSIM_CHECK_SHRINK_HH

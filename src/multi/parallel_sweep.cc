@@ -66,6 +66,19 @@ selectConfigs(const std::vector<CacheConfig> &configs,
     return out;
 }
 
+/** Bitwise SweepResult equality (the fast path's contract). */
+bool
+sameSweepResult(const SweepResult &a, const SweepResult &b)
+{
+    return a.grossBytes == b.grossBytes &&
+           a.missRatio == b.missRatio &&
+           a.warmMissRatio == b.warmMissRatio &&
+           a.trafficRatio == b.trafficRatio &&
+           a.warmTrafficRatio == b.warmTrafficRatio &&
+           a.nibbleTrafficRatio == b.nibbleTrafficRatio &&
+           a.warmNibbleTrafficRatio == b.warmNibbleTrafficRatio;
+}
+
 } // namespace
 
 ParallelSweepRunner::ParallelSweepRunner(
@@ -95,6 +108,23 @@ ParallelSweepRunner::ParallelSweepRunner(
         }
         engines_.push_back(std::make_unique<SinglePassEngine>(
             selectConfigs(configs_, part.groups[g])));
+    }
+
+    if (engine == SweepEngine::CrossCheck) {
+        // Shadow every 4th fast-pathed config (at least one) on the
+        // direct engine; run() verifies the summaries bitwise.
+        std::vector<std::size_t> fast;
+        for (std::size_t i = 0; i < routes_.size(); ++i) {
+            if (routes_[i].engine >= 0)
+                fast.push_back(i);
+        }
+        const std::size_t stride =
+            std::max<std::size_t>(1, fast.size() / 4);
+        for (std::size_t k = 0; k < fast.size(); k += stride) {
+            shadowIndex_.push_back(fast[k]);
+            shadowCaches_.push_back(
+                std::make_unique<Cache>(configs_[fast[k]]));
+        }
     }
 }
 
@@ -152,18 +182,41 @@ ParallelSweepRunner::run(const std::shared_ptr<const VectorTrace> &trace,
     }
 
     const std::size_t direct_tasks = caches_.size();
+    const std::size_t routed_tasks = direct_tasks + level_tasks.size();
     poolOrGlobal(pool_).parallelFor(
-        direct_tasks + level_tasks.size(), [&](std::size_t task) {
+        routed_tasks + shadowCaches_.size(), [&](std::size_t task) {
             if (task < direct_tasks) {
                 Cache &cache = *caches_[task];
                 for (std::uint64_t r = 0; r < limit; ++r)
                     cache.access(refs[r]);
                 cache.finalizeResidencies();
-            } else {
+            } else if (task < routed_tasks) {
                 const auto [e, l] = level_tasks[task - direct_tasks];
                 engines_[e]->runLevel(l, *trace, max_refs);
+            } else {
+                Cache &cache = *shadowCaches_[task - routed_tasks];
+                for (std::uint64_t r = 0; r < limit; ++r)
+                    cache.access(refs[r]);
+                cache.finalizeResidencies();
             }
         });
+
+    // CrossCheck: the fast path must reproduce every shadow's
+    // summary bit for bit, on this very trace.
+    for (std::size_t s = 0; s < shadowIndex_.size(); ++s) {
+        const std::size_t i = shadowIndex_[s];
+        const Route &route = routes_[i];
+        const SweepResult fast =
+            engines_[static_cast<std::size_t>(route.engine)]
+                ->results()[route.slot];
+        const SweepResult want = summarizeCache(*shadowCaches_[s]);
+        if (!sameSweepResult(fast, want)) {
+            fatal("cross-check mismatch: single-pass engine disagrees "
+                  "with direct simulation for config %s on trace %s",
+                  configs_[i].fullName().c_str(),
+                  trace->name().c_str());
+        }
+    }
     return limit;
 }
 
@@ -188,6 +241,20 @@ runSweeps(const std::vector<std::shared_ptr<const VectorTrace>> &traces,
 {
     occsim_assert(!traces.empty(), "no traces to sweep");
     occsim_assert(!configs.empty(), "sweep needs at least one config");
+
+    if (engine == SweepEngine::CrossCheck) {
+        // Verification mode: one checked runner per trace (still
+        // parallel within each trace). The flattened fast path below
+        // has no per-config shadows, so it cannot cross-check.
+        std::vector<std::vector<SweepResult>> out;
+        out.reserve(traces.size());
+        for (const auto &trace : traces) {
+            ParallelSweepRunner runner(configs, pool, engine);
+            runner.run(trace);
+            out.push_back(runner.results());
+        }
+        return out;
+    }
 
     std::vector<std::vector<SweepResult>> out(
         traces.size(), std::vector<SweepResult>(configs.size()));

@@ -48,6 +48,17 @@ enum class SweepEngine : std::uint8_t {
     Auto = 0,
     /** Direct per-config Cache simulation for every config. */
     DirectOnly = 1,
+    /**
+     * Auto routing plus a runtime differential check: a sampled
+     * subset of the fast-pathed configs is shadow-simulated on the
+     * direct Cache engine as extra pool tasks, and after each run()
+     * the fast path's summaries must match the shadows bit for bit —
+     * any divergence is a fatal error naming the config. The belt to
+     * occsim-fuzz's suspenders: it validates the routing on the real
+     * workload actually being swept, at a bounded (~25% of eligible
+     * configs) overhead.
+     */
+    CrossCheck = 2,
 };
 
 /**
@@ -93,6 +104,10 @@ class ParallelSweepRunner
     /** Number of configs served by the single-pass engine. */
     std::size_t fastPathCount() const;
 
+    /** Number of fast-pathed configs shadow-verified per run()
+     *  (non-zero only under SweepEngine::CrossCheck). */
+    std::size_t crossCheckCount() const { return shadowIndex_.size(); }
+
     /** Backing Cache of config @p i; panics if fastPathed(i). */
     const Cache &cache(std::size_t i) const;
     Cache &cache(std::size_t i);
@@ -120,6 +135,11 @@ class ParallelSweepRunner
     std::vector<std::unique_ptr<SinglePassEngine>> engines_;
     /** engineIndex_[e][k] = config index of engines_[e]'s k-th. */
     std::vector<std::vector<std::size_t>> engineIndex_;
+    /** CrossCheck only: sampled fast-pathed config indices with a
+     *  shadow direct Cache each (shadowCaches_[s] simulates
+     *  configs_[shadowIndex_[s]]). */
+    std::vector<std::size_t> shadowIndex_;
+    std::vector<std::unique_ptr<Cache>> shadowCaches_;
 };
 
 /**

@@ -55,6 +55,14 @@ Rng::next()
     return result;
 }
 
+Rng
+Rng::split()
+{
+    // The child is re-expanded through splitmix64, so parent and
+    // child streams share no state words.
+    return Rng(next());
+}
+
 std::uint64_t
 Rng::below(std::uint64_t bound)
 {

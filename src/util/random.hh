@@ -34,6 +34,14 @@ class Rng
     /** @return the next raw 64-bit value. */
     std::uint64_t next();
 
+    /**
+     * Derive an independent child generator (consumes one draw from
+     * this stream). Used by the fuzz harness so each (config, trace)
+     * generator gets its own deterministic stream: replaying a case
+     * seed never depends on how many draws other generators made.
+     */
+    Rng split();
+
     /** @return a uniform integer in [0, bound); @p bound must be > 0. */
     std::uint64_t below(std::uint64_t bound);
 

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Edge-case tests for CacheStats, focused on the bulk-load path
+ * (loadDemandRun) the single-pass engine depends on: zero-reference
+ * runs must yield clean zeros (no NaN from 0/0), huge counts must
+ * not corrupt the derived doubles, the bit-identity contract with
+ * the per-reference recording path must hold, and loading into a
+ * non-empty object must die loudly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cache/cache.hh"
+#include "check/generators.hh"
+#include "mem/bus_model.hh"
+
+using namespace occsim;
+
+namespace {
+
+constexpr std::uint32_t kWordsPerBlock = 4;
+
+CacheStats
+freshStats()
+{
+    return CacheStats(1, kWordsPerBlock);
+}
+
+} // namespace
+
+TEST(CacheStatsLoad, ZeroReferenceRunYieldsZeroRatiosNotNaN)
+{
+    CacheStats stats = freshStats();
+    stats.loadDemandRun(0, 0, 0, 0, 0, 0, 0, true, kWordsPerBlock);
+
+    EXPECT_EQ(stats.accesses(), 0u);
+    EXPECT_EQ(stats.missRatio(), 0.0);
+    EXPECT_EQ(stats.warmMissRatio(), 0.0);
+    EXPECT_EQ(stats.trafficRatio(), 0.0);
+    EXPECT_EQ(stats.warmTrafficRatio(), 0.0);
+    EXPECT_EQ(stats.ifetchMissRatio(), 0.0);
+    EXPECT_EQ(stats.totalTrafficRatio(), 0.0);
+    const NibbleModeBus nibble;
+    EXPECT_EQ(stats.scaledTrafficRatio(nibble), 0.0);
+    EXPECT_EQ(stats.warmScaledTrafficRatio(nibble), 0.0);
+    EXPECT_FALSE(std::isnan(stats.meanSubBlocksTouched()));
+    EXPECT_FALSE(std::isnan(stats.neverReferencedFraction()));
+}
+
+TEST(CacheStatsLoad, AllColdRunDiscountsToZeroWarm)
+{
+    // Every miss cold: warm-start metrics must collapse to zero
+    // misses and zero traffic, exactly.
+    CacheStats stats = freshStats();
+    stats.loadDemandRun(100, 40, 7, 3, 7, 10, 2, true,
+                        kWordsPerBlock);
+    EXPECT_GT(stats.missRatio(), 0.0);
+    EXPECT_EQ(stats.warmMissRatio(), 0.0);
+    EXPECT_EQ(stats.warmTrafficRatio(), 0.0);
+    const NibbleModeBus nibble;
+    EXPECT_EQ(stats.warmScaledTrafficRatio(nibble), 0.0);
+}
+
+TEST(CacheStatsLoad, HugeCountsStayFiniteAndOrdered)
+{
+    // Counts near the top of the 64-bit range: the derived doubles
+    // must stay finite and correctly ordered (no intermediate
+    // integer overflow feeding the ratios).
+    const std::uint64_t big = 1ull << 60;
+    CacheStats stats = freshStats();
+    stats.loadDemandRun(big, big / 2, big / 4, big / 8, big / 16,
+                        big / 2, big / 8, true, kWordsPerBlock);
+
+    EXPECT_TRUE(std::isfinite(stats.missRatio()));
+    EXPECT_TRUE(std::isfinite(stats.trafficRatio()));
+    EXPECT_DOUBLE_EQ(stats.missRatio(), 0.25);
+    EXPECT_DOUBLE_EQ(stats.trafficRatio(), 0.25 * kWordsPerBlock);
+    EXPECT_LE(stats.warmMissRatio(), stats.missRatio());
+    EXPECT_LE(stats.warmTrafficRatio(), stats.trafficRatio());
+    const NibbleModeBus nibble;
+    EXPECT_LE(stats.scaledTrafficRatio(nibble),
+              stats.trafficRatio() + 1e-12);
+}
+
+TEST(CacheStatsLoad, MatchesPerReferenceRecordingBitForBit)
+{
+    // The contract the single-pass engine rests on: bulk-loading a
+    // demand run's totals must reproduce the per-reference recording
+    // path's derived doubles exactly.
+    CacheConfig config;
+    config.netSize = 256;
+    config.blockSize = 8;
+    config.subBlockSize = 8;
+    config.assoc = 2;
+    config.wordSize = 2;
+
+    Cache cache(config);
+    const auto trace = TraceGen(0x10adull).make(20000, 2);
+    for (const MemRef &ref : trace->refs())
+        cache.access(ref);
+    cache.finalizeResidencies();
+    const CacheStats &want = cache.stats();
+
+    CacheStats loaded(1, config.blockSize / config.wordSize);
+    loaded.loadDemandRun(want.accesses(), want.ifetchAccesses(),
+                         want.misses(), want.ifetchMisses(),
+                         want.coldMisses(), want.writeAccesses(),
+                         want.writeMisses(), true,
+                         config.blockSize / config.wordSize);
+
+    EXPECT_EQ(loaded.missRatio(), want.missRatio());
+    EXPECT_EQ(loaded.warmMissRatio(), want.warmMissRatio());
+    EXPECT_EQ(loaded.trafficRatio(), want.trafficRatio());
+    EXPECT_EQ(loaded.warmTrafficRatio(), want.warmTrafficRatio());
+    const NibbleModeBus nibble;
+    EXPECT_EQ(loaded.scaledTrafficRatio(nibble),
+              want.scaledTrafficRatio(nibble));
+    EXPECT_EQ(loaded.warmScaledTrafficRatio(nibble),
+              want.warmScaledTrafficRatio(nibble));
+}
+
+TEST(CacheStatsLoadDeathTest, DiesOnNonEmptyStats)
+{
+    // Bulk-loading over live counters would silently merge two runs;
+    // it must abort instead.
+    CacheStats stats = freshStats();
+    stats.recordHit(false);
+    EXPECT_DEATH(stats.loadDemandRun(1, 0, 0, 0, 0, 0, 0, true,
+                                     kWordsPerBlock),
+                 "non-empty");
+
+    CacheStats loaded = freshStats();
+    loaded.loadDemandRun(2, 1, 1, 0, 1, 0, 0, true, kWordsPerBlock);
+    EXPECT_DEATH(loaded.loadDemandRun(2, 1, 1, 0, 1, 0, 0, true,
+                                      kWordsPerBlock),
+                 "non-empty");
+
+    // Writes alone also make the object non-empty.
+    CacheStats written = freshStats();
+    written.recordWrite(true);
+    EXPECT_DEATH(written.loadDemandRun(0, 0, 0, 0, 0, 0, 0, true,
+                                       kWordsPerBlock),
+                 "non-empty");
+}

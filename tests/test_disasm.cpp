@@ -95,9 +95,9 @@ INSTANTIATE_TEST_SUITE_P(
     AllPrograms, DisasmRoundTrip,
     ::testing::Combine(::testing::ValuesIn(programNames()),
                        ::testing::Values(2u, 4u)),
-    [](const auto &info) {
-        return std::get<0>(info.param) +
-               (std::get<1>(info.param) == 2 ? "_w16" : "_w32");
+    [](const auto &param_info) {
+        return std::get<0>(param_info.param) +
+               (std::get<1>(param_info.param) == 2 ? "_w16" : "_w32");
     });
 
 TEST(Disasm, RoundTrippedProgramStillComputes)

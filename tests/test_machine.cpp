@@ -267,8 +267,9 @@ TEST(Machine, SixteenBitAddressWraparound)
     EXPECT_EQ(machine.reg(3), 77);
     // The emitted data reference carries the wrapped address.
     for (const MemRef &ref : trace.refs()) {
-        if (ref.kind == RefKind::DataWrite)
+        if (ref.kind == RefKind::DataWrite) {
             EXPECT_EQ(ref.addr, 0x10u);
+        }
     }
 }
 

@@ -371,8 +371,9 @@ TEST_P(ProgramsOnBothWidths, FibComputesCorrectly)
 
 INSTANTIATE_TEST_SUITE_P(WordSizes, ProgramsOnBothWidths,
                          ::testing::Values(2u, 4u),
-                         [](const auto &info) {
-                             return info.param == 2 ? "w16" : "w32";
+                         [](const auto &param_info) {
+                             return param_info.param == 2 ? "w16"
+                                                          : "w32";
                          });
 
 TEST(ProgramLibrary, AllNamedProgramsAssembleAndRun)

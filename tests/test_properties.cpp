@@ -154,8 +154,8 @@ TEST_P(GridProperty, GrossSizeConsistency)
 
 INSTANTIATE_TEST_SUITE_P(
     PaperDesignGrid, GridProperty, ::testing::ValuesIn(fullGrid()),
-    [](const ::testing::TestParamInfo<CacheConfig> &info) {
-        const CacheConfig &config = info.param;
+    [](const ::testing::TestParamInfo<CacheConfig> &param_info) {
+        const CacheConfig &config = param_info.param;
         return "net" + std::to_string(config.netSize) + "_b" +
                std::to_string(config.blockSize) + "_s" +
                std::to_string(config.subBlockSize);
