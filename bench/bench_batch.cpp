@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Direct-vs-batched wall-clock comparison on the paper's sector and
+ * load-forward grid — exactly the configurations the single-pass
+ * engine cannot take (sub-block < block, load-forward fetch), which
+ * before the batched engine all fell back to per-reference
+ * Cache::access simulation.
+ *
+ * Both engines run single-threaded on a private one-worker pool so
+ * the headline number isolates the engine change (packed trace +
+ * specialized kernels + config tiling) from PR 1's thread-level
+ * parallelism. A bit-identity check between the two result sets makes
+ * the CI smoke run double as a correctness gate: exit status is
+ * non-zero if any result disagrees.
+ *
+ * Prints a human-readable summary plus one machine-readable JSON
+ * line (prefix "BENCH_JSON ", persisted to BENCH_batch.json). Trace
+ * generation is excluded from both timings; OCCSIM_TRACE_LEN applies
+ * as usual.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_json.hh"
+#include "harness/experiment.hh"
+#include "multi/parallel_sweep.hh"
+#include "util/str.hh"
+#include "workload/suites.hh"
+
+using namespace occsim;
+
+namespace {
+
+double
+millisSince(std::chrono::steady_clock::time_point start)
+{
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+bool
+identical(const SweepResult &a, const SweepResult &b)
+{
+    return a.config == b.config && a.grossBytes == b.grossBytes &&
+           a.missRatio == b.missRatio &&
+           a.warmMissRatio == b.warmMissRatio &&
+           a.trafficRatio == b.trafficRatio &&
+           a.warmTrafficRatio == b.warmTrafficRatio &&
+           a.nibbleTrafficRatio == b.nibbleTrafficRatio &&
+           a.warmNibbleTrafficRatio == b.warmNibbleTrafficRatio;
+}
+
+/**
+ * The sector/load-forward design points behind Figures 4-9: every
+ * (block, sub-block) pair with sub < block at the paper's standard
+ * 1024-byte net size, crossed with demand and load-forward fetch.
+ * None are single-pass eligible, so Auto routes the whole grid to
+ * the batched replay engine.
+ */
+std::vector<CacheConfig>
+sectorLoadForwardGrid(std::uint32_t word_size)
+{
+    std::vector<CacheConfig> configs;
+    for (const std::uint32_t block : {8u, 16u, 32u, 64u}) {
+        for (std::uint32_t sub = std::max(2u, word_size); sub < block;
+             sub *= 2) {
+            for (const FetchPolicy fetch :
+                 {FetchPolicy::Demand, FetchPolicy::LoadForward}) {
+                CacheConfig config =
+                    makeConfig(1024, block, sub, word_size);
+                config.fetch = fetch;
+                configs.push_back(config);
+            }
+        }
+    }
+    return configs;
+}
+
+} // namespace
+
+int
+main()
+{
+    const Suite suite = pdp11Suite();
+    const auto configs = sectorLoadForwardGrid(suite.profile.wordSize);
+
+    std::printf("batched replay engine benchmark: %s suite, "
+                "%zu traces x %zu configs (sector/load-forward grid, "
+                "net 1024), %llu refs/trace, single-threaded\n",
+                suite.profile.name.c_str(), suite.traces.size(),
+                configs.size(),
+                static_cast<unsigned long long>(defaultTraceLength()));
+
+    // Build every trace up front (untimed; shared read-only by both
+    // engines). One worker: the comparison isolates the engine, not
+    // the pool.
+    const auto traces = buildSuiteTraces(suite);
+    ThreadPool pool(1);
+
+    // Reference: per-config direct Cache::access simulation.
+    const auto direct_start = std::chrono::steady_clock::now();
+    const auto direct_results =
+        runSweeps(traces, configs, &pool, SweepEngine::DirectOnly);
+    const double direct_ms = millisSince(direct_start);
+
+    // Batched: packed trace decoded once per trace, specialized
+    // kernels, config-tiled streaming (trace packing is inside the
+    // timed region — it is part of the engine's real cost).
+    const auto batch_start = std::chrono::steady_clock::now();
+    const auto batch_results =
+        runSweeps(traces, configs, &pool, SweepEngine::Auto);
+    const double batch_ms = millisSince(batch_start);
+
+    bool bit_identical = direct_results.size() == batch_results.size();
+    std::size_t mismatches = 0;
+    for (std::size_t t = 0;
+         bit_identical && t < direct_results.size(); ++t) {
+        bit_identical =
+            direct_results[t].size() == batch_results[t].size();
+        for (std::size_t c = 0;
+             bit_identical && c < direct_results[t].size(); ++c) {
+            if (!identical(direct_results[t][c],
+                           batch_results[t][c])) {
+                ++mismatches;
+                std::printf("MISMATCH trace %zu config %s\n", t,
+                            direct_results[t][c]
+                                .config.fullName()
+                                .c_str());
+            }
+        }
+        bit_identical = bit_identical && mismatches == 0;
+    }
+
+    const double speedup =
+        batch_ms > 0.0 ? direct_ms / batch_ms : 0.0;
+    std::printf("direct (per-config): %.1f ms\n"
+                "batched:             %.1f ms\n"
+                "speedup:             %.2fx\n"
+                "bit-identical results: %s\n",
+                direct_ms, batch_ms, speedup,
+                bit_identical ? "yes" : "NO");
+
+    bench::writeBenchJson(
+        "batch",
+        strfmt("{\"bench\":\"batch\",\"suite\":\"%s\","
+               "\"traces\":%zu,\"configs\":%zu,"
+               "\"refs_per_trace\":%llu,\"threads\":1,"
+               "\"direct_ms\":%.3f,\"batch_ms\":%.3f,"
+               "\"speedup\":%.3f,\"bit_identical\":%s}",
+               suite.profile.name.c_str(), suite.traces.size(),
+               configs.size(),
+               static_cast<unsigned long long>(defaultTraceLength()),
+               direct_ms, batch_ms, speedup,
+               bit_identical ? "true" : "false"));
+
+    return bit_identical ? 0 : 1;
+}

@@ -17,8 +17,10 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_json.hh"
 #include "harness/experiment.hh"
 #include "multi/parallel_sweep.hh"
+#include "util/str.hh"
 #include "workload/suites.hh"
 
 using namespace occsim;
@@ -116,17 +118,19 @@ main()
                 auto_ms, checked_ms, shadows, overhead,
                 bit_identical ? "yes" : "NO");
 
-    std::printf("BENCH_JSON {\"bench\":\"crosscheck\","
-                "\"suite\":\"%s\",\"traces\":%zu,\"configs\":%zu,"
-                "\"refs_per_trace\":%llu,\"threads\":%u,"
-                "\"shadows_per_trace\":%zu,"
-                "\"auto_ms\":%.3f,\"checked_ms\":%.3f,"
-                "\"overhead\":%.3f,\"bit_identical\":%s}\n",
-                suite.profile.name.c_str(), suite.traces.size(),
-                configs.size(),
-                static_cast<unsigned long long>(defaultTraceLength()),
-                threads, shadows, auto_ms, checked_ms, overhead,
-                bit_identical ? "true" : "false");
+    bench::writeBenchJson(
+        "crosscheck",
+        strfmt("{\"bench\":\"crosscheck\","
+               "\"suite\":\"%s\",\"traces\":%zu,\"configs\":%zu,"
+               "\"refs_per_trace\":%llu,\"threads\":%u,"
+               "\"shadows_per_trace\":%zu,"
+               "\"auto_ms\":%.3f,\"checked_ms\":%.3f,"
+               "\"overhead\":%.3f,\"bit_identical\":%s}",
+               suite.profile.name.c_str(), suite.traces.size(),
+               configs.size(),
+               static_cast<unsigned long long>(defaultTraceLength()),
+               threads, shadows, auto_ms, checked_ms, overhead,
+               bit_identical ? "true" : "false"));
 
     return bit_identical ? 0 : 1;
 }

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * BENCH_JSON emission shared by the timing benchmarks.
+ *
+ * Every timing bench reports one machine-readable JSON line. This
+ * helper both prints it to stdout with the "BENCH_JSON " prefix (the
+ * historical contract, greppable from smoke logs) and persists it to
+ * BENCH_<name>.json at the repo root so the perf trajectory is
+ * tracked across PRs by plain files under version control.
+ */
+
+#ifndef OCCSIM_BENCH_BENCH_JSON_HH
+#define OCCSIM_BENCH_BENCH_JSON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace occsim::bench {
+
+/** Print @p json with the BENCH_JSON prefix and write it (plus a
+ *  trailing newline) to BENCH_<name>.json at the repo root —
+ *  or under $OCCSIM_BENCH_DIR when set, which the smoke tests use so
+ *  reduced-length CI runs never clobber the committed full-length
+ *  numbers. */
+inline void
+writeBenchJson(const std::string &name, const std::string &json)
+{
+    std::printf("BENCH_JSON %s\n", json.c_str());
+#ifdef OCCSIM_REPO_ROOT
+    const char *dir = std::getenv("OCCSIM_BENCH_DIR");
+    const std::string path = std::string(dir != nullptr
+                                             ? dir
+                                             : OCCSIM_REPO_ROOT) +
+                             "/BENCH_" + name + ".json";
+    if (std::FILE *file = std::fopen(path.c_str(), "w")) {
+        std::fprintf(file, "%s\n", json.c_str());
+        std::fclose(file);
+    } else {
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     path.c_str());
+    }
+#endif
+}
+
+} // namespace occsim::bench
+
+#endif // OCCSIM_BENCH_BENCH_JSON_HH

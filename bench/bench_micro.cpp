@@ -14,6 +14,7 @@
 #include "multi/miss_classifier.hh"
 #include "multi/stack_analyzer.hh"
 #include "multi/sweep_runner.hh"
+#include "trace/packed_trace.hh"
 #include "trace/trace_file.hh"
 #include "vm/machine.hh"
 #include "vm/program_library.hh"
@@ -51,6 +52,48 @@ BM_CacheAccess(benchmark::State &state)
         static_cast<std::int64_t>(trace.size()));
 }
 
+/** The historical sweep inner loop: one virtual TraceSource::next()
+ *  call plus one runtime-dispatched access() per reference. */
+void
+BM_CacheAccessVirtual(benchmark::State &state)
+{
+    const auto block = static_cast<std::uint32_t>(state.range(0));
+    const auto sub = static_cast<std::uint32_t>(state.range(1));
+    VectorTrace trace = benchTrace();
+    for (auto _ : state) {
+        Cache cache(makeConfig(1024, block, sub, 2));
+        trace.reset();
+        TraceSource &source = trace;
+        MemRef ref;
+        while (source.next(ref))
+            benchmark::DoNotOptimize(cache.access(ref));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+
+/** The batched-engine inner loop: a flat packed span through the
+ *  specialized kernel — same work as BM_CacheAccess minus the
+ *  per-reference policy dispatch (and minus the virtual next() of
+ *  BM_CacheAccessVirtual). Packing is done once, outside the timed
+ *  region, as in a real sweep. */
+void
+BM_CacheReplayPacked(benchmark::State &state)
+{
+    const auto block = static_cast<std::uint32_t>(state.range(0));
+    const auto sub = static_cast<std::uint32_t>(state.range(1));
+    const PackedTrace packed(benchTrace());
+    for (auto _ : state) {
+        Cache cache(makeConfig(1024, block, sub, 2));
+        cache.replayPacked(packed.data(), packed.size());
+        benchmark::DoNotOptimize(cache.stats().misses());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(packed.size()));
+}
+
 void
 BM_CacheAccessLoadForward(benchmark::State &state)
 {
@@ -65,6 +108,22 @@ BM_CacheAccessLoadForward(benchmark::State &state)
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()) *
         static_cast<std::int64_t>(trace.size()));
+}
+
+void
+BM_CacheReplayPackedLoadForward(benchmark::State &state)
+{
+    const PackedTrace packed(benchTrace());
+    for (auto _ : state) {
+        CacheConfig config = makeConfig(1024, 16, 2, 2);
+        config.fetch = FetchPolicy::LoadForward;
+        Cache cache(config);
+        cache.replayPacked(packed.data(), packed.size());
+        benchmark::DoNotOptimize(cache.stats().misses());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(packed.size()));
 }
 
 void
@@ -163,7 +222,18 @@ BENCHMARK(BM_CacheAccess)
     ->Args({16, 8})
     ->Args({16, 2})
     ->Args({64, 8});
+BENCHMARK(BM_CacheAccessVirtual)
+    ->Args({16, 16})
+    ->Args({16, 8})
+    ->Args({16, 2})
+    ->Args({64, 8});
+BENCHMARK(BM_CacheReplayPacked)
+    ->Args({16, 16})
+    ->Args({16, 8})
+    ->Args({16, 2})
+    ->Args({64, 8});
 BENCHMARK(BM_CacheAccessLoadForward);
+BENCHMARK(BM_CacheReplayPackedLoadForward);
 BENCHMARK(BM_SweepRunner)->Arg(1)->Arg(8)->Arg(32);
 BENCHMARK(BM_VmTraceGeneration);
 BENCHMARK(BM_StackAnalyzer);

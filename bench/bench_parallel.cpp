@@ -19,8 +19,10 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_json.hh"
 #include "harness/experiment.hh"
 #include "multi/parallel_sweep.hh"
+#include "util/str.hh"
 #include "workload/suites.hh"
 
 using namespace occsim;
@@ -105,16 +107,18 @@ main()
                 seq_ms, par_ms, speedup,
                 bit_identical ? "yes" : "NO");
 
-    std::printf("BENCH_JSON {\"bench\":\"parallel_sweep\","
-                "\"suite\":\"%s\",\"traces\":%zu,\"configs\":%zu,"
-                "\"refs_per_trace\":%llu,\"threads\":%u,"
-                "\"seq_ms\":%.3f,\"par_ms\":%.3f,\"speedup\":%.3f,"
-                "\"bit_identical\":%s}\n",
-                suite.profile.name.c_str(), suite.traces.size(),
-                configs.size(),
-                static_cast<unsigned long long>(defaultTraceLength()),
-                threads, seq_ms, par_ms, speedup,
-                bit_identical ? "true" : "false");
+    bench::writeBenchJson(
+        "parallel",
+        strfmt("{\"bench\":\"parallel_sweep\","
+               "\"suite\":\"%s\",\"traces\":%zu,\"configs\":%zu,"
+               "\"refs_per_trace\":%llu,\"threads\":%u,"
+               "\"seq_ms\":%.3f,\"par_ms\":%.3f,\"speedup\":%.3f,"
+               "\"bit_identical\":%s}",
+               suite.profile.name.c_str(), suite.traces.size(),
+               configs.size(),
+               static_cast<unsigned long long>(defaultTraceLength()),
+               threads, seq_ms, par_ms, speedup,
+               bit_identical ? "true" : "false"));
 
     return bit_identical ? 0 : 1;
 }

@@ -22,8 +22,10 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_json.hh"
 #include "harness/experiment.hh"
 #include "multi/parallel_sweep.hh"
+#include "util/str.hh"
 #include "workload/suites.hh"
 
 using namespace occsim;
@@ -128,16 +130,18 @@ main()
                 direct_ms, fast_ms, speedup,
                 bit_identical ? "yes" : "NO");
 
-    std::printf("BENCH_JSON {\"bench\":\"single_pass\","
-                "\"suite\":\"%s\",\"traces\":%zu,\"configs\":%zu,"
-                "\"refs_per_trace\":%llu,\"threads\":%u,"
-                "\"direct_ms\":%.3f,\"fast_ms\":%.3f,"
-                "\"speedup\":%.3f,\"bit_identical\":%s}\n",
-                suite.profile.name.c_str(), suite.traces.size(),
-                configs.size(),
-                static_cast<unsigned long long>(defaultTraceLength()),
-                threads, direct_ms, fast_ms, speedup,
-                bit_identical ? "true" : "false");
+    bench::writeBenchJson(
+        "single_pass",
+        strfmt("{\"bench\":\"single_pass\","
+               "\"suite\":\"%s\",\"traces\":%zu,\"configs\":%zu,"
+               "\"refs_per_trace\":%llu,\"threads\":%u,"
+               "\"direct_ms\":%.3f,\"fast_ms\":%.3f,"
+               "\"speedup\":%.3f,\"bit_identical\":%s}",
+               suite.profile.name.c_str(), suite.traces.size(),
+               configs.size(),
+               static_cast<unsigned long long>(defaultTraceLength()),
+               threads, direct_ms, fast_ms, speedup,
+               bit_identical ? "true" : "false"));
 
     return bit_identical ? 0 : 1;
 }

@@ -16,6 +16,8 @@ Cache::Cache(const CacheConfig &config)
       copyBack_(config.write == WritePolicy::CopyBack),
       writeAllocate_(config.writeAllocate),
       prefetchOnMiss_(config.fetch == FetchPolicy::PrefetchNextOnMiss),
+      kernel_(selectKernel(fetch_, copyBack_, writeAllocate_,
+                           config.replacement, assoc_)),
       repl_(config.replacement, geom_.numSets(), geom_.assoc(),
             config.randomSeed),
       stats_(geom_.subBlocksPerBlock(),
@@ -25,11 +27,13 @@ Cache::Cache(const CacheConfig &config)
 {
 }
 
+template <std::uint32_t A>
 int
 Cache::findWay(std::uint32_t set, Addr block_addr) const
 {
-    const Frame *base = setBase(set);
-    const std::uint32_t assoc = assoc_;
+    const std::uint32_t assoc = A != 0 ? A : assoc_;
+    const Frame *base =
+        frames_.data() + static_cast<std::size_t>(set) * assoc;
     for (std::uint32_t way = 0; way < assoc; ++way) {
         if (base[way].present && base[way].tag == block_addr)
             return static_cast<int>(way);
@@ -50,22 +54,20 @@ Cache::emitBurst(std::uint32_t sub_blocks, bool counted, bool cold,
     }
 }
 
+template <FetchPolicy F>
 void
-Cache::fetchInto(Frame &frame, std::uint32_t frame_index,
-                 std::uint32_t sub_index, bool counted, bool cold)
+Cache::fetchIntoSpec(Frame &frame, std::uint32_t frame_index,
+                     std::uint32_t sub_index, bool counted, bool cold)
 {
     const std::uint32_t num_subs = numSubs_;
     std::uint32_t &ever = everFilled_[frame_index];
 
-    switch (fetch_) {
-      case FetchPolicy::Demand:
-      case FetchPolicy::PrefetchNextOnMiss: {
+    if constexpr (F == FetchPolicy::Demand ||
+                  F == FetchPolicy::PrefetchNextOnMiss) {
         frame.valid |= (1u << sub_index);
         ever |= (1u << sub_index);
         emitBurst(1, counted, cold, 0);
-        break;
-      }
-      case FetchPolicy::LoadForward: {
+    } else if constexpr (F == FetchPolicy::LoadForward) {
         // One burst covering the target and every subsequent
         // sub-block, re-fetching resident ones (redundant loads).
         const std::uint32_t span = num_subs - sub_index;
@@ -77,9 +79,7 @@ Cache::fetchInto(Frame &frame, std::uint32_t frame_index,
         frame.valid |= span_mask;
         ever |= span_mask;
         emitBurst(span, counted, cold, redundant);
-        break;
-      }
-      case FetchPolicy::LoadForwardOptimized: {
+    } else {
         // Fetch only the invalid sub-blocks at or after the target,
         // as one burst per contiguous invalid run.
         std::uint32_t run = 0;
@@ -98,8 +98,30 @@ Cache::fetchInto(Frame &frame, std::uint32_t frame_index,
         }
         if (run != 0)
             emitBurst(run, counted, cold, 0);
+    }
+}
+
+void
+Cache::fetchInto(Frame &frame, std::uint32_t frame_index,
+                 std::uint32_t sub_index, bool counted, bool cold)
+{
+    switch (fetch_) {
+      case FetchPolicy::Demand:
+        fetchIntoSpec<FetchPolicy::Demand>(frame, frame_index,
+                                           sub_index, counted, cold);
         break;
-      }
+      case FetchPolicy::PrefetchNextOnMiss:
+        fetchIntoSpec<FetchPolicy::PrefetchNextOnMiss>(
+            frame, frame_index, sub_index, counted, cold);
+        break;
+      case FetchPolicy::LoadForward:
+        fetchIntoSpec<FetchPolicy::LoadForward>(
+            frame, frame_index, sub_index, counted, cold);
+        break;
+      case FetchPolicy::LoadForwardOptimized:
+        fetchIntoSpec<FetchPolicy::LoadForwardOptimized>(
+            frame, frame_index, sub_index, counted, cold);
+        break;
     }
 }
 
@@ -112,6 +134,51 @@ Cache::writebackDirty(Frame &frame)
             wordsPerSub_);
         frame.dirty = 0;
     }
+}
+
+template <ReplacementPolicy R, std::uint32_t A>
+Cache::Frame &
+Cache::claimVictimSpec(std::uint32_t set, std::uint32_t &victim_way)
+{
+    const std::uint32_t assoc = A != 0 ? A : assoc_;
+    Frame *base =
+        frames_.data() + static_cast<std::size_t>(set) * assoc;
+    std::uint32_t victim = assoc;
+    for (std::uint32_t w = 0; w < assoc; ++w) {
+        if (!base[w].present) {
+            victim = w;
+            break;
+        }
+    }
+    if (victim == assoc)
+        victim = repl_.victimSpec<R, A>(set);
+
+    Frame &frame = base[victim];
+    if (frame.present) {
+        stats_.recordResidency(
+            static_cast<std::uint32_t>(std::popcount(frame.touched)));
+        writebackDirty(frame);
+    }
+    victim_way = victim;
+    return frame;
+}
+
+Cache::Frame &
+Cache::claimVictim(std::uint32_t set, std::uint32_t &victim_way)
+{
+    switch (repl_.policy()) {
+      case ReplacementPolicy::LRU:
+        return claimVictimSpec<ReplacementPolicy::LRU>(set,
+                                                       victim_way);
+      case ReplacementPolicy::FIFO:
+        return claimVictimSpec<ReplacementPolicy::FIFO>(set,
+                                                        victim_way);
+      case ReplacementPolicy::Random:
+        return claimVictimSpec<ReplacementPolicy::Random>(set,
+                                                          victim_way);
+    }
+    panic("bad replacement policy %d",
+          static_cast<int>(repl_.policy()));
 }
 
 AccessOutcome
@@ -166,7 +233,7 @@ Cache::access(const MemRef &ref)
                 stats_.recordStoreTraffic(1);
         }
         if (prefetchOnMiss_)
-            prefetchSequential(ref.addr + subBlockSize_);
+            prefetchSequential(ref.addr);
         return AccessOutcome::SubBlockMiss;
     }
 
@@ -177,22 +244,8 @@ Cache::access(const MemRef &ref)
         return AccessOutcome::BlockMiss;
     }
 
-    std::uint32_t victim_way = assoc_;
-    for (std::uint32_t w = 0; w < assoc_; ++w) {
-        if (!base[w].present) {
-            victim_way = w;
-            break;
-        }
-    }
-    if (victim_way == assoc_)
-        victim_way = repl_.victim(set);
-
-    Frame &frame = base[victim_way];
-    if (frame.present) {
-        stats_.recordResidency(
-            static_cast<std::uint32_t>(std::popcount(frame.touched)));
-        writebackDirty(frame);
-    }
+    std::uint32_t victim_way;
+    Frame &frame = claimVictim(set, victim_way);
 
     const std::uint32_t frame_index = set * assoc_ + victim_way;
     const bool cold = (everFilled_[frame_index] & sub_bit) == 0;
@@ -216,13 +269,197 @@ Cache::access(const MemRef &ref)
             stats_.recordStoreTraffic(1);
     }
     if (prefetchOnMiss_)
-        prefetchSequential(ref.addr + subBlockSize_);
+        prefetchSequential(ref.addr);
     return AccessOutcome::BlockMiss;
 }
 
+template <FetchPolicy F, bool CopyBack, bool WriteAllocate,
+          ReplacementPolicy R, std::uint32_t A>
 void
-Cache::prefetchSequential(Addr target)
+Cache::accessSpec(Addr addr, bool is_write, bool is_ifetch)
 {
+    const std::uint32_t assoc = A != 0 ? A : assoc_;
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(geom_.setIndex(addr));
+    const Addr block_addr = geom_.blockAddr(addr);
+    const std::uint32_t sub_index = geom_.subBlockIndex(addr);
+    const std::uint32_t sub_bit = 1u << sub_index;
+    const bool counted = !is_write;
+
+    Frame *base =
+        frames_.data() + static_cast<std::size_t>(set) * assoc;
+    const int way = findWay<A>(set, block_addr);
+
+    if (way >= 0) {
+        Frame &frame = base[way];
+        repl_.onAccessSpec<R, A>(set,
+                                 static_cast<std::uint32_t>(way));
+        frame.touched |= sub_bit;
+        if (frame.valid & sub_bit) {
+            if (frame.prefetched & sub_bit) {
+                stats_.recordUsefulPrefetch();
+                frame.prefetched &= ~sub_bit;
+            }
+            if (counted) {
+                stats_.recordHit(is_ifetch);
+            } else {
+                stats_.recordWrite(true);
+                if constexpr (CopyBack)
+                    frame.dirty |= sub_bit;
+                else
+                    stats_.recordStoreTraffic(1);
+            }
+            return;
+        }
+        // Sub-block miss: tag matches but the word is not resident.
+        const std::uint32_t frame_index =
+            set * assoc + static_cast<std::uint32_t>(way);
+        const bool cold = (everFilled_[frame_index] & sub_bit) == 0;
+        if (counted)
+            stats_.recordMiss(is_ifetch, false, cold);
+        else
+            stats_.recordWrite(false);
+        fetchIntoSpec<F>(frame, frame_index, sub_index, counted, cold);
+        frame.prefetched &= ~sub_bit;
+        if (is_write) {
+            if constexpr (CopyBack)
+                frame.dirty |= sub_bit;
+            else
+                stats_.recordStoreTraffic(1);
+        }
+        if constexpr (F == FetchPolicy::PrefetchNextOnMiss)
+            prefetchSequential(addr);
+        return;
+    }
+
+    // Block miss: allocate a frame.
+    if constexpr (!WriteAllocate) {
+        if (is_write) {
+            stats_.recordWrite(false);
+            stats_.recordStoreTraffic(1);
+            return;
+        }
+    }
+
+    std::uint32_t victim_way;
+    Frame &frame = claimVictimSpec<R, A>(set, victim_way);
+
+    const std::uint32_t frame_index = set * assoc + victim_way;
+    const bool cold = (everFilled_[frame_index] & sub_bit) == 0;
+    if (counted)
+        stats_.recordMiss(is_ifetch, true, cold);
+    else
+        stats_.recordWrite(false);
+
+    frame.present = true;
+    frame.tag = block_addr;
+    frame.valid = 0;
+    frame.touched = sub_bit;
+    frame.dirty = 0;
+    frame.prefetched = 0;
+    repl_.onFillSpec<R, A>(set, victim_way);
+    fetchIntoSpec<F>(frame, frame_index, sub_index, counted, cold);
+    if (is_write) {
+        if constexpr (CopyBack)
+            frame.dirty |= sub_bit;
+        else
+            stats_.recordStoreTraffic(1);
+    }
+    if constexpr (F == FetchPolicy::PrefetchNextOnMiss)
+        prefetchSequential(addr);
+}
+
+template <FetchPolicy F, bool CopyBack, bool WriteAllocate,
+          ReplacementPolicy R, std::uint32_t A>
+void
+Cache::replayLoop(const PackedRecord *refs, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const PackedRecord rec = refs[i];
+        accessSpec<F, CopyBack, WriteAllocate, R, A>(
+            rec.addr(), rec.isWrite(), rec.isInstruction());
+    }
+}
+
+Cache::ReplayKernel
+Cache::selectKernel(FetchPolicy fetch, bool copy_back,
+                    bool write_allocate, ReplacementPolicy repl,
+                    std::uint32_t assoc)
+{
+    const auto pick_write =
+        [copy_back, write_allocate]<FetchPolicy F, ReplacementPolicy R,
+                                    std::uint32_t A>() {
+            if (copy_back) {
+                return write_allocate
+                           ? &Cache::replayLoop<F, true, true, R, A>
+                           : &Cache::replayLoop<F, true, false, R, A>;
+            }
+            return write_allocate
+                       ? &Cache::replayLoop<F, false, true, R, A>
+                       : &Cache::replayLoop<F, false, false, R, A>;
+        };
+    // Associativities 1/2/4/8 (the paper's grid) get fully unrolled
+    // way scans; anything else falls back to the runtime-assoc
+    // kernel (A = 0).
+    const auto pick_assoc =
+        [&pick_write, assoc]<FetchPolicy F, ReplacementPolicy R>() {
+            switch (assoc) {
+              case 1:
+                return pick_write.operator()<F, R, 1u>();
+              case 2:
+                return pick_write.operator()<F, R, 2u>();
+              case 4:
+                return pick_write.operator()<F, R, 4u>();
+              case 8:
+                return pick_write.operator()<F, R, 8u>();
+              default:
+                return pick_write.operator()<F, R, 0u>();
+            }
+        };
+    const auto pick = [&pick_assoc, repl]<FetchPolicy F>() {
+        switch (repl) {
+          case ReplacementPolicy::LRU:
+            return pick_assoc
+                .operator()<F, ReplacementPolicy::LRU>();
+          case ReplacementPolicy::FIFO:
+            return pick_assoc
+                .operator()<F, ReplacementPolicy::FIFO>();
+          case ReplacementPolicy::Random:
+            return pick_assoc
+                .operator()<F, ReplacementPolicy::Random>();
+        }
+        panic("bad replacement policy %d", static_cast<int>(repl));
+    };
+    switch (fetch) {
+      case FetchPolicy::Demand:
+        return pick.operator()<FetchPolicy::Demand>();
+      case FetchPolicy::LoadForward:
+        return pick.operator()<FetchPolicy::LoadForward>();
+      case FetchPolicy::LoadForwardOptimized:
+        return pick.operator()<FetchPolicy::LoadForwardOptimized>();
+      case FetchPolicy::PrefetchNextOnMiss:
+        return pick.operator()<FetchPolicy::PrefetchNextOnMiss>();
+    }
+    panic("bad fetch policy %d", static_cast<int>(fetch));
+}
+
+void
+Cache::replayPacked(const PackedRecord *refs, std::size_t n)
+{
+    (this->*kernel_)(refs, n);
+}
+
+void
+Cache::prefetchSequential(Addr miss_addr)
+{
+    const Addr target = miss_addr + subBlockSize_;
+    if (target < miss_addr) {
+        // The missed sub-block is the last one of the address space:
+        // there is no sequential successor, so nothing is prefetched
+        // (rather than wrapping around to address 0 and polluting
+        // set 0 with a bogus block).
+        return;
+    }
     const std::uint32_t set =
         static_cast<std::uint32_t>(geom_.setIndex(target));
     const Addr block_addr = geom_.blockAddr(target);
@@ -246,22 +483,8 @@ Cache::prefetchSequential(Addr target)
 
     // Allocate a frame for the prefetched block (Smith's sequential
     // prefetch allocates; this is where pollution can occur).
-    std::uint32_t victim_way = assoc_;
-    for (std::uint32_t w = 0; w < assoc_; ++w) {
-        if (!base[w].present) {
-            victim_way = w;
-            break;
-        }
-    }
-    if (victim_way == assoc_)
-        victim_way = repl_.victim(set);
-
-    Frame &frame = base[victim_way];
-    if (frame.present) {
-        stats_.recordResidency(
-            static_cast<std::uint32_t>(std::popcount(frame.touched)));
-        writebackDirty(frame);
-    }
+    std::uint32_t victim_way;
+    Frame &frame = claimVictim(set, victim_way);
     frame.present = true;
     frame.tag = block_addr;
     frame.valid = sub_bit;

@@ -40,6 +40,7 @@
 #include "cache/cache_geometry.hh"
 #include "cache/cache_stats.hh"
 #include "cache/replacement.hh"
+#include "trace/packed_trace.hh"
 #include "trace/trace.hh"
 
 namespace occsim {
@@ -63,6 +64,21 @@ class Cache
 
     /** Simulate one reference. */
     AccessOutcome access(const MemRef &ref);
+
+    /**
+     * Replay a span of packed records through the specialized kernel
+     * selected for this configuration at construction (one
+     * instantiation per fetch-policy x write-policy x write-allocate
+     * x replacement-policy combination, so the per-reference policy
+     * branches of access() — including the LRU order update — are
+     * resolved at compile time). Statistics, replacement state,
+     * and frame contents evolve exactly as if access() had been
+     * called on every record in order — the batched engines rely on
+     * that bit-for-bit, and the differential fuzzer enforces it.
+     * Does NOT finalize residencies; callers finalize after the last
+     * span of a pass, exactly as with access().
+     */
+    void replayPacked(const PackedRecord *refs, std::size_t n);
 
     /**
      * Drain @p source (up to @p maxRefs references, 0 = all) and then
@@ -125,7 +141,10 @@ class Cache
                static_cast<std::size_t>(set) * assoc_;
     }
 
-    /** Find the way holding @p block_addr in @p set, or -1. */
+    /** Find the way holding @p block_addr in @p set, or -1. @p A
+     *  fixes the associativity at compile time when nonzero (0 =
+     *  runtime value), unrolling the scan in the replay kernels. */
+    template <std::uint32_t A = 0>
     int findWay(std::uint32_t set, Addr block_addr) const;
 
     /**
@@ -136,6 +155,14 @@ class Cache
     void fetchInto(Frame &frame, std::uint32_t frame_index,
                    std::uint32_t sub_index, bool counted, bool cold);
 
+    /** fetchInto with the fetch policy resolved at compile time (the
+     *  runtime fetchInto dispatches here, so both paths share one
+     *  implementation per policy). */
+    template <FetchPolicy F>
+    void fetchIntoSpec(Frame &frame, std::uint32_t frame_index,
+                       std::uint32_t sub_index, bool counted,
+                       bool cold);
+
     /** Emit one burst into the stats. */
     void emitBurst(std::uint32_t sub_blocks, bool counted, bool cold,
                    std::uint32_t redundant_sub_blocks);
@@ -143,9 +170,52 @@ class Cache
     /** Account the copy-back write-back of @p frame's dirty bits. */
     void writebackDirty(Frame &frame);
 
-    /** Sequentially prefetch the sub-block containing @p target
-     *  (PrefetchNextOnMiss policy). */
-    void prefetchSequential(Addr target);
+    /**
+     * Claim the frame of @p set that a new block fill will occupy —
+     * the first invalid way, else the replacement victim — and retire
+     * the previous residency (touched histogram + dirty write-back).
+     * Shared (via the runtime-dispatching claimVictim) by access(),
+     * prefetchSequential(), and the replay kernels so the
+     * victim-selection sequence exists exactly once.
+     * @param victim_way out: the claimed way.
+     */
+    template <ReplacementPolicy R, std::uint32_t A = 0>
+    Frame &claimVictimSpec(std::uint32_t set,
+                           std::uint32_t &victim_way);
+
+    /** claimVictimSpec with the policy dispatched at run time. */
+    Frame &claimVictim(std::uint32_t set, std::uint32_t &victim_way);
+
+    /** Sequentially prefetch the sub-block following the one that
+     *  holds @p miss_addr (PrefetchNextOnMiss policy). A target past
+     *  the top of the 32-bit address space has no sequential
+     *  successor: the prefetch is suppressed instead of wrapping to
+     *  address 0. */
+    void prefetchSequential(Addr miss_addr);
+
+    /** One access with every policy branch resolved at compile time;
+     *  bit-identical in effect to access(). @p A fixes the
+     *  associativity at compile time when nonzero (0 = runtime),
+     *  fully unrolling the way scan, the victim scan, and the LRU
+     *  order update for the common 1/2/4/8-way geometries. */
+    template <FetchPolicy F, bool CopyBack, bool WriteAllocate,
+              ReplacementPolicy R, std::uint32_t A>
+    void accessSpec(Addr addr, bool is_write, bool is_ifetch);
+
+    /** Kernel: replay a packed span through accessSpec. */
+    template <FetchPolicy F, bool CopyBack, bool WriteAllocate,
+              ReplacementPolicy R, std::uint32_t A>
+    void replayLoop(const PackedRecord *refs, std::size_t n);
+
+    using ReplayKernel = void (Cache::*)(const PackedRecord *,
+                                         std::size_t);
+
+    /** Dispatch-table lookup: the replayLoop instantiation for one
+     *  policy combination (chosen once, at construction). */
+    static ReplayKernel selectKernel(FetchPolicy fetch, bool copy_back,
+                                     bool write_allocate,
+                                     ReplacementPolicy repl,
+                                     std::uint32_t assoc);
 
     CacheGeometry geom_;
     // Hot-path copies of config/geometry fields, hoisted out of the
@@ -160,6 +230,7 @@ class Cache
     bool copyBack_;
     bool writeAllocate_;
     bool prefetchOnMiss_;
+    ReplayKernel kernel_;
     ReplacementState repl_;
     CacheStats stats_;
     std::vector<Frame> frames_;

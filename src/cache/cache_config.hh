@@ -47,7 +47,9 @@ enum class FetchPolicy : std::uint8_t {
      * on miss (Smith 1978, the paper's reference [11]; prefetch
      * studies were declared beyond the paper's scope — provided as
      * an extension). The prefetch may cross into the sequentially
-     * next block, allocating it.
+     * next block, allocating it. A miss on the last sub-block of the
+     * address space has no sequential successor; the prefetch is
+     * suppressed rather than wrapping around to address 0.
      */
     PrefetchNextOnMiss = 3,
 };

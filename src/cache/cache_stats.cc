@@ -18,92 +18,10 @@ CacheStats::CacheStats(std::uint32_t sub_blocks_per_block,
 {
 }
 
-void
-CacheStats::recordHit(bool is_ifetch)
-{
-    ++accesses_;
-    if (is_ifetch)
-        ++ifetchAccesses_;
-}
-
-void
-CacheStats::recordMiss(bool is_ifetch, bool block_miss, bool cold)
-{
-    ++accesses_;
-    ++misses_;
-    if (block_miss)
-        ++blockMisses_;
-    if (cold)
-        ++coldMisses_;
-    if (is_ifetch) {
-        ++ifetchAccesses_;
-        ++ifetchMisses_;
-    }
-}
-
-void
-CacheStats::recordWrite(bool hit)
-{
-    ++writeAccesses_;
-    if (!hit)
-        ++writeMisses_;
-}
-
-void
-CacheStats::recordBurst(std::uint32_t words, bool cold,
-                        std::uint32_t redundant_words)
-{
-    wordsFetched_ += words;
-    redundantWords_ += redundant_words;
-    ++bursts_;
-    burstWords_.sample(words);
-    if (cold) {
-        coldWords_ += words;
-        coldBurstWords_.sample(words);
-    }
-}
-
-void
-CacheStats::recordWriteBurst(std::uint32_t words)
-{
-    writeWords_ += words;
-}
-
-void
-CacheStats::recordStoreTraffic(std::uint32_t words)
-{
-    storeWords_ += words;
-}
-
-void
-CacheStats::recordWriteback(std::uint32_t words)
-{
-    writebackWords_ += words;
-}
-
-void
-CacheStats::recordPrefetch(std::uint32_t words)
-{
-    // Prefetch traffic is real bus traffic: it belongs in the
-    // headline traffic ratio (that is the cost side of prefetching).
-    wordsFetched_ += words;
-    ++bursts_;
-    burstWords_.sample(words);
-    prefetchWords_ += words;
-    ++prefetches_;
-}
-
 double
 CacheStats::prefetchAccuracy() const
 {
     return ratio(usefulPrefetches_, prefetches_);
-}
-
-void
-CacheStats::recordResidency(std::uint32_t touched)
-{
-    ++evictions_;
-    residencyTouched_.sample(touched);
 }
 
 void

@@ -47,26 +47,81 @@ class CacheStats
                std::uint32_t max_burst_words);
 
     // ---- recording interface (used by Cache) ----
-    void recordHit(bool is_ifetch);
-    void recordMiss(bool is_ifetch, bool block_miss, bool cold);
-    void recordWrite(bool hit);
+    // The counter-only recorders are defined inline: they run once
+    // per reference (hit path included), and an out-of-line call here
+    // would both cost the call and force the replay kernels to spill
+    // and reload their loop state around an opaque function.
+    void recordHit(bool is_ifetch)
+    {
+        ++accesses_;
+        if (is_ifetch)
+            ++ifetchAccesses_;
+    }
+    void recordMiss(bool is_ifetch, bool block_miss, bool cold)
+    {
+        ++accesses_;
+        ++misses_;
+        if (block_miss)
+            ++blockMisses_;
+        if (cold)
+            ++coldMisses_;
+        if (is_ifetch) {
+            ++ifetchAccesses_;
+            ++ifetchMisses_;
+        }
+    }
+    void recordWrite(bool hit)
+    {
+        ++writeAccesses_;
+        if (!hit)
+            ++writeMisses_;
+    }
     /** A counted burst of @p words words; @p cold when triggered by a
      *  cold miss; @p redundant_words of them re-fetched valid data. */
     void recordBurst(std::uint32_t words, bool cold,
-                     std::uint32_t redundant_words);
+                     std::uint32_t redundant_words)
+    {
+        wordsFetched_ += words;
+        redundantWords_ += redundant_words;
+        ++bursts_;
+        burstWords_.sample(words);
+        if (cold) {
+            coldWords_ += words;
+            coldBurstWords_.sample(words);
+        }
+    }
     /** Bus traffic caused by write misses (kept out of headline). */
-    void recordWriteBurst(std::uint32_t words);
+    void recordWriteBurst(std::uint32_t words) { writeWords_ += words; }
     /** Store traffic: words sent to memory by write-through stores
      *  (or by non-allocated write misses). */
-    void recordStoreTraffic(std::uint32_t words);
+    void recordStoreTraffic(std::uint32_t words)
+    {
+        storeWords_ += words;
+    }
     /** Copy-back traffic: dirty sub-block words written at eviction. */
-    void recordWriteback(std::uint32_t words);
+    void recordWriteback(std::uint32_t words)
+    {
+        writebackWords_ += words;
+    }
     /** A prefetch moved @p words words (counts into traffic). */
-    void recordPrefetch(std::uint32_t words);
+    void recordPrefetch(std::uint32_t words)
+    {
+        // Prefetch traffic is real bus traffic: it belongs in the
+        // headline traffic ratio (the cost side of prefetching).
+        wordsFetched_ += words;
+        ++bursts_;
+        burstWords_.sample(words);
+        prefetchWords_ += words;
+        ++prefetches_;
+    }
     /** A previously prefetched, never-referenced sub-block was hit. */
     void recordUsefulPrefetch() { ++usefulPrefetches_; }
     /** A block residency ended having touched @p touched sub-blocks. */
-    void recordResidency(std::uint32_t touched);
+    void recordResidency(std::uint32_t touched)
+    {
+        ++evictions_;
+        residencyTouched_.sample(touched);
+    }
 
     /**
      * Bulk-load the totals of a conventional (sub-block == block)

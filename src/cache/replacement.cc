@@ -21,32 +21,6 @@ ReplacementState::ReplacementState(ReplacementPolicy policy,
     }
 }
 
-std::uint8_t *
-ReplacementState::setOrder(std::uint32_t set)
-{
-    return order_.data() + static_cast<std::size_t>(set) * assoc_;
-}
-
-const std::uint8_t *
-ReplacementState::setOrder(std::uint32_t set) const
-{
-    return order_.data() + static_cast<std::size_t>(set) * assoc_;
-}
-
-void
-ReplacementState::moveToBack(std::uint32_t set, std::uint32_t way)
-{
-    std::uint8_t *slice = setOrder(set);
-    std::uint32_t pos = 0;
-    while (pos < assoc_ && slice[pos] != way)
-        ++pos;
-    occsim_assert(pos < assoc_, "way %u not present in set %u order",
-                  way, set);
-    for (; pos + 1 < assoc_; ++pos)
-        slice[pos] = slice[pos + 1];
-    slice[assoc_ - 1] = static_cast<std::uint8_t>(way);
-}
-
 void
 ReplacementState::onAccess(std::uint32_t set, std::uint32_t way)
 {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cache/cache_config.hh"
+#include "util/logging.hh"
 #include "util/random.hh"
 
 namespace occsim {
@@ -39,6 +40,49 @@ class ReplacementState
     /** @return the way to evict from @p set. */
     std::uint32_t victim(std::uint32_t set);
 
+    // ---- policy-specialized fast paths (replay kernels) ----
+    // Identical state evolution to the runtime methods above, with
+    // the policy branch resolved at compile time so the LRU
+    // move-to-back inlines into the kernel's per-reference loop
+    // (onAccess runs on every hit; an out-of-line call here was the
+    // dominant per-reference cost of the batched engine). The @p A
+    // parameter optionally fixes the associativity at compile time
+    // (0 = use the runtime value), fully unrolling the order-list
+    // scan for the common 1/2/4/8-way geometries.
+
+    /** onAccess with @p P (and optionally assoc) resolved at compile
+     *  time. */
+    template <ReplacementPolicy P, std::uint32_t A = 0>
+    void onAccessSpec(std::uint32_t set, std::uint32_t way)
+    {
+        if constexpr (P == ReplacementPolicy::LRU)
+            moveToBack<A>(set, way);
+    }
+
+    /** onFill with @p P (and optionally assoc) resolved at compile
+     *  time. */
+    template <ReplacementPolicy P, std::uint32_t A = 0>
+    void onFillSpec(std::uint32_t set, std::uint32_t way)
+    {
+        if constexpr (P == ReplacementPolicy::LRU ||
+                      P == ReplacementPolicy::FIFO) {
+            moveToBack<A>(set, way);
+        }
+    }
+
+    /** victim with @p P (and optionally assoc) resolved at compile
+     *  time. */
+    template <ReplacementPolicy P, std::uint32_t A = 0>
+    std::uint32_t victimSpec(std::uint32_t set)
+    {
+        if constexpr (P == ReplacementPolicy::Random) {
+            return static_cast<std::uint32_t>(
+                rng_.below(A != 0 ? A : assoc_));
+        } else {
+            return setOrder(set)[0];
+        }
+    }
+
     /**
      * @return the ways of @p set ordered from next-victim to most
      * protected (meaningful for LRU/FIFO; arbitrary for Random).
@@ -48,9 +92,35 @@ class ReplacementState
     ReplacementPolicy policy() const { return policy_; }
 
   private:
-    std::uint8_t *setOrder(std::uint32_t set);
-    const std::uint8_t *setOrder(std::uint32_t set) const;
-    void moveToBack(std::uint32_t set, std::uint32_t way);
+    // Defined inline (rather than in replacement.cc) so the
+    // policy-specialized fast paths above fold into their callers.
+    std::uint8_t *setOrder(std::uint32_t set)
+    {
+        return order_.data() +
+               static_cast<std::size_t>(set) * assoc_;
+    }
+    const std::uint8_t *setOrder(std::uint32_t set) const
+    {
+        return order_.data() +
+               static_cast<std::size_t>(set) * assoc_;
+    }
+
+    /** Promote @p way to the most-protected slot of @p set. @p A as
+     *  in the Spec methods above (0 = runtime associativity). */
+    template <std::uint32_t A = 0>
+    void moveToBack(std::uint32_t set, std::uint32_t way)
+    {
+        const std::uint32_t assoc = A != 0 ? A : assoc_;
+        std::uint8_t *slice = setOrder(set);
+        std::uint32_t pos = 0;
+        while (pos < assoc && slice[pos] != way)
+            ++pos;
+        occsim_assert(pos < assoc,
+                      "way %u not present in set %u order", way, set);
+        for (; pos + 1 < assoc; ++pos)
+            slice[pos] = slice[pos + 1];
+        slice[assoc - 1] = static_cast<std::uint8_t>(way);
+    }
 
     ReplacementPolicy policy_;
     std::uint32_t numSets_;

@@ -3,9 +3,11 @@
 #include <sstream>
 
 #include "cache/cache.hh"
+#include "multi/batch_replay.hh"
 #include "multi/parallel_sweep.hh"
 #include "multi/single_pass.hh"
 #include "multi/sweep_runner.hh"
+#include "trace/packed_trace.hh"
 
 namespace occsim {
 
@@ -110,7 +112,21 @@ runDifferentialCase(const CacheConfig &config,
     diffSweepResult("sweep-auto", routed.results()[0], direct_summary,
                     report.diffs);
 
-    // Engine 4: the single-pass engine standalone, when eligible —
+    // Engine 4: the batched replay kernels standalone, driven with a
+    // deliberately awkward tiling (tile of 1 config, 7-record chunks)
+    // so chunk-boundary handling is exercised on every case — full
+    // statistics against the oracle, summary against the direct run.
+    {
+        BatchReplay batch(configs, 1, 7);
+        batch.run(PackedTrace(*trace));
+        for (const std::string &line :
+             diffStats(want, batch.cache(0).stats()))
+            report.diffs.push_back("batch." + line);
+        diffSweepResult("batch", batch.results()[0], direct_summary,
+                        report.diffs);
+    }
+
+    // Engine 5: the single-pass engine standalone, when eligible —
     // raw totals against the oracle, summary against the direct run.
     if (singlePassEligible(config)) {
         SinglePassEngine engine(configs);

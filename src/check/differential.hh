@@ -11,8 +11,13 @@
  *     Cache's SweepResult (the routing layer must be a no-op).
  *  3. ParallelSweepRunner with SweepEngine::Auto vs the same (this
  *     exercises the SinglePassEngine fast path whenever the config
- *     is eligible).
- *  4. For single-pass-eligible configs, a standalone SinglePassEngine
+ *     is eligible, and the batched replay engine otherwise).
+ *  4. A standalone BatchReplay run with a deliberately awkward
+ *     tiling (1-config tiles, 7-record chunks): full statistics vs
+ *     the oracle and the summarized SweepResult vs the direct
+ *     engine's, so the specialized kernels and the chunk-boundary
+ *     logic are diffed on every case.
+ *  5. For single-pass-eligible configs, a standalone SinglePassEngine
  *     run: raw Counts vs the oracle's counters and the summarized
  *     SweepResult vs the direct engine's.
  *

@@ -130,7 +130,7 @@ TraceGen::make(std::size_t len, std::uint32_t word_size)
         const std::size_t budget = len - trace->size();
         const std::size_t seg_len = std::min<std::size_t>(
             budget, 8 + rng_.below(120));
-        const std::uint64_t pattern = rng_.below(6);
+        const std::uint64_t pattern = rng_.below(7);
         const Addr base =
             alignDown(static_cast<Addr>(rng_.below(space)), word);
 
@@ -182,6 +182,24 @@ TraceGen::make(std::size_t len, std::uint32_t word_size)
                     sp -= word;
                 emit(sp, rng_.chance(0.4) ? RefKind::DataWrite
                                           : RefKind::DataRead);
+            }
+            break;
+          }
+          case 5: {  // scan into the very top of the address space
+            // Deliberately not folded into `space`: references next
+            // to 0xFFFFFFFF make PrefetchNextOnMiss targets wrap
+            // past the top of Addr, pinning the suppressed-prefetch
+            // semantics across every engine.
+            const Addr top_start =
+                alignDown(~Addr{0}, word) -
+                word * static_cast<Addr>(seg_len - 1);
+            const bool writes = rng_.chance(0.3);
+            for (std::size_t i = 0; i < seg_len; ++i) {
+                trace->append(
+                    top_start + word * static_cast<Addr>(i),
+                    writes && rng_.chance(0.5) ? RefKind::DataWrite
+                                               : RefKind::DataRead,
+                    static_cast<std::uint8_t>(word_size));
             }
             break;
           }

@@ -559,7 +559,7 @@ ReferenceCache::access(const MemRef &ref)
                 ++stats_.storeWords;
         }
         if (config_.fetch == FetchPolicy::PrefetchNextOnMiss)
-            prefetchSequential(ref.addr + subBlockSize_);
+            prefetchSequential(ref.addr);
         return;
     }
 
@@ -608,12 +608,16 @@ ReferenceCache::access(const MemRef &ref)
             ++stats_.storeWords;
     }
     if (config_.fetch == FetchPolicy::PrefetchNextOnMiss)
-        prefetchSequential(ref.addr + subBlockSize_);
+        prefetchSequential(ref.addr);
 }
 
 void
-ReferenceCache::prefetchSequential(Addr target)
+ReferenceCache::prefetchSequential(Addr miss_addr)
 {
+    const Addr target = miss_addr + subBlockSize_;
+    if (target < miss_addr)
+        return;  // wrapped past the top of the address space: no
+                 // sequential successor exists, so nothing to prefetch
     const std::uint32_t set = setOf(target);
     const Addr block_addr = blockAddrOf(target);
     const std::uint32_t sub = subIndexOf(target);

@@ -192,8 +192,10 @@ class ReferenceCache
     /** Write back dirty sub-blocks of @p frame (copy-back). */
     void writebackDirty(Frame &frame);
 
-    /** Smith-style one-sub-block-lookahead prefetch of @p target. */
-    void prefetchSequential(Addr target);
+    /** Smith-style one-sub-block-lookahead prefetch of the sub-block
+     *  after the one holding @p miss_addr; suppressed when the target
+     *  would wrap past the top of the address space. */
+    void prefetchSequential(Addr miss_addr);
 
     CacheConfig config_;
     std::uint32_t blockSize_;

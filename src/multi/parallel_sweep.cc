@@ -91,11 +91,17 @@ ParallelSweepRunner::ParallelSweepRunner(
     const ConfigPartition part = partitionConfigs(configs_, engine);
 
     directIndex_ = part.direct;
-    caches_.reserve(directIndex_.size());
-    for (const std::size_t i : directIndex_) {
-        routes_[i].engine = -1;
-        routes_[i].slot = static_cast<std::uint32_t>(caches_.size());
-        caches_.push_back(std::make_unique<Cache>(configs_[i]));
+    for (std::size_t j = 0; j < directIndex_.size(); ++j) {
+        routes_[directIndex_[j]].engine = -1;
+        routes_[directIndex_[j]].slot = static_cast<std::uint32_t>(j);
+    }
+    if (engine == SweepEngine::DirectOnly) {
+        caches_.reserve(directIndex_.size());
+        for (const std::size_t i : directIndex_)
+            caches_.push_back(std::make_unique<Cache>(configs_[i]));
+    } else if (!directIndex_.empty()) {
+        batch_ = std::make_unique<BatchReplay>(
+            selectConfigs(configs_, directIndex_));
     }
 
     engines_.reserve(part.groups.size());
@@ -111,19 +117,15 @@ ParallelSweepRunner::ParallelSweepRunner(
     }
 
     if (engine == SweepEngine::CrossCheck) {
-        // Shadow every 4th fast-pathed config (at least one) on the
-        // direct engine; run() verifies the summaries bitwise.
-        std::vector<std::size_t> fast;
-        for (std::size_t i = 0; i < routes_.size(); ++i) {
-            if (routes_[i].engine >= 0)
-                fast.push_back(i);
-        }
+        // Every config is on an optimized engine (single-pass or
+        // batched); shadow every 4th one (at least one) on the direct
+        // engine and have run() verify the summaries bitwise.
         const std::size_t stride =
-            std::max<std::size_t>(1, fast.size() / 4);
-        for (std::size_t k = 0; k < fast.size(); k += stride) {
-            shadowIndex_.push_back(fast[k]);
+            std::max<std::size_t>(1, configs_.size() / 4);
+        for (std::size_t i = 0; i < configs_.size(); i += stride) {
+            shadowIndex_.push_back(i);
             shadowCaches_.push_back(
-                std::make_unique<Cache>(configs_[fast[k]]));
+                std::make_unique<Cache>(configs_[i]));
         }
     }
 }
@@ -141,6 +143,12 @@ ParallelSweepRunner::fastPathCount() const
     return configs_.size() - directIndex_.size();
 }
 
+std::size_t
+ParallelSweepRunner::batchedCount() const
+{
+    return batch_ != nullptr ? batch_->size() : 0;
+}
+
 const Cache &
 ParallelSweepRunner::cache(std::size_t i) const
 {
@@ -150,6 +158,8 @@ ParallelSweepRunner::cache(std::size_t i) const
                   "engine and has no Cache; construct the runner "
                   "with SweepEngine::DirectOnly to keep one",
                   i, configs_[i].shortName().c_str());
+    if (batch_ != nullptr)
+        return batch_->cache(routes_[i].slot);
     return *caches_[routes_[i].slot];
 }
 
@@ -171,27 +181,39 @@ ParallelSweepRunner::run(const std::shared_ptr<const VectorTrace> &trace,
             ? refs.size()
             : std::min<std::uint64_t>(max_refs, refs.size());
 
-    // One task per direct cache plus one per (engine, level): the
-    // worker that claims a task drains the full trace into it. Caches
-    // and engine levels are touched by exactly one worker each, the
-    // trace by all of them — read-only.
+    // Decode the trace once for the batched engine (memoized across
+    // runners sharing the trace).
+    std::shared_ptr<const PackedTrace> packed;
+    if (batch_ != nullptr)
+        packed = packedTraceShared(trace);
+
+    // One task per direct cache (DirectOnly) or per batch tile
+    // (Auto/CrossCheck), plus one per (engine, level): the worker
+    // that claims a task drains the full trace into it. Caches,
+    // tiles, and engine levels are touched by exactly one worker
+    // each, the trace by all of them — read-only.
     std::vector<std::pair<std::size_t, std::size_t>> level_tasks;
     for (std::size_t e = 0; e < engines_.size(); ++e) {
         for (std::size_t l = 0; l < engines_[e]->numLevels(); ++l)
             level_tasks.emplace_back(e, l);
     }
 
-    const std::size_t direct_tasks = caches_.size();
-    const std::size_t routed_tasks = direct_tasks + level_tasks.size();
+    const std::size_t batch_tasks =
+        batch_ != nullptr ? batch_->numTiles() : caches_.size();
+    const std::size_t routed_tasks = batch_tasks + level_tasks.size();
     poolOrGlobal(pool_).parallelFor(
         routed_tasks + shadowCaches_.size(), [&](std::size_t task) {
-            if (task < direct_tasks) {
+            if (task < batch_tasks) {
+                if (batch_ != nullptr) {
+                    batch_->runTile(task, *packed, max_refs);
+                    return;
+                }
                 Cache &cache = *caches_[task];
                 for (std::uint64_t r = 0; r < limit; ++r)
                     cache.access(refs[r]);
                 cache.finalizeResidencies();
             } else if (task < routed_tasks) {
-                const auto [e, l] = level_tasks[task - direct_tasks];
+                const auto [e, l] = level_tasks[task - batch_tasks];
                 engines_[e]->runLevel(l, *trace, max_refs);
             } else {
                 Cache &cache = *shadowCaches_[task - routed_tasks];
@@ -201,18 +223,21 @@ ParallelSweepRunner::run(const std::shared_ptr<const VectorTrace> &trace,
             }
         });
 
-    // CrossCheck: the fast path must reproduce every shadow's
+    // CrossCheck: the optimized engines must reproduce every shadow's
     // summary bit for bit, on this very trace.
     for (std::size_t s = 0; s < shadowIndex_.size(); ++s) {
         const std::size_t i = shadowIndex_[s];
         const Route &route = routes_[i];
         const SweepResult fast =
-            engines_[static_cast<std::size_t>(route.engine)]
-                ->results()[route.slot];
+            route.engine >= 0
+                ? engines_[static_cast<std::size_t>(route.engine)]
+                      ->results()[route.slot]
+                : summarizeCache(batch_->cache(route.slot));
         const SweepResult want = summarizeCache(*shadowCaches_[s]);
         if (!sameSweepResult(fast, want)) {
-            fatal("cross-check mismatch: single-pass engine disagrees "
+            fatal("cross-check mismatch: %s engine disagrees "
                   "with direct simulation for config %s on trace %s",
+                  route.engine >= 0 ? "single-pass" : "batched",
                   configs_[i].fullName().c_str(),
                   trace->name().c_str());
         }
@@ -224,8 +249,14 @@ std::vector<SweepResult>
 ParallelSweepRunner::results() const
 {
     std::vector<SweepResult> out(configs_.size());
-    for (std::size_t j = 0; j < caches_.size(); ++j)
-        out[directIndex_[j]] = summarizeCache(*caches_[j]);
+    if (batch_ != nullptr) {
+        const auto batch_results = batch_->results();
+        for (std::size_t j = 0; j < batch_results.size(); ++j)
+            out[directIndex_[j]] = batch_results[j];
+    } else {
+        for (std::size_t j = 0; j < caches_.size(); ++j)
+            out[directIndex_[j]] = summarizeCache(*caches_[j]);
+    }
     for (std::size_t e = 0; e < engines_.size(); ++e) {
         const auto engine_results = engines_[e]->results();
         for (std::size_t k = 0; k < engine_results.size(); ++k)
@@ -278,22 +309,50 @@ runSweeps(const std::vector<std::shared_ptr<const VectorTrace>> &traces,
         }
     }
 
+    // Non-eligible configs: under Auto, one batched replay engine per
+    // trace over the shared packed trace, parallelized per config
+    // tile; under DirectOnly, one plain Cache task per (trace,
+    // config) pair.
+    const bool batched =
+        engine != SweepEngine::DirectOnly && !part.direct.empty();
+    std::vector<CacheConfig> direct_configs =
+        selectConfigs(configs, part.direct);
+    std::vector<std::unique_ptr<BatchReplay>> batches;
+    std::vector<std::shared_ptr<const PackedTrace>> packed;
+    if (batched) {
+        batches.resize(traces.size());
+        packed.reserve(traces.size());
+        for (std::size_t t = 0; t < traces.size(); ++t) {
+            batches[t] = std::make_unique<BatchReplay>(direct_configs);
+            packed.push_back(packedTraceShared(traces[t]));
+        }
+    }
+
     // Flatten everything to one task list: every (trace, direct
-    // config) pair plus every (trace, group, level) triple. Each task
-    // writes only its own caches/levels, so scheduling order cannot
-    // affect the results.
+    // config) pair or (trace, tile) pair, plus every (trace, group,
+    // level) triple. Each task writes only its own caches/levels/
+    // tiles, so scheduling order cannot affect the results.
     std::vector<std::function<void()>> tasks;
     tasks.reserve(traces.size() *
                   (part.direct.size() + num_groups));
     for (std::size_t t = 0; t < traces.size(); ++t) {
-        for (const std::size_t c : part.direct) {
-            tasks.push_back([&, t, c] {
-                Cache cache(configs[c]);
-                for (const MemRef &ref : traces[t]->refs())
-                    cache.access(ref);
-                cache.finalizeResidencies();
-                out[t][c] = summarizeCache(cache);
-            });
+        if (batched) {
+            for (std::size_t tile = 0; tile < batches[t]->numTiles();
+                 ++tile) {
+                tasks.push_back([&batches, &packed, t, tile] {
+                    batches[t]->runTile(tile, *packed[t]);
+                });
+            }
+        } else {
+            for (const std::size_t c : part.direct) {
+                tasks.push_back([&, t, c] {
+                    Cache cache(configs[c]);
+                    for (const MemRef &ref : traces[t]->refs())
+                        cache.access(ref);
+                    cache.finalizeResidencies();
+                    out[t][c] = summarizeCache(cache);
+                });
+            }
         }
         for (std::size_t g = 0; g < num_groups; ++g) {
             SinglePassEngine &eng = *engines[t * num_groups + g];
@@ -309,6 +368,11 @@ runSweeps(const std::vector<std::shared_ptr<const VectorTrace>> &traces,
         tasks.size(), [&](std::size_t i) { tasks[i](); });
 
     for (std::size_t t = 0; t < traces.size(); ++t) {
+        if (batched) {
+            const auto results = batches[t]->results();
+            for (std::size_t k = 0; k < results.size(); ++k)
+                out[t][part.direct[k]] = results[k];
+        }
         for (std::size_t g = 0; g < num_groups; ++g) {
             const auto results =
                 engines[t * num_groups + g]->results();

@@ -19,9 +19,12 @@
  * block size) prices every such config in one trace pass per distinct
  * set count, instead of one full pass per config. Everything else —
  * sub-block placement, load-forward, prefetch, no-allocate writes,
- * FIFO/random replacement — falls back to direct Cache simulation
- * unchanged. SweepEngine::DirectOnly forces the fallback everywhere
- * (used by tests and benchmarks as the reference engine).
+ * FIFO/random replacement — goes to the batched replay engine
+ * (BatchReplay): the trace is pre-decoded once into a PackedTrace and
+ * streamed chunk by chunk through tiles of specialized-kernel caches.
+ * SweepEngine::DirectOnly forces plain per-config Cache::access
+ * simulation everywhere (used by tests and benchmarks as the
+ * reference engine).
  *
  * Determinism guarantee: results are bit-identical to the sequential
  * SweepRunner's no matter how the work is scheduled and no matter
@@ -35,6 +38,7 @@
 #include <memory>
 #include <vector>
 
+#include "multi/batch_replay.hh"
 #include "multi/single_pass.hh"
 #include "multi/sweep_runner.hh"
 #include "util/thread_pool.hh"
@@ -43,20 +47,20 @@ namespace occsim {
 
 /** Engine selection policy for parallel sweeps. */
 enum class SweepEngine : std::uint8_t {
-    /** Single-pass fast path for eligible configs, direct Cache
-     *  simulation for the rest (the default). */
+    /** Single-pass fast path for eligible configs, batched packed
+     *  replay for the rest (the default). */
     Auto = 0,
     /** Direct per-config Cache simulation for every config. */
     DirectOnly = 1,
     /**
      * Auto routing plus a runtime differential check: a sampled
-     * subset of the fast-pathed configs is shadow-simulated on the
-     * direct Cache engine as extra pool tasks, and after each run()
-     * the fast path's summaries must match the shadows bit for bit —
-     * any divergence is a fatal error naming the config. The belt to
-     * occsim-fuzz's suspenders: it validates the routing on the real
-     * workload actually being swept, at a bounded (~25% of eligible
-     * configs) overhead.
+     * subset of the optimized-engine configs (single-pass AND
+     * batched) is shadow-simulated on the direct Cache engine as
+     * extra pool tasks, and after each run() the optimized engine's
+     * summaries must match the shadows bit for bit — any divergence
+     * is a fatal error naming the config. The belt to occsim-fuzz's
+     * suspenders: it validates the routing on the real workload
+     * actually being swept, at a bounded (~25% of configs) overhead.
      */
     CrossCheck = 2,
 };
@@ -70,7 +74,8 @@ enum class SweepEngine : std::uint8_t {
  * With SweepEngine::Auto (the default), single-pass eligible configs
  * have no backing Cache — cache(i) panics for them (probe-style
  * callers that need a Cache for every config should construct with
- * SweepEngine::DirectOnly). run() may be called repeatedly; both
+ * SweepEngine::DirectOnly); batched configs keep one, driven through
+ * the specialized replay kernels. run() may be called repeatedly; all
  * engines accumulate as if the traces were concatenated.
  */
 class ParallelSweepRunner
@@ -104,7 +109,11 @@ class ParallelSweepRunner
     /** Number of configs served by the single-pass engine. */
     std::size_t fastPathCount() const;
 
-    /** Number of fast-pathed configs shadow-verified per run()
+    /** Number of configs served by the batched replay engine (zero
+     *  under SweepEngine::DirectOnly). */
+    std::size_t batchedCount() const;
+
+    /** Number of optimized-engine configs shadow-verified per run()
      *  (non-zero only under SweepEngine::CrossCheck). */
     std::size_t crossCheckCount() const { return shadowIndex_.size(); }
 
@@ -116,8 +125,9 @@ class ParallelSweepRunner
     std::vector<SweepResult> results() const;
 
   private:
-    /** Where a config's simulation lives: a direct Cache
-     *  (engine < 0, slot into caches_) or a single-pass engine
+    /** Where a config's simulation lives: a Cache outside the
+     *  single-pass engines (engine < 0; slot into caches_ under
+     *  DirectOnly, into batch_ otherwise) or a single-pass engine
      *  (slot into that engine's config list). */
     struct Route
     {
@@ -128,15 +138,20 @@ class ParallelSweepRunner
     ThreadPool *pool_;
     std::vector<CacheConfig> configs_;
     std::vector<Route> routes_;
+    /** DirectOnly: caches_[j] simulates configs_[directIndex_[j]]. */
     std::vector<std::unique_ptr<Cache>> caches_;
-    /** caches_[j] simulates configs_[directIndex_[j]]. */
+    /** caches_[j] / batch_->cache(j) simulates
+     *  configs_[directIndex_[j]]. */
     std::vector<std::size_t> directIndex_;
+    /** Auto/CrossCheck: batched replay engine over the non-eligible
+     *  configs (same slot order as directIndex_). */
+    std::unique_ptr<BatchReplay> batch_;
     /** One engine per distinct eligible block size. */
     std::vector<std::unique_ptr<SinglePassEngine>> engines_;
     /** engineIndex_[e][k] = config index of engines_[e]'s k-th. */
     std::vector<std::vector<std::size_t>> engineIndex_;
-    /** CrossCheck only: sampled fast-pathed config indices with a
-     *  shadow direct Cache each (shadowCaches_[s] simulates
+    /** CrossCheck only: sampled optimized-engine config indices with
+     *  a shadow direct Cache each (shadowCaches_[s] simulates
      *  configs_[shadowIndex_[s]]). */
     std::vector<std::size_t> shadowIndex_;
     std::vector<std::unique_ptr<Cache>> shadowCaches_;
@@ -147,7 +162,10 @@ class ParallelSweepRunner
  * grid of a suite sweep — in parallel on @p pool (nullptr means
  * globalThreadPool()). With SweepEngine::Auto, eligible configs run
  * on one single-pass engine per (trace, block size), parallelized at
- * (trace, set-count level) granularity. @return per-trace result
+ * (trace, set-count level) granularity; the remaining configs run on
+ * one batched replay engine per trace, parallelized at (trace,
+ * config-tile) granularity over the shared packed trace.
+ * @return per-trace result
  * vectors, out[t][c] for traces[t] x configs[c], bit-identical to
  * driving a sequential SweepRunner over each trace.
  */

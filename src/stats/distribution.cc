@@ -25,20 +25,6 @@ Distribution::init(std::string name, std::size_t num_buckets)
 }
 
 void
-Distribution::sample(std::uint64_t value, std::uint64_t weight)
-{
-    occsim_assert(!buckets_.empty(), "distribution not initialized");
-    if (value < buckets_.size()) {
-        buckets_[value] += weight;
-        weightedSum_ += value * weight;
-    } else {
-        overflow_ += weight;
-        weightedSum_ += buckets_.size() * weight;
-    }
-    samples_ += weight;
-}
-
-void
 Distribution::reset()
 {
     for (auto &bucket : buckets_)

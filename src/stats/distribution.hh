@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "util/logging.hh"
+
 namespace occsim {
 
 /**
@@ -31,8 +33,23 @@ class Distribution
     /** Record one observation of @p value (weight 1). */
     void sample(std::uint64_t value) { sample(value, 1); }
 
-    /** Record @p weight observations of @p value. */
-    void sample(std::uint64_t value, std::uint64_t weight);
+    /** Record @p weight observations of @p value. Inline: the cache
+     *  miss path samples the burst histogram per miss, and an
+     *  out-of-line call would force the replay kernels to spill loop
+     *  state around it. */
+    void sample(std::uint64_t value, std::uint64_t weight)
+    {
+        occsim_assert(!buckets_.empty(),
+                      "distribution not initialized");
+        if (value < buckets_.size()) {
+            buckets_[value] += weight;
+            weightedSum_ += value * weight;
+        } else {
+            overflow_ += weight;
+            weightedSum_ += buckets_.size() * weight;
+        }
+        samples_ += weight;
+    }
 
     void reset();
 

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Packed, pre-decoded trace representation for batched replay.
+ *
+ * A VectorTrace stores MemRef structs and is consumed either through
+ * the virtual TraceSource::next() interface or as a flat MemRef span.
+ * The batched replay engine wants neither: it replays the same trace
+ * through many cache configurations and kernels, so the trace is
+ * decoded ONCE into a contiguous array of 8-byte records — byte
+ * address in the low 32 bits, pre-computed classification flags
+ * (write / instruction-fetch) in the bits above — and every kernel
+ * loop is a branch-light walk over that span. The record deliberately
+ * drops MemRef::size: no cache model reads it (the data-path width
+ * comes from the config), and keeping records at 8 bytes means a
+ * 1 M-reference trace is an 8 MB stream that tiles nicely in L2.
+ *
+ * packedTraceShared() memoizes the packing per shared immutable
+ * VectorTrace, mirroring buildTraceShared: however many sweeps replay
+ * one trace, it is decoded exactly once while any handle is alive.
+ */
+
+#ifndef OCCSIM_TRACE_PACKED_TRACE_HH
+#define OCCSIM_TRACE_PACKED_TRACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace occsim {
+
+/** One pre-decoded reference: address + classification flags. */
+struct PackedRecord
+{
+    /** Bit positions of the flag field (above the 32 address bits). */
+    static constexpr std::uint64_t kWriteBit = 1ull << 32;
+    static constexpr std::uint64_t kIfetchBit = 1ull << 33;
+
+    std::uint64_t bits = 0;
+
+    Addr addr() const { return static_cast<Addr>(bits); }
+    bool isWrite() const { return (bits & kWriteBit) != 0; }
+    bool isInstruction() const { return (bits & kIfetchBit) != 0; }
+
+    static PackedRecord pack(const MemRef &ref)
+    {
+        PackedRecord rec;
+        rec.bits = static_cast<std::uint64_t>(ref.addr);
+        if (ref.isWrite())
+            rec.bits |= kWriteBit;
+        else if (ref.isInstruction())
+            rec.bits |= kIfetchBit;
+        return rec;
+    }
+};
+
+static_assert(sizeof(PackedRecord) == 8,
+              "packed records must stay 8 bytes (one cache line holds "
+              "eight of them)");
+
+/** An immutable packed trace: one contiguous span of records. */
+class PackedTrace
+{
+  public:
+    PackedTrace() = default;
+    explicit PackedTrace(const VectorTrace &trace);
+
+    std::size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+    const PackedRecord *data() const { return records_.data(); }
+    const PackedRecord &operator[](std::size_t i) const
+    {
+        return records_[i];
+    }
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_ = "trace";
+    std::vector<PackedRecord> records_;
+};
+
+/**
+ * Memoized packing of a shared immutable trace: the first call for a
+ * given VectorTrace decodes it, later calls return the same
+ * PackedTrace as long as any previous handle (or the source trace)
+ * is still alive. Thread-safe.
+ */
+std::shared_ptr<const PackedTrace>
+packedTraceShared(const std::shared_ptr<const VectorTrace> &trace);
+
+} // namespace occsim
+
+#endif // OCCSIM_TRACE_PACKED_TRACE_HH

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Determinism tests for the batched replay engine: PackedTrace must
+ * round-trip the reference stream, and BatchReplay must be
+ * bit-identical to direct Cache::access simulation for every tile
+ * size, chunk size, policy combination, and thread count — the
+ * batching changes only the interleaving between independent caches,
+ * never what any one cache observes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "multi/batch_replay.hh"
+#include "multi/parallel_sweep.hh"
+#include "trace/packed_trace.hh"
+#include "workload/suites.hh"
+
+using namespace occsim;
+
+namespace {
+
+constexpr std::uint64_t kRefs = 30000;
+
+/** Bit-identical comparison of two SweepResults (exact doubles). */
+void
+expectIdentical(const SweepResult &a, const SweepResult &b)
+{
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.grossBytes, b.grossBytes);
+    EXPECT_EQ(a.missRatio, b.missRatio);
+    EXPECT_EQ(a.warmMissRatio, b.warmMissRatio);
+    EXPECT_EQ(a.trafficRatio, b.trafficRatio);
+    EXPECT_EQ(a.warmTrafficRatio, b.warmTrafficRatio);
+    EXPECT_EQ(a.nibbleTrafficRatio, b.nibbleTrafficRatio);
+    EXPECT_EQ(a.warmNibbleTrafficRatio, b.warmNibbleTrafficRatio);
+}
+
+/** The paper's sector/load-forward style grid: every config here is
+ *  single-pass-INeligible, so Auto routes all of them to the batched
+ *  engine. */
+std::vector<CacheConfig>
+sectorGrid(std::uint32_t word_size)
+{
+    std::vector<CacheConfig> configs;
+    for (const std::uint32_t block : {16u, 32u}) {
+        for (std::uint32_t sub = word_size; sub < block; sub *= 2) {
+            for (const FetchPolicy fetch :
+                 {FetchPolicy::Demand, FetchPolicy::LoadForward}) {
+                CacheConfig config =
+                    makeConfig(1024, block, sub, word_size);
+                config.fetch = fetch;
+                configs.push_back(config);
+            }
+        }
+    }
+    return configs;
+}
+
+/** Direct reference simulation of @p configs over @p trace. */
+std::vector<SweepResult>
+directResults(const std::vector<CacheConfig> &configs,
+              const VectorTrace &trace, std::uint64_t max_refs = 0)
+{
+    std::vector<SweepResult> out;
+    const std::uint64_t limit =
+        max_refs == 0
+            ? trace.size()
+            : std::min<std::uint64_t>(max_refs, trace.size());
+    for (const CacheConfig &config : configs) {
+        Cache cache(config);
+        for (std::uint64_t r = 0; r < limit; ++r)
+            cache.access(trace.refs()[r]);
+        cache.finalizeResidencies();
+        out.push_back(summarizeCache(cache));
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(PackedTrace, RecordsRoundTripTheReferenceStream)
+{
+    VectorTrace trace("round-trip");
+    trace.append(0x1234, RefKind::DataRead, 2);
+    trace.append(0xFFFFFFFCu, RefKind::DataWrite, 4);
+    trace.append(0x0, RefKind::Ifetch, 2);
+
+    const PackedTrace packed(trace);
+    ASSERT_EQ(packed.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const MemRef &ref = trace.refs()[i];
+        EXPECT_EQ(packed[i].addr(), ref.addr);
+        EXPECT_EQ(packed[i].isWrite(), ref.isWrite());
+        EXPECT_EQ(packed[i].isInstruction(), ref.isInstruction());
+    }
+}
+
+TEST(PackedTrace, SharedPackingIsMemoized)
+{
+    const Suite suite = pdp11Suite();
+    const auto trace = buildTraceShared(suite.traces.front(), 5000);
+    const auto first = packedTraceShared(trace);
+    const auto second = packedTraceShared(trace);
+    EXPECT_EQ(first.get(), second.get())
+        << "one decode per shared trace while a handle is alive";
+    EXPECT_EQ(first->size(), trace->size());
+
+    const auto longer = buildTraceShared(suite.traces.front(), 6000);
+    EXPECT_NE(packedTraceShared(longer).get(), first.get());
+}
+
+TEST(BatchReplay, BitIdenticalToDirectForAnyTiling)
+{
+    const Suite suite = pdp11Suite();
+    const auto trace = buildTraceShared(suite.traces.front(), kRefs);
+    const auto configs = sectorGrid(suite.profile.wordSize);
+    const auto expected = directResults(configs, *trace);
+    const PackedTrace packed(*trace);
+
+    for (const std::size_t tile : {1u, 2u, 3u, 5u, 64u}) {
+        for (const std::size_t chunk : {7u, 1000u, 1u << 20}) {
+            BatchReplay batch(configs, tile, chunk);
+            EXPECT_EQ(batch.run(packed), trace->size());
+            const auto actual = batch.results();
+            ASSERT_EQ(actual.size(), expected.size());
+            for (std::size_t i = 0; i < expected.size(); ++i)
+                expectIdentical(actual[i], expected[i]);
+        }
+    }
+}
+
+TEST(BatchReplay, EveryKernelMatchesTheRuntimeDispatch)
+{
+    // All 16 (fetch x write x write-allocate) kernel instantiations
+    // against the branch-per-reference access() path.
+    const Suite suite = pdp11Suite();
+    const auto trace = buildTraceShared(suite.traces.front(), kRefs);
+    const PackedTrace packed(*trace);
+
+    for (const FetchPolicy fetch :
+         {FetchPolicy::Demand, FetchPolicy::LoadForward,
+          FetchPolicy::LoadForwardOptimized,
+          FetchPolicy::PrefetchNextOnMiss}) {
+        for (const WritePolicy write :
+             {WritePolicy::WriteThrough, WritePolicy::CopyBack}) {
+            for (const bool allocate : {false, true}) {
+                CacheConfig config = makeConfig(
+                    512, 16, 4, suite.profile.wordSize);
+                config.fetch = fetch;
+                config.write = write;
+                config.writeAllocate = allocate;
+
+                BatchReplay batch({config}, 1, 257);
+                batch.run(packed);
+                const auto expected =
+                    directResults({config}, *trace);
+                expectIdentical(batch.results()[0], expected[0]);
+            }
+        }
+    }
+}
+
+TEST(BatchReplay, ReplacementAndAssocKernelsMatchTheRuntimeDispatch)
+{
+    // The other two kernel dimensions: replacement policy (the LRU
+    // order update is inlined into the kernels) x associativity
+    // (1/2/4/8 get fully unrolled way scans, 16 exercises the
+    // runtime-assoc fallback kernel).
+    const Suite suite = pdp11Suite();
+    const auto trace = buildTraceShared(suite.traces.front(), kRefs);
+    const PackedTrace packed(*trace);
+
+    for (const ReplacementPolicy repl :
+         {ReplacementPolicy::LRU, ReplacementPolicy::FIFO,
+          ReplacementPolicy::Random}) {
+        for (const std::uint32_t assoc : {1u, 2u, 4u, 8u, 16u}) {
+            CacheConfig config =
+                makeConfig(512, 16, 4, suite.profile.wordSize);
+            config.assoc = assoc;
+            config.replacement = repl;
+            config.fetch = FetchPolicy::LoadForward;
+
+            BatchReplay batch({config}, 1, 513);
+            batch.run(packed);
+            const auto expected = directResults({config}, *trace);
+            expectIdentical(batch.results()[0], expected[0]);
+        }
+    }
+}
+
+TEST(BatchReplay, RepeatedRunsAccumulateLikeDirect)
+{
+    const Suite suite = pdp11Suite();
+    const auto trace = buildTraceShared(suite.traces.front(), 10000);
+    const PackedTrace packed(*trace);
+    CacheConfig config = makeConfig(256, 16, 4,
+                                    suite.profile.wordSize);
+    config.fetch = FetchPolicy::LoadForward;
+
+    BatchReplay batch({config}, 1, 999);
+    batch.run(packed);
+    batch.run(packed);
+
+    Cache direct(config);
+    for (int pass = 0; pass < 2; ++pass) {
+        for (const MemRef &ref : trace->refs())
+            direct.access(ref);
+        direct.finalizeResidencies();
+    }
+    expectIdentical(batch.results()[0], summarizeCache(direct));
+}
+
+TEST(BatchReplay, RespectsMaxRefs)
+{
+    const Suite suite = pdp11Suite();
+    const auto trace = buildTraceShared(suite.traces.front(), kRefs);
+    const auto configs = sectorGrid(suite.profile.wordSize);
+    const PackedTrace packed(*trace);
+
+    BatchReplay batch(configs, 3, 128);
+    EXPECT_EQ(batch.run(packed, 500), 500u);
+    const auto expected = directResults(configs, *trace, 500);
+    const auto actual = batch.results();
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        expectIdentical(actual[i], expected[i]);
+}
+
+TEST(BatchReplay, AutoRoutingMatchesDirectOnlyForAnyThreadCount)
+{
+    const Suite suite = pdp11Suite();
+    const auto trace = buildTraceShared(suite.traces.front(), kRefs);
+    // Mixed grid: single-pass-eligible AND batched configs.
+    const auto configs = paperGrid(1024, suite.profile.wordSize);
+
+    for (const std::size_t threads : {1u, 2u, 7u}) {
+        ThreadPool pool(threads);
+        ParallelSweepRunner reference(configs, &pool,
+                                      SweepEngine::DirectOnly);
+        reference.run(trace);
+        const auto expected = reference.results();
+
+        ParallelSweepRunner routed(configs, &pool, SweepEngine::Auto);
+        EXPECT_GT(routed.batchedCount(), 0u)
+            << "the paper grid contains sector configs";
+        routed.run(trace);
+        const auto actual = routed.results();
+
+        ASSERT_EQ(actual.size(), expected.size());
+        for (std::size_t i = 0; i < expected.size(); ++i)
+            expectIdentical(actual[i], expected[i]);
+    }
+}
+
+TEST(BatchReplay, RunSweepsAutoMatchesDirectOnlyAcrossTraces)
+{
+    const Suite suite = pdp11Suite();
+    const auto configs = sectorGrid(suite.profile.wordSize);
+    std::vector<std::shared_ptr<const VectorTrace>> traces;
+    for (const WorkloadSpec &spec : suite.traces)
+        traces.push_back(buildTraceShared(spec, 10000));
+
+    ThreadPool pool(4);
+    const auto expected =
+        runSweeps(traces, configs, &pool, SweepEngine::DirectOnly);
+    const auto actual =
+        runSweeps(traces, configs, &pool, SweepEngine::Auto);
+
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t t = 0; t < expected.size(); ++t) {
+        ASSERT_EQ(actual[t].size(), expected[t].size());
+        for (std::size_t c = 0; c < expected[t].size(); ++c)
+            expectIdentical(actual[t][c], expected[t][c]);
+    }
+}

@@ -186,8 +186,8 @@ TEST(Fuzz, InjectedOffByOneIsCaughtAndShrunk)
 
 TEST(CrossCheck, ShadowVerifiesTheFastPath)
 {
-    // A mixed grid: eligible configs (fast-pathed + shadow-checked)
-    // alongside ineligible ones (direct).
+    // A mixed grid: eligible configs (fast-pathed) alongside
+    // ineligible ones (batched); shadows sample across both.
     std::vector<CacheConfig> configs;
     for (const std::uint32_t net : {256u, 1024u}) {
         for (const CacheConfig &config : paperGrid(net, 2))
@@ -200,7 +200,10 @@ TEST(CrossCheck, ShadowVerifiesTheFastPath)
     ParallelSweepRunner checked(configs, nullptr,
                                 SweepEngine::CrossCheck);
     EXPECT_GE(checked.crossCheckCount(), 1u);
-    EXPECT_LE(checked.crossCheckCount(), checked.fastPathCount());
+    EXPECT_LE(checked.crossCheckCount(), checked.size());
+    EXPECT_EQ(checked.fastPathCount() + checked.batchedCount(),
+              checked.size())
+        << "under CrossCheck every config is on an optimized engine";
     checked.run(trace);  // fatal on any divergence
 
     // CrossCheck is Auto plus verification: identical results.

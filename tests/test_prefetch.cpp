@@ -113,6 +113,36 @@ TEST(Prefetch, ReducesMissesOnRealisticStream)
               demand.stats().trafficRatio());
 }
 
+TEST(Prefetch, TopOfAddressSpaceSuppressesPrefetch)
+{
+    // A miss on the last sub-block of the 32-bit address space has no
+    // sequential successor: the prefetch target would wrap to address
+    // 0. The defined behavior is to suppress the prefetch entirely —
+    // no prefetch traffic, no bogus block-0 allocation.
+    Cache cache(pfConfig());
+    const Addr top = 0xFFFFFFFCu;  // last 4-byte sub-block
+    cache.access(read(top));
+    EXPECT_TRUE(cache.isResident(top));
+    EXPECT_EQ(cache.stats().prefetches(), 0u)
+        << "wrapped prefetch target must be suppressed";
+    EXPECT_FALSE(cache.isBlockResident(0x0))
+        << "the prefetch must not wrap around to address 0";
+    EXPECT_EQ(cache.stats().misses(), 1u);
+    EXPECT_EQ(cache.stats().wordsFetched(), 2u)
+        << "only the demand sub-block moved";
+}
+
+TEST(Prefetch, BelowTopOfAddressSpaceStillPrefetches)
+{
+    // One sub-block below the top the successor exists: the ordinary
+    // prefetch behavior is unchanged right up to the edge.
+    Cache cache(pfConfig());
+    cache.access(read(0xFFFFFFF8u));  // second-to-last sub-block
+    EXPECT_EQ(cache.stats().prefetches(), 1u);
+    EXPECT_TRUE(cache.isResident(0xFFFFFFFCu))
+        << "the top sub-block arrived by prefetch";
+}
+
 TEST(Prefetch, PollutionVisibleOnRandomStream)
 {
     // On a uniform random stream prefetches are rarely used (low
