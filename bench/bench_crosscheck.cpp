@@ -1,3 +1,6 @@
+// This TU intentionally exercises the legacy sweep entry points.
+#define OCCSIM_ALLOW_DEPRECATED 1
+
 /**
  * @file
  * Cost of the CrossCheck runtime verification mode: the Table 1

@@ -7,6 +7,12 @@
  * historical contract, greppable from smoke logs) and persists it to
  * BENCH_<name>.json at the repo root so the perf trajectory is
  * tracked across PRs by plain files under version control.
+ *
+ * Serialization and file IO ride on the shared observability JSON
+ * layer (src/obs/json.hh): benches can build their line with
+ * obs::JsonWriter instead of hand-concatenated strings, and the
+ * persisted bytes go through the same obs::writeTextFile used by run
+ * manifests.
  */
 
 #ifndef OCCSIM_BENCH_BENCH_JSON_HH
@@ -15,6 +21,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+
+#include "obs/json.hh"
 
 namespace occsim::bench {
 
@@ -33,14 +41,18 @@ writeBenchJson(const std::string &name, const std::string &json)
                                              ? dir
                                              : OCCSIM_REPO_ROOT) +
                              "/BENCH_" + name + ".json";
-    if (std::FILE *file = std::fopen(path.c_str(), "w")) {
-        std::fprintf(file, "%s\n", json.c_str());
-        std::fclose(file);
-    } else {
+    if (!obs::writeTextFile(path, json + "\n")) {
         std::fprintf(stderr, "warning: cannot write %s\n",
                      path.c_str());
     }
 #endif
+}
+
+/** Overload for a finished obs::JsonWriter document. */
+inline void
+writeBenchJson(const std::string &name, const obs::JsonWriter &writer)
+{
+    writeBenchJson(name, writer.str());
 }
 
 } // namespace occsim::bench

@@ -1,3 +1,6 @@
+// This TU intentionally exercises the legacy sweep entry points.
+#define OCCSIM_ALLOW_DEPRECATED 1
+
 /**
  * @file
  * Direct-vs-single-pass wall-clock comparison for a full Table 1

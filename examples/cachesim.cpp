@@ -20,6 +20,9 @@
  *                    design grid at net sizes 64/256/1024 and print
  *                    CSV rows (net,block,sub,gross,miss,traffic,
  *                    nibble) for plotting
+ *     --manifest P   write a run manifest (JSON) to path P at exit
+ *                    (equivalent to OCCSIM_MANIFEST=P; inspect it
+ *                    with occsim-report)
  *
  * Generate input files with the tracegen example.
  */
@@ -31,7 +34,8 @@
 
 #include "cache/cache.hh"
 #include "harness/experiment.hh"
-#include "multi/sweep_runner.hh"
+#include "multi/sweep_api.hh"
+#include "obs/manifest.hh"
 #include "trace/filters.hh"
 #include "trace/trace_file.hh"
 #include "trace/trace_stats.hh"
@@ -51,7 +55,8 @@ usage()
                  "[-sub N] [-assoc N]\n"
                  "                [-word N] [-repl lru|fifo|random] "
                  "[-fetch demand|lf|lfo]\n"
-                 "                [-limit N] [-ro]\n");
+                 "                [-limit N] [-ro] [-sweep] "
+                 "[--manifest <path>]\n");
     std::exit(1);
 }
 
@@ -103,6 +108,10 @@ main(int argc, char **argv)
             read_only = true;
         } else if (arg == "-sweep") {
             sweep = true;
+        } else if (arg == "--manifest") {
+            if (i + 1 >= argc)
+                usage();
+            obs::setManifestPath(argv[++i]);
         } else if (arg == "-repl") {
             if (i + 1 >= argc)
                 usage();
@@ -144,16 +153,22 @@ main(int argc, char **argv)
             const auto grid = paperGrid(net, config.wordSize);
             configs.insert(configs.end(), grid.begin(), grid.end());
         }
-        SweepRunner runner(configs);
+        SweepRequest request;
         if (read_only) {
             DropWritesFilter filtered(trace);
-            runner.run(filtered, limit);
+            request.traces.push_back(std::make_shared<VectorTrace>(
+                collect(filtered)));
         } else {
-            runner.run(trace, limit);
+            request.traces.push_back(
+                std::make_shared<VectorTrace>(std::move(trace)));
         }
+        request.configs = configs;
+        request.maxRefs = limit;
+        request.label = "cachesim:sweep";
+        const SweepReport report = runSweep(request);
         TableWriter table({"net", "block", "sub", "gross", "miss",
                            "traffic", "nibble"});
-        for (const SweepResult &result : runner.results()) {
+        for (const SweepResult &result : report.perTrace.front()) {
             table.addRow(
                 {strfmt("%u", result.config.netSize),
                  strfmt("%u", result.config.blockSize),

@@ -1,0 +1,387 @@
+/**
+ * @file
+ * occsim-report: inspect and compare run manifests.
+ *
+ * Every occsim binary writes a JSON run manifest when OCCSIM_MANIFEST
+ * names a path (see src/obs/manifest.hh). This CLI turns those files
+ * back into something readable:
+ *
+ *   occsim-report <manifest.json>            summary: identity, sweeps,
+ *                                            per-stage and per-engine
+ *                                            breakdown tables
+ *   occsim-report --diff <a.json> <b.json>   side-by-side stage/engine
+ *                                            wall-time and throughput
+ *                                            comparison (B vs A)
+ *   occsim-report --check <manifest.json>    validate against the
+ *                                            occsim.run_manifest/1
+ *                                            schema; non-zero exit on
+ *                                            any violation (this is
+ *                                            the ctest validation of
+ *                                            manifest emission)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "util/str.hh"
+#include "util/table.hh"
+
+using namespace occsim;
+using obs::JsonValue;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: occsim-report <manifest.json>\n"
+                 "       occsim-report --diff <a.json> <b.json>\n"
+                 "       occsim-report --check <manifest.json>\n");
+    std::exit(1);
+}
+
+bool
+loadManifest(const std::string &path, JsonValue &out)
+{
+    bool ok = false;
+    const std::string content = obs::readTextFile(path, &ok);
+    if (!ok) {
+        std::fprintf(stderr, "occsim-report: cannot read %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::string error;
+    if (!parseJson(content, out, &error)) {
+        std::fprintf(stderr, "occsim-report: %s: invalid JSON (%s)\n",
+                     path.c_str(), error.c_str());
+        return false;
+    }
+    return true;
+}
+
+/** One schema violation report, or empty when fine. */
+void
+expectMember(const JsonValue &object, const char *name,
+             JsonValue::Kind kind, std::vector<std::string> &errors)
+{
+    const JsonValue *member = object.find(name);
+    if (member == nullptr) {
+        errors.push_back(strfmt("missing key \"%s\"", name));
+        return;
+    }
+    if (member->kind != kind)
+        errors.push_back(strfmt("key \"%s\" has the wrong type", name));
+}
+
+/**
+ * Validate the occsim.run_manifest/1 shape: identity block, traces,
+ * sweeps with per-config routes, stages, engines, counters.
+ */
+std::vector<std::string>
+validateManifest(const JsonValue &doc)
+{
+    std::vector<std::string> errors;
+    if (!doc.isObject()) {
+        errors.push_back("document is not a JSON object");
+        return errors;
+    }
+    expectMember(doc, "schema", JsonValue::Kind::String, errors);
+    if (const JsonValue *schema = doc.find("schema")) {
+        if (schema->isString() &&
+            schema->text != "occsim.run_manifest/1") {
+            errors.push_back(
+                strfmt("unknown schema \"%s\"", schema->text.c_str()));
+        }
+    }
+    expectMember(doc, "binary", JsonValue::Kind::String, errors);
+    expectMember(doc, "git", JsonValue::Kind::String, errors);
+    expectMember(doc, "build", JsonValue::Kind::Object, errors);
+    if (const JsonValue *build = doc.find("build")) {
+        if (build->isObject()) {
+            expectMember(*build, "type", JsonValue::Kind::String,
+                         errors);
+            expectMember(*build, "flags", JsonValue::Kind::String,
+                         errors);
+        }
+    }
+    expectMember(doc, "threads", JsonValue::Kind::Number, errors);
+    expectMember(doc, "traces", JsonValue::Kind::Array, errors);
+    if (const JsonValue *traces = doc.find("traces")) {
+        for (const JsonValue &trace : traces->items) {
+            expectMember(trace, "name", JsonValue::Kind::String,
+                         errors);
+            expectMember(trace, "refs", JsonValue::Kind::Number,
+                         errors);
+        }
+    }
+    expectMember(doc, "sweeps", JsonValue::Kind::Array, errors);
+    if (const JsonValue *sweeps = doc.find("sweeps")) {
+        for (const JsonValue &sweep : sweeps->items) {
+            expectMember(sweep, "label", JsonValue::Kind::String,
+                         errors);
+            expectMember(sweep, "engine_mode", JsonValue::Kind::String,
+                         errors);
+            expectMember(sweep, "threads", JsonValue::Kind::Number,
+                         errors);
+            expectMember(sweep, "refs_simulated",
+                         JsonValue::Kind::Number, errors);
+            expectMember(sweep, "wall_ms", JsonValue::Kind::Number,
+                         errors);
+            expectMember(sweep, "configs", JsonValue::Kind::Array,
+                         errors);
+            if (const JsonValue *configs = sweep.find("configs")) {
+                for (const JsonValue &route : configs->items) {
+                    expectMember(route, "name",
+                                 JsonValue::Kind::String, errors);
+                    expectMember(route, "engine",
+                                 JsonValue::Kind::String, errors);
+                }
+            }
+        }
+    }
+    expectMember(doc, "stages", JsonValue::Kind::Array, errors);
+    if (const JsonValue *stages = doc.find("stages")) {
+        for (const JsonValue &stage : stages->items) {
+            expectMember(stage, "name", JsonValue::Kind::String,
+                         errors);
+            expectMember(stage, "calls", JsonValue::Kind::Number,
+                         errors);
+            expectMember(stage, "wall_ms", JsonValue::Kind::Number,
+                         errors);
+        }
+    }
+    expectMember(doc, "engines", JsonValue::Kind::Array, errors);
+    expectMember(doc, "counters", JsonValue::Kind::Object, errors);
+    return errors;
+}
+
+double
+numberAt(const JsonValue &object, const char *name)
+{
+    const JsonValue *member = object.find(name);
+    return member != nullptr && member->isNumber() ? member->number
+                                                   : 0.0;
+}
+
+std::string
+stringAt(const JsonValue &object, const char *name)
+{
+    const JsonValue *member = object.find(name);
+    return member != nullptr && member->isString() ? member->text
+                                                   : std::string();
+}
+
+void
+printSummary(const std::string &path, const JsonValue &doc)
+{
+    std::printf("manifest: %s\n", path.c_str());
+    std::printf("binary:   %s\n", stringAt(doc, "binary").c_str());
+    std::printf("git:      %s\n", stringAt(doc, "git").c_str());
+    if (const JsonValue *build = doc.find("build")) {
+        std::printf("build:    %s (%s)\n",
+                    stringAt(*build, "type").c_str(),
+                    stringAt(*build, "flags").c_str());
+    }
+    std::printf("threads:  %.0f\n\n", numberAt(doc, "threads"));
+
+    if (const JsonValue *traces = doc.find("traces");
+        traces != nullptr && !traces->items.empty()) {
+        TableWriter table({"trace", "refs"});
+        for (const JsonValue &trace : traces->items) {
+            table.addRow({stringAt(trace, "name"),
+                          strfmt("%.0f", numberAt(trace, "refs"))});
+        }
+        std::printf("traces:\n");
+        table.print(std::cout);
+        std::printf("\n");
+    }
+
+    if (const JsonValue *sweeps = doc.find("sweeps");
+        sweeps != nullptr && !sweeps->items.empty()) {
+        TableWriter table({"sweep", "mode", "traces", "configs",
+                           "refs simulated", "wall ms"});
+        for (const JsonValue &sweep : sweeps->items) {
+            const JsonValue *configs = sweep.find("configs");
+            table.addRow(
+                {stringAt(sweep, "label"),
+                 stringAt(sweep, "engine_mode"),
+                 strfmt("%.0f", numberAt(sweep, "traces")),
+                 strfmt("%zu", configs != nullptr
+                                   ? configs->items.size()
+                                   : std::size_t{0}),
+                 strfmt("%.0f", numberAt(sweep, "refs_simulated")),
+                 strfmt("%.2f", numberAt(sweep, "wall_ms"))});
+        }
+        std::printf("sweeps:\n");
+        table.print(std::cout);
+        std::printf("\n");
+    }
+
+    if (const JsonValue *engines = doc.find("engines");
+        engines != nullptr && !engines->items.empty()) {
+        TableWriter table(
+            {"engine", "refs", "wall ms", "Mrefs/s"});
+        for (const JsonValue &engine : engines->items) {
+            table.addRow(
+                {stringAt(engine, "name"),
+                 strfmt("%.0f", numberAt(engine, "refs")),
+                 strfmt("%.2f", numberAt(engine, "wall_ms")),
+                 strfmt("%.2f", numberAt(engine, "mrefs_per_sec"))});
+        }
+        std::printf("engine breakdown (wall time summed across "
+                    "threads):\n");
+        table.print(std::cout);
+        std::printf("\n");
+    }
+
+    if (const JsonValue *stages = doc.find("stages");
+        stages != nullptr && !stages->items.empty()) {
+        TableWriter table({"stage", "calls", "wall ms"});
+        for (const JsonValue &stage : stages->items) {
+            table.addRow({stringAt(stage, "name"),
+                          strfmt("%.0f", numberAt(stage, "calls")),
+                          strfmt("%.2f", numberAt(stage, "wall_ms"))});
+        }
+        std::printf("stage breakdown:\n");
+        table.print(std::cout);
+    }
+}
+
+/** name -> (calls-or-refs, wall_ms, mrefs) for diffing. */
+struct NamedRow
+{
+    std::string name;
+    double a = 0.0, b = 0.0;
+    bool inA = false, inB = false;
+};
+
+std::vector<NamedRow>
+mergeRows(const JsonValue &a, const JsonValue &b, const char *array,
+          const char *field)
+{
+    std::vector<NamedRow> rows;
+    const auto scan = [&](const JsonValue &doc, bool is_a) {
+        const JsonValue *items = doc.find(array);
+        if (items == nullptr)
+            return;
+        for (const JsonValue &item : items->items) {
+            const std::string name = stringAt(item, "name");
+            NamedRow *row = nullptr;
+            for (NamedRow &existing : rows) {
+                if (existing.name == name) {
+                    row = &existing;
+                    break;
+                }
+            }
+            if (row == nullptr) {
+                rows.push_back(NamedRow{name, 0, 0, false, false});
+                row = &rows.back();
+            }
+            const double value = numberAt(item, field);
+            if (is_a) {
+                row->a = value;
+                row->inA = true;
+            } else {
+                row->b = value;
+                row->inB = true;
+            }
+        }
+    };
+    scan(a, true);
+    scan(b, false);
+    return rows;
+}
+
+void
+printDiffTable(const JsonValue &a, const JsonValue &b,
+               const char *array, const char *field, const char *title)
+{
+    const std::vector<NamedRow> rows = mergeRows(a, b, array, field);
+    if (rows.empty())
+        return;
+    TableWriter table({"name", "A", "B", "B/A"});
+    for (const NamedRow &row : rows) {
+        std::string ratio = "-";
+        if (row.inA && row.inB && row.a > 0.0)
+            ratio = strfmt("%.3f", row.b / row.a);
+        table.addRow({row.name,
+                      row.inA ? strfmt("%.2f", row.a) : "-",
+                      row.inB ? strfmt("%.2f", row.b) : "-", ratio});
+    }
+    std::printf("%s:\n", title);
+    table.print(std::cout);
+    std::printf("\n");
+}
+
+int
+diffManifests(const std::string &path_a, const std::string &path_b)
+{
+    JsonValue a, b;
+    if (!loadManifest(path_a, a) || !loadManifest(path_b, b))
+        return 1;
+    std::printf("A: %s (%s, git %s)\n", path_a.c_str(),
+                stringAt(a, "binary").c_str(),
+                stringAt(a, "git").c_str());
+    std::printf("B: %s (%s, git %s)\n\n", path_b.c_str(),
+                stringAt(b, "binary").c_str(),
+                stringAt(b, "git").c_str());
+    printDiffTable(a, b, "stages", "wall_ms",
+                   "stage wall time (ms)");
+    printDiffTable(a, b, "engines", "wall_ms",
+                   "engine wall time (ms)");
+    printDiffTable(a, b, "engines", "mrefs_per_sec",
+                   "engine throughput (Mrefs/s)");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    const std::string mode = argv[1];
+
+    if (mode == "--check") {
+        if (argc != 3)
+            usage();
+        JsonValue doc;
+        if (!loadManifest(argv[2], doc))
+            return 1;
+        const std::vector<std::string> errors = validateManifest(doc);
+        if (!errors.empty()) {
+            for (const std::string &error : errors) {
+                std::fprintf(stderr, "occsim-report: %s: %s\n",
+                             argv[2], error.c_str());
+            }
+            return 1;
+        }
+        std::printf("%s: valid occsim.run_manifest/1\n", argv[2]);
+        return 0;
+    }
+
+    if (mode == "--diff") {
+        if (argc != 4)
+            usage();
+        return diffManifests(argv[2], argv[3]);
+    }
+
+    if (mode[0] == '-')
+        usage();
+    if (argc == 3 && argv[2][0] != '-')
+        return diffManifests(argv[1], argv[2]);
+    if (argc != 2)
+        usage();
+
+    JsonValue doc;
+    if (!loadManifest(argv[1], doc))
+        return 1;
+    printSummary(argv[1], doc);
+    return 0;
+}

@@ -15,8 +15,9 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "cache/cache.hh"
-#include "workload/suites.hh"
+// The umbrella header is the whole supported surface — nothing else
+// needs to be included.
+#include "occsim.hh"
 
 using namespace occsim;
 

@@ -81,7 +81,7 @@ class Cache
     void replayPacked(const PackedRecord *refs, std::size_t n);
 
     /**
-     * Drain @p source (up to @p maxRefs references, 0 = all) and then
+     * Drain @p source (up to @p max_refs references, 0 = all) and then
      * finalize residency statistics.
      * @return number of references simulated.
      */

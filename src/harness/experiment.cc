@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "multi/sweep_api.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
 
@@ -62,11 +63,15 @@ runSuite(const Suite &suite, const std::vector<CacheConfig> &configs,
          std::uint64_t trace_len)
 {
     SuiteRun run;
-    const auto traces = buildSuiteTraces(suite, trace_len);
+    SweepRequest request;
+    request.traces = buildSuiteTraces(suite, trace_len);
+    request.configs = configs;
+    request.label = "suite:" + suite.profile.name;
     for (const WorkloadSpec &spec : suite.traces)
         run.traceNames.push_back(spec.name);
-    run.perTrace = runSweeps(traces, configs);
-    run.average = averageResults(run.perTrace);
+    SweepReport report = runSweep(request);
+    run.perTrace = std::move(report.perTrace);
+    run.average = std::move(report.average);
     return run;
 }
 

@@ -48,7 +48,7 @@ struct SuiteRun
 };
 
 /**
- * Build every trace of @p suite (at @p traceLen references, 0 =
+ * Build every trace of @p suite (at @p trace_len references, 0 =
  * defaultTraceLength()) in parallel through the buildTraceShared
  * cache. Each workload executes the VM exactly once; the returned
  * traces are immutable and shared.
@@ -57,7 +57,7 @@ std::vector<std::shared_ptr<const VectorTrace>>
 buildSuiteTraces(const Suite &suite, std::uint64_t trace_len = 0);
 
 /**
- * Build each trace of @p suite (at @p traceLen references, 0 =
+ * Build each trace of @p suite (at @p trace_len references, 0 =
  * defaultTraceLength()) and run every config of @p configs over it.
  *
  * Runs on the parallel sweep engine: traces are built concurrently

@@ -4,6 +4,7 @@
 
 #include "cache/cache.hh"
 #include "harness/experiment.hh"
+#include "multi/sweep_api.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
 #include "util/table.hh"
@@ -174,8 +175,11 @@ runRiscII(std::ostream &os)
             }
             istreams[i] = std::move(istream);
         });
-    const auto per_trace = runSweeps(istreams, configs);
-    const auto averaged = averageResults(per_trace);
+    SweepRequest request;
+    request.traces = std::move(istreams);
+    request.configs = configs;
+    request.label = "risc2:ifetch";
+    const auto averaged = runSweep(request).average;
 
     TableWriter table({"size", "miss ratio", "vs previous size"});
     double prev = 0.0;

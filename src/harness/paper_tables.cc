@@ -4,6 +4,7 @@
 
 #include "cache/sector_cache.hh"
 #include "harness/experiment.hh"
+#include "multi/sweep_api.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
 #include "util/table.hh"
@@ -27,21 +28,25 @@ runTable6(std::ostream &os)
         configs.push_back(config);
     }
 
-    // Run manually (not via runSuite) so the 360/85's residency
-    // distribution can be inspected; each per-trace sweep still runs
-    // its configs in parallel over the shared trace.
-    const auto traces = buildSuiteTraces(suite);
-    std::vector<std::vector<SweepResult>> per_trace;
+    // A probe forces runner-per-trace execution so the 360/85's
+    // residency distribution can be read off its finished Cache
+    // (config 0 is sector-organized, hence batched — it keeps one);
+    // each per-trace sweep still runs its configs in parallel over
+    // the shared trace.
     double never_ref_sum = 0.0;
     double mean_touched_sum = 0.0;
-    for (const auto &trace : traces) {
-        ParallelSweepRunner runner(configs);
-        runner.run(trace);
-        per_trace.push_back(runner.results());
-        never_ref_sum += runner.cache(0).stats().neverReferencedFraction();
-        mean_touched_sum += runner.cache(0).stats().meanSubBlocksTouched();
-    }
-    const auto averaged = averageResults(per_trace);
+    SweepRequest request;
+    request.traces = buildSuiteTraces(suite);
+    request.configs = configs;
+    request.label = "table6";
+    request.probe = [&](std::size_t,
+                        const ParallelSweepRunner &runner) {
+        never_ref_sum +=
+            runner.cache(0).stats().neverReferencedFraction();
+        mean_touched_sum +=
+            runner.cache(0).stats().meanSubBlocksTouched();
+    };
+    const auto averaged = runSweep(request).average;
     const double base_miss = averaged[0].missRatio;
 
     TableWriter table({"organisation", "miss ratio", "relative to 360/85"});

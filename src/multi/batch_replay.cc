@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 
 namespace occsim {
@@ -27,6 +28,7 @@ BatchReplay::runTile(std::size_t tile, const PackedTrace &trace,
                      std::uint64_t max_refs)
 {
     occsim_assert(tile < numTiles_, "tile index out of range");
+    OCCSIM_TELEM_STAGE("engine.batch");
     const std::size_t begin = tile * tileConfigs_;
     const std::size_t end =
         std::min(begin + tileConfigs_, caches_.size());
@@ -50,6 +52,10 @@ BatchReplay::runTile(std::size_t tile, const PackedTrace &trace,
     }
     for (std::size_t c = begin; c < end; ++c)
         caches_[c]->finalizeResidencies();
+    OCCSIM_TELEM_COUNT("engine.batch.refs",
+                       limit * static_cast<std::uint64_t>(end - begin));
+    OCCSIM_TELEM_COUNT("engine.batch.bytes",
+                       limit * sizeof(PackedRecord));
 }
 
 std::uint64_t

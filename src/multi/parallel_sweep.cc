@@ -1,70 +1,22 @@
+// This TU defines the legacy engine entry points themselves.
+#define OCCSIM_ALLOW_DEPRECATED 1
+
 #include "multi/parallel_sweep.hh"
 
 #include <algorithm>
-#include <functional>
 
+#include "multi/sweep_detail.hh"
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 
 namespace occsim {
 
 namespace {
 
-ThreadPool &
-poolOrGlobal(ThreadPool *pool)
-{
-    return pool != nullptr ? *pool : globalThreadPool();
-}
-
-/**
- * Partition config indices for the Auto engine policy: eligible
- * configs grouped by block size (first-appearance order, so the
- * partition is deterministic), the rest listed for direct simulation.
- */
-struct ConfigPartition
-{
-    std::vector<std::size_t> direct;
-    std::vector<std::uint32_t> groupBlockSize;
-    std::vector<std::vector<std::size_t>> groups;
-};
-
-ConfigPartition
-partitionConfigs(const std::vector<CacheConfig> &configs,
-                 SweepEngine engine)
-{
-    ConfigPartition part;
-    for (std::size_t i = 0; i < configs.size(); ++i) {
-        if (engine == SweepEngine::DirectOnly ||
-            !singlePassEligible(configs[i])) {
-            part.direct.push_back(i);
-            continue;
-        }
-        const std::uint32_t block = configs[i].blockSize;
-        std::size_t g = part.groups.size();
-        for (std::size_t k = 0; k < part.groupBlockSize.size(); ++k) {
-            if (part.groupBlockSize[k] == block) {
-                g = k;
-                break;
-            }
-        }
-        if (g == part.groups.size()) {
-            part.groupBlockSize.push_back(block);
-            part.groups.emplace_back();
-        }
-        part.groups[g].push_back(i);
-    }
-    return part;
-}
-
-std::vector<CacheConfig>
-selectConfigs(const std::vector<CacheConfig> &configs,
-              const std::vector<std::size_t> &indices)
-{
-    std::vector<CacheConfig> out;
-    out.reserve(indices.size());
-    for (const std::size_t i : indices)
-        out.push_back(configs[i]);
-    return out;
-}
+using sweep_detail::ConfigPartition;
+using sweep_detail::partitionConfigs;
+using sweep_detail::poolOrGlobal;
+using sweep_detail::selectConfigs;
 
 /** Bitwise SweepResult equality (the fast path's contract). */
 bool
@@ -208,18 +160,26 @@ ParallelSweepRunner::run(const std::shared_ptr<const VectorTrace> &trace,
                     batch_->runTile(task, *packed, max_refs);
                     return;
                 }
+                OCCSIM_TELEM_STAGE("engine.direct");
                 Cache &cache = *caches_[task];
                 for (std::uint64_t r = 0; r < limit; ++r)
                     cache.access(refs[r]);
                 cache.finalizeResidencies();
+                OCCSIM_TELEM_COUNT("engine.direct.refs", limit);
+                OCCSIM_TELEM_COUNT("engine.direct.bytes",
+                                   limit * sizeof(MemRef));
             } else if (task < routed_tasks) {
                 const auto [e, l] = level_tasks[task - batch_tasks];
                 engines_[e]->runLevel(l, *trace, max_refs);
             } else {
+                OCCSIM_TELEM_STAGE("engine.shadow");
                 Cache &cache = *shadowCaches_[task - routed_tasks];
                 for (std::uint64_t r = 0; r < limit; ++r)
                     cache.access(refs[r]);
                 cache.finalizeResidencies();
+                OCCSIM_TELEM_COUNT("engine.shadow.refs", limit);
+                OCCSIM_TELEM_COUNT("engine.shadow.bytes",
+                                   limit * sizeof(MemRef));
             }
         });
 
@@ -242,6 +202,8 @@ ParallelSweepRunner::run(const std::shared_ptr<const VectorTrace> &trace,
                   trace->name().c_str());
         }
     }
+    if (!shadowIndex_.empty())
+        OCCSIM_TELEM_COUNT("cross_check.samples", shadowIndex_.size());
     return limit;
 }
 
@@ -261,124 +223,6 @@ ParallelSweepRunner::results() const
         const auto engine_results = engines_[e]->results();
         for (std::size_t k = 0; k < engine_results.size(); ++k)
             out[engineIndex_[e][k]] = engine_results[k];
-    }
-    return out;
-}
-
-std::vector<std::vector<SweepResult>>
-runSweeps(const std::vector<std::shared_ptr<const VectorTrace>> &traces,
-          const std::vector<CacheConfig> &configs, ThreadPool *pool,
-          SweepEngine engine)
-{
-    occsim_assert(!traces.empty(), "no traces to sweep");
-    occsim_assert(!configs.empty(), "sweep needs at least one config");
-
-    if (engine == SweepEngine::CrossCheck) {
-        // Verification mode: one checked runner per trace (still
-        // parallel within each trace). The flattened fast path below
-        // has no per-config shadows, so it cannot cross-check.
-        std::vector<std::vector<SweepResult>> out;
-        out.reserve(traces.size());
-        for (const auto &trace : traces) {
-            ParallelSweepRunner runner(configs, pool, engine);
-            runner.run(trace);
-            out.push_back(runner.results());
-        }
-        return out;
-    }
-
-    std::vector<std::vector<SweepResult>> out(
-        traces.size(), std::vector<SweepResult>(configs.size()));
-
-    const ConfigPartition part = partitionConfigs(configs, engine);
-
-    // Fast path: one single-pass engine per (trace, block-size
-    // group), parallelized one task per (engine, set-count level).
-    std::vector<std::vector<CacheConfig>> group_configs;
-    group_configs.reserve(part.groups.size());
-    for (const auto &group : part.groups)
-        group_configs.push_back(selectConfigs(configs, group));
-
-    const std::size_t num_groups = part.groups.size();
-    std::vector<std::unique_ptr<SinglePassEngine>> engines(
-        traces.size() * num_groups);
-    for (std::size_t t = 0; t < traces.size(); ++t) {
-        for (std::size_t g = 0; g < num_groups; ++g) {
-            engines[t * num_groups + g] =
-                std::make_unique<SinglePassEngine>(group_configs[g]);
-        }
-    }
-
-    // Non-eligible configs: under Auto, one batched replay engine per
-    // trace over the shared packed trace, parallelized per config
-    // tile; under DirectOnly, one plain Cache task per (trace,
-    // config) pair.
-    const bool batched =
-        engine != SweepEngine::DirectOnly && !part.direct.empty();
-    std::vector<CacheConfig> direct_configs =
-        selectConfigs(configs, part.direct);
-    std::vector<std::unique_ptr<BatchReplay>> batches;
-    std::vector<std::shared_ptr<const PackedTrace>> packed;
-    if (batched) {
-        batches.resize(traces.size());
-        packed.reserve(traces.size());
-        for (std::size_t t = 0; t < traces.size(); ++t) {
-            batches[t] = std::make_unique<BatchReplay>(direct_configs);
-            packed.push_back(packedTraceShared(traces[t]));
-        }
-    }
-
-    // Flatten everything to one task list: every (trace, direct
-    // config) pair or (trace, tile) pair, plus every (trace, group,
-    // level) triple. Each task writes only its own caches/levels/
-    // tiles, so scheduling order cannot affect the results.
-    std::vector<std::function<void()>> tasks;
-    tasks.reserve(traces.size() *
-                  (part.direct.size() + num_groups));
-    for (std::size_t t = 0; t < traces.size(); ++t) {
-        if (batched) {
-            for (std::size_t tile = 0; tile < batches[t]->numTiles();
-                 ++tile) {
-                tasks.push_back([&batches, &packed, t, tile] {
-                    batches[t]->runTile(tile, *packed[t]);
-                });
-            }
-        } else {
-            for (const std::size_t c : part.direct) {
-                tasks.push_back([&, t, c] {
-                    Cache cache(configs[c]);
-                    for (const MemRef &ref : traces[t]->refs())
-                        cache.access(ref);
-                    cache.finalizeResidencies();
-                    out[t][c] = summarizeCache(cache);
-                });
-            }
-        }
-        for (std::size_t g = 0; g < num_groups; ++g) {
-            SinglePassEngine &eng = *engines[t * num_groups + g];
-            for (std::size_t l = 0; l < eng.numLevels(); ++l) {
-                tasks.push_back([&eng, &traces, t, l] {
-                    eng.runLevel(l, *traces[t]);
-                });
-            }
-        }
-    }
-
-    poolOrGlobal(pool).parallelFor(
-        tasks.size(), [&](std::size_t i) { tasks[i](); });
-
-    for (std::size_t t = 0; t < traces.size(); ++t) {
-        if (batched) {
-            const auto results = batches[t]->results();
-            for (std::size_t k = 0; k < results.size(); ++k)
-                out[t][part.direct[k]] = results[k];
-        }
-        for (std::size_t g = 0; g < num_groups; ++g) {
-            const auto results =
-                engines[t * num_groups + g]->results();
-            for (std::size_t k = 0; k < results.size(); ++k)
-                out[t][part.groups[g][k]] = results[k];
-        }
     }
     return out;
 }

@@ -41,6 +41,7 @@
 #include "multi/batch_replay.hh"
 #include "multi/single_pass.hh"
 #include "multi/sweep_runner.hh"
+#include "util/deprecated.hh"
 #include "util/thread_pool.hh"
 
 namespace occsim {
@@ -92,11 +93,15 @@ class ParallelSweepRunner
                                  SweepEngine engine = SweepEngine::Auto);
 
     /**
-     * Feed up to @p maxRefs references (0 = all) of @p trace to every
-     * cache/engine and finalize residencies. Each worker walks the
-     * trace with its own cursor; the trace itself is never modified.
+     * Feed up to @p max_refs references (0 = all) of @p trace to
+     * every cache/engine and finalize residencies. Each worker walks
+     * the trace with its own cursor; the trace itself is never
+     * modified.
      * @return references consumed per config.
      */
+    OCCSIM_DEPRECATED("drive sweeps through runSweep(SweepRequest) "
+                      "(multi/sweep_api.hh); construct a runner "
+                      "directly only for engine-internal code")
     std::uint64_t run(const std::shared_ptr<const VectorTrace> &trace,
                       std::uint64_t max_refs = 0);
 
@@ -160,15 +165,15 @@ class ParallelSweepRunner
 /**
  * Run every config over every trace — the full (trace, config) task
  * grid of a suite sweep — in parallel on @p pool (nullptr means
- * globalThreadPool()). With SweepEngine::Auto, eligible configs run
- * on one single-pass engine per (trace, block size), parallelized at
- * (trace, set-count level) granularity; the remaining configs run on
- * one batched replay engine per trace, parallelized at (trace,
- * config-tile) granularity over the shared packed trace.
- * @return per-trace result
- * vectors, out[t][c] for traces[t] x configs[c], bit-identical to
- * driving a sequential SweepRunner over each trace.
+ * globalThreadPool()).
+ *
+ * Compatibility wrapper: delegates to runSweep(SweepRequest) in
+ * multi/sweep_api.hh (which also returns averages and a run
+ * manifest) and returns only the per-trace grid, out[t][c] for
+ * traces[t] x configs[c] — bit-identical to driving a sequential
+ * SweepRunner over each trace.
  */
+OCCSIM_DEPRECATED("use runSweep(SweepRequest) from multi/sweep_api.hh")
 std::vector<std::vector<SweepResult>>
 runSweeps(const std::vector<std::shared_ptr<const VectorTrace>> &traces,
           const std::vector<CacheConfig> &configs,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cache/cache_geometry.hh"
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 
 namespace occsim {
@@ -210,6 +211,7 @@ SinglePassEngine::runLevel(std::size_t level, const VectorTrace &trace,
                           std::uint64_t max_refs)
 {
     occsim_assert(level < levels_.size(), "level out of range");
+    OCCSIM_TELEM_STAGE("engine.single_pass");
     Level &lv = levels_[level];
     const std::vector<MemRef> &refs = trace.refs();
     const std::uint64_t limit =
@@ -271,6 +273,10 @@ SinglePassEngine::runLevel(std::size_t level, const VectorTrace &trace,
         }
     }
     lv.refs += limit;
+    OCCSIM_TELEM_COUNT("engine.single_pass.refs",
+                       limit * lv.points.size());
+    OCCSIM_TELEM_COUNT("engine.single_pass.bytes",
+                       limit * sizeof(MemRef));
     return limit;
 }
 

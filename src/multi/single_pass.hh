@@ -201,7 +201,7 @@ class SinglePassEngine
     std::uint32_t levelSets(std::size_t level) const;
 
     /**
-     * Drive level @p level over @p trace (up to @p maxRefs refs,
+     * Drive level @p level over @p trace (up to @p max_refs refs,
      * 0 = all). Levels are independent; distinct levels may run
      * concurrently. A level can only be run once.
      * @return references consumed.

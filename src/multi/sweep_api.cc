@@ -1,0 +1,285 @@
+// This TU implements the supported sweep API on top of the legacy
+// engine entry points it wraps, so the deprecation attribute must be
+// off here.
+#define OCCSIM_ALLOW_DEPRECATED 1
+
+#include "multi/sweep_api.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+
+#include "multi/sweep_detail.hh"
+#include "obs/telemetry.hh"
+#include "util/logging.hh"
+
+namespace occsim {
+
+namespace {
+
+using sweep_detail::partitionConfigs;
+using sweep_detail::poolOrGlobal;
+using sweep_detail::selectConfigs;
+
+/** Per-trace reference limit under @p max_refs (0 = whole trace). */
+std::uint64_t
+traceLimit(const VectorTrace &trace, std::uint64_t max_refs)
+{
+    const std::uint64_t size = trace.refs().size();
+    return max_refs == 0 ? size : std::min(max_refs, size);
+}
+
+/**
+ * Verification / probe path: one ParallelSweepRunner per trace (still
+ * parallel within each trace), so per-config shadows exist
+ * (CrossCheck) and finished Caches can be inspected (probe).
+ */
+std::uint64_t
+runPerTraceRunners(const SweepRequest &request, SweepReport &report,
+                   std::size_t &cross_check_samples)
+{
+    std::uint64_t refs = 0;
+    report.perTrace.reserve(request.traces.size());
+    for (std::size_t t = 0; t < request.traces.size(); ++t) {
+        ParallelSweepRunner runner(request.configs, request.pool,
+                                   request.engine);
+        refs += runner.run(request.traces[t], request.maxRefs);
+        cross_check_samples += runner.crossCheckCount();
+        if (request.probe)
+            request.probe(t, runner);
+        report.perTrace.push_back(runner.results());
+    }
+    return refs;
+}
+
+/**
+ * Grid path: the whole (trace, config) grid flattened to one task
+ * list over the pool — batch tiles plus single-pass levels plus
+ * direct per-config tasks. Each task writes only its own caches/
+ * levels/tiles, so scheduling order cannot affect the results.
+ */
+std::uint64_t
+runFlattenedGrid(const SweepRequest &request, SweepReport &report)
+{
+    const auto &traces = request.traces;
+    const auto &configs = request.configs;
+    const std::uint64_t max_refs = request.maxRefs;
+
+    report.perTrace.assign(traces.size(),
+                           std::vector<SweepResult>(configs.size()));
+    auto &out = report.perTrace;
+
+    const sweep_detail::ConfigPartition part =
+        partitionConfigs(configs, request.engine);
+
+    // Fast path: one single-pass engine per (trace, block-size
+    // group), parallelized one task per (engine, set-count level).
+    std::vector<std::vector<CacheConfig>> group_configs;
+    group_configs.reserve(part.groups.size());
+    for (const auto &group : part.groups)
+        group_configs.push_back(selectConfigs(configs, group));
+
+    const std::size_t num_groups = part.groups.size();
+    std::vector<std::unique_ptr<SinglePassEngine>> engines(
+        traces.size() * num_groups);
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+        for (std::size_t g = 0; g < num_groups; ++g) {
+            engines[t * num_groups + g] =
+                std::make_unique<SinglePassEngine>(group_configs[g]);
+        }
+    }
+
+    // Non-eligible configs: under Auto, one batched replay engine per
+    // trace over the shared packed trace, parallelized per config
+    // tile; under DirectOnly, one plain Cache task per (trace,
+    // config) pair.
+    const bool batched = request.engine != SweepEngine::DirectOnly &&
+                         !part.direct.empty();
+    std::vector<CacheConfig> direct_configs =
+        selectConfigs(configs, part.direct);
+    std::vector<std::unique_ptr<BatchReplay>> batches;
+    std::vector<std::shared_ptr<const PackedTrace>> packed;
+    if (batched) {
+        batches.resize(traces.size());
+        packed.reserve(traces.size());
+        for (std::size_t t = 0; t < traces.size(); ++t) {
+            batches[t] = std::make_unique<BatchReplay>(direct_configs);
+            packed.push_back(packedTraceShared(traces[t]));
+        }
+    }
+
+    // Flatten everything to one task list: every (trace, direct
+    // config) pair or (trace, tile) pair, plus every (trace, group,
+    // level) triple.
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(traces.size() * (part.direct.size() + num_groups));
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+        if (batched) {
+            for (std::size_t tile = 0; tile < batches[t]->numTiles();
+                 ++tile) {
+                tasks.push_back([&batches, &packed, max_refs, t, tile] {
+                    batches[t]->runTile(tile, *packed[t], max_refs);
+                });
+            }
+        } else {
+            for (const std::size_t c : part.direct) {
+                tasks.push_back([&, t, c] {
+                    OCCSIM_TELEM_STAGE("engine.direct");
+                    const std::vector<MemRef> &refs =
+                        traces[t]->refs();
+                    const std::uint64_t limit =
+                        traceLimit(*traces[t], max_refs);
+                    Cache cache(configs[c]);
+                    for (std::uint64_t r = 0; r < limit; ++r)
+                        cache.access(refs[r]);
+                    cache.finalizeResidencies();
+                    out[t][c] = summarizeCache(cache);
+                    OCCSIM_TELEM_COUNT("engine.direct.refs", limit);
+                    OCCSIM_TELEM_COUNT("engine.direct.bytes",
+                                       limit * sizeof(MemRef));
+                });
+            }
+        }
+        for (std::size_t g = 0; g < num_groups; ++g) {
+            SinglePassEngine &eng = *engines[t * num_groups + g];
+            for (std::size_t l = 0; l < eng.numLevels(); ++l) {
+                tasks.push_back([&eng, &traces, max_refs, t, l] {
+                    eng.runLevel(l, *traces[t], max_refs);
+                });
+            }
+        }
+    }
+
+    poolOrGlobal(request.pool)
+        .parallelFor(tasks.size(),
+                     [&](std::size_t i) { tasks[i](); });
+
+    std::uint64_t refs = 0;
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+        refs += traceLimit(*traces[t], max_refs);
+        if (batched) {
+            const auto results = batches[t]->results();
+            for (std::size_t k = 0; k < results.size(); ++k)
+                out[t][part.direct[k]] = results[k];
+        }
+        for (std::size_t g = 0; g < num_groups; ++g) {
+            const auto results =
+                engines[t * num_groups + g]->results();
+            for (std::size_t k = 0; k < results.size(); ++k)
+                out[t][part.groups[g][k]] = results[k];
+        }
+    }
+    return refs;
+}
+
+/** Engine a config routes to under @p engine (manifest vocabulary). */
+const char *
+configEngineName(const CacheConfig &config, SweepEngine engine)
+{
+    if (engine == SweepEngine::DirectOnly)
+        return "direct";
+    return singlePassEligible(config) ? "single_pass" : "batch";
+}
+
+} // namespace
+
+const char *
+sweepEngineName(SweepEngine engine)
+{
+    switch (engine) {
+    case SweepEngine::Auto:
+        return "auto";
+    case SweepEngine::DirectOnly:
+        return "direct_only";
+    case SweepEngine::CrossCheck:
+        return "cross_check";
+    }
+    return "unknown";
+}
+
+SweepReport
+runSweep(const SweepRequest &request)
+{
+    occsim_assert(!request.traces.empty(), "no traces to sweep");
+    occsim_assert(!request.configs.empty(),
+                  "sweep needs at least one config");
+    for (const auto &trace : request.traces)
+        occsim_assert(trace != nullptr, "null trace in sweep request");
+
+    const auto start = std::chrono::steady_clock::now();
+
+    SweepReport report;
+    std::size_t cross_check_samples = 0;
+    std::uint64_t refs = 0;
+    if (request.engine == SweepEngine::CrossCheck || request.probe) {
+        refs = runPerTraceRunners(request, report,
+                                  cross_check_samples);
+    } else {
+        refs = runFlattenedGrid(request, report);
+    }
+    report.refs = refs;
+
+    if (request.wantAverage)
+        report.average = averageResults(report.perTrace);
+
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    const std::uint64_t simulated =
+        refs * static_cast<std::uint64_t>(request.configs.size());
+
+    // Sweep-level telemetry: an explicit request sink records
+    // unconditionally; otherwise the global registry (subject to the
+    // global enable flag).
+    const auto ns = static_cast<std::uint64_t>(wall_ms * 1e6);
+    if (request.telemetry != nullptr) {
+        request.telemetry->stageAdd("sweep", ns);
+        request.telemetry->counterAdd("sweep.refs", simulated);
+    } else if (obs::telemetryEnabled()) {
+        obs::telemetry().stageAdd("sweep", ns);
+        obs::telemetry().counterAdd("sweep.refs", simulated);
+    }
+
+    // Session manifest: trace identities, routing, and timing.
+    for (const auto &trace : request.traces)
+        obs::recordTrace(trace->name(), trace->refs().size());
+
+    obs::SweepRecord record;
+    record.label = request.label.empty() ? "sweep" : request.label;
+    record.engineMode = sweepEngineName(request.engine);
+    record.threads =
+        static_cast<unsigned>(poolOrGlobal(request.pool).size());
+    record.numTraces = request.traces.size();
+    record.maxRefs = request.maxRefs;
+    record.refsSimulated = simulated;
+    record.wallMs = wall_ms;
+    record.crossCheckSamples = cross_check_samples;
+    record.routes.reserve(request.configs.size());
+    for (const CacheConfig &config : request.configs) {
+        record.routes.push_back(obs::ConfigRoute{
+            config.shortName(),
+            configEngineName(config, request.engine)});
+    }
+    obs::recordSweep(record);
+
+    report.manifest = obs::currentManifest();
+    return report;
+}
+
+std::vector<std::vector<SweepResult>>
+runSweeps(const std::vector<std::shared_ptr<const VectorTrace>> &traces,
+          const std::vector<CacheConfig> &configs, ThreadPool *pool,
+          SweepEngine engine)
+{
+    SweepRequest request;
+    request.traces = traces;
+    request.configs = configs;
+    request.engine = engine;
+    request.pool = pool;
+    request.wantAverage = false;
+    request.label = "runSweeps";
+    return runSweep(request).perTrace;
+}
+
+} // namespace occsim

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The unified sweep API: one request/report pair in front of every
+ * sweep engine.
+ *
+ * Before this header, callers picked between three overlapping entry
+ * points (sequential SweepRunner::run, ParallelSweepRunner::run, free
+ * runSweeps) and hard-coded engine plumbing — thread pools, engine
+ * modes, averaging, instrumentation — at every call site. The
+ * supported surface is now:
+ *
+ *   SweepRequest request;
+ *   request.traces = buildSuiteTraces(suite);
+ *   request.configs = paperGrid(1024, 2);
+ *   SweepReport report = runSweep(request);
+ *   // report.perTrace, report.average, report.manifest
+ *
+ * Everything the legacy entry points could do is a field of the
+ * request: engine policy, explicit pool, reference cap, a telemetry
+ * sink, and an optional per-trace probe for callers that need to
+ * inspect a finished Cache (Table 6's residency statistics). Results
+ * are bit-identical to the legacy entry points for every engine and
+ * thread count — the legacy functions are now thin deprecated
+ * wrappers over runSweep, and tests/test_sweep_api.cpp holds the
+ * exact-equality proof.
+ */
+
+#ifndef OCCSIM_MULTI_SWEEP_API_HH
+#define OCCSIM_MULTI_SWEEP_API_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "multi/parallel_sweep.hh"
+#include "obs/manifest.hh"
+
+namespace occsim {
+
+/** @return the stable policy name of @p engine ("auto",
+ *  "direct_only", "cross_check"). */
+const char *sweepEngineName(SweepEngine engine);
+
+/**
+ * Everything one sweep needs: inputs, engine policy, execution
+ * resources, and observability routing. Value type — build it field
+ * by field; only traces and configs are mandatory.
+ */
+struct SweepRequest
+{
+    /** Shared immutable traces (e.g. from buildSuiteTraces or
+     *  buildTraceShared). Must be non-empty, no null entries. */
+    std::vector<std::shared_ptr<const VectorTrace>> traces;
+
+    /** Config grid; one result slot per entry per trace. */
+    std::vector<CacheConfig> configs;
+
+    /** Engine routing policy (Auto = fast paths where eligible). */
+    SweepEngine engine = SweepEngine::Auto;
+
+    /** Pool to run on; nullptr means globalThreadPool(). */
+    ThreadPool *pool = nullptr;
+
+    /** Per-trace reference cap (0 = whole trace). */
+    std::uint64_t maxRefs = 0;
+
+    /** Compute SweepReport::average (unweighted across traces, the
+     *  paper's convention). */
+    bool wantAverage = true;
+
+    /** Label recorded in the manifest ("table6", "suite:PDP-11"). */
+    std::string label;
+
+    /**
+     * Telemetry sink for the sweep-level span and counters. nullptr
+     * routes to the global obs::telemetry() registry (subject to the
+     * global enable flag); an explicit sink records unconditionally.
+     * Engine-internal stage spans always go to the global registry.
+     */
+    obs::Telemetry *telemetry = nullptr;
+
+    /**
+     * Optional per-trace probe, called as probe(trace_index, runner)
+     * after that trace's sweep finishes, before results are
+     * collected. Setting a probe forces runner-per-trace execution
+     * (each trace gets its own ParallelSweepRunner; results stay
+     * bit-identical), so probes can read runner.cache(i) for
+     * statistics SweepResult does not carry — construct with
+     * SweepEngine::DirectOnly if every config must keep a Cache.
+     */
+    std::function<void(std::size_t, const ParallelSweepRunner &)> probe;
+};
+
+/** What one sweep produced. */
+struct SweepReport
+{
+    /** perTrace[t][c]: traces[t] x configs[c], grid order. */
+    std::vector<std::vector<SweepResult>> perTrace;
+
+    /** Unweighted per-config average across traces (empty when
+     *  SweepRequest::wantAverage is false). */
+    std::vector<SweepResult> average;
+
+    /** References consumed per config per trace (min(maxRefs,
+     *  trace size), summed over traces). */
+    std::uint64_t refs = 0;
+
+    /** Manifest of the run so far, including this sweep: trace
+     *  identities, engine routing per config, stage wall times. */
+    obs::RunManifest manifest;
+};
+
+/**
+ * Run @p request: every config over every trace, partitioned across
+ * the pool, routed per SweepRequest::engine. The one supported sweep
+ * entry point; bit-identical to the legacy paths it replaced.
+ */
+SweepReport runSweep(const SweepRequest &request);
+
+} // namespace occsim
+
+#endif // OCCSIM_MULTI_SWEEP_API_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Internal helpers shared by the sweep engine implementations
+ * (parallel_sweep.cc) and the unified sweep API (sweep_api.cc). Not
+ * part of the supported surface — include src/occsim.hh instead.
+ */
+
+#ifndef OCCSIM_MULTI_SWEEP_DETAIL_HH
+#define OCCSIM_MULTI_SWEEP_DETAIL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "multi/single_pass.hh"
+#include "util/thread_pool.hh"
+
+namespace occsim::sweep_detail {
+
+inline ThreadPool &
+poolOrGlobal(ThreadPool *pool)
+{
+    return pool != nullptr ? *pool : globalThreadPool();
+}
+
+/**
+ * Partition config indices for the Auto engine policy: eligible
+ * configs grouped by block size (first-appearance order, so the
+ * partition is deterministic), the rest listed for direct simulation.
+ */
+struct ConfigPartition
+{
+    std::vector<std::size_t> direct;
+    std::vector<std::uint32_t> groupBlockSize;
+    std::vector<std::vector<std::size_t>> groups;
+};
+
+inline ConfigPartition
+partitionConfigs(const std::vector<CacheConfig> &configs,
+                 SweepEngine engine)
+{
+    ConfigPartition part;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        if (engine == SweepEngine::DirectOnly ||
+            !singlePassEligible(configs[i])) {
+            part.direct.push_back(i);
+            continue;
+        }
+        const std::uint32_t block = configs[i].blockSize;
+        std::size_t g = part.groups.size();
+        for (std::size_t k = 0; k < part.groupBlockSize.size(); ++k) {
+            if (part.groupBlockSize[k] == block) {
+                g = k;
+                break;
+            }
+        }
+        if (g == part.groups.size()) {
+            part.groupBlockSize.push_back(block);
+            part.groups.emplace_back();
+        }
+        part.groups[g].push_back(i);
+    }
+    return part;
+}
+
+inline std::vector<CacheConfig>
+selectConfigs(const std::vector<CacheConfig> &configs,
+              const std::vector<std::size_t> &indices)
+{
+    std::vector<CacheConfig> out;
+    out.reserve(indices.size());
+    for (const std::size_t i : indices)
+        out.push_back(configs[i]);
+    return out;
+}
+
+} // namespace occsim::sweep_detail
+
+#endif // OCCSIM_MULTI_SWEEP_DETAIL_HH

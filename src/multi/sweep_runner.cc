@@ -1,5 +1,9 @@
+// This TU defines the deprecated sequential entry point itself.
+#define OCCSIM_ALLOW_DEPRECATED 1
+
 #include "multi/sweep_runner.hh"
 
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 
 namespace occsim {
@@ -48,6 +52,7 @@ SweepRunner::SweepRunner(const std::vector<CacheConfig> &configs)
 std::uint64_t
 SweepRunner::run(TraceSource &source, std::uint64_t max_refs)
 {
+    OCCSIM_TELEM_STAGE("engine.sequential");
     MemRef ref;
     std::uint64_t count = 0;
     while ((max_refs == 0 || count < max_refs) && source.next(ref)) {
@@ -57,6 +62,10 @@ SweepRunner::run(TraceSource &source, std::uint64_t max_refs)
     }
     for (auto &cache : caches_)
         cache->finalizeResidencies();
+    OCCSIM_TELEM_COUNT("engine.sequential.refs",
+                       count * caches_.size());
+    OCCSIM_TELEM_COUNT("engine.sequential.bytes",
+                       count * sizeof(MemRef));
     return count;
 }
 

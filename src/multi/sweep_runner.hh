@@ -16,6 +16,7 @@
 
 #include "cache/cache.hh"
 #include "trace/trace.hh"
+#include "util/deprecated.hh"
 
 namespace occsim {
 
@@ -38,8 +39,11 @@ class SweepRunner
   public:
     explicit SweepRunner(const std::vector<CacheConfig> &configs);
 
-    /** Feed up to @p maxRefs references (0 = all) to every cache.
+    /** Feed up to @p max_refs references (0 = all) to every cache.
      *  @return references consumed. */
+    OCCSIM_DEPRECATED("drive sweeps through runSweep(SweepRequest) "
+                      "(multi/sweep_api.hh); the sequential runner "
+                      "remains as the streaming-source fallback")
     std::uint64_t run(TraceSource &source, std::uint64_t max_refs = 0);
 
     std::size_t size() const { return caches_.size(); }

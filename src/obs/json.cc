@@ -1,0 +1,508 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace occsim::obs {
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::separate()
+{
+    if (needComma_)
+        out_ += ',';
+    needComma_ = false;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    out_ += '{';
+    stack_.push_back('o');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    occsim_assert(!stack_.empty() && stack_.back() == 'o',
+                  "endObject with no open object");
+    stack_.pop_back();
+    out_ += '}';
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    out_ += '[';
+    stack_.push_back('a');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    occsim_assert(!stack_.empty() && stack_.back() == 'a',
+                  "endArray with no open array");
+    stack_.pop_back();
+    out_ += ']';
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    occsim_assert(!stack_.empty() && stack_.back() == 'o',
+                  "key() outside an object");
+    separate();
+    out_ += '"';
+    out_ += jsonEscape(name);
+    out_ += "\":";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view text)
+{
+    separate();
+    out_ += '"';
+    out_ += jsonEscape(text);
+    out_ += '"';
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *text)
+{
+    return value(std::string_view(text));
+}
+
+JsonWriter &
+JsonWriter::value(bool boolean)
+{
+    separate();
+    out_ += boolean ? "true" : "false";
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    separate();
+    char buf[64];
+    const auto res =
+        std::to_chars(buf, buf + sizeof(buf), number);
+    out_.append(buf, res.ptr);
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t number)
+{
+    separate();
+    out_ += strfmt("%llu", static_cast<unsigned long long>(number));
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t number)
+{
+    separate();
+    out_ += strfmt("%lld", static_cast<long long>(number));
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int number)
+{
+    return value(static_cast<std::int64_t>(number));
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    separate();
+    out_ += "null";
+    needComma_ = true;
+    return *this;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view name) const
+{
+    for (const auto &[key, val] : members) {
+        if (key == name)
+            return &val;
+    }
+    return nullptr;
+}
+
+std::uint64_t
+JsonValue::asU64() const
+{
+    if (!isNumber() || number < 0.0)
+        return 0;
+    return static_cast<std::uint64_t>(number);
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over a string_view. */
+class Parser
+{
+  public:
+    Parser(std::string_view input, std::string *error)
+        : input_(input), error_(error)
+    {
+    }
+
+    bool parse(JsonValue &out)
+    {
+        skipSpace();
+        if (!parseValue(out, 0))
+            return false;
+        skipSpace();
+        if (pos_ != input_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    bool fail(const std::string &message)
+    {
+        if (error_ != nullptr) {
+            *error_ = strfmt("offset %zu: %s", pos_, message.c_str());
+        }
+        return false;
+    }
+
+    void skipSpace()
+    {
+        while (pos_ < input_.size() &&
+               std::isspace(static_cast<unsigned char>(input_[pos_])))
+            ++pos_;
+    }
+
+    bool literal(std::string_view word)
+    {
+        if (input_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool parseValue(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        if (pos_ >= input_.size())
+            return fail("unexpected end of input");
+        const char c = input_[pos_];
+        switch (c) {
+          case '{':
+            return parseObject(out, depth);
+          case '[':
+            return parseArray(out, depth);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.text);
+          case 't':
+            if (!literal("true"))
+                return fail("bad literal");
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return true;
+          case 'f':
+            if (!literal("false"))
+                return fail("bad literal");
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return true;
+          case 'n':
+            if (!literal("null"))
+                return fail("bad literal");
+            out.kind = JsonValue::Kind::Null;
+            return true;
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool parseObject(JsonValue &out, int depth)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos_;  // '{'
+        skipSpace();
+        if (pos_ < input_.size() && input_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            if (pos_ >= input_.size() || input_[pos_] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipSpace();
+            if (pos_ >= input_.size() || input_[pos_] != ':')
+                return fail("expected ':' after key");
+            ++pos_;
+            skipSpace();
+            JsonValue child;
+            if (!parseValue(child, depth + 1))
+                return false;
+            out.members.emplace_back(std::move(key), std::move(child));
+            skipSpace();
+            if (pos_ >= input_.size())
+                return fail("unterminated object");
+            if (input_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (input_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool parseArray(JsonValue &out, int depth)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos_;  // '['
+        skipSpace();
+        if (pos_ < input_.size() && input_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            JsonValue child;
+            if (!parseValue(child, depth + 1))
+                return false;
+            out.items.push_back(std::move(child));
+            skipSpace();
+            if (pos_ >= input_.size())
+                return fail("unterminated array");
+            if (input_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (input_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool parseString(std::string &out)
+    {
+        ++pos_;  // opening quote
+        out.clear();
+        while (pos_ < input_.size()) {
+            const char c = input_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                if (pos_ + 1 >= input_.size())
+                    return fail("unterminated escape");
+                const char esc = input_[pos_ + 1];
+                pos_ += 2;
+                switch (esc) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'u': {
+                    if (pos_ + 4 > input_.size())
+                        return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = input_[pos_ + i];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    pos_ += 4;
+                    // Encode the code point as UTF-8 (BMP only; this
+                    // writer never emits surrogate pairs).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 |
+                                                 ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+                continue;
+            }
+            out += c;
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < input_.size() && input_[pos_] == '-')
+            ++pos_;
+        while (pos_ < input_.size() &&
+               (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+                input_[pos_] == '.' || input_[pos_] == 'e' ||
+                input_[pos_] == 'E' || input_[pos_] == '+' ||
+                input_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected a value");
+        const std::string_view token = input_.substr(start, pos_ - start);
+        double parsed = 0.0;
+        const auto res = std::from_chars(token.data(),
+                                         token.data() + token.size(),
+                                         parsed);
+        if (res.ec != std::errc() ||
+            res.ptr != token.data() + token.size()) {
+            pos_ = start;
+            return fail("malformed number");
+        }
+        out.kind = JsonValue::Kind::Number;
+        out.number = parsed;
+        return true;
+    }
+
+    std::string_view input_;
+    std::size_t pos_ = 0;
+    std::string *error_;
+};
+
+} // namespace
+
+bool
+parseJson(std::string_view input, JsonValue &out, std::string *error)
+{
+    out = JsonValue();
+    Parser parser(input, error);
+    return parser.parse(out);
+}
+
+std::string
+readTextFile(const std::string &path, bool *ok)
+{
+    std::string content;
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+        if (ok != nullptr)
+            *ok = false;
+        return content;
+    }
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0)
+        content.append(buf, n);
+    std::fclose(file);
+    if (ok != nullptr)
+        *ok = true;
+    return content;
+}
+
+bool
+writeTextFile(const std::string &path, const std::string &content)
+{
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (file == nullptr)
+        return false;
+    const bool wrote =
+        std::fwrite(content.data(), 1, content.size(), file) ==
+        content.size();
+    const bool closed = std::fclose(file) == 0;
+    return wrote && closed;
+}
+
+} // namespace occsim::obs

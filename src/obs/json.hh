@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Minimal JSON support for the observability layer: a compact
+ * single-line writer (used by RunManifest serialization and the
+ * BENCH_JSON emitter) and a small recursive-descent parser (used by
+ * the occsim-report CLI and the manifest-schema tests).
+ *
+ * Deliberately tiny: objects, arrays, strings, numbers, booleans and
+ * null — no streaming, no comments, no external dependencies. The
+ * writer produces bytes the parser accepts (round-trip tested).
+ */
+
+#ifndef OCCSIM_OBS_JSON_HH
+#define OCCSIM_OBS_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace occsim::obs {
+
+/** Escape @p text for inclusion in a JSON string literal (no
+ *  surrounding quotes). */
+std::string jsonEscape(std::string_view text);
+
+/**
+ * Incremental writer producing compact one-line JSON. Nesting is
+ * tracked internally, commas are inserted automatically:
+ *
+ *   JsonWriter w;
+ *   w.beginObject().key("name").value("occsim")
+ *    .key("refs").value(std::uint64_t{1000000}).endObject();
+ *   w.str();  // {"name":"occsim","refs":1000000}
+ *
+ * Doubles are rendered with shortest round-trip formatting
+ * (std::to_chars), so a parse of the output reproduces the exact
+ * value.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key (must be inside an object). */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view text);
+    JsonWriter &value(const char *text);
+    JsonWriter &value(bool boolean);
+    JsonWriter &value(double number);
+    JsonWriter &value(std::uint64_t number);
+    JsonWriter &value(std::int64_t number);
+    JsonWriter &value(int number);
+    JsonWriter &null();
+
+    /** Shorthand for key(@p name).value(@p v). */
+    template <typename T>
+    JsonWriter &kv(std::string_view name, T &&v)
+    {
+        key(name);
+        return value(std::forward<T>(v));
+    }
+
+    /** The document so far. Valid JSON once every container opened
+     *  has been closed. */
+    const std::string &str() const { return out_; }
+
+  private:
+    void separate();
+
+    std::string out_;
+    /** One entry per open container: 'o' / 'a'. */
+    std::vector<char> stack_;
+    bool needComma_ = false;
+};
+
+/** A parsed JSON document node. */
+struct JsonValue
+{
+    enum class Kind : std::uint8_t {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> items;  ///< array elements
+    /** Object members in document order (duplicate keys preserved). */
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** First member named @p name, or nullptr (objects only). */
+    const JsonValue *find(std::string_view name) const;
+
+    /** number as an unsigned integer (truncating; 0 if not a number). */
+    std::uint64_t asU64() const;
+};
+
+/**
+ * Parse @p input into @p out.
+ * @return true on success; on failure @p error (when non-null)
+ * receives a one-line description with the byte offset.
+ */
+bool parseJson(std::string_view input, JsonValue &out,
+               std::string *error = nullptr);
+
+/** Read a whole file; @p ok (when non-null) reports success. */
+std::string readTextFile(const std::string &path, bool *ok = nullptr);
+
+/** Write @p content to @p path (truncating). @return success. */
+bool writeTextFile(const std::string &path, const std::string &content);
+
+} // namespace occsim::obs
+
+#endif // OCCSIM_OBS_JSON_HH

@@ -1,0 +1,300 @@
+#include "obs/manifest.hh"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/json.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+#if defined(__GLIBC__)
+#include <errno.h>  // program_invocation_short_name
+#endif
+
+#ifndef OCCSIM_GIT_DESCRIBE
+#define OCCSIM_GIT_DESCRIBE "unknown"
+#endif
+#ifndef OCCSIM_BUILD_TYPE
+#define OCCSIM_BUILD_TYPE "unknown"
+#endif
+#ifndef OCCSIM_BUILD_FLAGS
+#define OCCSIM_BUILD_FLAGS ""
+#endif
+
+namespace occsim::obs {
+
+namespace {
+
+/** Process-wide manifest session state. */
+struct Session
+{
+    std::mutex mutex;
+    std::string path;
+    std::string binary;
+    std::vector<TraceRecord> traces;
+    std::vector<SweepRecord> sweeps;
+    std::uint64_t sweepsDropped = 0;
+    bool atexitRegistered = false;
+};
+
+Session &
+session()
+{
+    // Never destroyed: the atexit writer runs during shutdown.
+    static Session *s = new Session();
+    return *s;
+}
+
+std::string
+processName()
+{
+#if defined(__GLIBC__)
+    if (program_invocation_short_name != nullptr &&
+        *program_invocation_short_name != '\0')
+        return program_invocation_short_name;
+#endif
+    return "occsim";
+}
+
+void
+writeManifestAtExit()
+{
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(session().mutex);
+        path = session().path;
+    }
+    if (!path.empty())
+        writeManifest(path);
+}
+
+void
+appendEngineUsage(std::vector<EngineUsage> &engines,
+                  const std::vector<StageSnapshot> &stages,
+                  const std::vector<CounterSnapshot> &counters,
+                  const std::string &name)
+{
+    EngineUsage usage;
+    usage.name = name;
+    const std::string stage_name = "engine." + name;
+    bool seen = false;
+    for (const StageSnapshot &stage : stages) {
+        if (stage.name == stage_name) {
+            usage.wallMs = stage.wallMs;
+            seen = true;
+        }
+    }
+    for (const CounterSnapshot &counter : counters) {
+        if (counter.name == stage_name + ".refs") {
+            usage.refs = counter.value;
+            seen = true;
+        } else if (counter.name == stage_name + ".bytes") {
+            usage.bytes = counter.value;
+            seen = true;
+        }
+    }
+    if (!seen)
+        return;
+    if (usage.wallMs > 0.0) {
+        usage.mrefsPerSec = static_cast<double>(usage.refs) /
+                            (usage.wallMs * 1e3);
+    }
+    engines.push_back(usage);
+}
+
+} // namespace
+
+void
+recordTrace(const std::string &name, std::uint64_t refs)
+{
+    Session &s = session();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (const TraceRecord &trace : s.traces) {
+        if (trace.name == name && trace.refs == refs)
+            return;
+    }
+    s.traces.push_back(TraceRecord{name, refs});
+}
+
+void
+recordSweep(const SweepRecord &record)
+{
+    Session &s = session();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.sweeps.size() >= kMaxRecordedSweeps) {
+        ++s.sweepsDropped;
+        return;
+    }
+    s.sweeps.push_back(record);
+}
+
+void
+setManifestPath(const std::string &path)
+{
+    Session &s = session();
+    bool register_atexit = false;
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        s.path = path;
+        if (!s.atexitRegistered) {
+            s.atexitRegistered = true;
+            register_atexit = true;
+        }
+    }
+    setTelemetryEnabled(true);
+    if (register_atexit)
+        std::atexit(writeManifestAtExit);
+}
+
+bool
+manifestEnvHook()
+{
+    static const bool active = [] {
+        const char *path = std::getenv("OCCSIM_MANIFEST");
+        if (path == nullptr || *path == '\0')
+            return false;
+        setManifestPath(path);
+        return true;
+    }();
+    return active;
+}
+
+std::string
+manifestPath()
+{
+    Session &s = session();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.path;
+}
+
+void
+setManifestBinary(const std::string &name)
+{
+    Session &s = session();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.binary = name;
+}
+
+RunManifest
+currentManifest()
+{
+    RunManifest manifest;
+    manifest.git = OCCSIM_GIT_DESCRIBE;
+    manifest.buildType = OCCSIM_BUILD_TYPE;
+    manifest.buildFlags = OCCSIM_BUILD_FLAGS;
+    manifest.threads = configuredThreadCount();
+    manifest.stages = telemetry().stages();
+    manifest.counters = telemetry().counters();
+
+    std::uint64_t dropped = 0;
+    {
+        Session &s = session();
+        std::lock_guard<std::mutex> lock(s.mutex);
+        manifest.binary = s.binary.empty() ? processName() : s.binary;
+        manifest.traces = s.traces;
+        manifest.sweeps = s.sweeps;
+        dropped = s.sweepsDropped;
+    }
+    if (dropped > 0) {
+        manifest.counters.push_back(
+            CounterSnapshot{"sweeps_dropped", dropped});
+    }
+
+    for (const char *engine :
+         {"direct", "single_pass", "batch", "shadow", "sequential"}) {
+        appendEngineUsage(manifest.engines, manifest.stages,
+                          manifest.counters, engine);
+    }
+    return manifest;
+}
+
+std::string
+RunManifest::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.kv("schema", schema);
+    w.kv("binary", binary);
+    w.kv("git", git);
+    w.key("build").beginObject();
+    w.kv("type", buildType);
+    w.kv("flags", buildFlags);
+    w.endObject();
+    w.kv("threads", std::uint64_t{threads});
+
+    w.key("traces").beginArray();
+    for (const TraceRecord &trace : traces) {
+        w.beginObject();
+        w.kv("name", trace.name);
+        w.kv("refs", trace.refs);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("sweeps").beginArray();
+    for (const SweepRecord &sweep : sweeps) {
+        w.beginObject();
+        w.kv("label", sweep.label);
+        w.kv("engine_mode", sweep.engineMode);
+        w.kv("threads", std::uint64_t{sweep.threads});
+        w.kv("traces", std::uint64_t{sweep.numTraces});
+        w.kv("max_refs", sweep.maxRefs);
+        w.kv("refs_simulated", sweep.refsSimulated);
+        w.kv("wall_ms", sweep.wallMs);
+        w.kv("cross_check_samples",
+             std::uint64_t{sweep.crossCheckSamples});
+        w.key("configs").beginArray();
+        for (const ConfigRoute &route : sweep.routes) {
+            w.beginObject();
+            w.kv("name", route.config);
+            w.kv("engine", route.engine);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("stages").beginArray();
+    for (const StageSnapshot &stage : stages) {
+        w.beginObject();
+        w.kv("name", stage.name);
+        w.kv("calls", stage.calls);
+        w.kv("wall_ms", stage.wallMs);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("engines").beginArray();
+    for (const EngineUsage &engine : engines) {
+        w.beginObject();
+        w.kv("name", engine.name);
+        w.kv("refs", engine.refs);
+        w.kv("bytes", engine.bytes);
+        w.kv("wall_ms", engine.wallMs);
+        w.kv("mrefs_per_sec", engine.mrefsPerSec);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("counters").beginObject();
+    for (const CounterSnapshot &counter : counters)
+        w.kv(counter.name, counter.value);
+    w.endObject();
+
+    w.endObject();
+    return w.str();
+}
+
+bool
+writeManifest(const std::string &path)
+{
+    const std::string json = currentManifest().toJson() + "\n";
+    if (!writeTextFile(path, json)) {
+        warn("cannot write run manifest to %s", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace occsim::obs

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Run manifests: a structured, machine-readable record of what one
+ * simulation run actually did — which traces at which lengths, which
+ * configs routed to which engine, how many threads, how long each
+ * stage took, what the binary and source tree were.
+ *
+ * Motivation: after the parallel, single-pass and batched engines, a
+ * single sweep call fans out across engines and threads invisibly.
+ * Trustworthy trace-driven results need a record of exactly what was
+ * simulated and how (Bueno et al.), and a fast multi-config
+ * simulator needs per-stage cost accounting to find the next hot
+ * path (DEW). The manifest is that record, emitted as one JSON
+ * document.
+ *
+ * Emission contract: when the OCCSIM_MANIFEST environment variable
+ * names a path (or a CLI passes one to setManifestPath()), telemetry
+ * is enabled and the process writes its manifest there at exit —
+ * every bench and harness binary gets this for free through the
+ * library hooks. SweepReport additionally carries a manifest built
+ * at the end of each runSweep() call, regardless of the environment.
+ */
+
+#ifndef OCCSIM_OBS_MANIFEST_HH
+#define OCCSIM_OBS_MANIFEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hh"
+
+namespace occsim::obs {
+
+/** Identity of one trace consumed by the run. */
+struct TraceRecord
+{
+    std::string name;
+    std::uint64_t refs = 0;
+};
+
+/** Engine routing decision for one config of a sweep. */
+struct ConfigRoute
+{
+    std::string config;  ///< CacheConfig::shortName()
+    std::string engine;  ///< "direct" / "single_pass" / "batch"
+};
+
+/** One sweep session (one runSweep / legacy entry-point call). */
+struct SweepRecord
+{
+    std::string label;       ///< caller-supplied ("table6", ...)
+    std::string engineMode;  ///< SweepEngine policy name
+    unsigned threads = 1;
+    std::size_t numTraces = 0;
+    std::uint64_t maxRefs = 0;         ///< request cap (0 = all)
+    std::uint64_t refsSimulated = 0;   ///< refs x configs actually run
+    double wallMs = 0.0;
+    std::size_t crossCheckSamples = 0;
+    std::vector<ConfigRoute> routes;   ///< one per config, grid order
+};
+
+/** Derived per-engine totals (from the engine.* telemetry). */
+struct EngineUsage
+{
+    std::string name;
+    std::uint64_t refs = 0;   ///< references simulated
+    std::uint64_t bytes = 0;  ///< trace bytes streamed
+    double wallMs = 0.0;      ///< summed across threads
+    /** Millions of simulated references per wall-second (0 when the
+     *  stage recorded no time). */
+    double mrefsPerSec = 0.0;
+};
+
+/** The complete manifest of one run. */
+struct RunManifest
+{
+    std::string schema = "occsim.run_manifest/1";
+    std::string binary;
+    std::string git;        ///< git describe at configure time
+    std::string buildType;  ///< CMake build type
+    std::string buildFlags; ///< compiler flags summary
+    unsigned threads = 1;   ///< configuredThreadCount()
+    std::vector<TraceRecord> traces;
+    std::vector<SweepRecord> sweeps;
+    std::vector<StageSnapshot> stages;
+    std::vector<CounterSnapshot> counters;
+    std::vector<EngineUsage> engines;
+
+    /** Serialize as one JSON object (the manifest schema; see
+     *  DESIGN.md §11 for the key-by-key description). */
+    std::string toJson() const;
+};
+
+/**
+ * Record a trace identity into the process session (deduplicated on
+ * (name, refs)). Called by the trace builders and by runSweep.
+ */
+void recordTrace(const std::string &name, std::uint64_t refs);
+
+/** Record one finished sweep into the process session. Recording is
+ *  capped (kMaxRecordedSweeps) so unbounded loops of tiny sweeps —
+ *  e.g. the differential fuzzer — cannot grow memory without bound;
+ *  a "sweeps_dropped" counter reports any overflow. */
+void recordSweep(const SweepRecord &record);
+
+/** Sweep-record retention cap (overflow is counted, not silent). */
+constexpr std::size_t kMaxRecordedSweeps = 4096;
+
+/**
+ * Route manifest emission to @p path, enable telemetry, and register
+ * the at-exit writer (once). The CLI spelling of OCCSIM_MANIFEST.
+ */
+void setManifestPath(const std::string &path);
+
+/**
+ * Read OCCSIM_MANIFEST once and arm emission if it names a path.
+ * @return whether emission is active. Referenced from the telemetry
+ * TU's static initialization, so ANY binary that links an
+ * instrumented engine honors OCCSIM_MANIFEST without per-binary code.
+ */
+bool manifestEnvHook();
+
+/** The active manifest path ("" when emission is off). */
+std::string manifestPath();
+
+/** Override the binary name recorded in manifests (defaults to the
+ *  process name). */
+void setManifestBinary(const std::string &name);
+
+/** Assemble the manifest of everything recorded so far: session
+ *  traces and sweeps plus a snapshot of the global telemetry. */
+RunManifest currentManifest();
+
+/**
+ * Serialize currentManifest() to @p path now.
+ * @return success (failures warn but never abort a run).
+ */
+bool writeManifest(const std::string &path);
+
+} // namespace occsim::obs
+
+#endif // OCCSIM_OBS_MANIFEST_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Umbrella header: the supported public surface of the occsim
+ * library in one include.
+ *
+ *   #include "occsim.hh"
+ *
+ * pulls in cache configuration and simulation, trace generation and
+ * filtering, the unified sweep API (SweepRequest -> runSweep ->
+ * SweepReport), the paper harnesses, and the observability subsystem
+ * (telemetry, run manifests). Internal headers — sweep_detail.hh,
+ * the engine internals, the VM — are deliberately not included;
+ * embedders that reach for them are off the supported surface.
+ *
+ * examples/quickstart.cpp builds against this header alone.
+ */
+
+#ifndef OCCSIM_OCCSIM_HH
+#define OCCSIM_OCCSIM_HH
+
+// Cache model: configuration, geometry, statistics, simulation.
+#include "cache/cache.hh"
+#include "cache/cache_config.hh"
+#include "cache/cache_geometry.hh"
+#include "cache/cache_stats.hh"
+#include "cache/sector_cache.hh"
+#include "cache/split_cache.hh"
+
+// Traces: representation, generation, filtering, persistence.
+#include "trace/filters.hh"
+#include "trace/trace.hh"
+#include "trace/trace_file.hh"
+#include "trace/trace_stats.hh"
+
+// Workloads: the paper's suites and trace builders.
+#include "workload/profiles.hh"
+#include "workload/suites.hh"
+#include "workload/synthetic.hh"
+
+// Sweeps: the unified request/report API (and the legacy entry
+// points it wraps, for staged migration).
+#include "multi/parallel_sweep.hh"
+#include "multi/sweep_api.hh"
+#include "multi/sweep_runner.hh"
+
+// Analysis helpers.
+#include "multi/miss_classifier.hh"
+#include "multi/stack_analyzer.hh"
+#include "multi/working_set.hh"
+
+// Paper harnesses (tables and figures).
+#include "harness/experiment.hh"
+#include "harness/figures.hh"
+#include "harness/paper_tables.hh"
+
+// Observability: telemetry counters/spans and run manifests.
+#include "obs/json.hh"
+#include "obs/manifest.hh"
+#include "obs/telemetry.hh"
+
+// Execution resources.
+#include "util/thread_pool.hh"
+
+#endif // OCCSIM_OCCSIM_HH

@@ -3,6 +3,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 
 namespace occsim {
@@ -58,8 +59,10 @@ packedTraceShared(const std::shared_ptr<const VectorTrace> &trace)
         }
     }
 
+    OCCSIM_TELEM_STAGE("trace.pack");
     auto packed = std::make_shared<const PackedTrace>(*trace);
     packed_cache[trace.get()] = PackedEntry{trace, packed};
+    OCCSIM_TELEM_COUNT("trace.pack.refs", packed->size());
     return packed;
 }
 

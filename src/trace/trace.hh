@@ -109,7 +109,7 @@ class VectorTrace : public TraceSource
 };
 
 /**
- * Drain an entire source into a VectorTrace, up to @p maxRefs
+ * Drain an entire source into a VectorTrace, up to @p max_refs
  * references (0 means unlimited).
  */
 VectorTrace collect(TraceSource &source, std::size_t max_refs = 0);

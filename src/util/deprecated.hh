@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Staged deprecation attribute for the legacy sweep entry points.
+ *
+ * The supported sweep surface is SweepRequest/SweepReport
+ * (multi/sweep_api.hh); the pre-existing entry points
+ * (SweepRunner::run, ParallelSweepRunner::run, free runSweeps) remain
+ * as thin compatibility shims and carry OCCSIM_DEPRECATED so new
+ * call sites get steered to the one-call API at compile time.
+ *
+ * Translation units that intentionally exercise the legacy surface —
+ * the engine implementations themselves, the bit-identity tests and
+ * the engine benchmarks — define OCCSIM_ALLOW_DEPRECATED before any
+ * occsim include, which turns the attribute off for that TU (the
+ * follow-up-friendly escape hatch: removing a shim later only breaks
+ * TUs that explicitly opted in).
+ */
+
+#ifndef OCCSIM_UTIL_DEPRECATED_HH
+#define OCCSIM_UTIL_DEPRECATED_HH
+
+#if defined(OCCSIM_ALLOW_DEPRECATED)
+#define OCCSIM_DEPRECATED(msg)
+#else
+#define OCCSIM_DEPRECATED(msg) [[deprecated(msg)]]
+#endif
+
+#endif // OCCSIM_UTIL_DEPRECATED_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
 
@@ -96,6 +97,8 @@ ThreadPool::parallelFor(std::size_t n,
 {
     if (n == 0)
         return;
+    OCCSIM_TELEM_STAGE("pool.parallel_for");
+    OCCSIM_TELEM_COUNT("pool.tasks", n);
     if (threads_ <= 1 || n == 1) {
         for (std::size_t i = 0; i < n; ++i)
             body(i);

@@ -38,7 +38,7 @@ class Machine
     bool step(std::vector<MemRef> &refs);
 
     /**
-     * Run until halt or until at least @p maxRefs references have
+     * Run until halt or until at least @p max_refs references have
      * been emitted, appending to @p sink.
      * @return number of references emitted.
      */

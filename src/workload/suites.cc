@@ -5,6 +5,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/manifest.hh"
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
 #include "vm/machine.hh"
@@ -204,6 +206,7 @@ buildTrace(const WorkloadSpec &spec_in, std::uint64_t refs)
 {
     if (refs == 0)
         refs = defaultTraceLength();
+    OCCSIM_TELEM_STAGE("trace.build");
     Program program =
         assemble(spec_in.makeSource(), spec_in.profile.machine);
     VmTraceSource source(std::move(program), spec_in.name,
@@ -213,6 +216,8 @@ buildTrace(const WorkloadSpec &spec_in, std::uint64_t refs)
                   "trace '%s' produced %zu of %llu refs",
                   spec_in.name.c_str(), trace.size(),
                   static_cast<unsigned long long>(refs));
+    OCCSIM_TELEM_COUNT("trace.build.refs", refs);
+    obs::recordTrace(spec_in.name, refs);
     return trace;
 }
 

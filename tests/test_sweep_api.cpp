@@ -1,0 +1,284 @@
+// This TU intentionally exercises the legacy sweep entry points.
+#define OCCSIM_ALLOW_DEPRECATED 1
+
+/**
+ * @file
+ * The unified sweep API contract (multi/sweep_api.hh): runSweep must
+ * be bit-identical to every legacy entry point it replaced — the
+ * sequential SweepRunner, ParallelSweepRunner::run, and the free
+ * runSweeps — for every engine policy and thread count; the request
+ * knobs (maxRefs, wantAverage, probe, explicit telemetry sink) must
+ * each do what they say; and the attached manifest must serialize to
+ * valid occsim.run_manifest/1 JSON.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "multi/sweep_api.hh"
+#include "multi/sweep_runner.hh"
+#include "obs/json.hh"
+#include "workload/suites.hh"
+
+using namespace occsim;
+
+namespace {
+
+constexpr std::uint64_t kRefs = 30000;
+
+/** Bit-identical comparison of two SweepResults (exact doubles). */
+void
+expectIdentical(const SweepResult &a, const SweepResult &b)
+{
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.grossBytes, b.grossBytes);
+    EXPECT_EQ(a.missRatio, b.missRatio);
+    EXPECT_EQ(a.warmMissRatio, b.warmMissRatio);
+    EXPECT_EQ(a.trafficRatio, b.trafficRatio);
+    EXPECT_EQ(a.warmTrafficRatio, b.warmTrafficRatio);
+    EXPECT_EQ(a.nibbleTrafficRatio, b.nibbleTrafficRatio);
+    EXPECT_EQ(a.warmNibbleTrafficRatio, b.warmNibbleTrafficRatio);
+}
+
+void
+expectIdenticalGrid(const std::vector<std::vector<SweepResult>> &a,
+                    const std::vector<std::vector<SweepResult>> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t t = 0; t < a.size(); ++t) {
+        ASSERT_EQ(a[t].size(), b[t].size());
+        for (std::size_t c = 0; c < a[t].size(); ++c)
+            expectIdentical(a[t][c], b[t][c]);
+    }
+}
+
+/** Two traces + a mixed grid (single-pass eligible and not) so every
+ *  engine route is exercised. */
+struct Fixture
+{
+    Fixture()
+    {
+        const Suite suite = pdp11Suite();
+        traces.push_back(buildTraceShared(suite.traces[0], kRefs));
+        traces.push_back(buildTraceShared(suite.traces[1], kRefs));
+        configs = paperGrid(1024, suite.profile.wordSize);
+        // Add a sector point (sub < block): never single-pass
+        // eligible, so Auto routes it to the batched engine.
+        CacheConfig sector =
+            makeConfig(1024, 32, 8, suite.profile.wordSize);
+        sector.fetch = FetchPolicy::LoadForward;
+        configs.push_back(sector);
+    }
+
+    std::vector<std::shared_ptr<const VectorTrace>> traces;
+    std::vector<CacheConfig> configs;
+};
+
+} // namespace
+
+TEST(SweepApi, BitIdenticalToLegacyRunSweepsAllEnginesAndThreads)
+{
+    const Fixture fx;
+    for (const SweepEngine engine :
+         {SweepEngine::Auto, SweepEngine::DirectOnly,
+          SweepEngine::CrossCheck}) {
+        for (const unsigned threads : {1u, 4u}) {
+            ThreadPool pool(threads);
+            const auto legacy =
+                runSweeps(fx.traces, fx.configs, &pool, engine);
+
+            ThreadPool pool2(threads);
+            SweepRequest request;
+            request.traces = fx.traces;
+            request.configs = fx.configs;
+            request.engine = engine;
+            request.pool = &pool2;
+            request.label = "test";
+            const SweepReport report = runSweep(request);
+
+            expectIdenticalGrid(report.perTrace, legacy);
+            ASSERT_EQ(report.average.size(), fx.configs.size());
+            const auto averaged = averageResults(legacy);
+            for (std::size_t c = 0; c < averaged.size(); ++c)
+                expectIdentical(report.average[c], averaged[c]);
+        }
+    }
+}
+
+TEST(SweepApi, BitIdenticalToSequentialSweepRunner)
+{
+    const Fixture fx;
+    SweepRequest request;
+    request.traces = fx.traces;
+    request.configs = fx.configs;
+    const SweepReport report = runSweep(request);
+
+    for (std::size_t t = 0; t < fx.traces.size(); ++t) {
+        VectorTrace copy = *fx.traces[t];
+        SweepRunner sequential(fx.configs);
+        sequential.run(copy);
+        const auto expected = sequential.results();
+        ASSERT_EQ(report.perTrace[t].size(), expected.size());
+        for (std::size_t c = 0; c < expected.size(); ++c)
+            expectIdentical(report.perTrace[t][c], expected[c]);
+    }
+}
+
+TEST(SweepApi, MaxRefsCapsEveryEngineIdentically)
+{
+    const Fixture fx;
+    constexpr std::uint64_t kCap = 9000;
+
+    SweepRequest request;
+    request.traces = fx.traces;
+    request.configs = fx.configs;
+    request.maxRefs = kCap;
+    const SweepReport report = runSweep(request);
+    EXPECT_EQ(report.refs, kCap * fx.traces.size());
+
+    // Same cap through the sequential reference runner.
+    for (std::size_t t = 0; t < fx.traces.size(); ++t) {
+        VectorTrace copy = *fx.traces[t];
+        SweepRunner sequential(fx.configs);
+        EXPECT_EQ(sequential.run(copy, kCap), kCap);
+        const auto expected = sequential.results();
+        for (std::size_t c = 0; c < expected.size(); ++c)
+            expectIdentical(report.perTrace[t][c], expected[c]);
+    }
+
+    // And the cap must bind the cross-check path too.
+    SweepRequest checked = request;
+    checked.engine = SweepEngine::CrossCheck;
+    const SweepReport checked_report = runSweep(checked);
+    expectIdenticalGrid(checked_report.perTrace, report.perTrace);
+}
+
+TEST(SweepApi, ProbeForcesPerTraceRunnersWithoutChangingResults)
+{
+    const Fixture fx;
+    SweepRequest plain;
+    plain.traces = fx.traces;
+    plain.configs = fx.configs;
+    plain.engine = SweepEngine::DirectOnly;
+    const SweepReport expected = runSweep(plain);
+
+    std::vector<std::size_t> probed;
+    std::vector<double> never_ref;
+    SweepRequest request = plain;
+    request.probe = [&](std::size_t t,
+                        const ParallelSweepRunner &runner) {
+        probed.push_back(t);
+        // DirectOnly keeps a Cache for every config, so probes can
+        // read residency statistics SweepResult does not carry.
+        never_ref.push_back(
+            runner.cache(0).stats().neverReferencedFraction());
+    };
+    const SweepReport report = runSweep(request);
+
+    expectIdenticalGrid(report.perTrace, expected.perTrace);
+    ASSERT_EQ(probed.size(), fx.traces.size());
+    for (std::size_t t = 0; t < probed.size(); ++t)
+        EXPECT_EQ(probed[t], t);
+    for (const double fraction : never_ref) {
+        EXPECT_GE(fraction, 0.0);
+        EXPECT_LE(fraction, 1.0);
+    }
+}
+
+TEST(SweepApi, WantAverageFalseSkipsAveraging)
+{
+    const Fixture fx;
+    SweepRequest request;
+    request.traces = fx.traces;
+    request.configs = fx.configs;
+    request.wantAverage = false;
+    const SweepReport report = runSweep(request);
+    EXPECT_TRUE(report.average.empty());
+    EXPECT_EQ(report.perTrace.size(), fx.traces.size());
+}
+
+TEST(SweepApi, ExplicitTelemetrySinkRecordsUnconditionally)
+{
+    const Fixture fx;
+    obs::Telemetry sink;
+    SweepRequest request;
+    request.traces = fx.traces;
+    request.configs = fx.configs;
+    request.telemetry = &sink;
+    request.label = "sink-test";
+    (void)runSweep(request);
+
+    // The sweep-level span and counter must land in the private sink
+    // even though the global registry may be disabled.
+    const auto stages = sink.stages();
+    ASSERT_EQ(stages.size(), 1u);
+    EXPECT_EQ(stages[0].name, "sweep");
+    EXPECT_EQ(stages[0].calls, 1u);
+    const auto counters = sink.counters();
+    ASSERT_EQ(counters.size(), 1u);
+    EXPECT_EQ(counters[0].name, "sweep.refs");
+    EXPECT_EQ(counters[0].value,
+              kRefs * fx.traces.size() * fx.configs.size());
+}
+
+TEST(SweepApi, ReportManifestIsValidSchemaJson)
+{
+    const Fixture fx;
+    SweepRequest request;
+    request.traces = fx.traces;
+    request.configs = fx.configs;
+    request.label = "manifest-test";
+    const SweepReport report = runSweep(request);
+
+    const std::string json = report.manifest.toJson();
+    obs::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(json, doc, &error)) << error;
+    ASSERT_TRUE(doc.isObject());
+
+    const obs::JsonValue *schema = doc.find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->text, "occsim.run_manifest/1");
+    for (const char *key : {"binary", "git", "build", "threads",
+                            "traces", "sweeps", "stages", "engines",
+                            "counters"}) {
+        EXPECT_NE(doc.find(key), nullptr) << key;
+    }
+
+    // Our sweep must be recorded with one route per config.
+    const obs::JsonValue *sweeps = doc.find("sweeps");
+    ASSERT_NE(sweeps, nullptr);
+    ASSERT_TRUE(sweeps->isArray());
+    const obs::JsonValue *ours = nullptr;
+    for (const obs::JsonValue &sweep : sweeps->items) {
+        const obs::JsonValue *label = sweep.find("label");
+        if (label != nullptr && label->text == "manifest-test")
+            ours = &sweep;
+    }
+    ASSERT_NE(ours, nullptr);
+    const obs::JsonValue *routes = ours->find("configs");
+    ASSERT_NE(routes, nullptr);
+    EXPECT_EQ(routes->items.size(), fx.configs.size());
+    for (const obs::JsonValue &route : routes->items) {
+        const obs::JsonValue *engine = route.find("engine");
+        ASSERT_NE(engine, nullptr);
+        EXPECT_TRUE(engine->text == "direct" ||
+                    engine->text == "single_pass" ||
+                    engine->text == "batch")
+            << engine->text;
+    }
+
+    // Both fixture traces appear in the trace identity list.
+    const obs::JsonValue *traces = doc.find("traces");
+    ASSERT_NE(traces, nullptr);
+    EXPECT_GE(traces->items.size(), 2u);
+}
+
+TEST(SweepApi, EngineNamesAreStable)
+{
+    EXPECT_STREQ(sweepEngineName(SweepEngine::Auto), "auto");
+    EXPECT_STREQ(sweepEngineName(SweepEngine::DirectOnly),
+                 "direct_only");
+    EXPECT_STREQ(sweepEngineName(SweepEngine::CrossCheck),
+                 "cross_check");
+}
