@@ -9,6 +9,13 @@
  * SweepRunner and once on the parallel engine, with a bit-identity
  * check between the two result sets.
  *
+ * The suite sweep is short enough that per-run setup (trace reset,
+ * runner construction) is a visible fraction of the sequential time,
+ * which understates thread scaling; a second LARGE-TRACE variant —
+ * the same grid over one trace four times the configured length —
+ * therefore measures steady-state replay, and both variants report
+ * per-thread efficiency (speedup / threads) in the JSON.
+ *
  * Prints a human-readable summary plus one machine-readable JSON line
  * (prefix "BENCH_JSON ") for the benchmark trajectory. Exit status is
  * non-zero if the engines disagree, so the CI smoke run doubles as a
@@ -51,6 +58,61 @@ identical(const SweepResult &a, const SweepResult &b)
            a.warmNibbleTrafficRatio == b.warmNibbleTrafficRatio;
 }
 
+/** One sequential-vs-parallel timing of @p configs over @p traces. */
+struct Comparison
+{
+    double seqMs = 0.0;
+    double parMs = 0.0;
+    double speedup = 0.0;
+    double efficiency = 0.0;  ///< speedup / threads
+    bool bitIdentical = false;
+};
+
+Comparison
+compareEngines(
+    const std::vector<std::shared_ptr<const VectorTrace>> &traces,
+    const std::vector<CacheConfig> &configs, unsigned threads)
+{
+    // Mutable copies for the sequential engine are made outside the
+    // timed regions.
+    std::vector<VectorTrace> seq_copies;
+    seq_copies.reserve(traces.size());
+    for (const auto &trace : traces)
+        seq_copies.push_back(*trace);
+
+    // Sequential engine: one single-threaded SweepRunner per trace.
+    const auto seq_start = std::chrono::steady_clock::now();
+    std::vector<std::vector<SweepResult>> seq_results;
+    for (VectorTrace &copy : seq_copies) {
+        copy.reset();
+        SweepRunner runner(configs);
+        runner.run(copy);
+        seq_results.push_back(runner.results());
+    }
+    Comparison cmp;
+    cmp.seqMs = millisSince(seq_start);
+
+    // Parallel engine: the full (trace, config) grid on the pool.
+    const auto par_start = std::chrono::steady_clock::now();
+    const auto par_results = runSweeps(traces, configs);
+    cmp.parMs = millisSince(par_start);
+
+    bool bit_identical = seq_results.size() == par_results.size();
+    for (std::size_t t = 0; bit_identical && t < seq_results.size();
+         ++t) {
+        bit_identical = seq_results[t].size() == par_results[t].size();
+        for (std::size_t c = 0;
+             bit_identical && c < seq_results[t].size(); ++c) {
+            bit_identical = identical(seq_results[t][c],
+                                      par_results[t][c]);
+        }
+    }
+    cmp.bitIdentical = bit_identical;
+    cmp.speedup = cmp.parMs > 0.0 ? cmp.seqMs / cmp.parMs : 0.0;
+    cmp.efficiency = threads > 0 ? cmp.speedup / threads : 0.0;
+    return cmp;
+}
+
 } // namespace
 
 int
@@ -69,58 +131,58 @@ main()
                 threads);
 
     // Build every trace up front (untimed; shared read-only by both
-    // engines). Mutable copies for the sequential engine are also
-    // made outside the timed regions.
+    // engines).
     const auto traces = buildSuiteTraces(suite);
-    std::vector<VectorTrace> seq_copies;
-    seq_copies.reserve(traces.size());
-    for (const auto &trace : traces)
-        seq_copies.push_back(*trace);
+    const Comparison sweep = compareEngines(traces, configs, threads);
 
-    // Sequential engine: one single-threaded SweepRunner per trace.
-    const auto seq_start = std::chrono::steady_clock::now();
-    std::vector<std::vector<SweepResult>> seq_results;
-    for (VectorTrace &copy : seq_copies) {
-        copy.reset();
-        SweepRunner runner(configs);
-        runner.run(copy);
-        seq_results.push_back(runner.results());
-    }
-    const double seq_ms = millisSince(seq_start);
+    std::printf("suite sweep:\n"
+                "  sequential: %.1f ms\n  parallel:   %.1f ms\n"
+                "  speedup:    %.2fx (%.0f%% per-thread efficiency)\n"
+                "  bit-identical results: %s\n",
+                sweep.seqMs, sweep.parMs, sweep.speedup,
+                sweep.efficiency * 100.0,
+                sweep.bitIdentical ? "yes" : "NO");
 
-    // Parallel engine: the full (trace, config) grid on the pool.
-    const auto par_start = std::chrono::steady_clock::now();
-    const auto par_results = runSweeps(traces, configs);
-    const double par_ms = millisSince(par_start);
+    // Large-trace variant: one trace at 4x the configured length, so
+    // steady-state replay dominates setup and the scaling number is
+    // honest.
+    const std::uint64_t large_refs = 4 * defaultTraceLength();
+    const std::vector<std::shared_ptr<const VectorTrace>>
+        large_traces = {buildTraceShared(suite.traces[0], large_refs)};
+    const Comparison large =
+        compareEngines(large_traces, configs, threads);
 
-    bool bit_identical = seq_results.size() == par_results.size();
-    for (std::size_t t = 0; bit_identical && t < seq_results.size();
-         ++t) {
-        bit_identical = seq_results[t].size() == par_results[t].size();
-        for (std::size_t c = 0;
-             bit_identical && c < seq_results[t].size(); ++c) {
-            bit_identical = identical(seq_results[t][c],
-                                      par_results[t][c]);
-        }
-    }
+    std::printf("large trace (%s, %llu refs):\n"
+                "  sequential: %.1f ms\n  parallel:   %.1f ms\n"
+                "  speedup:    %.2fx (%.0f%% per-thread efficiency)\n"
+                "  bit-identical results: %s\n",
+                suite.traces[0].name.c_str(),
+                static_cast<unsigned long long>(large_refs),
+                large.seqMs, large.parMs, large.speedup,
+                large.efficiency * 100.0,
+                large.bitIdentical ? "yes" : "NO");
 
-    const double speedup = par_ms > 0.0 ? seq_ms / par_ms : 0.0;
-    std::printf("sequential: %.1f ms\nparallel:   %.1f ms\n"
-                "speedup:    %.2fx\nbit-identical results: %s\n",
-                seq_ms, par_ms, speedup,
-                bit_identical ? "yes" : "NO");
-
+    const bool bit_identical =
+        sweep.bitIdentical && large.bitIdentical;
     bench::writeBenchJson(
         "parallel",
         strfmt("{\"bench\":\"parallel_sweep\","
                "\"suite\":\"%s\",\"traces\":%zu,\"configs\":%zu,"
                "\"refs_per_trace\":%llu,\"threads\":%u,"
                "\"seq_ms\":%.3f,\"par_ms\":%.3f,\"speedup\":%.3f,"
+               "\"efficiency\":%.3f,"
+               "\"large_refs\":%llu,\"large_seq_ms\":%.3f,"
+               "\"large_par_ms\":%.3f,\"large_speedup\":%.3f,"
+               "\"large_efficiency\":%.3f,"
                "\"bit_identical\":%s}",
                suite.profile.name.c_str(), suite.traces.size(),
                configs.size(),
                static_cast<unsigned long long>(defaultTraceLength()),
-               threads, seq_ms, par_ms, speedup,
+               threads, sweep.seqMs, sweep.parMs, sweep.speedup,
+               sweep.efficiency,
+               static_cast<unsigned long long>(large_refs),
+               large.seqMs, large.parMs, large.speedup,
+               large.efficiency,
                bit_identical ? "true" : "false"));
 
     return bit_identical ? 0 : 1;

@@ -132,6 +132,12 @@ validateManifest(const JsonValue &doc)
                          JsonValue::Kind::Number, errors);
             expectMember(sweep, "wall_ms", JsonValue::Kind::Number,
                          errors);
+            expectMember(sweep, "sharded_runs",
+                         JsonValue::Kind::Number, errors);
+            expectMember(sweep, "shard_max_refs",
+                         JsonValue::Kind::Number, errors);
+            expectMember(sweep, "shard_min_refs",
+                         JsonValue::Kind::Number, errors);
             expectMember(sweep, "configs", JsonValue::Kind::Array,
                          errors);
             if (const JsonValue *configs = sweep.find("configs")) {
@@ -204,9 +210,23 @@ printSummary(const std::string &path, const JsonValue &doc)
     if (const JsonValue *sweeps = doc.find("sweeps");
         sweeps != nullptr && !sweeps->items.empty()) {
         TableWriter table({"sweep", "mode", "traces", "configs",
-                           "refs simulated", "wall ms"});
+                           "refs simulated", "wall ms", "sharded",
+                           "shard skew"});
         for (const JsonValue &sweep : sweeps->items) {
             const JsonValue *configs = sweep.find("configs");
+            // Shard imbalance: fullest / emptiest shard sub-trace
+            // across the sweep's sharded runs. A large ratio means
+            // hot sets made one worker drag the merge barrier.
+            const double sharded = numberAt(sweep, "sharded_runs");
+            const double min_refs =
+                numberAt(sweep, "shard_min_refs");
+            const double max_refs =
+                numberAt(sweep, "shard_max_refs");
+            std::string skew = "-";
+            if (sharded > 0.0 && min_refs > 0.0)
+                skew = strfmt("%.2fx", max_refs / min_refs);
+            else if (sharded > 0.0)
+                skew = "inf";
             table.addRow(
                 {stringAt(sweep, "label"),
                  stringAt(sweep, "engine_mode"),
@@ -215,7 +235,9 @@ printSummary(const std::string &path, const JsonValue &doc)
                                    ? configs->items.size()
                                    : std::size_t{0}),
                  strfmt("%.0f", numberAt(sweep, "refs_simulated")),
-                 strfmt("%.2f", numberAt(sweep, "wall_ms"))});
+                 strfmt("%.2f", numberAt(sweep, "wall_ms")),
+                 sharded > 0.0 ? strfmt("%.0f", sharded) : "-",
+                 skew});
         }
         std::printf("sweeps:\n");
         table.print(std::cout);

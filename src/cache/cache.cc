@@ -22,9 +22,15 @@ Cache::Cache(const CacheConfig &config)
             config.randomSeed),
       stats_(geom_.subBlocksPerBlock(),
              geom_.subBlocksPerBlock() * geom_.wordsPerSubBlock()),
-      frames_(geom_.numBlocks()),
+      tags_(geom_.numBlocks(), kNoTag),
+      meta_(geom_.numBlocks()),
       everFilled_(geom_.numBlocks(), 0)
 {
+    // The empty-frame sentinel must be unreachable as a block address:
+    // with blockBits >= 1 the largest block address is 2^31 - 1.
+    if (geom_.blockBits() == 0)
+        fatal("block size 1 is unsupported (%s)",
+              config.fullName().c_str());
 }
 
 template <std::uint32_t A>
@@ -32,10 +38,10 @@ int
 Cache::findWay(std::uint32_t set, Addr block_addr) const
 {
     const std::uint32_t assoc = A != 0 ? A : assoc_;
-    const Frame *base =
-        frames_.data() + static_cast<std::size_t>(set) * assoc;
+    const Addr *tags =
+        tags_.data() + static_cast<std::size_t>(set) * assoc;
     for (std::uint32_t way = 0; way < assoc; ++way) {
-        if (base[way].present && base[way].tag == block_addr)
+        if (tags[way] == block_addr)
             return static_cast<int>(way);
     }
     return -1;
@@ -56,15 +62,16 @@ Cache::emitBurst(std::uint32_t sub_blocks, bool counted, bool cold,
 
 template <FetchPolicy F>
 void
-Cache::fetchIntoSpec(Frame &frame, std::uint32_t frame_index,
+Cache::fetchIntoSpec(std::uint32_t frame_index,
                      std::uint32_t sub_index, bool counted, bool cold)
 {
     const std::uint32_t num_subs = numSubs_;
+    std::uint32_t &valid = meta_[frame_index].valid;
     std::uint32_t &ever = everFilled_[frame_index];
 
     if constexpr (F == FetchPolicy::Demand ||
                   F == FetchPolicy::PrefetchNextOnMiss) {
-        frame.valid |= (1u << sub_index);
+        valid |= (1u << sub_index);
         ever |= (1u << sub_index);
         emitBurst(1, counted, cold, 0);
     } else if constexpr (F == FetchPolicy::LoadForward) {
@@ -75,8 +82,8 @@ Cache::fetchIntoSpec(Frame &frame, std::uint32_t frame_index,
             (span == 32 ? ~0u : ((1u << span) - 1)) << sub_index;
         const std::uint32_t redundant =
             static_cast<std::uint32_t>(
-                std::popcount(frame.valid & span_mask));
-        frame.valid |= span_mask;
+                std::popcount(valid & span_mask));
+        valid |= span_mask;
         ever |= span_mask;
         emitBurst(span, counted, cold, redundant);
     } else {
@@ -85,13 +92,13 @@ Cache::fetchIntoSpec(Frame &frame, std::uint32_t frame_index,
         std::uint32_t run = 0;
         for (std::uint32_t i = sub_index; i < num_subs; ++i) {
             const std::uint32_t bit = 1u << i;
-            if (frame.valid & bit) {
+            if (valid & bit) {
                 if (run != 0) {
                     emitBurst(run, counted, cold, 0);
                     run = 0;
                 }
             } else {
-                frame.valid |= bit;
+                valid |= bit;
                 ever |= bit;
                 ++run;
             }
@@ -102,80 +109,69 @@ Cache::fetchIntoSpec(Frame &frame, std::uint32_t frame_index,
 }
 
 void
-Cache::fetchInto(Frame &frame, std::uint32_t frame_index,
-                 std::uint32_t sub_index, bool counted, bool cold)
+Cache::fetchInto(std::uint32_t frame_index, std::uint32_t sub_index,
+                 bool counted, bool cold)
 {
     switch (fetch_) {
       case FetchPolicy::Demand:
-        fetchIntoSpec<FetchPolicy::Demand>(frame, frame_index,
-                                           sub_index, counted, cold);
+        fetchIntoSpec<FetchPolicy::Demand>(frame_index, sub_index,
+                                           counted, cold);
         break;
       case FetchPolicy::PrefetchNextOnMiss:
         fetchIntoSpec<FetchPolicy::PrefetchNextOnMiss>(
-            frame, frame_index, sub_index, counted, cold);
+            frame_index, sub_index, counted, cold);
         break;
       case FetchPolicy::LoadForward:
-        fetchIntoSpec<FetchPolicy::LoadForward>(
-            frame, frame_index, sub_index, counted, cold);
+        fetchIntoSpec<FetchPolicy::LoadForward>(frame_index, sub_index,
+                                                counted, cold);
         break;
       case FetchPolicy::LoadForwardOptimized:
         fetchIntoSpec<FetchPolicy::LoadForwardOptimized>(
-            frame, frame_index, sub_index, counted, cold);
+            frame_index, sub_index, counted, cold);
         break;
     }
 }
 
 void
-Cache::writebackDirty(Frame &frame)
+Cache::writebackDirty(FrameMeta &meta)
 {
-    if (frame.dirty != 0) {
+    if (meta.dirty != 0) {
         stats_.recordWriteback(
-            static_cast<std::uint32_t>(std::popcount(frame.dirty)) *
+            static_cast<std::uint32_t>(std::popcount(meta.dirty)) *
             wordsPerSub_);
-        frame.dirty = 0;
+        meta.dirty = 0;
     }
 }
 
 template <ReplacementPolicy R, std::uint32_t A>
-Cache::Frame &
-Cache::claimVictimSpec(std::uint32_t set, std::uint32_t &victim_way)
+std::uint32_t
+Cache::claimVictimSpec(std::uint32_t set)
 {
     const std::uint32_t assoc = A != 0 ? A : assoc_;
-    Frame *base =
-        frames_.data() + static_cast<std::size_t>(set) * assoc;
-    std::uint32_t victim = assoc;
+    const std::size_t base = static_cast<std::size_t>(set) * assoc;
+    const Addr *tags = tags_.data() + base;
     for (std::uint32_t w = 0; w < assoc; ++w) {
-        if (!base[w].present) {
-            victim = w;
-            break;
-        }
+        if (tags[w] == kNoTag)
+            return w;
     }
-    if (victim == assoc)
-        victim = repl_.victimSpec<R, A>(set);
-
-    Frame &frame = base[victim];
-    if (frame.present) {
-        stats_.recordResidency(
-            static_cast<std::uint32_t>(std::popcount(frame.touched)));
-        writebackDirty(frame);
-    }
-    victim_way = victim;
-    return frame;
+    const std::uint32_t victim = repl_.victimSpec<R, A>(set);
+    FrameMeta &meta = meta_[base + victim];
+    stats_.recordResidency(
+        static_cast<std::uint32_t>(std::popcount(meta.touched)));
+    writebackDirty(meta);
+    return victim;
 }
 
-Cache::Frame &
-Cache::claimVictim(std::uint32_t set, std::uint32_t &victim_way)
+std::uint32_t
+Cache::claimVictim(std::uint32_t set)
 {
     switch (repl_.policy()) {
       case ReplacementPolicy::LRU:
-        return claimVictimSpec<ReplacementPolicy::LRU>(set,
-                                                       victim_way);
+        return claimVictimSpec<ReplacementPolicy::LRU>(set);
       case ReplacementPolicy::FIFO:
-        return claimVictimSpec<ReplacementPolicy::FIFO>(set,
-                                                        victim_way);
+        return claimVictimSpec<ReplacementPolicy::FIFO>(set);
       case ReplacementPolicy::Random:
-        return claimVictimSpec<ReplacementPolicy::Random>(set,
-                                                          victim_way);
+        return claimVictimSpec<ReplacementPolicy::Random>(set);
     }
     panic("bad replacement policy %d",
           static_cast<int>(repl_.policy()));
@@ -193,42 +189,41 @@ Cache::access(const MemRef &ref)
     const bool counted = !is_write;
     const bool is_ifetch = ref.isInstruction();
 
-    Frame *base = setBase(set);
     const int way = findWay(set, block_addr);
 
     if (way >= 0) {
-        Frame &frame = base[way];
+        const std::uint32_t frame_index =
+            set * assoc_ + static_cast<std::uint32_t>(way);
+        FrameMeta &meta = meta_[frame_index];
         repl_.onAccess(set, static_cast<std::uint32_t>(way));
-        frame.touched |= sub_bit;
-        if (frame.valid & sub_bit) {
-            if (frame.prefetched & sub_bit) {
+        meta.touched |= sub_bit;
+        if (meta.valid & sub_bit) {
+            if (meta.prefetched & sub_bit) {
                 stats_.recordUsefulPrefetch();
-                frame.prefetched &= ~sub_bit;
+                meta.prefetched &= ~sub_bit;
             }
             if (counted) {
                 stats_.recordHit(is_ifetch);
             } else {
                 stats_.recordWrite(true);
                 if (copyBack_)
-                    frame.dirty |= sub_bit;
+                    meta.dirty |= sub_bit;
                 else
                     stats_.recordStoreTraffic(1);
             }
             return AccessOutcome::Hit;
         }
         // Sub-block miss: tag matches but the word is not resident.
-        const std::uint32_t frame_index =
-            set * assoc_ + static_cast<std::uint32_t>(way);
         const bool cold = (everFilled_[frame_index] & sub_bit) == 0;
         if (counted)
             stats_.recordMiss(is_ifetch, false, cold);
         else
             stats_.recordWrite(false);
-        fetchInto(frame, frame_index, sub_index, counted, cold);
-        frame.prefetched &= ~sub_bit;
+        fetchInto(frame_index, sub_index, counted, cold);
+        meta.prefetched &= ~sub_bit;
         if (is_write) {
             if (copyBack_)
-                frame.dirty |= sub_bit;
+                meta.dirty |= sub_bit;
             else
                 stats_.recordStoreTraffic(1);
         }
@@ -244,8 +239,7 @@ Cache::access(const MemRef &ref)
         return AccessOutcome::BlockMiss;
     }
 
-    std::uint32_t victim_way;
-    Frame &frame = claimVictim(set, victim_way);
+    const std::uint32_t victim_way = claimVictim(set);
 
     const std::uint32_t frame_index = set * assoc_ + victim_way;
     const bool cold = (everFilled_[frame_index] & sub_bit) == 0;
@@ -254,17 +248,17 @@ Cache::access(const MemRef &ref)
     else
         stats_.recordWrite(false);
 
-    frame.present = true;
-    frame.tag = block_addr;
-    frame.valid = 0;
-    frame.touched = sub_bit;
-    frame.dirty = 0;
-    frame.prefetched = 0;
+    tags_[frame_index] = block_addr;
+    FrameMeta &meta = meta_[frame_index];
+    meta.valid = 0;
+    meta.touched = sub_bit;
+    meta.dirty = 0;
+    meta.prefetched = 0;
     repl_.onFill(set, victim_way);
-    fetchInto(frame, frame_index, sub_index, counted, cold);
+    fetchInto(frame_index, sub_index, counted, cold);
     if (is_write) {
         if (copyBack_)
-            frame.dirty |= sub_bit;
+            meta.dirty |= sub_bit;
         else
             stats_.recordStoreTraffic(1);
     }
@@ -286,44 +280,42 @@ Cache::accessSpec(Addr addr, bool is_write, bool is_ifetch)
     const std::uint32_t sub_bit = 1u << sub_index;
     const bool counted = !is_write;
 
-    Frame *base =
-        frames_.data() + static_cast<std::size_t>(set) * assoc;
     const int way = findWay<A>(set, block_addr);
 
     if (way >= 0) {
-        Frame &frame = base[way];
+        const std::uint32_t frame_index =
+            set * assoc + static_cast<std::uint32_t>(way);
+        FrameMeta &meta = meta_[frame_index];
         repl_.onAccessSpec<R, A>(set,
                                  static_cast<std::uint32_t>(way));
-        frame.touched |= sub_bit;
-        if (frame.valid & sub_bit) {
-            if (frame.prefetched & sub_bit) {
+        meta.touched |= sub_bit;
+        if (meta.valid & sub_bit) {
+            if (meta.prefetched & sub_bit) {
                 stats_.recordUsefulPrefetch();
-                frame.prefetched &= ~sub_bit;
+                meta.prefetched &= ~sub_bit;
             }
             if (counted) {
                 stats_.recordHit(is_ifetch);
             } else {
                 stats_.recordWrite(true);
                 if constexpr (CopyBack)
-                    frame.dirty |= sub_bit;
+                    meta.dirty |= sub_bit;
                 else
                     stats_.recordStoreTraffic(1);
             }
             return;
         }
         // Sub-block miss: tag matches but the word is not resident.
-        const std::uint32_t frame_index =
-            set * assoc + static_cast<std::uint32_t>(way);
         const bool cold = (everFilled_[frame_index] & sub_bit) == 0;
         if (counted)
             stats_.recordMiss(is_ifetch, false, cold);
         else
             stats_.recordWrite(false);
-        fetchIntoSpec<F>(frame, frame_index, sub_index, counted, cold);
-        frame.prefetched &= ~sub_bit;
+        fetchIntoSpec<F>(frame_index, sub_index, counted, cold);
+        meta.prefetched &= ~sub_bit;
         if (is_write) {
             if constexpr (CopyBack)
-                frame.dirty |= sub_bit;
+                meta.dirty |= sub_bit;
             else
                 stats_.recordStoreTraffic(1);
         }
@@ -341,8 +333,7 @@ Cache::accessSpec(Addr addr, bool is_write, bool is_ifetch)
         }
     }
 
-    std::uint32_t victim_way;
-    Frame &frame = claimVictimSpec<R, A>(set, victim_way);
+    const std::uint32_t victim_way = claimVictimSpec<R, A>(set);
 
     const std::uint32_t frame_index = set * assoc + victim_way;
     const bool cold = (everFilled_[frame_index] & sub_bit) == 0;
@@ -351,17 +342,17 @@ Cache::accessSpec(Addr addr, bool is_write, bool is_ifetch)
     else
         stats_.recordWrite(false);
 
-    frame.present = true;
-    frame.tag = block_addr;
-    frame.valid = 0;
-    frame.touched = sub_bit;
-    frame.dirty = 0;
-    frame.prefetched = 0;
+    tags_[frame_index] = block_addr;
+    FrameMeta &meta = meta_[frame_index];
+    meta.valid = 0;
+    meta.touched = sub_bit;
+    meta.dirty = 0;
+    meta.prefetched = 0;
     repl_.onFillSpec<R, A>(set, victim_way);
-    fetchIntoSpec<F>(frame, frame_index, sub_index, counted, cold);
+    fetchIntoSpec<F>(frame_index, sub_index, counted, cold);
     if (is_write) {
         if constexpr (CopyBack)
-            frame.dirty |= sub_bit;
+            meta.dirty |= sub_bit;
         else
             stats_.recordStoreTraffic(1);
     }
@@ -374,7 +365,22 @@ template <FetchPolicy F, bool CopyBack, bool WriteAllocate,
 void
 Cache::replayLoop(const PackedRecord *refs, std::size_t n)
 {
+    // Pull the set metadata of a record a few iterations ahead toward
+    // the core while the current record is priced: on large set
+    // counts the tag read is the dominant cache-missing load of the
+    // loop. Distance 8 covers the typical hit-path latency without
+    // running past the chunk.
+    constexpr std::size_t kPrefetchDistance = 8;
+    const std::uint32_t assoc = A != 0 ? A : assoc_;
     for (std::size_t i = 0; i < n; ++i) {
+        if (i + kPrefetchDistance < n) {
+            const Addr ahead = refs[i + kPrefetchDistance].addr();
+            const std::size_t frame =
+                static_cast<std::size_t>(geom_.setIndex(ahead)) *
+                assoc;
+            OCCSIM_PREFETCH_READ(tags_.data() + frame);
+            OCCSIM_PREFETCH_READ(meta_.data() + frame);
+        }
         const PackedRecord rec = refs[i];
         accessSpec<F, CopyBack, WriteAllocate, R, A>(
             rec.addr(), rec.isWrite(), rec.isInstruction());
@@ -467,31 +473,31 @@ Cache::prefetchSequential(Addr miss_addr)
     const std::uint32_t sub_bit = 1u << sub_index;
     const std::uint32_t words = wordsPerSub_;
 
-    Frame *base = setBase(set);
     const int way = findWay(set, block_addr);
     if (way >= 0) {
-        Frame &frame = base[way];
-        if (frame.valid & sub_bit)
+        const std::uint32_t frame_index =
+            set * assoc_ + static_cast<std::uint32_t>(way);
+        FrameMeta &meta = meta_[frame_index];
+        if (meta.valid & sub_bit)
             return;  // already resident, nothing to move
-        frame.valid |= sub_bit;
-        frame.prefetched |= sub_bit;
-        everFilled_[set * assoc_ +
-                    static_cast<std::uint32_t>(way)] |= sub_bit;
+        meta.valid |= sub_bit;
+        meta.prefetched |= sub_bit;
+        everFilled_[frame_index] |= sub_bit;
         stats_.recordPrefetch(words);
         return;
     }
 
     // Allocate a frame for the prefetched block (Smith's sequential
     // prefetch allocates; this is where pollution can occur).
-    std::uint32_t victim_way;
-    Frame &frame = claimVictim(set, victim_way);
-    frame.present = true;
-    frame.tag = block_addr;
-    frame.valid = sub_bit;
-    frame.touched = 0;
-    frame.dirty = 0;
-    frame.prefetched = sub_bit;
-    everFilled_[set * assoc_ + victim_way] |= sub_bit;
+    const std::uint32_t victim_way = claimVictim(set);
+    const std::uint32_t frame_index = set * assoc_ + victim_way;
+    tags_[frame_index] = block_addr;
+    FrameMeta &meta = meta_[frame_index];
+    meta.valid = sub_bit;
+    meta.touched = 0;
+    meta.dirty = 0;
+    meta.prefetched = sub_bit;
+    everFilled_[frame_index] |= sub_bit;
     repl_.onFill(set, victim_way);
     stats_.recordPrefetch(words);
 }
@@ -512,14 +518,15 @@ Cache::run(TraceSource &source, std::uint64_t max_refs)
 void
 Cache::finalizeResidencies()
 {
-    for (Frame &frame : frames_) {
-        if (frame.present && frame.touched != 0) {
+    for (std::size_t f = 0; f < tags_.size(); ++f) {
+        FrameMeta &meta = meta_[f];
+        if (framePresent(f) && meta.touched != 0) {
             stats_.recordResidency(static_cast<std::uint32_t>(
-                std::popcount(frame.touched)));
+                std::popcount(meta.touched)));
             // Avoid double counting if called repeatedly.
-            frame.touched = 0;
+            meta.touched = 0;
         }
-        writebackDirty(frame);
+        writebackDirty(meta);
     }
 }
 
@@ -527,13 +534,15 @@ void
 Cache::flush()
 {
     ++flushes_;
-    for (Frame &frame : frames_) {
-        if (frame.present && frame.touched != 0) {
+    for (std::size_t f = 0; f < tags_.size(); ++f) {
+        FrameMeta &meta = meta_[f];
+        if (framePresent(f) && meta.touched != 0) {
             stats_.recordResidency(static_cast<std::uint32_t>(
-                std::popcount(frame.touched)));
+                std::popcount(meta.touched)));
         }
-        writebackDirty(frame);
-        frame = Frame{};
+        writebackDirty(meta);
+        tags_[f] = kNoTag;
+        meta = FrameMeta{};
     }
     // Replacement state restarts too; everFilled_ is kept so that
     // re-fetches after the flush are charged as ordinary (warm)
@@ -545,8 +554,10 @@ Cache::flush()
 void
 Cache::reset()
 {
-    for (Frame &frame : frames_)
-        frame = Frame{};
+    for (std::size_t f = 0; f < tags_.size(); ++f) {
+        tags_[f] = kNoTag;
+        meta_[f] = FrameMeta{};
+    }
     for (auto &mask : everFilled_)
         mask = 0;
     flushes_ = 0;
@@ -563,7 +574,8 @@ Cache::isResident(Addr addr) const
     const int way = findWay(set, geom_.blockAddr(addr));
     if (way < 0)
         return false;
-    return (setBase(set)[way].valid &
+    return (meta_[set * assoc_ + static_cast<std::uint32_t>(way)]
+                .valid &
             (1u << geom_.subBlockIndex(addr))) != 0;
 }
 
@@ -581,7 +593,10 @@ Cache::validMask(Addr addr) const
     const std::uint32_t set =
         static_cast<std::uint32_t>(geom_.setIndex(addr));
     const int way = findWay(set, geom_.blockAddr(addr));
-    return way < 0 ? 0 : setBase(set)[way].valid;
+    return way < 0
+               ? 0
+               : meta_[set * assoc_ + static_cast<std::uint32_t>(way)]
+                     .valid;
 }
 
 } // namespace occsim

@@ -120,25 +120,32 @@ class Cache
     std::uint32_t validMask(Addr addr) const;
 
   private:
-    struct Frame
+    /**
+     * Frame state is stored structure-of-arrays: the tag array holds
+     * only the block addresses (with kNoTag marking an empty frame),
+     * so the way scan — the one operation every single reference
+     * performs — touches a dense array of 4-byte tags instead of
+     * striding over 24-byte frame structs, and the per-sub-block
+     * masks live in a parallel metadata array only read on the
+     * hit/miss outcome paths.
+     */
+    struct FrameMeta
     {
-        Addr tag = 0;               ///< block address
         std::uint32_t valid = 0;    ///< per-sub-block valid bits
         std::uint32_t touched = 0;  ///< referenced during residency
         std::uint32_t dirty = 0;    ///< written since fill (copy-back)
         std::uint32_t prefetched = 0;  ///< filled by prefetch, unused
-        bool present = false;       ///< frame holds a block
     };
 
-    Frame *setBase(std::uint32_t set)
+    /** Tag value of an empty frame. Block addresses are 32-bit
+     *  addresses shifted right by blockBits >= 1, so the all-ones
+     *  value can never name a real block (the constructor rejects
+     *  blockSize 1). */
+    static constexpr Addr kNoTag = ~Addr(0);
+
+    bool framePresent(std::size_t frame_index) const
     {
-        return frames_.data() +
-               static_cast<std::size_t>(set) * assoc_;
-    }
-    const Frame *setBase(std::uint32_t set) const
-    {
-        return frames_.data() +
-               static_cast<std::size_t>(set) * assoc_;
+        return tags_[frame_index] != kNoTag;
     }
 
     /** Find the way holding @p block_addr in @p set, or -1. @p A
@@ -148,18 +155,19 @@ class Cache
     int findWay(std::uint32_t set, Addr block_addr) const;
 
     /**
-     * Perform the fetch for a miss on @p sub_index of @p frame.
+     * Perform the fetch for a miss on @p sub_index of the frame at
+     * @p frame_index.
      * @param counted false for write-miss traffic.
      * @param cold whether the triggering miss was cold.
      */
-    void fetchInto(Frame &frame, std::uint32_t frame_index,
-                   std::uint32_t sub_index, bool counted, bool cold);
+    void fetchInto(std::uint32_t frame_index, std::uint32_t sub_index,
+                   bool counted, bool cold);
 
     /** fetchInto with the fetch policy resolved at compile time (the
      *  runtime fetchInto dispatches here, so both paths share one
      *  implementation per policy). */
     template <FetchPolicy F>
-    void fetchIntoSpec(Frame &frame, std::uint32_t frame_index,
+    void fetchIntoSpec(std::uint32_t frame_index,
                        std::uint32_t sub_index, bool counted,
                        bool cold);
 
@@ -167,24 +175,23 @@ class Cache
     void emitBurst(std::uint32_t sub_blocks, bool counted, bool cold,
                    std::uint32_t redundant_sub_blocks);
 
-    /** Account the copy-back write-back of @p frame's dirty bits. */
-    void writebackDirty(Frame &frame);
+    /** Account the copy-back write-back of @p meta's dirty bits. */
+    void writebackDirty(FrameMeta &meta);
 
     /**
-     * Claim the frame of @p set that a new block fill will occupy —
+     * Claim the way of @p set that a new block fill will occupy —
      * the first invalid way, else the replacement victim — and retire
      * the previous residency (touched histogram + dirty write-back).
      * Shared (via the runtime-dispatching claimVictim) by access(),
      * prefetchSequential(), and the replay kernels so the
      * victim-selection sequence exists exactly once.
-     * @param victim_way out: the claimed way.
+     * @return the claimed way.
      */
     template <ReplacementPolicy R, std::uint32_t A = 0>
-    Frame &claimVictimSpec(std::uint32_t set,
-                           std::uint32_t &victim_way);
+    std::uint32_t claimVictimSpec(std::uint32_t set);
 
     /** claimVictimSpec with the policy dispatched at run time. */
-    Frame &claimVictim(std::uint32_t set, std::uint32_t &victim_way);
+    std::uint32_t claimVictim(std::uint32_t set);
 
     /** Sequentially prefetch the sub-block following the one that
      *  holds @p miss_addr (PrefetchNextOnMiss policy). A target past
@@ -233,7 +240,11 @@ class Cache
     ReplayKernel kernel_;
     ReplacementState repl_;
     CacheStats stats_;
-    std::vector<Frame> frames_;
+    /** Block address per frame (kNoTag = empty); indexed
+     *  set * assoc + way. */
+    std::vector<Addr> tags_;
+    /** Per-frame sub-block masks, parallel to tags_. */
+    std::vector<FrameMeta> meta_;
     /** Per frame, per sub-block slot: ever filled since reset
      *  (cold-miss tracking). */
     std::vector<std::uint32_t> everFilled_;

@@ -58,6 +58,35 @@ CacheStats::loadDemandRun(std::uint64_t accesses,
 }
 
 void
+CacheStats::mergeFrom(const CacheStats &other)
+{
+    occsim_assert(subBlocksPerBlock_ == other.subBlocksPerBlock_,
+                  "merging stats of different geometries");
+    accesses_ += other.accesses_;
+    misses_ += other.misses_;
+    blockMisses_ += other.blockMisses_;
+    coldMisses_ += other.coldMisses_;
+    ifetchAccesses_ += other.ifetchAccesses_;
+    ifetchMisses_ += other.ifetchMisses_;
+    writeAccesses_ += other.writeAccesses_;
+    writeMisses_ += other.writeMisses_;
+    wordsFetched_ += other.wordsFetched_;
+    coldWords_ += other.coldWords_;
+    redundantWords_ += other.redundantWords_;
+    writeWords_ += other.writeWords_;
+    storeWords_ += other.storeWords_;
+    writebackWords_ += other.writebackWords_;
+    prefetchWords_ += other.prefetchWords_;
+    prefetches_ += other.prefetches_;
+    usefulPrefetches_ += other.usefulPrefetches_;
+    bursts_ += other.bursts_;
+    evictions_ += other.evictions_;
+    residencyTouched_.mergeFrom(other.residencyTouched_);
+    burstWords_.mergeFrom(other.burstWords_);
+    coldBurstWords_.mergeFrom(other.coldBurstWords_);
+}
+
+void
 CacheStats::reset()
 {
     *this = CacheStats(subBlocksPerBlock_,

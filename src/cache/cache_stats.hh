@@ -148,6 +148,16 @@ class CacheStats
 
     void reset();
 
+    /**
+     * Accumulate another run's counters into this one. Every field of
+     * CacheStats is an integer sum over the references that produced
+     * it (the histograms included), so merging the per-shard stats of
+     * a set-sharded replay is exact: derived ratios computed from the
+     * merged totals are bit-identical to an unsharded run. Both sides
+     * must describe the same cache geometry.
+     */
+    void mergeFrom(const CacheStats &other);
+
     // ---- raw counters ----
     std::uint64_t accesses() const { return accesses_; }
     std::uint64_t misses() const { return misses_; }

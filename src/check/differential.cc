@@ -4,11 +4,14 @@
 
 #include "check/differential.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "cache/cache.hh"
+#include "cache/cache_geometry.hh"
 #include "multi/batch_replay.hh"
 #include "multi/parallel_sweep.hh"
+#include "multi/shard_replay.hh"
 #include "multi/single_pass.hh"
 #include "multi/sweep_runner.hh"
 #include "trace/packed_trace.hh"
@@ -138,6 +141,35 @@ runDifferentialCase(const CacheConfig &config,
         diffCounts(engine.countsFor(0), want, report.diffs);
         diffSweepResult("single-pass", engine.results()[0],
                         direct_summary, report.diffs);
+    }
+
+    // Engine 6: the set-sharded replay engine, when eligible — the
+    // per-shard sub-traces must merge bit-identically to the direct
+    // run at awkward shard counts (the smallest, the largest legal
+    // one, and a mid-size split when the geometry allows it).
+    if (shardEligible(config)) {
+        const CacheGeometry geom(config);
+        const std::uint32_t max_shards =
+            std::min<std::uint32_t>(geom.numSets(), kMaxShards);
+        if (max_shards >= 2) {
+            std::vector<std::uint32_t> counts{2};
+            if (max_shards >= 8)
+                counts.push_back(max_shards / 2);
+            if (max_shards > 2)
+                counts.push_back(max_shards);
+            const PackedTrace packed(*trace);
+            for (const std::uint32_t num_shards : counts) {
+                ShardReplay engine(config, num_shards);
+                const ShardedPackedTrace strace(
+                    packed, engine.blockBits(), engine.shardBits(),
+                    0);
+                for (std::uint32_t s = 0; s < num_shards; ++s)
+                    engine.runShard(s, strace);
+                diffSweepResult(
+                    "shard" + std::to_string(num_shards),
+                    engine.result(), direct_summary, report.diffs);
+            }
+        }
     }
 
     return report;

@@ -35,16 +35,19 @@ sameSweepResult(const SweepResult &a, const SweepResult &b)
 
 ParallelSweepRunner::ParallelSweepRunner(
     const std::vector<CacheConfig> &configs, ThreadPool *pool,
-    SweepEngine engine)
-    : pool_(pool), configs_(configs), routes_(configs.size())
+    SweepEngine engine, bool allow_sharding)
+    : pool_(pool), engineMode_(engine),
+      allowSharding_(allow_sharding), configs_(configs),
+      routes_(configs.size())
 {
     occsim_assert(!configs_.empty(), "sweep needs at least one config");
 
     const ConfigPartition part = partitionConfigs(configs_, engine);
 
     directIndex_ = part.direct;
+    batchIndex_ = part.direct;
     for (std::size_t j = 0; j < directIndex_.size(); ++j) {
-        routes_[directIndex_[j]].engine = -1;
+        routes_[directIndex_[j]].engine = kRouteDirect;
         routes_[directIndex_[j]].slot = static_cast<std::uint32_t>(j);
     }
     if (engine == SweepEngine::DirectOnly) {
@@ -101,11 +104,81 @@ ParallelSweepRunner::batchedCount() const
     return batch_ != nullptr ? batch_->size() : 0;
 }
 
+bool
+ParallelSweepRunner::sharded(std::size_t i) const
+{
+    occsim_assert(i < routes_.size(), "config index out of range");
+    return routes_[i].engine == kRouteShard;
+}
+
+ShardTelemetry
+ParallelSweepRunner::shardTelemetry() const
+{
+    ShardTelemetry telem;
+    for (const auto &engine : shards_)
+        telem.accumulate(*engine);
+    return telem;
+}
+
+void
+ParallelSweepRunner::finalizeRoutes(unsigned threads,
+                                    std::uint64_t limit)
+{
+    if (routesFinal_)
+        return;
+    routesFinal_ = true;
+    if (!allowSharding_ || batch_ == nullptr)
+        return;  // pinned, DirectOnly, or nothing batched
+
+    // Task inventory if nothing is sharded: batch tiles plus
+    // single-pass levels. When that alone saturates the pool, task
+    // parallelism already wins and sharding only adds merge overhead.
+    std::size_t competing = batch_->numTiles();
+    for (const auto &engine : engines_)
+        competing += engine->numLevels();
+
+    const ShardMode mode = shardModeFromEnv();
+    std::vector<std::size_t> batch_list;
+    for (const std::size_t i : directIndex_) {
+        if (shouldShard(mode, configs_[i], threads, limit,
+                        competing)) {
+            routes_[i].engine = kRouteShard;
+            routes_[i].slot =
+                static_cast<std::uint32_t>(shards_.size());
+            shardIndex_.push_back(i);
+            shards_.push_back(std::make_unique<ShardReplay>(
+                configs_[i], planShardCount(configs_[i], threads)));
+        } else {
+            batch_list.push_back(i);
+        }
+    }
+    if (shards_.empty())
+        return;
+
+    // Rebuild the batched engine over the remaining configs; nothing
+    // has replayed yet, so no state is lost.
+    batchIndex_ = batch_list;
+    for (std::size_t j = 0; j < batchIndex_.size(); ++j) {
+        routes_[batchIndex_[j]].engine = kRouteDirect;
+        routes_[batchIndex_[j]].slot = static_cast<std::uint32_t>(j);
+    }
+    batch_ = batchIndex_.empty()
+                 ? nullptr
+                 : std::make_unique<BatchReplay>(
+                       selectConfigs(configs_, batchIndex_));
+}
+
 const Cache &
 ParallelSweepRunner::cache(std::size_t i) const
 {
     occsim_assert(i < routes_.size(), "config index out of range");
-    occsim_assert(routes_[i].engine < 0,
+    occsim_assert(routes_[i].engine != kRouteShard,
+                  "config %zu (%s) is served by the set-sharded "
+                  "engine and has no single Cache; construct the "
+                  "runner with SweepEngine::DirectOnly (or set "
+                  "OCCSIM_SHARD=0) to keep one",
+                  i, configs_[i].shortName().c_str());
+    occsim_assert(routes_[i].engine == kRouteDirect,
                   "config %zu (%s) is served by the single-pass "
                   "engine and has no Cache; construct the runner "
                   "with SweepEngine::DirectOnly to keep one",
@@ -133,17 +206,36 @@ ParallelSweepRunner::run(const std::shared_ptr<const VectorTrace> &trace,
             ? refs.size()
             : std::min<std::uint64_t>(max_refs, refs.size());
 
-    // Decode the trace once for the batched engine (memoized across
-    // runners sharing the trace).
+    // First run: decide which direct configs go to the set-sharded
+    // engine (depends on the pool width and the trace length).
+    finalizeRoutes(poolOrGlobal(pool_).size(), limit);
+
+    // Decode the trace once for the batched/sharded engines
+    // (memoized across runners sharing the trace).
     std::shared_ptr<const PackedTrace> packed;
-    if (batch_ != nullptr)
+    if (batch_ != nullptr || !shards_.empty())
         packed = packedTraceShared(trace);
 
+    // Partition the packed trace for every sharded config (memoized
+    // per distinct (blockBits, shardBits), so configs agreeing on the
+    // block size share one partition).
+    std::vector<std::shared_ptr<const ShardedPackedTrace>> shard_traces;
+    std::vector<std::pair<std::size_t, std::uint32_t>> shard_tasks;
+    shard_traces.reserve(shards_.size());
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+        shard_traces.push_back(shardedTraceShared(
+            packed, shards_[k]->blockBits(), shards_[k]->shardBits(),
+            limit));
+        for (std::uint32_t s = 0; s < shards_[k]->numShards(); ++s)
+            shard_tasks.emplace_back(k, s);
+    }
+
     // One task per direct cache (DirectOnly) or per batch tile
-    // (Auto/CrossCheck), plus one per (engine, level): the worker
-    // that claims a task drains the full trace into it. Caches,
-    // tiles, and engine levels are touched by exactly one worker
-    // each, the trace by all of them — read-only.
+    // (Auto/CrossCheck), plus one per (sharded config, shard) and one
+    // per (engine, level): the worker that claims a task drains the
+    // full trace (or its shard of it) into it. Caches, tiles, shards,
+    // and engine levels are touched by exactly one worker each, the
+    // trace by all of them — read-only.
     std::vector<std::pair<std::size_t, std::size_t>> level_tasks;
     for (std::size_t e = 0; e < engines_.size(); ++e) {
         for (std::size_t l = 0; l < engines_[e]->numLevels(); ++l)
@@ -152,7 +244,9 @@ ParallelSweepRunner::run(const std::shared_ptr<const VectorTrace> &trace,
 
     const std::size_t batch_tasks =
         batch_ != nullptr ? batch_->numTiles() : caches_.size();
-    const std::size_t routed_tasks = batch_tasks + level_tasks.size();
+    const std::size_t sharded_tasks = batch_tasks + shard_tasks.size();
+    const std::size_t routed_tasks =
+        sharded_tasks + level_tasks.size();
     poolOrGlobal(pool_).parallelFor(
         routed_tasks + shadowCaches_.size(), [&](std::size_t task) {
             if (task < batch_tasks) {
@@ -168,8 +262,11 @@ ParallelSweepRunner::run(const std::shared_ptr<const VectorTrace> &trace,
                 OCCSIM_TELEM_COUNT("engine.direct.refs", limit);
                 OCCSIM_TELEM_COUNT("engine.direct.bytes",
                                    limit * sizeof(MemRef));
+            } else if (task < sharded_tasks) {
+                const auto [k, s] = shard_tasks[task - batch_tasks];
+                shards_[k]->runShard(s, *shard_traces[k]);
             } else if (task < routed_tasks) {
-                const auto [e, l] = level_tasks[task - batch_tasks];
+                const auto [e, l] = level_tasks[task - sharded_tasks];
                 engines_[e]->runLevel(l, *trace, max_refs);
             } else {
                 OCCSIM_TELEM_STAGE("engine.shadow");
@@ -192,12 +289,17 @@ ParallelSweepRunner::run(const std::shared_ptr<const VectorTrace> &trace,
             route.engine >= 0
                 ? engines_[static_cast<std::size_t>(route.engine)]
                       ->results()[route.slot]
-                : summarizeCache(batch_->cache(route.slot));
+                : (route.engine == kRouteShard
+                       ? shards_[route.slot]->result()
+                       : summarizeCache(batch_->cache(route.slot)));
         const SweepResult want = summarizeCache(*shadowCaches_[s]);
         if (!sameSweepResult(fast, want)) {
             fatal("cross-check mismatch: %s engine disagrees "
                   "with direct simulation for config %s on trace %s",
-                  route.engine >= 0 ? "single-pass" : "batched",
+                  route.engine >= 0
+                      ? "single-pass"
+                      : (route.engine == kRouteShard ? "set-sharded"
+                                                     : "batched"),
                   configs_[i].fullName().c_str(),
                   trace->name().c_str());
         }
@@ -214,11 +316,13 @@ ParallelSweepRunner::results() const
     if (batch_ != nullptr) {
         const auto batch_results = batch_->results();
         for (std::size_t j = 0; j < batch_results.size(); ++j)
-            out[directIndex_[j]] = batch_results[j];
+            out[batchIndex_[j]] = batch_results[j];
     } else {
         for (std::size_t j = 0; j < caches_.size(); ++j)
             out[directIndex_[j]] = summarizeCache(*caches_[j]);
     }
+    for (std::size_t k = 0; k < shards_.size(); ++k)
+        out[shardIndex_[k]] = shards_[k]->result();
     for (std::size_t e = 0; e < engines_.size(); ++e) {
         const auto engine_results = engines_[e]->results();
         for (std::size_t k = 0; k < engine_results.size(); ++k)

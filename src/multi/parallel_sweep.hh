@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "multi/batch_replay.hh"
+#include "multi/shard_replay.hh"
 #include "multi/single_pass.hh"
 #include "multi/sweep_runner.hh"
 #include "util/deprecated.hh"
@@ -87,10 +88,15 @@ class ParallelSweepRunner
      * @param pool pool to run on; nullptr means globalThreadPool().
      * @param engine fast-path policy (Auto routes eligible configs to
      *        the single-pass engine).
+     * @param allow_sharding false pins every non-single-pass config
+     *        to the batched/direct engines even when OCCSIM_SHARD or
+     *        the heuristic would shard it (probe callers need a
+     *        backing Cache per config).
      */
     explicit ParallelSweepRunner(const std::vector<CacheConfig> &configs,
                                  ThreadPool *pool = nullptr,
-                                 SweepEngine engine = SweepEngine::Auto);
+                                 SweepEngine engine = SweepEngine::Auto,
+                                 bool allow_sharding = true);
 
     /**
      * Feed up to @p max_refs references (0 = all) of @p trace to
@@ -118,6 +124,22 @@ class ParallelSweepRunner
      *  under SweepEngine::DirectOnly). */
     std::size_t batchedCount() const;
 
+    /**
+     * Number of configs served by the set-sharded engine. Routing to
+     * it happens at the first run() (it depends on the trace length
+     * and pool width — see shouldShard), so this is zero before then
+     * and sticky afterwards.
+     */
+    std::size_t shardedCount() const { return shardIndex_.size(); }
+
+    /** @return true when config @p i went to the set-sharded engine
+     *  (decided at first run(); no single backing Cache exists). */
+    bool sharded(std::size_t i) const;
+
+    /** Imbalance summary over this runner's sharded runs (all zeros
+     *  when nothing sharded). */
+    ShardTelemetry shardTelemetry() const;
+
     /** Number of optimized-engine configs shadow-verified per run()
      *  (non-zero only under SweepEngine::CrossCheck). */
     std::size_t crossCheckCount() const { return shadowIndex_.size(); }
@@ -131,26 +153,45 @@ class ParallelSweepRunner
 
   private:
     /** Where a config's simulation lives: a Cache outside the
-     *  single-pass engines (engine < 0; slot into caches_ under
-     *  DirectOnly, into batch_ otherwise) or a single-pass engine
-     *  (slot into that engine's config list). */
+     *  single-pass engines (engine == kRouteDirect; slot into caches_
+     *  under DirectOnly, into batch_ otherwise), the set-sharded
+     *  engine (engine == kRouteShard; slot into shards_), or a
+     *  single-pass engine (engine >= 0; slot into that engine's
+     *  config list). */
     struct Route
     {
         std::int32_t engine = -1;
         std::uint32_t slot = 0;
     };
+    static constexpr std::int32_t kRouteDirect = -1;
+    static constexpr std::int32_t kRouteShard = -2;
+
+    /** First-run() routing refinement: move heuristically (or
+     *  OCCSIM_SHARD-forced) chosen direct configs from the batched
+     *  engine to per-config ShardReplay engines. Sticky: later runs
+     *  reuse the same routes. */
+    void finalizeRoutes(unsigned threads, std::uint64_t limit);
 
     ThreadPool *pool_;
+    SweepEngine engineMode_;
+    bool allowSharding_;
     std::vector<CacheConfig> configs_;
     std::vector<Route> routes_;
+    bool routesFinal_ = false;
     /** DirectOnly: caches_[j] simulates configs_[directIndex_[j]]. */
     std::vector<std::unique_ptr<Cache>> caches_;
-    /** caches_[j] / batch_->cache(j) simulates
-     *  configs_[directIndex_[j]]. */
+    /** All non-single-pass config indices (DirectOnly slot order). */
     std::vector<std::size_t> directIndex_;
-    /** Auto/CrossCheck: batched replay engine over the non-eligible
-     *  configs (same slot order as directIndex_). */
+    /** batch_->cache(j) simulates configs_[batchIndex_[j]]; equals
+     *  directIndex_ until finalizeRoutes carves out sharded configs. */
+    std::vector<std::size_t> batchIndex_;
+    /** shards_[k] simulates configs_[shardIndex_[k]]. */
+    std::vector<std::size_t> shardIndex_;
+    /** Auto/CrossCheck: batched replay engine over the non-eligible,
+     *  non-sharded configs (same slot order as batchIndex_). */
     std::unique_ptr<BatchReplay> batch_;
+    /** Set-sharded engines (one per sharded config). */
+    std::vector<std::unique_ptr<ShardReplay>> shards_;
     /** One engine per distinct eligible block size. */
     std::vector<std::unique_ptr<SinglePassEngine>> engines_;
     /** engineIndex_[e][k] = config index of engines_[e]'s k-th. */

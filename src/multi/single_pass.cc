@@ -134,7 +134,8 @@ SetLruTracker::touch(Addr block)
 bool
 singlePassEligible(const CacheConfig &config)
 {
-    return config.replacement == ReplacementPolicy::LRU &&
+    return (config.replacement == ReplacementPolicy::LRU ||
+            config.replacement == ReplacementPolicy::FIFO) &&
            config.fetch == FetchPolicy::Demand &&
            config.subBlockSize == config.blockSize &&
            config.writeAllocate;
@@ -158,6 +159,7 @@ SinglePassEngine::SinglePassEngine(
         const CacheGeometry geom(config);
         const std::uint32_t sets = geom.numSets();
         const std::uint32_t assoc = geom.assoc();
+        const ReplacementPolicy policy = config.replacement;
 
         std::size_t li = levels_.size();
         for (std::size_t l = 0; l < levels_.size(); ++l) {
@@ -172,7 +174,8 @@ SinglePassEngine::SinglePassEngine(
 
         std::size_t pi = lv.points.size();
         for (std::size_t p = 0; p < lv.points.size(); ++p) {
-            if (lv.points[p].assoc == assoc) {
+            if (lv.points[p].assoc == assoc &&
+                lv.points[p].policy == policy) {
                 pi = p;
                 break;
             }
@@ -180,7 +183,16 @@ SinglePassEngine::SinglePassEngine(
         if (pi == lv.points.size()) {
             GridPoint point;
             point.assoc = assoc;
-            point.fills.assign(sets, 0);
+            point.policy = policy;
+            if (policy == ReplacementPolicy::FIFO) {
+                point.ring.assign(
+                    static_cast<std::size_t>(sets) * assoc,
+                    kEmptyFrame);
+                point.fillSeq.assign(sets, 0);
+                lv.hasFifo = true;
+            } else {
+                point.fills.assign(sets, 0);
+            }
             lv.points.push_back(std::move(point));
         }
         configPoint_.emplace_back(li, pi);
@@ -239,7 +251,9 @@ SinglePassEngine::runLevel(std::size_t level, const VectorTrace &trace,
         if (d != SetLruTracker::kFirstTouch) {
             if (!is_write)
                 ++lv.hist[d < cap ? d : cap];
-            if (d <= min_assoc)
+            // FIFO points can miss at any LRU distance, so the
+            // level-wide shortcut only applies to pure-LRU levels.
+            if (!lv.hasFifo && d <= min_assoc)
                 continue;  // hit at every grid point of this level
         } else if (!is_write) {
             ++lv.firstTouches;
@@ -248,15 +262,6 @@ SinglePassEngine::runLevel(std::size_t level, const VectorTrace &trace,
         const std::uint32_t set = lv.tracker.setOf(block);
         const bool is_ifetch = ref.isInstruction();
         for (GridPoint &p : lv.points) {
-            if (d != SetLruTracker::kFirstTouch && d <= p.assoc)
-                continue;  // hit at this associativity
-            if (is_write) {
-                ++p.writeMisses;
-            } else {
-                ++p.misses;
-                if (is_ifetch)
-                    ++p.ifetchMisses;
-            }
             // A miss is cold exactly while its set still has
             // never-filled frames: invalid ways are filled before the
             // replacement victim, and both read and write misses
@@ -264,10 +269,47 @@ SinglePassEngine::runLevel(std::size_t level, const VectorTrace &trace,
             // so the first `assoc` misses of a set each claim a fresh
             // frame. Only counted (read) misses are charged as cold
             // in the stats, matching Cache exactly.
-            std::uint32_t &filled = p.fills[set];
-            if (filled < p.assoc) {
-                ++filled;
-                if (!is_write)
+            bool cold = false;
+            if (p.policy == ReplacementPolicy::FIFO) {
+                // No inclusion property: probe this point's own
+                // resident ring for the set.
+                Addr *ways =
+                    p.ring.data() +
+                    static_cast<std::size_t>(set) * p.assoc;
+                bool hit = false;
+                for (std::uint32_t w = 0; w < p.assoc; ++w) {
+                    if (ways[w] == block) {
+                        hit = true;
+                        break;
+                    }
+                }
+                if (hit)
+                    continue;
+                // The n-th miss of a set fills frame n % assoc: the
+                // first assoc misses claim the invalid ways in order,
+                // then onFill's move-to-back makes the FIFO victim
+                // walk the ways round-robin from way 0 — the direct
+                // Cache's exact sequence.
+                std::uint64_t &seq = p.fillSeq[set];
+                ways[seq % p.assoc] = block;
+                cold = seq < p.assoc;
+                ++seq;
+            } else {
+                if (d != SetLruTracker::kFirstTouch && d <= p.assoc)
+                    continue;  // hit at this associativity
+                std::uint32_t &filled = p.fills[set];
+                if (filled < p.assoc) {
+                    ++filled;
+                    cold = true;
+                }
+            }
+            if (is_write) {
+                ++p.writeMisses;
+            } else {
+                ++p.misses;
+                if (is_ifetch)
+                    ++p.ifetchMisses;
+                if (cold)
                     ++p.coldMisses;
             }
         }

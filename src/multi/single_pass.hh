@@ -13,6 +13,13 @@
  *     LRU replacement + demand fetch + sub-block == block
  *     + write-allocate
  *
+ * FIFO replacement under the same fetch/write conditions also rides
+ * the engine: FIFO has no stack-inclusion property, so each FIFO grid
+ * point simulates its own per-set residency ring during the same
+ * trace pass (one tag scan per reference) instead of sharing the
+ * distance computation — still one pass per set count for the whole
+ * grid.
+ *
  * Under those conditions a reference hits a cache with S sets and
  * associativity A exactly when fewer than A distinct blocks of its
  * set have been touched since its own last touch (the per-set LRU
@@ -144,9 +151,12 @@ class SetLruTracker
 
 /**
  * @return true when @p config can be priced by the single-pass
- * engine: LRU + demand fetch + sub-block == block + write-allocate.
- * (The write policy is free: SweepResult metrics count reads only,
- * and tag/LRU state is write-policy independent.)
+ * engine: LRU or FIFO replacement + demand fetch + sub-block == block
+ * + write-allocate. (The write policy is free: SweepResult metrics
+ * count reads only, and tag/replacement state is write-policy
+ * independent.) LRU points share the stack-distance machinery; FIFO
+ * has no inclusion property, so FIFO points each carry their own
+ * per-set resident rings, but still ride the same trace pass.
  */
 bool singlePassEligible(const CacheConfig &config);
 
@@ -237,24 +247,40 @@ class SinglePassEngine
     std::uint64_t refs() const;
 
   private:
-    /** One (set count, associativity) grid point. */
+    /** One (set count, associativity, replacement) grid point. */
     struct GridPoint
     {
         std::uint32_t assoc = 0;
+        ReplacementPolicy policy = ReplacementPolicy::LRU;
         std::uint64_t misses = 0;        ///< counted misses
         std::uint64_t coldMisses = 0;    ///< counted cold misses
         std::uint64_t ifetchMisses = 0;
         std::uint64_t writeMisses = 0;
-        /** Per-set fill count, saturated at assoc: a miss is cold
-         *  while its set still has never-filled frames. */
+        /** LRU points: per-set fill count, saturated at assoc — a
+         *  miss is cold while its set still has never-filled
+         *  frames. */
         std::vector<std::uint32_t> fills;
+        /** FIFO points: resident block address per frame (set-major,
+         *  kEmptyFrame when never filled). FIFO has no stack
+         *  inclusion, so each point simulates its own residency. */
+        std::vector<Addr> ring;
+        /** FIFO points: per-set fill sequence number. Frame filled by
+         *  the n-th miss of a set is n % assoc — first-invalid-way
+         *  fills followed by round-robin FIFO victims, exactly the
+         *  direct Cache's order — and the miss is cold iff n < assoc. */
+        std::vector<std::uint64_t> fillSeq;
     };
+
+    /** FIFO ring sentinel: no block (block addresses have at least
+     *  one high zero bit since blockSize >= 2). */
+    static constexpr Addr kEmptyFrame = ~Addr(0);
 
     /** One set count: a tracker plus every point at that count. */
     struct Level
     {
         std::uint32_t numSets = 0;
         std::uint32_t minAssoc = 0;  ///< fast hit-everywhere cutoff
+        bool hasFifo = false;  ///< disables the min-assoc shortcut
         std::uint32_t cap = 0;       ///< histogram pooling depth
         SetLruTracker tracker;
         std::vector<GridPoint> points;

@@ -29,22 +29,39 @@ traceLimit(const VectorTrace &trace, std::uint64_t max_refs)
     return max_refs == 0 ? size : std::min(max_refs, size);
 }
 
+/** Set-sharded engine activity of one sweep, for the manifest. */
+struct ShardInfo
+{
+    ShardTelemetry telem;
+    /** shardedConfigs[c]: config c was sharded on >= 1 trace. */
+    std::vector<bool> shardedConfigs;
+};
+
 /**
  * Verification / probe path: one ParallelSweepRunner per trace (still
  * parallel within each trace), so per-config shadows exist
- * (CrossCheck) and finished Caches can be inspected (probe).
+ * (CrossCheck) and finished Caches can be inspected (probe). A probe
+ * pins its runners off the set-sharded engine — probes read
+ * runner.cache(i), which sharded configs cannot serve.
  */
 std::uint64_t
 runPerTraceRunners(const SweepRequest &request, SweepReport &report,
-                   std::size_t &cross_check_samples)
+                   std::size_t &cross_check_samples,
+                   ShardInfo &shard_info)
 {
     std::uint64_t refs = 0;
     report.perTrace.reserve(request.traces.size());
     for (std::size_t t = 0; t < request.traces.size(); ++t) {
         ParallelSweepRunner runner(request.configs, request.pool,
-                                   request.engine);
+                                   request.engine,
+                                   /*allow_sharding=*/!request.probe);
         refs += runner.run(request.traces[t], request.maxRefs);
         cross_check_samples += runner.crossCheckCount();
+        shard_info.telem.accumulate(runner.shardTelemetry());
+        for (std::size_t c = 0; c < request.configs.size(); ++c) {
+            if (runner.sharded(c))
+                shard_info.shardedConfigs[c] = true;
+        }
         if (request.probe)
             request.probe(t, runner);
         report.perTrace.push_back(runner.results());
@@ -59,7 +76,8 @@ runPerTraceRunners(const SweepRequest &request, SweepReport &report,
  * levels/tiles, so scheduling order cannot affect the results.
  */
 std::uint64_t
-runFlattenedGrid(const SweepRequest &request, SweepReport &report)
+runFlattenedGrid(const SweepRequest &request, SweepReport &report,
+                 ShardInfo &shard_info)
 {
     const auto &traces = request.traces;
     const auto &configs = request.configs;
@@ -91,19 +109,57 @@ runFlattenedGrid(const SweepRequest &request, SweepReport &report)
 
     // Non-eligible configs: under Auto, one batched replay engine per
     // trace over the shared packed trace, parallelized per config
-    // tile; under DirectOnly, one plain Cache task per (trace,
-    // config) pair.
+    // tile — except the (trace, config) runs shouldShard routes to
+    // the set-sharded engine, each split into one task per shard;
+    // under DirectOnly, one plain Cache task per (trace, config)
+    // pair.
     const bool batched = request.engine != SweepEngine::DirectOnly &&
                          !part.direct.empty();
-    std::vector<CacheConfig> direct_configs =
-        selectConfigs(configs, part.direct);
     std::vector<std::unique_ptr<BatchReplay>> batches;
     std::vector<std::shared_ptr<const PackedTrace>> packed;
+    // Per trace: which direct configs stay batched, which shard (the
+    // trace lengths differ, so the decisions do too).
+    std::vector<std::vector<std::size_t>> batch_index(traces.size());
+    std::vector<std::vector<std::size_t>> shard_index(traces.size());
+    std::vector<std::vector<std::unique_ptr<ShardReplay>>>
+        shard_engines(traces.size());
     if (batched) {
+        const unsigned threads =
+            static_cast<unsigned>(poolOrGlobal(request.pool).size());
+        const ShardMode shard_mode = shardModeFromEnv();
+        // Task inventory if nothing shards: batch tiles plus
+        // single-pass levels, over every trace.
+        std::size_t levels_per_trace = 0;
+        for (std::size_t g = 0; g < num_groups; ++g)
+            levels_per_trace += engines[g]->numLevels();
+        const std::size_t tiles_per_trace =
+            (part.direct.size() + BatchReplay::kDefaultTileConfigs -
+             1) /
+            BatchReplay::kDefaultTileConfigs;
+        const std::size_t competing =
+            traces.size() * (tiles_per_trace + levels_per_trace);
+
         batches.resize(traces.size());
         packed.reserve(traces.size());
         for (std::size_t t = 0; t < traces.size(); ++t) {
-            batches[t] = std::make_unique<BatchReplay>(direct_configs);
+            const std::uint64_t limit =
+                traceLimit(*traces[t], max_refs);
+            for (const std::size_t c : part.direct) {
+                if (shouldShard(shard_mode, configs[c], threads,
+                                limit, competing)) {
+                    shard_index[t].push_back(c);
+                    shard_engines[t].push_back(
+                        std::make_unique<ShardReplay>(
+                            configs[c],
+                            planShardCount(configs[c], threads)));
+                } else {
+                    batch_index[t].push_back(c);
+                }
+            }
+            if (!batch_index[t].empty()) {
+                batches[t] = std::make_unique<BatchReplay>(
+                    selectConfigs(configs, batch_index[t]));
+            }
             packed.push_back(packedTraceShared(traces[t]));
         }
     }
@@ -115,11 +171,31 @@ runFlattenedGrid(const SweepRequest &request, SweepReport &report)
     tasks.reserve(traces.size() * (part.direct.size() + num_groups));
     for (std::size_t t = 0; t < traces.size(); ++t) {
         if (batched) {
-            for (std::size_t tile = 0; tile < batches[t]->numTiles();
-                 ++tile) {
-                tasks.push_back([&batches, &packed, max_refs, t, tile] {
-                    batches[t]->runTile(tile, *packed[t], max_refs);
-                });
+            if (batches[t] != nullptr) {
+                for (std::size_t tile = 0;
+                     tile < batches[t]->numTiles(); ++tile) {
+                    tasks.push_back(
+                        [&batches, &packed, max_refs, t, tile] {
+                            batches[t]->runTile(tile, *packed[t],
+                                                max_refs);
+                        });
+                }
+            }
+            const std::uint64_t limit =
+                traceLimit(*traces[t], max_refs);
+            for (auto &engine : shard_engines[t]) {
+                // Partition the packed trace for this engine's
+                // (blockBits, shardBits); memoized, so configs
+                // agreeing on the block size share one partition.
+                auto strace = shardedTraceShared(
+                    packed[t], engine->blockBits(),
+                    engine->shardBits(), limit);
+                ShardReplay *eng = engine.get();
+                for (std::uint32_t s = 0; s < eng->numShards(); ++s) {
+                    tasks.push_back([eng, strace, s] {
+                        eng->runShard(s, *strace);
+                    });
+                }
             }
         } else {
             for (const std::size_t c : part.direct) {
@@ -158,9 +234,18 @@ runFlattenedGrid(const SweepRequest &request, SweepReport &report)
     for (std::size_t t = 0; t < traces.size(); ++t) {
         refs += traceLimit(*traces[t], max_refs);
         if (batched) {
-            const auto results = batches[t]->results();
-            for (std::size_t k = 0; k < results.size(); ++k)
-                out[t][part.direct[k]] = results[k];
+            if (batches[t] != nullptr) {
+                const auto results = batches[t]->results();
+                for (std::size_t k = 0; k < results.size(); ++k)
+                    out[t][batch_index[t][k]] = results[k];
+            }
+            for (std::size_t k = 0; k < shard_engines[t].size();
+                 ++k) {
+                out[t][shard_index[t][k]] =
+                    shard_engines[t][k]->result();
+                shard_info.telem.accumulate(*shard_engines[t][k]);
+                shard_info.shardedConfigs[shard_index[t][k]] = true;
+            }
         }
         for (std::size_t g = 0; g < num_groups; ++g) {
             const auto results =
@@ -172,12 +257,16 @@ runFlattenedGrid(const SweepRequest &request, SweepReport &report)
     return refs;
 }
 
-/** Engine a config routes to under @p engine (manifest vocabulary). */
+/** Engine a config routes to under @p engine (manifest vocabulary).
+ *  @p sharded: the set-sharded engine served it on >= 1 trace. */
 const char *
-configEngineName(const CacheConfig &config, SweepEngine engine)
+configEngineName(const CacheConfig &config, SweepEngine engine,
+                 bool sharded)
 {
     if (engine == SweepEngine::DirectOnly)
         return "direct";
+    if (sharded)
+        return "shard";
     return singlePassEligible(config) ? "single_pass" : "batch";
 }
 
@@ -210,12 +299,14 @@ runSweep(const SweepRequest &request)
 
     SweepReport report;
     std::size_t cross_check_samples = 0;
+    ShardInfo shard_info;
+    shard_info.shardedConfigs.assign(request.configs.size(), false);
     std::uint64_t refs = 0;
     if (request.engine == SweepEngine::CrossCheck || request.probe) {
         refs = runPerTraceRunners(request, report,
-                                  cross_check_samples);
+                                  cross_check_samples, shard_info);
     } else {
-        refs = runFlattenedGrid(request, report);
+        refs = runFlattenedGrid(request, report, shard_info);
     }
     report.refs = refs;
 
@@ -255,11 +346,17 @@ runSweep(const SweepRequest &request)
     record.refsSimulated = simulated;
     record.wallMs = wall_ms;
     record.crossCheckSamples = cross_check_samples;
+    record.shardedRuns = shard_info.telem.shardedRuns;
+    record.shardMaxShards = shard_info.telem.maxShards;
+    record.shardMaxRefs = shard_info.telem.maxShardRefs;
+    record.shardMinRefs = shard_info.telem.minShardRefs;
     record.routes.reserve(request.configs.size());
-    for (const CacheConfig &config : request.configs) {
+    for (std::size_t c = 0; c < request.configs.size(); ++c) {
+        const CacheConfig &config = request.configs[c];
         record.routes.push_back(obs::ConfigRoute{
             config.shortName(),
-            configEngineName(config, request.engine)});
+            configEngineName(config, request.engine,
+                             shard_info.shardedConfigs[c])});
     }
     obs::recordSweep(record);
 

@@ -85,8 +85,9 @@ struct SweepRequest
      * after that trace's sweep finishes, before results are
      * collected. Setting a probe forces runner-per-trace execution
      * (each trace gets its own ParallelSweepRunner; results stay
-     * bit-identical), so probes can read runner.cache(i) for
-     * statistics SweepResult does not carry — construct with
+     * bit-identical) and pins those runners off the set-sharded
+     * engine, so probes can read runner.cache(i) for statistics
+     * SweepResult does not carry — construct with
      * SweepEngine::DirectOnly if every config must keep a Cache.
      */
     std::function<void(std::size_t, const ParallelSweepRunner &)> probe;

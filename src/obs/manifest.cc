@@ -201,7 +201,8 @@ currentManifest()
     }
 
     for (const char *engine :
-         {"direct", "single_pass", "batch", "shadow", "sequential"}) {
+         {"direct", "single_pass", "batch", "shard", "shadow",
+          "sequential"}) {
         appendEngineUsage(manifest.engines, manifest.stages,
                           manifest.counters, engine);
     }
@@ -243,6 +244,11 @@ RunManifest::toJson() const
         w.kv("wall_ms", sweep.wallMs);
         w.kv("cross_check_samples",
              std::uint64_t{sweep.crossCheckSamples});
+        w.kv("sharded_runs", std::uint64_t{sweep.shardedRuns});
+        w.kv("shard_max_shards",
+             std::uint64_t{sweep.shardMaxShards});
+        w.kv("shard_max_refs", sweep.shardMaxRefs);
+        w.kv("shard_min_refs", sweep.shardMinRefs);
         w.key("configs").beginArray();
         for (const ConfigRoute &route : sweep.routes) {
             w.beginObject();

@@ -43,7 +43,8 @@ struct TraceRecord
 struct ConfigRoute
 {
     std::string config;  ///< CacheConfig::shortName()
-    std::string engine;  ///< "direct" / "single_pass" / "batch"
+    std::string engine;  ///< "direct" / "single_pass" / "batch" /
+                         ///< "shard" (sharded on at least one trace)
 };
 
 /** One sweep session (one runSweep / legacy entry-point call). */
@@ -57,6 +58,14 @@ struct SweepRecord
     std::uint64_t refsSimulated = 0;   ///< refs x configs actually run
     double wallMs = 0.0;
     std::size_t crossCheckSamples = 0;
+    /** Set-sharded engine activity: (trace, config) runs sharded,
+     *  the largest shard count used, and the fullest/emptiest shard
+     *  sub-trace seen (the imbalance spread — hot sets show up as
+     *  shardMaxRefs >> shardMinRefs). All zero when nothing sharded. */
+    std::size_t shardedRuns = 0;
+    std::uint32_t shardMaxShards = 0;
+    std::uint64_t shardMaxRefs = 0;
+    std::uint64_t shardMinRefs = 0;
     std::vector<ConfigRoute> routes;   ///< one per config, grid order
 };
 

@@ -34,6 +34,20 @@ Distribution::reset()
     weightedSum_ = 0;
 }
 
+void
+Distribution::mergeFrom(const Distribution &other)
+{
+    occsim_assert(buckets_.size() == other.buckets_.size(),
+                  "merging distributions of different shape (%zu vs "
+                  "%zu buckets)",
+                  buckets_.size(), other.buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    overflow_ += other.overflow_;
+    samples_ += other.samples_;
+    weightedSum_ += other.weightedSum_;
+}
+
 std::uint64_t
 Distribution::bucket(std::size_t i) const
 {

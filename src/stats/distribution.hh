@@ -53,6 +53,14 @@ class Distribution
 
     void reset();
 
+    /**
+     * Add another histogram's counts into this one, bucket by bucket.
+     * Both must have the same bucket count. Integer sums only, so
+     * merging per-shard histograms is exact: the merged distribution
+     * equals the one an unsharded run would have recorded.
+     */
+    void mergeFrom(const Distribution &other);
+
     std::uint64_t samples() const { return samples_; }
     std::uint64_t bucket(std::size_t i) const;
     std::uint64_t overflow() const { return overflow_; }

@@ -90,6 +90,63 @@ class PackedTrace
 std::shared_ptr<const PackedTrace>
 packedTraceShared(const std::shared_ptr<const VectorTrace> &trace);
 
+/**
+ * A packed trace partitioned into 2^shardBits sub-traces by the low
+ * bits of the block address: record r lands in shard
+ * (r.addr() >> blockBits) & (2^shardBits - 1).
+ *
+ * For any set-associative geometry with the same block size and
+ * numSets >= 2^shardBits, the set index is (addr >> blockBits) mod
+ * numSets, so every record of one shard maps to a set congruent to
+ * that shard's index — sets are partitioned across shards and one
+ * partition serves every such config. Within a shard, records keep
+ * their trace order, which is all a set-local engine observes.
+ *
+ * Records are stored grouped in one flat array (shard s is the
+ * half-open span [offsets_[s], offsets_[s+1])), so a whole shard is
+ * one contiguous walk just like the unsharded trace.
+ */
+class ShardedPackedTrace
+{
+  public:
+    /** Partition the first @p limit records of @p trace
+     *  (0 = all records). */
+    ShardedPackedTrace(const PackedTrace &trace,
+                       std::uint32_t block_bits,
+                       std::uint32_t shard_bits, std::uint64_t limit);
+
+    std::uint32_t blockBits() const { return blockBits_; }
+    std::uint32_t shardBits() const { return shardBits_; }
+    std::uint32_t numShards() const { return 1u << shardBits_; }
+    /** Number of records partitioned (min(limit, trace size)). */
+    std::uint64_t totalRecords() const { return records_.size(); }
+
+    const PackedRecord *shardData(std::size_t shard) const
+    {
+        return records_.data() + offsets_[shard];
+    }
+    std::size_t shardSize(std::size_t shard) const
+    {
+        return offsets_[shard + 1] - offsets_[shard];
+    }
+
+  private:
+    std::uint32_t blockBits_;
+    std::uint32_t shardBits_;
+    std::vector<PackedRecord> records_;
+    std::vector<std::size_t> offsets_;  ///< numShards + 1 entries
+};
+
+/**
+ * Memoized sharding of a shared packed trace, mirroring
+ * packedTraceShared: one partition per distinct (trace, blockBits,
+ * shardBits, limit) while any handle is alive. Thread-safe.
+ */
+std::shared_ptr<const ShardedPackedTrace>
+shardedTraceShared(const std::shared_ptr<const PackedTrace> &trace,
+                   std::uint32_t block_bits, std::uint32_t shard_bits,
+                   std::uint64_t limit);
+
 } // namespace occsim
 
 #endif // OCCSIM_TRACE_PACKED_TRACE_HH

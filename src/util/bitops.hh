@@ -17,6 +17,18 @@ namespace occsim {
 /** Address type: 32-bit byte addresses per the paper's assumptions. */
 using Addr = std::uint32_t;
 
+/**
+ * Software prefetch hint (read intent). The replay kernels use it to
+ * pull the next record's set metadata toward the core while the
+ * current record is being priced; a no-op on compilers without the
+ * builtin, and always semantics-free.
+ */
+#if defined(__GNUC__) || defined(__clang__)
+#define OCCSIM_PREFETCH_READ(ptr) __builtin_prefetch((ptr), 0, 3)
+#else
+#define OCCSIM_PREFETCH_READ(ptr) ((void)0)
+#endif
+
 /** @return true if @p v is a (positive) power of two. */
 constexpr bool
 isPowerOfTwo(std::uint64_t v)

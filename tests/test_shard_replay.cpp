@@ -1,0 +1,562 @@
+// This TU intentionally exercises the legacy sweep entry points.
+#define OCCSIM_ALLOW_DEPRECATED 1
+
+/**
+ * @file
+ * Determinism tests for the set-sharded replay engine: the partition
+ * must preserve per-shard reference order, ShardReplay's merged
+ * statistics must be bit-identical to an unsharded run for every
+ * eligible policy combination and shard count, and BOTH directions of
+ * the routing predicate must hold — eligible configs merge exactly,
+ * and force-sharding either ineligible policy (Random replacement,
+ * next-block prefetch) demonstrably diverges from the full run.
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "cache/cache_geometry.hh"
+#include "harness/experiment.hh"
+#include "multi/parallel_sweep.hh"
+#include "multi/shard_replay.hh"
+#include "multi/sweep_api.hh"
+#include "trace/packed_trace.hh"
+#include "workload/suites.hh"
+
+using namespace occsim;
+
+namespace {
+
+constexpr std::uint64_t kRefs = 30000;
+
+/** Bit-identical comparison of two SweepResults (exact doubles). */
+void
+expectIdentical(const SweepResult &a, const SweepResult &b)
+{
+    EXPECT_EQ(a.grossBytes, b.grossBytes);
+    EXPECT_EQ(a.missRatio, b.missRatio);
+    EXPECT_EQ(a.warmMissRatio, b.warmMissRatio);
+    EXPECT_EQ(a.trafficRatio, b.trafficRatio);
+    EXPECT_EQ(a.warmTrafficRatio, b.warmTrafficRatio);
+    EXPECT_EQ(a.nibbleTrafficRatio, b.nibbleTrafficRatio);
+    EXPECT_EQ(a.warmNibbleTrafficRatio, b.warmNibbleTrafficRatio);
+}
+
+bool
+sameResult(const SweepResult &a, const SweepResult &b)
+{
+    return a.grossBytes == b.grossBytes &&
+           a.missRatio == b.missRatio &&
+           a.warmMissRatio == b.warmMissRatio &&
+           a.trafficRatio == b.trafficRatio &&
+           a.warmTrafficRatio == b.warmTrafficRatio &&
+           a.nibbleTrafficRatio == b.nibbleTrafficRatio &&
+           a.warmNibbleTrafficRatio == b.warmNibbleTrafficRatio;
+}
+
+/** Direct Cache::access simulation of @p config over @p trace. */
+SweepResult
+directResult(const CacheConfig &config, const VectorTrace &trace)
+{
+    Cache cache(config);
+    for (const MemRef &ref : trace.refs())
+        cache.access(ref);
+    cache.finalizeResidencies();
+    return summarizeCache(cache);
+}
+
+/** Sharded run of @p config at @p num_shards, sequential drive. */
+SweepResult
+shardedResult(const CacheConfig &config, const PackedTrace &packed,
+              std::uint32_t num_shards)
+{
+    ShardReplay engine(config, num_shards);
+    const ShardedPackedTrace strace(packed, engine.blockBits(),
+                                    engine.shardBits(), 0);
+    for (std::uint32_t s = 0; s < num_shards; ++s)
+        engine.runShard(s, strace);
+    return engine.result();
+}
+
+/**
+ * Manual set-sharded run of ANY config (no eligibility assert):
+ * partition by set-congruence, replay each shard on a private Cache,
+ * merge the raw statistics. For eligible configs this is exactly what
+ * ShardReplay computes; for ineligible ones it exhibits why sharding
+ * is wrong.
+ */
+SweepResult
+forcedShardMerge(const CacheConfig &config, const PackedTrace &packed,
+                 std::uint32_t num_shards)
+{
+    const CacheGeometry geom(config);
+    const std::uint32_t shard_bits = floorLog2(num_shards);
+    const ShardedPackedTrace strace(packed, geom.blockBits(),
+                                    shard_bits, 0);
+    CacheStats merged(geom.subBlocksPerBlock(),
+                      geom.subBlocksPerBlock() *
+                          geom.wordsPerSubBlock());
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+        Cache cache(config);
+        cache.replayPacked(strace.shardData(s), strace.shardSize(s));
+        cache.finalizeResidencies();
+        merged.mergeFrom(cache.stats());
+    }
+    return summarizeStats(config, geom.grossBytes(), merged);
+}
+
+/** RAII environment-variable override (restores the prior value). */
+class EnvGuard
+{
+  public:
+    EnvGuard(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        if (old != nullptr) {
+            hadOld_ = true;
+            old_ = old;
+        }
+        if (value != nullptr)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+    ~EnvGuard()
+    {
+        if (hadOld_)
+            setenv(name_, old_.c_str(), 1);
+        else
+            unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    bool hadOld_ = false;
+    std::string old_;
+};
+
+} // namespace
+
+TEST(ShardedPackedTrace, PartitionPreservesPerShardOrder)
+{
+    const Suite suite = pdp11Suite();
+    const auto trace = buildTraceShared(suite.traces.front(), 5000);
+    const PackedTrace packed(*trace);
+
+    const std::uint32_t block_bits = 4;  // 16-byte blocks
+    for (const std::uint32_t shard_bits : {1u, 2u, 4u}) {
+        const ShardedPackedTrace strace(packed, block_bits, shard_bits,
+                                        0);
+        const std::uint32_t shards = strace.numShards();
+        EXPECT_EQ(shards, 1u << shard_bits);
+        EXPECT_EQ(strace.totalRecords(), packed.size());
+
+        // Every record is in the shard its set-congruence demands,
+        // and walking the shards in parallel with one cursor each
+        // reproduces the original stream order record by record.
+        std::vector<std::size_t> cursor(shards, 0);
+        for (std::size_t i = 0; i < packed.size(); ++i) {
+            const std::uint32_t s =
+                (packed[i].addr() >> block_bits) & (shards - 1);
+            ASSERT_LT(cursor[s], strace.shardSize(s));
+            EXPECT_EQ(strace.shardData(s)[cursor[s]].bits,
+                      packed[i].bits);
+            ++cursor[s];
+        }
+        std::size_t total = 0;
+        for (std::uint32_t s = 0; s < shards; ++s) {
+            EXPECT_EQ(cursor[s], strace.shardSize(s));
+            total += strace.shardSize(s);
+        }
+        EXPECT_EQ(total, packed.size());
+    }
+}
+
+TEST(ShardedPackedTrace, RespectsLimitAndMemoizes)
+{
+    const Suite suite = pdp11Suite();
+    const auto trace = buildTraceShared(suite.traces.front(), 5000);
+    const auto packed = packedTraceShared(trace);
+
+    const ShardedPackedTrace limited(*packed, 4, 2, 1000);
+    EXPECT_EQ(limited.totalRecords(), 1000u);
+
+    const auto first = shardedTraceShared(packed, 4, 2, 0);
+    const auto second = shardedTraceShared(packed, 4, 2, 0);
+    EXPECT_EQ(first.get(), second.get())
+        << "one partition per (trace, blockBits, shardBits) while a "
+           "handle is alive";
+    // A limit covering the whole trace is the same key as 0 = all.
+    const auto full = shardedTraceShared(packed, 4, 2, packed->size());
+    EXPECT_EQ(full.get(), first.get());
+    EXPECT_NE(shardedTraceShared(packed, 4, 3, 0).get(), first.get());
+}
+
+TEST(ShardReplay, BitIdenticalToDirectAcrossPoliciesAndShardCounts)
+{
+    const Suite suite = pdp11Suite();
+    const auto trace = buildTraceShared(suite.traces.front(), kRefs);
+    const PackedTrace packed(*trace);
+    const std::uint32_t word = suite.profile.wordSize;
+
+    std::vector<CacheConfig> configs;
+    // LRU demand (the plain case), 128 sets.
+    configs.push_back(makeConfig(8192, 16, 16, word));
+    // Sector organisation (sub-block < block).
+    configs.push_back(makeConfig(8192, 32, 8, word));
+    // Load-forward fetch.
+    {
+        CacheConfig c = makeConfig(8192, 16, 8, word);
+        c.fetch = FetchPolicy::LoadForward;
+        configs.push_back(c);
+    }
+    // Copy-back writes (write-back traffic at evictions).
+    {
+        CacheConfig c = makeConfig(8192, 16, 16, word);
+        c.write = WritePolicy::CopyBack;
+        configs.push_back(c);
+    }
+    // No-allocate writes.
+    {
+        CacheConfig c = makeConfig(8192, 16, 8, word);
+        c.writeAllocate = false;
+        configs.push_back(c);
+    }
+    // FIFO replacement.
+    {
+        CacheConfig c = makeConfig(8192, 16, 16, word);
+        c.replacement = ReplacementPolicy::FIFO;
+        configs.push_back(c);
+    }
+    // Associativity 16: the runtime-assoc fallback kernel.
+    {
+        CacheConfig c = makeConfig(8192, 16, 16, word);
+        c.assoc = 16;
+        configs.push_back(c);
+    }
+
+    for (const CacheConfig &config : configs) {
+        ASSERT_TRUE(shardEligible(config)) << config.fullName();
+        const SweepResult expected = directResult(config, *trace);
+        for (const std::uint32_t shards : {2u, 4u, 8u, 32u}) {
+            if (shards > CacheGeometry(config).numSets())
+                continue;
+            expectIdentical(shardedResult(config, packed, shards),
+                            expected);
+        }
+    }
+}
+
+TEST(ShardReplay, ZeroRefShardsMergeCleanly)
+{
+    // A trace that touches one single set: with 4 shards, three
+    // sub-traces are empty and the merge must still be exact.
+    auto trace = std::make_shared<VectorTrace>("one-set");
+    for (int i = 0; i < 2000; ++i) {
+        const Addr addr =
+            static_cast<Addr>(0x1000 + (i % 8) * (128 * 16));
+        trace->append(addr, i % 5 == 0 ? RefKind::DataWrite
+                                       : RefKind::DataRead,
+                      2);
+    }
+    const CacheConfig config = makeConfig(8192, 16, 16, 2);  // 128 sets
+    const PackedTrace packed(*trace);
+
+    ShardReplay engine(config, 4);
+    const ShardedPackedTrace strace(packed, engine.blockBits(),
+                                    engine.shardBits(), 0);
+    for (std::uint32_t s = 0; s < 4; ++s)
+        engine.runShard(s, strace);
+
+    // All references land in shard 0 (set index multiples of 128 are
+    // congruent to 0 mod 4).
+    EXPECT_EQ(engine.shardRefs(0), trace->size());
+    EXPECT_EQ(engine.shardRefs(1), 0u);
+    EXPECT_EQ(engine.shardRefs(2), 0u);
+    EXPECT_EQ(engine.shardRefs(3), 0u);
+    expectIdentical(engine.result(), directResult(config, *trace));
+
+    // The imbalance telemetry reports the skew.
+    ShardTelemetry telem;
+    telem.accumulate(engine);
+    EXPECT_EQ(telem.shardedRuns, 1u);
+    EXPECT_EQ(telem.maxShards, 4u);
+    EXPECT_EQ(telem.maxShardRefs, trace->size());
+    EXPECT_EQ(telem.minShardRefs, 0u);
+}
+
+TEST(ShardReplay, PlanShardCountRespectsGeometryAndEligibility)
+{
+    const CacheConfig plain = makeConfig(8192, 16, 16, 2);  // 128 sets
+    EXPECT_EQ(planShardCount(plain, 1), 1u) << "one worker, no split";
+    EXPECT_EQ(planShardCount(plain, 2), 2u);
+    EXPECT_EQ(planShardCount(plain, 8), 8u);
+    EXPECT_EQ(planShardCount(plain, 5), 8u)
+        << "smallest power of two covering the pool";
+    EXPECT_EQ(planShardCount(plain, 1000), kMaxShards)
+        << "clamped to the shard cap";
+
+    // Fully associative: one set, nothing to split.
+    CacheConfig full = makeConfig(256, 16, 16, 2);
+    full.assoc = 16;  // 16 blocks, assoc 16 -> 1 set
+    ASSERT_EQ(CacheGeometry(full).numSets(), 1u);
+    EXPECT_EQ(planShardCount(full, 8), 1u);
+
+    // Few sets: clamped to the set count.
+    CacheConfig small = makeConfig(128, 16, 16, 2);  // 8 blocks
+    ASSERT_EQ(CacheGeometry(small).numSets(), 2u);
+    EXPECT_EQ(planShardCount(small, 8), 2u);
+
+    // Ineligible policies never shard.
+    CacheConfig random = plain;
+    random.replacement = ReplacementPolicy::Random;
+    EXPECT_FALSE(shardEligible(random));
+    EXPECT_EQ(planShardCount(random, 8), 1u);
+    CacheConfig prefetch = plain;
+    prefetch.fetch = FetchPolicy::PrefetchNextOnMiss;
+    EXPECT_FALSE(shardEligible(prefetch));
+    EXPECT_EQ(planShardCount(prefetch, 8), 1u);
+
+    // The heuristic needs a meaty trace and an idle pool.
+    EXPECT_FALSE(shouldShard(ShardMode::Heuristic, plain, 8, 1000, 1));
+    EXPECT_TRUE(shouldShard(ShardMode::Heuristic, plain, 8,
+                            kShardMinRefs, 1));
+    EXPECT_FALSE(shouldShard(ShardMode::Heuristic, plain, 8,
+                             kShardMinRefs, 64))
+        << "a saturated task grid wins over sharding";
+    EXPECT_FALSE(shouldShard(ShardMode::Off, plain, 8, kShardMinRefs,
+                             1));
+    EXPECT_TRUE(shouldShard(ShardMode::Force, plain, 8, 10, 64));
+    EXPECT_FALSE(shouldShard(ShardMode::Force, plain, 1, 10, 0))
+        << "force cannot split below two shards";
+}
+
+TEST(ShardReplay, RoutingPredicateIsNecessaryForRandomReplacement)
+{
+    // Random replacement shares one Rng across all sets, so the
+    // victim sequence depends on the global interleaving of misses
+    // across sets — a sharded run consumes the stream per shard and
+    // must diverge.
+    const Suite suite = pdp11Suite();
+    const auto trace = buildTraceShared(suite.traces.front(), kRefs);
+    const PackedTrace packed(*trace);
+
+    CacheConfig config = makeConfig(512, 16, 16, 2);  // small: evicts
+    config.replacement = ReplacementPolicy::Random;
+    ASSERT_FALSE(shardEligible(config));
+
+    const SweepResult full = directResult(config, *trace);
+    const SweepResult merged = forcedShardMerge(config, packed, 4);
+    EXPECT_FALSE(sameResult(merged, full))
+        << "sharding a Random-replacement run should diverge; if it "
+           "ever merges exactly, the predicate proof needs revisiting";
+}
+
+TEST(ShardReplay, RoutingPredicateIsNecessaryForNextBlockPrefetch)
+{
+    // A miss on the LAST sub-block of a block prefetches the first
+    // sub-block of the sequentially-next block — the next set, across
+    // the shard boundary. Alternate (last sub of block 2k, first sub
+    // of block 2k+1): the full run hits every second access off the
+    // prefetch, the sharded run cannot (the prefetch landed in
+    // another shard's cache), so the miss ratios differ by
+    // construction.
+    auto trace = std::make_shared<VectorTrace>("cross-block");
+    for (Addr base = 0; base < 64 * 1024; base += 32) {
+        trace->append(base + 8, RefKind::DataRead, 2);   // last sub
+        trace->append(base + 16, RefKind::DataRead, 2);  // next block
+    }
+    const PackedTrace packed(*trace);
+
+    CacheConfig config = makeConfig(4096, 16, 8, 2);
+    config.fetch = FetchPolicy::PrefetchNextOnMiss;
+    ASSERT_FALSE(shardEligible(config));
+
+    const SweepResult full = directResult(config, *trace);
+    const SweepResult merged = forcedShardMerge(config, packed, 4);
+    EXPECT_FALSE(sameResult(merged, full))
+        << "sharding a next-block-prefetch run should diverge";
+}
+
+TEST(ShardReplay, MergeFromEqualsUnsplitStats)
+{
+    // CacheStats::mergeFrom over a set-partition reproduces the
+    // unsplit statistics exactly (every field is an integer sum).
+    const Suite suite = pdp11Suite();
+    const auto trace = buildTraceShared(suite.traces.front(), 10000);
+    const PackedTrace packed(*trace);
+    CacheConfig config = makeConfig(4096, 32, 8, 2);
+    config.write = WritePolicy::CopyBack;
+    ASSERT_TRUE(shardEligible(config));
+    expectIdentical(forcedShardMerge(config, packed, 2),
+                    directResult(config, *trace));
+}
+
+TEST(ShardReplay, SingleThreadDegenerationNeverShards)
+{
+    // With one worker there is nothing to overlap: even a forced
+    // OCCSIM_SHARD=1 run stays unsharded (planShardCount < 2) and the
+    // results are the plain batched ones.
+    const EnvGuard guard("OCCSIM_SHARD", "1");
+    const Suite suite = pdp11Suite();
+    const auto trace = buildTraceShared(suite.traces.front(), 10000);
+    const std::vector<CacheConfig> configs{
+        makeConfig(4096, 32, 8, suite.profile.wordSize)};
+
+    ThreadPool pool(1);
+    ParallelSweepRunner runner(configs, &pool, SweepEngine::Auto);
+    runner.run(trace);
+    EXPECT_EQ(runner.shardedCount(), 0u);
+    expectIdentical(runner.results()[0], directResult(configs[0],
+                                                      *trace));
+}
+
+TEST(ShardReplay, ForcedShardingThroughTheRunnerIsBitIdentical)
+{
+    const EnvGuard guard("OCCSIM_SHARD", "1");
+    const Suite suite = pdp11Suite();
+    const auto trace = buildTraceShared(suite.traces.front(), kRefs);
+    // Mix of single-pass, batched-ineligible-for-sharding, and
+    // shardable configs.
+    std::vector<CacheConfig> configs =
+        {makeConfig(8192, 16, 16, suite.profile.wordSize),   // 1-pass
+         makeConfig(8192, 32, 8, suite.profile.wordSize)};   // sector
+    {
+        CacheConfig c = makeConfig(8192, 16, 8,
+                                   suite.profile.wordSize);
+        c.replacement = ReplacementPolicy::Random;  // ineligible
+        configs.push_back(c);
+    }
+
+    ThreadPool pool(4);
+    ParallelSweepRunner reference(configs, &pool,
+                                  SweepEngine::DirectOnly);
+    reference.run(trace);
+    const auto expected = reference.results();
+
+    ParallelSweepRunner routed(configs, &pool, SweepEngine::Auto);
+    routed.run(trace);
+    EXPECT_EQ(routed.shardedCount(), 1u)
+        << "exactly the sector config shards (single-pass config is "
+           "fast-pathed, Random is ineligible)";
+    EXPECT_TRUE(routed.sharded(1));
+    EXPECT_FALSE(routed.sharded(0));
+    EXPECT_FALSE(routed.sharded(2));
+
+    const auto actual = routed.results();
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        expectIdentical(actual[i], expected[i]);
+
+    const ShardTelemetry telem = routed.shardTelemetry();
+    EXPECT_EQ(telem.shardedRuns, 1u);
+    EXPECT_GE(telem.maxShards, 2u);
+}
+
+TEST(ShardReplay, ForcedShardingUnderCrossCheckIsClean)
+{
+    // CrossCheck shadows sharded configs on the direct engine and
+    // fatals on any divergence — a clean run IS the assertion.
+    const EnvGuard guard("OCCSIM_SHARD", "1");
+    const Suite suite = pdp11Suite();
+    const auto trace = buildTraceShared(suite.traces.front(), 10000);
+    const std::vector<CacheConfig> configs{
+        makeConfig(4096, 32, 8, suite.profile.wordSize),
+        makeConfig(4096, 16, 4, suite.profile.wordSize)};
+
+    ThreadPool pool(4);
+    ParallelSweepRunner runner(configs, &pool, SweepEngine::CrossCheck);
+    runner.run(trace);
+    EXPECT_GT(runner.crossCheckCount(), 0u);
+    EXPECT_GT(runner.shardedCount(), 0u);
+}
+
+TEST(ShardReplay, RunSweepRecordsShardRoutesInTheManifest)
+{
+    const EnvGuard guard("OCCSIM_SHARD", "1");
+    const Suite suite = pdp11Suite();
+
+    SweepRequest request;
+    request.traces = {buildTraceShared(suite.traces.front(), 10000)};
+    request.configs = {makeConfig(4096, 32, 8,
+                                  suite.profile.wordSize)};
+    ThreadPool pool(4);
+    request.pool = &pool;
+    request.label = "shard-manifest-test";
+    const SweepReport report = runSweep(request);
+
+    const obs::SweepRecord *ours = nullptr;
+    for (const obs::SweepRecord &sweep : report.manifest.sweeps) {
+        if (sweep.label == "shard-manifest-test")
+            ours = &sweep;
+    }
+    ASSERT_NE(ours, nullptr);
+    EXPECT_EQ(ours->shardedRuns, 1u);
+    EXPECT_GE(ours->shardMaxShards, 2u);
+    EXPECT_GT(ours->shardMaxRefs, 0u);
+    ASSERT_EQ(ours->routes.size(), 1u);
+    EXPECT_EQ(ours->routes[0].engine, "shard");
+
+    // And the numbers are the unsharded ones.
+    ParallelSweepRunner reference(request.configs, &pool,
+                                  SweepEngine::DirectOnly);
+    reference.run(request.traces[0]);
+    expectIdentical(report.perTrace[0][0], reference.results()[0]);
+}
+
+TEST(SinglePassFifo, MatchesDirectAcrossTheGrid)
+{
+    // FIFO one-pass satellite: FIFO + demand + sub == block +
+    // write-allocate configs ride the single-pass engine and must be
+    // bit-identical to direct simulation across (sets, assoc) points
+    // sharing the pass with LRU points.
+    const Suite suite = pdp11Suite();
+    const auto trace = buildTraceShared(suite.traces.front(), kRefs);
+
+    std::vector<CacheConfig> configs;
+    for (const std::uint32_t net : {1024u, 4096u}) {
+        for (const std::uint32_t assoc : {1u, 2u, 4u, 8u}) {
+            for (const ReplacementPolicy repl :
+                 {ReplacementPolicy::LRU, ReplacementPolicy::FIFO}) {
+                CacheConfig c =
+                    makeConfig(net, 16, 16, suite.profile.wordSize);
+                c.assoc = assoc;
+                c.replacement = repl;
+                ASSERT_TRUE(singlePassEligible(c));
+                configs.push_back(c);
+            }
+        }
+        // Copy-back FIFO: write policy must stay free.
+        CacheConfig c = makeConfig(net, 16, 16,
+                                   suite.profile.wordSize);
+        c.replacement = ReplacementPolicy::FIFO;
+        c.write = WritePolicy::CopyBack;
+        configs.push_back(c);
+    }
+
+    SinglePassEngine engine(configs);
+    engine.processTrace(*trace);
+    const auto actual = engine.results();
+    ASSERT_EQ(actual.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        expectIdentical(actual[i], directResult(configs[i], *trace));
+    }
+}
+
+TEST(SinglePassFifo, AutoRoutesFifoConfigsToTheFastPath)
+{
+    const Suite suite = pdp11Suite();
+    const auto trace = buildTraceShared(suite.traces.front(), 10000);
+    CacheConfig fifo = makeConfig(1024, 16, 16,
+                                  suite.profile.wordSize);
+    fifo.replacement = ReplacementPolicy::FIFO;
+    const std::vector<CacheConfig> configs{fifo};
+
+    ThreadPool pool(2);
+    ParallelSweepRunner routed(configs, &pool, SweepEngine::Auto);
+    EXPECT_TRUE(routed.fastPathed(0));
+    routed.run(trace);
+    expectIdentical(routed.results()[0], directResult(fifo, *trace));
+}

@@ -264,7 +264,8 @@ TEST(SweepApi, ReportManifestIsValidSchemaJson)
         ASSERT_NE(engine, nullptr);
         EXPECT_TRUE(engine->text == "direct" ||
                     engine->text == "single_pass" ||
-                    engine->text == "batch")
+                    engine->text == "batch" ||
+                    engine->text == "shard")
             << engine->text;
     }
 
