@@ -25,34 +25,16 @@
 #include <chrono>
 #include <cstdio>
 
-#include "bench_json.hh"
+#include "bench_reporter.hh"
 #include "harness/experiment.hh"
 #include "multi/parallel_sweep.hh"
 #include "util/str.hh"
 #include "workload/suites.hh"
 
 using namespace occsim;
+using bench::millisSince;
 
 namespace {
-
-double
-millisSince(std::chrono::steady_clock::time_point start)
-{
-    const auto elapsed = std::chrono::steady_clock::now() - start;
-    return std::chrono::duration<double, std::milli>(elapsed).count();
-}
-
-bool
-identical(const SweepResult &a, const SweepResult &b)
-{
-    return a.config == b.config && a.grossBytes == b.grossBytes &&
-           a.missRatio == b.missRatio &&
-           a.warmMissRatio == b.warmMissRatio &&
-           a.trafficRatio == b.trafficRatio &&
-           a.warmTrafficRatio == b.warmTrafficRatio &&
-           a.nibbleTrafficRatio == b.nibbleTrafficRatio &&
-           a.warmNibbleTrafficRatio == b.warmNibbleTrafficRatio;
-}
 
 /**
  * The sector/load-forward design points behind Figures 4-9: every
@@ -115,25 +97,8 @@ main()
         runSweeps(traces, configs, &pool, SweepEngine::Auto);
     const double batch_ms = millisSince(batch_start);
 
-    bool bit_identical = direct_results.size() == batch_results.size();
-    std::size_t mismatches = 0;
-    for (std::size_t t = 0;
-         bit_identical && t < direct_results.size(); ++t) {
-        bit_identical =
-            direct_results[t].size() == batch_results[t].size();
-        for (std::size_t c = 0;
-             bit_identical && c < direct_results[t].size(); ++c) {
-            if (!identical(direct_results[t][c],
-                           batch_results[t][c])) {
-                ++mismatches;
-                std::printf("MISMATCH trace %zu config %s\n", t,
-                            direct_results[t][c]
-                                .config.fullName()
-                                .c_str());
-            }
-        }
-        bit_identical = bit_identical && mismatches == 0;
-    }
+    const bool bit_identical =
+        bench::diffResultSets(direct_results, batch_results) == 0;
 
     const double speedup =
         batch_ms > 0.0 ? direct_ms / batch_ms : 0.0;
@@ -144,7 +109,7 @@ main()
                 direct_ms, batch_ms, speedup,
                 bit_identical ? "yes" : "NO");
 
-    bench::writeBenchJson(
+    return bench::finishBench(
         "batch",
         strfmt("{\"bench\":\"batch\",\"suite\":\"%s\","
                "\"traces\":%zu,\"configs\":%zu,"
@@ -155,7 +120,6 @@ main()
                configs.size(),
                static_cast<unsigned long long>(defaultTraceLength()),
                direct_ms, batch_ms, speedup,
-               bit_identical ? "true" : "false"));
-
-    return bit_identical ? 0 : 1;
+               bit_identical ? "true" : "false"),
+        bit_identical);
 }

@@ -20,34 +20,16 @@
 #include <chrono>
 #include <cstdio>
 
-#include "bench_json.hh"
+#include "bench_reporter.hh"
 #include "harness/experiment.hh"
 #include "multi/parallel_sweep.hh"
 #include "util/str.hh"
 #include "workload/suites.hh"
 
 using namespace occsim;
+using bench::millisSince;
 
 namespace {
-
-double
-millisSince(std::chrono::steady_clock::time_point start)
-{
-    const auto elapsed = std::chrono::steady_clock::now() - start;
-    return std::chrono::duration<double, std::milli>(elapsed).count();
-}
-
-bool
-identical(const SweepResult &a, const SweepResult &b)
-{
-    return a.config == b.config && a.grossBytes == b.grossBytes &&
-           a.missRatio == b.missRatio &&
-           a.warmMissRatio == b.warmMissRatio &&
-           a.trafficRatio == b.trafficRatio &&
-           a.warmTrafficRatio == b.warmTrafficRatio &&
-           a.nibbleTrafficRatio == b.nibbleTrafficRatio &&
-           a.warmNibbleTrafficRatio == b.warmNibbleTrafficRatio;
-}
 
 std::vector<CacheConfig>
 sizeAssocGrid(std::uint32_t word_size)
@@ -98,19 +80,8 @@ main()
         runSweeps(traces, configs, nullptr, SweepEngine::CrossCheck);
     const double checked_ms = millisSince(checked_start);
 
-    std::size_t mismatches = 0;
-    for (std::size_t t = 0; t < auto_results.size(); ++t) {
-        for (std::size_t c = 0; c < auto_results[t].size(); ++c) {
-            if (!identical(auto_results[t][c],
-                           checked_results[t][c])) {
-                ++mismatches;
-                std::printf(
-                    "MISMATCH trace %zu config %s\n", t,
-                    auto_results[t][c].config.fullName().c_str());
-            }
-        }
-    }
-    const bool bit_identical = mismatches == 0;
+    const bool bit_identical =
+        bench::diffResultSets(auto_results, checked_results) == 0;
 
     const double overhead =
         auto_ms > 0.0 ? checked_ms / auto_ms : 0.0;
@@ -121,7 +92,7 @@ main()
                 auto_ms, checked_ms, shadows, overhead,
                 bit_identical ? "yes" : "NO");
 
-    bench::writeBenchJson(
+    return bench::finishBench(
         "crosscheck",
         strfmt("{\"bench\":\"crosscheck\","
                "\"suite\":\"%s\",\"traces\":%zu,\"configs\":%zu,"
@@ -133,7 +104,6 @@ main()
                configs.size(),
                static_cast<unsigned long long>(defaultTraceLength()),
                threads, shadows, auto_ms, checked_ms, overhead,
-               bit_identical ? "true" : "false"));
-
-    return bit_identical ? 0 : 1;
+               bit_identical ? "true" : "false"),
+        bit_identical);
 }

@@ -29,34 +29,16 @@
 #include <chrono>
 #include <cstdio>
 
-#include "bench_json.hh"
+#include "bench_reporter.hh"
 #include "harness/experiment.hh"
 #include "multi/parallel_sweep.hh"
 #include "util/str.hh"
 #include "workload/suites.hh"
 
 using namespace occsim;
+using bench::millisSince;
 
 namespace {
-
-double
-millisSince(std::chrono::steady_clock::time_point start)
-{
-    const auto elapsed = std::chrono::steady_clock::now() - start;
-    return std::chrono::duration<double, std::milli>(elapsed).count();
-}
-
-bool
-identical(const SweepResult &a, const SweepResult &b)
-{
-    return a.config == b.config && a.grossBytes == b.grossBytes &&
-           a.missRatio == b.missRatio &&
-           a.warmMissRatio == b.warmMissRatio &&
-           a.trafficRatio == b.trafficRatio &&
-           a.warmTrafficRatio == b.warmTrafficRatio &&
-           a.nibbleTrafficRatio == b.nibbleTrafficRatio &&
-           a.warmNibbleTrafficRatio == b.warmNibbleTrafficRatio;
-}
 
 /** One sequential-vs-parallel timing of @p configs over @p traces. */
 struct Comparison
@@ -97,17 +79,8 @@ compareEngines(
     const auto par_results = runSweeps(traces, configs);
     cmp.parMs = millisSince(par_start);
 
-    bool bit_identical = seq_results.size() == par_results.size();
-    for (std::size_t t = 0; bit_identical && t < seq_results.size();
-         ++t) {
-        bit_identical = seq_results[t].size() == par_results[t].size();
-        for (std::size_t c = 0;
-             bit_identical && c < seq_results[t].size(); ++c) {
-            bit_identical = identical(seq_results[t][c],
-                                      par_results[t][c]);
-        }
-    }
-    cmp.bitIdentical = bit_identical;
+    cmp.bitIdentical =
+        bench::diffResultSets(seq_results, par_results) == 0;
     cmp.speedup = cmp.parMs > 0.0 ? cmp.seqMs / cmp.parMs : 0.0;
     cmp.efficiency = threads > 0 ? cmp.speedup / threads : 0.0;
     return cmp;
@@ -164,7 +137,7 @@ main()
 
     const bool bit_identical =
         sweep.bitIdentical && large.bitIdentical;
-    bench::writeBenchJson(
+    return bench::finishBench(
         "parallel",
         strfmt("{\"bench\":\"parallel_sweep\","
                "\"suite\":\"%s\",\"traces\":%zu,\"configs\":%zu,"
@@ -183,7 +156,6 @@ main()
                static_cast<unsigned long long>(large_refs),
                large.seqMs, large.parMs, large.speedup,
                large.efficiency,
-               bit_identical ? "true" : "false"));
-
-    return bit_identical ? 0 : 1;
+               bit_identical ? "true" : "false"),
+        bit_identical);
 }

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared plumbing of the timing benchmarks: wall-clock measurement,
+ * the eight-field bitwise SweepResult comparison every bench gates
+ * on, the nested result-set diff (with per-mismatch MISMATCH lines),
+ * and the finishing move — emit the BENCH_JSON line (bench_json.hh)
+ * and turn the gate verdict into the process exit status.
+ *
+ * Before this header each bench carried its own copy of millisSince
+ * and the identical() comparison; six copies of a correctness
+ * predicate is how one bench silently drifts when SweepResult grows
+ * a field. The comparison lives here once, next to a static reminder
+ * to extend it alongside the struct.
+ */
+
+#ifndef OCCSIM_BENCH_BENCH_REPORTER_HH
+#define OCCSIM_BENCH_BENCH_REPORTER_HH
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.hh"
+#include "multi/sweep_runner.hh"
+
+namespace occsim::bench {
+
+/** Milliseconds elapsed since @p start (steady clock). */
+inline double
+millisSince(std::chrono::steady_clock::time_point start)
+{
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+/**
+ * Bitwise equality of the exact-engine result fields (doubles
+ * compared with ==, deliberately: the engines promise bit-identical
+ * arithmetic, so any difference however small is a routing or kernel
+ * bug). Sampling estimates are intentionally NOT compared — sampled
+ * results are statistical and are gated on error bounds, not
+ * identity.
+ */
+inline bool
+identicalResults(const SweepResult &a, const SweepResult &b)
+{
+    return a.config == b.config && a.grossBytes == b.grossBytes &&
+           a.missRatio == b.missRatio &&
+           a.warmMissRatio == b.warmMissRatio &&
+           a.trafficRatio == b.trafficRatio &&
+           a.warmTrafficRatio == b.warmTrafficRatio &&
+           a.nibbleTrafficRatio == b.nibbleTrafficRatio &&
+           a.warmNibbleTrafficRatio == b.warmNibbleTrafficRatio;
+}
+
+/**
+ * Diff two per-trace result sets, printing one MISMATCH line per
+ * divergent (trace, config) cell. A shape difference (trace or
+ * config count) is itself one mismatch.
+ * @return total mismatches (0 = bit-identical).
+ */
+inline std::size_t
+diffResultSets(const std::vector<std::vector<SweepResult>> &want,
+               const std::vector<std::vector<SweepResult>> &got)
+{
+    if (want.size() != got.size()) {
+        std::printf("MISMATCH: %zu vs %zu traces\n", want.size(),
+                    got.size());
+        return 1;
+    }
+    std::size_t mismatches = 0;
+    for (std::size_t t = 0; t < want.size(); ++t) {
+        if (want[t].size() != got[t].size()) {
+            std::printf("MISMATCH trace %zu: %zu vs %zu configs\n", t,
+                        want[t].size(), got[t].size());
+            ++mismatches;
+            continue;
+        }
+        for (std::size_t c = 0; c < want[t].size(); ++c) {
+            if (!identicalResults(want[t][c], got[t][c])) {
+                ++mismatches;
+                std::printf("MISMATCH trace %zu config %s\n", t,
+                            want[t][c].config.fullName().c_str());
+            }
+        }
+    }
+    return mismatches;
+}
+
+/**
+ * Emit the bench's JSON line (stdout + BENCH_<name>.json) and
+ * convert the gate verdict to the conventional exit status.
+ * @return 0 when @p pass, 1 otherwise — `return finishBench(...)`
+ * is the last line of every bench's main().
+ */
+inline int
+finishBench(const std::string &name, const std::string &json,
+            bool pass)
+{
+    writeBenchJson(name, json);
+    return pass ? 0 : 1;
+}
+
+} // namespace occsim::bench
+
+#endif // OCCSIM_BENCH_BENCH_REPORTER_HH

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Statistical sampling vs exact batched replay on the workload the
+ * sampling engine exists for: a long trace priced over a whole
+ * size x associativity grid, where every exact engine must touch all
+ * N references per config. The sampling engine prices ~1/k of the
+ * trace inside measurement units, functionally warms the rest at
+ * Record=false kernel speed, and amortizes even that warming across
+ * the grid through per-set LRU checkpoints (one warming pass per
+ * block size, see multi/sample_replay.hh).
+ *
+ * Both engines run strictly serially — one thread, no pool — so the
+ * headline number isolates the sampling change from thread-level
+ * parallelism, and the bench is honest on single-core CI runners.
+ *
+ * Gates (full length only, refs >= 10M; the CI smoke run at 20k refs
+ * checks the harness, not the physics):
+ *   - wall-clock speedup over the batched engine >= 5x, and
+ *   - suite-average relative miss-ratio error <= 1% per grid mean.
+ * The CI-coverage gate (>= 90% of random cases inside the sampled
+ * 95% interval, check/sample_check.hh) is enforced at EVERY length,
+ * so the smoke run still gates the statistics, not just the
+ * plumbing.
+ *
+ * Prints a human-readable summary plus one machine-readable
+ * "BENCH_JSON " line persisted to BENCH_sample.json.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_reporter.hh"
+#include "cache/cache_config.hh"
+#include "check/sample_check.hh"
+#include "multi/batch_replay.hh"
+#include "multi/sample_replay.hh"
+#include "trace/packed_trace.hh"
+#include "util/str.hh"
+#include "workload/suites.hh"
+
+using namespace occsim;
+using bench::millisSince;
+
+namespace {
+
+/**
+ * Constant-set-count diagonals of the paper's size x associativity
+ * plane at 16-byte blocks (sizes 128B-4KB), all LRU + demand +
+ * write-allocate: every point is checkpoint-eligible AND every four
+ * configs share one set count, so the twelve-config grid rides THREE
+ * warm-row groups per trace — the live-point amortization at its
+ * best-case geometry.
+ *
+ * The size range is deliberately capped where the suite still
+ * produces healthy miss counts: an 8+ KB cache absorbs these
+ * workloads almost entirely (a few hundred misses in 10M
+ * references), and no sampling scheme can estimate a count that
+ * small to 1% relative without pricing most of the trace — the error
+ * gate would be measuring shot noise, not the engine.
+ */
+std::vector<CacheConfig>
+setCountDiagonalGrid(std::uint32_t word_size)
+{
+    constexpr std::uint32_t kBlock = 16;
+    std::vector<CacheConfig> configs;
+    for (const std::uint32_t sets : {8u, 16u, 32u}) {
+        for (const std::uint32_t assoc : {1u, 2u, 4u, 8u}) {
+            CacheConfig config = makeConfig(sets * kBlock * assoc,
+                                            kBlock, kBlock,
+                                            word_size);
+            config.assoc = assoc;
+            configs.push_back(config);
+        }
+    }
+    return configs;
+}
+
+} // namespace
+
+int
+main()
+{
+    const Suite suite = pdp11Suite();
+    const auto configs = setCountDiagonalGrid(suite.profile.wordSize);
+    const std::uint64_t refs = defaultTraceLength();
+
+    // Units half the production default: same 1/16 measured
+    // fraction, twice the observations, so bursty miss phases are
+    // sampled finely enough for the 1% error gate.
+    SampleSpec spec;
+    spec.unitRefs = 2048;
+    spec.intervalUnits = 16;
+    spec.seed = 0x5a3bull;
+
+    std::printf("sampling engine benchmark: %s suite, %zu traces x "
+                "%zu configs (size x assoc diagonals, 16-byte "
+                "blocks), %llu refs/trace, serial\n"
+                "spec: unit %llu refs, interval %llu units, "
+                "stratified\n",
+                suite.profile.name.c_str(), suite.traces.size(),
+                configs.size(),
+                static_cast<unsigned long long>(refs),
+                static_cast<unsigned long long>(spec.unitRefs),
+                static_cast<unsigned long long>(spec.intervalUnits));
+
+    // Per-config suite sums of the headline miss ratio, exact and
+    // sampled, for the error gate. Traces are built, packed, run,
+    // and released one at a time so peak memory is one trace.
+    std::vector<double> exact_sum(configs.size(), 0.0);
+    std::vector<double> sample_sum(configs.size(), 0.0);
+    double batch_ms = 0.0;
+    double sample_ms = 0.0;
+    std::uint64_t units = 0;
+    std::uint64_t measured_refs = 0;
+
+    for (const WorkloadSpec &trace_spec : suite.traces) {
+        const auto trace = buildTraceShared(trace_spec, refs);
+        const auto packed = packedTraceShared(trace);
+
+        // Exact baseline: the batched engine (packed trace +
+        // specialized kernels), one thread.
+        const auto batch_start = std::chrono::steady_clock::now();
+        BatchReplay batch(configs);
+        batch.run(*packed);
+        const auto exact = batch.results();
+        batch_ms += millisSince(batch_start);
+
+        // Sampled: one warming pass per block family (here: one),
+        // checkpoint-seeded unit replay per config.
+        const auto sample_start = std::chrono::steady_clock::now();
+        SampleReplay replay(configs, spec);
+        replay.prepare(*packed, 0);
+        for (std::size_t f = 0; f < replay.numWarmTasks(); ++f)
+            replay.runWarmTask(f, *packed);
+        for (std::size_t c = 0; c < replay.numMeasureTasks(); ++c)
+            replay.runMeasureTask(c, *packed);
+        const auto sampled = replay.results();
+        sample_ms += millisSince(sample_start);
+
+        units += replay.units().size();
+        measured_refs += replay.measuredRefs();
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            exact_sum[c] += exact[c].missRatio;
+            sample_sum[c] += sampled[c].sampled.missRatio.mean;
+        }
+
+        // Keep peak memory at one resident trace (the cache would
+        // otherwise hold every suite trace at ~16 B/reference).
+        clearTraceCache();
+    }
+
+    // Error gate: relative error of the suite-average miss ratio,
+    // per config, averaged (and maxed) over the grid.
+    double rel_sum = 0.0;
+    double rel_max = 0.0;
+    std::printf("%-24s %12s %12s %8s\n", "config", "exact",
+                "sampled", "rel err");
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        const double exact = exact_sum[c] / suite.traces.size();
+        const double estimate = sample_sum[c] / suite.traces.size();
+        const double rel =
+            exact > 0.0 ? std::abs(estimate - exact) / exact : 0.0;
+        rel_sum += rel;
+        rel_max = std::max(rel_max, rel);
+        std::printf("%-24s %12.6f %12.6f %7.3f%%\n",
+                    configs[c].fullName().c_str(), exact, estimate,
+                    rel * 100.0);
+    }
+    const double rel_mean = rel_sum / configs.size();
+
+    const double speedup =
+        sample_ms > 0.0 ? batch_ms / sample_ms : 0.0;
+    const bool gate_enforced = refs >= 10000000;
+    const bool speed_pass = !gate_enforced || speedup >= 5.0;
+    const bool error_pass = !gate_enforced || rel_mean <= 0.01;
+
+    // CI-coverage gate: always enforced — the statistics must hold
+    // at every length, and the coverage harness sizes its own traces.
+    SampleCoverageOptions coverage_options;
+    coverage_options.cases = 25;
+    coverage_options.out = &std::cout;
+    const SampleCoverageSummary coverage =
+        runSampleCoverage(coverage_options);
+    const bool coverage_pass = coverage.passed();
+
+    std::printf("batched (exact): %.1f ms\nsampled:         %.1f ms\n"
+                "speedup:         %.2fx (gate %s)\n"
+                "miss-ratio rel err: mean %.4f%% / max %.4f%% "
+                "(gate %s)\n"
+                "units measured:  %llu (%llu refs priced)\n"
+                "CI coverage:     %.0f%% (gate %s)\n",
+                batch_ms, sample_ms, speedup,
+                gate_enforced
+                    ? (speed_pass ? ">=5x pass" : ">=5x FAIL")
+                    : "not enforced",
+                rel_mean * 100.0, rel_max * 100.0,
+                gate_enforced
+                    ? (error_pass ? "<=1% pass" : "<=1% FAIL")
+                    : "not enforced",
+                static_cast<unsigned long long>(units),
+                static_cast<unsigned long long>(measured_refs),
+                coverage.coverage() * 100.0,
+                coverage_pass ? ">=90% pass" : ">=90% FAIL");
+    if (!gate_enforced) {
+        std::printf("gate skipped: %llu refs/trace (speed and error "
+                    "gates need >=10M)\n",
+                    static_cast<unsigned long long>(refs));
+    }
+
+    const bool pass = speed_pass && error_pass && coverage_pass;
+    return bench::finishBench(
+        "sample",
+        strfmt("{\"bench\":\"sample_replay\",\"suite\":\"%s\","
+               "\"traces\":%zu,\"configs\":%zu,"
+               "\"refs_per_trace\":%llu,\"threads\":1,"
+               "\"unit_refs\":%llu,\"interval_units\":%llu,"
+               "\"units\":%llu,\"measured_refs\":%llu,"
+               "\"batch_ms\":%.3f,\"sample_ms\":%.3f,"
+               "\"speedup\":%.3f,\"rel_err_mean\":%.6f,"
+               "\"rel_err_max\":%.6f,\"coverage\":%.3f,"
+               "\"gate_enforced\":%s,\"gate_pass\":%s}",
+               suite.profile.name.c_str(), suite.traces.size(),
+               configs.size(),
+               static_cast<unsigned long long>(refs),
+               static_cast<unsigned long long>(spec.unitRefs),
+               static_cast<unsigned long long>(spec.intervalUnits),
+               static_cast<unsigned long long>(units),
+               static_cast<unsigned long long>(measured_refs),
+               batch_ms, sample_ms, speedup, rel_mean, rel_max,
+               coverage.coverage(),
+               gate_enforced ? "true" : "false",
+               pass ? "true" : "false"),
+        pass);
+}

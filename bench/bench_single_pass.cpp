@@ -25,34 +25,16 @@
 #include <chrono>
 #include <cstdio>
 
-#include "bench_json.hh"
+#include "bench_reporter.hh"
 #include "harness/experiment.hh"
 #include "multi/parallel_sweep.hh"
 #include "util/str.hh"
 #include "workload/suites.hh"
 
 using namespace occsim;
+using bench::millisSince;
 
 namespace {
-
-double
-millisSince(std::chrono::steady_clock::time_point start)
-{
-    const auto elapsed = std::chrono::steady_clock::now() - start;
-    return std::chrono::duration<double, std::milli>(elapsed).count();
-}
-
-bool
-identical(const SweepResult &a, const SweepResult &b)
-{
-    return a.config == b.config && a.grossBytes == b.grossBytes &&
-           a.missRatio == b.missRatio &&
-           a.warmMissRatio == b.warmMissRatio &&
-           a.trafficRatio == b.trafficRatio &&
-           a.warmTrafficRatio == b.warmTrafficRatio &&
-           a.nibbleTrafficRatio == b.nibbleTrafficRatio &&
-           a.warmNibbleTrafficRatio == b.warmNibbleTrafficRatio;
-}
 
 std::vector<CacheConfig>
 sizeAssocGrid(std::uint32_t word_size)
@@ -105,25 +87,8 @@ main()
     const auto fast_results = runSweeps(traces, configs);
     const double fast_ms = millisSince(fast_start);
 
-    bool bit_identical = direct_results.size() == fast_results.size();
-    std::size_t mismatches = 0;
-    for (std::size_t t = 0;
-         bit_identical && t < direct_results.size(); ++t) {
-        bit_identical =
-            direct_results[t].size() == fast_results[t].size();
-        for (std::size_t c = 0;
-             bit_identical && c < direct_results[t].size(); ++c) {
-            if (!identical(direct_results[t][c],
-                           fast_results[t][c])) {
-                ++mismatches;
-                std::printf("MISMATCH trace %zu config %s\n", t,
-                            direct_results[t][c]
-                                .config.fullName()
-                                .c_str());
-            }
-        }
-        bit_identical = bit_identical && mismatches == 0;
-    }
+    const bool bit_identical =
+        bench::diffResultSets(direct_results, fast_results) == 0;
 
     const double speedup = fast_ms > 0.0 ? direct_ms / fast_ms : 0.0;
     std::printf("direct (per-config): %.1f ms\n"
@@ -133,7 +98,7 @@ main()
                 direct_ms, fast_ms, speedup,
                 bit_identical ? "yes" : "NO");
 
-    bench::writeBenchJson(
+    return bench::finishBench(
         "single_pass",
         strfmt("{\"bench\":\"single_pass\","
                "\"suite\":\"%s\",\"traces\":%zu,\"configs\":%zu,"
@@ -144,7 +109,6 @@ main()
                configs.size(),
                static_cast<unsigned long long>(defaultTraceLength()),
                threads, direct_ms, fast_ms, speedup,
-               bit_identical ? "true" : "false"));
-
-    return bit_identical ? 0 : 1;
+               bit_identical ? "true" : "false"),
+        bit_identical);
 }

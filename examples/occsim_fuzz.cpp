@@ -20,6 +20,14 @@
  *     --self-test    also verify the harness catches an injected
  *                    off-by-one (perturbed oracle must mismatch and
  *                    shrink to a tiny repro)
+ *     --sample-coverage
+ *                    run the statistical-sampling CI-coverage check
+ *                    instead of the exact differential loop: each
+ *                    case diffs the sampling engine's 95% interval
+ *                    against the exact miss ratio, and the run
+ *                    passes when >= 90% of cases are covered
+ *                    (check/sample_check.hh). --cases/--seed/--refs
+ *                    override the coverage defaults when given.
  *
  * Exit status: 0 on a clean run, 1 on any mismatch or a failed
  * self-test.
@@ -30,6 +38,7 @@
 #include <iostream>
 
 #include "check/fuzz.hh"
+#include "check/sample_check.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
 
@@ -43,7 +52,8 @@ usage()
     std::fprintf(stderr,
                  "usage: occsim-fuzz [--cases N] [--seed N] [--refs N]\n"
                  "                   [--case-seed N] [--verbose] "
-                 "[--self-test]\n");
+                 "[--self-test]\n"
+                 "                   [--sample-coverage]\n");
     std::exit(1);
 }
 
@@ -95,25 +105,47 @@ main(int argc, char **argv)
     options.out = &std::cout;
     bool self_test = false;
     bool replay = false;
+    bool sample_coverage = false;
     std::uint64_t case_seed = 0;
+    bool cases_set = false, seed_set = false, refs_set = false;
 
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--cases") == 0)
+        if (std::strcmp(argv[i], "--cases") == 0) {
             options.cases = numArg(argc, argv, i);
-        else if (std::strcmp(argv[i], "--seed") == 0)
+            cases_set = true;
+        } else if (std::strcmp(argv[i], "--seed") == 0) {
             options.seed = numArg(argc, argv, i);
-        else if (std::strcmp(argv[i], "--refs") == 0)
+            seed_set = true;
+        } else if (std::strcmp(argv[i], "--refs") == 0) {
             options.refsPerCase =
                 static_cast<std::size_t>(numArg(argc, argv, i));
-        else if (std::strcmp(argv[i], "--case-seed") == 0) {
+            refs_set = true;
+        } else if (std::strcmp(argv[i], "--case-seed") == 0) {
             replay = true;
             case_seed = numArg(argc, argv, i);
         } else if (std::strcmp(argv[i], "--verbose") == 0)
             options.verbose = true;
         else if (std::strcmp(argv[i], "--self-test") == 0)
             self_test = true;
+        else if (std::strcmp(argv[i], "--sample-coverage") == 0)
+            sample_coverage = true;
         else
             usage();
+    }
+
+    if (sample_coverage) {
+        SampleCoverageOptions coverage;
+        coverage.out = &std::cout;
+        coverage.verbose = options.verbose;
+        if (cases_set)
+            coverage.cases = options.cases;
+        if (seed_set)
+            coverage.seed = options.seed;
+        if (refs_set)
+            coverage.refs = options.refsPerCase;
+        const SampleCoverageSummary summary =
+            runSampleCoverage(coverage);
+        return summary.passed() ? 0 : 1;
     }
 
     if (replay) {

@@ -78,6 +78,22 @@ expectMember(const JsonValue &object, const char *name,
         errors.push_back(strfmt("key \"%s\" has the wrong type", name));
 }
 
+double
+numberAt(const JsonValue &object, const char *name)
+{
+    const JsonValue *member = object.find(name);
+    return member != nullptr && member->isNumber() ? member->number
+                                                   : 0.0;
+}
+
+std::string
+stringAt(const JsonValue &object, const char *name)
+{
+    const JsonValue *member = object.find(name);
+    return member != nullptr && member->isString() ? member->text
+                                                   : std::string();
+}
+
 /**
  * Validate the occsim.run_manifest/1 shape: identity block, traces,
  * sweeps with per-config routes, stages, engines, counters.
@@ -138,6 +154,36 @@ validateManifest(const JsonValue &doc)
                          JsonValue::Kind::Number, errors);
             expectMember(sweep, "shard_min_refs",
                          JsonValue::Kind::Number, errors);
+            // Sampled sweeps must carry their sampling parameters
+            // and coverage: an estimate whose unit size, interval,
+            // and measured-reference count are unrecorded cannot be
+            // audited.
+            const JsonValue *mode = sweep.find("engine_mode");
+            const bool sampled_mode = mode != nullptr &&
+                                      mode->isString() &&
+                                      mode->text == "sampled";
+            if (sampled_mode) {
+                expectMember(sweep, "sampled_runs",
+                             JsonValue::Kind::Number, errors);
+                expectMember(sweep, "sample_unit_refs",
+                             JsonValue::Kind::Number, errors);
+                expectMember(sweep, "sample_interval_units",
+                             JsonValue::Kind::Number, errors);
+                expectMember(sweep, "sample_warmup_refs",
+                             JsonValue::Kind::Number, errors);
+                expectMember(sweep, "sample_units",
+                             JsonValue::Kind::Number, errors);
+                expectMember(sweep, "sample_measured_refs",
+                             JsonValue::Kind::Number, errors);
+                if (numberAt(sweep, "sample_units") < 1.0) {
+                    errors.push_back(
+                        "sampled sweep measured no units");
+                }
+                if (numberAt(sweep, "sample_measured_refs") < 1.0) {
+                    errors.push_back(
+                        "sampled sweep measured no references");
+                }
+            }
             expectMember(sweep, "configs", JsonValue::Kind::Array,
                          errors);
             if (const JsonValue *configs = sweep.find("configs")) {
@@ -146,6 +192,24 @@ validateManifest(const JsonValue &doc)
                                  JsonValue::Kind::String, errors);
                     expectMember(route, "engine",
                                  JsonValue::Kind::String, errors);
+                    // A sampled route's estimate must travel with
+                    // its standard error (and vice versa).
+                    const bool has_mean =
+                        route.find("miss_ratio") != nullptr;
+                    const bool has_se =
+                        route.find("miss_stderr") != nullptr;
+                    if (has_mean != has_se) {
+                        errors.push_back(strfmt(
+                            "config \"%s\" has a sampled estimate "
+                            "without its stderr (or the reverse)",
+                            stringAt(route, "name").c_str()));
+                    }
+                    if (has_mean) {
+                        expectMember(route, "miss_ratio",
+                                     JsonValue::Kind::Number, errors);
+                        expectMember(route, "miss_stderr",
+                                     JsonValue::Kind::Number, errors);
+                    }
                 }
             }
         }
@@ -164,22 +228,6 @@ validateManifest(const JsonValue &doc)
     expectMember(doc, "engines", JsonValue::Kind::Array, errors);
     expectMember(doc, "counters", JsonValue::Kind::Object, errors);
     return errors;
-}
-
-double
-numberAt(const JsonValue &object, const char *name)
-{
-    const JsonValue *member = object.find(name);
-    return member != nullptr && member->isNumber() ? member->number
-                                                   : 0.0;
-}
-
-std::string
-stringAt(const JsonValue &object, const char *name)
-{
-    const JsonValue *member = object.find(name);
-    return member != nullptr && member->isString() ? member->text
-                                                   : std::string();
 }
 
 void
@@ -242,6 +290,42 @@ printSummary(const std::string &path, const JsonValue &doc)
         std::printf("sweeps:\n");
         table.print(std::cout);
         std::printf("\n");
+
+        // Sampled sweeps additionally get their sampling parameters
+        // and per-config estimate +-stderr columns. Exact sweeps
+        // print nothing here, so existing output is unchanged.
+        for (const JsonValue &sweep : sweeps->items) {
+            if (numberAt(sweep, "sampled_runs") < 1.0)
+                continue;
+            std::printf(
+                "sampling (%s): unit %.0f refs, interval %.0f "
+                "units, warmup %.0f refs, %.0f units measured "
+                "(%.0f refs)\n",
+                stringAt(sweep, "label").c_str(),
+                numberAt(sweep, "sample_unit_refs"),
+                numberAt(sweep, "sample_interval_units"),
+                numberAt(sweep, "sample_warmup_refs"),
+                numberAt(sweep, "sample_units"),
+                numberAt(sweep, "sample_measured_refs"));
+            const JsonValue *configs = sweep.find("configs");
+            if (configs == nullptr)
+                continue;
+            TableWriter est({"config", "miss ratio", "+-stderr",
+                             "95% CI"});
+            for (const JsonValue &route : configs->items) {
+                if (route.find("miss_ratio") == nullptr)
+                    continue;
+                const double mean = numberAt(route, "miss_ratio");
+                const double se = numberAt(route, "miss_stderr");
+                est.addRow(
+                    {stringAt(route, "name"),
+                     strfmt("%.6f", mean), strfmt("%.6f", se),
+                     strfmt("[%.6f, %.6f]", mean - 1.96 * se,
+                            mean + 1.96 * se)});
+            }
+            est.print(std::cout);
+            std::printf("\n");
+        }
     }
 
     if (const JsonValue *engines = doc.find("engines");

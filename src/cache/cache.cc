@@ -17,7 +17,11 @@ Cache::Cache(const CacheConfig &config)
       writeAllocate_(config.writeAllocate),
       prefetchOnMiss_(config.fetch == FetchPolicy::PrefetchNextOnMiss),
       kernel_(selectKernel(fetch_, copyBack_, writeAllocate_,
-                           config.replacement, assoc_)),
+                           config.replacement, assoc_,
+                           /*record=*/true)),
+      kernelWarm_(selectKernel(fetch_, copyBack_, writeAllocate_,
+                               config.replacement, assoc_,
+                               /*record=*/false)),
       repl_(config.replacement, geom_.numSets(), geom_.assoc(),
             config.randomSeed),
       stats_(geom_.subBlocksPerBlock(),
@@ -60,7 +64,7 @@ Cache::emitBurst(std::uint32_t sub_blocks, bool counted, bool cold,
     }
 }
 
-template <FetchPolicy F>
+template <FetchPolicy F, bool Record>
 void
 Cache::fetchIntoSpec(std::uint32_t frame_index,
                      std::uint32_t sub_index, bool counted, bool cold)
@@ -73,19 +77,22 @@ Cache::fetchIntoSpec(std::uint32_t frame_index,
                   F == FetchPolicy::PrefetchNextOnMiss) {
         valid |= (1u << sub_index);
         ever |= (1u << sub_index);
-        emitBurst(1, counted, cold, 0);
+        if constexpr (Record)
+            emitBurst(1, counted, cold, 0);
     } else if constexpr (F == FetchPolicy::LoadForward) {
         // One burst covering the target and every subsequent
         // sub-block, re-fetching resident ones (redundant loads).
         const std::uint32_t span = num_subs - sub_index;
         const std::uint32_t span_mask =
             (span == 32 ? ~0u : ((1u << span) - 1)) << sub_index;
-        const std::uint32_t redundant =
-            static_cast<std::uint32_t>(
-                std::popcount(valid & span_mask));
+        if constexpr (Record) {
+            const std::uint32_t redundant =
+                static_cast<std::uint32_t>(
+                    std::popcount(valid & span_mask));
+            emitBurst(span, counted, cold, redundant);
+        }
         valid |= span_mask;
         ever |= span_mask;
-        emitBurst(span, counted, cold, redundant);
     } else {
         // Fetch only the invalid sub-blocks at or after the target,
         // as one burst per contiguous invalid run.
@@ -94,7 +101,8 @@ Cache::fetchIntoSpec(std::uint32_t frame_index,
             const std::uint32_t bit = 1u << i;
             if (valid & bit) {
                 if (run != 0) {
-                    emitBurst(run, counted, cold, 0);
+                    if constexpr (Record)
+                        emitBurst(run, counted, cold, 0);
                     run = 0;
                 }
             } else {
@@ -103,8 +111,10 @@ Cache::fetchIntoSpec(std::uint32_t frame_index,
                 ++run;
             }
         }
-        if (run != 0)
-            emitBurst(run, counted, cold, 0);
+        if (run != 0) {
+            if constexpr (Record)
+                emitBurst(run, counted, cold, 0);
+        }
     }
 }
 
@@ -143,7 +153,7 @@ Cache::writebackDirty(FrameMeta &meta)
     }
 }
 
-template <ReplacementPolicy R, std::uint32_t A>
+template <ReplacementPolicy R, std::uint32_t A, bool Record>
 std::uint32_t
 Cache::claimVictimSpec(std::uint32_t set)
 {
@@ -156,22 +166,30 @@ Cache::claimVictimSpec(std::uint32_t set)
     }
     const std::uint32_t victim = repl_.victimSpec<R, A>(set);
     FrameMeta &meta = meta_[base + victim];
-    stats_.recordResidency(
-        static_cast<std::uint32_t>(std::popcount(meta.touched)));
-    writebackDirty(meta);
+    if constexpr (Record) {
+        stats_.recordResidency(
+            static_cast<std::uint32_t>(std::popcount(meta.touched)));
+        writebackDirty(meta);
+    } else {
+        // Same end state without the residency/write-back stats.
+        meta.dirty = 0;
+    }
     return victim;
 }
 
+template <bool Record>
 std::uint32_t
 Cache::claimVictim(std::uint32_t set)
 {
     switch (repl_.policy()) {
       case ReplacementPolicy::LRU:
-        return claimVictimSpec<ReplacementPolicy::LRU>(set);
+        return claimVictimSpec<ReplacementPolicy::LRU, 0, Record>(set);
       case ReplacementPolicy::FIFO:
-        return claimVictimSpec<ReplacementPolicy::FIFO>(set);
+        return claimVictimSpec<ReplacementPolicy::FIFO, 0, Record>(
+            set);
       case ReplacementPolicy::Random:
-        return claimVictimSpec<ReplacementPolicy::Random>(set);
+        return claimVictimSpec<ReplacementPolicy::Random, 0, Record>(
+            set);
     }
     panic("bad replacement policy %d",
           static_cast<int>(repl_.policy()));
@@ -268,7 +286,7 @@ Cache::access(const MemRef &ref)
 }
 
 template <FetchPolicy F, bool CopyBack, bool WriteAllocate,
-          ReplacementPolicy R, std::uint32_t A>
+          ReplacementPolicy R, std::uint32_t A, bool Record>
 void
 Cache::accessSpec(Addr addr, bool is_write, bool is_ifetch)
 {
@@ -291,56 +309,67 @@ Cache::accessSpec(Addr addr, bool is_write, bool is_ifetch)
         meta.touched |= sub_bit;
         if (meta.valid & sub_bit) {
             if (meta.prefetched & sub_bit) {
-                stats_.recordUsefulPrefetch();
+                if constexpr (Record)
+                    stats_.recordUsefulPrefetch();
                 meta.prefetched &= ~sub_bit;
             }
             if (counted) {
-                stats_.recordHit(is_ifetch);
+                if constexpr (Record)
+                    stats_.recordHit(is_ifetch);
             } else {
-                stats_.recordWrite(true);
+                if constexpr (Record)
+                    stats_.recordWrite(true);
                 if constexpr (CopyBack)
                     meta.dirty |= sub_bit;
-                else
+                else if constexpr (Record)
                     stats_.recordStoreTraffic(1);
             }
             return;
         }
         // Sub-block miss: tag matches but the word is not resident.
         const bool cold = (everFilled_[frame_index] & sub_bit) == 0;
-        if (counted)
-            stats_.recordMiss(is_ifetch, false, cold);
-        else
-            stats_.recordWrite(false);
-        fetchIntoSpec<F>(frame_index, sub_index, counted, cold);
+        if constexpr (Record) {
+            if (counted)
+                stats_.recordMiss(is_ifetch, false, cold);
+            else
+                stats_.recordWrite(false);
+        }
+        fetchIntoSpec<F, Record>(frame_index, sub_index, counted,
+                                 cold);
         meta.prefetched &= ~sub_bit;
         if (is_write) {
             if constexpr (CopyBack)
                 meta.dirty |= sub_bit;
-            else
+            else if constexpr (Record)
                 stats_.recordStoreTraffic(1);
         }
         if constexpr (F == FetchPolicy::PrefetchNextOnMiss)
-            prefetchSequential(addr);
+            prefetchSequential<Record>(addr);
         return;
     }
 
     // Block miss: allocate a frame.
     if constexpr (!WriteAllocate) {
         if (is_write) {
-            stats_.recordWrite(false);
-            stats_.recordStoreTraffic(1);
+            if constexpr (Record) {
+                stats_.recordWrite(false);
+                stats_.recordStoreTraffic(1);
+            }
             return;
         }
     }
 
-    const std::uint32_t victim_way = claimVictimSpec<R, A>(set);
+    const std::uint32_t victim_way =
+        claimVictimSpec<R, A, Record>(set);
 
     const std::uint32_t frame_index = set * assoc + victim_way;
     const bool cold = (everFilled_[frame_index] & sub_bit) == 0;
-    if (counted)
-        stats_.recordMiss(is_ifetch, true, cold);
-    else
-        stats_.recordWrite(false);
+    if constexpr (Record) {
+        if (counted)
+            stats_.recordMiss(is_ifetch, true, cold);
+        else
+            stats_.recordWrite(false);
+    }
 
     tags_[frame_index] = block_addr;
     FrameMeta &meta = meta_[frame_index];
@@ -349,19 +378,19 @@ Cache::accessSpec(Addr addr, bool is_write, bool is_ifetch)
     meta.dirty = 0;
     meta.prefetched = 0;
     repl_.onFillSpec<R, A>(set, victim_way);
-    fetchIntoSpec<F>(frame_index, sub_index, counted, cold);
+    fetchIntoSpec<F, Record>(frame_index, sub_index, counted, cold);
     if (is_write) {
         if constexpr (CopyBack)
             meta.dirty |= sub_bit;
-        else
+        else if constexpr (Record)
             stats_.recordStoreTraffic(1);
     }
     if constexpr (F == FetchPolicy::PrefetchNextOnMiss)
-        prefetchSequential(addr);
+        prefetchSequential<Record>(addr);
 }
 
 template <FetchPolicy F, bool CopyBack, bool WriteAllocate,
-          ReplacementPolicy R, std::uint32_t A>
+          ReplacementPolicy R, std::uint32_t A, bool Record>
 void
 Cache::replayLoop(const PackedRecord *refs, std::size_t n)
 {
@@ -382,7 +411,7 @@ Cache::replayLoop(const PackedRecord *refs, std::size_t n)
             OCCSIM_PREFETCH_READ(meta_.data() + frame);
         }
         const PackedRecord rec = refs[i];
-        accessSpec<F, CopyBack, WriteAllocate, R, A>(
+        accessSpec<F, CopyBack, WriteAllocate, R, A, Record>(
             rec.addr(), rec.isWrite(), rec.isInstruction());
     }
 }
@@ -390,19 +419,29 @@ Cache::replayLoop(const PackedRecord *refs, std::size_t n)
 Cache::ReplayKernel
 Cache::selectKernel(FetchPolicy fetch, bool copy_back,
                     bool write_allocate, ReplacementPolicy repl,
-                    std::uint32_t assoc)
+                    std::uint32_t assoc, bool record)
 {
     const auto pick_write =
-        [copy_back, write_allocate]<FetchPolicy F, ReplacementPolicy R,
-                                    std::uint32_t A>() {
+        [copy_back, write_allocate,
+         record]<FetchPolicy F, ReplacementPolicy R,
+                 std::uint32_t A>() {
+            const auto pick_record = [record]<bool CB, bool WA>() {
+                return record
+                           ? &Cache::replayLoop<F, CB, WA, R, A, true>
+                           : &Cache::replayLoop<F, CB, WA, R, A,
+                                                false>;
+            };
             if (copy_back) {
                 return write_allocate
-                           ? &Cache::replayLoop<F, true, true, R, A>
-                           : &Cache::replayLoop<F, true, false, R, A>;
+                           ? pick_record
+                                 .template operator()<true, true>()
+                           : pick_record
+                                 .template operator()<true, false>();
             }
             return write_allocate
-                       ? &Cache::replayLoop<F, false, true, R, A>
-                       : &Cache::replayLoop<F, false, false, R, A>;
+                       ? pick_record.template operator()<false, true>()
+                       : pick_record
+                             .template operator()<false, false>();
         };
     // Associativities 1/2/4/8 (the paper's grid) get fully unrolled
     // way scans; anything else falls back to the runtime-assoc
@@ -455,6 +494,46 @@ Cache::replayPacked(const PackedRecord *refs, std::size_t n)
     (this->*kernel_)(refs, n);
 }
 
+void
+Cache::warmPacked(const PackedRecord *refs, std::size_t n)
+{
+    (this->*kernelWarm_)(refs, n);
+}
+
+void
+Cache::seedWarmState(const Addr *mru, std::uint32_t src_stride)
+{
+    const std::uint32_t num_sets = geom_.numSets();
+    const std::uint32_t assoc = assoc_;
+    const std::uint32_t all_subs =
+        numSubs_ == 32 ? ~0u : (1u << numSubs_) - 1;
+    occsim_assert(src_stride >= assoc,
+                  "checkpoint rows shallower (%u) than assoc %u",
+                  src_stride, assoc);
+    for (std::uint32_t set = 0; set < num_sets; ++set) {
+        const Addr *row =
+            mru + static_cast<std::size_t>(set) * src_stride;
+        const std::size_t base =
+            static_cast<std::size_t>(set) * assoc;
+        std::uint32_t filled = 0;
+        for (std::uint32_t way = 0; way < assoc; ++way) {
+            const Addr blk = row[way];
+            tags_[base + way] = blk;
+            if (blk != kNoTag) {
+                meta_[base + way] =
+                    FrameMeta{all_subs, 0, 0, 0};
+                everFilled_[base + way] = all_subs;
+                ++filled;
+            } else {
+                meta_[base + way] = FrameMeta{};
+                everFilled_[base + way] = 0;
+            }
+        }
+        repl_.seedMruOrder(set, filled);
+    }
+}
+
+template <bool Record>
 void
 Cache::prefetchSequential(Addr miss_addr)
 {

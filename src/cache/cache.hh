@@ -81,6 +81,39 @@ class Cache
     void replayPacked(const PackedRecord *refs, std::size_t n);
 
     /**
+     * Replay a span of packed records through the Record=false twin
+     * of the replay kernel: tags, valid/dirty bits, cold-start
+     * tracking, replacement order and RNG draws evolve EXACTLY as
+     * replayPacked would evolve them, but no statistic is recorded.
+     * This is the functional-warming primitive of the sampling
+     * engine (SampleReplay): state moves forward at batched-kernel
+     * speed between measurement units while the counters stand still.
+     */
+    void warmPacked(const PackedRecord *refs, std::size_t n);
+
+    /** Zero the statistics without touching any cache state — the
+     *  sampling engine brackets each measurement unit with this so
+     *  stats() holds exactly that unit's counts. */
+    void resetStats() { stats_.reset(); }
+
+    /**
+     * Replace the entire frame state with a warm snapshot (the
+     * sampling engine's "live-point" checkpoint restore). @p mru
+     * holds numSets rows of @p src_stride block addresses each, most
+     * recently used first, padded with unfilled-slot sentinels
+     * (~Addr(0)); rows must be dense (no sentinel before a real
+     * address). Row s seeds set s: entry j becomes way j with every
+     * sub-block valid, clean, untouched, and marked ever-filled, and
+     * the replacement order is seeded to match the row's recency
+     * (meaningful for LRU — checkpoints exist only for LRU configs).
+     * Extra row entries beyond this cache's associativity are
+     * ignored, so one maxAssoc-deep snapshot serves every
+     * associativity below it (LRU stack inclusion). Statistics are
+     * not touched.
+     */
+    void seedWarmState(const Addr *mru, std::uint32_t src_stride);
+
+    /**
      * Drain @p source (up to @p max_refs references, 0 = all) and then
      * finalize residency statistics.
      * @return number of references simulated.
@@ -165,8 +198,11 @@ class Cache
 
     /** fetchInto with the fetch policy resolved at compile time (the
      *  runtime fetchInto dispatches here, so both paths share one
-     *  implementation per policy). */
-    template <FetchPolicy F>
+     *  implementation per policy). @p Record false elides every
+     *  statistics update while leaving the state evolution
+     *  (valid/ever-filled bits) untouched — the functional-warming
+     *  twin used by warmPacked(). */
+    template <FetchPolicy F, bool Record = true>
     void fetchIntoSpec(std::uint32_t frame_index,
                        std::uint32_t sub_index, bool counted,
                        bool cold);
@@ -187,10 +223,12 @@ class Cache
      * victim-selection sequence exists exactly once.
      * @return the claimed way.
      */
-    template <ReplacementPolicy R, std::uint32_t A = 0>
+    template <ReplacementPolicy R, std::uint32_t A = 0,
+              bool Record = true>
     std::uint32_t claimVictimSpec(std::uint32_t set);
 
     /** claimVictimSpec with the policy dispatched at run time. */
+    template <bool Record = true>
     std::uint32_t claimVictim(std::uint32_t set);
 
     /** Sequentially prefetch the sub-block following the one that
@@ -198,31 +236,39 @@ class Cache
      *  the top of the 32-bit address space has no sequential
      *  successor: the prefetch is suppressed instead of wrapping to
      *  address 0. */
+    template <bool Record = true>
     void prefetchSequential(Addr miss_addr);
 
     /** One access with every policy branch resolved at compile time;
      *  bit-identical in effect to access(). @p A fixes the
      *  associativity at compile time when nonzero (0 = runtime),
      *  fully unrolling the way scan, the victim scan, and the LRU
-     *  order update for the common 1/2/4/8-way geometries. */
+     *  order update for the common 1/2/4/8-way geometries.
+     *  @p Record false strips every statistics update at compile time
+     *  while evolving tags, valid/dirty bits, cold tracking, and
+     *  replacement state (including RNG draws) bit-identically —
+     *  warming a cache through the Record=false twin and then
+     *  measuring must land it in exactly the state the recording
+     *  kernel would have produced. */
     template <FetchPolicy F, bool CopyBack, bool WriteAllocate,
-              ReplacementPolicy R, std::uint32_t A>
+              ReplacementPolicy R, std::uint32_t A, bool Record>
     void accessSpec(Addr addr, bool is_write, bool is_ifetch);
 
     /** Kernel: replay a packed span through accessSpec. */
     template <FetchPolicy F, bool CopyBack, bool WriteAllocate,
-              ReplacementPolicy R, std::uint32_t A>
+              ReplacementPolicy R, std::uint32_t A, bool Record>
     void replayLoop(const PackedRecord *refs, std::size_t n);
 
     using ReplayKernel = void (Cache::*)(const PackedRecord *,
                                          std::size_t);
 
     /** Dispatch-table lookup: the replayLoop instantiation for one
-     *  policy combination (chosen once, at construction). */
+     *  policy combination (chosen once, at construction); @p record
+     *  false selects the non-recording functional-warming twin. */
     static ReplayKernel selectKernel(FetchPolicy fetch, bool copy_back,
                                      bool write_allocate,
                                      ReplacementPolicy repl,
-                                     std::uint32_t assoc);
+                                     std::uint32_t assoc, bool record);
 
     CacheGeometry geom_;
     // Hot-path copies of config/geometry fields, hoisted out of the
@@ -238,6 +284,7 @@ class Cache
     bool writeAllocate_;
     bool prefetchOnMiss_;
     ReplayKernel kernel_;
+    ReplayKernel kernelWarm_;  ///< Record=false twin of kernel_
     ReplacementState repl_;
     CacheStats stats_;
     /** Block address per frame (kNoTag = empty); indexed

@@ -89,6 +89,28 @@ class ReplacementState
      */
     std::vector<std::uint32_t> evictionOrder(std::uint32_t set) const;
 
+    /**
+     * Seed @p set's eviction order for a warm-checkpoint restore
+     * where ways 0..@p filled-1 hold blocks in most-recently-used
+     * order (way 0 = MRU) and ways @p filled..assoc-1 are empty:
+     * the empty ways come first (arbitrary — victim selection never
+     * reaches them while an invalid way exists), then the occupied
+     * ways LRU-first, so the next victim among occupied ways is way
+     * filled-1 and the most protected is way 0.
+     */
+    void seedMruOrder(std::uint32_t set, std::uint32_t filled)
+    {
+        occsim_assert(filled <= assoc_,
+                      "seeding %u filled ways into %u-way set",
+                      filled, assoc_);
+        std::uint8_t *slice = setOrder(set);
+        std::uint32_t pos = 0;
+        for (std::uint32_t way = filled; way < assoc_; ++way)
+            slice[pos++] = static_cast<std::uint8_t>(way);
+        for (std::uint32_t way = filled; way > 0; --way)
+            slice[pos++] = static_cast<std::uint8_t>(way - 1);
+    }
+
     ReplacementPolicy policy() const { return policy_; }
 
   private:

@@ -1,0 +1,90 @@
+#include "check/sample_check.hh"
+
+#include <cmath>
+#include <ostream>
+
+#include "check/fuzz.hh"
+#include "multi/sweep_runner.hh"
+#include "trace/packed_trace.hh"
+#include "util/random.hh"
+
+namespace occsim {
+
+namespace {
+
+/** One case: exact vs sampled miss ratio for the pair determined by
+ *  @p case_seed. @return the sampled result and exact value via
+ *  out-params; cases reuse the fuzz-loop case scheme so any outlier
+ *  is replayable from its seed alone. */
+bool
+runCoverageCase(std::uint64_t case_seed,
+                const SampleCoverageOptions &options, double &exact,
+                SampleEstimates &sampled, CacheConfig &config)
+{
+    const FuzzCase fuzz_case = makeFuzzCase(case_seed, options.refs);
+    config = fuzz_case.config;
+    const PackedTrace packed(*fuzz_case.trace);
+
+    Cache cache(config);
+    cache.replayPacked(packed.data(), packed.size());
+    exact = summarizeCache(cache).missRatio;
+
+    SampleReplay replay({config}, options.spec);
+    replay.prepare(packed, 0);
+    for (std::size_t f = 0; f < replay.numWarmTasks(); ++f)
+        replay.runWarmTask(f, packed);
+    replay.runMeasureTask(0, packed);
+    sampled = replay.results().front().sampled;
+
+    const double half = sampled.missRatio.ci95 + options.tolerance;
+    return std::abs(exact - sampled.missRatio.mean) <= half;
+}
+
+} // namespace
+
+SampleCoverageSummary
+runSampleCoverage(const SampleCoverageOptions &options)
+{
+    SampleCoverageSummary summary;
+    summary.minCoverage = options.minCoverage;
+    Rng master(options.seed);
+    for (std::uint64_t i = 0; i < options.cases; ++i) {
+        const std::uint64_t case_seed = master.next();
+        double exact = 0.0;
+        SampleEstimates sampled;
+        CacheConfig config;
+        const bool covered =
+            runCoverageCase(case_seed, options, exact, sampled, config);
+        ++summary.cases;
+        if (covered)
+            ++summary.covered;
+        const double abs_error =
+            std::abs(exact - sampled.missRatio.mean);
+        if (abs_error > summary.worstAbsError) {
+            summary.worstAbsError = abs_error;
+            summary.worstCaseSeed = case_seed;
+        }
+        if (options.verbose && options.out) {
+            *options.out << "case " << i << " seed " << case_seed
+                         << ": " << config.fullName() << " exact "
+                         << exact << " sampled "
+                         << sampled.missRatio.mean << " +- "
+                         << sampled.missRatio.ci95 << " ("
+                         << sampled.units << " units) "
+                         << (covered ? "covered" : "MISSED") << "\n";
+        }
+    }
+    if (options.out) {
+        *options.out << "occsim-fuzz sample-coverage: "
+                     << summary.covered << "/" << summary.cases
+                     << " cases covered ("
+                     << summary.coverage() * 100.0
+                     << "%, threshold "
+                     << options.minCoverage * 100.0
+                     << "%), worst |error| " << summary.worstAbsError
+                     << " at seed " << summary.worstCaseSeed << "\n";
+    }
+    return summary;
+}
+
+} // namespace occsim

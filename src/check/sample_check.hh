@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Empirical confidence-interval coverage check for the sampling
+ * engine (multi/sample_replay.hh).
+ *
+ * The sampling engine's whole contract is its error bars: a reported
+ * 95% interval must actually contain the exact answer about 95% of
+ * the time, or the uncertainty numbers are decorative. This check
+ * tests that promise the only way it can be tested — empirically.
+ * Each case draws a seeded random (config, adversarial trace) pair
+ * from the fuzz generators, computes the EXACT full-trace miss ratio
+ * with the direct engine, runs the sampling engine over the same
+ * packed trace, and asks whether the exact value falls inside the
+ * sampled mean's 95% interval (widened by a small absolute floor,
+ * since zero-variance and single-unit cases legitimately report a
+ * zero-width interval, and systematic sampling of a nonstationary
+ * process is only approximately normal at modest unit counts).
+ *
+ * The pass criterion is aggregate, not per-case: a 95% interval is
+ * SUPPOSED to miss one case in twenty, so individual misses are
+ * expected and only a coverage rate below the threshold (default
+ * 90%, leaving slack for nonstationarity) is a failure. Wired into
+ * the fuzz driver as `occsim-fuzz --sample-coverage`.
+ */
+
+#ifndef OCCSIM_CHECK_SAMPLE_CHECK_HH
+#define OCCSIM_CHECK_SAMPLE_CHECK_HH
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "multi/sample_replay.hh"
+
+namespace occsim {
+
+/** Knobs for one coverage run. */
+struct SampleCoverageOptions
+{
+    /** (config, trace) cases to draw. */
+    std::uint64_t cases = 50;
+
+    /** Master seed (same scheme as the fuzz loop: one case seed per
+     *  case, each fully determining its config and trace). */
+    std::uint64_t seed = 0x5a4b1edull;
+
+    /** References per generated trace. Long enough for several
+     *  measurement units per case, short enough that the exact
+     *  reference run stays cheap. */
+    std::size_t refs = 16384;
+
+    /** Sampling spec under test. Defaults shrink the production unit
+     *  size so a 16K-reference trace still yields a dozen-plus
+     *  observations per case. */
+    SampleSpec spec{.unitRefs = 256, .intervalUnits = 4};
+
+    /** Absolute slack added to every interval (see file comment). */
+    double tolerance = 0.02;
+
+    /** Required fraction of cases whose interval covers the exact
+     *  value. */
+    double minCoverage = 0.90;
+
+    /** Progress/failure output; nullptr silences everything. */
+    std::ostream *out = nullptr;
+
+    /** Per-case result lines (needs @ref out). */
+    bool verbose = false;
+};
+
+/** Outcome of a coverage run. */
+struct SampleCoverageSummary
+{
+    std::uint64_t cases = 0;
+    std::uint64_t covered = 0;      ///< cases with exact inside CI
+    double worstAbsError = 0.0;     ///< max |exact - sampled mean|
+    std::uint64_t worstCaseSeed = 0;
+    double minCoverage = 0.0;       ///< threshold the run was held to
+
+    double coverage() const
+    {
+        return cases == 0
+                   ? 0.0
+                   : static_cast<double>(covered) /
+                         static_cast<double>(cases);
+    }
+
+    bool passed() const { return coverage() >= minCoverage; }
+};
+
+/** Run the coverage loop; never throws on miss — the verdict is the
+ *  aggregate rate in the summary. */
+SampleCoverageSummary
+runSampleCoverage(const SampleCoverageOptions &options);
+
+} // namespace occsim
+
+#endif // OCCSIM_CHECK_SAMPLE_CHECK_HH

@@ -65,6 +65,17 @@ enum class SweepEngine : std::uint8_t {
      * actually being swept, at a bounded (~25% of configs) overhead.
      */
     CrossCheck = 2,
+    /**
+     * SMARTS-style statistical sampling (multi/sample_replay.hh):
+     * systematic measurement units with functional warming between
+     * them, reported as per-metric estimates with standard errors
+     * and 95% CIs on SweepResult::sampled. NEVER auto-routed — the
+     * exact engines stay the default; opting in is the caller
+     * declaring that estimates (10-100x cheaper on long traces) are
+     * acceptable. Knobs in SweepRequest::sample; incompatible with
+     * SweepRequest::probe (no full-trace Cache exists to inspect).
+     */
+    Sampled = 3,
 };
 
 /**

@@ -257,12 +257,85 @@ runFlattenedGrid(const SweepRequest &request, SweepReport &report,
     return refs;
 }
 
+/** Sampling-engine activity of one sweep, for the manifest. */
+struct SampleInfo
+{
+    std::size_t sampledRuns = 0;
+    std::uint64_t units = 0;
+    std::uint64_t measuredRefs = 0;
+};
+
+/**
+ * Sampled path: one SampleReplay per trace over the shared packed
+ * trace, run as two pool phases — every warming task (one per
+ * (trace, block-size family), producing the live-point checkpoints),
+ * then every measure task (one per (trace, config)). The barrier
+ * between the phases is required: a measure task reads the
+ * checkpoints its trace's warm tasks write.
+ */
+std::uint64_t
+runSampledGrid(const SweepRequest &request, SweepReport &report,
+               SampleInfo &sample_info)
+{
+    const auto &traces = request.traces;
+    std::uint64_t refs = 0;
+
+    std::vector<std::unique_ptr<SampleReplay>> engines;
+    std::vector<std::shared_ptr<const PackedTrace>> packed;
+    engines.reserve(traces.size());
+    packed.reserve(traces.size());
+    for (const auto &trace : traces) {
+        packed.push_back(packedTraceShared(trace));
+        engines.push_back(std::make_unique<SampleReplay>(
+            request.configs, request.sample));
+        engines.back()->prepare(*packed.back(), request.maxRefs);
+        refs += traceLimit(*trace, request.maxRefs);
+    }
+
+    std::vector<std::function<void()>> warm_tasks;
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+        SampleReplay *eng = engines[t].get();
+        const PackedTrace *trace = packed[t].get();
+        for (std::size_t f = 0; f < eng->numWarmTasks(); ++f) {
+            warm_tasks.push_back(
+                [eng, trace, f] { eng->runWarmTask(f, *trace); });
+        }
+    }
+    poolOrGlobal(request.pool)
+        .parallelFor(warm_tasks.size(),
+                     [&](std::size_t i) { warm_tasks[i](); });
+
+    std::vector<std::function<void()>> measure_tasks;
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+        SampleReplay *eng = engines[t].get();
+        const PackedTrace *trace = packed[t].get();
+        for (std::size_t c = 0; c < eng->numMeasureTasks(); ++c) {
+            measure_tasks.push_back(
+                [eng, trace, c] { eng->runMeasureTask(c, *trace); });
+        }
+    }
+    poolOrGlobal(request.pool)
+        .parallelFor(measure_tasks.size(),
+                     [&](std::size_t i) { measure_tasks[i](); });
+
+    report.perTrace.reserve(traces.size());
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+        report.perTrace.push_back(engines[t]->results());
+        sample_info.units += engines[t]->units().size();
+        sample_info.measuredRefs += engines[t]->measuredRefs();
+    }
+    sample_info.sampledRuns = traces.size() * request.configs.size();
+    return refs;
+}
+
 /** Engine a config routes to under @p engine (manifest vocabulary).
  *  @p sharded: the set-sharded engine served it on >= 1 trace. */
 const char *
 configEngineName(const CacheConfig &config, SweepEngine engine,
                  bool sharded)
 {
+    if (engine == SweepEngine::Sampled)
+        return "sample";
     if (engine == SweepEngine::DirectOnly)
         return "direct";
     if (sharded)
@@ -282,6 +355,8 @@ sweepEngineName(SweepEngine engine)
         return "direct_only";
     case SweepEngine::CrossCheck:
         return "cross_check";
+    case SweepEngine::Sampled:
+        return "sampled";
     }
     return "unknown";
 }
@@ -301,8 +376,17 @@ runSweep(const SweepRequest &request)
     std::size_t cross_check_samples = 0;
     ShardInfo shard_info;
     shard_info.shardedConfigs.assign(request.configs.size(), false);
+    SampleInfo sample_info;
     std::uint64_t refs = 0;
-    if (request.engine == SweepEngine::CrossCheck || request.probe) {
+    if (request.engine == SweepEngine::Sampled) {
+        // A probe needs a finished full-trace Cache to inspect; the
+        // sampling engine never has one.
+        occsim_assert(!request.probe,
+                      "probe is incompatible with SweepEngine::"
+                      "Sampled (no full-trace Cache exists)");
+        refs = runSampledGrid(request, report, sample_info);
+    } else if (request.engine == SweepEngine::CrossCheck ||
+               request.probe) {
         refs = runPerTraceRunners(request, report,
                                   cross_check_samples, shard_info);
     } else {
@@ -350,13 +434,38 @@ runSweep(const SweepRequest &request)
     record.shardMaxShards = shard_info.telem.maxShards;
     record.shardMaxRefs = shard_info.telem.maxShardRefs;
     record.shardMinRefs = shard_info.telem.minShardRefs;
+    record.sampledRuns = sample_info.sampledRuns;
+    if (sample_info.sampledRuns > 0) {
+        record.sampleUnitRefs = request.sample.unitRefs;
+        record.sampleIntervalUnits = request.sample.intervalUnits;
+        record.sampleWarmupRefs = request.sample.warmupRefs;
+        record.sampleUnits = sample_info.units;
+        record.sampleMeasuredRefs = sample_info.measuredRefs;
+    }
+    // Sampled manifests carry the per-config miss-ratio estimate
+    // with its uncertainty (cross-trace combined, same arithmetic as
+    // SweepReport::average).
+    std::vector<SweepResult> sampled_avg;
+    if (request.engine == SweepEngine::Sampled) {
+        sampled_avg = request.wantAverage
+                          ? report.average
+                          : averageResults(report.perTrace);
+    }
     record.routes.reserve(request.configs.size());
     for (std::size_t c = 0; c < request.configs.size(); ++c) {
         const CacheConfig &config = request.configs[c];
-        record.routes.push_back(obs::ConfigRoute{
-            config.shortName(),
-            configEngineName(config, request.engine,
-                             shard_info.shardedConfigs[c])});
+        obs::ConfigRoute route;
+        route.config = config.shortName();
+        route.engine = configEngineName(config, request.engine,
+                                        shard_info.shardedConfigs[c]);
+        if (!sampled_avg.empty() && sampled_avg[c].sampled.active) {
+            route.sampled = true;
+            route.missRatioMean =
+                sampled_avg[c].sampled.missRatio.mean;
+            route.missRatioStdErr =
+                sampled_avg[c].sampled.missRatio.stdErr;
+        }
+        record.routes.push_back(route);
     }
     obs::recordSweep(record);
 

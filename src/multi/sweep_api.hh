@@ -39,7 +39,7 @@
 namespace occsim {
 
 /** @return the stable policy name of @p engine ("auto",
- *  "direct_only", "cross_check"). */
+ *  "direct_only", "cross_check", "sampled"). */
 const char *sweepEngineName(SweepEngine engine);
 
 /**
@@ -64,6 +64,10 @@ struct SweepRequest
 
     /** Per-trace reference cap (0 = whole trace). */
     std::uint64_t maxRefs = 0;
+
+    /** Sampling knobs (unit size, interval, warmup, seed); consulted
+     *  only under SweepEngine::Sampled. */
+    SampleSpec sample;
 
     /** Compute SweepReport::average (unweighted across traces, the
      *  paper's convention). */

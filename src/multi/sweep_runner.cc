@@ -3,6 +3,8 @@
 
 #include "multi/sweep_runner.hh"
 
+#include <cmath>
+
 #include "obs/telemetry.hh"
 #include "util/logging.hh"
 
@@ -13,6 +15,60 @@ namespace {
 // Namespace-scope so summarizeCache carries no per-call init guard:
 // the parallel engine summarizes from many threads at once.
 const NibbleModeBus kNibbleBus;
+
+/**
+ * Combine one metric's per-trace estimates into the cross-trace
+ * average: the mean of T independent trace means has standard error
+ * sqrt(sum of per-trace stderr^2) / T.
+ */
+MetricEstimate
+combineEstimates(const std::vector<std::vector<SweepResult>> &runs,
+                 std::size_t c,
+                 MetricEstimate SampleEstimates::*metric)
+{
+    MetricEstimate out;
+    double var_sum = 0.0;
+    for (const auto &run : runs) {
+        const MetricEstimate &est = run[c].sampled.*metric;
+        out.mean += est.mean;
+        var_sum += est.stdErr * est.stdErr;
+    }
+    const double n = static_cast<double>(runs.size());
+    out.mean /= n;
+    out.stdErr = std::sqrt(var_sum) / n;
+    out.ci95 = kCi95Z * out.stdErr;
+    return out;
+}
+
+/** Cross-trace average of per-trace sampling estimates (all runs of
+ *  config @p c must be sampled.active). */
+SampleEstimates
+averageEstimates(const std::vector<std::vector<SweepResult>> &runs,
+                 std::size_t c)
+{
+    SampleEstimates out;
+    out.active = true;
+    out.unitRefs = runs.front()[c].sampled.unitRefs;
+    out.intervalUnits = runs.front()[c].sampled.intervalUnits;
+    out.warmupRefs = runs.front()[c].sampled.warmupRefs;
+    for (const auto &run : runs) {
+        out.units += run[c].sampled.units;
+        out.measuredRefs += run[c].sampled.measuredRefs;
+    }
+    out.missRatio =
+        combineEstimates(runs, c, &SampleEstimates::missRatio);
+    out.warmMissRatio =
+        combineEstimates(runs, c, &SampleEstimates::warmMissRatio);
+    out.trafficRatio =
+        combineEstimates(runs, c, &SampleEstimates::trafficRatio);
+    out.warmTrafficRatio =
+        combineEstimates(runs, c, &SampleEstimates::warmTrafficRatio);
+    out.nibbleTrafficRatio = combineEstimates(
+        runs, c, &SampleEstimates::nibbleTrafficRatio);
+    out.warmNibbleTrafficRatio = combineEstimates(
+        runs, c, &SampleEstimates::warmNibbleTrafficRatio);
+    return out;
+}
 
 } // namespace
 
@@ -108,6 +164,7 @@ averageResults(const std::vector<std::vector<SweepResult>> &runs)
         out.warmTrafficRatio = 0.0;
         out.nibbleTrafficRatio = 0.0;
         out.warmNibbleTrafficRatio = 0.0;
+        bool all_sampled = true;
         for (const auto &run : runs) {
             occsim_assert(run[c].config == out.config,
                           "config order differs between runs");
@@ -117,6 +174,7 @@ averageResults(const std::vector<std::vector<SweepResult>> &runs)
             out.warmTrafficRatio += run[c].warmTrafficRatio;
             out.nibbleTrafficRatio += run[c].nibbleTrafficRatio;
             out.warmNibbleTrafficRatio += run[c].warmNibbleTrafficRatio;
+            all_sampled = all_sampled && run[c].sampled.active;
         }
         out.missRatio /= n;
         out.warmMissRatio /= n;
@@ -124,6 +182,8 @@ averageResults(const std::vector<std::vector<SweepResult>> &runs)
         out.warmTrafficRatio /= n;
         out.nibbleTrafficRatio /= n;
         out.warmNibbleTrafficRatio /= n;
+        out.sampled = all_sampled ? averageEstimates(runs, c)
+                                  : SampleEstimates{};
     }
     return averaged;
 }

@@ -15,12 +15,19 @@
 #include <vector>
 
 #include "cache/cache.hh"
+#include "multi/sample_replay.hh"
 #include "trace/trace.hh"
 #include "util/deprecated.hh"
 
 namespace occsim {
 
-/** Result of one configuration within a sweep. */
+/**
+ * Result of one configuration within a sweep. The headline doubles
+ * are exact counts from the exact engines; under SweepEngine::Sampled
+ * they are per-unit means and `sampled` carries the uncertainty
+ * (sampled.active distinguishes the two — exact results leave it
+ * false).
+ */
 struct SweepResult
 {
     CacheConfig config;
@@ -31,6 +38,9 @@ struct SweepResult
     double warmTrafficRatio = 0.0;
     double nibbleTrafficRatio = 0.0;
     double warmNibbleTrafficRatio = 0.0;
+    /** Sampling-engine estimates (stderr/CI per metric); inactive
+     *  and all-zero for exact-engine results. */
+    SampleEstimates sampled;
 };
 
 /** Runs many cache configurations over one trace pass. */

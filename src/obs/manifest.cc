@@ -202,7 +202,7 @@ currentManifest()
 
     for (const char *engine :
          {"direct", "single_pass", "batch", "shard", "shadow",
-          "sequential"}) {
+          "sequential", "sample"}) {
         appendEngineUsage(manifest.engines, manifest.stages,
                           manifest.counters, engine);
     }
@@ -249,11 +249,21 @@ RunManifest::toJson() const
              std::uint64_t{sweep.shardMaxShards});
         w.kv("shard_max_refs", sweep.shardMaxRefs);
         w.kv("shard_min_refs", sweep.shardMinRefs);
+        w.kv("sampled_runs", std::uint64_t{sweep.sampledRuns});
+        w.kv("sample_unit_refs", sweep.sampleUnitRefs);
+        w.kv("sample_interval_units", sweep.sampleIntervalUnits);
+        w.kv("sample_warmup_refs", sweep.sampleWarmupRefs);
+        w.kv("sample_units", sweep.sampleUnits);
+        w.kv("sample_measured_refs", sweep.sampleMeasuredRefs);
         w.key("configs").beginArray();
         for (const ConfigRoute &route : sweep.routes) {
             w.beginObject();
             w.kv("name", route.config);
             w.kv("engine", route.engine);
+            if (route.sampled) {
+                w.kv("miss_ratio", route.missRatioMean);
+                w.kv("miss_stderr", route.missRatioStdErr);
+            }
             w.endObject();
         }
         w.endArray();

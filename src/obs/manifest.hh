@@ -45,6 +45,14 @@ struct ConfigRoute
     std::string config;  ///< CacheConfig::shortName()
     std::string engine;  ///< "direct" / "single_pass" / "batch" /
                          ///< "shard" (sharded on at least one trace)
+                         ///< / "sample"
+    /** Sampling engine only: the headline miss-ratio estimate
+     *  (cross-trace mean with its standard error), so a sampled
+     *  manifest carries the uncertainty of its numbers. Absent from
+     *  the JSON for exact routes. */
+    bool sampled = false;
+    double missRatioMean = 0.0;
+    double missRatioStdErr = 0.0;
 };
 
 /** One sweep session (one runSweep / legacy entry-point call). */
@@ -66,6 +74,16 @@ struct SweepRecord
     std::uint32_t shardMaxShards = 0;
     std::uint64_t shardMaxRefs = 0;
     std::uint64_t shardMinRefs = 0;
+    /** Sampling-engine activity (SweepEngine::Sampled only): (trace,
+     *  config) runs sampled, the spec knobs, total measured units
+     *  across traces, and total references priced inside units. All
+     *  zero for exact sweeps. */
+    std::size_t sampledRuns = 0;
+    std::uint64_t sampleUnitRefs = 0;
+    std::uint64_t sampleIntervalUnits = 0;
+    std::uint64_t sampleWarmupRefs = 0;
+    std::uint64_t sampleUnits = 0;
+    std::uint64_t sampleMeasuredRefs = 0;
     std::vector<ConfigRoute> routes;   ///< one per config, grid order
 };
 

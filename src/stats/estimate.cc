@@ -1,0 +1,16 @@
+#include "stats/estimate.hh"
+
+#include <cmath>
+
+namespace occsim {
+
+// Out of line so the header does not pull <cmath> into every
+// estimator user (estimate() itself stays inline and branch-free on
+// the accumulation path).
+double
+UnitEstimator::sqrtPositive(double v)
+{
+    return std::sqrt(v);
+}
+
+} // namespace occsim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Point estimates with sampling uncertainty.
+ *
+ * The sampling engine (multi/sample_replay.hh) prices only a
+ * systematic subset of a trace's measurement units, so every metric
+ * it reports is an estimate of the full-trace value. Following the
+ * SMARTS methodology, each metric is summarized by the mean over the
+ * measured units together with the standard error of that mean and
+ * the derived normal-approximation 95% confidence interval; the
+ * honest-reporting contract of the engine is that the uncertainty
+ * travels with the number everywhere it goes (SweepResult, manifest,
+ * occsim-report).
+ */
+
+#ifndef OCCSIM_STATS_ESTIMATE_HH
+#define OCCSIM_STATS_ESTIMATE_HH
+
+#include <cstdint>
+
+namespace occsim {
+
+/** Two-sided 95% normal quantile (z such that P(|Z| <= z) = 0.95). */
+inline constexpr double kCi95Z = 1.959963984540054;
+
+/**
+ * A sampled metric: point estimate plus uncertainty. mean is the
+ * unweighted average over measurement units; stdErr the standard
+ * error of that mean (s / sqrt(n), zero when fewer than two units
+ * were measured — no variance information exists, not certainty);
+ * ci95 the half-width of the normal-approximation 95% confidence
+ * interval (kCi95Z * stdErr). Named stdErr rather than the natural
+ * "stderr" because <cstdio> reserves that spelling as a macro.
+ */
+struct MetricEstimate
+{
+    double mean = 0.0;
+    double stdErr = 0.0;
+    double ci95 = 0.0;
+};
+
+/**
+ * Streaming mean/variance accumulator over measurement units
+ * (Welford's algorithm: numerically stable for long unit streams
+ * where the naive sum-of-squares cancels).
+ */
+class UnitEstimator
+{
+  public:
+    /** Record one measurement unit's metric value. */
+    void add(double value)
+    {
+        ++n_;
+        const double delta = value - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (value - mean_);
+    }
+
+    /** Number of units recorded so far. */
+    std::uint64_t count() const { return n_; }
+
+    /** Current estimate; stdErr/ci95 are zero below two units. */
+    MetricEstimate estimate() const
+    {
+        MetricEstimate est;
+        est.mean = mean_;
+        if (n_ >= 2) {
+            const double n = static_cast<double>(n_);
+            const double variance = m2_ / (n - 1.0);
+            // variance can round to a tiny negative on
+            // zero-variance streams; clamp before the sqrt.
+            est.stdErr = variance > 0.0
+                             ? sqrtPositive(variance / n)
+                             : 0.0;
+            est.ci95 = kCi95Z * est.stdErr;
+        }
+        return est;
+    }
+
+  private:
+    static double sqrtPositive(double v);
+
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+} // namespace occsim
+
+#endif // OCCSIM_STATS_ESTIMATE_HH

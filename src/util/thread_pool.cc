@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <atomic>
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 #include "obs/telemetry.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
@@ -31,6 +35,27 @@ configuredThreadCount()
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;
+}
+
+unsigned
+effectiveHardwareThreads()
+{
+#if defined(__linux__)
+    cpu_set_t mask;
+    CPU_ZERO(&mask);
+    if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+        const int count = CPU_COUNT(&mask);
+        if (count > 0)
+            return static_cast<unsigned>(count);
+    }
+#endif
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw > 0)
+        return hw;
+    const std::uint64_t env = envPositiveU64("OCCSIM_THREADS", 0);
+    return env > 0 ? static_cast<unsigned>(std::min(
+                         env, std::uint64_t{kMaxThreads}))
+                   : 1;
 }
 
 ThreadPool::ThreadPool(unsigned threads)

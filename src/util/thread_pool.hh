@@ -32,6 +32,18 @@ namespace occsim {
  */
 unsigned configuredThreadCount();
 
+/**
+ * The parallelism the machine can actually deliver to this process:
+ * the CPU-affinity mask population when the OS exposes one (a
+ * container pinned to one core reports 1 here even when
+ * hardware_concurrency() sees the whole host), falling back to
+ * std::thread::hardware_concurrency(), then to OCCSIM_THREADS, then
+ * to 1. The scaling benchmarks use this to decide whether their
+ * speedup gates are meaningful rather than silently failing on
+ * core-starved CI runners.
+ */
+unsigned effectiveHardwareThreads();
+
 /** Fixed-size thread pool with exception propagation. */
 class ThreadPool
 {

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for the sampling statistics layer: UnitEstimator against
+ * closed-form Bernoulli values, the degenerate shapes a sampled sweep
+ * actually produces (single observation, zero variance, empty
+ * estimator), and the measurement-unit planner's edge cases (exact
+ * fit, warmup larger than the trace, stratified determinism, the
+ * single-tail-unit fallback).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "multi/sample_replay.hh"
+#include "stats/estimate.hh"
+
+namespace occsim {
+
+/** SampleUnit equality for the planner determinism assertions. */
+bool
+operator==(const SampleUnit &a, const SampleUnit &b)
+{
+    return a.begin == b.begin && a.end == b.end;
+}
+
+} // namespace occsim
+
+using namespace occsim;
+
+namespace {
+
+TEST(UnitEstimator, BernoulliClosedForm)
+{
+    // Observations {0, 1, 0, 1}: mean 1/2, sample variance
+    // (4 * 1/4) / 3 = 1/3, stderr sqrt((1/3)/4).
+    UnitEstimator est;
+    est.add(0.0);
+    est.add(1.0);
+    est.add(0.0);
+    est.add(1.0);
+    const MetricEstimate m = est.estimate();
+    EXPECT_EQ(est.count(), 4u);
+    EXPECT_DOUBLE_EQ(m.mean, 0.5);
+    EXPECT_DOUBLE_EQ(m.stdErr, std::sqrt((1.0 / 3.0) / 4.0));
+    EXPECT_DOUBLE_EQ(m.ci95, kCi95Z * m.stdErr);
+}
+
+TEST(UnitEstimator, TwoObservations)
+{
+    // {0, 1}: mean 1/2, sample variance 1/2, stderr sqrt(1/4) = 1/2.
+    UnitEstimator est;
+    est.add(0.0);
+    est.add(1.0);
+    const MetricEstimate m = est.estimate();
+    EXPECT_DOUBLE_EQ(m.mean, 0.5);
+    EXPECT_DOUBLE_EQ(m.stdErr, 0.5);
+    EXPECT_DOUBLE_EQ(m.ci95, kCi95Z * 0.5);
+}
+
+TEST(UnitEstimator, SingleObservationHasNoSpread)
+{
+    // One measurement unit (the short-trace fallback): the mean is
+    // the observation and the spread is honestly zero, not NaN.
+    UnitEstimator est;
+    est.add(0.25);
+    const MetricEstimate m = est.estimate();
+    EXPECT_EQ(est.count(), 1u);
+    EXPECT_DOUBLE_EQ(m.mean, 0.25);
+    EXPECT_EQ(m.stdErr, 0.0);
+    EXPECT_EQ(m.ci95, 0.0);
+}
+
+TEST(UnitEstimator, ZeroVariance)
+{
+    // Identical observations: stderr must be exactly zero (the
+    // Welford m2 accumulator stays 0; no negative round-off sqrt).
+    UnitEstimator est;
+    for (int i = 0; i < 7; ++i)
+        est.add(0.125);
+    const MetricEstimate m = est.estimate();
+    EXPECT_DOUBLE_EQ(m.mean, 0.125);
+    EXPECT_EQ(m.stdErr, 0.0);
+    EXPECT_EQ(m.ci95, 0.0);
+}
+
+TEST(UnitEstimator, EmptyEstimatorIsAllZero)
+{
+    const UnitEstimator est;
+    const MetricEstimate m = est.estimate();
+    EXPECT_EQ(est.count(), 0u);
+    EXPECT_EQ(m.mean, 0.0);
+    EXPECT_EQ(m.stdErr, 0.0);
+    EXPECT_EQ(m.ci95, 0.0);
+}
+
+TEST(UnitEstimator, MeanMatchesDirectAverage)
+{
+    UnitEstimator est;
+    double sum = 0.0;
+    for (int i = 1; i <= 100; ++i) {
+        const double v = 1.0 / i;
+        est.add(v);
+        sum += v;
+    }
+    const MetricEstimate m = est.estimate();
+    EXPECT_NEAR(m.mean, sum / 100.0, 1e-15);
+    EXPECT_GT(m.stdErr, 0.0);
+}
+
+TEST(PlanSampleUnits, SystematicPlacement)
+{
+    SampleSpec spec;
+    spec.unitRefs = 100;
+    spec.intervalUnits = 4;  // stride 400
+    spec.stratified = false;
+    const auto units = planSampleUnits(2000, spec);
+    ASSERT_EQ(units.size(), 5u);
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        EXPECT_EQ(units[i].begin, i * 400);
+        EXPECT_EQ(units[i].end, i * 400 + 100);
+    }
+}
+
+TEST(PlanSampleUnits, WarmupShiftsTheFirstInterval)
+{
+    SampleSpec spec;
+    spec.unitRefs = 100;
+    spec.intervalUnits = 4;
+    spec.warmupRefs = 500;
+    spec.stratified = false;
+    const auto units = planSampleUnits(2000, spec);
+    ASSERT_EQ(units.size(), 3u);  // intervals at 500, 900, 1300
+    EXPECT_EQ(units[0].begin, 500u);
+    EXPECT_EQ(units[2].begin, 1300u);
+}
+
+TEST(PlanSampleUnits, StratifiedStaysInsideItsInterval)
+{
+    SampleSpec spec;
+    spec.unitRefs = 100;
+    spec.intervalUnits = 4;
+    spec.seed = 7;
+    const auto units = planSampleUnits(4000, spec);
+    ASSERT_EQ(units.size(), 10u);
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        EXPECT_GE(units[i].begin, i * 400);
+        EXPECT_LE(units[i].end, (i + 1) * 400);
+        EXPECT_EQ(units[i].end - units[i].begin, 100u);
+    }
+    // Deterministic given the seed; a different seed moves units.
+    EXPECT_EQ(planSampleUnits(4000, spec), planSampleUnits(4000, spec));
+    SampleSpec other = spec;
+    other.seed = 8;
+    EXPECT_NE(planSampleUnits(4000, other), planSampleUnits(4000, spec));
+}
+
+TEST(PlanSampleUnits, ShortTraceFallsBackToOneTailUnit)
+{
+    SampleSpec spec;
+    spec.unitRefs = 4096;
+    spec.intervalUnits = 16;  // stride 65536 >> 20000
+    const auto units = planSampleUnits(20000, spec);
+    ASSERT_EQ(units.size(), 1u);
+    EXPECT_EQ(units[0].begin, 20000u - 4096u);
+    EXPECT_EQ(units[0].end, 20000u);
+}
+
+TEST(PlanSampleUnits, TraceShorterThanOneUnit)
+{
+    SampleSpec spec;
+    spec.unitRefs = 4096;
+    spec.intervalUnits = 16;
+    const auto units = planSampleUnits(100, spec);
+    ASSERT_EQ(units.size(), 1u);
+    EXPECT_EQ(units[0].begin, 0u);
+    EXPECT_EQ(units[0].end, 100u);
+}
+
+TEST(PlanSampleUnits, EmptyTraceHasNoUnits)
+{
+    EXPECT_TRUE(planSampleUnits(0, SampleSpec{}).empty());
+}
+
+TEST(PlanSampleUnits, ExactFitUsesEveryInterval)
+{
+    SampleSpec spec;
+    spec.unitRefs = 100;
+    spec.intervalUnits = 1;  // stride == unit: measure everything
+    spec.stratified = false;
+    const auto units = planSampleUnits(1000, spec);
+    ASSERT_EQ(units.size(), 10u);
+    std::uint64_t covered = 0;
+    for (const SampleUnit &u : units)
+        covered += u.end - u.begin;
+    EXPECT_EQ(covered, 1000u);
+}
+
+} // namespace

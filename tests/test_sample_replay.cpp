@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Differential tests for the statistical sampling engine: measuring
+ * the whole trace as one unit must reproduce the exact replay
+ * bitwise, the live-point checkpoint path must be bit-identical to
+ * warming every config directly, SweepEngine::Sampled must surface
+ * estimates and spec knobs through the sweep API and manifest, and a
+ * pool-driven run must match the serial drive (the TSan preset runs
+ * this TU under `-L sample`).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "multi/sample_replay.hh"
+#include "multi/sweep_api.hh"
+#include "trace/packed_trace.hh"
+#include "util/thread_pool.hh"
+#include "workload/suites.hh"
+
+using namespace occsim;
+
+namespace {
+
+constexpr std::uint64_t kRefs = 30000;
+
+/** Exact replay of @p config over the packed trace. */
+SweepResult
+exactResult(const CacheConfig &config, const PackedTrace &packed)
+{
+    Cache cache(config);
+    cache.replayPacked(packed.data(), packed.size());
+    return summarizeCache(cache);
+}
+
+/** Serial drive of the sampling engine over one trace. */
+std::vector<SweepResult>
+sampledResults(const std::vector<CacheConfig> &configs,
+               const SampleSpec &spec, const PackedTrace &packed)
+{
+    SampleReplay replay(configs, spec);
+    replay.prepare(packed, 0);
+    for (std::size_t f = 0; f < replay.numWarmTasks(); ++f)
+        replay.runWarmTask(f, packed);
+    for (std::size_t c = 0; c < replay.numMeasureTasks(); ++c)
+        replay.runMeasureTask(c, packed);
+    return replay.results();
+}
+
+/** Size x assoc grid sharing one block size: every point LRU +
+ *  demand + write-allocate, so all are checkpoint-eligible and the
+ *  set counts {8, 16, 32} exercise three warm groups. */
+std::vector<CacheConfig>
+lruGrid(std::uint32_t word_size)
+{
+    std::vector<CacheConfig> configs;
+    for (const std::uint32_t sets : {8u, 16u, 32u}) {
+        for (const std::uint32_t assoc : {1u, 2u, 4u}) {
+            CacheConfig config =
+                makeConfig(sets * 16 * assoc, 16, 16, word_size);
+            config.assoc = assoc;
+            configs.push_back(config);
+        }
+    }
+    return configs;
+}
+
+void
+expectSameEstimate(const MetricEstimate &a, const MetricEstimate &b)
+{
+    EXPECT_EQ(a.mean, b.mean);
+    EXPECT_EQ(a.stdErr, b.stdErr);
+    EXPECT_EQ(a.ci95, b.ci95);
+}
+
+void
+expectSameEstimates(const SampleEstimates &a, const SampleEstimates &b)
+{
+    EXPECT_EQ(a.active, b.active);
+    EXPECT_EQ(a.units, b.units);
+    EXPECT_EQ(a.measuredRefs, b.measuredRefs);
+    expectSameEstimate(a.missRatio, b.missRatio);
+    expectSameEstimate(a.warmMissRatio, b.warmMissRatio);
+    expectSameEstimate(a.trafficRatio, b.trafficRatio);
+    expectSameEstimate(a.warmTrafficRatio, b.warmTrafficRatio);
+    expectSameEstimate(a.nibbleTrafficRatio, b.nibbleTrafficRatio);
+    expectSameEstimate(a.warmNibbleTrafficRatio,
+                       b.warmNibbleTrafficRatio);
+}
+
+/** One unit spanning the whole trace: the sampled mean IS the exact
+ *  metric, bitwise, and the spread is zero. */
+TEST(SampleReplay, WholeTraceUnitMatchesExactBitwise)
+{
+    const Suite suite = pdp11Suite();
+    const auto trace = buildTraceShared(suite.traces[0], kRefs);
+    const auto packed = packedTraceShared(trace);
+
+    SampleSpec spec;
+    spec.unitRefs = kRefs;
+    spec.intervalUnits = 1;
+    spec.stratified = false;
+
+    const auto configs = lruGrid(suite.profile.wordSize);
+    const auto sampled = sampledResults(configs, spec, *packed);
+    ASSERT_EQ(sampled.size(), configs.size());
+
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        const SweepResult exact = exactResult(configs[c], *packed);
+        const SampleEstimates &est = sampled[c].sampled;
+        EXPECT_TRUE(est.active);
+        EXPECT_EQ(est.units, 1u);
+        EXPECT_EQ(est.measuredRefs, kRefs);
+        EXPECT_EQ(est.missRatio.mean, exact.missRatio);
+        EXPECT_EQ(est.warmMissRatio.mean, exact.warmMissRatio);
+        EXPECT_EQ(est.trafficRatio.mean, exact.trafficRatio);
+        EXPECT_EQ(est.warmTrafficRatio.mean, exact.warmTrafficRatio);
+        EXPECT_EQ(est.nibbleTrafficRatio.mean,
+                  exact.nibbleTrafficRatio);
+        EXPECT_EQ(est.warmNibbleTrafficRatio.mean,
+                  exact.warmNibbleTrafficRatio);
+        EXPECT_EQ(est.missRatio.stdErr, 0.0);
+        EXPECT_EQ(est.missRatio.ci95, 0.0);
+        EXPECT_EQ(sampled[c].missRatio, exact.missRatio);
+    }
+    clearTraceCache();
+}
+
+/** The checkpoint path (shared warming pass + live-point seeds) must
+ *  be bit-identical to warming every config directly through the
+ *  Record=false kernels, for every metric of every estimate — across
+ *  traces, so the LRU-stack inclusion argument is tested against
+ *  real reference streams, not one lucky one. */
+TEST(SampleReplay, CheckpointPathMatchesDirectWarming)
+{
+    const Suite suite = pdp11Suite();
+    const auto configs = lruGrid(suite.profile.wordSize);
+
+    SampleSpec spec;
+    spec.unitRefs = 512;
+    spec.intervalUnits = 4;
+    spec.seed = 42;
+
+    SampleSpec direct = spec;
+    direct.forceDirect = true;
+
+    for (std::size_t t = 0; t < 3; ++t) {
+        const auto trace = buildTraceShared(suite.traces[t], kRefs);
+        const auto packed = packedTraceShared(trace);
+        const auto checkpointed =
+            sampledResults(configs, spec, *packed);
+        const auto direct_warmed =
+            sampledResults(configs, direct, *packed);
+        ASSERT_EQ(checkpointed.size(), direct_warmed.size());
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            SCOPED_TRACE(configs[c].fullName());
+            expectSameEstimates(checkpointed[c].sampled,
+                                direct_warmed[c].sampled);
+            EXPECT_EQ(checkpointed[c].missRatio,
+                      direct_warmed[c].missRatio);
+            EXPECT_EQ(checkpointed[c].grossBytes,
+                      direct_warmed[c].grossBytes);
+        }
+    }
+    clearTraceCache();
+}
+
+/** Checkpoint-ineligible configs (non-LRU) must route to direct
+ *  warming inside the same run and still produce active estimates. */
+TEST(SampleReplay, MixedEligibilityGrid)
+{
+    const Suite suite = pdp11Suite();
+    const auto trace = buildTraceShared(suite.traces[0], kRefs);
+    const auto packed = packedTraceShared(trace);
+
+    std::vector<CacheConfig> configs =
+        {makeConfig(512, 16, 16, suite.profile.wordSize),
+         makeConfig(512, 16, 16, suite.profile.wordSize)};
+    configs[0].assoc = 4;
+    configs[1].assoc = 4;
+    configs[1].replacement = ReplacementPolicy::FIFO;
+    ASSERT_TRUE(checkpointEligible(configs[0]));
+    ASSERT_FALSE(checkpointEligible(configs[1]));
+
+    SampleSpec spec;
+    spec.unitRefs = 512;
+    spec.intervalUnits = 4;
+
+    const auto sampled = sampledResults(configs, spec, *packed);
+    for (const SweepResult &result : sampled) {
+        EXPECT_TRUE(result.sampled.active);
+        EXPECT_GT(result.sampled.units, 0u);
+    }
+
+    // The FIFO config must agree with its own forceDirect run (it
+    // never touches the checkpoint machinery either way).
+    SampleSpec direct = spec;
+    direct.forceDirect = true;
+    const auto direct_warmed =
+        sampledResults(configs, direct, *packed);
+    expectSameEstimates(sampled[1].sampled, direct_warmed[1].sampled);
+    clearTraceCache();
+}
+
+/** SweepEngine::Sampled end to end: estimates on every result, spec
+ *  knobs and per-config estimate/stderr in the manifest, and the
+ *  sampled route name. Also drives the pool path the production
+ *  callers use (and the TSan preset checks). */
+TEST(SampleReplay, SweepApiSampledEngine)
+{
+    const Suite suite = pdp11Suite();
+    ThreadPool pool(4);
+
+    SweepRequest request;
+    request.traces = {buildTraceShared(suite.traces[0], kRefs),
+                      buildTraceShared(suite.traces[1], kRefs)};
+    request.configs = lruGrid(suite.profile.wordSize);
+    request.engine = SweepEngine::Sampled;
+    request.pool = &pool;
+    request.label = "test:sampled";
+    request.sample.unitRefs = 512;
+    request.sample.intervalUnits = 4;
+
+    const SweepReport report = runSweep(request);
+    ASSERT_EQ(report.perTrace.size(), 2u);
+    for (const auto &per_config : report.perTrace)
+        for (const SweepResult &result : per_config) {
+            EXPECT_TRUE(result.sampled.active);
+            EXPECT_GT(result.sampled.units, 1u);
+            EXPECT_GE(result.sampled.missRatio.ci95,
+                      result.sampled.missRatio.stdErr);
+        }
+
+    // Cross-trace average keeps the estimates live (stderr combined
+    // across runs, mean of means).
+    ASSERT_EQ(report.average.size(), request.configs.size());
+    for (const SweepResult &avg : report.average) {
+        EXPECT_TRUE(avg.sampled.active);
+        EXPECT_EQ(avg.missRatio, avg.sampled.missRatio.mean);
+    }
+
+    // Manifest: the sweep record carries the sampling activity and
+    // every route is a sampled one with its estimate attached.
+    ASSERT_FALSE(report.manifest.sweeps.empty());
+    const obs::SweepRecord &record = report.manifest.sweeps.back();
+    EXPECT_EQ(record.engineMode, "sampled");
+    EXPECT_EQ(record.sampledRuns,
+              request.configs.size() * request.traces.size());
+    EXPECT_EQ(record.sampleUnitRefs, request.sample.unitRefs);
+    EXPECT_EQ(record.sampleIntervalUnits,
+              request.sample.intervalUnits);
+    EXPECT_GT(record.sampleUnits, 0u);
+    EXPECT_GT(record.sampleMeasuredRefs, 0u);
+    ASSERT_EQ(record.routes.size(), request.configs.size());
+    for (std::size_t c = 0; c < record.routes.size(); ++c) {
+        EXPECT_EQ(record.routes[c].engine, "sample");
+        EXPECT_TRUE(record.routes[c].sampled);
+        EXPECT_EQ(record.routes[c].missRatioMean,
+                  report.average[c].sampled.missRatio.mean);
+        EXPECT_EQ(record.routes[c].missRatioStdErr,
+                  report.average[c].sampled.missRatio.stdErr);
+    }
+    clearTraceCache();
+}
+
+/** Pool-driven warm/measure phases must match the serial drive
+ *  bitwise (tasks are independent within a phase; the barrier
+ *  between phases is the only ordering that matters). */
+TEST(SampleReplay, PoolDriveMatchesSerialDrive)
+{
+    const Suite suite = pdp11Suite();
+    const auto trace = buildTraceShared(suite.traces[0], kRefs);
+    const auto packed = packedTraceShared(trace);
+    const auto configs = lruGrid(suite.profile.wordSize);
+
+    SampleSpec spec;
+    spec.unitRefs = 512;
+    spec.intervalUnits = 4;
+
+    const auto serial = sampledResults(configs, spec, *packed);
+
+    ThreadPool pool(4);
+    SampleReplay replay(configs, spec);
+    replay.prepare(*packed, 0);
+    pool.parallelFor(replay.numWarmTasks(), [&](std::size_t f) {
+        replay.runWarmTask(f, *packed);
+    });
+    pool.parallelFor(replay.numMeasureTasks(), [&](std::size_t c) {
+        replay.runMeasureTask(c, *packed);
+    });
+    const auto pooled = replay.results();
+
+    ASSERT_EQ(pooled.size(), serial.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        expectSameEstimates(pooled[c].sampled, serial[c].sampled);
+        EXPECT_EQ(pooled[c].missRatio, serial[c].missRatio);
+    }
+    clearTraceCache();
+}
+
+/** Exact engines must leave SampleEstimates inert: a direct sweep
+ *  reports active == false and zeroed estimates. */
+TEST(SampleReplay, ExactEnginesLeaveEstimatesInert)
+{
+    const Suite suite = pdp11Suite();
+    SweepRequest request;
+    request.traces = {buildTraceShared(suite.traces[0], kRefs)};
+    request.configs = {makeConfig(512, 16, 16,
+                                  suite.profile.wordSize)};
+    request.engine = SweepEngine::DirectOnly;
+    const SweepReport report = runSweep(request);
+    const SweepResult &result = report.perTrace[0][0];
+    EXPECT_FALSE(result.sampled.active);
+    EXPECT_EQ(result.sampled.units, 0u);
+    EXPECT_EQ(result.sampled.missRatio.mean, 0.0);
+    clearTraceCache();
+}
+
+} // namespace
