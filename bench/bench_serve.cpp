@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Sweep-server service bench: 1000 simulated concurrent clients
+ * against one in-process SweepServer over a warm on-disk corpus.
+ *
+ * The clients are multiplexed over a worker-thread pool (each worker
+ * plays its slice of clients back to back), which is how a real
+ * daemon sees 1000 outstanding requests: far more clients than
+ * threads. Eight distinct request shapes (two corpus traces x four
+ * config grids) keep the result cache honest — every shape is warmed
+ * once, so the measured phase is the server's steady state: cache
+ * lookups, scheduling, serialization and streaming, not engine time.
+ *
+ * Three gates:
+ *  - bit-identity (always enforced): every result frame of every
+ *    client must equal the direct runSweep of the same cell exactly,
+ *    and no request may fail or observe a malformed stream;
+ *  - throughput: served cells/sec must beat the direct-runSweep
+ *    aggregate for the same unique cells — a result cache that is
+ *    slower than recomputation would be a bug;
+ *  - p99 latency: the 99th-percentile request latency must stay
+ *    under 50 ms — one slow client must not hide behind the mean.
+ *
+ * The throughput and latency gates are enforced only with >= 4
+ * effective hardware threads and a full-length trace (like
+ * bench_shard's speedup gate): CI smoke runs at 20k refs record the
+ * numbers (gate_enforced=false) and gate bit-identity alone.
+ *
+ * Prints a human-readable summary plus one machine-readable
+ * "BENCH_JSON " line persisted to BENCH_serve.json.
+ */
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_reporter.hh"
+#include "multi/sweep_api.hh"
+#include "obs/json.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
+#include "util/thread_pool.hh"
+#include "workload/suites.hh"
+
+using namespace occsim;
+using namespace occsim::serve;
+using bench::millisSince;
+
+namespace {
+
+constexpr std::size_t kClients = 1000;
+constexpr std::size_t kShapes = 8;
+constexpr std::size_t kConfigsPerShape = 4;
+
+/** Parse one result frame and compare it to the expected cell. */
+bool
+frameMatches(const std::string &frame,
+             const std::vector<SweepResult> &expected)
+{
+    obs::JsonValue value;
+    if (!obs::parseJson(frame, value))
+        return false;
+    const obs::JsonValue *index = value.find("config_index");
+    const obs::JsonValue *result = value.find("result");
+    if (index == nullptr || result == nullptr)
+        return false;
+    const std::size_t c = static_cast<std::size_t>(index->asU64());
+    if (c >= expected.size())
+        return false;
+    SweepResult got;
+    if (!parseResultJson(*result, got))
+        return false;
+    const SweepResult &want = expected[c];
+    return got.grossBytes == want.grossBytes &&
+           got.missRatio == want.missRatio &&
+           got.warmMissRatio == want.warmMissRatio &&
+           got.trafficRatio == want.trafficRatio &&
+           got.warmTrafficRatio == want.warmTrafficRatio &&
+           got.nibbleTrafficRatio == want.nibbleTrafficRatio &&
+           got.warmNibbleTrafficRatio == want.warmNibbleTrafficRatio;
+}
+
+} // namespace
+
+int
+main()
+{
+    const Suite suite = pdp11Suite();
+    const std::uint64_t refs = defaultTraceLength();
+    const unsigned hw = effectiveHardwareThreads();
+
+    // --- Corpus: two suite traces ingested into a throwaway dir. ---
+    char pattern[] = "/tmp/occsim_bench_serve_XXXXXX";
+    if (::mkdtemp(pattern) == nullptr)
+        fatal("mkdtemp failed");
+    const std::string dir = pattern;
+
+    const auto trace0 = buildTraceShared(suite.traces[0], refs);
+    const auto trace1 = buildTraceShared(suite.traces[1], refs);
+
+    ServeOptions options;
+    options.corpusDir = dir;
+    options.dispatchers = std::max(2u, hw / 2);
+    SweepServer server(options);
+    const std::string hash0 = server.corpus().ingest(*trace0);
+    const std::string hash1 = server.corpus().ingest(*trace1);
+    if (hash0.empty() || hash1.empty())
+        fatal("corpus ingest failed");
+
+    // --- Request shapes: 2 traces x 4 config grids. ---
+    std::vector<WireRequest> shapes(kShapes);
+    std::vector<std::vector<SweepResult>> expected(kShapes);
+    for (std::size_t s = 0; s < kShapes; ++s) {
+        WireRequest &shape = shapes[s];
+        shape.op = "sweep";
+        shape.traces = {s % 2 == 0 ? hash0 : hash1};
+        for (std::size_t c = 0; c < kConfigsPerShape; ++c) {
+            shape.configs.push_back(
+                makeConfig(256u << (s / 2 + c), 16, 16,
+                           suite.profile.wordSize));
+        }
+        shape.label = strfmt("bench_serve:%zu", s);
+    }
+
+    std::printf("sweep-server bench: %zu clients x %zu shapes "
+                "(%zu configs each), %llu refs/trace, %u dispatchers, "
+                "%u hw threads\n",
+                kClients, kShapes, kConfigsPerShape,
+                static_cast<unsigned long long>(refs),
+                options.dispatchers, hw);
+
+    // --- Baseline: direct runSweep of every shape's cells. ---
+    const auto direct_start = std::chrono::steady_clock::now();
+    for (std::size_t s = 0; s < kShapes; ++s) {
+        SweepRequest direct;
+        direct.traces = {s % 2 == 0 ? trace0 : trace1};
+        direct.configs = shapes[s].configs;
+        direct.wantAverage = false;
+        expected[s] = runSweep(direct).perTrace[0];
+    }
+    const double direct_ms = millisSince(direct_start);
+
+    // --- Warm phase: one pass over every shape fills the cache. ---
+    for (const WireRequest &shape : shapes) {
+        if (!server.execute(shape,
+                            [](const std::string &) { return true; }))
+            fatal("warm request rejected");
+    }
+
+    // --- Measured phase: kClients requests over a worker pool. ---
+    const unsigned workers = std::min(16u, std::max(4u, hw));
+    std::vector<double> latency(kClients, 0.0);
+    std::vector<std::uint8_t> client_ok(kClients, 0);
+    std::atomic<std::size_t> next{0};
+
+    const auto serve_start = std::chrono::steady_clock::now();
+    {
+        std::vector<std::thread> threads;
+        for (unsigned w = 0; w < workers; ++w) {
+            threads.emplace_back([&] {
+                for (;;) {
+                    const std::size_t i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= kClients)
+                        return;
+                    const WireRequest &shape = shapes[i % kShapes];
+                    const auto start =
+                        std::chrono::steady_clock::now();
+                    std::size_t results = 0;
+                    bool clean = true;
+                    const bool accepted = server.execute(
+                        shape, [&](const std::string &frame) {
+                            if (frame.find("\"type\":\"result\"") !=
+                                std::string::npos) {
+                                ++results;
+                                clean = clean &&
+                                        frameMatches(
+                                            frame,
+                                            expected[i % kShapes]);
+                            }
+                            return true;
+                        });
+                    latency[i] = millisSince(start);
+                    client_ok[i] = accepted && clean &&
+                                   results == kConfigsPerShape;
+                }
+            });
+        }
+        for (std::thread &thread : threads)
+            thread.join();
+    }
+    const double serve_ms = millisSince(serve_start);
+
+    // --- Verdicts. ---
+    std::size_t failures = 0;
+    for (std::size_t i = 0; i < kClients; ++i)
+        failures += client_ok[i] == 0;
+
+    std::vector<double> sorted = latency;
+    std::sort(sorted.begin(), sorted.end());
+    const double p50 = sorted[kClients / 2];
+    const double p99 = sorted[(kClients * 99) / 100];
+
+    const double served_cells =
+        static_cast<double>(kClients * kConfigsPerShape);
+    const double baseline_cells =
+        static_cast<double>(kShapes * kConfigsPerShape);
+    const double served_rate =
+        serve_ms > 0.0 ? served_cells / (serve_ms / 1000.0) : 0.0;
+    const double direct_rate =
+        direct_ms > 0.0 ? baseline_cells / (direct_ms / 1000.0) : 0.0;
+
+    const ServeStats stats = server.stats();
+    const bool gate_enforced = hw >= 4 && refs >= 1000000;
+    const bool throughput_pass =
+        !gate_enforced || served_rate >= direct_rate;
+    const bool latency_pass = !gate_enforced || p99 <= 50.0;
+    const bool identical = failures == 0;
+
+    std::printf(
+        "direct:   %.1f ms for %zu baseline cells (%.0f cells/s)\n"
+        "served:   %.1f ms for %zu requests (%.0f cells/s)\n"
+        "latency:  p50 %.3f ms, p99 %.3f ms (gate %s)\n"
+        "cache:    %llu hits / %llu misses, %zu entries\n"
+        "identity: %zu/%zu clients bit-identical\n",
+        direct_ms, kShapes * kConfigsPerShape, direct_rate, serve_ms,
+        kClients, served_rate, p50, p99,
+        gate_enforced ? (latency_pass && throughput_pass ? "pass"
+                                                         : "FAIL")
+                      : "not enforced",
+        static_cast<unsigned long long>(stats.cacheHits),
+        static_cast<unsigned long long>(stats.cacheMisses),
+        stats.cacheEntries, kClients - failures, kClients);
+    if (!gate_enforced) {
+        std::printf("gates skipped: %u effective hw thread%s, %llu "
+                    "refs (needs >=4 threads and >=1M refs)\n",
+                    hw, hw == 1 ? "" : "s",
+                    static_cast<unsigned long long>(refs));
+    }
+
+    server.stop();
+    const std::string cleanup = "rm -rf " + dir;
+    [[maybe_unused]] const int rc = std::system(cleanup.c_str());
+
+    return bench::finishBench(
+        "serve",
+        strfmt("{\"bench\":\"serve\",\"clients\":%zu,\"shapes\":%zu,"
+               "\"configs_per_shape\":%zu,\"refs\":%llu,"
+               "\"hw_threads\":%u,\"workers\":%u,\"dispatchers\":%u,"
+               "\"direct_ms\":%.3f,\"serve_ms\":%.3f,"
+               "\"served_cells_per_sec\":%.1f,"
+               "\"direct_cells_per_sec\":%.1f,"
+               "\"p50_ms\":%.4f,\"p99_ms\":%.4f,"
+               "\"cache_hits\":%llu,\"cache_misses\":%llu,"
+               "\"failures\":%zu,\"bit_identical\":%s,"
+               "\"gate_enforced\":%s,\"gate_pass\":%s}",
+               kClients, kShapes, kConfigsPerShape,
+               static_cast<unsigned long long>(refs), hw, workers,
+               options.dispatchers, direct_ms, serve_ms, served_rate,
+               direct_rate, p50, p99,
+               static_cast<unsigned long long>(stats.cacheHits),
+               static_cast<unsigned long long>(stats.cacheMisses),
+               failures, identical ? "true" : "false",
+               gate_enforced ? "true" : "false",
+               throughput_pass && latency_pass ? "true" : "false"),
+        identical && throughput_pass && latency_pass);
+}

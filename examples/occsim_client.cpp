@@ -1,0 +1,263 @@
+/**
+ * @file
+ * occsim-client: a command-line client for occsim-serve.
+ *
+ * Usage:
+ *   occsim-client (--unix PATH | --tcp PORT) <op> [options]
+ *
+ * Ops:
+ *   ping        liveness probe (prints the pong)
+ *   list        print the server's corpus entries
+ *   stats       print the server activity snapshot
+ *   shutdown    ask the server to shut down
+ *   sweep       run a sweep and stream results as they arrive:
+ *     --trace REF      corpus hash or trace name (repeatable)
+ *     --net LIST       comma list of net cache sizes (default
+ *                      256,512,1024,2048,4096)
+ *     --block N        block size in bytes            (default 16)
+ *     --sub N          sub-block size in bytes        (default block)
+ *     --word N         word size in bytes             (default 2)
+ *     --max-refs N     reference cap per trace        (default all)
+ *     --priority N     scheduling priority            (default 0)
+ *     --label S        label recorded in the server manifest
+ *
+ * Each "result" frame is printed as one line (trace hash, config
+ * indices, miss ratio, traffic ratio, cached flag); the final "done"
+ * frame's cache-hit split is printed as a summary. Exit status is 0
+ * only when the request completed without an error frame.
+ */
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cache/cache_config.hh"
+#include "obs/json.hh"
+#include "serve/protocol.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
+
+using namespace occsim;
+using namespace occsim::serve;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: occsim-client (--unix PATH | --tcp PORT) <op> "
+        "[options]\n"
+        "  ops: ping | list | stats | shutdown | sweep\n"
+        "  sweep: --trace REF [--trace REF...] [--net LIST]\n"
+        "         [--block N] [--sub N] [--word N] [--max-refs N]\n"
+        "         [--priority N] [--label S]\n");
+    std::exit(1);
+}
+
+std::uint64_t
+numArg(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        usage();
+    std::uint64_t value = 0;
+    if (!parseU64(argv[++i], value))
+        fatal("bad numeric argument '%s'", argv[i]);
+    return value;
+}
+
+std::vector<std::uint32_t>
+parseList(const std::string &text)
+{
+    std::vector<std::uint32_t> out;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        std::uint64_t value = 0;
+        if (!parseU64(text.substr(pos, comma - pos), value))
+            fatal("bad list element in '%s'", text.c_str());
+        out.push_back(static_cast<std::uint32_t>(value));
+        pos = comma + 1;
+    }
+    if (out.empty())
+        fatal("empty size list");
+    return out;
+}
+
+double
+numberField(const obs::JsonValue &object, const char *name)
+{
+    const obs::JsonValue *field = object.find(name);
+    return field != nullptr ? field->number : 0.0;
+}
+
+/** Stream response frames until "done"/"error"/"pong"/a reply object.
+ *  @return true when the terminal frame was not an error. */
+bool
+printResponses(int fd)
+{
+    for (;;) {
+        std::string payload, error;
+        const FrameStatus status = readFrame(fd, payload, &error);
+        if (status == FrameStatus::Closed) {
+            std::fprintf(stderr,
+                         "occsim-client: connection closed before a "
+                         "terminal frame\n");
+            return false;
+        }
+        if (status == FrameStatus::Malformed)
+            fatal("bad response frame: %s", error.c_str());
+
+        obs::JsonValue value;
+        if (!parseJson(payload, value, &error))
+            fatal("bad response JSON: %s", error.c_str());
+        const obs::JsonValue *type = value.find("type");
+        const std::string kind =
+            type != nullptr ? type->text : std::string();
+
+        if (kind == "error") {
+            const obs::JsonValue *message = value.find("message");
+            std::fprintf(stderr, "occsim-client: server error: %s\n",
+                         message != nullptr ? message->text.c_str()
+                                            : "(no message)");
+            return false;
+        }
+        if (kind == "result") {
+            const obs::JsonValue *result = value.find("result");
+            const obs::JsonValue *trace = value.find("trace");
+            const obs::JsonValue *cached = value.find("cached");
+            std::printf(
+                "%s  t%llu c%-3llu  miss %.6f  traffic %.4f%s\n",
+                trace != nullptr ? trace->text.c_str() : "?",
+                static_cast<unsigned long long>(
+                    value.find("trace_index") != nullptr
+                        ? value.find("trace_index")->asU64()
+                        : 0),
+                static_cast<unsigned long long>(
+                    value.find("config_index") != nullptr
+                        ? value.find("config_index")->asU64()
+                        : 0),
+                result != nullptr ? numberField(*result, "miss_ratio")
+                                  : 0.0,
+                result != nullptr
+                    ? numberField(*result, "traffic_ratio")
+                    : 0.0,
+                cached != nullptr && cached->boolean ? "  (cached)"
+                                                     : "");
+            continue;
+        }
+        if (kind == "done") {
+            std::printf(
+                "done: %llu cells, %llu cached, %llu computed, "
+                "%.1f ms\n",
+                static_cast<unsigned long long>(
+                    value.find("cells") != nullptr
+                        ? value.find("cells")->asU64()
+                        : 0),
+                static_cast<unsigned long long>(
+                    value.find("cache_hits") != nullptr
+                        ? value.find("cache_hits")->asU64()
+                        : 0),
+                static_cast<unsigned long long>(
+                    value.find("cache_misses") != nullptr
+                        ? value.find("cache_misses")->asU64()
+                        : 0),
+                numberField(value, "wall_ms"));
+            return true;
+        }
+        // Single-frame replies (pong / stats / list / shutdown ack):
+        // print the payload verbatim and stop.
+        std::printf("%s\n", payload.c_str());
+        return true;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string unix_path;
+    std::uint64_t tcp_port = 0;
+    bool tcp = false;
+    WireRequest request;
+    std::vector<std::uint32_t> nets = {256, 512, 1024, 2048, 4096};
+    std::uint32_t block = 16, sub = 0, word = 2;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--unix") == 0) {
+            if (i + 1 >= argc)
+                usage();
+            unix_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--tcp") == 0) {
+            tcp_port = numArg(argc, argv, i);
+            tcp = true;
+        } else if (std::strcmp(argv[i], "--trace") == 0) {
+            if (i + 1 >= argc)
+                usage();
+            request.traces.push_back(argv[++i]);
+        } else if (std::strcmp(argv[i], "--net") == 0) {
+            if (i + 1 >= argc)
+                usage();
+            nets = parseList(argv[++i]);
+        } else if (std::strcmp(argv[i], "--block") == 0) {
+            block = static_cast<std::uint32_t>(numArg(argc, argv, i));
+        } else if (std::strcmp(argv[i], "--sub") == 0) {
+            sub = static_cast<std::uint32_t>(numArg(argc, argv, i));
+        } else if (std::strcmp(argv[i], "--word") == 0) {
+            word = static_cast<std::uint32_t>(numArg(argc, argv, i));
+        } else if (std::strcmp(argv[i], "--max-refs") == 0) {
+            request.maxRefs = numArg(argc, argv, i);
+        } else if (std::strcmp(argv[i], "--priority") == 0) {
+            request.priority =
+                static_cast<int>(numArg(argc, argv, i));
+        } else if (std::strcmp(argv[i], "--label") == 0) {
+            if (i + 1 >= argc)
+                usage();
+            request.label = argv[++i];
+        } else if (argv[i][0] == '-') {
+            usage();
+        } else if (request.op.empty()) {
+            request.op = argv[i];
+        } else {
+            usage();
+        }
+    }
+    if (request.op.empty())
+        usage();
+    if (unix_path.empty() && !tcp)
+        usage();
+    if (tcp_port > 65535)
+        fatal("bad TCP port %llu",
+              static_cast<unsigned long long>(tcp_port));
+
+    if (request.op == "sweep") {
+        if (request.traces.empty())
+            fatal("sweep needs at least one --trace");
+        for (const std::uint32_t net : nets) {
+            request.configs.push_back(makeConfig(
+                net, block, sub != 0 ? sub : block, word));
+        }
+    }
+
+    std::string error;
+    const int fd =
+        !unix_path.empty()
+            ? connectUnix(unix_path, &error)
+            : connectTcp(static_cast<std::uint16_t>(tcp_port), &error);
+    if (fd < 0)
+        fatal("connect failed: %s", error.c_str());
+
+    if (!writeFrame(fd, wireRequestJson(request)))
+        fatal("request write failed (server gone?)");
+
+    const bool ok = printResponses(fd);
+    ::close(fd);
+    return ok ? 0 : 1;
+}

@@ -28,6 +28,15 @@
  *                    passes when >= 90% of cases are covered
  *                    (check/sample_check.hh). --cases/--seed/--refs
  *                    override the coverage defaults when given.
+ *     --serve-proto  run the sweep-server protocol-robustness check
+ *                    instead of the differential loop: seeded
+ *                    adversarial connections (garbage, truncated
+ *                    frames, oversized lengths, malformed JSON,
+ *                    abrupt disconnects) against a live in-process
+ *                    server, which must reject each cleanly, never
+ *                    crash, and never leak a connection slot
+ *                    (check/serve_check.hh). --cases/--seed override
+ *                    the defaults when given.
  *
  * Exit status: 0 on a clean run, 1 on any mismatch or a failed
  * self-test.
@@ -39,6 +48,7 @@
 
 #include "check/fuzz.hh"
 #include "check/sample_check.hh"
+#include "check/serve_check.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
 
@@ -53,7 +63,8 @@ usage()
                  "usage: occsim-fuzz [--cases N] [--seed N] [--refs N]\n"
                  "                   [--case-seed N] [--verbose] "
                  "[--self-test]\n"
-                 "                   [--sample-coverage]\n");
+                 "                   [--sample-coverage] "
+                 "[--serve-proto]\n");
     std::exit(1);
 }
 
@@ -106,6 +117,7 @@ main(int argc, char **argv)
     bool self_test = false;
     bool replay = false;
     bool sample_coverage = false;
+    bool serve_proto = false;
     std::uint64_t case_seed = 0;
     bool cases_set = false, seed_set = false, refs_set = false;
 
@@ -129,8 +141,22 @@ main(int argc, char **argv)
             self_test = true;
         else if (std::strcmp(argv[i], "--sample-coverage") == 0)
             sample_coverage = true;
+        else if (std::strcmp(argv[i], "--serve-proto") == 0)
+            serve_proto = true;
         else
             usage();
+    }
+
+    if (serve_proto) {
+        ServeCheckOptions check;
+        check.out = &std::cout;
+        check.verbose = options.verbose;
+        if (cases_set)
+            check.cases = options.cases;
+        if (seed_set)
+            check.seed = options.seed;
+        const ServeCheckSummary summary = runServeCheck(check);
+        return summary.passed() ? 0 : 1;
     }
 
     if (sample_coverage) {

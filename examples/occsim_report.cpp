@@ -214,6 +214,41 @@ validateManifest(const JsonValue &doc)
             }
         }
     }
+    // "serves" is optional (only server runs emit it), but when
+    // present every record must be auditable: what was asked, how
+    // many cells, and how the cache split them.
+    if (const JsonValue *serves = doc.find("serves")) {
+        if (!serves->isArray()) {
+            errors.push_back("key \"serves\" has the wrong type");
+        } else {
+            for (const JsonValue &serve : serves->items) {
+                expectMember(serve, "label", JsonValue::Kind::String,
+                             errors);
+                expectMember(serve, "op", JsonValue::Kind::String,
+                             errors);
+                expectMember(serve, "traces", JsonValue::Kind::Number,
+                             errors);
+                expectMember(serve, "configs", JsonValue::Kind::Number,
+                             errors);
+                expectMember(serve, "cells", JsonValue::Kind::Number,
+                             errors);
+                expectMember(serve, "cache_hits",
+                             JsonValue::Kind::Number, errors);
+                expectMember(serve, "cache_misses",
+                             JsonValue::Kind::Number, errors);
+                expectMember(serve, "wall_ms", JsonValue::Kind::Number,
+                             errors);
+                if (numberAt(serve, "cache_hits") +
+                        numberAt(serve, "cache_misses") !=
+                    numberAt(serve, "cells")) {
+                    errors.push_back(strfmt(
+                        "serve \"%s\": cache_hits + cache_misses != "
+                        "cells",
+                        stringAt(serve, "label").c_str()));
+                }
+            }
+        }
+    }
     expectMember(doc, "stages", JsonValue::Kind::Array, errors);
     if (const JsonValue *stages = doc.find("stages")) {
         for (const JsonValue &stage : stages->items) {
@@ -326,6 +361,27 @@ printSummary(const std::string &path, const JsonValue &doc)
             est.print(std::cout);
             std::printf("\n");
         }
+    }
+
+    if (const JsonValue *serves = doc.find("serves");
+        serves != nullptr && !serves->items.empty()) {
+        TableWriter table({"request", "op", "traces", "configs",
+                           "cells", "hits", "misses", "prio",
+                           "wall ms"});
+        for (const JsonValue &serve : serves->items) {
+            table.addRow(
+                {stringAt(serve, "label"), stringAt(serve, "op"),
+                 strfmt("%.0f", numberAt(serve, "traces")),
+                 strfmt("%.0f", numberAt(serve, "configs")),
+                 strfmt("%.0f", numberAt(serve, "cells")),
+                 strfmt("%.0f", numberAt(serve, "cache_hits")),
+                 strfmt("%.0f", numberAt(serve, "cache_misses")),
+                 strfmt("%.0f", numberAt(serve, "priority")),
+                 strfmt("%.2f", numberAt(serve, "wall_ms"))});
+        }
+        std::printf("served requests:\n");
+        table.print(std::cout);
+        std::printf("\n");
     }
 
     if (const JsonValue *engines = doc.find("engines");

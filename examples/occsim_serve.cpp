@@ -1,0 +1,206 @@
+/**
+ * @file
+ * occsim-serve: the long-lived sweep daemon and its corpus tools.
+ *
+ * Usage:
+ *   occsim-serve ingest <corpus-dir> <trace-file...>
+ *       Pack each trace file (otb/din/otd) into the corpus; duplicate
+ *       content is detected by hash and stored once. Prints one
+ *       "<hash>  <name>  <refs>" line per ingest. Ingestion is a CLI
+ *       operation by design: trace decoding treats malformed files as
+ *       fatal, which must never be reachable from a socket.
+ *   occsim-serve ingest-suite <corpus-dir> [--refs N]
+ *       Generate and ingest the built-in PDP-11 workload suite (a
+ *       corpus for quickstarts and benches without trace files).
+ *   occsim-serve list <corpus-dir>
+ *       List corpus entries (hash, name, refs, word size).
+ *   occsim-serve start <corpus-dir> [--unix PATH] [--tcp PORT]
+ *                      [--cache N] [--dispatchers N] [--threads N]
+ *       Serve sweep requests until a client sends the shutdown op.
+ *       At least one of --unix/--tcp is required; --tcp 0 picks an
+ *       ephemeral port (printed). OCCSIM_MANIFEST works as
+ *       everywhere: point it at a path and the daemon's manifest —
+ *       including one record per served request — is written at exit.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "serve/server.hh"
+#include "trace/corpus.hh"
+#include "trace/trace_file.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
+#include "util/thread_pool.hh"
+#include "workload/suites.hh"
+
+using namespace occsim;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: occsim-serve ingest <corpus-dir> <trace-file...>\n"
+        "       occsim-serve ingest-suite <corpus-dir> [--refs N]\n"
+        "       occsim-serve list <corpus-dir>\n"
+        "       occsim-serve start <corpus-dir> [--unix PATH] "
+        "[--tcp PORT]\n"
+        "                    [--cache N] [--dispatchers N]\n");
+    std::exit(1);
+}
+
+std::uint64_t
+numArg(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        usage();
+    std::uint64_t value = 0;
+    if (!parseU64(argv[++i], value))
+        fatal("bad numeric argument '%s'", argv[i]);
+    return value;
+}
+
+int
+cmdIngest(int argc, char **argv)
+{
+    if (argc < 4)
+        usage();
+    TraceCorpus corpus(argv[2]);
+    for (int i = 3; i < argc; ++i) {
+        const VectorTrace trace = readTrace(argv[i]);
+        std::string error;
+        const std::string hash = corpus.ingest(trace, &error);
+        if (hash.empty())
+            fatal("ingest of %s failed: %s", argv[i], error.c_str());
+        std::printf("%s  %s  %zu\n", hash.c_str(),
+                    trace.name().c_str(), trace.size());
+    }
+    return 0;
+}
+
+int
+cmdIngestSuite(int argc, char **argv)
+{
+    if (argc < 3)
+        usage();
+    std::uint64_t refs = 0;
+    for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--refs") == 0)
+            refs = numArg(argc, argv, i);
+        else
+            usage();
+    }
+    TraceCorpus corpus(argv[2]);
+    for (const WorkloadSpec &spec : pdp11Suite().traces) {
+        const auto trace = buildTraceShared(spec, refs);
+        std::string error;
+        const std::string hash = corpus.ingest(*trace, &error);
+        if (hash.empty()) {
+            fatal("ingest of %s failed: %s", spec.name.c_str(),
+                  error.c_str());
+        }
+        std::printf("%s  %s  %zu\n", hash.c_str(),
+                    trace->name().c_str(), trace->size());
+    }
+    return 0;
+}
+
+int
+cmdList(int argc, char **argv)
+{
+    if (argc != 3)
+        usage();
+    TraceCorpus corpus(argv[2]);
+    std::string error;
+    const auto all = corpus.entries(&error);
+    if (!error.empty())
+        fatal("%s", error.c_str());
+    for (const CorpusEntry &entry : all) {
+        std::printf("%s  %-12s  %10llu refs  word %u\n",
+                    entry.hash.c_str(), entry.name.c_str(),
+                    static_cast<unsigned long long>(entry.refs),
+                    entry.wordSize);
+    }
+    return 0;
+}
+
+int
+cmdStart(int argc, char **argv)
+{
+    if (argc < 3)
+        usage();
+    std::string unix_path;
+    std::uint64_t tcp_port = 0;
+    bool tcp = false;
+    serve::ServeOptions options;
+    options.corpusDir = argv[2];
+    for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--unix") == 0) {
+            if (i + 1 >= argc)
+                usage();
+            unix_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--tcp") == 0) {
+            tcp_port = numArg(argc, argv, i);
+            tcp = true;
+        } else if (std::strcmp(argv[i], "--cache") == 0) {
+            options.cacheCapacity =
+                static_cast<std::size_t>(numArg(argc, argv, i));
+        } else if (std::strcmp(argv[i], "--dispatchers") == 0) {
+            options.dispatchers =
+                static_cast<unsigned>(numArg(argc, argv, i));
+        } else {
+            usage();
+        }
+    }
+    if (unix_path.empty() && !tcp)
+        usage();
+    if (tcp_port > 65535)
+        fatal("bad TCP port %llu",
+              static_cast<unsigned long long>(tcp_port));
+
+    serve::SweepServer server(options);
+    std::string error;
+    if (!unix_path.empty()) {
+        if (!server.startUnix(unix_path, &error))
+            fatal("%s", error.c_str());
+        inform("occsim-serve: listening on unix:%s",
+               unix_path.c_str());
+    }
+    if (tcp) {
+        std::uint16_t bound = 0;
+        if (!server.startTcp(static_cast<std::uint16_t>(tcp_port),
+                             &bound, &error))
+            fatal("%s", error.c_str());
+        inform("occsim-serve: listening on tcp:%u", bound);
+    }
+    inform("occsim-serve: corpus %s, cache %zu cells, %u threads",
+           options.corpusDir.c_str(), options.cacheCapacity,
+           globalThreadPool().size());
+
+    server.waitForShutdown();
+    inform("occsim-serve: shutdown requested, draining");
+    server.stop();
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    if (std::strcmp(argv[1], "ingest") == 0)
+        return cmdIngest(argc, argv);
+    if (std::strcmp(argv[1], "ingest-suite") == 0)
+        return cmdIngestSuite(argc, argv);
+    if (std::strcmp(argv[1], "list") == 0)
+        return cmdList(argc, argv);
+    if (std::strcmp(argv[1], "start") == 0)
+        return cmdStart(argc, argv);
+    usage();
+}

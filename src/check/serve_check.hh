@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Protocol-robustness harness for the sweep server (src/serve).
+ *
+ * A long-lived daemon's parser sits on the other side of a socket
+ * from software it does not control; "handles hostile bytes without
+ * crashing or leaking the connection slot" is a testable contract,
+ * and this harness tests it the same way the differential fuzzer
+ * tests the engines — seeded, replayable, aggregate-verdict.
+ *
+ * Each case derives a scenario from its case seed and plays it
+ * against a live in-process SweepServer over a socketpair: random
+ * garbage, truncated frame headers, oversized length prefixes,
+ * payloads cut off mid-frame, malformed JSON, schema-valid JSON with
+ * the wrong shapes, unknown ops, unknown traces, invalid cache
+ * configs, abrupt disconnects mid-response, and (as the control)
+ * fully valid requests. After every case the harness asserts the
+ * server is still serviceable — a fresh connection's ping must
+ * answer — and that the connection slot was released. A crash is by
+ * construction impossible to miss: the harness and server share a
+ * process.
+ *
+ * Wired into the fuzz driver as `occsim-fuzz --serve-proto`.
+ */
+
+#ifndef OCCSIM_CHECK_SERVE_CHECK_HH
+#define OCCSIM_CHECK_SERVE_CHECK_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace occsim {
+
+/** Knobs for one protocol-robustness run. */
+struct ServeCheckOptions
+{
+    /** Adversarial connections to play. */
+    std::uint64_t cases = 200;
+
+    /** Master seed (one derived seed per case; a case seed fully
+     *  determines its scenario and bytes). */
+    std::uint64_t seed = 0x5e7ec4eull;
+
+    /** Directory for the throwaway corpus (a small trace is ingested
+     *  so valid-sweep control cases exercise the full path). Empty
+     *  picks a unique path under /tmp. */
+    std::string corpusDir;
+
+    /** Progress/failure output; nullptr silences everything. */
+    std::ostream *out = nullptr;
+
+    /** Per-case scenario lines (needs @ref out). */
+    bool verbose = false;
+};
+
+/** Outcome of a robustness run. */
+struct ServeCheckSummary
+{
+    std::uint64_t cases = 0;
+    std::uint64_t rejected = 0;   ///< cases answered with an error
+    std::uint64_t completed = 0;  ///< control cases served fully
+    std::uint64_t failures = 0;   ///< contract violations observed
+    std::uint64_t firstFailureSeed = 0;
+
+    bool passed() const { return failures == 0; }
+};
+
+/** Run the robustness loop. Contract violations (server unservable
+ *  after a case, leaked connection slot, wrong response shape) are
+ *  counted, never thrown. */
+ServeCheckSummary runServeCheck(const ServeCheckOptions &options);
+
+} // namespace occsim
+
+#endif // OCCSIM_CHECK_SERVE_CHECK_HH

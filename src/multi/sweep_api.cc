@@ -257,6 +257,104 @@ runFlattenedGrid(const SweepRequest &request, SweepReport &report,
     return refs;
 }
 
+/**
+ * Packed path: replay already packed traces (typically corpus files
+ * mapped read-only) with no MemRef stream in sight. Every config goes
+ * through the batch engine's config tiles — or the set-sharded engine
+ * where shouldShard routes it — so the task shapes and results are
+ * exactly those the flattened grid produces for its non-single-pass
+ * configs.
+ */
+std::uint64_t
+runPackedGrid(const SweepRequest &request, SweepReport &report,
+              ShardInfo &shard_info)
+{
+    const auto &traces = request.packedTraces;
+    const auto &configs = request.configs;
+    const std::uint64_t max_refs = request.maxRefs;
+
+    report.perTrace.assign(traces.size(),
+                           std::vector<SweepResult>(configs.size()));
+    auto &out = report.perTrace;
+
+    const unsigned threads =
+        static_cast<unsigned>(poolOrGlobal(request.pool).size());
+    const ShardMode shard_mode = shardModeFromEnv();
+    const std::size_t tiles_per_trace =
+        (configs.size() + BatchReplay::kDefaultTileConfigs - 1) /
+        BatchReplay::kDefaultTileConfigs;
+    const std::size_t competing = traces.size() * tiles_per_trace;
+
+    std::vector<std::unique_ptr<BatchReplay>> batches(traces.size());
+    std::vector<std::vector<std::size_t>> batch_index(traces.size());
+    std::vector<std::vector<std::size_t>> shard_index(traces.size());
+    std::vector<std::vector<std::unique_ptr<ShardReplay>>>
+        shard_engines(traces.size());
+
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+        const std::uint64_t limit =
+            max_refs == 0
+                ? traces[t]->size()
+                : std::min<std::uint64_t>(max_refs, traces[t]->size());
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            if (shouldShard(shard_mode, configs[c], threads, limit,
+                            competing)) {
+                shard_index[t].push_back(c);
+                shard_engines[t].push_back(
+                    std::make_unique<ShardReplay>(
+                        configs[c],
+                        planShardCount(configs[c], threads)));
+            } else {
+                batch_index[t].push_back(c);
+            }
+        }
+        if (!batch_index[t].empty()) {
+            batches[t] = std::make_unique<BatchReplay>(
+                selectConfigs(configs, batch_index[t]));
+            for (std::size_t tile = 0; tile < batches[t]->numTiles();
+                 ++tile) {
+                tasks.push_back([&batches, &traces, max_refs, t, tile] {
+                    batches[t]->runTile(tile, *traces[t], max_refs);
+                });
+            }
+        }
+        for (auto &engine : shard_engines[t]) {
+            auto strace =
+                shardedTraceShared(traces[t], engine->blockBits(),
+                                   engine->shardBits(), limit);
+            ShardReplay *eng = engine.get();
+            for (std::uint32_t s = 0; s < eng->numShards(); ++s) {
+                tasks.push_back(
+                    [eng, strace, s] { eng->runShard(s, *strace); });
+            }
+        }
+    }
+
+    poolOrGlobal(request.pool)
+        .parallelFor(tasks.size(),
+                     [&](std::size_t i) { tasks[i](); });
+
+    std::uint64_t refs = 0;
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+        refs += max_refs == 0
+                    ? traces[t]->size()
+                    : std::min<std::uint64_t>(max_refs,
+                                              traces[t]->size());
+        if (batches[t] != nullptr) {
+            const auto results = batches[t]->results();
+            for (std::size_t k = 0; k < results.size(); ++k)
+                out[t][batch_index[t][k]] = results[k];
+        }
+        for (std::size_t k = 0; k < shard_engines[t].size(); ++k) {
+            out[t][shard_index[t][k]] = shard_engines[t][k]->result();
+            shard_info.telem.accumulate(*shard_engines[t][k]);
+            shard_info.shardedConfigs[shard_index[t][k]] = true;
+        }
+    }
+    return refs;
+}
+
 /** Sampling-engine activity of one sweep, for the manifest. */
 struct SampleInfo
 {
@@ -364,11 +462,29 @@ sweepEngineName(SweepEngine engine)
 SweepReport
 runSweep(const SweepRequest &request)
 {
-    occsim_assert(!request.traces.empty(), "no traces to sweep");
+    const bool packed_path = !request.packedTraces.empty();
+    occsim_assert(packed_path || !request.traces.empty(),
+                  "no traces to sweep");
+    occsim_assert(!packed_path || request.traces.empty(),
+                  "traces and packedTraces are mutually exclusive");
     occsim_assert(!request.configs.empty(),
                   "sweep needs at least one config");
     for (const auto &trace : request.traces)
         occsim_assert(trace != nullptr, "null trace in sweep request");
+    for (const auto &trace : request.packedTraces)
+        occsim_assert(trace != nullptr,
+                      "null packed trace in sweep request");
+    if (packed_path) {
+        // Packed records carry no MemRef stream, so only the replay
+        // engines (batch / set-sharded) can serve this path.
+        occsim_assert(request.engine == SweepEngine::Auto,
+                      "packedTraces requires SweepEngine::Auto (the "
+                      "%s policy needs a MemRef stream)",
+                      sweepEngineName(request.engine));
+        occsim_assert(!request.probe,
+                      "probe is incompatible with packedTraces (no "
+                      "per-config Cache is retained)");
+    }
 
     const auto start = std::chrono::steady_clock::now();
 
@@ -378,7 +494,9 @@ runSweep(const SweepRequest &request)
     shard_info.shardedConfigs.assign(request.configs.size(), false);
     SampleInfo sample_info;
     std::uint64_t refs = 0;
-    if (request.engine == SweepEngine::Sampled) {
+    if (packed_path) {
+        refs = runPackedGrid(request, report, shard_info);
+    } else if (request.engine == SweepEngine::Sampled) {
         // A probe needs a finished full-trace Cache to inspect; the
         // sampling engine never has one.
         occsim_assert(!request.probe,
@@ -419,13 +537,17 @@ runSweep(const SweepRequest &request)
     // Session manifest: trace identities, routing, and timing.
     for (const auto &trace : request.traces)
         obs::recordTrace(trace->name(), trace->refs().size());
+    for (const auto &trace : request.packedTraces)
+        obs::recordTrace(trace->name(), trace->size());
 
     obs::SweepRecord record;
     record.label = request.label.empty() ? "sweep" : request.label;
     record.engineMode = sweepEngineName(request.engine);
     record.threads =
         static_cast<unsigned>(poolOrGlobal(request.pool).size());
-    record.numTraces = request.traces.size();
+    record.numTraces =
+        packed_path ? request.packedTraces.size()
+                    : request.traces.size();
     record.maxRefs = request.maxRefs;
     record.refsSimulated = simulated;
     record.wallMs = wall_ms;
@@ -456,8 +578,13 @@ runSweep(const SweepRequest &request)
         const CacheConfig &config = request.configs[c];
         obs::ConfigRoute route;
         route.config = config.shortName();
-        route.engine = configEngineName(config, request.engine,
-                                        shard_info.shardedConfigs[c]);
+        // The packed path has no single-pass fallback: everything not
+        // sharded ran through the batch engine.
+        route.engine =
+            packed_path
+                ? (shard_info.shardedConfigs[c] ? "shard" : "batch")
+                : configEngineName(config, request.engine,
+                                   shard_info.shardedConfigs[c]);
         if (!sampled_avg.empty() && sampled_avg[c].sampled.active) {
             route.sampled = true;
             route.missRatioMean =

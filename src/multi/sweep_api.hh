@@ -35,6 +35,7 @@
 
 #include "multi/parallel_sweep.hh"
 #include "obs/manifest.hh"
+#include "trace/packed_trace.hh"
 
 namespace occsim {
 
@@ -50,8 +51,19 @@ const char *sweepEngineName(SweepEngine engine);
 struct SweepRequest
 {
     /** Shared immutable traces (e.g. from buildSuiteTraces or
-     *  buildTraceShared). Must be non-empty, no null entries. */
+     *  buildTraceShared). Exactly one of traces / packedTraces must
+     *  be non-empty; no null entries. */
     std::vector<std::shared_ptr<const VectorTrace>> traces;
+
+    /**
+     * Already packed traces — e.g. corpus files mapped read-only by
+     * TraceCorpus::open(), replayed in place with no decode and no
+     * copy. Packed records carry no MemRef stream, so this path is
+     * served entirely by the batch/set-sharded replay engines (whose
+     * results are bit-identical to every other engine); it requires
+     * SweepEngine::Auto and is incompatible with probe.
+     */
+    std::vector<std::shared_ptr<const PackedTrace>> packedTraces;
 
     /** Config grid; one result slot per entry per trace. */
     std::vector<CacheConfig> configs;

@@ -33,7 +33,9 @@ struct Session
     std::string binary;
     std::vector<TraceRecord> traces;
     std::vector<SweepRecord> sweeps;
+    std::vector<ServeRecord> serves;
     std::uint64_t sweepsDropped = 0;
+    std::uint64_t servesDropped = 0;
     bool atexitRegistered = false;
 };
 
@@ -129,6 +131,18 @@ recordSweep(const SweepRecord &record)
 }
 
 void
+recordServe(const ServeRecord &record)
+{
+    Session &s = session();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.serves.size() >= kMaxRecordedSweeps) {
+        ++s.servesDropped;
+        return;
+    }
+    s.serves.push_back(record);
+}
+
+void
 setManifestPath(const std::string &path)
 {
     Session &s = session();
@@ -187,17 +201,24 @@ currentManifest()
     manifest.counters = telemetry().counters();
 
     std::uint64_t dropped = 0;
+    std::uint64_t serves_dropped = 0;
     {
         Session &s = session();
         std::lock_guard<std::mutex> lock(s.mutex);
         manifest.binary = s.binary.empty() ? processName() : s.binary;
         manifest.traces = s.traces;
         manifest.sweeps = s.sweeps;
+        manifest.serves = s.serves;
         dropped = s.sweepsDropped;
+        serves_dropped = s.servesDropped;
     }
     if (dropped > 0) {
         manifest.counters.push_back(
             CounterSnapshot{"sweeps_dropped", dropped});
+    }
+    if (serves_dropped > 0) {
+        manifest.counters.push_back(
+            CounterSnapshot{"serves_dropped", serves_dropped});
     }
 
     for (const char *engine :
@@ -270,6 +291,26 @@ RunManifest::toJson() const
         w.endObject();
     }
     w.endArray();
+
+    // Non-server runs keep their existing schema byte-for-byte: the
+    // serves array appears only when something was served.
+    if (!serves.empty()) {
+        w.key("serves").beginArray();
+        for (const ServeRecord &serve : serves) {
+            w.beginObject();
+            w.kv("label", serve.label);
+            w.kv("op", serve.op);
+            w.kv("traces", std::uint64_t{serve.numTraces});
+            w.kv("configs", std::uint64_t{serve.numConfigs});
+            w.kv("cells", std::uint64_t{serve.cells});
+            w.kv("cache_hits", std::uint64_t{serve.cacheHits});
+            w.kv("cache_misses", std::uint64_t{serve.cacheMisses});
+            w.kv("priority", serve.priority);
+            w.kv("wall_ms", serve.wallMs);
+            w.endObject();
+        }
+        w.endArray();
+    }
 
     w.key("stages").beginArray();
     for (const StageSnapshot &stage : stages) {

@@ -87,6 +87,29 @@ struct SweepRecord
     std::vector<ConfigRoute> routes;   ///< one per config, grid order
 };
 
+/**
+ * One request handled by the sweep server (src/serve). Recorded per
+ * request, so a server run's manifest is an audit trail: what was
+ * asked, how much of it the result cache absorbed, and how long the
+ * computed remainder took.
+ */
+struct ServeRecord
+{
+    std::string label;      ///< client-supplied request label
+    std::string op;         ///< wire op ("sweep", ...)
+    std::size_t numTraces = 0;
+    std::size_t numConfigs = 0;
+    std::size_t cells = 0;       ///< traces x configs result cells
+    std::size_t cacheHits = 0;   ///< cells served from the cache
+    std::size_t cacheMisses = 0; ///< cells computed by runSweep
+    int priority = 0;
+    double wallMs = 0.0;  ///< request wall time (queue + compute)
+};
+
+/** Record one served request into the process session (same
+ *  retention cap as sweeps). */
+void recordServe(const ServeRecord &record);
+
 /** Derived per-engine totals (from the engine.* telemetry). */
 struct EngineUsage
 {
@@ -110,6 +133,9 @@ struct RunManifest
     unsigned threads = 1;   ///< configuredThreadCount()
     std::vector<TraceRecord> traces;
     std::vector<SweepRecord> sweeps;
+    /** Server request records; empty (and absent from the JSON) for
+     *  non-server runs, so existing manifests are unchanged. */
+    std::vector<ServeRecord> serves;
     std::vector<StageSnapshot> stages;
     std::vector<CounterSnapshot> counters;
     std::vector<EngineUsage> engines;

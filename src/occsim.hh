@@ -26,7 +26,9 @@
 #include "cache/sector_cache.hh"
 #include "cache/split_cache.hh"
 
-// Traces: representation, generation, filtering, persistence.
+// Traces: representation, generation, filtering, persistence, and
+// the on-disk packed corpus.
+#include "trace/corpus.hh"
 #include "trace/filters.hh"
 #include "trace/trace.hh"
 #include "trace/trace_file.hh"
@@ -57,6 +59,11 @@
 #include "obs/json.hh"
 #include "obs/manifest.hh"
 #include "obs/telemetry.hh"
+
+// The sweep server: wire protocol, result cache, daemon.
+#include "serve/protocol.hh"
+#include "serve/result_cache.hh"
+#include "serve/server.hh"
 
 // Execution resources.
 #include "util/thread_pool.hh"

@@ -1,0 +1,536 @@
+#include "serve/protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace occsim::serve {
+
+namespace {
+
+void setError(std::string *error, std::string message)
+{
+    if (error)
+        *error = std::move(message);
+}
+
+/** Read exactly @p bytes; false on EOF/error. @p clean_eof reports an
+ *  EOF before the first byte (a frame-boundary close). */
+bool readAll(int fd, void *data, std::size_t bytes, bool *clean_eof)
+{
+    char *p = static_cast<char *>(data);
+    std::size_t done = 0;
+    while (done < bytes) {
+        const ssize_t got = ::read(fd, p + done, bytes - done);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (got == 0) {
+            if (clean_eof)
+                *clean_eof = done == 0;
+            return false;
+        }
+        done += static_cast<std::size_t>(got);
+    }
+    return true;
+}
+
+bool writeAll(int fd, const void *data, std::size_t bytes)
+{
+    const char *p = static_cast<const char *>(data);
+    while (bytes > 0) {
+        // MSG_NOSIGNAL: a peer that hung up yields EPIPE here instead
+        // of killing the daemon with SIGPIPE.
+        const ssize_t put = ::send(fd, p, bytes, MSG_NOSIGNAL);
+        if (put < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += put;
+        bytes -= static_cast<std::size_t>(put);
+    }
+    return true;
+}
+
+bool parseReplacement(const std::string &name, ReplacementPolicy *out)
+{
+    if (name == "LRU")
+        *out = ReplacementPolicy::LRU;
+    else if (name == "FIFO")
+        *out = ReplacementPolicy::FIFO;
+    else if (name == "Random")
+        *out = ReplacementPolicy::Random;
+    else
+        return false;
+    return true;
+}
+
+bool parseFetch(const std::string &name, FetchPolicy *out)
+{
+    if (name == "demand")
+        *out = FetchPolicy::Demand;
+    else if (name == "load-forward")
+        *out = FetchPolicy::LoadForward;
+    else if (name == "load-forward-opt")
+        *out = FetchPolicy::LoadForwardOptimized;
+    else if (name == "prefetch-next")
+        *out = FetchPolicy::PrefetchNextOnMiss;
+    else
+        return false;
+    return true;
+}
+
+bool parseWrite(const std::string &name, WritePolicy *out)
+{
+    if (name == "write-through")
+        *out = WritePolicy::WriteThrough;
+    else if (name == "copy-back")
+        *out = WritePolicy::CopyBack;
+    else
+        return false;
+    return true;
+}
+
+/** Fetch a required member of @p kind; nullptr + error otherwise. */
+const obs::JsonValue *
+member(const obs::JsonValue &object, const char *name,
+       obs::JsonValue::Kind kind, std::string *error)
+{
+    const obs::JsonValue *value = object.find(name);
+    if (!value || value->kind != kind) {
+        setError(error, strfmt("missing or mistyped field '%s'", name));
+        return nullptr;
+    }
+    return value;
+}
+
+} // namespace
+
+FrameStatus
+readFrame(int fd, std::string &payload, std::string *error)
+{
+    std::uint8_t len_bytes[4];
+    bool clean_eof = false;
+    if (!readAll(fd, len_bytes, sizeof(len_bytes), &clean_eof)) {
+        if (clean_eof)
+            return FrameStatus::Closed;
+        setError(error, "truncated frame header");
+        return FrameStatus::Malformed;
+    }
+    const std::uint32_t length = static_cast<std::uint32_t>(len_bytes[0]) |
+                                 static_cast<std::uint32_t>(len_bytes[1]) << 8 |
+                                 static_cast<std::uint32_t>(len_bytes[2]) << 16 |
+                                 static_cast<std::uint32_t>(len_bytes[3]) << 24;
+    if (length > kMaxFramePayload) {
+        setError(error, strfmt("frame payload of %u bytes exceeds the "
+                               "%u byte cap",
+                               length, kMaxFramePayload));
+        return FrameStatus::Malformed;
+    }
+    payload.resize(length);
+    if (length > 0 && !readAll(fd, payload.data(), length, nullptr)) {
+        setError(error, strfmt("frame truncated mid-payload (promised "
+                               "%u bytes)",
+                               length));
+        return FrameStatus::Malformed;
+    }
+    return FrameStatus::Ok;
+}
+
+bool
+writeFrame(int fd, const std::string &payload)
+{
+    if (payload.size() > kMaxFramePayload)
+        return false;
+    const std::uint32_t length =
+        static_cast<std::uint32_t>(payload.size());
+    const std::uint8_t len_bytes[4] = {
+        static_cast<std::uint8_t>(length),
+        static_cast<std::uint8_t>(length >> 8),
+        static_cast<std::uint8_t>(length >> 16),
+        static_cast<std::uint8_t>(length >> 24),
+    };
+    return writeAll(fd, len_bytes, sizeof(len_bytes)) &&
+           (payload.empty() ||
+            writeAll(fd, payload.data(), payload.size()));
+}
+
+void
+writeConfigJson(obs::JsonWriter &w, const CacheConfig &config)
+{
+    // Fixed key order — this serialization doubles as the result
+    // cache's identity string, so it must be deterministic and must
+    // cover every field CacheConfig::operator== compares.
+    w.beginObject()
+        .kv("net", std::uint64_t{config.netSize})
+        .kv("block", std::uint64_t{config.blockSize})
+        .kv("sub", std::uint64_t{config.subBlockSize})
+        .kv("assoc", std::uint64_t{config.assoc})
+        .kv("word", std::uint64_t{config.wordSize})
+        .kv("abits", std::uint64_t{config.addressBits})
+        .kv("repl", replacementPolicyName(config.replacement))
+        .kv("fetch", fetchPolicyName(config.fetch))
+        .kv("write", writePolicyName(config.write))
+        .kv("walloc", config.writeAllocate)
+        .kv("seed", config.randomSeed)
+        .endObject();
+}
+
+std::string
+canonicalConfigJson(const CacheConfig &config)
+{
+    obs::JsonWriter w;
+    writeConfigJson(w, config);
+    return w.str();
+}
+
+bool
+parseConfigJson(const obs::JsonValue &value, CacheConfig &config,
+                std::string *error)
+{
+    using Kind = obs::JsonValue::Kind;
+    if (!value.isObject()) {
+        setError(error, "config is not an object");
+        return false;
+    }
+
+    const obs::JsonValue *net = member(value, "net", Kind::Number, error);
+    const obs::JsonValue *block =
+        member(value, "block", Kind::Number, error);
+    const obs::JsonValue *sub = member(value, "sub", Kind::Number, error);
+    const obs::JsonValue *assoc =
+        member(value, "assoc", Kind::Number, error);
+    const obs::JsonValue *word =
+        member(value, "word", Kind::Number, error);
+    const obs::JsonValue *abits =
+        member(value, "abits", Kind::Number, error);
+    const obs::JsonValue *repl =
+        member(value, "repl", Kind::String, error);
+    const obs::JsonValue *fetch =
+        member(value, "fetch", Kind::String, error);
+    const obs::JsonValue *write =
+        member(value, "write", Kind::String, error);
+    const obs::JsonValue *walloc =
+        member(value, "walloc", Kind::Bool, error);
+    const obs::JsonValue *seed =
+        member(value, "seed", Kind::Number, error);
+    if (!net || !block || !sub || !assoc || !word || !abits || !repl ||
+        !fetch || !write || !walloc || !seed)
+        return false;
+
+    config.netSize = static_cast<std::uint32_t>(net->asU64());
+    config.blockSize = static_cast<std::uint32_t>(block->asU64());
+    config.subBlockSize = static_cast<std::uint32_t>(sub->asU64());
+    config.assoc = static_cast<std::uint32_t>(assoc->asU64());
+    config.wordSize = static_cast<std::uint32_t>(word->asU64());
+    config.addressBits = static_cast<std::uint32_t>(abits->asU64());
+    config.writeAllocate = walloc->boolean;
+    config.randomSeed = seed->asU64();
+    if (!parseReplacement(repl->text, &config.replacement)) {
+        setError(error,
+                 strfmt("unknown replacement policy '%s'",
+                        repl->text.c_str()));
+        return false;
+    }
+    if (!parseFetch(fetch->text, &config.fetch)) {
+        setError(error, strfmt("unknown fetch policy '%s'",
+                               fetch->text.c_str()));
+        return false;
+    }
+    if (!parseWrite(write->text, &config.write)) {
+        setError(error, strfmt("unknown write policy '%s'",
+                               write->text.c_str()));
+        return false;
+    }
+    return true;
+}
+
+void
+writeResultJson(obs::JsonWriter &w, const SweepResult &result)
+{
+    w.beginObject();
+    w.key("config");
+    writeConfigJson(w, result.config);
+    w.kv("gross_bytes", result.grossBytes)
+        .kv("miss_ratio", result.missRatio)
+        .kv("warm_miss_ratio", result.warmMissRatio)
+        .kv("traffic_ratio", result.trafficRatio)
+        .kv("warm_traffic_ratio", result.warmTrafficRatio)
+        .kv("nibble_traffic_ratio", result.nibbleTrafficRatio)
+        .kv("warm_nibble_traffic_ratio", result.warmNibbleTrafficRatio)
+        .endObject();
+}
+
+bool
+parseResultJson(const obs::JsonValue &value, SweepResult &result,
+                std::string *error)
+{
+    using Kind = obs::JsonValue::Kind;
+    if (!value.isObject()) {
+        setError(error, "result is not an object");
+        return false;
+    }
+    const obs::JsonValue *config = value.find("config");
+    if (!config || !parseConfigJson(*config, result.config, error))
+        return false;
+
+    const obs::JsonValue *gross =
+        member(value, "gross_bytes", Kind::Number, error);
+    const obs::JsonValue *miss =
+        member(value, "miss_ratio", Kind::Number, error);
+    const obs::JsonValue *warm_miss =
+        member(value, "warm_miss_ratio", Kind::Number, error);
+    const obs::JsonValue *traffic =
+        member(value, "traffic_ratio", Kind::Number, error);
+    const obs::JsonValue *warm_traffic =
+        member(value, "warm_traffic_ratio", Kind::Number, error);
+    const obs::JsonValue *nibble =
+        member(value, "nibble_traffic_ratio", Kind::Number, error);
+    const obs::JsonValue *warm_nibble =
+        member(value, "warm_nibble_traffic_ratio", Kind::Number, error);
+    if (!gross || !miss || !warm_miss || !traffic || !warm_traffic ||
+        !nibble || !warm_nibble)
+        return false;
+
+    result.grossBytes = gross->asU64();
+    result.missRatio = miss->number;
+    result.warmMissRatio = warm_miss->number;
+    result.trafficRatio = traffic->number;
+    result.warmTrafficRatio = warm_traffic->number;
+    result.nibbleTrafficRatio = nibble->number;
+    result.warmNibbleTrafficRatio = warm_nibble->number;
+    return true;
+}
+
+bool
+parseWireRequest(const std::string &payload, WireRequest &request,
+                 std::string *error)
+{
+    obs::JsonValue root;
+    if (!obs::parseJson(payload, root, error))
+        return false;
+    if (!root.isObject()) {
+        setError(error, "request is not a JSON object");
+        return false;
+    }
+    const obs::JsonValue *op =
+        member(root, "op", obs::JsonValue::Kind::String, error);
+    if (!op)
+        return false;
+    request.op = op->text;
+
+    if (const obs::JsonValue *traces = root.find("traces")) {
+        if (!traces->isArray()) {
+            setError(error, "'traces' is not an array");
+            return false;
+        }
+        for (const obs::JsonValue &item : traces->items) {
+            if (!item.isString()) {
+                setError(error, "'traces' entry is not a string");
+                return false;
+            }
+            request.traces.push_back(item.text);
+        }
+    }
+    if (const obs::JsonValue *configs = root.find("configs")) {
+        if (!configs->isArray()) {
+            setError(error, "'configs' is not an array");
+            return false;
+        }
+        for (const obs::JsonValue &item : configs->items) {
+            CacheConfig config;
+            if (!parseConfigJson(item, config, error))
+                return false;
+            request.configs.push_back(config);
+        }
+    }
+    if (const obs::JsonValue *max_refs = root.find("max_refs")) {
+        if (!max_refs->isNumber()) {
+            setError(error, "'max_refs' is not a number");
+            return false;
+        }
+        request.maxRefs = max_refs->asU64();
+    }
+    if (const obs::JsonValue *priority = root.find("priority")) {
+        if (!priority->isNumber()) {
+            setError(error, "'priority' is not a number");
+            return false;
+        }
+        request.priority = static_cast<int>(priority->number);
+    }
+    if (const obs::JsonValue *label = root.find("label")) {
+        if (!label->isString()) {
+            setError(error, "'label' is not a string");
+            return false;
+        }
+        request.label = label->text;
+    }
+    return true;
+}
+
+std::string
+wireRequestJson(const WireRequest &request)
+{
+    obs::JsonWriter w;
+    w.beginObject().kv("op", request.op);
+    if (!request.traces.empty()) {
+        w.key("traces").beginArray();
+        for (const std::string &trace : request.traces)
+            w.value(trace);
+        w.endArray();
+    }
+    if (!request.configs.empty()) {
+        w.key("configs").beginArray();
+        for (const CacheConfig &config : request.configs)
+            writeConfigJson(w, config);
+        w.endArray();
+    }
+    if (request.maxRefs != 0)
+        w.kv("max_refs", request.maxRefs);
+    if (request.priority != 0)
+        w.kv("priority", request.priority);
+    if (!request.label.empty())
+        w.kv("label", request.label);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+errorResponse(const std::string &message)
+{
+    obs::JsonWriter w;
+    w.beginObject()
+        .kv("type", "error")
+        .kv("message", message)
+        .endObject();
+    return w.str();
+}
+
+int
+listenUnix(const std::string &path, std::string *error)
+{
+    struct sockaddr_un addr;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        setError(error, strfmt("socket path too long (%zu bytes)",
+                               path.size()));
+        return -1;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        setError(error, strfmt("socket failed: %s",
+                               std::strerror(errno)));
+        return -1;
+    }
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 128) != 0) {
+        setError(error, strfmt("cannot listen on %s: %s", path.c_str(),
+                               std::strerror(errno)));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+listenTcp(std::uint16_t port, std::uint16_t *bound_port,
+          std::string *error)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        setError(error, strfmt("socket failed: %s",
+                               std::strerror(errno)));
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 128) != 0) {
+        setError(error, strfmt("cannot listen on port %u: %s", port,
+                               std::strerror(errno)));
+        ::close(fd);
+        return -1;
+    }
+    if (bound_port) {
+        socklen_t len = sizeof(addr);
+        if (::getsockname(fd,
+                          reinterpret_cast<struct sockaddr *>(&addr),
+                          &len) == 0)
+            *bound_port = ntohs(addr.sin_port);
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path, std::string *error)
+{
+    struct sockaddr_un addr;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        setError(error, strfmt("socket path too long (%zu bytes)",
+                               path.size()));
+        return -1;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        setError(error, strfmt("socket failed: %s",
+                               std::strerror(errno)));
+        return -1;
+    }
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        setError(error, strfmt("cannot connect to %s: %s",
+                               path.c_str(), std::strerror(errno)));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectTcp(std::uint16_t port, std::string *error)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        setError(error, strfmt("socket failed: %s",
+                               std::strerror(errno)));
+        return -1;
+    }
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        setError(error, strfmt("cannot connect to port %u: %s", port,
+                               std::strerror(errno)));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+} // namespace occsim::serve

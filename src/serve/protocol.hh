@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Wire protocol for occsim-serve: length-prefixed JSON frames over a
+ * Unix or TCP stream socket.
+ *
+ * Every message — request or response — is one frame:
+ *
+ *   u32 little-endian payload length | payload (UTF-8 JSON)
+ *
+ * The length prefix makes the stream self-delimiting without
+ * incremental JSON parsing; the 1 MB payload cap bounds what one
+ * malformed or hostile client can make the server allocate. Requests
+ * are one frame; responses to a sweep are a stream of frames (one
+ * "result" per (trace, config) cell as it completes, then one "done"
+ * or "error"), so a client watching a long sweep sees results
+ * incrementally.
+ *
+ * Request object:
+ *
+ *   {"op":"sweep","traces":["<hash-or-name>",...],
+ *    "configs":[{...},...],"max_refs":0,"priority":0,"label":"..."}
+ *
+ * plus the control ops "ping", "list", "stats" and "shutdown" (no
+ * trace/config payload). Trace ingestion is deliberately NOT a wire
+ * op: trace decoding (trace/trace_file.hh) treats malformed input as
+ * fatal, which is correct for a CLI and unacceptable in a daemon —
+ * `occsim-serve ingest` runs in its own process instead.
+ *
+ * The CacheConfig codec here is also the result cache's identity:
+ * canonicalConfigJson() serializes EVERY identity field of the config
+ * (including randomSeed, wordSize and addressBits), so two requests
+ * share a cache entry exactly when runSweep would be forced to
+ * produce bit-identical results for them.
+ */
+
+#ifndef OCCSIM_SERVE_PROTOCOL_HH
+#define OCCSIM_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/cache_config.hh"
+#include "multi/sweep_runner.hh"
+#include "obs/json.hh"
+
+namespace occsim::serve {
+
+/** Largest accepted frame payload (defends the allocator, not a
+ *  protocol limit — a sweep request is a few KB). */
+constexpr std::uint32_t kMaxFramePayload = 1u << 20;
+
+/** Outcome of reading one frame from a stream. */
+enum class FrameStatus : std::uint8_t {
+    Ok = 0,        ///< payload delivered
+    Closed = 1,    ///< clean EOF on a frame boundary
+    Malformed = 2, ///< oversized length or mid-frame EOF / IO error
+};
+
+/**
+ * Read one frame from @p fd into @p payload (blocking).
+ * Malformed frames set @p error (when non-null).
+ */
+FrameStatus readFrame(int fd, std::string &payload,
+                      std::string *error = nullptr);
+
+/** Write one frame to @p fd. @return false on IO error (e.g. the
+ *  peer disconnected) or an oversized payload. */
+bool writeFrame(int fd, const std::string &payload);
+
+/** Append @p config as a JSON object to @p w (all identity fields). */
+void writeConfigJson(obs::JsonWriter &w, const CacheConfig &config);
+
+/**
+ * The canonical serialization of @p config used as the result-cache
+ * identity: compact JSON, fixed key order, every identity field.
+ */
+std::string canonicalConfigJson(const CacheConfig &config);
+
+/** Parse a config object written by writeConfigJson (all fields
+ *  required). @return false with @p error set on any malformation. */
+bool parseConfigJson(const obs::JsonValue &value, CacheConfig &config,
+                     std::string *error = nullptr);
+
+/** Append @p result as a JSON object to @p w. Doubles use shortest
+ *  round-trip formatting, so the serialized form preserves
+ *  bit-identity. */
+void writeResultJson(obs::JsonWriter &w, const SweepResult &result);
+
+/** Parse a result object written by writeResultJson. */
+bool parseResultJson(const obs::JsonValue &value, SweepResult &result,
+                     std::string *error = nullptr);
+
+/** One parsed client request. */
+struct WireRequest
+{
+    std::string op;                   ///< "sweep", "ping", ...
+    std::vector<std::string> traces;  ///< corpus hashes or names
+    std::vector<CacheConfig> configs;
+    std::uint64_t maxRefs = 0;
+    int priority = 0;   ///< higher runs first among queued requests
+    std::string label;  ///< recorded in the manifest
+};
+
+/** Parse one request frame. @return false with @p error set when the
+ *  payload is not a well-formed request. */
+bool parseWireRequest(const std::string &payload, WireRequest &request,
+                      std::string *error = nullptr);
+
+/** Serialize @p request as one frame payload. */
+std::string wireRequestJson(const WireRequest &request);
+
+/** Build an {"type":"error","message":...} response payload. */
+std::string errorResponse(const std::string &message);
+
+/** Listen on a Unix-domain socket at @p path (unlinking any stale
+ *  socket first). @return listening fd, or -1 with @p error set. */
+int listenUnix(const std::string &path, std::string *error = nullptr);
+
+/** Listen on loopback TCP @p port (0 = ephemeral; @p bound_port
+ *  receives the actual port). @return fd or -1 with @p error set. */
+int listenTcp(std::uint16_t port, std::uint16_t *bound_port = nullptr,
+              std::string *error = nullptr);
+
+/** Connect to a Unix-domain socket. @return fd or -1. */
+int connectUnix(const std::string &path, std::string *error = nullptr);
+
+/** Connect to loopback TCP @p port. @return fd or -1. */
+int connectTcp(std::uint16_t port, std::string *error = nullptr);
+
+} // namespace occsim::serve
+
+#endif // OCCSIM_SERVE_PROTOCOL_HH

@@ -1,0 +1,74 @@
+#include "serve/result_cache.hh"
+
+#include "serve/protocol.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace occsim::serve {
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity)
+{
+    occsim_assert(capacity_ >= 1, "zero-capacity result cache");
+}
+
+std::string
+ResultCache::key(const std::string &trace_hash, std::uint64_t max_refs,
+                 const CacheConfig &config)
+{
+    return strfmt("%s/%llu/", trace_hash.c_str(),
+                  static_cast<unsigned long long>(max_refs)) +
+           canonicalConfigJson(config);
+}
+
+bool
+ResultCache::lookup(const std::string &key, CachedResult &out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++misses_;
+        return false;
+    }
+    order_.splice(order_.begin(), order_, it->second.recency);
+    ++hits_;
+    out = it->second.value;
+    return true;
+}
+
+void
+ResultCache::insert(const std::string &key, CachedResult value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.find(key) != entries_.end())
+        return;
+    order_.push_front(key);
+    entries_.emplace(key,
+                     Entry{std::move(value), order_.begin()});
+    while (entries_.size() > capacity_) {
+        entries_.erase(order_.back());
+        order_.pop_back();
+    }
+}
+
+std::uint64_t
+ResultCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+ResultCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+} // namespace occsim::serve

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The serve-layer result cache: completed (trace, config) sweep cells
+ * keyed by manifest identity.
+ *
+ * Every exact engine in occsim is bit-identical for a given (trace
+ * bytes, config, reference cap) — that is the repo's central testing
+ * contract — which makes sweep results perfectly cacheable: the key
+ * is the trace's content hash, the reference cap, and the canonical
+ * serialization of EVERY CacheConfig identity field
+ * (serve::canonicalConfigJson). Two requests share an entry exactly
+ * when runSweep would be forced to produce bit-identical results for
+ * them; differ in any identity field (even randomSeed on an LRU
+ * config) and the key differs, so the request misses.
+ *
+ * Values store both the SweepResult and its serialized response
+ * payload: a hit replays the exact bytes the first computation sent,
+ * so "served from cache" is byte-identical on the wire, not merely
+ * value-equal after a re-serialization.
+ *
+ * Bounded LRU; thread-safe.
+ */
+
+#ifndef OCCSIM_SERVE_RESULT_CACHE_HH
+#define OCCSIM_SERVE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "multi/sweep_runner.hh"
+
+namespace occsim::serve {
+
+/** One cached sweep cell. */
+struct CachedResult
+{
+    SweepResult result;
+    std::string payload;  ///< serialized response bytes (wire form)
+};
+
+class ResultCache
+{
+  public:
+    /** @param capacity maximum resident entries (>= 1). */
+    explicit ResultCache(std::size_t capacity = 4096);
+
+    /** Identity key for one sweep cell. */
+    static std::string key(const std::string &trace_hash,
+                           std::uint64_t max_refs,
+                           const CacheConfig &config);
+
+    /** Look up @p key; fills @p out and refreshes recency on a hit. */
+    bool lookup(const std::string &key, CachedResult &out);
+
+    /** Insert @p value under @p key (no-op if already present — the
+     *  first computation's bytes win, keeping hits byte-stable). */
+    void insert(const std::string &key, CachedResult value);
+
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    std::size_t size() const;
+
+  private:
+    using Order = std::list<std::string>;
+
+    struct Entry
+    {
+        CachedResult value;
+        Order::iterator recency;
+    };
+
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    Order order_;  ///< most recent at front
+    std::unordered_map<std::string, Entry> entries_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace occsim::serve
+
+#endif // OCCSIM_SERVE_RESULT_CACHE_HH

@@ -14,6 +14,18 @@ PackedTrace::PackedTrace(const VectorTrace &trace) : name_(trace.name())
     records_.reserve(trace.size());
     for (const MemRef &ref : trace.refs())
         records_.push_back(PackedRecord::pack(ref));
+    data_ = records_.data();
+    size_ = records_.size();
+}
+
+PackedTrace::PackedTrace(std::string name, const PackedRecord *records,
+                         std::size_t count,
+                         std::shared_ptr<const void> backing)
+    : name_(std::move(name)), backing_(std::move(backing)),
+      data_(records), size_(count)
+{
+    occsim_assert(records != nullptr || count == 0,
+                  "null record span of %zu records", count);
 }
 
 namespace {

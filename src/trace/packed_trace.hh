@@ -60,25 +60,47 @@ static_assert(sizeof(PackedRecord) == 8,
               "packed records must stay 8 bytes (one cache line holds "
               "eight of them)");
 
-/** An immutable packed trace: one contiguous span of records. */
+/**
+ * An immutable packed trace: one contiguous span of records. The
+ * records are either owned (decoded from a VectorTrace) or a view
+ * over externally held memory — an mmapped corpus file
+ * (trace/corpus.hh) replays through exactly the same span interface
+ * with zero copies.
+ */
 class PackedTrace
 {
   public:
     PackedTrace() = default;
     explicit PackedTrace(const VectorTrace &trace);
 
-    std::size_t size() const { return records_.size(); }
-    bool empty() const { return records_.empty(); }
-    const PackedRecord *data() const { return records_.data(); }
+    /**
+     * View over @p count externally owned records; @p backing keeps
+     * the storage (e.g. a file mapping) alive for the trace's
+     * lifetime. The records are NOT copied.
+     */
+    PackedTrace(std::string name, const PackedRecord *records,
+                std::size_t count, std::shared_ptr<const void> backing);
+
+    // The span pointer would dangle across a copy of the owned case;
+    // packed traces are shared by shared_ptr, never copied.
+    PackedTrace(const PackedTrace &) = delete;
+    PackedTrace &operator=(const PackedTrace &) = delete;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    const PackedRecord *data() const { return data_; }
     const PackedRecord &operator[](std::size_t i) const
     {
-        return records_[i];
+        return data_[i];
     }
     const std::string &name() const { return name_; }
 
   private:
     std::string name_ = "trace";
-    std::vector<PackedRecord> records_;
+    std::vector<PackedRecord> records_;  ///< owned storage (or empty)
+    std::shared_ptr<const void> backing_;  ///< view keep-alive
+    const PackedRecord *data_ = nullptr;
+    std::size_t size_ = 0;
 };
 
 /**
