@@ -121,5 +121,5 @@ main()
                static_cast<unsigned long long>(defaultTraceLength()),
                direct_ms, batch_ms, speedup,
                bit_identical ? "true" : "false"),
-        bit_identical);
+        /*gate_enforced=*/true, bit_identical);
 }

@@ -105,5 +105,5 @@ main()
                static_cast<unsigned long long>(defaultTraceLength()),
                threads, shadows, auto_ms, checked_ms, overhead,
                bit_identical ? "true" : "false"),
-        bit_identical);
+        /*gate_enforced=*/true, bit_identical);
 }

@@ -157,5 +157,5 @@ main()
                large.seqMs, large.parMs, large.speedup,
                large.efficiency,
                bit_identical ? "true" : "false"),
-        bit_identical);
+        /*gate_enforced=*/true, bit_identical);
 }

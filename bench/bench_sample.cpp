@@ -219,8 +219,7 @@ main()
                "\"units\":%llu,\"measured_refs\":%llu,"
                "\"batch_ms\":%.3f,\"sample_ms\":%.3f,"
                "\"speedup\":%.3f,\"rel_err_mean\":%.6f,"
-               "\"rel_err_max\":%.6f,\"coverage\":%.3f,"
-               "\"gate_enforced\":%s,\"gate_pass\":%s}",
+               "\"rel_err_max\":%.6f,\"coverage\":%.3f}",
                suite.profile.name.c_str(), suite.traces.size(),
                configs.size(),
                static_cast<unsigned long long>(refs),
@@ -229,8 +228,6 @@ main()
                static_cast<unsigned long long>(units),
                static_cast<unsigned long long>(measured_refs),
                batch_ms, sample_ms, speedup, rel_mean, rel_max,
-               coverage.coverage(),
-               gate_enforced ? "true" : "false",
-               pass ? "true" : "false"),
-        pass);
+               coverage.coverage()),
+        gate_enforced, pass);
 }

@@ -255,22 +255,20 @@ main()
         "serve",
         strfmt("{\"bench\":\"serve\",\"clients\":%zu,\"shapes\":%zu,"
                "\"configs_per_shape\":%zu,\"refs\":%llu,"
-               "\"hw_threads\":%u,\"workers\":%u,\"dispatchers\":%u,"
+               "\"workers\":%u,\"dispatchers\":%u,"
                "\"direct_ms\":%.3f,\"serve_ms\":%.3f,"
                "\"served_cells_per_sec\":%.1f,"
                "\"direct_cells_per_sec\":%.1f,"
                "\"p50_ms\":%.4f,\"p99_ms\":%.4f,"
                "\"cache_hits\":%llu,\"cache_misses\":%llu,"
-               "\"failures\":%zu,\"bit_identical\":%s,"
-               "\"gate_enforced\":%s,\"gate_pass\":%s}",
+               "\"failures\":%zu,\"bit_identical\":%s}",
                kClients, kShapes, kConfigsPerShape,
-               static_cast<unsigned long long>(refs), hw, workers,
+               static_cast<unsigned long long>(refs), workers,
                options.dispatchers, direct_ms, serve_ms, served_rate,
                direct_rate, p50, p99,
                static_cast<unsigned long long>(stats.cacheHits),
                static_cast<unsigned long long>(stats.cacheMisses),
-               failures, identical ? "true" : "false",
-               gate_enforced ? "true" : "false",
-               throughput_pass && latency_pass ? "true" : "false"),
+               failures, identical ? "true" : "false"),
+        gate_enforced,
         identical && throughput_pass && latency_pass);
 }

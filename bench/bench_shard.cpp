@@ -134,19 +134,16 @@ main()
         "shard",
         strfmt("{\"bench\":\"shard_replay\",\"trace\":\"%s\","
                "\"config\":\"%s\",\"refs\":%llu,\"shards\":%u,"
-               "\"threads\":%u,\"hw_threads\":%u,"
+               "\"threads\":%u,"
                "\"batch_ms\":%.3f,\"shard_ms\":%.3f,"
                "\"speedup\":%.3f,\"min_shard_refs\":%llu,"
-               "\"max_shard_refs\":%llu,\"bit_identical\":%s,"
-               "\"gate_enforced\":%s,\"gate_pass\":%s}",
+               "\"max_shard_refs\":%llu,\"bit_identical\":%s}",
                suite.traces[0].name.c_str(),
                config.fullName().c_str(),
                static_cast<unsigned long long>(refs), shards,
-               pool.size(), hw, batch_ms, shard_ms, speedup,
+               pool.size(), batch_ms, shard_ms, speedup,
                static_cast<unsigned long long>(min_refs),
                static_cast<unsigned long long>(max_refs),
-               bit_identical ? "true" : "false",
-               gate_enforced ? "true" : "false",
-               gate_pass ? "true" : "false"),
-        bit_identical && gate_pass);
+               bit_identical ? "true" : "false"),
+        gate_enforced, bit_identical && gate_pass);
 }

@@ -110,5 +110,5 @@ main()
                static_cast<unsigned long long>(defaultTraceLength()),
                threads, direct_ms, fast_ms, speedup,
                bit_identical ? "true" : "false"),
-        bit_identical);
+        /*gate_enforced=*/true, bit_identical);
 }

@@ -18,8 +18,20 @@
  *                                            any violation (this is
  *                                            the ctest validation of
  *                                            manifest emission)
+ *   occsim-report bench [--check] [paths]    summarize BENCH_*.json
+ *                                            benchmark records (a
+ *                                            directory argument is
+ *                                            scanned for them; the
+ *                                            default is the current
+ *                                            directory). --check exits
+ *                                            non-zero when any record
+ *                                            says bit_identical:false
+ *                                            or gate_pass:false
  */
 
+#include <dirent.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -41,7 +53,9 @@ usage()
     std::fprintf(stderr,
                  "usage: occsim-report <manifest.json>\n"
                  "       occsim-report --diff <a.json> <b.json>\n"
-                 "       occsim-report --check <manifest.json>\n");
+                 "       occsim-report --check <manifest.json>\n"
+                 "       occsim-report bench [--check] "
+                 "[<dir-or-BENCH_*.json>...]\n");
     std::exit(1);
 }
 
@@ -153,6 +167,10 @@ validateManifest(const JsonValue &doc)
             expectMember(sweep, "shard_max_refs",
                          JsonValue::Kind::Number, errors);
             expectMember(sweep, "shard_min_refs",
+                         JsonValue::Kind::Number, errors);
+            expectMember(sweep, "fused_runs",
+                         JsonValue::Kind::Number, errors);
+            expectMember(sweep, "fused_configs",
                          JsonValue::Kind::Number, errors);
             // Sampled sweeps must carry their sampling parameters
             // and coverage: an estimate whose unit size, interval,
@@ -294,7 +312,7 @@ printSummary(const std::string &path, const JsonValue &doc)
         sweeps != nullptr && !sweeps->items.empty()) {
         TableWriter table({"sweep", "mode", "traces", "configs",
                            "refs simulated", "wall ms", "sharded",
-                           "shard skew"});
+                           "shard skew", "fused cfgs"});
         for (const JsonValue &sweep : sweeps->items) {
             const JsonValue *configs = sweep.find("configs");
             // Shard imbalance: fullest / emptiest shard sub-trace
@@ -320,7 +338,10 @@ printSummary(const std::string &path, const JsonValue &doc)
                  strfmt("%.0f", numberAt(sweep, "refs_simulated")),
                  strfmt("%.2f", numberAt(sweep, "wall_ms")),
                  sharded > 0.0 ? strfmt("%.0f", sharded) : "-",
-                 skew});
+                 skew,
+                 numberAt(sweep, "fused_runs") > 0.0
+                     ? strfmt("%.0f", numberAt(sweep, "fused_configs"))
+                     : "-"});
         }
         std::printf("sweeps:\n");
         table.print(std::cout);
@@ -480,6 +501,139 @@ printDiffTable(const JsonValue &a, const JsonValue &b,
     std::printf("\n");
 }
 
+/** -1 when @p name is absent or not a boolean, else 0 or 1. */
+int
+boolAt(const JsonValue &object, const char *name)
+{
+    const JsonValue *member = object.find(name);
+    if (member == nullptr || !member->isBool())
+        return -1;
+    return member->boolean ? 1 : 0;
+}
+
+/** Expand a directory argument into its BENCH_*.json files (sorted);
+ *  anything that is not a directory passes through as-is. */
+std::vector<std::string>
+expandBenchArg(const std::string &arg)
+{
+    DIR *dir = ::opendir(arg.c_str());
+    if (dir == nullptr)
+        return {arg};
+    std::vector<std::string> files;
+    while (const struct dirent *ent = ::readdir(dir)) {
+        const std::string file = ent->d_name;
+        if (file.rfind("BENCH_", 0) == 0 && file.size() > 11 &&
+            file.compare(file.size() - 5, 5, ".json") == 0)
+            files.push_back(arg + "/" + file);
+    }
+    ::closedir(dir);
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+/** "BENCH_fused.json" (with any directory prefix) -> "fused". */
+std::string
+benchName(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    std::string name =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    if (name.rfind("BENCH_", 0) == 0)
+        name = name.substr(6);
+    if (name.size() > 5 &&
+        name.compare(name.size() - 5, 5, ".json") == 0)
+        name = name.substr(0, name.size() - 5);
+    return name;
+}
+
+/**
+ * The BENCH_*.json trajectory as one table. The records are
+ * heterogeneous — each bench names its own headline ratio (speedup
+ * or overhead) and reference count, and the correctness/gate trailer
+ * is only present where bench_reporter emitted it — so absent fields
+ * print "-" rather than failing. With @p check, any record that
+ * recorded bit_identical:false or gate_pass:false fails the run.
+ */
+int
+benchReport(const std::vector<std::string> &args, bool check)
+{
+    std::vector<std::string> paths;
+    for (const std::string &arg : args) {
+        for (std::string &path : expandBenchArg(arg))
+            paths.push_back(std::move(path));
+    }
+    if (paths.empty()) {
+        std::fprintf(stderr,
+                     "occsim-report: no BENCH_*.json files found\n");
+        return 1;
+    }
+
+    TableWriter table({"bench", "refs", "hw threads", "speedup",
+                       "bit identical", "gate"});
+    std::vector<std::string> failures;
+    bool load_failed = false;
+    for (const std::string &path : paths) {
+        JsonValue doc;
+        if (!loadManifest(path, doc)) {
+            load_failed = true;
+            continue;
+        }
+        const std::string name = benchName(path);
+
+        double refs = numberAt(doc, "refs");
+        if (refs == 0.0)
+            refs = numberAt(doc, "refs_per_trace");
+        const double hw_threads = numberAt(doc, "hw_threads");
+
+        // The headline ratio: most benches record "speedup" (bigger
+        // is better); the cross-check bench records "overhead"
+        // (smaller is better), marked as such.
+        std::string ratio = "-";
+        if (doc.find("speedup") != nullptr)
+            ratio = strfmt("%.2fx", numberAt(doc, "speedup"));
+        else if (doc.find("overhead") != nullptr)
+            ratio = strfmt("%.2fx overhead",
+                           numberAt(doc, "overhead"));
+
+        const int identical = boolAt(doc, "bit_identical");
+        const int enforced = boolAt(doc, "gate_enforced");
+        const int pass = boolAt(doc, "gate_pass");
+        std::string gate = "-";
+        if (pass == 0)
+            gate = "FAIL";
+        else if (pass == 1)
+            gate = enforced == 1 ? "pass" : "pass (not enforced)";
+
+        table.addRow({name, refs > 0.0 ? strfmt("%.0f", refs) : "-",
+                      hw_threads > 0.0 ? strfmt("%.0f", hw_threads)
+                                       : "-",
+                      ratio,
+                      identical < 0 ? "-"
+                                    : (identical ? "yes" : "NO"),
+                      gate});
+        if (identical == 0)
+            failures.push_back(
+                strfmt("%s: bit_identical is false", name.c_str()));
+        if (pass == 0)
+            failures.push_back(
+                strfmt("%s: gate_pass is false", name.c_str()));
+    }
+    std::printf("benchmarks:\n");
+    table.print(std::cout);
+
+    if (check) {
+        for (const std::string &failure : failures) {
+            std::fprintf(stderr, "occsim-report: %s\n",
+                         failure.c_str());
+        }
+        if (failures.empty() && !load_failed)
+            std::printf("\nall benchmark records identical and "
+                        "within gate\n");
+        return failures.empty() && !load_failed ? 0 : 1;
+    }
+    return load_failed ? 1 : 0;
+}
+
 int
 diffManifests(const std::string &path_a, const std::string &path_b)
 {
@@ -532,6 +686,22 @@ main(int argc, char **argv)
         if (argc != 4)
             usage();
         return diffManifests(argv[2], argv[3]);
+    }
+
+    if (mode == "bench") {
+        bool check = false;
+        std::vector<std::string> args;
+        for (int i = 2; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--check") == 0)
+                check = true;
+            else if (argv[i][0] == '-')
+                usage();
+            else
+                args.emplace_back(argv[i]);
+        }
+        if (args.empty())
+            args.emplace_back(".");
+        return benchReport(args, check);
     }
 
     if (mode[0] == '-')

@@ -70,21 +70,23 @@ Cache::fetchIntoSpec(std::uint32_t frame_index,
                      std::uint32_t sub_index, bool counted, bool cold)
 {
     const std::uint32_t num_subs = numSubs_;
-    std::uint32_t &valid = meta_[frame_index].valid;
-    std::uint32_t &ever = everFilled_[frame_index];
+    std::uint64_t &valid = meta_[frame_index].valid;
+    std::uint64_t &ever = everFilled_[frame_index];
 
     if constexpr (F == FetchPolicy::Demand ||
                   F == FetchPolicy::PrefetchNextOnMiss) {
-        valid |= (1u << sub_index);
-        ever |= (1u << sub_index);
+        valid |= (std::uint64_t{1} << sub_index);
+        ever |= (std::uint64_t{1} << sub_index);
         if constexpr (Record)
             emitBurst(1, counted, cold, 0);
     } else if constexpr (F == FetchPolicy::LoadForward) {
         // One burst covering the target and every subsequent
         // sub-block, re-fetching resident ones (redundant loads).
         const std::uint32_t span = num_subs - sub_index;
-        const std::uint32_t span_mask =
-            (span == 32 ? ~0u : ((1u << span) - 1)) << sub_index;
+        const std::uint64_t span_mask =
+            (span == 64 ? ~std::uint64_t{0}
+                        : ((std::uint64_t{1} << span) - 1))
+            << sub_index;
         if constexpr (Record) {
             const std::uint32_t redundant =
                 static_cast<std::uint32_t>(
@@ -98,7 +100,7 @@ Cache::fetchIntoSpec(std::uint32_t frame_index,
         // as one burst per contiguous invalid run.
         std::uint32_t run = 0;
         for (std::uint32_t i = sub_index; i < num_subs; ++i) {
-            const std::uint32_t bit = 1u << i;
+            const std::uint64_t bit = std::uint64_t{1} << i;
             if (valid & bit) {
                 if (run != 0) {
                     if constexpr (Record)
@@ -202,7 +204,7 @@ Cache::access(const MemRef &ref)
         static_cast<std::uint32_t>(geom_.setIndex(ref.addr));
     const Addr block_addr = geom_.blockAddr(ref.addr);
     const std::uint32_t sub_index = geom_.subBlockIndex(ref.addr);
-    const std::uint32_t sub_bit = 1u << sub_index;
+    const std::uint64_t sub_bit = std::uint64_t{1} << sub_index;
     const bool is_write = ref.isWrite();
     const bool counted = !is_write;
     const bool is_ifetch = ref.isInstruction();
@@ -295,7 +297,7 @@ Cache::accessSpec(Addr addr, bool is_write, bool is_ifetch)
         static_cast<std::uint32_t>(geom_.setIndex(addr));
     const Addr block_addr = geom_.blockAddr(addr);
     const std::uint32_t sub_index = geom_.subBlockIndex(addr);
-    const std::uint32_t sub_bit = 1u << sub_index;
+    const std::uint64_t sub_bit = std::uint64_t{1} << sub_index;
     const bool counted = !is_write;
 
     const int way = findWay<A>(set, block_addr);
@@ -505,8 +507,9 @@ Cache::seedWarmState(const Addr *mru, std::uint32_t src_stride)
 {
     const std::uint32_t num_sets = geom_.numSets();
     const std::uint32_t assoc = assoc_;
-    const std::uint32_t all_subs =
-        numSubs_ == 32 ? ~0u : (1u << numSubs_) - 1;
+    const std::uint64_t all_subs =
+        numSubs_ == 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << numSubs_) - 1;
     occsim_assert(src_stride >= assoc,
                   "checkpoint rows shallower (%u) than assoc %u",
                   src_stride, assoc);
@@ -549,7 +552,7 @@ Cache::prefetchSequential(Addr miss_addr)
         static_cast<std::uint32_t>(geom_.setIndex(target));
     const Addr block_addr = geom_.blockAddr(target);
     const std::uint32_t sub_index = geom_.subBlockIndex(target);
-    const std::uint32_t sub_bit = 1u << sub_index;
+    const std::uint64_t sub_bit = std::uint64_t{1} << sub_index;
     const std::uint32_t words = wordsPerSub_;
 
     const int way = findWay(set, block_addr);
@@ -655,7 +658,7 @@ Cache::isResident(Addr addr) const
         return false;
     return (meta_[set * assoc_ + static_cast<std::uint32_t>(way)]
                 .valid &
-            (1u << geom_.subBlockIndex(addr))) != 0;
+            (std::uint64_t{1} << geom_.subBlockIndex(addr))) != 0;
 }
 
 bool
@@ -666,7 +669,7 @@ Cache::isBlockResident(Addr addr) const
     return findWay(set, geom_.blockAddr(addr)) >= 0;
 }
 
-std::uint32_t
+std::uint64_t
 Cache::validMask(Addr addr) const
 {
     const std::uint32_t set =

@@ -150,7 +150,7 @@ class Cache
     /** @return true if the block containing @p addr has a tag match. */
     bool isBlockResident(Addr addr) const;
     /** Valid-bit mask of the block containing @p addr (0 if absent). */
-    std::uint32_t validMask(Addr addr) const;
+    std::uint64_t validMask(Addr addr) const;
 
   private:
     /**
@@ -164,10 +164,10 @@ class Cache
      */
     struct FrameMeta
     {
-        std::uint32_t valid = 0;    ///< per-sub-block valid bits
-        std::uint32_t touched = 0;  ///< referenced during residency
-        std::uint32_t dirty = 0;    ///< written since fill (copy-back)
-        std::uint32_t prefetched = 0;  ///< filled by prefetch, unused
+        std::uint64_t valid = 0;    ///< per-sub-block valid bits
+        std::uint64_t touched = 0;  ///< referenced during residency
+        std::uint64_t dirty = 0;    ///< written since fill (copy-back)
+        std::uint64_t prefetched = 0;  ///< filled by prefetch, unused
     };
 
     /** Tag value of an empty frame. Block addresses are 32-bit
@@ -294,7 +294,7 @@ class Cache
     std::vector<FrameMeta> meta_;
     /** Per frame, per sub-block slot: ever filled since reset
      *  (cold-miss tracking). */
-    std::vector<std::uint32_t> everFilled_;
+    std::vector<std::uint64_t> everFilled_;
     std::uint64_t flushes_ = 0;
 };
 

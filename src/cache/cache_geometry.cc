@@ -45,8 +45,8 @@ CacheGeometry::CacheGeometry(const CacheConfig &config)
         fatal("address space smaller than one block");
     tagBits_ = c.addressBits - offset_bits;
 
-    if (subBlocksPerBlock_ > 32) {
-        fatal("more than 32 sub-blocks per block (%u) is unsupported",
+    if (subBlocksPerBlock_ > 64) {
+        fatal("more than 64 sub-blocks per block (%u) is unsupported",
               subBlocksPerBlock_);
     }
 }

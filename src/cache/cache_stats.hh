@@ -76,6 +76,41 @@ class CacheStats
         if (!hit)
             ++writeMisses_;
     }
+    /**
+     * Bulk-add the counters that are the same for every reference of
+     * a replayed span regardless of hit or miss: each counted read
+     * adds one access (recordHit and recordMiss both do), each
+     * instruction fetch one ifetch access, each write one write
+     * access. The fused engine tallies these once per pass instead of
+     * per (reference, config) — integer sums, so the totals are
+     * bit-identical to per-reference recording.
+     */
+    void addUniformAccesses(std::uint64_t counted_reads,
+                            std::uint64_t ifetch_reads,
+                            std::uint64_t writes,
+                            std::uint64_t write_misses,
+                            std::uint64_t store_words)
+    {
+        accesses_ += counted_reads;
+        ifetchAccesses_ += ifetch_reads;
+        writeAccesses_ += writes;
+        writeMisses_ += write_misses;
+        storeWords_ += store_words;
+    }
+    /** The miss-side counters of recordMiss, for callers that account
+     *  the access-side counters via addUniformAccesses. */
+    void recordMissCounters(bool is_ifetch, bool block_miss, bool cold)
+    {
+        ++misses_;
+        if (block_miss)
+            ++blockMisses_;
+        if (cold)
+            ++coldMisses_;
+        if (is_ifetch)
+            ++ifetchMisses_;
+    }
+    /** The miss side of recordWrite(false), same split. */
+    void recordWriteMissCounter() { ++writeMisses_; }
     /** A counted burst of @p words words; @p cold when triggered by a
      *  cold miss; @p redundant_words of them re-fetched valid data. */
     void recordBurst(std::uint32_t words, bool cold,

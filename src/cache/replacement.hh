@@ -70,6 +70,17 @@ class ReplacementState
         }
     }
 
+    /** The most-protected way of @p set — the back of the eviction
+     *  order. moveToBack is a no-op for that way, so a caller holding
+     *  a hit on it may skip onAccessSpec: one load and compare in
+     *  place of the scan-and-shift. Meaningful for LRU and FIFO. */
+    template <std::uint32_t A = 0>
+    std::uint32_t mostProtected(std::uint32_t set) const
+    {
+        const std::uint32_t assoc = A != 0 ? A : assoc_;
+        return setOrder(set)[assoc - 1];
+    }
+
     /** victim with @p P (and optionally assoc) resolved at compile
      *  time. */
     template <ReplacementPolicy P, std::uint32_t A = 0>

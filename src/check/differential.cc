@@ -10,6 +10,7 @@
 #include "cache/cache.hh"
 #include "cache/cache_geometry.hh"
 #include "multi/batch_replay.hh"
+#include "multi/fused_replay.hh"
 #include "multi/parallel_sweep.hh"
 #include "multi/shard_replay.hh"
 #include "multi/single_pass.hh"
@@ -168,6 +169,88 @@ runDifferentialCase(const CacheConfig &config,
                 diffSweepResult(
                     "shard" + std::to_string(num_shards),
                     engine.result(), direct_summary, report.diffs);
+            }
+        }
+    }
+
+    // Engine 7: the fused group engine, when eligible — the config
+    // rides one group pass alongside deliberately awkward companion
+    // siblings (same FusedKey, different sub-block size and fetch
+    // policy), so the per-config mask planes are exercised against
+    // each other; every member must match its own direct run bit for
+    // bit, unsharded and at awkward shard counts.
+    if (fusedEligible(config)) {
+        std::vector<CacheConfig> group{config};
+        const auto add_sibling = [&](std::uint32_t sub,
+                                     FetchPolicy fetch) {
+            CacheConfig sibling = config;
+            sibling.subBlockSize = sub;
+            sibling.fetch = fetch;
+            for (const CacheConfig &member : group) {
+                if (member.subBlockSize == sibling.subBlockSize &&
+                    member.fetch == sibling.fetch)
+                    return;
+            }
+            group.push_back(sibling);
+        };
+        // The extremes of the sub-block range under both fetch
+        // families, plus the config's own geometry with the other
+        // fetch — an intentionally lopsided group (mask widths 1 bit
+        // and full-width in one pass). The fine end respects the
+        // 64-sub-blocks-per-block engine limit.
+        const std::uint32_t finest_sub =
+            std::max(config.wordSize, config.blockSize / 64);
+        add_sibling(finest_sub, FetchPolicy::Demand);
+        add_sibling(finest_sub, FetchPolicy::LoadForward);
+        add_sibling(config.blockSize,
+                    FetchPolicy::LoadForwardOptimized);
+        add_sibling(config.subBlockSize,
+                    config.fetch == FetchPolicy::Demand
+                        ? FetchPolicy::LoadForward
+                        : FetchPolicy::Demand);
+
+        std::vector<SweepResult> member_summaries;
+        member_summaries.reserve(group.size());
+        member_summaries.push_back(direct_summary);
+        for (std::size_t m = 1; m < group.size(); ++m) {
+            Cache member(group[m]);
+            for (const MemRef &ref : refs)
+                member.access(ref);
+            member.finalizeResidencies();
+            member_summaries.push_back(summarizeCache(member));
+        }
+
+        const PackedTrace packed(*trace);
+        {
+            FusedReplay fused(group);
+            fused.run(packed.data(), packed.size());
+            for (std::size_t m = 0; m < group.size(); ++m) {
+                diffSweepResult("fused.m" + std::to_string(m),
+                                fused.result(m), member_summaries[m],
+                                report.diffs);
+            }
+        }
+
+        const CacheGeometry geom(config);
+        const std::uint32_t max_shards =
+            std::min<std::uint32_t>(geom.numSets(), kMaxShards);
+        if (max_shards >= 2) {
+            std::vector<std::uint32_t> counts{2};
+            if (max_shards > 2)
+                counts.push_back(max_shards);
+            for (const std::uint32_t num_shards : counts) {
+                FusedReplay fused(group, num_shards);
+                const ShardedPackedTrace strace(
+                    packed, fused.blockBits(), fused.shardBits(), 0);
+                for (std::uint32_t s = 0; s < num_shards; ++s)
+                    fused.runShard(s, strace);
+                for (std::size_t m = 0; m < group.size(); ++m) {
+                    diffSweepResult(
+                        "fused-shard" + std::to_string(num_shards) +
+                            ".m" + std::to_string(m),
+                        fused.result(m), member_summaries[m],
+                        report.diffs);
+                }
             }
         }
     }

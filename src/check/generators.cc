@@ -20,12 +20,12 @@ ConfigGen::next()
     config.wordSize = rng_.chance(0.5) ? 2 : 4;
 
     // Size chain: word <= sub <= block <= net, powers of two, at
-    // most 32 sub-blocks per block (the engine limit), net capped so
+    // most 64 sub-blocks per block (the engine limit), net capped so
     // a case stays small enough to fuzz by the hundreds.
     config.subBlockSize = config.wordSize
                           << rng_.below(4);               // up to 8x word
     const std::uint64_t max_block_shift =
-        std::min<std::uint64_t>(5, floorLog2(32u));       // <= 32 subs
+        std::min<std::uint64_t>(6, floorLog2(64u));       // <= 64 subs
     config.blockSize = config.subBlockSize
                        << rng_.below(max_block_shift + 1);
     config.blockSize = std::min(config.blockSize, 1024u);

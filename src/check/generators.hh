@@ -29,7 +29,7 @@ namespace occsim {
 /**
  * Random cache-design points. The distribution covers the paper's
  * whole Table 1 grid — every (word, sub-block, block, net) chain of
- * powers of two with sub <= block <= net and at most 32 sub-blocks
+ * powers of two with sub <= block <= net and at most 64 sub-blocks
  * per block — plus the ablation dimensions: associativity 1..16,
  * LRU/FIFO/Random, all four fetch policies, both write policies, and
  * no-allocate writes. A quarter of all points are forced onto the

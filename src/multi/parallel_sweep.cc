@@ -45,18 +45,44 @@ ParallelSweepRunner::ParallelSweepRunner(
     const ConfigPartition part = partitionConfigs(configs_, engine);
 
     directIndex_ = part.direct;
-    batchIndex_ = part.direct;
-    for (std::size_t j = 0; j < directIndex_.size(); ++j) {
-        routes_[directIndex_[j]].engine = kRouteDirect;
-        routes_[directIndex_[j]].slot = static_cast<std::uint32_t>(j);
+
+    // Fused group routing happens here — the grouping key is pure
+    // config geometry, so unlike sharding it needs no trace. Groups
+    // of one stay batched: a lone config gains nothing from the
+    // group pass but still pays the plane indirection.
+    if (engine != SweepEngine::DirectOnly && allowSharding_) {
+        for (const auto &group : fusedGroups(configs_, part.direct)) {
+            if (group.size() < 2)
+                continue;
+            const auto g = static_cast<std::uint32_t>(fused_.size());
+            for (std::size_t k = 0; k < group.size(); ++k) {
+                routes_[group[k]].engine = kRouteFused;
+                routes_[group[k]].slot =
+                    static_cast<std::uint32_t>(fusedSlots_.size());
+                fusedSlots_.emplace_back(
+                    g, static_cast<std::uint32_t>(k));
+            }
+            fusedIndex_.push_back(group);
+            fused_.push_back(std::make_unique<FusedReplay>(
+                selectConfigs(configs_, group)));
+        }
+    }
+
+    batchIndex_.clear();
+    for (const std::size_t i : directIndex_) {
+        if (routes_[i].engine == kRouteFused)
+            continue;
+        routes_[i].engine = kRouteDirect;
+        routes_[i].slot = static_cast<std::uint32_t>(batchIndex_.size());
+        batchIndex_.push_back(i);
     }
     if (engine == SweepEngine::DirectOnly) {
-        caches_.reserve(directIndex_.size());
-        for (const std::size_t i : directIndex_)
+        caches_.reserve(batchIndex_.size());
+        for (const std::size_t i : batchIndex_)
             caches_.push_back(std::make_unique<Cache>(configs_[i]));
-    } else if (!directIndex_.empty()) {
+    } else if (!batchIndex_.empty()) {
         batch_ = std::make_unique<BatchReplay>(
-            selectConfigs(configs_, directIndex_));
+            selectConfigs(configs_, batchIndex_));
     }
 
     engines_.reserve(part.groups.size());
@@ -111,12 +137,23 @@ ParallelSweepRunner::sharded(std::size_t i) const
     return routes_[i].engine == kRouteShard;
 }
 
+bool
+ParallelSweepRunner::fused(std::size_t i) const
+{
+    occsim_assert(i < routes_.size(), "config index out of range");
+    return routes_[i].engine == kRouteFused;
+}
+
 ShardTelemetry
 ParallelSweepRunner::shardTelemetry() const
 {
     ShardTelemetry telem;
     for (const auto &engine : shards_)
         telem.accumulate(*engine);
+    for (const auto &engine : fused_) {
+        if (engine->numShards() > 1)
+            telem.accumulate(*engine);
+    }
     return telem;
 }
 
@@ -127,19 +164,37 @@ ParallelSweepRunner::finalizeRoutes(unsigned threads,
     if (routesFinal_)
         return;
     routesFinal_ = true;
-    if (!allowSharding_ || batch_ == nullptr)
-        return;  // pinned, DirectOnly, or nothing batched
+    if (!allowSharding_ || (batch_ == nullptr && fused_.empty()))
+        return;  // pinned, DirectOnly, or nothing to refine
 
-    // Task inventory if nothing is sharded: batch tiles plus
-    // single-pass levels. When that alone saturates the pool, task
-    // parallelism already wins and sharding only adds merge overhead.
-    std::size_t competing = batch_->numTiles();
+    // Task inventory if nothing is sharded: batch tiles, one task per
+    // fused group, plus single-pass levels. When that alone saturates
+    // the pool, task parallelism already wins and sharding only adds
+    // merge overhead.
+    std::size_t competing =
+        (batch_ != nullptr ? batch_->numTiles() : 0) + fused_.size();
     for (const auto &engine : engines_)
         competing += engine->numLevels();
 
     const ShardMode mode = shardModeFromEnv();
+
+    // Fused groups shard as a unit: every member shares the grouping
+    // geometry, so one member's verdict (and shard count) is the
+    // group's. Nothing has replayed yet, so rebuilding the engine
+    // with shards loses no state.
+    for (std::size_t g = 0; g < fused_.size(); ++g) {
+        const CacheConfig &rep = configs_[fusedIndex_[g].front()];
+        if (shouldShard(mode, rep, threads, limit, competing)) {
+            fused_[g] = std::make_unique<FusedReplay>(
+                selectConfigs(configs_, fusedIndex_[g]),
+                planShardCount(rep, threads));
+        }
+    }
+
+    if (batch_ == nullptr)
+        return;
     std::vector<std::size_t> batch_list;
-    for (const std::size_t i : directIndex_) {
+    for (const std::size_t i : batchIndex_) {
         if (shouldShard(mode, configs_[i], threads, limit,
                         competing)) {
             routes_[i].engine = kRouteShard;
@@ -178,6 +233,12 @@ ParallelSweepRunner::cache(std::size_t i) const
                   "runner with SweepEngine::DirectOnly (or set "
                   "OCCSIM_SHARD=0) to keep one",
                   i, configs_[i].shortName().c_str());
+    occsim_assert(routes_[i].engine != kRouteFused,
+                  "config %zu (%s) rides a fused group pass and has "
+                  "no single Cache; construct the runner with "
+                  "SweepEngine::DirectOnly (or allow_sharding = "
+                  "false) to keep one",
+                  i, configs_[i].shortName().c_str());
     occsim_assert(routes_[i].engine == kRouteDirect,
                   "config %zu (%s) is served by the single-pass "
                   "engine and has no Cache; construct the runner "
@@ -210,10 +271,10 @@ ParallelSweepRunner::run(const std::shared_ptr<const VectorTrace> &trace,
     // engine (depends on the pool width and the trace length).
     finalizeRoutes(poolOrGlobal(pool_).size(), limit);
 
-    // Decode the trace once for the batched/sharded engines
+    // Decode the trace once for the batched/sharded/fused engines
     // (memoized across runners sharing the trace).
     std::shared_ptr<const PackedTrace> packed;
-    if (batch_ != nullptr || !shards_.empty())
+    if (batch_ != nullptr || !shards_.empty() || !fused_.empty())
         packed = packedTraceShared(trace);
 
     // Partition the packed trace for every sharded config (memoized
@@ -228,6 +289,24 @@ ParallelSweepRunner::run(const std::shared_ptr<const VectorTrace> &trace,
             limit));
         for (std::uint32_t s = 0; s < shards_[k]->numShards(); ++s)
             shard_tasks.emplace_back(k, s);
+    }
+
+    // Fused groups: one task per group (unsharded — driven straight
+    // off the packed records, no partition copy) or per (group,
+    // shard). An unsharded group's task is marked shard == numShards.
+    std::vector<std::shared_ptr<const ShardedPackedTrace>> fused_traces(
+        fused_.size());
+    std::vector<std::pair<std::size_t, std::uint32_t>> fused_tasks;
+    for (std::size_t g = 0; g < fused_.size(); ++g) {
+        if (fused_[g]->numShards() == 1) {
+            fused_tasks.emplace_back(g, 1u);
+            continue;
+        }
+        fused_traces[g] = shardedTraceShared(
+            packed, fused_[g]->blockBits(), fused_[g]->shardBits(),
+            limit);
+        for (std::uint32_t s = 0; s < fused_[g]->numShards(); ++s)
+            fused_tasks.emplace_back(g, s);
     }
 
     // One task per direct cache (DirectOnly) or per batch tile
@@ -245,8 +324,8 @@ ParallelSweepRunner::run(const std::shared_ptr<const VectorTrace> &trace,
     const std::size_t batch_tasks =
         batch_ != nullptr ? batch_->numTiles() : caches_.size();
     const std::size_t sharded_tasks = batch_tasks + shard_tasks.size();
-    const std::size_t routed_tasks =
-        sharded_tasks + level_tasks.size();
+    const std::size_t fused_end = sharded_tasks + fused_tasks.size();
+    const std::size_t routed_tasks = fused_end + level_tasks.size();
     poolOrGlobal(pool_).parallelFor(
         routed_tasks + shadowCaches_.size(), [&](std::size_t task) {
             if (task < batch_tasks) {
@@ -265,8 +344,14 @@ ParallelSweepRunner::run(const std::shared_ptr<const VectorTrace> &trace,
             } else if (task < sharded_tasks) {
                 const auto [k, s] = shard_tasks[task - batch_tasks];
                 shards_[k]->runShard(s, *shard_traces[k]);
+            } else if (task < fused_end) {
+                const auto [g, s] = fused_tasks[task - sharded_tasks];
+                if (s == fused_[g]->numShards())
+                    fused_[g]->run(packed->data(), limit);
+                else
+                    fused_[g]->runShard(s, *fused_traces[g]);
             } else if (task < routed_tasks) {
-                const auto [e, l] = level_tasks[task - sharded_tasks];
+                const auto [e, l] = level_tasks[task - fused_end];
                 engines_[e]->runLevel(l, *trace, max_refs);
             } else {
                 OCCSIM_TELEM_STAGE("engine.shadow");
@@ -285,22 +370,28 @@ ParallelSweepRunner::run(const std::shared_ptr<const VectorTrace> &trace,
     for (std::size_t s = 0; s < shadowIndex_.size(); ++s) {
         const std::size_t i = shadowIndex_[s];
         const Route &route = routes_[i];
-        const SweepResult fast =
-            route.engine >= 0
-                ? engines_[static_cast<std::size_t>(route.engine)]
-                      ->results()[route.slot]
-                : (route.engine == kRouteShard
-                       ? shards_[route.slot]->result()
-                       : summarizeCache(batch_->cache(route.slot)));
+        SweepResult fast;
+        const char *engine_name = nullptr;
+        if (route.engine >= 0) {
+            fast = engines_[static_cast<std::size_t>(route.engine)]
+                       ->results()[route.slot];
+            engine_name = "single-pass";
+        } else if (route.engine == kRouteShard) {
+            fast = shards_[route.slot]->result();
+            engine_name = "set-sharded";
+        } else if (route.engine == kRouteFused) {
+            const auto [g, k] = fusedSlots_[route.slot];
+            fast = fused_[g]->result(k);
+            engine_name = "fused";
+        } else {
+            fast = summarizeCache(batch_->cache(route.slot));
+            engine_name = "batched";
+        }
         const SweepResult want = summarizeCache(*shadowCaches_[s]);
         if (!sameSweepResult(fast, want)) {
             fatal("cross-check mismatch: %s engine disagrees "
                   "with direct simulation for config %s on trace %s",
-                  route.engine >= 0
-                      ? "single-pass"
-                      : (route.engine == kRouteShard ? "set-sharded"
-                                                     : "batched"),
-                  configs_[i].fullName().c_str(),
+                  engine_name, configs_[i].fullName().c_str(),
                   trace->name().c_str());
         }
     }
@@ -323,6 +414,11 @@ ParallelSweepRunner::results() const
     }
     for (std::size_t k = 0; k < shards_.size(); ++k)
         out[shardIndex_[k]] = shards_[k]->result();
+    for (std::size_t g = 0; g < fused_.size(); ++g) {
+        const auto group_results = fused_[g]->results();
+        for (std::size_t k = 0; k < group_results.size(); ++k)
+            out[fusedIndex_[g][k]] = group_results[k];
+    }
     for (std::size_t e = 0; e < engines_.size(); ++e) {
         const auto engine_results = engines_[e]->results();
         for (std::size_t k = 0; k < engine_results.size(); ++k)

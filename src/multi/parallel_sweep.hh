@@ -17,14 +17,19 @@
  * write-allocate, see singlePassEligible) are routed to the
  * single-pass SinglePassEngine by default: one engine per (trace,
  * block size) prices every such config in one trace pass per distinct
- * set count, instead of one full pass per config. Everything else —
- * sub-block placement, load-forward, prefetch, no-allocate writes,
- * FIFO/random replacement — goes to the batched replay engine
- * (BatchReplay): the trace is pre-decoded once into a PackedTrace and
- * streamed chunk by chunk through tiles of specialized-kernel caches.
- * SweepEngine::DirectOnly forces plain per-config Cache::access
- * simulation everywhere (used by tests and benchmarks as the
- * reference engine).
+ * set count, instead of one full pass per config. Among the rest,
+ * groups of two or more fusedEligible configs sharing one FusedKey
+ * (same effective sets x ways x block plus replacement/write
+ * policies — the paper's sub-block and load-forward sweeps) go to the
+ * fused group engine (FusedReplay): block-level tag/replacement
+ * simulation once per group per trace pass, per-config 64-bit
+ * sub-block mask planes for what differs. Everything else — prefetch,
+ * Random replacement, fused singletons — goes to the batched replay
+ * engine (BatchReplay): the trace is pre-decoded once into a
+ * PackedTrace and streamed chunk by chunk through tiles of
+ * specialized-kernel caches. SweepEngine::DirectOnly forces plain
+ * per-config Cache::access simulation everywhere (used by tests and
+ * benchmarks as the reference engine).
  *
  * Determinism guarantee: results are bit-identical to the sequential
  * SweepRunner's no matter how the work is scheduled and no matter
@@ -39,6 +44,7 @@
 #include <vector>
 
 #include "multi/batch_replay.hh"
+#include "multi/fused_replay.hh"
 #include "multi/shard_replay.hh"
 #include "multi/single_pass.hh"
 #include "multi/sweep_runner.hh"
@@ -101,8 +107,9 @@ class ParallelSweepRunner
      *        the single-pass engine).
      * @param allow_sharding false pins every non-single-pass config
      *        to the batched/direct engines even when OCCSIM_SHARD or
-     *        the heuristic would shard it (probe callers need a
-     *        backing Cache per config).
+     *        the heuristic would shard it, and also disables fused
+     *        group routing (probe callers need a backing Cache per
+     *        config; neither engine keeps one).
      */
     explicit ParallelSweepRunner(const std::vector<CacheConfig> &configs,
                                  ThreadPool *pool = nullptr,
@@ -147,6 +154,24 @@ class ParallelSweepRunner
      *  (decided at first run(); no single backing Cache exists). */
     bool sharded(std::size_t i) const;
 
+    /** Number of configs served by fused group engines (routed at
+     *  construction — the grouping is trace-independent — and zero
+     *  under DirectOnly or allow_sharding == false). */
+    std::size_t fusedCount() const { return fusedSlots_.size(); }
+
+    /** @return true when config @p i rides a fused group pass (no
+     *  single backing Cache exists). */
+    bool fused(std::size_t i) const;
+
+    /** Number of fused groups (each >= 2 configs). */
+    std::size_t fusedGroupCount() const { return fused_.size(); }
+
+    /** Fused group @p g's engine (test/bench introspection). */
+    const FusedReplay &fusedGroup(std::size_t g) const
+    {
+        return *fused_[g];
+    }
+
     /** Imbalance summary over this runner's sharded runs (all zeros
      *  when nothing sharded). */
     ShardTelemetry shardTelemetry() const;
@@ -166,7 +191,8 @@ class ParallelSweepRunner
     /** Where a config's simulation lives: a Cache outside the
      *  single-pass engines (engine == kRouteDirect; slot into caches_
      *  under DirectOnly, into batch_ otherwise), the set-sharded
-     *  engine (engine == kRouteShard; slot into shards_), or a
+     *  engine (engine == kRouteShard; slot into shards_), a fused
+     *  group (engine == kRouteFused; slot into fusedSlots_), or a
      *  single-pass engine (engine >= 0; slot into that engine's
      *  config list). */
     struct Route
@@ -176,6 +202,7 @@ class ParallelSweepRunner
     };
     static constexpr std::int32_t kRouteDirect = -1;
     static constexpr std::int32_t kRouteShard = -2;
+    static constexpr std::int32_t kRouteFused = -3;
 
     /** First-run() routing refinement: move heuristically (or
      *  OCCSIM_SHARD-forced) chosen direct configs from the batched
@@ -198,6 +225,11 @@ class ParallelSweepRunner
     std::vector<std::size_t> batchIndex_;
     /** shards_[k] simulates configs_[shardIndex_[k]]. */
     std::vector<std::size_t> shardIndex_;
+    /** fused_[g] simulates configs_[fusedIndex_[g][k]] as member k. */
+    std::vector<std::vector<std::size_t>> fusedIndex_;
+    std::vector<std::unique_ptr<FusedReplay>> fused_;
+    /** Flat Route::slot -> (group, member) for fused configs. */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> fusedSlots_;
     /** Auto/CrossCheck: batched replay engine over the non-eligible,
      *  non-sharded configs (same slot order as batchIndex_). */
     std::unique_ptr<BatchReplay> batch_;

@@ -151,6 +151,10 @@ struct ShardTelemetry
 
     /** Fold one finished sharded run into the summary. */
     void accumulate(const ShardReplay &engine);
+    /** Fold one finished sharded fused-group run (counts as ONE
+     *  sharded run however many configs it priced). Defined in
+     *  multi/fused_replay.cc. */
+    void accumulate(const class FusedReplay &engine);
     /** Fold another summary into this one. */
     void accumulate(const ShardTelemetry &other);
 };

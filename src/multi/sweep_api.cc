@@ -37,6 +37,14 @@ struct ShardInfo
     std::vector<bool> shardedConfigs;
 };
 
+/** Fused group engine activity of one sweep, for the manifest. */
+struct FusedInfo
+{
+    std::size_t fusedRuns = 0;  ///< (trace, group) passes run
+    /** fusedConfigs[c]: config c rode a fused pass on >= 1 trace. */
+    std::vector<bool> fusedConfigs;
+};
+
 /**
  * Verification / probe path: one ParallelSweepRunner per trace (still
  * parallel within each trace), so per-config shadows exist
@@ -47,7 +55,7 @@ struct ShardInfo
 std::uint64_t
 runPerTraceRunners(const SweepRequest &request, SweepReport &report,
                    std::size_t &cross_check_samples,
-                   ShardInfo &shard_info)
+                   ShardInfo &shard_info, FusedInfo &fused_info)
 {
     std::uint64_t refs = 0;
     report.perTrace.reserve(request.traces.size());
@@ -58,9 +66,12 @@ runPerTraceRunners(const SweepRequest &request, SweepReport &report,
         refs += runner.run(request.traces[t], request.maxRefs);
         cross_check_samples += runner.crossCheckCount();
         shard_info.telem.accumulate(runner.shardTelemetry());
+        fused_info.fusedRuns += runner.fusedGroupCount();
         for (std::size_t c = 0; c < request.configs.size(); ++c) {
             if (runner.sharded(c))
                 shard_info.shardedConfigs[c] = true;
+            if (runner.fused(c))
+                fused_info.fusedConfigs[c] = true;
         }
         if (request.probe)
             request.probe(t, runner);
@@ -77,7 +88,7 @@ runPerTraceRunners(const SweepRequest &request, SweepReport &report,
  */
 std::uint64_t
 runFlattenedGrid(const SweepRequest &request, SweepReport &report,
-                 ShardInfo &shard_info)
+                 ShardInfo &shard_info, FusedInfo &fused_info)
 {
     const auto &traces = request.traces;
     const auto &configs = request.configs;
@@ -107,18 +118,42 @@ runFlattenedGrid(const SweepRequest &request, SweepReport &report,
         }
     }
 
-    // Non-eligible configs: under Auto, one batched replay engine per
-    // trace over the shared packed trace, parallelized per config
-    // tile — except the (trace, config) runs shouldShard routes to
-    // the set-sharded engine, each split into one task per shard;
-    // under DirectOnly, one plain Cache task per (trace, config)
-    // pair.
+    // Non-eligible configs: under Auto, fusable groups of two or more
+    // FusedKey-sharing configs ride one fused group pass per trace,
+    // the rest go to one batched replay engine per trace over the
+    // shared packed trace, parallelized per config tile — except the
+    // (trace, config) runs shouldShard routes to the set-sharded
+    // engine (fused groups shard as a unit), each split into one task
+    // per shard; under DirectOnly, one plain Cache task per (trace,
+    // config) pair.
     const bool batched = request.engine != SweepEngine::DirectOnly &&
                          !part.direct.empty();
+
+    // The grouping is pure config geometry, so it is shared by every
+    // trace; shard decisions are per trace (lengths differ).
+    std::vector<std::vector<std::size_t>> fused_groups;
+    std::vector<std::size_t> residual = part.direct;
+    if (batched) {
+        residual.clear();
+        std::vector<bool> in_group(configs.size(), false);
+        for (auto &group : fusedGroups(configs, part.direct)) {
+            if (group.size() < 2)
+                continue;
+            for (const std::size_t c : group)
+                in_group[c] = true;
+            fused_groups.push_back(std::move(group));
+        }
+        for (const std::size_t c : part.direct) {
+            if (!in_group[c])
+                residual.push_back(c);
+        }
+    }
+    std::vector<std::vector<std::unique_ptr<FusedReplay>>>
+        fused_engines(traces.size());
+
     std::vector<std::unique_ptr<BatchReplay>> batches;
     std::vector<std::shared_ptr<const PackedTrace>> packed;
-    // Per trace: which direct configs stay batched, which shard (the
-    // trace lengths differ, so the decisions do too).
+    // Per trace: which residual configs stay batched, which shard.
     std::vector<std::vector<std::size_t>> batch_index(traces.size());
     std::vector<std::vector<std::size_t>> shard_index(traces.size());
     std::vector<std::vector<std::unique_ptr<ShardReplay>>>
@@ -127,24 +162,34 @@ runFlattenedGrid(const SweepRequest &request, SweepReport &report,
         const unsigned threads =
             static_cast<unsigned>(poolOrGlobal(request.pool).size());
         const ShardMode shard_mode = shardModeFromEnv();
-        // Task inventory if nothing shards: batch tiles plus
-        // single-pass levels, over every trace.
+        // Task inventory if nothing shards: batch tiles, fused group
+        // passes, plus single-pass levels, over every trace.
         std::size_t levels_per_trace = 0;
         for (std::size_t g = 0; g < num_groups; ++g)
             levels_per_trace += engines[g]->numLevels();
         const std::size_t tiles_per_trace =
-            (part.direct.size() + BatchReplay::kDefaultTileConfigs -
-             1) /
+            (residual.size() + BatchReplay::kDefaultTileConfigs - 1) /
             BatchReplay::kDefaultTileConfigs;
         const std::size_t competing =
-            traces.size() * (tiles_per_trace + levels_per_trace);
+            traces.size() * (tiles_per_trace + fused_groups.size() +
+                             levels_per_trace);
 
         batches.resize(traces.size());
         packed.reserve(traces.size());
         for (std::size_t t = 0; t < traces.size(); ++t) {
             const std::uint64_t limit =
                 traceLimit(*traces[t], max_refs);
-            for (const std::size_t c : part.direct) {
+            for (const auto &group : fused_groups) {
+                const CacheConfig &rep = configs[group.front()];
+                const bool shard =
+                    shouldShard(shard_mode, rep, threads, limit,
+                                competing);
+                fused_engines[t].push_back(
+                    std::make_unique<FusedReplay>(
+                        selectConfigs(configs, group),
+                        shard ? planShardCount(rep, threads) : 1));
+            }
+            for (const std::size_t c : residual) {
                 if (shouldShard(shard_mode, configs[c], threads,
                                 limit, competing)) {
                     shard_index[t].push_back(c);
@@ -183,6 +228,26 @@ runFlattenedGrid(const SweepRequest &request, SweepReport &report,
             }
             const std::uint64_t limit =
                 traceLimit(*traces[t], max_refs);
+            for (auto &engine : fused_engines[t]) {
+                FusedReplay *eng = engine.get();
+                if (eng->numShards() == 1) {
+                    // Unsharded: drive the group pass straight off
+                    // the packed records, no partition copy.
+                    const PackedTrace *ptrace = packed[t].get();
+                    tasks.push_back([eng, ptrace, limit] {
+                        eng->run(ptrace->data(), limit);
+                    });
+                    continue;
+                }
+                auto strace = shardedTraceShared(
+                    packed[t], eng->blockBits(), eng->shardBits(),
+                    limit);
+                for (std::uint32_t s = 0; s < eng->numShards(); ++s) {
+                    tasks.push_back([eng, strace, s] {
+                        eng->runShard(s, *strace);
+                    });
+                }
+            }
             for (auto &engine : shard_engines[t]) {
                 // Partition the packed trace for this engine's
                 // (blockBits, shardBits); memoized, so configs
@@ -246,6 +311,19 @@ runFlattenedGrid(const SweepRequest &request, SweepReport &report,
                 shard_info.telem.accumulate(*shard_engines[t][k]);
                 shard_info.shardedConfigs[shard_index[t][k]] = true;
             }
+            for (std::size_t g = 0; g < fused_engines[t].size();
+                 ++g) {
+                const FusedReplay &eng = *fused_engines[t][g];
+                const auto results = eng.results();
+                for (std::size_t k = 0; k < results.size(); ++k) {
+                    out[t][fused_groups[g][k]] = results[k];
+                    fused_info.fusedConfigs[fused_groups[g][k]] =
+                        true;
+                }
+                ++fused_info.fusedRuns;
+                if (eng.numShards() > 1)
+                    shard_info.telem.accumulate(eng);
+            }
         }
         for (std::size_t g = 0; g < num_groups; ++g) {
             const auto results =
@@ -267,7 +345,7 @@ runFlattenedGrid(const SweepRequest &request, SweepReport &report,
  */
 std::uint64_t
 runPackedGrid(const SweepRequest &request, SweepReport &report,
-              ShardInfo &shard_info)
+              ShardInfo &shard_info, FusedInfo &fused_info)
 {
     const auto &traces = request.packedTraces;
     const auto &configs = request.configs;
@@ -277,13 +355,36 @@ runPackedGrid(const SweepRequest &request, SweepReport &report,
                            std::vector<SweepResult>(configs.size()));
     auto &out = report.perTrace;
 
+    // Fusable groups first (shared by every trace — the grouping is
+    // pure config geometry); the residual goes to batch/shard.
+    std::vector<std::size_t> candidates(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c)
+        candidates[c] = c;
+    std::vector<std::vector<std::size_t>> fused_groups;
+    std::vector<bool> in_group(configs.size(), false);
+    for (auto &group : fusedGroups(configs, candidates)) {
+        if (group.size() < 2)
+            continue;
+        for (const std::size_t c : group)
+            in_group[c] = true;
+        fused_groups.push_back(std::move(group));
+    }
+    std::vector<std::size_t> residual;
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        if (!in_group[c])
+            residual.push_back(c);
+    }
+    std::vector<std::vector<std::unique_ptr<FusedReplay>>>
+        fused_engines(traces.size());
+
     const unsigned threads =
         static_cast<unsigned>(poolOrGlobal(request.pool).size());
     const ShardMode shard_mode = shardModeFromEnv();
     const std::size_t tiles_per_trace =
-        (configs.size() + BatchReplay::kDefaultTileConfigs - 1) /
+        (residual.size() + BatchReplay::kDefaultTileConfigs - 1) /
         BatchReplay::kDefaultTileConfigs;
-    const std::size_t competing = traces.size() * tiles_per_trace;
+    const std::size_t competing =
+        traces.size() * (tiles_per_trace + fused_groups.size());
 
     std::vector<std::unique_ptr<BatchReplay>> batches(traces.size());
     std::vector<std::vector<std::size_t>> batch_index(traces.size());
@@ -297,7 +398,33 @@ runPackedGrid(const SweepRequest &request, SweepReport &report,
             max_refs == 0
                 ? traces[t]->size()
                 : std::min<std::uint64_t>(max_refs, traces[t]->size());
-        for (std::size_t c = 0; c < configs.size(); ++c) {
+        for (const auto &group : fused_groups) {
+            const CacheConfig &rep = configs[group.front()];
+            const bool shard = shouldShard(shard_mode, rep, threads,
+                                           limit, competing);
+            auto engine = std::make_unique<FusedReplay>(
+                selectConfigs(configs, group),
+                shard ? planShardCount(rep, threads) : 1);
+            FusedReplay *eng = engine.get();
+            if (eng->numShards() == 1) {
+                const PackedTrace *ptrace = traces[t].get();
+                tasks.push_back([eng, ptrace, limit] {
+                    eng->run(ptrace->data(), limit);
+                });
+            } else {
+                auto strace = shardedTraceShared(
+                    traces[t], eng->blockBits(), eng->shardBits(),
+                    limit);
+                for (std::uint32_t s = 0; s < eng->numShards();
+                     ++s) {
+                    tasks.push_back([eng, strace, s] {
+                        eng->runShard(s, *strace);
+                    });
+                }
+            }
+            fused_engines[t].push_back(std::move(engine));
+        }
+        for (const std::size_t c : residual) {
             if (shouldShard(shard_mode, configs[c], threads, limit,
                             competing)) {
                 shard_index[t].push_back(c);
@@ -350,6 +477,17 @@ runPackedGrid(const SweepRequest &request, SweepReport &report,
             out[t][shard_index[t][k]] = shard_engines[t][k]->result();
             shard_info.telem.accumulate(*shard_engines[t][k]);
             shard_info.shardedConfigs[shard_index[t][k]] = true;
+        }
+        for (std::size_t g = 0; g < fused_engines[t].size(); ++g) {
+            const FusedReplay &eng = *fused_engines[t][g];
+            const auto results = eng.results();
+            for (std::size_t k = 0; k < results.size(); ++k) {
+                out[t][fused_groups[g][k]] = results[k];
+                fused_info.fusedConfigs[fused_groups[g][k]] = true;
+            }
+            ++fused_info.fusedRuns;
+            if (eng.numShards() > 1)
+                shard_info.telem.accumulate(eng);
         }
     }
     return refs;
@@ -427,15 +565,19 @@ runSampledGrid(const SweepRequest &request, SweepReport &report,
 }
 
 /** Engine a config routes to under @p engine (manifest vocabulary).
- *  @p sharded: the set-sharded engine served it on >= 1 trace. */
+ *  @p sharded: the set-sharded engine served it on >= 1 trace;
+ *  @p fused: a fused group pass did (the two are exclusive — a fused
+ *  config shards inside its group, reported as "fused"). */
 const char *
 configEngineName(const CacheConfig &config, SweepEngine engine,
-                 bool sharded)
+                 bool sharded, bool is_fused)
 {
     if (engine == SweepEngine::Sampled)
         return "sample";
     if (engine == SweepEngine::DirectOnly)
         return "direct";
+    if (is_fused)
+        return "fused";
     if (sharded)
         return "shard";
     return singlePassEligible(config) ? "single_pass" : "batch";
@@ -492,10 +634,12 @@ runSweep(const SweepRequest &request)
     std::size_t cross_check_samples = 0;
     ShardInfo shard_info;
     shard_info.shardedConfigs.assign(request.configs.size(), false);
+    FusedInfo fused_info;
+    fused_info.fusedConfigs.assign(request.configs.size(), false);
     SampleInfo sample_info;
     std::uint64_t refs = 0;
     if (packed_path) {
-        refs = runPackedGrid(request, report, shard_info);
+        refs = runPackedGrid(request, report, shard_info, fused_info);
     } else if (request.engine == SweepEngine::Sampled) {
         // A probe needs a finished full-trace Cache to inspect; the
         // sampling engine never has one.
@@ -506,9 +650,11 @@ runSweep(const SweepRequest &request)
     } else if (request.engine == SweepEngine::CrossCheck ||
                request.probe) {
         refs = runPerTraceRunners(request, report,
-                                  cross_check_samples, shard_info);
+                                  cross_check_samples, shard_info,
+                                  fused_info);
     } else {
-        refs = runFlattenedGrid(request, report, shard_info);
+        refs = runFlattenedGrid(request, report, shard_info,
+                                fused_info);
     }
     report.refs = refs;
 
@@ -556,6 +702,10 @@ runSweep(const SweepRequest &request)
     record.shardMaxShards = shard_info.telem.maxShards;
     record.shardMaxRefs = shard_info.telem.maxShardRefs;
     record.shardMinRefs = shard_info.telem.minShardRefs;
+    record.fusedRuns = fused_info.fusedRuns;
+    record.fusedConfigs = static_cast<std::size_t>(std::count(
+        fused_info.fusedConfigs.begin(),
+        fused_info.fusedConfigs.end(), true));
     record.sampledRuns = sample_info.sampledRuns;
     if (sample_info.sampledRuns > 0) {
         record.sampleUnitRefs = request.sample.unitRefs;
@@ -579,12 +729,16 @@ runSweep(const SweepRequest &request)
         obs::ConfigRoute route;
         route.config = config.shortName();
         // The packed path has no single-pass fallback: everything not
-        // sharded ran through the batch engine.
+        // fused or sharded ran through the batch engine.
         route.engine =
             packed_path
-                ? (shard_info.shardedConfigs[c] ? "shard" : "batch")
+                ? (fused_info.fusedConfigs[c]
+                       ? "fused"
+                       : (shard_info.shardedConfigs[c] ? "shard"
+                                                       : "batch"))
                 : configEngineName(config, request.engine,
-                                   shard_info.shardedConfigs[c]);
+                                   shard_info.shardedConfigs[c],
+                                   fused_info.fusedConfigs[c]);
         if (!sampled_avg.empty() && sampled_avg[c].sampled.active) {
             route.sampled = true;
             route.missRatioMean =

@@ -222,8 +222,8 @@ currentManifest()
     }
 
     for (const char *engine :
-         {"direct", "single_pass", "batch", "shard", "shadow",
-          "sequential", "sample"}) {
+         {"direct", "single_pass", "batch", "shard", "fused",
+          "shadow", "sequential", "sample"}) {
         appendEngineUsage(manifest.engines, manifest.stages,
                           manifest.counters, engine);
     }
@@ -270,6 +270,8 @@ RunManifest::toJson() const
              std::uint64_t{sweep.shardMaxShards});
         w.kv("shard_max_refs", sweep.shardMaxRefs);
         w.kv("shard_min_refs", sweep.shardMinRefs);
+        w.kv("fused_runs", std::uint64_t{sweep.fusedRuns});
+        w.kv("fused_configs", std::uint64_t{sweep.fusedConfigs});
         w.kv("sampled_runs", std::uint64_t{sweep.sampledRuns});
         w.kv("sample_unit_refs", sweep.sampleUnitRefs);
         w.kv("sample_interval_units", sweep.sampleIntervalUnits);

@@ -74,6 +74,10 @@ struct SweepRecord
     std::uint32_t shardMaxShards = 0;
     std::uint64_t shardMaxRefs = 0;
     std::uint64_t shardMinRefs = 0;
+    /** Fused group engine activity: (trace, group) passes run and
+     *  configs that rode one. Zero when nothing fused. */
+    std::size_t fusedRuns = 0;
+    std::size_t fusedConfigs = 0;
     /** Sampling-engine activity (SweepEngine::Sampled only): (trace,
      *  config) runs sampled, the spec knobs, total measured units
      *  across traces, and total references priced inside units. All

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "multi/fused_replay.hh"
 #include "multi/sweep_api.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
@@ -84,8 +85,8 @@ validateServeConfig(const CacheConfig &c)
                       c.addressBits);
     if (c.addressBits <= floorLog2(c.blockSize))
         return "address space smaller than one block";
-    if (c.blockSize / c.subBlockSize > 32)
-        return strfmt("more than 32 sub-blocks per block (%u) is "
+    if (c.blockSize / c.subBlockSize > 64)
+        return strfmt("more than 64 sub-blocks per block (%u) is "
                       "unsupported",
                       c.blockSize / c.subBlockSize);
     return "";
@@ -307,6 +308,31 @@ SweepServer::executeSweep(
         count("serve.cache_hit", hits);
     if (misses > 0)
         count("serve.cache_miss", misses);
+
+    // Reorder each trace's misses so configs sharing a fused grouping
+    // key sit adjacent: the tiles below slice this list, and the
+    // sweep engine can only fuse members that land in the same tile.
+    // Ineligible configs and fused singletons keep their order after
+    // the groups.
+    for (auto &missing : miss_configs) {
+        std::vector<std::size_t> ordered;
+        ordered.reserve(missing.size());
+        std::vector<char> placed(nc, 0);
+        for (const auto &group :
+             fusedGroups(request.configs, missing)) {
+            if (group.size() < 2)
+                continue;
+            for (const std::size_t c : group) {
+                ordered.push_back(c);
+                placed[c] = 1;
+            }
+        }
+        for (const std::size_t c : missing) {
+            if (!placed[c])
+                ordered.push_back(c);
+        }
+        missing = std::move(ordered);
+    }
 
     // Queue one job per (trace, config tile). Tiles are the fairness
     // and streaming granularity (see the file comment in server.hh).

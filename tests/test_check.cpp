@@ -204,9 +204,12 @@ TEST(CrossCheck, ShadowVerifiesTheFastPath)
                                 SweepEngine::CrossCheck);
     EXPECT_GE(checked.crossCheckCount(), 1u);
     EXPECT_LE(checked.crossCheckCount(), checked.size());
-    EXPECT_EQ(checked.fastPathCount() + checked.batchedCount(),
+    EXPECT_EQ(checked.fastPathCount() + checked.batchedCount() +
+                  checked.fusedCount(),
               checked.size())
         << "under CrossCheck every config is on an optimized engine";
+    EXPECT_GE(checked.fusedCount(), 2u)
+        << "the paper grid's sector configs should fuse";
     checked.run(trace);  // fatal on any divergence
 
     // CrossCheck is Auto plus verification: identical results.

@@ -274,8 +274,11 @@ TEST(SinglePassEngine, RunnerFastPathMatchesSequentialRunner)
         expectIdentical(actual[i], expected[i]);
         EXPECT_EQ(runner.fastPathed(i),
                   singlePassEligible(configs[i]));
-        if (!runner.fastPathed(i)) {
-            // Direct configs keep their probe-able Cache.
+        if (!runner.fastPathed(i) && !runner.fused(i) &&
+            !runner.sharded(i)) {
+            // Batched configs keep their probe-able Cache (fused and
+            // sharded ones have no single Cache; probe callers pass
+            // allow_sharding = false to keep one everywhere).
             EXPECT_EQ(runner.cache(i).config(), configs[i]);
         }
     }

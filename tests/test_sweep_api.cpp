@@ -265,7 +265,8 @@ TEST(SweepApi, ReportManifestIsValidSchemaJson)
         EXPECT_TRUE(engine->text == "direct" ||
                     engine->text == "single_pass" ||
                     engine->text == "batch" ||
-                    engine->text == "shard")
+                    engine->text == "shard" ||
+                    engine->text == "fused")
             << engine->text;
     }
 
