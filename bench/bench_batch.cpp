@@ -1,6 +1,3 @@
-// This TU intentionally exercises the legacy sweep entry points.
-#define OCCSIM_ALLOW_DEPRECATED 1
-
 /**
  * @file
  * Direct-vs-batched wall-clock comparison on the paper's sector and
@@ -85,8 +82,8 @@ main()
 
     // Reference: per-config direct Cache::access simulation.
     const auto direct_start = std::chrono::steady_clock::now();
-    const auto direct_results =
-        runSweeps(traces, configs, &pool, SweepEngine::DirectOnly);
+    const auto direct_results = bench::sweepGrid(
+        traces, configs, &pool, SweepEngine::DirectOnly);
     const double direct_ms = millisSince(direct_start);
 
     // Batched: packed trace decoded once per trace, specialized
@@ -94,7 +91,7 @@ main()
     // timed region — it is part of the engine's real cost).
     const auto batch_start = std::chrono::steady_clock::now();
     const auto batch_results =
-        runSweeps(traces, configs, &pool, SweepEngine::Auto);
+        bench::sweepGrid(traces, configs, &pool, SweepEngine::Auto);
     const double batch_ms = millisSince(batch_start);
 
     const bool bit_identical =

@@ -1,6 +1,3 @@
-// This TU intentionally exercises the legacy sweep entry points.
-#define OCCSIM_ALLOW_DEPRECATED 1
-
 /**
  * @file
  * Cost of the CrossCheck runtime verification mode: the Table 1
@@ -66,7 +63,7 @@ main()
     const auto traces = buildSuiteTraces(suite);
 
     const auto auto_start = std::chrono::steady_clock::now();
-    const auto auto_results = runSweeps(traces, configs);
+    const auto auto_results = bench::sweepGrid(traces, configs);
     const double auto_ms = millisSince(auto_start);
 
     // CrossCheck aborts the process on any divergence; surviving the
@@ -76,8 +73,8 @@ main()
     const std::size_t shadows = probe.crossCheckCount();
 
     const auto checked_start = std::chrono::steady_clock::now();
-    const auto checked_results =
-        runSweeps(traces, configs, nullptr, SweepEngine::CrossCheck);
+    const auto checked_results = bench::sweepGrid(
+        traces, configs, nullptr, SweepEngine::CrossCheck);
     const double checked_ms = millisSince(checked_start);
 
     const bool bit_identical =

@@ -1,6 +1,3 @@
-// This TU intentionally exercises the legacy sweep entry points.
-#define OCCSIM_ALLOW_DEPRECATED 1
-
 /**
  * @file
  * Fused group replay vs the batched engine on the exact workload the
@@ -102,8 +99,8 @@ main()
     // is by far the slowest engine.
     ThreadPool pool(1);
     const auto direct_start = std::chrono::steady_clock::now();
-    const auto direct_results =
-        runSweeps(traces, configs, &pool, SweepEngine::DirectOnly);
+    const auto direct_results = bench::sweepGrid(
+        traces, configs, &pool, SweepEngine::DirectOnly);
     const double direct_ms = millisSince(direct_start);
 
     // The two gated timings run best-of-kReps: both engines are

@@ -1,6 +1,3 @@
-// This TU intentionally exercises the legacy sweep entry points.
-#define OCCSIM_ALLOW_DEPRECATED 1
-
 /**
  * @file
  * google-benchmark microbenchmarks for the simulator itself (an
@@ -130,7 +127,7 @@ BM_CacheReplayPackedLoadForward(benchmark::State &state)
 }
 
 void
-BM_SweepRunner(benchmark::State &state)
+BM_SequentialSweep(benchmark::State &state)
 {
     const auto num_configs = static_cast<std::size_t>(state.range(0));
     std::vector<CacheConfig> configs;
@@ -139,9 +136,15 @@ BM_SweepRunner(benchmark::State &state)
     }
     const VectorTrace &trace = benchTrace();
     for (auto _ : state) {
-        SweepRunner runner(configs);
-        VectorTrace copy = trace;
-        benchmark::DoNotOptimize(runner.run(copy));
+        std::uint64_t misses = 0;
+        for (const CacheConfig &config : configs) {
+            VectorTrace copy = trace;
+            Cache cache(config);
+            cache.run(copy);
+            cache.finalizeResidencies();
+            misses += cache.stats().misses();
+        }
+        benchmark::DoNotOptimize(misses);
     }
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()) *
@@ -237,7 +240,7 @@ BENCHMARK(BM_CacheReplayPacked)
     ->Args({64, 8});
 BENCHMARK(BM_CacheAccessLoadForward);
 BENCHMARK(BM_CacheReplayPackedLoadForward);
-BENCHMARK(BM_SweepRunner)->Arg(1)->Arg(8)->Arg(32);
+BENCHMARK(BM_SequentialSweep)->Arg(1)->Arg(8)->Arg(32);
 BENCHMARK(BM_VmTraceGeneration);
 BENCHMARK(BM_StackAnalyzer);
 BENCHMARK(BM_CompressedTraceWrite);

@@ -1,12 +1,10 @@
-// This TU intentionally exercises the legacy sweep entry points.
-#define OCCSIM_ALLOW_DEPRECATED 1
-
 /**
  * @file
  * Sequential-vs-parallel wall-clock comparison for a full Table 1
  * suite sweep: the paper's 1024-byte design grid over every trace of
  * the PDP-11 suite, run once on the historical single-threaded
- * SweepRunner and once on the parallel engine, with a bit-identity
+ * sequential direct engine and once on the parallel engine, with a
+ * bit-identity
  * check between the two result sets.
  *
  * The suite sweep is short enough that per-run setup (trace reset,
@@ -62,21 +60,24 @@ compareEngines(
     for (const auto &trace : traces)
         seq_copies.push_back(*trace);
 
-    // Sequential engine: one single-threaded SweepRunner per trace.
+    // Sequential engine: one direct runSingle per config per trace.
     const auto seq_start = std::chrono::steady_clock::now();
     std::vector<std::vector<SweepResult>> seq_results;
     for (VectorTrace &copy : seq_copies) {
-        copy.reset();
-        SweepRunner runner(configs);
-        runner.run(copy);
-        seq_results.push_back(runner.results());
+        std::vector<SweepResult> results;
+        results.reserve(configs.size());
+        for (const CacheConfig &config : configs) {
+            copy.reset();
+            results.push_back(runSingle(config, copy));
+        }
+        seq_results.push_back(std::move(results));
     }
     Comparison cmp;
     cmp.seqMs = millisSince(seq_start);
 
     // Parallel engine: the full (trace, config) grid on the pool.
     const auto par_start = std::chrono::steady_clock::now();
-    const auto par_results = runSweeps(traces, configs);
+    const auto par_results = bench::sweepGrid(traces, configs);
     cmp.parMs = millisSince(par_start);
 
     cmp.bitIdentical =

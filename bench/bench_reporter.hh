@@ -18,10 +18,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_json.hh"
+#include "multi/sweep_api.hh"
 #include "multi/sweep_runner.hh"
 #include "util/thread_pool.hh"
 
@@ -33,6 +35,25 @@ millisSince(std::chrono::steady_clock::time_point start)
 {
     const auto elapsed = std::chrono::steady_clock::now() - start;
     return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+/**
+ * Suite sweep through the unified API; returns the per-trace result
+ * grid (averaging skipped — benches diff and gate the raw grid).
+ */
+inline std::vector<std::vector<SweepResult>>
+sweepGrid(const std::vector<std::shared_ptr<const VectorTrace>> &traces,
+          const std::vector<CacheConfig> &configs,
+          ThreadPool *pool = nullptr,
+          SweepEngine engine = SweepEngine::Auto)
+{
+    SweepRequest request;
+    request.traces = traces;
+    request.configs = configs;
+    request.pool = pool;
+    request.engine = engine;
+    request.wantAverage = false;
+    return runSweep(request).perTrace;
 }
 
 /**

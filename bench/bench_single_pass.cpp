@@ -1,6 +1,3 @@
-// This TU intentionally exercises the legacy sweep entry points.
-#define OCCSIM_ALLOW_DEPRECATED 1
-
 /**
  * @file
  * Direct-vs-single-pass wall-clock comparison for a full Table 1
@@ -76,15 +73,15 @@ main()
     // Reference: the per-config direct engine (PR 1's parallel
     // grid), forced for every config.
     const auto direct_start = std::chrono::steady_clock::now();
-    const auto direct_results =
-        runSweeps(traces, configs, nullptr, SweepEngine::DirectOnly);
+    const auto direct_results = bench::sweepGrid(
+        traces, configs, nullptr, SweepEngine::DirectOnly);
     const double direct_ms = millisSince(direct_start);
 
     // Fast path: every config here is single-pass eligible, so Auto
     // routes the whole grid to one engine per trace, one task per
     // set-count level.
     const auto fast_start = std::chrono::steady_clock::now();
-    const auto fast_results = runSweeps(traces, configs);
+    const auto fast_results = bench::sweepGrid(traces, configs);
     const double fast_ms = millisSince(fast_start);
 
     const bool bit_identical =

@@ -28,6 +28,16 @@
  *                    passes when >= 90% of cases are covered
  *                    (check/sample_check.hh). --cases/--seed/--refs
  *                    override the coverage defaults when given.
+ *     --mesi         run the multicore coherency differential loop
+ *                    instead of the single-cache one: each case runs
+ *                    a random MESI-subset scenario (2..4 cores,
+ *                    symmetric or per-core shapes) over a parallel
+ *                    workload or a core-stamped adversarial trace,
+ *                    through both the coherent engine and the naive
+ *                    flat-snooping oracle, diffing every per-core
+ *                    counter and every bus counter
+ *                    (check/coherence_check.hh). --cases/--seed/
+ *                    --refs override the defaults when given.
  *     --serve-proto  run the sweep-server protocol-robustness check
  *                    instead of the differential loop: seeded
  *                    adversarial connections (garbage, truncated
@@ -46,6 +56,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "check/coherence_check.hh"
 #include "check/fuzz.hh"
 #include "check/sample_check.hh"
 #include "check/serve_check.hh"
@@ -64,7 +75,7 @@ usage()
                  "                   [--case-seed N] [--verbose] "
                  "[--self-test]\n"
                  "                   [--sample-coverage] "
-                 "[--serve-proto]\n");
+                 "[--serve-proto] [--mesi]\n");
     std::exit(1);
 }
 
@@ -118,6 +129,7 @@ main(int argc, char **argv)
     bool replay = false;
     bool sample_coverage = false;
     bool serve_proto = false;
+    bool mesi = false;
     std::uint64_t case_seed = 0;
     bool cases_set = false, seed_set = false, refs_set = false;
 
@@ -143,8 +155,30 @@ main(int argc, char **argv)
             sample_coverage = true;
         else if (std::strcmp(argv[i], "--serve-proto") == 0)
             serve_proto = true;
+        else if (std::strcmp(argv[i], "--mesi") == 0)
+            mesi = true;
         else
             usage();
+    }
+
+    if (mesi) {
+        CoherenceFuzzOptions coherence;
+        coherence.out = &std::cout;
+        coherence.verbose = options.verbose;
+        if (cases_set)
+            coherence.cases = options.cases;
+        if (seed_set)
+            coherence.seed = options.seed;
+        if (refs_set)
+            coherence.refsPerCase = options.refsPerCase;
+        const CoherenceFuzzSummary summary =
+            runCoherenceFuzz(coherence);
+        if (summary.passed()) {
+            std::cout << "coherence fuzz: "
+                      << summary.casesRun
+                      << " cases, engine and oracle agree\n";
+        }
+        return summary.passed() ? 0 : 1;
     }
 
     if (serve_proto) {

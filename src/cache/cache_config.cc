@@ -46,6 +46,18 @@ writePolicyName(WritePolicy policy)
     return "unknown";
 }
 
+const char *
+cachePartitionName(CachePartition partition)
+{
+    switch (partition) {
+      case CachePartition::Unified:
+        return "unified";
+      case CachePartition::SplitID:
+        return "split-id";
+    }
+    return "unknown";
+}
+
 std::string
 CacheConfig::shortName() const
 {
@@ -56,6 +68,8 @@ CacheConfig::shortName() const
         name += ",LFO";
     else if (fetch == FetchPolicy::PrefetchNextOnMiss)
         name += ",PF";
+    if (partition == CachePartition::SplitID)
+        name += ",I/D";
     return name;
 }
 

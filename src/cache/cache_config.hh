@@ -72,6 +72,20 @@ enum class WritePolicy : std::uint8_t {
 
 const char *writePolicyName(WritePolicy policy);
 
+/**
+ * Cache organization: one unified cache serving both streams, or a
+ * split pair (instruction cache + data cache, each of half the net
+ * size) routed by MemRef::isInstruction(). Section 3.2 lists the
+ * split-vs-unified question among the design choices; the split case
+ * is simulated by SplitCache as two independent halves.
+ */
+enum class CachePartition : std::uint8_t {
+    Unified = 0,
+    SplitID = 1,  ///< even I/D split (netSize/2 each)
+};
+
+const char *cachePartitionName(CachePartition partition);
+
 /** Full description of one cache design point. */
 struct CacheConfig
 {
@@ -103,6 +117,10 @@ struct CacheConfig
 
     /** Allocate and fetch on write misses (write-allocate). */
     bool writeAllocate = true;
+
+    /** Unified vs split I/D organization. SplitID halves netSize per
+     *  side, so it requires netSize >= 2 * blockSize. */
+    CachePartition partition = CachePartition::Unified;
 
     /** Seed for the Random replacement policy. */
     std::uint64_t randomSeed = 1;

@@ -20,6 +20,23 @@ SplitCache::access(const MemRef &ref)
                                : dcache_.access(ref);
 }
 
+void
+SplitCache::replayPacked(const PackedRecord *refs, std::size_t n)
+{
+    // Forward maximal same-kind runs so each side still replays
+    // through its batched kernel; per-side reference order (the only
+    // order that matters to either side) is preserved exactly.
+    std::size_t i = 0;
+    while (i < n) {
+        const bool ifetch = refs[i].isInstruction();
+        std::size_t j = i + 1;
+        while (j < n && refs[j].isInstruction() == ifetch)
+            ++j;
+        (ifetch ? icache_ : dcache_).replayPacked(refs + i, j - i);
+        i = j;
+    }
+}
+
 std::uint64_t
 SplitCache::run(TraceSource &source, std::uint64_t max_refs)
 {
@@ -86,13 +103,21 @@ SplitCache::trafficRatio() const
                  accesses());
 }
 
-SplitCache
-makeEvenSplit(const CacheConfig &mixed_config)
+CacheConfig
+evenSplitHalf(const CacheConfig &mixed_config)
 {
     occsim_assert(mixed_config.netSize >= 2 * mixed_config.blockSize,
                   "mixed cache too small to split");
     CacheConfig half = mixed_config;
     half.netSize = mixed_config.netSize / 2;
+    half.partition = CachePartition::Unified;
+    return half;
+}
+
+SplitCache
+makeEvenSplit(const CacheConfig &mixed_config)
+{
+    const CacheConfig half = evenSplitHalf(mixed_config);
     return SplitCache(half, half);
 }
 

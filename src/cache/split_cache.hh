@@ -28,6 +28,11 @@ class SplitCache
     /** Route one reference to the appropriate side. */
     AccessOutcome access(const MemRef &ref);
 
+    /** Replay a packed span, routing each record by kind (spans of
+     *  the same kind forward to the sides' batched kernels). Does NOT
+     *  finalize; callers finalize after the last span. */
+    void replayPacked(const PackedRecord *refs, std::size_t n);
+
     /** Drain @p source and finalize both sides. */
     std::uint64_t run(TraceSource &source, std::uint64_t max_refs = 0);
 
@@ -52,6 +57,13 @@ class SplitCache
     Cache icache_;
     Cache dcache_;
 };
+
+/**
+ * One side of an even split of @p mixed_config: half the net size,
+ * same geometry otherwise, partition tag cleared (each side is an
+ * ordinary unified cache — the SplitID tag belongs to the pair).
+ */
+CacheConfig evenSplitHalf(const CacheConfig &mixed_config);
 
 /**
  * Convenience: split a mixed configuration into two half-size caches

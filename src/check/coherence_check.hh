@@ -1,0 +1,223 @@
+/**
+ * @file
+ * The coherency oracle: a deliberately naive flat-snooping multi-cache
+ * simulator, plus the differential case runner and fuzz loop that
+ * compare it against the coherent MESI engine.
+ *
+ * FlatSnoopOracle is to CoherentSystem what ReferenceCache is to
+ * Cache: every per-core structure is a plain std::vector<bool> frame,
+ * every address split is longhand division/modulo, every statistic is
+ * a plain integer re-derived from first principles, and the bus is a
+ * literal loop over every peer cache on every transaction. The only
+ * shared code is deliberate: the xoshiro Rng (Random replacement is
+ * *defined* by its victim stream) and the mesiNext() transition table
+ * (the protocol's single source of truth — a disagreement between
+ * engine and oracle can then only come from *when* events are raised,
+ * never from what a transition does).
+ *
+ * runCoherencyCase() runs one (scenario, config, trace) triple through
+ * both simulators and reports every differing counter: per-core
+ * ReferenceStats vs CacheStats via diffStats(), bus CoherencyStats
+ * field by field, and the summarizeCoherent() SweepResult against a
+ * full runSweep() with the scenario attached (so the routing layer is
+ * covered, not just the engine). runCoherenceFuzz() drives it from a
+ * master seed over randomized MESI-subset geometries, 2..4 cores,
+ * symmetric and asymmetric scenarios, and traces alternating between
+ * the scripted parallel workloads and adversarial single-cache
+ * patterns with randomly stamped core ids.
+ */
+
+#ifndef OCCSIM_CHECK_COHERENCE_CHECK_HH
+#define OCCSIM_CHECK_COHERENCE_CHECK_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "check/reference_cache.hh"
+#include "coherence/coherent_system.hh"
+#include "coherence/scenario.hh"
+#include "trace/trace.hh"
+#include "util/random.hh"
+
+namespace occsim {
+
+/**
+ * The naive coherent-system oracle: N ReferenceCache-style frame
+ * tables (one per core) joined by a flat snooping loop, re-deriving
+ * every per-core counter and every CoherencyStats bus counter.
+ * Restricted, like the engine, to the MESI subset: copy-back,
+ * write-allocate, demand fetch, unified.
+ */
+class FlatSnoopOracle
+{
+  public:
+    FlatSnoopOracle(const ScenarioConfig &scenario,
+                    const CacheConfig &grid_config);
+
+    /** Simulate one reference on core ref.core % numCores(). */
+    void access(const MemRef &ref);
+
+    /** Drain @p refs and finalize (one-shot convenience). */
+    void run(const std::vector<MemRef> &refs);
+
+    /** End-of-run residency accounting and dirty write-back, every
+     *  core. */
+    void finalize();
+
+    std::uint32_t numCores() const
+    {
+        return static_cast<std::uint32_t>(cores_.size());
+    }
+    const ReferenceStats &coreStats(std::uint32_t core) const
+    {
+        return cores_[core].stats;
+    }
+    const CoherencyStats &bus() const { return bus_; }
+
+  private:
+    /** One frame of one core's cache; per-sub-block facts are bool
+     *  vectors, MESI state rides along explicitly. */
+    struct Frame
+    {
+        bool present = false;
+        Addr tag = 0;
+        MesiState state = MesiState::Invalid;
+        std::vector<bool> valid;
+        std::vector<bool> touched;
+        std::vector<bool> dirty;
+    };
+
+    /** One core's private cache, longhand. */
+    struct Core
+    {
+        CacheConfig config;
+        std::uint32_t numSets = 0;
+        std::uint32_t assoc = 0;
+        /** frames[set][way]. */
+        std::vector<std::vector<Frame>> frames;
+        /** everFilled[set][way][sub]: survives invalidations (a
+         *  re-fetch after an invalidation is coherency traffic, not a
+         *  cold miss). */
+        std::vector<std::vector<std::vector<bool>>> everFilled;
+        /** order[set]: way ids, front = next victim. */
+        std::vector<std::vector<std::uint32_t>> order;
+        Rng randomVictims;
+        ReferenceStats stats;
+
+        explicit Core(const CacheConfig &cfg);
+    };
+
+    // ---- longhand address arithmetic (block geometry is shared
+    //      across cores; validateScenario enforces that) ----
+    Addr blockAddrOf(Addr addr) const { return addr / blockSize_; }
+    std::uint32_t subIndexOf(Addr addr) const
+    {
+        return static_cast<std::uint32_t>((addr % blockSize_) /
+                                          subBlockSize_);
+    }
+
+    int findWay(const Core &core, std::uint32_t set,
+                Addr block_addr) const;
+    std::uint32_t chooseVictim(Core &core, std::uint32_t set);
+    void noteAccess(Core &core, std::uint32_t set, std::uint32_t way);
+    void noteFill(Core &core, std::uint32_t set, std::uint32_t way);
+
+    /** Fill one sub-block from the bus: valid + ever-filled bits plus
+     *  one counted burst (read traffic) or write-miss burst. */
+    void fillSub(Core &core, std::uint32_t set, std::uint32_t way,
+                 std::uint32_t sub, bool counted, bool cold);
+
+    /** Copy-back write-back of a frame's dirty sub-blocks.
+     *  @return words written back (0 when clean). */
+    std::uint64_t writebackDirty(Core &core, Frame &frame);
+
+    /** End a residency: touched histogram + dirty write-back. */
+    void endResidency(Core &core, Frame &frame);
+
+    /** Snoop every peer of @p requester for a read fill.
+     *  @return whether any peer held the block (the shared line). */
+    bool snoopRead(std::uint32_t requester, Addr block_addr);
+
+    /** Snoop + invalidate every peer copy (@p upgrade selects the
+     *  address-only upgrade event vs BusRdX). */
+    void snoopInvalidate(std::uint32_t requester, Addr block_addr,
+                         bool upgrade);
+
+    std::uint32_t blockSize_ = 0;
+    std::uint32_t subBlockSize_ = 0;
+    std::uint32_t numSubs_ = 0;
+    std::uint32_t wordsPerSub_ = 0;
+
+    std::vector<Core> cores_;
+    CoherencyStats bus_;
+};
+
+/** Outcome of one differential coherency case. */
+struct CoherenceCaseReport
+{
+    /** One human-readable line per mismatching counter; empty when
+     *  the engine and the oracle agree completely. */
+    std::vector<std::string> diffs;
+
+    bool mismatch() const { return !diffs.empty(); }
+};
+
+/**
+ * Run one (scenario, grid config, trace) triple through the coherent
+ * engine and the oracle and diff every counter: per-core stats, bus
+ * counters, and the runSweep()-routed SweepResult against
+ * summarizeCoherent() on the directly driven system.
+ */
+CoherenceCaseReport
+runCoherencyCase(const ScenarioConfig &scenario,
+                 const CacheConfig &grid_config,
+                 const std::vector<MemRef> &refs,
+                 const std::string &trace_name = "coherence-case");
+
+/** Coherency-fuzz knobs (same seeding scheme as check/fuzz.hh: one
+ *  case seed per case, each fully determining its scenario, config
+ *  and trace). */
+struct CoherenceFuzzOptions
+{
+    std::uint64_t cases = 200;
+    std::uint64_t seed = 0x0cc51Full;
+    /** Total references per generated trace (split across cores). */
+    std::size_t refsPerCase = 2048;
+    /** Progress/failure output; nullptr silences everything. */
+    std::ostream *out = nullptr;
+    bool verbose = false;
+};
+
+/** One generated coherency case, fully determined by its case seed. */
+struct CoherenceFuzzCase
+{
+    std::uint64_t caseSeed = 0;
+    ScenarioConfig scenario;
+    CacheConfig config;
+    VectorTrace trace;
+};
+
+/** Outcome of a coherency-fuzz run. */
+struct CoherenceFuzzSummary
+{
+    std::uint64_t casesRun = 0;
+    std::uint64_t mismatches = 0;
+    std::uint64_t failingCaseSeed = 0;
+    std::vector<std::string> diffs;
+
+    bool passed() const { return mismatches == 0; }
+};
+
+/** Materialize the case determined by @p case_seed. */
+CoherenceFuzzCase makeCoherenceFuzzCase(std::uint64_t case_seed,
+                                        std::size_t refs_per_case);
+
+/** Run the coherency-fuzz loop; stops at the first mismatch. */
+CoherenceFuzzSummary
+runCoherenceFuzz(const CoherenceFuzzOptions &options);
+
+} // namespace occsim
+
+#endif // OCCSIM_CHECK_COHERENCE_CHECK_HH

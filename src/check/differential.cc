@@ -1,6 +1,5 @@
 // The differential oracle deliberately drives the raw engine entry
 // points against each other.
-#define OCCSIM_ALLOW_DEPRECATED 1
 
 #include "check/differential.hh"
 
@@ -9,6 +8,7 @@
 
 #include "cache/cache.hh"
 #include "cache/cache_geometry.hh"
+#include "cache/split_cache.hh"
 #include "multi/batch_replay.hh"
 #include "multi/fused_replay.hh"
 #include "multi/parallel_sweep.hh"
@@ -70,6 +70,17 @@ diffCounts(const SinglePassEngine::Counts &got,
     field("writeMisses", got.writeMisses, want.writeMisses);
 }
 
+/** Copy a raw reference vector into a shareable VectorTrace. */
+std::shared_ptr<const VectorTrace>
+packTrace(const std::vector<MemRef> &refs)
+{
+    auto t = std::make_shared<VectorTrace>("diff");
+    t->reserve(refs.size());
+    for (const MemRef &ref : refs)
+        t->append(ref.addr, ref.kind, ref.size);
+    return t;
+}
+
 } // namespace
 
 CaseReport
@@ -78,6 +89,57 @@ runDifferentialCase(const CacheConfig &config,
                     const DiffOptions &options)
 {
     CaseReport report;
+
+    // Split I/D points take their own engine stack: the oracle is a
+    // pair of naive ReferenceCache halves partitioned by reference
+    // kind, diffed per side against the SplitCache pair, and the
+    // parallel routing layer must reproduce the combined summary bit
+    // for bit under both engine modes. The batch, single-pass, shard
+    // and fused engines are unified-only, so the main path below
+    // keeps covering them.
+    if (config.partition == CachePartition::SplitID) {
+        const CacheConfig half = evenSplitHalf(config);
+        ReferenceCache i_oracle(half);
+        ReferenceCache d_oracle(half);
+        for (const MemRef &ref : refs)
+            (ref.isInstruction() ? i_oracle : d_oracle).access(ref);
+        i_oracle.finalize();
+        d_oracle.finalize();
+        ReferenceStats i_want = i_oracle.stats();
+        const ReferenceStats d_want = d_oracle.stats();
+        if (options.perturbReference)
+            options.perturbReference(i_want);
+
+        SplitCache split = makeEvenSplit(config);
+        for (const MemRef &ref : refs)
+            split.access(ref);
+        split.finalizeResidencies();
+        for (const std::string &line :
+             diffStats(i_want, split.icache().stats()))
+            report.diffs.push_back("split-i." + line);
+        for (const std::string &line :
+             diffStats(d_want, split.dcache().stats()))
+            report.diffs.push_back("split-d." + line);
+
+        const SweepResult direct_summary =
+            summarizeSplit(config, split);
+        const auto trace = packTrace(refs);
+        const std::vector<CacheConfig> configs{config};
+
+        ParallelSweepRunner direct_only(configs, nullptr,
+                                        SweepEngine::DirectOnly);
+        direct_only.run(trace);
+        diffSweepResult("split-sweep-direct",
+                        direct_only.results()[0], direct_summary,
+                        report.diffs);
+
+        ParallelSweepRunner routed(configs, nullptr,
+                                   SweepEngine::Auto);
+        routed.run(trace);
+        diffSweepResult("split-sweep-auto", routed.results()[0],
+                        direct_summary, report.diffs);
+        return report;
+    }
 
     // Oracle: the naive reference model.
     ReferenceCache oracle(config);
@@ -100,13 +162,7 @@ runDifferentialCase(const CacheConfig &config,
     // Engines 2 and 3: the parallel routing layer, with and without
     // the single-pass fast path. Both must reproduce the direct
     // engine's summary bit for bit.
-    const auto trace = [&] {
-        auto t = std::make_shared<VectorTrace>("diff");
-        t->reserve(refs.size());
-        for (const MemRef &ref : refs)
-            t->append(ref.addr, ref.kind, ref.size);
-        return std::shared_ptr<const VectorTrace>(std::move(t));
-    }();
+    const auto trace = packTrace(refs);
     const std::vector<CacheConfig> configs{config};
 
     ParallelSweepRunner direct_only(configs, nullptr,

@@ -64,6 +64,13 @@ ConfigGen::next()
                                     : WritePolicy::CopyBack;
     config.writeAllocate = rng_.chance(0.75);
     config.randomSeed = rng_.next();
+
+    // A slice of the general points run split I/D instead of unified,
+    // so the split routing path (two half-size sides partitioned by
+    // reference kind) is cross-checked alongside everything else. The
+    // net-size guard keeps each evenSplitHalf side at least one block.
+    if (config.netSize >= 2 * config.blockSize && rng_.chance(0.125))
+        config.partition = CachePartition::SplitID;
     return config;
 }
 

@@ -36,6 +36,8 @@ enum class Scenario : std::uint8_t {
     UnknownOp,            ///< well-formed request, unrecognized op
     UnknownTrace,         ///< sweep naming a trace the corpus lacks
     InvalidConfig,        ///< sweep with a config CacheGeometry rejects
+    InvalidScenario,      ///< multicore scenario the validator rejects
+    ScenarioSweep,        ///< multicore + 1-core sweeps must not alias
     AbruptDisconnect,     ///< valid sweep, close after one response
     ValidPing,            ///< control: must answer pong
     ValidSweep,           ///< control: must stream results + done
@@ -64,6 +66,10 @@ scenarioName(Scenario scenario)
         return "unknown-trace";
     case Scenario::InvalidConfig:
         return "invalid-config";
+    case Scenario::InvalidScenario:
+        return "invalid-scenario";
+    case Scenario::ScenarioSweep:
+        return "scenario-sweep";
     case Scenario::AbruptDisconnect:
         return "abrupt-disconnect";
     case Scenario::ValidPing:
@@ -131,9 +137,11 @@ class Connection
 };
 
 /** Read response frames until "done"/"error"/EOF. @return the type
- *  of the final frame ("" on framing trouble). */
+ *  of the final frame ("" on framing trouble). Captures every raw
+ *  payload into @p payloads when given. */
 std::string
-drainResponses(int fd, std::size_t *frames = nullptr)
+drainResponses(int fd, std::size_t *frames = nullptr,
+               std::vector<std::string> *payloads = nullptr)
 {
     std::string last_type;
     std::string payload;
@@ -143,6 +151,8 @@ drainResponses(int fd, std::size_t *frames = nullptr)
             return last_type;
         if (frames)
             ++*frames;
+        if (payloads)
+            payloads->push_back(payload);
         obs::JsonValue root;
         if (!obs::parseJson(payload, root))
             return "";
@@ -166,6 +176,23 @@ sweepRequest(const std::string &trace_ref)
                        makeConfig(512, 32, 8, 2)};
     request.maxRefs = 2048;
     request.label = "serve-check";
+    return request;
+}
+
+/** A valid 2-core coherency sweep against @p trace_ref: one
+ *  MESI-subset config (copy-back, write-allocate, demand, unified). */
+WireRequest
+scenarioSweepRequest(const std::string &trace_ref)
+{
+    WireRequest request;
+    request.op = "sweep";
+    request.traces = {trace_ref};
+    CacheConfig config = makeConfig(256, 16, 8, 2);
+    config.write = WritePolicy::CopyBack;
+    request.configs = {config};
+    request.scenario.cores = 2;
+    request.maxRefs = 2048;
+    request.label = "serve-check-scenario";
     return request;
 }
 
@@ -380,6 +407,111 @@ runServeCheck(const ServeCheckOptions &options)
                          "expected an error response");
                 }
                 ++summary.rejected;
+                break;
+            }
+            case Scenario::InvalidScenario: {
+                // Scenarios the parser or validator must reject: an
+                // out-of-range core count, an unsupported (non-MESI)
+                // config, mismatched per-core shapes, or per-core
+                // shapes alongside a multi-config grid.
+                switch (rng.below(5)) {
+                case 0: {
+                    // Default makeConfig is write-through: outside
+                    // the MESI subset.
+                    WireRequest request = sweepRequest(trace_hash);
+                    request.scenario.cores = 2;
+                    serve::writeFrame(
+                        conn.fd(), serve::wireRequestJson(request));
+                    break;
+                }
+                case 1:
+                    serve::writeFrame(
+                        conn.fd(),
+                        "{\"op\":\"sweep\",\"scenario\":"
+                        "{\"cores\":0}}");
+                    break;
+                case 2:
+                    serve::writeFrame(
+                        conn.fd(),
+                        "{\"op\":\"sweep\",\"scenario\":"
+                        "{\"cores\":99}}");
+                    break;
+                case 3: {
+                    // Three per-core shapes for two cores.
+                    WireRequest request =
+                        scenarioSweepRequest(trace_hash);
+                    request.scenario.coreConfigs.assign(
+                        3, request.configs.front());
+                    serve::writeFrame(
+                        conn.fd(), serve::wireRequestJson(request));
+                    break;
+                }
+                default: {
+                    // Per-core shapes must collapse the grid to one
+                    // config; send two.
+                    WireRequest request =
+                        scenarioSweepRequest(trace_hash);
+                    request.scenario.coreConfigs.assign(
+                        2, request.configs.front());
+                    request.configs.push_back(
+                        request.configs.front());
+                    serve::writeFrame(
+                        conn.fd(), serve::wireRequestJson(request));
+                    break;
+                }
+                }
+                const std::string last = drainResponses(conn.fd());
+                if (last != "error") {
+                    fail(case_seed, "invalid-scenario",
+                         "expected an error response");
+                }
+                ++summary.rejected;
+                break;
+            }
+            case Scenario::ScenarioSweep: {
+                // The aliasing check: a 2-core sweep and the
+                // identical 1-core sweep must produce distinct cache
+                // entries — the multicore result carries coherency
+                // columns, the single-cache one must not, even when
+                // both are served from the result cache.
+                const WireRequest multi =
+                    scenarioSweepRequest(trace_hash);
+                WireRequest single = multi;
+                single.scenario = ScenarioConfig{};
+
+                bool ok = true;
+                const auto sweepOnce = [&](const WireRequest &request,
+                                           bool want_coherency,
+                                           const char *why) {
+                    Connection sweep_conn(server);
+                    serve::writeFrame(
+                        sweep_conn.fd(),
+                        serve::wireRequestJson(request));
+                    std::size_t frames = 0;
+                    std::vector<std::string> payloads;
+                    const std::string last = drainResponses(
+                        sweep_conn.fd(), &frames, &payloads);
+                    const bool has_coherency =
+                        !payloads.empty() &&
+                        payloads.front().find("\"coherency\"") !=
+                            std::string::npos;
+                    if (last != "done" || frames != 2 ||
+                        has_coherency != want_coherency) {
+                        fail(case_seed, "scenario-sweep", why);
+                        ok = false;
+                    }
+                };
+                sweepOnce(multi, true,
+                          "multicore sweep missing coherency columns");
+                sweepOnce(single, false,
+                          "1-core result aliased to the multicore "
+                          "cache entry");
+                // Cache-hit replay of the multicore entry.
+                sweepOnce(multi, true,
+                          "cached multicore result lost its coherency "
+                          "columns");
+                if (ok)
+                    ++summary.completed;
                 break;
             }
             case Scenario::AbruptDisconnect: {

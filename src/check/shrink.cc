@@ -79,6 +79,11 @@ class Shrinker
 
         {
             CacheConfig c = config;
+            c.partition = CachePartition::Unified;
+            attempt(c);
+        }
+        {
+            CacheConfig c = config;
             c.replacement = ReplacementPolicy::LRU;
             attempt(c);
         }
@@ -105,7 +110,13 @@ class Shrinker
             config = c;
             progress = true;
         }
-        while (config.netSize > config.blockSize) {
+        // A split pair needs at least one block per side, so its net
+        // size bottoms out one doubling higher than a unified cache.
+        const std::uint32_t min_net =
+            config.partition == CachePartition::SplitID
+                ? 2 * config.blockSize
+                : config.blockSize;
+        while (config.netSize > min_net) {
             CacheConfig c = config;
             c.netSize /= 2;
             if (!fails(c, refs))
@@ -237,6 +248,8 @@ reproToString(const CacheConfig &config, const std::vector<MemRef> &refs)
     os << "config.writeAllocate = "
        << (config.writeAllocate ? "true" : "false") << ";\n";
     os << "config.randomSeed = " << config.randomSeed << "ull;\n";
+    if (config.partition == CachePartition::SplitID)
+        os << "config.partition = CachePartition::SplitID;\n";
     os << "const std::vector<MemRef> refs = {\n";
     for (const MemRef &ref : refs) {
         os << "    {0x" << std::hex << ref.addr << std::dec << ", "

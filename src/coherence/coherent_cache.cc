@@ -1,0 +1,146 @@
+#include "coherence/coherent_cache.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace occsim {
+
+CoherentCache::CoherentCache(const CacheConfig &config)
+    : geom_(config),
+      assoc_(geom_.assoc()),
+      wordsPerSub_(geom_.wordsPerSubBlock()),
+      repl_(config.replacement, geom_.numSets(), geom_.assoc(),
+            config.randomSeed),
+      stats_(geom_.subBlocksPerBlock(),
+             geom_.subBlocksPerBlock() * geom_.wordsPerSubBlock()),
+      tags_(geom_.numBlocks(), kNoTag),
+      meta_(geom_.numBlocks()),
+      everFilled_(geom_.numBlocks(), 0),
+      mesi_(geom_.numBlocks(), MesiState::Invalid)
+{
+    if (geom_.blockBits() == 0)
+        fatal("block size 1 is unsupported (%s)",
+              config.fullName().c_str());
+    occsim_assert(config.write == WritePolicy::CopyBack &&
+                      config.writeAllocate &&
+                      config.fetch == FetchPolicy::Demand &&
+                      config.partition == CachePartition::Unified,
+                  "coherent cache outside the MESI subset (%s); "
+                  "validateScenario should have rejected this",
+                  config.fullName().c_str());
+}
+
+int
+CoherentCache::findWay(std::uint32_t set, Addr block_addr) const
+{
+    const Addr *tags =
+        tags_.data() + static_cast<std::size_t>(set) * assoc_;
+    for (std::uint32_t way = 0; way < assoc_; ++way) {
+        if (tags[way] == block_addr)
+            return static_cast<int>(way);
+    }
+    return -1;
+}
+
+std::uint32_t
+CoherentCache::claimVictim(std::uint32_t set)
+{
+    const std::size_t base = static_cast<std::size_t>(set) * assoc_;
+    const Addr *tags = tags_.data() + base;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (tags[w] == kNoTag)
+            return w;
+    }
+    const std::uint32_t victim = repl_.victim(set);
+    FrameMeta &meta = meta_[base + victim];
+    stats_.recordResidency(
+        static_cast<std::uint32_t>(std::popcount(meta.touched)));
+    writebackDirty(base + victim);
+    return victim;
+}
+
+void
+CoherentCache::fillSub(std::size_t frame, std::uint64_t sub_bit,
+                       bool counted, bool cold)
+{
+    meta_[frame].valid |= sub_bit;
+    everFilled_[frame] |= sub_bit;
+    if (counted)
+        stats_.recordBurst(wordsPerSub_, cold, 0);
+    else
+        stats_.recordWriteBurst(wordsPerSub_);
+}
+
+std::uint32_t
+CoherentCache::writebackDirty(std::size_t frame)
+{
+    FrameMeta &meta = meta_[frame];
+    if (meta.dirty == 0)
+        return 0;
+    const std::uint32_t words =
+        static_cast<std::uint32_t>(std::popcount(meta.dirty)) *
+        wordsPerSub_;
+    stats_.recordWriteback(words);
+    meta.dirty = 0;
+    return words;
+}
+
+std::uint32_t
+CoherentCache::invalidateFrame(std::size_t frame)
+{
+    occsim_assert(framePresent(frame),
+                  "invalidating an empty frame %zu", frame);
+    FrameMeta &meta = meta_[frame];
+    if (meta.touched != 0) {
+        stats_.recordResidency(
+            static_cast<std::uint32_t>(std::popcount(meta.touched)));
+    }
+    const std::uint32_t words = writebackDirty(frame);
+    tags_[frame] = kNoTag;
+    meta = FrameMeta{};
+    mesi_[frame] = MesiState::Invalid;
+    return words;
+}
+
+MesiState
+CoherentCache::stateOf(Addr addr) const
+{
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(geom_.setIndex(addr));
+    const int way = findWay(set, geom_.blockAddr(addr));
+    if (way < 0)
+        return MesiState::Invalid;
+    return mesi_[static_cast<std::size_t>(set) * assoc_ +
+                 static_cast<std::uint32_t>(way)];
+}
+
+bool
+CoherentCache::isResident(Addr addr) const
+{
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(geom_.setIndex(addr));
+    const int way = findWay(set, geom_.blockAddr(addr));
+    if (way < 0)
+        return false;
+    const std::size_t frame = static_cast<std::size_t>(set) * assoc_ +
+                              static_cast<std::uint32_t>(way);
+    return (meta_[frame].valid &
+            (std::uint64_t{1} << geom_.subBlockIndex(addr))) != 0;
+}
+
+void
+CoherentCache::finalizeResidencies()
+{
+    for (std::size_t f = 0; f < tags_.size(); ++f) {
+        FrameMeta &meta = meta_[f];
+        if (framePresent(f) && meta.touched != 0) {
+            stats_.recordResidency(static_cast<std::uint32_t>(
+                std::popcount(meta.touched)));
+            meta.touched = 0;
+        }
+        writebackDirty(f);
+    }
+}
+
+} // namespace occsim

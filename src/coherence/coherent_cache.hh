@@ -1,0 +1,116 @@
+/**
+ * @file
+ * One core's private cache in a coherent multi-cache scenario.
+ *
+ * CoherentCache is the Cache model (cache/cache.hh) restricted to the
+ * MESI engine's subset — copy-back, write-allocate, demand fetch,
+ * unified — with one addition: a MESI state per frame. Everything
+ * else is deliberately the same machinery (CacheGeometry address
+ * arithmetic, CacheStats accounting, ReplacementState order lists,
+ * kNoTag empty frames, everFilled cold tracking), evolved in the same
+ * order as Cache::access(), so a 1-core CoherentSystem produces
+ * CacheStats bit-identical to a plain Cache over the same trace —
+ * the redesign's anchor invariant, enforced by test_coherence.
+ *
+ * The bus-side protocol logic lives in CoherentSystem, which drives
+ * this class through a friend interface: local hits/misses, snoop
+ * flushes, and invalidations all mutate the same frame arrays the
+ * local path uses.
+ */
+
+#ifndef OCCSIM_COHERENCE_COHERENT_CACHE_HH
+#define OCCSIM_COHERENCE_COHERENT_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_config.hh"
+#include "cache/cache_geometry.hh"
+#include "cache/cache_stats.hh"
+#include "cache/replacement.hh"
+#include "coherence/mesi.hh"
+#include "util/bitops.hh"
+
+namespace occsim {
+
+class CoherentSystem;
+
+/** One private cache with per-frame MESI state. */
+class CoherentCache
+{
+  public:
+    explicit CoherentCache(const CacheConfig &config);
+
+    const CacheConfig &config() const { return geom_.config(); }
+    const CacheGeometry &geometry() const { return geom_; }
+    const CacheStats &stats() const { return stats_; }
+
+    /** MESI state of the block containing @p addr (Invalid when the
+     *  tag is absent). Probe for tests. */
+    MesiState stateOf(Addr addr) const;
+
+    /** @return true if the sub-block containing @p addr is resident. */
+    bool isResident(Addr addr) const;
+
+    /** Account still-resident blocks into the residency histogram and
+     *  flush remaining dirty sub-blocks, exactly as
+     *  Cache::finalizeResidencies(). */
+    void finalizeResidencies();
+
+  private:
+    friend class CoherentSystem;
+
+    /** Per-frame sub-block masks (same layout as Cache::FrameMeta). */
+    struct FrameMeta
+    {
+        std::uint64_t valid = 0;
+        std::uint64_t touched = 0;
+        std::uint64_t dirty = 0;
+    };
+
+    static constexpr Addr kNoTag = ~Addr(0);
+
+    bool framePresent(std::size_t frame) const
+    {
+        return tags_[frame] != kNoTag;
+    }
+
+    /** Way holding @p block_addr in @p set, or -1. */
+    int findWay(std::uint32_t set, Addr block_addr) const;
+
+    /** Claim the way a new block fill will occupy — the first invalid
+     *  way, else the replacement victim — retiring the previous
+     *  residency (touched histogram + dirty write-back), exactly as
+     *  Cache::claimVictimSpec. */
+    std::uint32_t claimVictim(std::uint32_t set);
+
+    /** Fill @p sub_bit of @p frame from the bus: valid + ever-filled
+     *  bits plus one recorded burst (counted read traffic vs
+     *  write-miss traffic), exactly as the demand fetchIntoSpec. */
+    void fillSub(std::size_t frame, std::uint64_t sub_bit, bool counted,
+                 bool cold);
+
+    /** Copy-back write-back of @p frame's dirty sub-blocks.
+     *  @return words written back (0 when clean). */
+    std::uint32_t writebackDirty(std::size_t frame);
+
+    /** Snoop-forced invalidation: retire the residency, write back
+     *  dirty data, drop the tag and state. everFilled_ survives (a
+     *  re-fetch after an invalidation is coherency traffic, not a
+     *  cold miss). @return words written back by the flush. */
+    std::uint32_t invalidateFrame(std::size_t frame);
+
+    CacheGeometry geom_;
+    std::uint32_t assoc_;
+    std::uint32_t wordsPerSub_;
+    ReplacementState repl_;
+    CacheStats stats_;
+    std::vector<Addr> tags_;           ///< set * assoc + way
+    std::vector<FrameMeta> meta_;      ///< parallel to tags_
+    std::vector<std::uint64_t> everFilled_;
+    std::vector<MesiState> mesi_;      ///< parallel to tags_
+};
+
+} // namespace occsim
+
+#endif // OCCSIM_COHERENCE_COHERENT_CACHE_HH

@@ -1,0 +1,231 @@
+#include "coherence/coherent_system.hh"
+
+#include "util/logging.hh"
+
+namespace occsim {
+
+CoherentSystem::CoherentSystem(const ScenarioConfig &scenario,
+                               const CacheConfig &grid_config)
+{
+    occsim_assert(scenario.cores >= 1 &&
+                      scenario.cores <= PackedRecord::kMaxCores,
+                  "scenario core count %u out of range",
+                  scenario.cores);
+    caches_.reserve(scenario.cores);
+    for (std::uint32_t c = 0; c < scenario.cores; ++c) {
+        caches_.emplace_back(
+            scenarioCoreConfig(scenario, grid_config, c));
+    }
+}
+
+bool
+CoherentSystem::snoopRead(std::uint32_t requester, Addr block_addr)
+{
+    bool shared = false;
+    for (std::uint32_t p = 0; p < numCores(); ++p) {
+        if (p == requester)
+            continue;
+        CoherentCache &peer = caches_[p];
+        const std::uint32_t set = static_cast<std::uint32_t>(
+            peer.geom_.setIndex(block_addr << peer.geom_.blockBits()));
+        const int way = peer.findWay(set, block_addr);
+        if (way < 0)
+            continue;
+        shared = true;
+        const std::size_t frame =
+            static_cast<std::size_t>(set) * peer.assoc_ +
+            static_cast<std::uint32_t>(way);
+        const MesiState state = peer.mesi_[frame];
+        if (state == MesiState::Modified) {
+            // The owner flushes its dirty words to memory and
+            // supplies the requested data cache-to-cache.
+            const std::uint32_t words = peer.writebackDirty(frame);
+            bus_.snoopWritebackWords += words;
+            ++bus_.cacheToCacheTransfers;
+            bus_.c2cWords += peer.wordsPerSub_;
+        }
+        peer.mesi_[frame] =
+            mesiNext(state, MesiEvent::SnoopRead, false);
+    }
+    return shared;
+}
+
+void
+CoherentSystem::snoopInvalidate(std::uint32_t requester,
+                                Addr block_addr, bool upgrade)
+{
+    for (std::uint32_t p = 0; p < numCores(); ++p) {
+        if (p == requester)
+            continue;
+        CoherentCache &peer = caches_[p];
+        const std::uint32_t set = static_cast<std::uint32_t>(
+            peer.geom_.setIndex(block_addr << peer.geom_.blockBits()));
+        const int way = peer.findWay(set, block_addr);
+        if (way < 0)
+            continue;
+        const std::size_t frame =
+            static_cast<std::size_t>(set) * peer.assoc_ +
+            static_cast<std::uint32_t>(way);
+        const MesiState state = peer.mesi_[frame];
+        // Drive the transition table first: it panics on the
+        // protocol-violating combinations (e.g. an upgrade observed
+        // by an owner), which is exactly the check we want here.
+        const MesiState next = mesiNext(
+            state,
+            upgrade ? MesiEvent::SnoopUpgrade : MesiEvent::SnoopReadX,
+            false);
+        occsim_assert(next == MesiState::Invalid,
+                      "snoop invalidation left state %s",
+                      mesiStateName(next));
+        if (state == MesiState::Modified) {
+            const std::uint32_t words = peer.writebackDirty(frame);
+            bus_.snoopWritebackWords += words;
+            ++bus_.cacheToCacheTransfers;
+            bus_.c2cWords += peer.wordsPerSub_;
+        }
+        peer.invalidateFrame(frame);
+        ++bus_.invalidations;
+    }
+}
+
+void
+CoherentSystem::accessImpl(std::uint32_t core, Addr addr,
+                           bool is_write, bool is_ifetch)
+{
+    CoherentCache &cache = caches_[core];
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(cache.geom_.setIndex(addr));
+    const Addr block_addr = cache.geom_.blockAddr(addr);
+    const std::uint32_t sub_index = cache.geom_.subBlockIndex(addr);
+    const std::uint64_t sub_bit = std::uint64_t{1} << sub_index;
+    const bool counted = !is_write;
+
+    const int way = cache.findWay(set, block_addr);
+
+    if (way >= 0) {
+        const std::size_t frame =
+            static_cast<std::size_t>(set) * cache.assoc_ +
+            static_cast<std::uint32_t>(way);
+        CoherentCache::FrameMeta &meta = cache.meta_[frame];
+        cache.repl_.onAccess(set, static_cast<std::uint32_t>(way));
+        meta.touched |= sub_bit;
+        const MesiState state = cache.mesi_[frame];
+        if (meta.valid & sub_bit) {
+            if (counted) {
+                cache.stats_.recordHit(is_ifetch);
+                cache.mesi_[frame] =
+                    mesiNext(state, MesiEvent::LocalRead, false);
+                return;
+            }
+            cache.stats_.recordWrite(true);
+            if (state == MesiState::Shared) {
+                // Address-only upgrade: peers drop their copies, no
+                // data moves.
+                ++bus_.busUpgrades;
+                snoopInvalidate(core, block_addr, /*upgrade=*/true);
+            }
+            cache.mesi_[frame] =
+                mesiNext(state, MesiEvent::LocalWrite, false);
+            meta.dirty |= sub_bit;
+            return;
+        }
+        // Sub-block miss on a held tag: the block's coherency state
+        // is already settled (no peer can hold it Modified while we
+        // hold the tag), so the fill is a plain bus read — plus an
+        // ownership change when a write finds the block Shared.
+        const bool cold = (cache.everFilled_[frame] & sub_bit) == 0;
+        if (counted) {
+            cache.stats_.recordMiss(is_ifetch, false, cold);
+            ++bus_.busReads;
+            cache.mesi_[frame] =
+                mesiNext(state, MesiEvent::LocalRead, false);
+        } else {
+            cache.stats_.recordWrite(false);
+            if (state == MesiState::Shared) {
+                ++bus_.busReadForOwnership;
+                snoopInvalidate(core, block_addr, /*upgrade=*/false);
+            } else {
+                ++bus_.busReads;
+            }
+            cache.mesi_[frame] =
+                mesiNext(state, MesiEvent::LocalWrite, false);
+        }
+        cache.fillSub(frame, sub_bit, counted, cold);
+        if (is_write)
+            meta.dirty |= sub_bit;
+        return;
+    }
+
+    // Block miss: allocate a frame (write-allocate is part of the
+    // MESI subset, so writes always allocate).
+    const std::uint32_t victim_way = cache.claimVictim(set);
+    const std::size_t frame =
+        static_cast<std::size_t>(set) * cache.assoc_ + victim_way;
+    const bool cold = (cache.everFilled_[frame] & sub_bit) == 0;
+    if (counted)
+        cache.stats_.recordMiss(is_ifetch, true, cold);
+    else
+        cache.stats_.recordWrite(false);
+
+    cache.tags_[frame] = block_addr;
+    CoherentCache::FrameMeta &meta = cache.meta_[frame];
+    meta.valid = 0;
+    meta.touched = sub_bit;
+    meta.dirty = 0;
+    cache.repl_.onFill(set, victim_way);
+
+    if (counted) {
+        ++bus_.busReads;
+        const bool shared = snoopRead(core, block_addr);
+        cache.mesi_[frame] = mesiNext(MesiState::Invalid,
+                                      MesiEvent::LocalRead, shared);
+    } else {
+        ++bus_.busReadForOwnership;
+        snoopInvalidate(core, block_addr, /*upgrade=*/false);
+        cache.mesi_[frame] = mesiNext(MesiState::Invalid,
+                                      MesiEvent::LocalWrite, false);
+    }
+    cache.fillSub(frame, sub_bit, counted, cold);
+    if (is_write)
+        meta.dirty |= sub_bit;
+}
+
+void
+CoherentSystem::access(const MemRef &ref)
+{
+    accessImpl(ref.core % numCores(), ref.addr, ref.isWrite(),
+               ref.isInstruction());
+}
+
+void
+CoherentSystem::replayPacked(const PackedRecord *refs, std::size_t n)
+{
+    const std::uint32_t cores = numCores();
+    for (std::size_t i = 0; i < n; ++i) {
+        const PackedRecord &rec = refs[i];
+        accessImpl(rec.core() % cores, rec.addr(), rec.isWrite(),
+                   rec.isInstruction());
+    }
+}
+
+std::uint64_t
+CoherentSystem::run(TraceSource &source, std::uint64_t max_refs)
+{
+    MemRef ref;
+    std::uint64_t count = 0;
+    while ((max_refs == 0 || count < max_refs) && source.next(ref)) {
+        access(ref);
+        ++count;
+    }
+    finalize();
+    return count;
+}
+
+void
+CoherentSystem::finalize()
+{
+    for (CoherentCache &cache : caches_)
+        cache.finalizeResidencies();
+}
+
+} // namespace occsim

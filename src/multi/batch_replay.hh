@@ -87,7 +87,7 @@ class BatchReplay
     const Cache &cache(std::size_t i) const { return *caches_[i]; }
     Cache &cache(std::size_t i) { return *caches_[i]; }
 
-    /** Summaries in config order (same contract as SweepRunner). */
+    /** Summaries in config order. */
     std::vector<SweepResult> results() const;
 
   private:

@@ -16,7 +16,8 @@ bool
 fusedEligible(const CacheConfig &config)
 {
     return config.replacement != ReplacementPolicy::Random &&
-           config.fetch != FetchPolicy::PrefetchNextOnMiss;
+           config.fetch != FetchPolicy::PrefetchNextOnMiss &&
+           config.partition == CachePartition::Unified;
 }
 
 FusedKey

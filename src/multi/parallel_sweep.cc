@@ -1,6 +1,3 @@
-// This TU defines the legacy engine entry points themselves.
-#define OCCSIM_ALLOW_DEPRECATED 1
-
 #include "multi/parallel_sweep.hh"
 
 #include <algorithm>
@@ -46,6 +43,19 @@ ParallelSweepRunner::ParallelSweepRunner(
 
     directIndex_ = part.direct;
 
+    // Split I/D configs route to dedicated SplitCache pairs under
+    // every engine mode: the pair partitions by reference kind, which
+    // none of the batched kernels model.
+    for (const std::size_t i : directIndex_) {
+        if (configs_[i].partition != CachePartition::SplitID)
+            continue;
+        routes_[i].engine = kRouteSplit;
+        routes_[i].slot = static_cast<std::uint32_t>(splits_.size());
+        splitIndex_.push_back(i);
+        const CacheConfig half = evenSplitHalf(configs_[i]);
+        splits_.push_back(std::make_unique<SplitCache>(half, half));
+    }
+
     // Fused group routing happens here — the grouping key is pure
     // config geometry, so unlike sharding it needs no trace. Groups
     // of one stay batched: a lone config gains nothing from the
@@ -70,7 +80,8 @@ ParallelSweepRunner::ParallelSweepRunner(
 
     batchIndex_.clear();
     for (const std::size_t i : directIndex_) {
-        if (routes_[i].engine == kRouteFused)
+        if (routes_[i].engine == kRouteFused ||
+            routes_[i].engine == kRouteSplit)
             continue;
         routes_[i].engine = kRouteDirect;
         routes_[i].slot = static_cast<std::uint32_t>(batchIndex_.size());
@@ -104,6 +115,11 @@ ParallelSweepRunner::ParallelSweepRunner(
         const std::size_t stride =
             std::max<std::size_t>(1, configs_.size() / 4);
         for (std::size_t i = 0; i < configs_.size(); i += stride) {
+            // Split pairs are already on the direct engine (a
+            // dedicated SplitCache) — shadowing one would compare the
+            // same code against itself.
+            if (routes_[i].engine == kRouteSplit)
+                continue;
             shadowIndex_.push_back(i);
             shadowCaches_.push_back(
                 std::make_unique<Cache>(configs_[i]));
@@ -142,6 +158,13 @@ ParallelSweepRunner::fused(std::size_t i) const
 {
     occsim_assert(i < routes_.size(), "config index out of range");
     return routes_[i].engine == kRouteFused;
+}
+
+bool
+ParallelSweepRunner::split(std::size_t i) const
+{
+    occsim_assert(i < routes_.size(), "config index out of range");
+    return routes_[i].engine == kRouteSplit;
 }
 
 ShardTelemetry
@@ -239,6 +262,10 @@ ParallelSweepRunner::cache(std::size_t i) const
                   "SweepEngine::DirectOnly (or allow_sharding = "
                   "false) to keep one",
                   i, configs_[i].shortName().c_str());
+    occsim_assert(routes_[i].engine != kRouteSplit,
+                  "config %zu (%s) is a split I/D pair with no single "
+                  "Cache",
+                  i, configs_[i].shortName().c_str());
     occsim_assert(routes_[i].engine == kRouteDirect,
                   "config %zu (%s) is served by the single-pass "
                   "engine and has no Cache; construct the runner "
@@ -326,8 +353,9 @@ ParallelSweepRunner::run(const std::shared_ptr<const VectorTrace> &trace,
     const std::size_t sharded_tasks = batch_tasks + shard_tasks.size();
     const std::size_t fused_end = sharded_tasks + fused_tasks.size();
     const std::size_t routed_tasks = fused_end + level_tasks.size();
+    const std::size_t split_end = routed_tasks + splits_.size();
     poolOrGlobal(pool_).parallelFor(
-        routed_tasks + shadowCaches_.size(), [&](std::size_t task) {
+        split_end + shadowCaches_.size(), [&](std::size_t task) {
             if (task < batch_tasks) {
                 if (batch_ != nullptr) {
                     batch_->runTile(task, *packed, max_refs);
@@ -353,9 +381,18 @@ ParallelSweepRunner::run(const std::shared_ptr<const VectorTrace> &trace,
             } else if (task < routed_tasks) {
                 const auto [e, l] = level_tasks[task - fused_end];
                 engines_[e]->runLevel(l, *trace, max_refs);
+            } else if (task < split_end) {
+                OCCSIM_TELEM_STAGE("engine.direct");
+                SplitCache &pair = *splits_[task - routed_tasks];
+                for (std::uint64_t r = 0; r < limit; ++r)
+                    pair.access(refs[r]);
+                pair.finalizeResidencies();
+                OCCSIM_TELEM_COUNT("engine.direct.refs", limit);
+                OCCSIM_TELEM_COUNT("engine.direct.bytes",
+                                   limit * sizeof(MemRef));
             } else {
                 OCCSIM_TELEM_STAGE("engine.shadow");
-                Cache &cache = *shadowCaches_[task - routed_tasks];
+                Cache &cache = *shadowCaches_[task - split_end];
                 for (std::uint64_t r = 0; r < limit; ++r)
                     cache.access(refs[r]);
                 cache.finalizeResidencies();
@@ -410,10 +447,14 @@ ParallelSweepRunner::results() const
             out[batchIndex_[j]] = batch_results[j];
     } else {
         for (std::size_t j = 0; j < caches_.size(); ++j)
-            out[directIndex_[j]] = summarizeCache(*caches_[j]);
+            out[batchIndex_[j]] = summarizeCache(*caches_[j]);
     }
     for (std::size_t k = 0; k < shards_.size(); ++k)
         out[shardIndex_[k]] = shards_[k]->result();
+    for (std::size_t k = 0; k < splits_.size(); ++k) {
+        out[splitIndex_[k]] =
+            summarizeSplit(configs_[splitIndex_[k]], *splits_[k]);
+    }
     for (std::size_t g = 0; g < fused_.size(); ++g) {
         const auto group_results = fused_[g]->results();
         for (std::size_t k = 0; k < group_results.size(); ++k)

@@ -31,10 +31,10 @@
  * per-config Cache::access simulation everywhere (used by tests and
  * benchmarks as the reference engine).
  *
- * Determinism guarantee: results are bit-identical to the sequential
- * SweepRunner's no matter how the work is scheduled and no matter
- * which engine served a config. OCCSIM_THREADS=1 degenerates to
- * inline sequential execution.
+ * Determinism guarantee: results are bit-identical to sequential
+ * per-config Cache simulation no matter how the work is scheduled and
+ * no matter which engine served a config. OCCSIM_THREADS=1
+ * degenerates to inline sequential execution.
  */
 
 #ifndef OCCSIM_MULTI_PARALLEL_SWEEP_HH
@@ -48,7 +48,6 @@
 #include "multi/shard_replay.hh"
 #include "multi/single_pass.hh"
 #include "multi/sweep_runner.hh"
-#include "util/deprecated.hh"
 #include "util/thread_pool.hh"
 
 namespace occsim {
@@ -86,9 +85,8 @@ enum class SweepEngine : std::uint8_t {
 
 /**
  * Runs many cache configurations over one shared immutable trace,
- * partitioned across a thread pool. Drop-in parallel counterpart of
- * SweepRunner: same construction, same results() contract, same
- * (bit-identical) numbers.
+ * partitioned across a thread pool, reporting results in config
+ * order.
  *
  * With SweepEngine::Auto (the default), single-pass eligible configs
  * have no backing Cache — cache(i) panics for them (probe-style
@@ -121,11 +119,12 @@ class ParallelSweepRunner
      * every cache/engine and finalize residencies. Each worker walks
      * the trace with its own cursor; the trace itself is never
      * modified.
+     *
+     * Engine-internal entry point: callers outside the engine layer
+     * drive sweeps through runSweep(SweepRequest) in
+     * multi/sweep_api.hh, which wraps runners like this one.
      * @return references consumed per config.
      */
-    OCCSIM_DEPRECATED("drive sweeps through runSweep(SweepRequest) "
-                      "(multi/sweep_api.hh); construct a runner "
-                      "directly only for engine-internal code")
     std::uint64_t run(const std::shared_ptr<const VectorTrace> &trace,
                       std::uint64_t max_refs = 0);
 
@@ -163,6 +162,15 @@ class ParallelSweepRunner
      *  single backing Cache exists). */
     bool fused(std::size_t i) const;
 
+    /** Number of configs served by dedicated split I/D pairs
+     *  (every CachePartition::SplitID config, regardless of engine
+     *  mode — no batched kernel exists for a routed pair). */
+    std::size_t splitCount() const { return splits_.size(); }
+
+    /** @return true when config @p i is simulated as a split I/D
+     *  pair (no single backing Cache exists). */
+    bool split(std::size_t i) const;
+
     /** Number of fused groups (each >= 2 configs). */
     std::size_t fusedGroupCount() const { return fused_.size(); }
 
@@ -184,7 +192,7 @@ class ParallelSweepRunner
     const Cache &cache(std::size_t i) const;
     Cache &cache(std::size_t i);
 
-    /** Summaries in config order (same contract as SweepRunner). */
+    /** Summaries in config order. */
     std::vector<SweepResult> results() const;
 
   private:
@@ -192,7 +200,8 @@ class ParallelSweepRunner
      *  single-pass engines (engine == kRouteDirect; slot into caches_
      *  under DirectOnly, into batch_ otherwise), the set-sharded
      *  engine (engine == kRouteShard; slot into shards_), a fused
-     *  group (engine == kRouteFused; slot into fusedSlots_), or a
+     *  group (engine == kRouteFused; slot into fusedSlots_), a split
+     *  I/D pair (engine == kRouteSplit; slot into splits_), or a
      *  single-pass engine (engine >= 0; slot into that engine's
      *  config list). */
     struct Route
@@ -203,6 +212,7 @@ class ParallelSweepRunner
     static constexpr std::int32_t kRouteDirect = -1;
     static constexpr std::int32_t kRouteShard = -2;
     static constexpr std::int32_t kRouteFused = -3;
+    static constexpr std::int32_t kRouteSplit = -4;
 
     /** First-run() routing refinement: move heuristically (or
      *  OCCSIM_SHARD-forced) chosen direct configs from the batched
@@ -235,6 +245,9 @@ class ParallelSweepRunner
     std::unique_ptr<BatchReplay> batch_;
     /** Set-sharded engines (one per sharded config). */
     std::vector<std::unique_ptr<ShardReplay>> shards_;
+    /** splits_[k] simulates configs_[splitIndex_[k]] as an I/D pair. */
+    std::vector<std::size_t> splitIndex_;
+    std::vector<std::unique_ptr<SplitCache>> splits_;
     /** One engine per distinct eligible block size. */
     std::vector<std::unique_ptr<SinglePassEngine>> engines_;
     /** engineIndex_[e][k] = config index of engines_[e]'s k-th. */
@@ -245,24 +258,6 @@ class ParallelSweepRunner
     std::vector<std::size_t> shadowIndex_;
     std::vector<std::unique_ptr<Cache>> shadowCaches_;
 };
-
-/**
- * Run every config over every trace — the full (trace, config) task
- * grid of a suite sweep — in parallel on @p pool (nullptr means
- * globalThreadPool()).
- *
- * Compatibility wrapper: delegates to runSweep(SweepRequest) in
- * multi/sweep_api.hh (which also returns averages and a run
- * manifest) and returns only the per-trace grid, out[t][c] for
- * traces[t] x configs[c] — bit-identical to driving a sequential
- * SweepRunner over each trace.
- */
-OCCSIM_DEPRECATED("use runSweep(SweepRequest) from multi/sweep_api.hh")
-std::vector<std::vector<SweepResult>>
-runSweeps(const std::vector<std::shared_ptr<const VectorTrace>> &traces,
-          const std::vector<CacheConfig> &configs,
-          ThreadPool *pool = nullptr,
-          SweepEngine engine = SweepEngine::Auto);
 
 } // namespace occsim
 

@@ -16,10 +16,13 @@ shardEligible(const CacheConfig &config)
     // Random replacement draws victims from one Rng shared by every
     // set; PrefetchNextOnMiss allocates in the sequentially-next
     // block, i.e. in another set (and with >1 shard, another shard).
-    // Either way the run is not set-local. Everything else is: see
-    // the header's proof sketch.
+    // A split I/D pair routes by reference kind, not set index, so
+    // its two halves see different sub-traces. Either way the run is
+    // not set-local. Everything else is: see the header's proof
+    // sketch.
     return config.replacement != ReplacementPolicy::Random &&
-           config.fetch != FetchPolicy::PrefetchNextOnMiss;
+           config.fetch != FetchPolicy::PrefetchNextOnMiss &&
+           config.partition == CachePartition::Unified;
 }
 
 ShardMode

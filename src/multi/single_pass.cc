@@ -138,7 +138,8 @@ singlePassEligible(const CacheConfig &config)
             config.replacement == ReplacementPolicy::FIFO) &&
            config.fetch == FetchPolicy::Demand &&
            config.subBlockSize == config.blockSize &&
-           config.writeAllocate;
+           config.writeAllocate &&
+           config.partition == CachePartition::Unified;
 }
 
 SinglePassEngine::SinglePassEngine(

@@ -1,14 +1,10 @@
-// This TU implements the supported sweep API on top of the legacy
-// engine entry points it wraps, so the deprecation attribute must be
-// off here.
-#define OCCSIM_ALLOW_DEPRECATED 1
-
 #include "multi/sweep_api.hh"
 
 #include <algorithm>
 #include <chrono>
 #include <functional>
 
+#include "coherence/coherent_system.hh"
 #include "multi/sweep_detail.hh"
 #include "obs/telemetry.hh"
 #include "util/logging.hh"
@@ -101,6 +97,18 @@ runFlattenedGrid(const SweepRequest &request, SweepReport &report,
     const sweep_detail::ConfigPartition part =
         partitionConfigs(configs, request.engine);
 
+    // Split I/D configs always get a dedicated SplitCache pair task:
+    // the pair routes by reference kind, which no batched kernel
+    // models.
+    std::vector<std::size_t> split_list;
+    std::vector<std::size_t> direct;
+    for (const std::size_t c : part.direct) {
+        if (configs[c].partition == CachePartition::SplitID)
+            split_list.push_back(c);
+        else
+            direct.push_back(c);
+    }
+
     // Fast path: one single-pass engine per (trace, block-size
     // group), parallelized one task per (engine, set-count level).
     std::vector<std::vector<CacheConfig>> group_configs;
@@ -127,23 +135,23 @@ runFlattenedGrid(const SweepRequest &request, SweepReport &report,
     // per shard; under DirectOnly, one plain Cache task per (trace,
     // config) pair.
     const bool batched = request.engine != SweepEngine::DirectOnly &&
-                         !part.direct.empty();
+                         !direct.empty();
 
     // The grouping is pure config geometry, so it is shared by every
     // trace; shard decisions are per trace (lengths differ).
     std::vector<std::vector<std::size_t>> fused_groups;
-    std::vector<std::size_t> residual = part.direct;
+    std::vector<std::size_t> residual = direct;
     if (batched) {
         residual.clear();
         std::vector<bool> in_group(configs.size(), false);
-        for (auto &group : fusedGroups(configs, part.direct)) {
+        for (auto &group : fusedGroups(configs, direct)) {
             if (group.size() < 2)
                 continue;
             for (const std::size_t c : group)
                 in_group[c] = true;
             fused_groups.push_back(std::move(group));
         }
-        for (const std::size_t c : part.direct) {
+        for (const std::size_t c : direct) {
             if (!in_group[c])
                 residual.push_back(c);
         }
@@ -213,7 +221,8 @@ runFlattenedGrid(const SweepRequest &request, SweepReport &report,
     // config) pair or (trace, tile) pair, plus every (trace, group,
     // level) triple.
     std::vector<std::function<void()>> tasks;
-    tasks.reserve(traces.size() * (part.direct.size() + num_groups));
+    tasks.reserve(traces.size() *
+                  (part.direct.size() + num_groups));
     for (std::size_t t = 0; t < traces.size(); ++t) {
         if (batched) {
             if (batches[t] != nullptr) {
@@ -263,7 +272,7 @@ runFlattenedGrid(const SweepRequest &request, SweepReport &report,
                 }
             }
         } else {
-            for (const std::size_t c : part.direct) {
+            for (const std::size_t c : direct) {
                 tasks.push_back([&, t, c] {
                     OCCSIM_TELEM_STAGE("engine.direct");
                     const std::vector<MemRef> &refs =
@@ -280,6 +289,22 @@ runFlattenedGrid(const SweepRequest &request, SweepReport &report,
                                        limit * sizeof(MemRef));
                 });
             }
+        }
+        for (const std::size_t c : split_list) {
+            tasks.push_back([&, t, c] {
+                OCCSIM_TELEM_STAGE("engine.direct");
+                const std::vector<MemRef> &refs = traces[t]->refs();
+                const std::uint64_t limit =
+                    traceLimit(*traces[t], max_refs);
+                SplitCache pair = makeEvenSplit(configs[c]);
+                for (std::uint64_t r = 0; r < limit; ++r)
+                    pair.access(refs[r]);
+                pair.finalizeResidencies();
+                out[t][c] = summarizeSplit(configs[c], pair);
+                OCCSIM_TELEM_COUNT("engine.direct.refs", limit);
+                OCCSIM_TELEM_COUNT("engine.direct.bytes",
+                                   limit * sizeof(MemRef));
+            });
         }
         for (std::size_t g = 0; g < num_groups; ++g) {
             SinglePassEngine &eng = *engines[t * num_groups + g];
@@ -355,11 +380,18 @@ runPackedGrid(const SweepRequest &request, SweepReport &report,
                            std::vector<SweepResult>(configs.size()));
     auto &out = report.perTrace;
 
-    // Fusable groups first (shared by every trace — the grouping is
-    // pure config geometry); the residual goes to batch/shard.
-    std::vector<std::size_t> candidates(configs.size());
-    for (std::size_t c = 0; c < configs.size(); ++c)
-        candidates[c] = c;
+    // Split I/D configs get dedicated SplitCache pair tasks over the
+    // packed records; fusable groups next (shared by every trace —
+    // the grouping is pure config geometry); the residual goes to
+    // batch/shard.
+    std::vector<std::size_t> split_list;
+    std::vector<std::size_t> candidates;
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        if (configs[c].partition == CachePartition::SplitID)
+            split_list.push_back(c);
+        else
+            candidates.push_back(c);
+    }
     std::vector<std::vector<std::size_t>> fused_groups;
     std::vector<bool> in_group(configs.size(), false);
     for (auto &group : fusedGroups(configs, candidates)) {
@@ -370,7 +402,7 @@ runPackedGrid(const SweepRequest &request, SweepReport &report,
         fused_groups.push_back(std::move(group));
     }
     std::vector<std::size_t> residual;
-    for (std::size_t c = 0; c < configs.size(); ++c) {
+    for (const std::size_t c : candidates) {
         if (!in_group[c])
             residual.push_back(c);
     }
@@ -456,6 +488,19 @@ runPackedGrid(const SweepRequest &request, SweepReport &report,
                     [eng, strace, s] { eng->runShard(s, *strace); });
             }
         }
+        for (const std::size_t c : split_list) {
+            tasks.push_back([&, t, c, limit] {
+                OCCSIM_TELEM_STAGE("engine.direct");
+                SplitCache pair = makeEvenSplit(configs[c]);
+                pair.replayPacked(traces[t]->data(),
+                                  static_cast<std::size_t>(limit));
+                pair.finalizeResidencies();
+                out[t][c] = summarizeSplit(configs[c], pair);
+                OCCSIM_TELEM_COUNT("engine.direct.refs", limit);
+                OCCSIM_TELEM_COUNT("engine.direct.bytes",
+                                   limit * sizeof(PackedRecord));
+            });
+        }
     }
 
     poolOrGlobal(request.pool)
@@ -490,6 +535,69 @@ runPackedGrid(const SweepRequest &request, SweepReport &report,
                 shard_info.telem.accumulate(eng);
         }
     }
+    return refs;
+}
+
+/**
+ * Scenario path: every (trace, config) pair is one CoherentSystem
+ * task — the coherent engine is a strictly serial bus model, so the
+ * grid cell is the unit of parallelism. Serves both the MemRef and
+ * the packed-trace inputs (core routing comes from MemRef::core /
+ * the packed core bits either way).
+ */
+std::uint64_t
+runScenarioGrid(const SweepRequest &request, SweepReport &report)
+{
+    const auto &configs = request.configs;
+    const std::uint64_t max_refs = request.maxRefs;
+    const bool packed_path = !request.packedTraces.empty();
+    const std::size_t num_traces = packed_path
+                                       ? request.packedTraces.size()
+                                       : request.traces.size();
+
+    report.perTrace.assign(num_traces,
+                           std::vector<SweepResult>(configs.size()));
+    auto &out = report.perTrace;
+
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(num_traces * configs.size());
+    std::uint64_t refs = 0;
+    for (std::size_t t = 0; t < num_traces; ++t) {
+        const std::uint64_t limit =
+            packed_path
+                ? (max_refs == 0
+                       ? request.packedTraces[t]->size()
+                       : std::min<std::uint64_t>(
+                             max_refs, request.packedTraces[t]->size()))
+                : traceLimit(*request.traces[t], max_refs);
+        refs += limit;
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            tasks.push_back([&, t, c, limit] {
+                OCCSIM_TELEM_STAGE("engine.coherent");
+                CoherentSystem system(request.scenario, configs[c]);
+                if (packed_path) {
+                    system.replayPacked(
+                        request.packedTraces[t]->data(),
+                        static_cast<std::size_t>(limit));
+                } else {
+                    const std::vector<MemRef> &trace_refs =
+                        request.traces[t]->refs();
+                    for (std::uint64_t r = 0; r < limit; ++r)
+                        system.access(trace_refs[r]);
+                }
+                system.finalize();
+                out[t][c] = summarizeCoherent(configs[c], system);
+                OCCSIM_TELEM_COUNT("engine.coherent.refs", limit);
+                OCCSIM_TELEM_COUNT("engine.coherent.bytes",
+                                   limit * (packed_path
+                                                ? sizeof(PackedRecord)
+                                                : sizeof(MemRef)));
+            });
+        }
+    }
+    poolOrGlobal(request.pool)
+        .parallelFor(tasks.size(),
+                     [&](std::size_t i) { tasks[i](); });
     return refs;
 }
 
@@ -572,6 +680,8 @@ const char *
 configEngineName(const CacheConfig &config, SweepEngine engine,
                  bool sharded, bool is_fused)
 {
+    if (config.partition == CachePartition::SplitID)
+        return "split";
     if (engine == SweepEngine::Sampled)
         return "sample";
     if (engine == SweepEngine::DirectOnly)
@@ -616,7 +726,29 @@ runSweep(const SweepRequest &request)
     for (const auto &trace : request.packedTraces)
         occsim_assert(trace != nullptr,
                       "null packed trace in sweep request");
-    if (packed_path) {
+    const std::string scenario_error =
+        validateScenario(request.scenario, request.configs);
+    occsim_assert(scenario_error.empty(), "invalid scenario: %s",
+                  scenario_error.c_str());
+    const bool multicore = request.scenario.multicore();
+    if (multicore) {
+        occsim_assert(request.engine == SweepEngine::Auto,
+                      "multicore scenarios route every config to the "
+                      "coherent engine; the %s policy does not apply",
+                      sweepEngineName(request.engine));
+        occsim_assert(!request.probe,
+                      "probe is incompatible with multicore scenarios "
+                      "(no per-config Cache is retained)");
+    }
+    if (request.engine == SweepEngine::Sampled) {
+        for (const CacheConfig &config : request.configs) {
+            occsim_assert(config.partition == CachePartition::Unified,
+                          "split I/D configs are not supported by the "
+                          "sampling engine (%s)",
+                          config.shortName().c_str());
+        }
+    }
+    if (packed_path && !multicore) {
         // Packed records carry no MemRef stream, so only the replay
         // engines (batch / set-sharded) can serve this path.
         occsim_assert(request.engine == SweepEngine::Auto,
@@ -638,7 +770,9 @@ runSweep(const SweepRequest &request)
     fused_info.fusedConfigs.assign(request.configs.size(), false);
     SampleInfo sample_info;
     std::uint64_t refs = 0;
-    if (packed_path) {
+    if (multicore) {
+        refs = runScenarioGrid(request, report);
+    } else if (packed_path) {
         refs = runPackedGrid(request, report, shard_info, fused_info);
     } else if (request.engine == SweepEngine::Sampled) {
         // A probe needs a finished full-trace Cache to inspect; the
@@ -716,12 +850,36 @@ runSweep(const SweepRequest &request)
     }
     // Sampled manifests carry the per-config miss-ratio estimate
     // with its uncertainty (cross-trace combined, same arithmetic as
-    // SweepReport::average).
+    // SweepReport::average); coherent manifests likewise carry the
+    // per-config coherency-traffic columns.
     std::vector<SweepResult> sampled_avg;
     if (request.engine == SweepEngine::Sampled) {
         sampled_avg = request.wantAverage
                           ? report.average
                           : averageResults(report.perTrace);
+    }
+    std::vector<SweepResult> coherent_avg;
+    if (multicore) {
+        coherent_avg = request.wantAverage
+                           ? report.average
+                           : averageResults(report.perTrace);
+        record.scenarioCores = request.scenario.cores;
+        // Bus-counter totals over every (trace, config) run.
+        for (const auto &trace_results : report.perTrace) {
+            for (const SweepResult &result : trace_results) {
+                const CoherencySummary &coh = result.coherency;
+                record.cohBusReads += coh.busReads;
+                record.cohBusReadForOwnership +=
+                    coh.busReadForOwnership;
+                record.cohBusUpgrades += coh.busUpgrades;
+                record.cohInvalidations += coh.invalidations;
+                record.cohCacheToCacheTransfers +=
+                    coh.cacheToCacheTransfers;
+                record.cohC2cWords += coh.c2cWords;
+                record.cohSnoopWritebackWords +=
+                    coh.snoopWritebackWords;
+            }
+        }
     }
     record.routes.reserve(request.configs.size());
     for (std::size_t c = 0; c < request.configs.size(); ++c) {
@@ -729,16 +887,22 @@ runSweep(const SweepRequest &request)
         obs::ConfigRoute route;
         route.config = config.shortName();
         // The packed path has no single-pass fallback: everything not
-        // fused or sharded ran through the batch engine.
+        // split, fused or sharded ran through the batch engine.
         route.engine =
-            packed_path
-                ? (fused_info.fusedConfigs[c]
-                       ? "fused"
-                       : (shard_info.shardedConfigs[c] ? "shard"
-                                                       : "batch"))
-                : configEngineName(config, request.engine,
-                                   shard_info.shardedConfigs[c],
-                                   fused_info.fusedConfigs[c]);
+            multicore
+                ? "coherent"
+                : (packed_path
+                       ? (config.partition == CachePartition::SplitID
+                              ? "split"
+                              : (fused_info.fusedConfigs[c]
+                                     ? "fused"
+                                     : (shard_info.shardedConfigs[c]
+                                            ? "shard"
+                                            : "batch")))
+                       : configEngineName(
+                             config, request.engine,
+                             shard_info.shardedConfigs[c],
+                             fused_info.fusedConfigs[c]));
         if (!sampled_avg.empty() && sampled_avg[c].sampled.active) {
             route.sampled = true;
             route.missRatioMean =
@@ -746,27 +910,20 @@ runSweep(const SweepRequest &request)
             route.missRatioStdErr =
                 sampled_avg[c].sampled.missRatio.stdErr;
         }
+        if (!coherent_avg.empty() &&
+            coherent_avg[c].coherency.active) {
+            route.coherent = true;
+            route.cohInvalPerKiloRef =
+                coherent_avg[c].coherency.invalidationsPerKiloRef;
+            route.cohTrafficRatio =
+                coherent_avg[c].coherency.coherenceTrafficRatio;
+        }
         record.routes.push_back(route);
     }
     obs::recordSweep(record);
 
     report.manifest = obs::currentManifest();
     return report;
-}
-
-std::vector<std::vector<SweepResult>>
-runSweeps(const std::vector<std::shared_ptr<const VectorTrace>> &traces,
-          const std::vector<CacheConfig> &configs, ThreadPool *pool,
-          SweepEngine engine)
-{
-    SweepRequest request;
-    request.traces = traces;
-    request.configs = configs;
-    request.engine = engine;
-    request.pool = pool;
-    request.wantAverage = false;
-    request.label = "runSweeps";
-    return runSweep(request).perTrace;
 }
 
 } // namespace occsim

@@ -5,9 +5,9 @@
  *
  * Before this header, callers picked between three overlapping entry
  * points (sequential SweepRunner::run, ParallelSweepRunner::run, free
- * runSweeps) and hard-coded engine plumbing — thread pools, engine
- * modes, averaging, instrumentation — at every call site. The
- * supported surface is now:
+ * runSweeps — all since deleted) and hard-coded engine plumbing —
+ * thread pools, engine modes, averaging, instrumentation — at every
+ * call site. The supported surface is now:
  *
  *   SweepRequest request;
  *   request.traces = buildSuiteTraces(suite);
@@ -15,14 +15,19 @@
  *   SweepReport report = runSweep(request);
  *   // report.perTrace, report.average, report.manifest
  *
- * Everything the legacy entry points could do is a field of the
+ * Everything the deleted entry points could do is a field of the
  * request: engine policy, explicit pool, reference cap, a telemetry
  * sink, and an optional per-trace probe for callers that need to
- * inspect a finished Cache (Table 6's residency statistics). Results
- * are bit-identical to the legacy entry points for every engine and
- * thread count — the legacy functions are now thin deprecated
- * wrappers over runSweep, and tests/test_sweep_api.cpp holds the
- * exact-equality proof.
+ * inspect a finished Cache (Table 6's residency statistics).
+ * tests/test_sweep_api.cpp holds the cross-engine exact-equality
+ * proof.
+ *
+ * Scenario-first: SweepRequest::scenario names the machine the grid
+ * is priced on. The default (1 core) is today's single-cache model,
+ * served by the single-cache engines bit-identically; a multicore
+ * scenario routes every (trace, config) pair to the coherent MESI
+ * engine (coherence/coherent_system.hh), and results additionally
+ * carry SweepResult::coherency bus-traffic metrics.
  */
 
 #ifndef OCCSIM_MULTI_SWEEP_API_HH
@@ -33,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "coherence/scenario.hh"
 #include "multi/parallel_sweep.hh"
 #include "obs/manifest.hh"
 #include "trace/packed_trace.hh"
@@ -67,6 +73,18 @@ struct SweepRequest
 
     /** Config grid; one result slot per entry per trace. */
     std::vector<CacheConfig> configs;
+
+    /**
+     * The machine the grid is priced on. The default (1 core) is the
+     * single-cache model: requests that never touch this field behave
+     * exactly as before the scenario redesign, served by the same
+     * engines with bit-identical results. A multicore scenario
+     * (cores >= 2) routes every (trace, config) pair to the coherent
+     * MESI engine; it requires SweepEngine::Auto, no probe, and
+     * configs inside the MESI subset (copy-back + write-allocate +
+     * demand + unified — see validateScenario).
+     */
+    ScenarioConfig scenario;
 
     /** Engine routing policy (Auto = fast paths where eligible). */
     SweepEngine engine = SweepEngine::Auto;

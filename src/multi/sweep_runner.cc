@@ -1,11 +1,8 @@
-// This TU defines the deprecated sequential entry point itself.
-#define OCCSIM_ALLOW_DEPRECATED 1
-
 #include "multi/sweep_runner.hh"
 
 #include <cmath>
 
-#include "obs/telemetry.hh"
+#include "coherence/coherent_system.hh"
 #include "util/logging.hh"
 
 namespace occsim {
@@ -70,6 +67,54 @@ averageEstimates(const std::vector<std::vector<SweepResult>> &runs,
     return out;
 }
 
+/** Cross-trace average of coherency summaries (all runs of config
+ *  @p c must be coherency.active): derived doubles average exactly
+ *  like the headline metrics, counters become rounded integer
+ *  means. */
+CoherencySummary
+averageCoherency(const std::vector<std::vector<SweepResult>> &runs,
+                 std::size_t c)
+{
+    const double n = static_cast<double>(runs.size());
+    CoherencySummary out;
+    out.active = true;
+    out.cores = runs.front()[c].coherency.cores;
+    out.coreMissRatios.assign(out.cores, 0.0);
+    double reads = 0.0, rfo = 0.0, upgrades = 0.0, invals = 0.0;
+    double c2c = 0.0, c2c_words = 0.0, snoop_words = 0.0;
+    for (const auto &run : runs) {
+        const CoherencySummary &coh = run[c].coherency;
+        occsim_assert(coh.cores == out.cores,
+                      "core count differs between runs");
+        reads += static_cast<double>(coh.busReads);
+        rfo += static_cast<double>(coh.busReadForOwnership);
+        upgrades += static_cast<double>(coh.busUpgrades);
+        invals += static_cast<double>(coh.invalidations);
+        c2c += static_cast<double>(coh.cacheToCacheTransfers);
+        c2c_words += static_cast<double>(coh.c2cWords);
+        snoop_words += static_cast<double>(coh.snoopWritebackWords);
+        out.invalidationsPerKiloRef += coh.invalidationsPerKiloRef;
+        out.coherenceTrafficRatio += coh.coherenceTrafficRatio;
+        for (std::uint32_t i = 0; i < out.cores; ++i)
+            out.coreMissRatios[i] += coh.coreMissRatios[i];
+    }
+    const auto mean = [n](double sum) {
+        return static_cast<std::uint64_t>(std::llround(sum / n));
+    };
+    out.busReads = mean(reads);
+    out.busReadForOwnership = mean(rfo);
+    out.busUpgrades = mean(upgrades);
+    out.invalidations = mean(invals);
+    out.cacheToCacheTransfers = mean(c2c);
+    out.c2cWords = mean(c2c_words);
+    out.snoopWritebackWords = mean(snoop_words);
+    out.invalidationsPerKiloRef /= n;
+    out.coherenceTrafficRatio /= n;
+    for (std::uint32_t i = 0; i < out.cores; ++i)
+        out.coreMissRatios[i] /= n;
+    return out;
+}
+
 } // namespace
 
 SweepResult
@@ -97,48 +142,65 @@ summarizeCache(const Cache &cache)
                           cache.stats());
 }
 
-SweepRunner::SweepRunner(const std::vector<CacheConfig> &configs)
+SweepResult
+summarizeSplit(const CacheConfig &config, const SplitCache &split)
 {
-    occsim_assert(!configs.empty(), "sweep needs at least one config");
-    caches_.reserve(configs.size());
-    for (const CacheConfig &config : configs)
-        caches_.push_back(std::make_unique<Cache>(config));
+    CacheStats merged = split.icache().stats();
+    merged.mergeFrom(split.dcache().stats());
+    return summarizeStats(config, split.grossBytes(), merged);
 }
 
-std::uint64_t
-SweepRunner::run(TraceSource &source, std::uint64_t max_refs)
+SweepResult
+summarizeCoherent(const CacheConfig &config,
+                  const CoherentSystem &system)
 {
-    OCCSIM_TELEM_STAGE("engine.sequential");
-    MemRef ref;
-    std::uint64_t count = 0;
-    while ((max_refs == 0 || count < max_refs) && source.next(ref)) {
-        for (auto &cache : caches_)
-            cache->access(ref);
-        ++count;
+    CacheStats merged = system.core(0).stats();
+    std::uint64_t gross = system.core(0).geometry().grossBytes();
+    for (std::uint32_t c = 1; c < system.numCores(); ++c) {
+        merged.mergeFrom(system.core(c).stats());
+        gross += system.core(c).geometry().grossBytes();
     }
-    for (auto &cache : caches_)
-        cache->finalizeResidencies();
-    OCCSIM_TELEM_COUNT("engine.sequential.refs",
-                       count * caches_.size());
-    OCCSIM_TELEM_COUNT("engine.sequential.bytes",
-                       count * sizeof(MemRef));
-    return count;
-}
+    SweepResult result = summarizeStats(config, gross, merged);
 
-std::vector<SweepResult>
-SweepRunner::results() const
-{
-    std::vector<SweepResult> out;
-    out.reserve(caches_.size());
-    for (const auto &cache : caches_)
-        out.push_back(summarizeCache(*cache));
-    return out;
+    const CoherencyStats &bus = system.bus();
+    CoherencySummary &coh = result.coherency;
+    coh.active = true;
+    coh.cores = system.numCores();
+    coh.busReads = bus.busReads;
+    coh.busReadForOwnership = bus.busReadForOwnership;
+    coh.busUpgrades = bus.busUpgrades;
+    coh.invalidations = bus.invalidations;
+    coh.cacheToCacheTransfers = bus.cacheToCacheTransfers;
+    coh.c2cWords = bus.c2cWords;
+    coh.snoopWritebackWords = bus.snoopWritebackWords;
+    const std::uint64_t total_refs =
+        merged.accesses() + merged.writeAccesses();
+    coh.invalidationsPerKiloRef =
+        total_refs == 0 ? 0.0
+                        : 1000.0 *
+                              static_cast<double>(bus.invalidations) /
+                              static_cast<double>(total_refs);
+    coh.coherenceTrafficRatio =
+        merged.accesses() == 0
+            ? 0.0
+            : static_cast<double>(bus.c2cWords +
+                                  bus.snoopWritebackWords) /
+                  static_cast<double>(merged.accesses());
+    coh.coreMissRatios.reserve(system.numCores());
+    for (std::uint32_t c = 0; c < system.numCores(); ++c)
+        coh.coreMissRatios.push_back(system.core(c).stats().missRatio());
+    return result;
 }
 
 SweepResult
 runSingle(const CacheConfig &config, TraceSource &source,
           std::uint64_t max_refs)
 {
+    if (config.partition == CachePartition::SplitID) {
+        SplitCache split = makeEvenSplit(config);
+        split.run(source, max_refs);
+        return summarizeSplit(config, split);
+    }
     Cache cache(config);
     cache.run(source, max_refs);
     return summarizeCache(cache);
@@ -165,6 +227,7 @@ averageResults(const std::vector<std::vector<SweepResult>> &runs)
         out.nibbleTrafficRatio = 0.0;
         out.warmNibbleTrafficRatio = 0.0;
         bool all_sampled = true;
+        bool all_coherent = true;
         for (const auto &run : runs) {
             occsim_assert(run[c].config == out.config,
                           "config order differs between runs");
@@ -175,6 +238,7 @@ averageResults(const std::vector<std::vector<SweepResult>> &runs)
             out.nibbleTrafficRatio += run[c].nibbleTrafficRatio;
             out.warmNibbleTrafficRatio += run[c].warmNibbleTrafficRatio;
             all_sampled = all_sampled && run[c].sampled.active;
+            all_coherent = all_coherent && run[c].coherency.active;
         }
         out.missRatio /= n;
         out.warmMissRatio /= n;
@@ -184,6 +248,8 @@ averageResults(const std::vector<std::vector<SweepResult>> &runs)
         out.warmNibbleTrafficRatio /= n;
         out.sampled = all_sampled ? averageEstimates(runs, c)
                                   : SampleEstimates{};
+        out.coherency = all_coherent ? averageCoherency(runs, c)
+                                     : CoherencySummary{};
     }
     return averaged;
 }

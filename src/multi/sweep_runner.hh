@@ -1,32 +1,64 @@
 /**
  * @file
- * Single-pass multi-configuration simulation.
+ * Sweep results and the shared summarization arithmetic.
  *
- * The paper's tables evaluate dozens of cache design points per trace;
- * re-reading (or regenerating) the trace for each one is wasteful, so
- * SweepRunner instantiates every configuration up front and feeds each
- * reference to all of them in one pass over the trace.
+ * The paper's tables evaluate dozens of cache design points per
+ * trace. All engines — direct, single-pass, batched, sharded, fused,
+ * sampled, and the coherent multicore engine — funnel their finished
+ * statistics through summarizeStats() here, so every SweepResult's
+ * derived doubles come from exactly one piece of arithmetic
+ * (bit-identical across engines by construction).
  */
 
 #ifndef OCCSIM_MULTI_SWEEP_RUNNER_HH
 #define OCCSIM_MULTI_SWEEP_RUNNER_HH
 
-#include <memory>
 #include <vector>
 
 #include "cache/cache.hh"
+#include "cache/split_cache.hh"
 #include "multi/sample_replay.hh"
 #include "trace/trace.hh"
-#include "util/deprecated.hh"
 
 namespace occsim {
+
+class CoherentSystem;
+
+/**
+ * Coherency-traffic summary of one multicore scenario run: the
+ * snooping-bus counters (CoherencyStats) plus the derived per-kiloref
+ * and traffic-ratio figures that extend the paper's methodology to
+ * coherency traffic. Inactive (all zero) for single-cache results.
+ */
+struct CoherencySummary
+{
+    bool active = false;
+    std::uint32_t cores = 0;
+    std::uint64_t busReads = 0;
+    std::uint64_t busReadForOwnership = 0;
+    std::uint64_t busUpgrades = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t cacheToCacheTransfers = 0;
+    std::uint64_t c2cWords = 0;
+    std::uint64_t snoopWritebackWords = 0;
+    /** Invalidations per 1000 references (reads + writes). */
+    double invalidationsPerKiloRef = 0.0;
+    /** Coherency-only bus words (cache-to-cache + snoop flushes)
+     *  over counted references — the coherency surcharge on the
+     *  paper's traffic ratio. */
+    double coherenceTrafficRatio = 0.0;
+    /** Per-core miss ratios, core order. */
+    std::vector<double> coreMissRatios;
+};
 
 /**
  * Result of one configuration within a sweep. The headline doubles
  * are exact counts from the exact engines; under SweepEngine::Sampled
  * they are per-unit means and `sampled` carries the uncertainty
  * (sampled.active distinguishes the two — exact results leave it
- * false).
+ * false). Multicore scenario sweeps additionally fill `coherency`
+ * (aggregated across cores; the headline doubles then describe the
+ * core-merged statistics).
  */
 struct SweepResult
 {
@@ -41,30 +73,9 @@ struct SweepResult
     /** Sampling-engine estimates (stderr/CI per metric); inactive
      *  and all-zero for exact-engine results. */
     SampleEstimates sampled;
-};
-
-/** Runs many cache configurations over one trace pass. */
-class SweepRunner
-{
-  public:
-    explicit SweepRunner(const std::vector<CacheConfig> &configs);
-
-    /** Feed up to @p max_refs references (0 = all) to every cache.
-     *  @return references consumed. */
-    OCCSIM_DEPRECATED("drive sweeps through runSweep(SweepRequest) "
-                      "(multi/sweep_api.hh); the sequential runner "
-                      "remains as the streaming-source fallback")
-    std::uint64_t run(TraceSource &source, std::uint64_t max_refs = 0);
-
-    std::size_t size() const { return caches_.size(); }
-    const Cache &cache(std::size_t i) const { return *caches_[i]; }
-    Cache &cache(std::size_t i) { return *caches_[i]; }
-
-    /** Summaries (includes nibble-mode pricing at ratio 3). */
-    std::vector<SweepResult> results() const;
-
-  private:
-    std::vector<std::unique_ptr<Cache>> caches_;
+    /** Coherent-engine traffic summary; inactive for single-cache
+     *  results. */
+    CoherencySummary coherency;
 };
 
 /** Summarize a finished cache into a SweepResult (nibble-mode
@@ -81,7 +92,25 @@ SweepResult summarizeStats(const CacheConfig &config,
                            std::uint64_t gross_bytes,
                            const CacheStats &stats);
 
-/** Simulate one configuration over @p source; returns its summary. */
+/**
+ * Summarize a finished split I/D pair under its original (SplitID)
+ * config: the two halves' statistics merge exactly (integer sums)
+ * and the combined totals flow through summarizeStats.
+ */
+SweepResult summarizeSplit(const CacheConfig &config,
+                           const SplitCache &split);
+
+/**
+ * Summarize a finished coherent scenario run for grid entry
+ * @p config: per-core statistics merge exactly across cores, the
+ * merged totals flow through summarizeStats, and the bus counters
+ * land in SweepResult::coherency.
+ */
+SweepResult summarizeCoherent(const CacheConfig &config,
+                              const CoherentSystem &system);
+
+/** Simulate one configuration over @p source (routing SplitID
+ *  configs to a SplitCache pair); returns its summary. */
 SweepResult runSingle(const CacheConfig &config, TraceSource &source,
                       std::uint64_t max_refs = 0);
 
@@ -89,7 +118,9 @@ SweepResult runSingle(const CacheConfig &config, TraceSource &source,
  * Average sweep results across traces, unweighted, as the paper does
  * ("multiple-trace miss and traffic ratios are the unweighted average
  * of the ... individual runs"). All runs must cover the same configs
- * in the same order.
+ * in the same order. Coherency counters average as rounded integer
+ * means; the derived coherency doubles average exactly like the
+ * headline metrics.
  */
 std::vector<SweepResult>
 averageResults(const std::vector<std::vector<SweepResult>> &runs);

@@ -223,7 +223,7 @@ currentManifest()
 
     for (const char *engine :
          {"direct", "single_pass", "batch", "shard", "fused",
-          "shadow", "sequential", "sample"}) {
+          "shadow", "sample", "coherent"}) {
         appendEngineUsage(manifest.engines, manifest.stages,
                           manifest.counters, engine);
     }
@@ -278,6 +278,20 @@ RunManifest::toJson() const
         w.kv("sample_warmup_refs", sweep.sampleWarmupRefs);
         w.kv("sample_units", sweep.sampleUnits);
         w.kv("sample_measured_refs", sweep.sampleMeasuredRefs);
+        // Pre-scenario manifests stay byte-identical: the scenario
+        // keys appear only for multicore sweeps.
+        if (sweep.scenarioCores > 1) {
+            w.kv("scenario_cores",
+                 std::uint64_t{sweep.scenarioCores});
+            w.kv("coh_bus_reads", sweep.cohBusReads);
+            w.kv("coh_bus_rfo", sweep.cohBusReadForOwnership);
+            w.kv("coh_bus_upgrades", sweep.cohBusUpgrades);
+            w.kv("coh_invalidations", sweep.cohInvalidations);
+            w.kv("coh_c2c_transfers",
+                 sweep.cohCacheToCacheTransfers);
+            w.kv("coh_c2c_words", sweep.cohC2cWords);
+            w.kv("coh_snoop_wb_words", sweep.cohSnoopWritebackWords);
+        }
         w.key("configs").beginArray();
         for (const ConfigRoute &route : sweep.routes) {
             w.beginObject();
@@ -286,6 +300,11 @@ RunManifest::toJson() const
             if (route.sampled) {
                 w.kv("miss_ratio", route.missRatioMean);
                 w.kv("miss_stderr", route.missRatioStdErr);
+            }
+            if (route.coherent) {
+                w.kv("coh_inval_per_kiloref",
+                     route.cohInvalPerKiloRef);
+                w.kv("coh_traffic_ratio", route.cohTrafficRatio);
             }
             w.endObject();
         }

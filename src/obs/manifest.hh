@@ -45,7 +45,7 @@ struct ConfigRoute
     std::string config;  ///< CacheConfig::shortName()
     std::string engine;  ///< "direct" / "single_pass" / "batch" /
                          ///< "shard" (sharded on at least one trace)
-                         ///< / "sample"
+                         ///< / "split" / "sample" / "coherent"
     /** Sampling engine only: the headline miss-ratio estimate
      *  (cross-trace mean with its standard error), so a sampled
      *  manifest carries the uncertainty of its numbers. Absent from
@@ -53,9 +53,16 @@ struct ConfigRoute
     bool sampled = false;
     double missRatioMean = 0.0;
     double missRatioStdErr = 0.0;
+    /** Coherent engine only: the per-config coherency-traffic
+     *  columns (cross-trace averages, same arithmetic as
+     *  SweepReport::average). Absent from the JSON for single-cache
+     *  routes. */
+    bool coherent = false;
+    double cohInvalPerKiloRef = 0.0;
+    double cohTrafficRatio = 0.0;
 };
 
-/** One sweep session (one runSweep / legacy entry-point call). */
+/** One sweep session (one runSweep call). */
 struct SweepRecord
 {
     std::string label;       ///< caller-supplied ("table6", ...)
@@ -88,6 +95,19 @@ struct SweepRecord
     std::uint64_t sampleWarmupRefs = 0;
     std::uint64_t sampleUnits = 0;
     std::uint64_t sampleMeasuredRefs = 0;
+    /** Coherent-engine activity: the scenario's core count (1 = the
+     *  single-cache model; the coh_* keys are then absent from the
+     *  JSON, keeping pre-scenario manifests byte-identical) and the
+     *  snooping-bus traffic totals summed over every (trace, config)
+     *  run of the sweep. */
+    std::uint32_t scenarioCores = 1;
+    std::uint64_t cohBusReads = 0;
+    std::uint64_t cohBusReadForOwnership = 0;
+    std::uint64_t cohBusUpgrades = 0;
+    std::uint64_t cohInvalidations = 0;
+    std::uint64_t cohCacheToCacheTransfers = 0;
+    std::uint64_t cohC2cWords = 0;
+    std::uint64_t cohSnoopWritebackWords = 0;
     std::vector<ConfigRoute> routes;   ///< one per config, grid order
 };
 

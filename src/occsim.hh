@@ -34,13 +34,16 @@
 #include "trace/trace_file.hh"
 #include "trace/trace_stats.hh"
 
-// Workloads: the paper's suites and trace builders.
+// Workloads: the paper's suites, trace builders, and the parallel
+// (multicore) sharing-pattern generators.
+#include "workload/parallel.hh"
 #include "workload/profiles.hh"
 #include "workload/suites.hh"
 #include "workload/synthetic.hh"
 
-// Sweeps: the unified request/report API (and the legacy entry
-// points it wraps, for staged migration).
+// Sweeps: the unified request/report API — the one supported entry
+// point; scenario routing included (multi/sweep_api.hh pulls in
+// coherence/scenario.hh).
 #include "multi/parallel_sweep.hh"
 #include "multi/sweep_api.hh"
 #include "multi/sweep_runner.hh"

@@ -101,6 +101,17 @@ bool parseWrite(const std::string &name, WritePolicy *out)
     return true;
 }
 
+bool parsePartition(const std::string &name, CachePartition *out)
+{
+    if (name == "unified")
+        *out = CachePartition::Unified;
+    else if (name == "split-id")
+        *out = CachePartition::SplitID;
+    else
+        return false;
+    return true;
+}
+
 /** Fetch a required member of @p kind; nullptr + error otherwise. */
 const obs::JsonValue *
 member(const obs::JsonValue &object, const char *name,
@@ -182,8 +193,13 @@ writeConfigJson(obs::JsonWriter &w, const CacheConfig &config)
         .kv("fetch", fetchPolicyName(config.fetch))
         .kv("write", writePolicyName(config.write))
         .kv("walloc", config.writeAllocate)
-        .kv("seed", config.randomSeed)
-        .endObject();
+        .kv("seed", config.randomSeed);
+    // Unified configs keep the pre-partition serialization byte for
+    // byte (it doubles as their result-cache identity); the key
+    // appears exactly when the config differs from a unified one.
+    if (config.partition != CachePartition::Unified)
+        w.kv("part", cachePartitionName(config.partition));
+    w.endObject();
 }
 
 std::string
@@ -191,6 +207,23 @@ canonicalConfigJson(const CacheConfig &config)
 {
     obs::JsonWriter w;
     writeConfigJson(w, config);
+    return w.str();
+}
+
+std::string
+canonicalScenarioJson(const ScenarioConfig &scenario)
+{
+    if (!scenario.multicore())
+        return "";
+    obs::JsonWriter w;
+    w.beginObject().kv("cores", std::uint64_t{scenario.cores});
+    if (!scenario.coreConfigs.empty()) {
+        w.key("core_configs").beginArray();
+        for (const CacheConfig &config : scenario.coreConfigs)
+            writeConfigJson(w, config);
+        w.endArray();
+    }
+    w.endObject();
     return w.str();
 }
 
@@ -236,6 +269,14 @@ parseConfigJson(const obs::JsonValue &value, CacheConfig &config,
     config.addressBits = static_cast<std::uint32_t>(abits->asU64());
     config.writeAllocate = walloc->boolean;
     config.randomSeed = seed->asU64();
+    config.partition = CachePartition::Unified;
+    if (const obs::JsonValue *part = value.find("part")) {
+        if (!part->isString() ||
+            !parsePartition(part->text, &config.partition)) {
+            setError(error, "unknown cache partition");
+            return false;
+        }
+    }
     if (!parseReplacement(repl->text, &config.replacement)) {
         setError(error,
                  strfmt("unknown replacement policy '%s'",
@@ -267,8 +308,26 @@ writeResultJson(obs::JsonWriter &w, const SweepResult &result)
         .kv("traffic_ratio", result.trafficRatio)
         .kv("warm_traffic_ratio", result.warmTrafficRatio)
         .kv("nibble_traffic_ratio", result.nibbleTrafficRatio)
-        .kv("warm_nibble_traffic_ratio", result.warmNibbleTrafficRatio)
-        .endObject();
+        .kv("warm_nibble_traffic_ratio", result.warmNibbleTrafficRatio);
+    if (result.coherency.active) {
+        const CoherencySummary &coh = result.coherency;
+        w.key("coherency").beginObject();
+        w.kv("cores", std::uint64_t{coh.cores})
+            .kv("bus_reads", coh.busReads)
+            .kv("bus_rfo", coh.busReadForOwnership)
+            .kv("bus_upgrades", coh.busUpgrades)
+            .kv("invalidations", coh.invalidations)
+            .kv("c2c_transfers", coh.cacheToCacheTransfers)
+            .kv("c2c_words", coh.c2cWords)
+            .kv("snoop_writeback_words", coh.snoopWritebackWords)
+            .kv("inval_per_kiloref", coh.invalidationsPerKiloRef)
+            .kv("coherence_traffic_ratio", coh.coherenceTrafficRatio);
+        w.key("core_miss_ratios").beginArray();
+        for (const double ratio : coh.coreMissRatios)
+            w.value(ratio);
+        w.endArray().endObject();
+    }
+    w.endObject();
 }
 
 bool
@@ -309,6 +368,60 @@ parseResultJson(const obs::JsonValue &value, SweepResult &result,
     result.warmTrafficRatio = warm_traffic->number;
     result.nibbleTrafficRatio = nibble->number;
     result.warmNibbleTrafficRatio = warm_nibble->number;
+
+    if (const obs::JsonValue *coh_value = value.find("coherency")) {
+        if (!coh_value->isObject()) {
+            setError(error, "'coherency' is not an object");
+            return false;
+        }
+        CoherencySummary &coh = result.coherency;
+        const obs::JsonValue *cores =
+            member(*coh_value, "cores", Kind::Number, error);
+        const obs::JsonValue *bus_reads =
+            member(*coh_value, "bus_reads", Kind::Number, error);
+        const obs::JsonValue *bus_rfo =
+            member(*coh_value, "bus_rfo", Kind::Number, error);
+        const obs::JsonValue *bus_upgrades =
+            member(*coh_value, "bus_upgrades", Kind::Number, error);
+        const obs::JsonValue *invalidations =
+            member(*coh_value, "invalidations", Kind::Number, error);
+        const obs::JsonValue *c2c_transfers =
+            member(*coh_value, "c2c_transfers", Kind::Number, error);
+        const obs::JsonValue *c2c_words =
+            member(*coh_value, "c2c_words", Kind::Number, error);
+        const obs::JsonValue *snoop_wb = member(
+            *coh_value, "snoop_writeback_words", Kind::Number, error);
+        const obs::JsonValue *inval_rate = member(
+            *coh_value, "inval_per_kiloref", Kind::Number, error);
+        const obs::JsonValue *coh_traffic =
+            member(*coh_value, "coherence_traffic_ratio", Kind::Number,
+                   error);
+        const obs::JsonValue *core_ratios = member(
+            *coh_value, "core_miss_ratios", Kind::Array, error);
+        if (!cores || !bus_reads || !bus_rfo || !bus_upgrades ||
+            !invalidations || !c2c_transfers || !c2c_words ||
+            !snoop_wb || !inval_rate || !coh_traffic || !core_ratios)
+            return false;
+        coh.active = true;
+        coh.cores = static_cast<std::uint32_t>(cores->asU64());
+        coh.busReads = bus_reads->asU64();
+        coh.busReadForOwnership = bus_rfo->asU64();
+        coh.busUpgrades = bus_upgrades->asU64();
+        coh.invalidations = invalidations->asU64();
+        coh.cacheToCacheTransfers = c2c_transfers->asU64();
+        coh.c2cWords = c2c_words->asU64();
+        coh.snoopWritebackWords = snoop_wb->asU64();
+        coh.invalidationsPerKiloRef = inval_rate->number;
+        coh.coherenceTrafficRatio = coh_traffic->number;
+        for (const obs::JsonValue &item : core_ratios->items) {
+            if (!item.isNumber()) {
+                setError(error,
+                         "'core_miss_ratios' entry is not a number");
+                return false;
+            }
+            coh.coreMissRatios.push_back(item.number);
+        }
+    }
     return true;
 }
 
@@ -354,6 +467,37 @@ parseWireRequest(const std::string &payload, WireRequest &request,
             request.configs.push_back(config);
         }
     }
+    if (const obs::JsonValue *scenario = root.find("scenario")) {
+        if (!scenario->isObject()) {
+            setError(error, "'scenario' is not an object");
+            return false;
+        }
+        const obs::JsonValue *cores =
+            member(*scenario, "cores", obs::JsonValue::Kind::Number,
+                   error);
+        if (!cores)
+            return false;
+        const std::uint64_t n = cores->asU64();
+        if (n == 0 || n > 64) {
+            setError(error, "'scenario.cores' out of range");
+            return false;
+        }
+        request.scenario.cores = static_cast<std::uint32_t>(n);
+        if (const obs::JsonValue *core_configs =
+                scenario->find("core_configs")) {
+            if (!core_configs->isArray()) {
+                setError(error,
+                         "'scenario.core_configs' is not an array");
+                return false;
+            }
+            for (const obs::JsonValue &item : core_configs->items) {
+                CacheConfig config;
+                if (!parseConfigJson(item, config, error))
+                    return false;
+                request.scenario.coreConfigs.push_back(config);
+            }
+        }
+    }
     if (const obs::JsonValue *max_refs = root.find("max_refs")) {
         if (!max_refs->isNumber()) {
             setError(error, "'max_refs' is not a number");
@@ -394,6 +538,18 @@ wireRequestJson(const WireRequest &request)
         for (const CacheConfig &config : request.configs)
             writeConfigJson(w, config);
         w.endArray();
+    }
+    if (request.scenario.multicore()) {
+        w.key("scenario").beginObject();
+        w.kv("cores", std::uint64_t{request.scenario.cores});
+        if (!request.scenario.coreConfigs.empty()) {
+            w.key("core_configs").beginArray();
+            for (const CacheConfig &config :
+                 request.scenario.coreConfigs)
+                writeConfigJson(w, config);
+            w.endArray();
+        }
+        w.endObject();
     }
     if (request.maxRefs != 0)
         w.kv("max_refs", request.maxRefs);

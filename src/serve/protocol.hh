@@ -28,9 +28,13 @@
  *
  * The CacheConfig codec here is also the result cache's identity:
  * canonicalConfigJson() serializes EVERY identity field of the config
- * (including randomSeed, wordSize and addressBits), so two requests
- * share a cache entry exactly when runSweep would be forced to
- * produce bit-identical results for them.
+ * (including randomSeed, wordSize, addressBits and the I/D partition
+ * axis), so two requests share a cache entry exactly when runSweep
+ * would be forced to produce bit-identical results for them. The
+ * partition key is emitted only for split configs and the scenario
+ * object only for multicore requests, so pre-redesign identities and
+ * request payloads are byte-stable — and a multicore request can
+ * never alias a single-cache cache entry (see canonicalScenarioJson).
  */
 
 #ifndef OCCSIM_SERVE_PROTOCOL_HH
@@ -41,6 +45,7 @@
 #include <vector>
 
 #include "cache/cache_config.hh"
+#include "coherence/scenario.hh"
 #include "multi/sweep_runner.hh"
 #include "obs/json.hh"
 
@@ -77,6 +82,14 @@ void writeConfigJson(obs::JsonWriter &w, const CacheConfig &config);
  */
 std::string canonicalConfigJson(const CacheConfig &config);
 
+/**
+ * The canonical serialization of a multicore @p scenario, appended
+ * to result-cache keys so a multicore request can never alias the
+ * single-cache entry of the same config. Returns "" for the 1-core
+ * default — pre-scenario keys stay byte-identical.
+ */
+std::string canonicalScenarioJson(const ScenarioConfig &scenario);
+
 /** Parse a config object written by writeConfigJson (all fields
  *  required). @return false with @p error set on any malformation. */
 bool parseConfigJson(const obs::JsonValue &value, CacheConfig &config,
@@ -97,6 +110,9 @@ struct WireRequest
     std::string op;                   ///< "sweep", "ping", ...
     std::vector<std::string> traces;  ///< corpus hashes or names
     std::vector<CacheConfig> configs;
+    /** Multicore scenario; default (1 core) is the single-cache
+     *  request shape and is absent from the wire form. */
+    ScenarioConfig scenario;
     std::uint64_t maxRefs = 0;
     int priority = 0;   ///< higher runs first among queued requests
     std::string label;  ///< recorded in the manifest

@@ -13,11 +13,18 @@ ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity)
 
 std::string
 ResultCache::key(const std::string &trace_hash, std::uint64_t max_refs,
-                 const CacheConfig &config)
+                 const CacheConfig &config,
+                 const ScenarioConfig &scenario)
 {
-    return strfmt("%s/%llu/", trace_hash.c_str(),
-                  static_cast<unsigned long long>(max_refs)) +
-           canonicalConfigJson(config);
+    std::string key = strfmt("%s/%llu/", trace_hash.c_str(),
+                             static_cast<unsigned long long>(max_refs)) +
+                      canonicalConfigJson(config);
+    // "" for the 1-core default: single-cache keys are byte-stable,
+    // and a multicore request can never alias one.
+    const std::string suffix = canonicalScenarioJson(scenario);
+    if (!suffix.empty())
+        key += "/" + suffix;
+    return key;
 }
 
 bool

@@ -6,9 +6,10 @@
  * Every exact engine in occsim is bit-identical for a given (trace
  * bytes, config, reference cap) — that is the repo's central testing
  * contract — which makes sweep results perfectly cacheable: the key
- * is the trace's content hash, the reference cap, and the canonical
+ * is the trace's content hash, the reference cap, the canonical
  * serialization of EVERY CacheConfig identity field
- * (serve::canonicalConfigJson). Two requests share an entry exactly
+ * (serve::canonicalConfigJson), and — for multicore requests — the
+ * canonical scenario serialization. Two requests share an entry exactly
  * when runSweep would be forced to produce bit-identical results for
  * them; differ in any identity field (even randomSeed on an LRU
  * config) and the key differs, so the request misses.
@@ -30,6 +31,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "coherence/scenario.hh"
 #include "multi/sweep_runner.hh"
 
 namespace occsim::serve {
@@ -47,10 +49,14 @@ class ResultCache
     /** @param capacity maximum resident entries (>= 1). */
     explicit ResultCache(std::size_t capacity = 4096);
 
-    /** Identity key for one sweep cell. */
+    /** Identity key for one sweep cell. The scenario suffix is
+     *  appended only for multicore scenarios, so a multicore request
+     *  can never alias the single-cache entry of the same config and
+     *  pre-scenario keys stay byte-identical. */
     static std::string key(const std::string &trace_hash,
                            std::uint64_t max_refs,
-                           const CacheConfig &config);
+                           const CacheConfig &config,
+                           const ScenarioConfig &scenario = {});
 
     /** Look up @p key; fills @p out and refreshes recency on a hit. */
     bool lookup(const std::string &key, CachedResult &out);

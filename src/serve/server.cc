@@ -260,6 +260,14 @@ SweepServer::executeSweep(
                                  why.c_str()));
         }
     }
+    {
+        // Same gate runSweep enforces with a fatal assert: the wire
+        // must never smuggle an unsupported scenario into the engine.
+        const std::string why =
+            validateScenario(request.scenario, request.configs);
+        if (!why.empty())
+            return reject(strfmt("invalid scenario: %s", why.c_str()));
+    }
 
     // Resolve every trace against the corpus up front; an unknown or
     // corrupt trace rejects the request before any work is queued.
@@ -291,7 +299,8 @@ SweepServer::executeSweep(
         for (std::size_t c = 0; c < nc; ++c) {
             const std::size_t cell = t * nc + c;
             state->keys[cell] = ResultCache::key(
-                hashes[t], request.maxRefs, request.configs[c]);
+                hashes[t], request.maxRefs, request.configs[c],
+                request.scenario);
             CachedResult hit;
             if (cache_.lookup(state->keys[cell], hit)) {
                 state->payloads[cell] = std::move(hit.payload);
@@ -351,12 +360,14 @@ SweepServer::executeSweep(
             job.work = [this, state, trace = mapped[t], t, nc,
                         tile = std::move(tile),
                         configs = request.configs,
+                        scenario = request.scenario,
                         max_refs = request.maxRefs, label] {
                 SweepRequest sweep;
                 sweep.packedTraces = {trace};
                 sweep.configs.reserve(tile.size());
                 for (const std::size_t c : tile)
                     sweep.configs.push_back(configs[c]);
+                sweep.scenario = scenario;
                 sweep.maxRefs = max_refs;
                 sweep.pool = options_.pool;
                 sweep.wantAverage = false;

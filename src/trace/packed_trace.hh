@@ -37,12 +37,24 @@ struct PackedRecord
     /** Bit positions of the flag field (above the 32 address bits). */
     static constexpr std::uint64_t kWriteBit = 1ull << 32;
     static constexpr std::uint64_t kIfetchBit = 1ull << 33;
+    /** Issuing core (coherency scenarios): 3 bits above the flags,
+     *  capping scenarios at kMaxCores caches on one bus. Single-cache
+     *  traces pack core 0, so every pre-existing corpus file decodes
+     *  unchanged. */
+    static constexpr std::uint32_t kCoreShift = 34;
+    static constexpr std::uint64_t kCoreMask = 0x7ull << kCoreShift;
+    static constexpr std::uint32_t kMaxCores = 8;
 
     std::uint64_t bits = 0;
 
     Addr addr() const { return static_cast<Addr>(bits); }
     bool isWrite() const { return (bits & kWriteBit) != 0; }
     bool isInstruction() const { return (bits & kIfetchBit) != 0; }
+    std::uint32_t core() const
+    {
+        return static_cast<std::uint32_t>((bits & kCoreMask) >>
+                                          kCoreShift);
+    }
 
     static PackedRecord pack(const MemRef &ref)
     {
@@ -52,6 +64,9 @@ struct PackedRecord
             rec.bits |= kWriteBit;
         else if (ref.isInstruction())
             rec.bits |= kIfetchBit;
+        rec.bits |= (static_cast<std::uint64_t>(ref.core) &
+                     (kMaxCores - 1))
+                    << kCoreShift;
         return rec;
     }
 };

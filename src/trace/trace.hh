@@ -38,6 +38,10 @@ struct MemRef
     Addr addr = 0;              ///< byte address of the referenced word
     RefKind kind = RefKind::Ifetch;
     std::uint8_t size = 2;      ///< bytes moved (data-path width)
+    /** Issuing core for multicore coherency scenarios. Single-cache
+     *  traces leave it 0, so every pre-existing trace is a valid
+     *  1-core scenario unchanged. */
+    std::uint8_t core = 0;
 
     bool isWrite() const { return kind == RefKind::DataWrite; }
     bool isInstruction() const { return kind == RefKind::Ifetch; }

@@ -1,0 +1,259 @@
+#include "workload/parallel.hh"
+
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/str.hh"
+
+namespace occsim {
+
+namespace {
+
+// Address-space layout shared by the generators. Code is per-core
+// (private ifetch streams); the data segments below 0x4000 are the
+// shared structures each workload communicates through.
+constexpr Addr kCodeBase = 0x10000;
+constexpr Addr kCodeSpan = 0x1000;   ///< per-core code bytes
+constexpr Addr kSharedBase = 0x1000; ///< locks, counters, queue slots
+constexpr Addr kPrivateBase = 0x40000;
+constexpr Addr kPrivateSpan = 0x4000; ///< per-core private data bytes
+
+/** One core's scripted stream under construction. */
+struct CoreScript
+{
+    std::vector<MemRef> refs;
+    Addr pc;
+    std::uint32_t wordSize;
+
+    void ifetch()
+    {
+        refs.push_back(MemRef{pc, RefKind::Ifetch,
+                              static_cast<std::uint8_t>(wordSize)});
+        pc += wordSize;
+    }
+    void read(Addr addr)
+    {
+        ifetch();
+        refs.push_back(MemRef{addr, RefKind::DataRead,
+                              static_cast<std::uint8_t>(wordSize)});
+    }
+    void write(Addr addr)
+    {
+        ifetch();
+        refs.push_back(MemRef{addr, RefKind::DataWrite,
+                              static_cast<std::uint8_t>(wordSize)});
+    }
+};
+
+CoreScript
+makeScript(std::uint32_t core, std::uint32_t word_size)
+{
+    CoreScript script;
+    script.pc = kCodeBase + core * kCodeSpan;
+    script.wordSize = word_size;
+    return script;
+}
+
+/** Wrap the per-core pc within its private code span (keeps the
+ *  ifetch stream looping like a hot kernel instead of marching off
+ *  to infinity). */
+void
+wrapPc(CoreScript &script, std::uint32_t core)
+{
+    const Addr base = kCodeBase + core * kCodeSpan;
+    if (script.pc >= base + kCodeSpan)
+        script.pc = base;
+}
+
+} // namespace
+
+const char *
+parallelWorkloadName(ParallelWorkloadKind kind)
+{
+    switch (kind) {
+      case ParallelWorkloadKind::SharedQueue:
+        return "shared-queue";
+      case ParallelWorkloadKind::PartitionedSum:
+        return "partitioned-sum";
+      case ParallelWorkloadKind::ProducerConsumerRing:
+        return "producer-consumer";
+    }
+    return "unknown";
+}
+
+VectorTrace
+interleaveCoreStreams(const std::vector<std::vector<MemRef>> &streams,
+                      std::uint64_t seed, const std::string &name)
+{
+    occsim_assert(!streams.empty(), "interleaving zero streams");
+    occsim_assert(streams.size() <= 255,
+                  "core id must fit MemRef::core");
+    Rng rng(seed);
+    VectorTrace trace(name);
+    std::size_t total = 0;
+    for (const std::vector<MemRef> &stream : streams)
+        total += stream.size();
+    trace.reserve(total);
+
+    std::vector<std::size_t> cursor(streams.size(), 0);
+    std::vector<std::uint32_t> live;
+    live.reserve(streams.size());
+    for (std::uint32_t c = 0; c < streams.size(); ++c) {
+        if (!streams[c].empty())
+            live.push_back(c);
+    }
+    while (!live.empty()) {
+        const std::size_t pick = rng.below(live.size());
+        const std::uint32_t core = live[pick];
+        MemRef ref = streams[core][cursor[core]++];
+        ref.core = static_cast<std::uint8_t>(core);
+        trace.append(ref);
+        if (cursor[core] == streams[core].size()) {
+            live[pick] = live.back();
+            live.pop_back();
+        }
+    }
+    return trace;
+}
+
+VectorTrace
+makeSharedQueueTrace(const ParallelWorkloadParams &params)
+{
+    const std::uint32_t ws = params.wordSize;
+    const Addr lock_addr = kSharedBase;
+    const Addr head_addr = kSharedBase + ws;
+    const Addr items_base = kSharedBase + 0x100;
+    constexpr std::uint32_t kItems = 64;
+    constexpr std::uint32_t kItemWords = 8;
+
+    Rng rng(params.seed);
+    std::vector<std::vector<MemRef>> streams(params.cores);
+    for (std::uint32_t core = 0; core < params.cores; ++core) {
+        Rng core_rng(rng.next());
+        CoreScript script = makeScript(core, ws);
+        while (script.refs.size() < params.refsPerCore) {
+            // Acquire the queue lock, pop the head index, release.
+            script.read(lock_addr);
+            script.write(lock_addr);
+            script.read(head_addr);
+            script.write(head_addr);
+            // Process one item: read its words, write the first two
+            // back (the migratory pattern — the next core to pop
+            // this slot reads data we dirtied).
+            const Addr item = items_base +
+                              static_cast<Addr>(
+                                  core_rng.below(kItems)) *
+                                  kItemWords * ws;
+            for (std::uint32_t w = 0; w < kItemWords; ++w)
+                script.read(item + w * ws);
+            script.write(item);
+            script.write(item + ws);
+            wrapPc(script, core);
+        }
+        streams[core] = std::move(script.refs);
+    }
+    return interleaveCoreStreams(
+        streams, rng.next(),
+        strfmt("shared-queue-%uc", params.cores));
+}
+
+VectorTrace
+makePartitionedSumTrace(const ParallelWorkloadParams &params)
+{
+    const std::uint32_t ws = params.wordSize;
+    // All result words live in one block-sized span: result[c] is
+    // adjacent to result[c +- 1], so independent accumulations
+    // false-share one block.
+    const Addr results_base = kSharedBase;
+
+    Rng rng(params.seed);
+    std::vector<std::vector<MemRef>> streams(params.cores);
+    for (std::uint32_t core = 0; core < params.cores; ++core) {
+        CoreScript script = makeScript(core, ws);
+        const Addr slice = kPrivateBase + core * kPrivateSpan;
+        const Addr result = results_base + core * ws;
+        Addr cursor = slice;
+        while (script.refs.size() < params.refsPerCore) {
+            // Stream four input words from the private slice, then
+            // bump the shared-block accumulator.
+            for (std::uint32_t w = 0; w < 4; ++w) {
+                script.read(cursor);
+                cursor += ws;
+                if (cursor >= slice + kPrivateSpan)
+                    cursor = slice;
+            }
+            script.read(result);
+            script.write(result);
+            wrapPc(script, core);
+        }
+        streams[core] = std::move(script.refs);
+    }
+    return interleaveCoreStreams(
+        streams, rng.next(),
+        strfmt("partitioned-sum-%uc", params.cores));
+}
+
+VectorTrace
+makeProducerConsumerTrace(const ParallelWorkloadParams &params)
+{
+    const std::uint32_t ws = params.wordSize;
+    const Addr head_addr = kSharedBase;
+    const Addr ring_base = kSharedBase + 0x100;
+    constexpr std::uint32_t kSlots = 32;
+    constexpr std::uint32_t kSlotWords = 4;
+
+    Rng rng(params.seed);
+    std::vector<std::vector<MemRef>> streams(params.cores);
+    for (std::uint32_t core = 0; core < params.cores; ++core) {
+        CoreScript script = makeScript(core, ws);
+        std::uint32_t slot = 0;
+        while (script.refs.size() < params.refsPerCore) {
+            const Addr slot_addr =
+                ring_base + static_cast<Addr>(slot) * kSlotWords * ws;
+            if (core == 0) {
+                // Producer: fill the slot, publish the head.
+                for (std::uint32_t w = 0; w < kSlotWords; ++w)
+                    script.write(slot_addr + w * ws);
+                script.read(head_addr);
+                script.write(head_addr);
+            } else {
+                // Consumer: poll the head, read the slot.
+                script.read(head_addr);
+                for (std::uint32_t w = 0; w < kSlotWords; ++w)
+                    script.read(slot_addr + w * ws);
+            }
+            slot = (slot + 1) % kSlots;
+            wrapPc(script, core);
+        }
+        streams[core] = std::move(script.refs);
+    }
+    return interleaveCoreStreams(
+        streams, rng.next(),
+        strfmt("producer-consumer-%uc", params.cores));
+}
+
+VectorTrace
+makeParallelTrace(ParallelWorkloadKind kind,
+                  const ParallelWorkloadParams &params)
+{
+    switch (kind) {
+      case ParallelWorkloadKind::SharedQueue:
+        return makeSharedQueueTrace(params);
+      case ParallelWorkloadKind::PartitionedSum:
+        return makePartitionedSumTrace(params);
+      case ParallelWorkloadKind::ProducerConsumerRing:
+        return makeProducerConsumerTrace(params);
+    }
+    panic("bad parallel workload kind %d", static_cast<int>(kind));
+}
+
+std::vector<VectorTrace>
+makeParallelSuite(const ParallelWorkloadParams &params)
+{
+    std::vector<VectorTrace> traces;
+    traces.push_back(makeSharedQueueTrace(params));
+    traces.push_back(makePartitionedSumTrace(params));
+    traces.push_back(makeProducerConsumerTrace(params));
+    return traces;
+}
+
+} // namespace occsim

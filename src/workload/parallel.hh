@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Parallel workload generators: interleaved per-core MemRef streams
+ * for the coherent multi-cache scenarios.
+ *
+ * Each generator scripts one core's references (with shared addresses
+ * where the workload shares data) and then interleaves the per-core
+ * streams with a seeded weighted-random scheduler, stamping
+ * MemRef::core on every record. The interleaving is fully determined
+ * by ParallelWorkloadParams::seed — two runs with the same params
+ * produce byte-identical traces, which the coherency fuzzer and the
+ * result cache both rely on.
+ *
+ * Three sharing patterns, chosen to exercise the MESI protocol's
+ * distinct traffic sources:
+ *
+ *  - Shared work queue: every core loops on pop-from-shared-head
+ *    (read+write of the lock and head words — upgrade and
+ *    invalidation traffic) and then processes a queue item that the
+ *    previous owner wrote (migratory sharing — cache-to-cache
+ *    transfers and snoop flushes).
+ *  - Core-partitioned matrix sum: each core streams over a private
+ *    slice (no sharing on the inputs) but accumulates into adjacent
+ *    result words that share one block (false sharing — upgrade
+ *    storms with no true communication).
+ *  - Producer/consumer ring: core 0 writes ring slots and publishes
+ *    a head counter; the other cores poll the counter and read the
+ *    slots (one-to-many read sharing of dirty data).
+ */
+
+#ifndef OCCSIM_WORKLOAD_PARALLEL_HH
+#define OCCSIM_WORKLOAD_PARALLEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace occsim {
+
+/** Shape of one parallel workload trace. */
+struct ParallelWorkloadParams
+{
+    std::uint32_t cores = 2;
+    /** References generated per core (total trace length is roughly
+     *  cores * refsPerCore). */
+    std::uint64_t refsPerCore = 4096;
+    std::uint32_t wordSize = 2;
+    /** Interleaving (and per-core jitter) seed. */
+    std::uint64_t seed = 1;
+};
+
+/** The three generators, by name, for sweeping over all of them. */
+enum class ParallelWorkloadKind : std::uint8_t {
+    SharedQueue = 0,
+    PartitionedSum = 1,
+    ProducerConsumerRing = 2,
+};
+
+const char *parallelWorkloadName(ParallelWorkloadKind kind);
+
+VectorTrace makeSharedQueueTrace(const ParallelWorkloadParams &params);
+VectorTrace
+makePartitionedSumTrace(const ParallelWorkloadParams &params);
+VectorTrace
+makeProducerConsumerTrace(const ParallelWorkloadParams &params);
+
+/** Dispatch by kind. */
+VectorTrace makeParallelTrace(ParallelWorkloadKind kind,
+                              const ParallelWorkloadParams &params);
+
+/** All three kinds, in enum order. */
+std::vector<VectorTrace>
+makeParallelSuite(const ParallelWorkloadParams &params);
+
+/**
+ * Deterministically interleave per-core streams into one trace,
+ * stamping MemRef::core: each step picks a non-exhausted core with a
+ * seeded Rng and appends its next reference. Exposed for tests and
+ * custom workloads.
+ */
+VectorTrace
+interleaveCoreStreams(const std::vector<std::vector<MemRef>> &streams,
+                      std::uint64_t seed, const std::string &name);
+
+} // namespace occsim
+
+#endif // OCCSIM_WORKLOAD_PARALLEL_HH

@@ -1,6 +1,3 @@
-// This TU intentionally exercises the legacy sweep entry points.
-#define OCCSIM_ALLOW_DEPRECATED 1
-
 /**
  * @file
  * Determinism tests for the batched replay engine: PackedTrace must
@@ -16,12 +13,30 @@
 #include "harness/experiment.hh"
 #include "multi/batch_replay.hh"
 #include "multi/parallel_sweep.hh"
+#include "multi/sweep_api.hh"
 #include "trace/packed_trace.hh"
 #include "workload/suites.hh"
 
 using namespace occsim;
 
 namespace {
+
+/** Suite sweep through the unified API; returns the per-trace grid. */
+std::vector<std::vector<occsim::SweepResult>>
+sweepGrid(const std::vector<std::shared_ptr<const occsim::VectorTrace>>
+              &traces,
+          const std::vector<occsim::CacheConfig> &configs,
+          occsim::ThreadPool *pool,
+          occsim::SweepEngine engine = occsim::SweepEngine::Auto)
+{
+    occsim::SweepRequest request;
+    request.traces = traces;
+    request.configs = configs;
+    request.pool = pool;
+    request.engine = engine;
+    request.wantAverage = false;
+    return occsim::runSweep(request).perTrace;
+}
 
 constexpr std::uint64_t kRefs = 30000;
 
@@ -255,7 +270,7 @@ TEST(BatchReplay, AutoRoutingMatchesDirectOnlyForAnyThreadCount)
     }
 }
 
-TEST(BatchReplay, RunSweepsAutoMatchesDirectOnlyAcrossTraces)
+TEST(BatchReplay, RunSweepAutoMatchesDirectOnlyAcrossTraces)
 {
     const Suite suite = pdp11Suite();
     const auto configs = sectorGrid(suite.profile.wordSize);
@@ -265,9 +280,9 @@ TEST(BatchReplay, RunSweepsAutoMatchesDirectOnlyAcrossTraces)
 
     ThreadPool pool(4);
     const auto expected =
-        runSweeps(traces, configs, &pool, SweepEngine::DirectOnly);
+        sweepGrid(traces, configs, &pool, SweepEngine::DirectOnly);
     const auto actual =
-        runSweeps(traces, configs, &pool, SweepEngine::Auto);
+        sweepGrid(traces, configs, &pool, SweepEngine::Auto);
 
     ASSERT_EQ(actual.size(), expected.size());
     for (std::size_t t = 0; t < expected.size(); ++t) {

@@ -1,6 +1,3 @@
-// This TU intentionally exercises the legacy sweep entry points.
-#define OCCSIM_ALLOW_DEPRECATED 1
-
 /**
  * @file
  * Tests of the differential oracle & fuzz subsystem itself: the
@@ -20,10 +17,28 @@
 #include "check/generators.hh"
 #include "harness/experiment.hh"
 #include "multi/parallel_sweep.hh"
+#include "multi/sweep_api.hh"
 
 using namespace occsim;
 
 namespace {
+
+/** Suite sweep through the unified API; returns the per-trace grid. */
+std::vector<std::vector<occsim::SweepResult>>
+sweepGrid(const std::vector<std::shared_ptr<const occsim::VectorTrace>>
+              &traces,
+          const std::vector<occsim::CacheConfig> &configs,
+          occsim::ThreadPool *pool,
+          occsim::SweepEngine engine = occsim::SweepEngine::Auto)
+{
+    occsim::SweepRequest request;
+    request.traces = traces;
+    request.configs = configs;
+    request.pool = pool;
+    request.engine = engine;
+    request.wantAverage = false;
+    return occsim::runSweep(request).perTrace;
+}
 
 constexpr std::uint64_t kSeed = 0x5eedull;
 
@@ -226,7 +241,7 @@ TEST(CrossCheck, ShadowVerifiesTheFastPath)
     }
 }
 
-TEST(CrossCheck, RunSweepsDelegatesPerTrace)
+TEST(CrossCheck, RunSweepDelegatesPerTrace)
 {
     std::vector<CacheConfig> configs;
     for (const CacheConfig &config : paperGrid(256, 2))
@@ -236,8 +251,8 @@ TEST(CrossCheck, RunSweepsDelegatesPerTrace)
         gen.make(8000, 2), gen.make(8000, 2)};
 
     const auto checked =
-        runSweeps(traces, configs, nullptr, SweepEngine::CrossCheck);
-    const auto plain = runSweeps(traces, configs);
+        sweepGrid(traces, configs, nullptr, SweepEngine::CrossCheck);
+    const auto plain = sweepGrid(traces, configs, nullptr);
     ASSERT_EQ(checked.size(), plain.size());
     for (std::size_t t = 0; t < checked.size(); ++t) {
         for (std::size_t c = 0; c < checked[t].size(); ++c) {

@@ -1,5 +1,4 @@
 // This TU intentionally exercises the legacy sweep entry points.
-#define OCCSIM_ALLOW_DEPRECATED 1
 
 /**
  * @file

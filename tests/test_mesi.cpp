@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The MESI state machine, pinned transition by transition. The table
+ * in coherence/mesi.cc is the protocol's whole truth for both the
+ * coherent engine and the flat-snooping oracle, so every legal edge
+ * is asserted here and every illegal one is a death test: an illegal
+ * transition is a simulator bug and must panic, not limp on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/mesi.hh"
+
+using namespace occsim;
+
+namespace {
+
+MesiState
+step(MesiState state, MesiEvent event)
+{
+    // shared_line is consulted only for Invalid + LocalRead; every
+    // other edge must ignore it, which the test below pins.
+    return mesiNext(state, event, false);
+}
+
+} // namespace
+
+TEST(Mesi, InvalidFillsExclusiveOrSharedByTheSharedLine)
+{
+    EXPECT_EQ(mesiNext(MesiState::Invalid, MesiEvent::LocalRead, false),
+              MesiState::Exclusive);
+    EXPECT_EQ(mesiNext(MesiState::Invalid, MesiEvent::LocalRead, true),
+              MesiState::Shared);
+}
+
+TEST(Mesi, InvalidWriteFillsModified)
+{
+    EXPECT_EQ(mesiNext(MesiState::Invalid, MesiEvent::LocalWrite, false),
+              MesiState::Modified);
+    EXPECT_EQ(mesiNext(MesiState::Invalid, MesiEvent::LocalWrite, true),
+              MesiState::Modified);
+}
+
+TEST(Mesi, SharedTransitions)
+{
+    EXPECT_EQ(step(MesiState::Shared, MesiEvent::LocalRead),
+              MesiState::Shared);
+    EXPECT_EQ(step(MesiState::Shared, MesiEvent::LocalWrite),
+              MesiState::Modified);
+    EXPECT_EQ(step(MesiState::Shared, MesiEvent::SnoopRead),
+              MesiState::Shared);
+    EXPECT_EQ(step(MesiState::Shared, MesiEvent::SnoopReadX),
+              MesiState::Invalid);
+    EXPECT_EQ(step(MesiState::Shared, MesiEvent::SnoopUpgrade),
+              MesiState::Invalid);
+}
+
+TEST(Mesi, ExclusiveTransitions)
+{
+    EXPECT_EQ(step(MesiState::Exclusive, MesiEvent::LocalRead),
+              MesiState::Exclusive);
+    // The silent upgrade: no bus transaction, straight to Modified.
+    EXPECT_EQ(step(MesiState::Exclusive, MesiEvent::LocalWrite),
+              MesiState::Modified);
+    EXPECT_EQ(step(MesiState::Exclusive, MesiEvent::SnoopRead),
+              MesiState::Shared);
+    EXPECT_EQ(step(MesiState::Exclusive, MesiEvent::SnoopReadX),
+              MesiState::Invalid);
+}
+
+TEST(Mesi, ModifiedTransitions)
+{
+    EXPECT_EQ(step(MesiState::Modified, MesiEvent::LocalRead),
+              MesiState::Modified);
+    EXPECT_EQ(step(MesiState::Modified, MesiEvent::LocalWrite),
+              MesiState::Modified);
+    EXPECT_EQ(step(MesiState::Modified, MesiEvent::SnoopRead),
+              MesiState::Shared);
+    EXPECT_EQ(step(MesiState::Modified, MesiEvent::SnoopReadX),
+              MesiState::Invalid);
+}
+
+TEST(Mesi, SharedLineOnlyMattersForTheInvalidReadFill)
+{
+    // Every (state, event) edge other than I + LocalRead must land
+    // in the same state whatever the shared line says.
+    const MesiState states[] = {MesiState::Shared, MesiState::Exclusive,
+                                MesiState::Modified};
+    const MesiEvent events[] = {MesiEvent::LocalRead,
+                                MesiEvent::LocalWrite,
+                                MesiEvent::SnoopRead,
+                                MesiEvent::SnoopReadX};
+    for (const MesiState state : states) {
+        for (const MesiEvent event : events) {
+            EXPECT_EQ(mesiNext(state, event, false),
+                      mesiNext(state, event, true))
+                << mesiStateName(state) << " + "
+                << mesiEventName(event);
+        }
+    }
+    EXPECT_EQ(mesiNext(MesiState::Invalid, MesiEvent::LocalWrite,
+                       false),
+              mesiNext(MesiState::Invalid, MesiEvent::LocalWrite,
+                       true));
+}
+
+TEST(Mesi, SnoopingAnInvalidLinePanics)
+{
+    // The bus snoops holders only: reaching an Invalid frame means
+    // the holder bookkeeping is broken.
+    EXPECT_DEATH(mesiNext(MesiState::Invalid, MesiEvent::SnoopRead,
+                          false),
+                 "snooped in state I");
+    EXPECT_DEATH(mesiNext(MesiState::Invalid, MesiEvent::SnoopReadX,
+                          false),
+                 "snooped in state I");
+    EXPECT_DEATH(mesiNext(MesiState::Invalid, MesiEvent::SnoopUpgrade,
+                          false),
+                 "snooped in state I");
+}
+
+TEST(Mesi, UpgradeAgainstAnOwnerPanics)
+{
+    // A peer's address-only upgrade implies it held Shared; E and M
+    // are exclusive by construction, so both combinations are bugs.
+    EXPECT_DEATH(mesiNext(MesiState::Exclusive, MesiEvent::SnoopUpgrade,
+                          false),
+                 "snoop-upgrade observed in state E");
+    EXPECT_DEATH(mesiNext(MesiState::Modified, MesiEvent::SnoopUpgrade,
+                          false),
+                 "snoop-upgrade observed in state M");
+}
+
+TEST(Mesi, NamesAreStable)
+{
+    EXPECT_STREQ(mesiStateName(MesiState::Invalid), "I");
+    EXPECT_STREQ(mesiStateName(MesiState::Shared), "S");
+    EXPECT_STREQ(mesiStateName(MesiState::Exclusive), "E");
+    EXPECT_STREQ(mesiStateName(MesiState::Modified), "M");
+    EXPECT_STREQ(mesiEventName(MesiEvent::LocalRead), "local-read");
+    EXPECT_STREQ(mesiEventName(MesiEvent::SnoopUpgrade),
+                 "snoop-upgrade");
+}

@@ -1,19 +1,17 @@
-// This TU intentionally exercises the legacy sweep entry points.
-#define OCCSIM_ALLOW_DEPRECATED 1
-
 /**
  * @file
  * Determinism tests for the parallel sweep engine: results must be
- * bit-identical to the sequential SweepRunner — same per-config
- * stats, same averageResults output — regardless of thread count.
- * Uses real VM traces (the paper's workloads), not synthetic streams,
- * so the full trace-build + simulate pipeline is covered.
+ * bit-identical to sequential per-config Cache simulation — same
+ * per-config stats, same averageResults output — regardless of thread
+ * count. Uses real VM traces (the paper's workloads), not synthetic
+ * streams, so the full trace-build + simulate pipeline is covered.
  */
 
 #include <gtest/gtest.h>
 
 #include "harness/experiment.hh"
 #include "multi/parallel_sweep.hh"
+#include "multi/sweep_api.hh"
 #include "workload/suites.hh"
 
 using namespace occsim;
@@ -36,6 +34,20 @@ expectIdentical(const SweepResult &a, const SweepResult &b)
     EXPECT_EQ(a.warmNibbleTrafficRatio, b.warmNibbleTrafficRatio);
 }
 
+/** Reference engine: one direct runSingle per config, sequentially. */
+std::vector<SweepResult>
+sequentialSweep(const std::vector<CacheConfig> &configs,
+                const VectorTrace &trace, std::uint64_t max_refs = 0)
+{
+    std::vector<SweepResult> out;
+    out.reserve(configs.size());
+    for (const CacheConfig &config : configs) {
+        VectorTrace copy = trace;
+        out.push_back(runSingle(config, copy, max_refs));
+    }
+    return out;
+}
+
 } // namespace
 
 TEST(ParallelSweep, BitIdenticalToSequentialOverPaperGrid)
@@ -45,10 +57,7 @@ TEST(ParallelSweep, BitIdenticalToSequentialOverPaperGrid)
     const auto trace = buildTraceShared(spec, kRefs);
     const auto configs = paperGrid(1024, suite.profile.wordSize);
 
-    VectorTrace sequential_copy = *trace;
-    SweepRunner sequential(configs);
-    sequential.run(sequential_copy);
-    const auto expected = sequential.results();
+    const auto expected = sequentialSweep(configs, *trace);
 
     ThreadPool pool(4);
     ParallelSweepRunner parallel(configs, &pool);
@@ -60,7 +69,7 @@ TEST(ParallelSweep, BitIdenticalToSequentialOverPaperGrid)
         expectIdentical(actual[i], expected[i]);
 }
 
-TEST(ParallelSweep, RunSweepsMatchesSequentialSuitePass)
+TEST(ParallelSweep, RunSweepMatchesSequentialSuitePass)
 {
     const Suite suite = z8000CompilerSuite();
     const auto configs = paperGrid(256, suite.profile.wordSize);
@@ -69,18 +78,18 @@ TEST(ParallelSweep, RunSweepsMatchesSequentialSuitePass)
     for (const WorkloadSpec &spec : suite.traces)
         traces.push_back(buildTraceShared(spec, kRefs));
 
-    // Reference: the historical sequential engine, one SweepRunner
-    // per trace.
+    // Reference: direct sequential simulation, one pass per trace.
     std::vector<std::vector<SweepResult>> expected;
-    for (const auto &trace : traces) {
-        VectorTrace copy = *trace;
-        SweepRunner runner(configs);
-        runner.run(copy);
-        expected.push_back(runner.results());
-    }
+    for (const auto &trace : traces)
+        expected.push_back(sequentialSweep(configs, *trace));
 
     ThreadPool pool(4);
-    const auto actual = runSweeps(traces, configs, &pool);
+    SweepRequest request;
+    request.traces = traces;
+    request.configs = configs;
+    request.pool = &pool;
+    const SweepReport report = runSweep(request);
+    const auto &actual = report.perTrace;
 
     ASSERT_EQ(actual.size(), expected.size());
     for (std::size_t t = 0; t < expected.size(); ++t) {
@@ -91,9 +100,9 @@ TEST(ParallelSweep, RunSweepsMatchesSequentialSuitePass)
 
     // And the paper's unweighted averages are bit-identical too.
     const auto expected_avg = averageResults(expected);
-    const auto actual_avg = averageResults(actual);
+    ASSERT_EQ(report.average.size(), expected_avg.size());
     for (std::size_t c = 0; c < expected_avg.size(); ++c)
-        expectIdentical(actual_avg[c], expected_avg[c]);
+        expectIdentical(report.average[c], expected_avg[c]);
 }
 
 TEST(ParallelSweep, RespectsMaxRefs)
@@ -106,10 +115,7 @@ TEST(ParallelSweep, RespectsMaxRefs)
     ParallelSweepRunner parallel(configs, &pool);
     EXPECT_EQ(parallel.run(trace, 500), 500u);
 
-    VectorTrace copy = *trace;
-    SweepRunner sequential(configs);
-    sequential.run(copy, 500);
-    const auto expected = sequential.results();
+    const auto expected = sequentialSweep(configs, *trace, 500);
     const auto actual = parallel.results();
     for (std::size_t i = 0; i < expected.size(); ++i)
         expectIdentical(actual[i], expected[i]);
@@ -139,10 +145,8 @@ TEST(ParallelSweep, RunSuiteMatchesManualSequentialAveraging)
 
     std::vector<std::vector<SweepResult>> expected;
     for (const WorkloadSpec &spec : suite.traces) {
-        VectorTrace trace = buildTrace(spec, kRefs);
-        SweepRunner runner(configs);
-        runner.run(trace);
-        expected.push_back(runner.results());
+        const VectorTrace trace = buildTrace(spec, kRefs);
+        expected.push_back(sequentialSweep(configs, trace));
     }
     const auto expected_avg = averageResults(expected);
 

@@ -1,6 +1,3 @@
-// This TU intentionally exercises the legacy sweep entry points.
-#define OCCSIM_ALLOW_DEPRECATED 1
-
 /**
  * @file
  * Exactness tests for the single-pass multi-configuration sweep
@@ -8,7 +5,7 @@
  * grid at a fixed block size, the engine's counts (misses, cold
  * misses, traffic words) and its SweepResult doubles must equal
  * direct Cache simulation bit-for-bit — on real library programs, on
- * a synthetic adversarial trace, and through the runSweeps /
+ * a synthetic adversarial trace, and through the runSweep /
  * ParallelSweepRunner fast-path integration with mixed (eligible and
  * ineligible) config lists.
  */
@@ -21,6 +18,7 @@
 #include "cache/cache.hh"
 #include "harness/experiment.hh"
 #include "multi/parallel_sweep.hh"
+#include "multi/sweep_api.hh"
 #include "multi/single_pass.hh"
 #include "util/random.hh"
 #include "workload/suites.hh"
@@ -29,6 +27,23 @@
 using namespace occsim;
 
 namespace {
+
+/** Suite sweep through the unified API; returns the per-trace grid. */
+std::vector<std::vector<occsim::SweepResult>>
+sweepGrid(const std::vector<std::shared_ptr<const occsim::VectorTrace>>
+              &traces,
+          const std::vector<occsim::CacheConfig> &configs,
+          occsim::ThreadPool *pool,
+          occsim::SweepEngine engine = occsim::SweepEngine::Auto)
+{
+    occsim::SweepRequest request;
+    request.traces = traces;
+    request.configs = configs;
+    request.pool = pool;
+    request.engine = engine;
+    request.wantAverage = false;
+    return occsim::runSweep(request).perTrace;
+}
 
 constexpr std::uint64_t kRefs = 30000;
 
@@ -246,19 +261,20 @@ TEST(SinglePassEngine, LevelsAreIndependentTasks)
         expectIdentical(a[i], b[i]);
 }
 
-TEST(SinglePassEngine, RunnerFastPathMatchesSequentialRunner)
+TEST(SinglePassEngine, RunnerFastPathMatchesSequentialDirect)
 {
-    // ParallelSweepRunner in Auto mode vs the historical sequential
-    // SweepRunner on a mixed list: paperGrid contains both eligible
+    // ParallelSweepRunner in Auto mode vs sequential direct Cache
+    // simulation on a mixed list: paperGrid contains both eligible
     // (sub == block) and ineligible (sub < block) configs.
     const Suite suite = pdp11Suite();
     const auto trace = buildTraceShared(suite.traces.front(), kRefs);
     const auto configs = paperGrid(1024, suite.profile.wordSize);
 
-    VectorTrace copy = *trace;
-    SweepRunner sequential(configs);
-    sequential.run(copy);
-    const auto expected = sequential.results();
+    std::vector<SweepResult> expected;
+    for (const CacheConfig &config : configs) {
+        VectorTrace copy = *trace;
+        expected.push_back(runSingle(config, copy));
+    }
 
     ThreadPool pool(4);
     ParallelSweepRunner runner(configs, &pool);
@@ -284,7 +300,7 @@ TEST(SinglePassEngine, RunnerFastPathMatchesSequentialRunner)
     }
 }
 
-TEST(SinglePassEngine, RunSweepsAutoMatchesDirectOnly)
+TEST(SinglePassEngine, RunSweepAutoMatchesDirectOnly)
 {
     const Suite suite = z8000Suite();
     const auto configs = paperGrid(512, suite.profile.wordSize);
@@ -295,8 +311,8 @@ TEST(SinglePassEngine, RunSweepsAutoMatchesDirectOnly)
 
     ThreadPool pool(4);
     const auto direct =
-        runSweeps(traces, configs, &pool, SweepEngine::DirectOnly);
-    const auto fast = runSweeps(traces, configs, &pool);
+        sweepGrid(traces, configs, &pool, SweepEngine::DirectOnly);
+    const auto fast = sweepGrid(traces, configs, &pool);
 
     ASSERT_EQ(fast.size(), direct.size());
     for (std::size_t t = 0; t < direct.size(); ++t) {

@@ -1,15 +1,12 @@
-// This TU intentionally exercises the legacy sweep entry points.
-#define OCCSIM_ALLOW_DEPRECATED 1
-
 /**
  * @file
  * The unified sweep API contract (multi/sweep_api.hh): runSweep must
- * be bit-identical to every legacy entry point it replaced — the
- * sequential SweepRunner, ParallelSweepRunner::run, and the free
- * runSweeps — for every engine policy and thread count; the request
- * knobs (maxRefs, wantAverage, probe, explicit telemetry sink) must
- * each do what they say; and the attached manifest must serialize to
- * valid occsim.run_manifest/1 JSON.
+ * be bit-identical to the raw engine entry points it wraps — direct
+ * per-config Cache simulation and ParallelSweepRunner::run — for
+ * every engine policy and thread count; the request knobs (maxRefs,
+ * wantAverage, probe, explicit telemetry sink) must each do what they
+ * say; and the attached manifest must serialize to valid
+ * occsim.run_manifest/1 JSON.
  */
 
 #include <gtest/gtest.h>
@@ -52,6 +49,20 @@ expectIdenticalGrid(const std::vector<std::vector<SweepResult>> &a,
     }
 }
 
+/** Reference engine: one direct runSingle per config, sequentially. */
+std::vector<SweepResult>
+sequentialSweep(const std::vector<CacheConfig> &configs,
+                const VectorTrace &trace, std::uint64_t max_refs = 0)
+{
+    std::vector<SweepResult> out;
+    out.reserve(configs.size());
+    for (const CacheConfig &config : configs) {
+        VectorTrace copy = trace;
+        out.push_back(runSingle(config, copy, max_refs));
+    }
+    return out;
+}
+
 /** Two traces + a mixed grid (single-pass eligible and not) so every
  *  engine route is exercised. */
 struct Fixture
@@ -76,16 +87,21 @@ struct Fixture
 
 } // namespace
 
-TEST(SweepApi, BitIdenticalToLegacyRunSweepsAllEnginesAndThreads)
+TEST(SweepApi, BitIdenticalToRawEngineAllEnginesAndThreads)
 {
     const Fixture fx;
     for (const SweepEngine engine :
          {SweepEngine::Auto, SweepEngine::DirectOnly,
           SweepEngine::CrossCheck}) {
         for (const unsigned threads : {1u, 4u}) {
+            // Reference: the raw engine layer, one runner per trace.
             ThreadPool pool(threads);
-            const auto legacy =
-                runSweeps(fx.traces, fx.configs, &pool, engine);
+            std::vector<std::vector<SweepResult>> legacy;
+            for (const auto &trace : fx.traces) {
+                ParallelSweepRunner runner(fx.configs, &pool, engine);
+                runner.run(trace);
+                legacy.push_back(runner.results());
+            }
 
             ThreadPool pool2(threads);
             SweepRequest request;
@@ -105,7 +121,7 @@ TEST(SweepApi, BitIdenticalToLegacyRunSweepsAllEnginesAndThreads)
     }
 }
 
-TEST(SweepApi, BitIdenticalToSequentialSweepRunner)
+TEST(SweepApi, BitIdenticalToSequentialDirectSimulation)
 {
     const Fixture fx;
     SweepRequest request;
@@ -114,10 +130,7 @@ TEST(SweepApi, BitIdenticalToSequentialSweepRunner)
     const SweepReport report = runSweep(request);
 
     for (std::size_t t = 0; t < fx.traces.size(); ++t) {
-        VectorTrace copy = *fx.traces[t];
-        SweepRunner sequential(fx.configs);
-        sequential.run(copy);
-        const auto expected = sequential.results();
+        const auto expected = sequentialSweep(fx.configs, *fx.traces[t]);
         ASSERT_EQ(report.perTrace[t].size(), expected.size());
         for (std::size_t c = 0; c < expected.size(); ++c)
             expectIdentical(report.perTrace[t][c], expected[c]);
@@ -136,12 +149,10 @@ TEST(SweepApi, MaxRefsCapsEveryEngineIdentically)
     const SweepReport report = runSweep(request);
     EXPECT_EQ(report.refs, kCap * fx.traces.size());
 
-    // Same cap through the sequential reference runner.
+    // Same cap through the sequential reference engine.
     for (std::size_t t = 0; t < fx.traces.size(); ++t) {
-        VectorTrace copy = *fx.traces[t];
-        SweepRunner sequential(fx.configs);
-        EXPECT_EQ(sequential.run(copy, kCap), kCap);
-        const auto expected = sequential.results();
+        const auto expected =
+            sequentialSweep(fx.configs, *fx.traces[t], kCap);
         for (std::size_t c = 0; c < expected.size(); ++c)
             expectIdentical(report.perTrace[t][c], expected[c]);
     }

@@ -1,11 +1,8 @@
-// This TU intentionally exercises the legacy sweep entry points.
-#define OCCSIM_ALLOW_DEPRECATED 1
-
 /**
  * @file
- * Unit tests for the single-pass sweep runner: equivalence with
- * individual simulations, result summaries, and the paper's
- * unweighted multi-trace averaging.
+ * Unit tests for the sweep summarization layer: runSingle vs a
+ * hand-driven Cache, result summaries, and the paper's unweighted
+ * multi-trace averaging.
  */
 
 #include <gtest/gtest.h>
@@ -24,63 +21,68 @@ someConfigs()
             makeConfig(1024, 16, 8, 2), makeConfig(1024, 32, 4, 2)};
 }
 
+/** runSingle every config over a private copy of @p trace. */
+std::vector<SweepResult>
+sweepAll(const std::vector<CacheConfig> &configs,
+         const VectorTrace &trace, std::uint64_t max_refs = 0)
+{
+    std::vector<SweepResult> out;
+    out.reserve(configs.size());
+    for (const CacheConfig &config : configs) {
+        VectorTrace copy = trace;
+        out.push_back(runSingle(config, copy, max_refs));
+    }
+    return out;
+}
+
 } // namespace
 
-TEST(SweepRunner, MatchesIndividualRuns)
+TEST(RunSingle, MatchesHandDrivenCache)
 {
     SyntheticParams params;
     params.seed = 11;
     const VectorTrace trace = makeSyntheticTrace(params, 30000);
 
-    const auto configs = someConfigs();
-    SweepRunner runner(configs);
-    VectorTrace copy = trace;
-    EXPECT_EQ(runner.run(copy), trace.size());
+    for (const CacheConfig &config : someConfigs()) {
+        Cache cache(config);
+        VectorTrace direct_copy = trace;
+        cache.run(direct_copy);
+        cache.finalizeResidencies();
+        const SweepResult direct = summarizeCache(cache);
 
-    const auto swept = runner.results();
-    ASSERT_EQ(swept.size(), configs.size());
-    for (std::size_t i = 0; i < configs.size(); ++i) {
         VectorTrace single_copy = trace;
-        const SweepResult alone = runSingle(configs[i], single_copy);
-        EXPECT_DOUBLE_EQ(swept[i].missRatio, alone.missRatio);
-        EXPECT_DOUBLE_EQ(swept[i].trafficRatio, alone.trafficRatio);
-        EXPECT_DOUBLE_EQ(swept[i].nibbleTrafficRatio,
+        const SweepResult alone = runSingle(config, single_copy);
+        EXPECT_DOUBLE_EQ(direct.missRatio, alone.missRatio);
+        EXPECT_DOUBLE_EQ(direct.trafficRatio, alone.trafficRatio);
+        EXPECT_DOUBLE_EQ(direct.nibbleTrafficRatio,
                          alone.nibbleTrafficRatio);
-        EXPECT_EQ(swept[i].grossBytes, alone.grossBytes);
+        EXPECT_EQ(direct.grossBytes, alone.grossBytes);
     }
 }
 
-TEST(SweepRunner, ResultsCarryConfigs)
+TEST(RunSingle, ResultsCarryConfigs)
 {
+    SyntheticParams params;
+    const VectorTrace trace = makeSyntheticTrace(params, 2000);
     const auto configs = someConfigs();
-    SweepRunner runner(configs);
-    const auto results = runner.results();
+    const auto results = sweepAll(configs, trace);
     for (std::size_t i = 0; i < configs.size(); ++i)
         EXPECT_EQ(results[i].config, configs[i]);
 }
 
-TEST(SweepRunner, NibbleScalingConsistent)
+TEST(RunSingle, NibbleScalingConsistent)
 {
     // For demand fetch every burst is one sub-block, so the scaled
     // ratio must equal traffic * (1/w)(1 + (w-1)/3) exactly.
     SyntheticParams params;
     params.seed = 47;
     SyntheticSource source(params);
-    SweepRunner runner({makeConfig(256, 16, 8, 2)});
-    runner.run(source, 20000);
-    const SweepResult result = runner.results()[0];
+    const SweepResult result =
+        runSingle(makeConfig(256, 16, 8, 2), source, 20000);
     const double words = 8.0 / 2.0;
     const double factor = (1.0 + (words - 1.0) / 3.0) / words;
     EXPECT_NEAR(result.nibbleTrafficRatio,
                 result.trafficRatio * factor, 1e-12);
-}
-
-TEST(SweepRunner, RespectsMaxRefs)
-{
-    SyntheticParams params;
-    SyntheticSource source(params);
-    SweepRunner runner(someConfigs());
-    EXPECT_EQ(runner.run(source, 500), 500u);
 }
 
 TEST(AverageResults, UnweightedMean)
@@ -94,10 +96,8 @@ TEST(AverageResults, UnweightedMean)
     const auto configs = someConfigs();
     std::vector<std::vector<SweepResult>> runs;
     for (const SyntheticParams &params : {params_a, params_b}) {
-        SyntheticSource source(params);
-        SweepRunner runner(configs);
-        runner.run(source, 20000);
-        runs.push_back(runner.results());
+        const VectorTrace trace = makeSyntheticTrace(params, 20000);
+        runs.push_back(sweepAll(configs, trace));
     }
 
     const auto averaged = averageResults(runs);
@@ -116,10 +116,8 @@ TEST(AverageResults, UnweightedMean)
 TEST(AverageResults, SingleRunIsIdentity)
 {
     SyntheticParams params;
-    SyntheticSource source(params);
-    SweepRunner runner(someConfigs());
-    runner.run(source, 10000);
-    const auto results = runner.results();
+    const VectorTrace trace = makeSyntheticTrace(params, 10000);
+    const auto results = sweepAll(someConfigs(), trace);
     const auto averaged = averageResults({results});
     for (std::size_t i = 0; i < results.size(); ++i) {
         EXPECT_DOUBLE_EQ(averaged[i].missRatio, results[i].missRatio);
